@@ -1,0 +1,91 @@
+//===--- BenchUtil.h - Shared benchmark helpers ----------------*- C++ -*-===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_BENCH_BENCHUTIL_H
+#define SPA_BENCH_BENCHUTIL_H
+
+#include "pta/Frontend.h"
+#include "workload/Corpus.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace spa::bench {
+
+/// The four instances in the paper's column order.
+inline const ModelKind AllModels[4] = {
+    ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+    ModelKind::CommonInitialSeq, ModelKind::Offsets};
+
+/// Loads and compiles one corpus program, exiting on error (benchmarks
+/// must not run on broken inputs).
+inline std::unique_ptr<CompiledProgram> compileEntry(const CorpusEntry &E) {
+  std::string Source;
+  if (!loadCorpusSource(E, Source)) {
+    std::fprintf(stderr, "error: missing corpus file %s under %s\n",
+                 E.FileName.c_str(), corpusDir().c_str());
+    std::exit(1);
+  }
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "error: %s does not compile:\n%s", E.Name.c_str(),
+                 Diags.formatAll().c_str());
+    std::exit(1);
+  }
+  return P;
+}
+
+/// Counts source lines of one corpus program.
+inline size_t countLines(const CorpusEntry &E) {
+  std::string Source;
+  if (!loadCorpusSource(E, Source))
+    return 0;
+  size_t Lines = 0;
+  for (char C : Source)
+    if (C == '\n')
+      ++Lines;
+  return Lines;
+}
+
+/// Runs one analysis and returns it (solved).
+inline std::unique_ptr<Analysis> runModel(NormProgram &Prog, ModelKind Kind) {
+  AnalysisOptions Opts;
+  Opts.Model = Kind;
+  auto A = std::make_unique<Analysis>(Prog, Opts);
+  A->run();
+  return A;
+}
+
+/// Median-of-N wall-clock seconds for parse+normalize+solve of \p Kind
+/// over \p Source. Each repetition recompiles so that per-run state
+/// (lazily materialized nodes) cannot leak between runs.
+inline double timeSolve(const std::string &Source, ModelKind Kind,
+                        int Reps = 5) {
+  double Best = 1e100;
+  for (int R = 0; R < Reps; ++R) {
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(Source, Diags);
+    if (!P)
+      return 0;
+    AnalysisOptions Opts;
+    Opts.Model = Kind;
+    Analysis A(P->Prog, Opts);
+    auto T0 = std::chrono::steady_clock::now();
+    A.run();
+    auto T1 = std::chrono::steady_clock::now();
+    double Sec = std::chrono::duration<double>(T1 - T0).count();
+    if (Sec < Best)
+      Best = Sec;
+  }
+  return Best;
+}
+
+} // namespace spa::bench
+
+#endif // SPA_BENCH_BENCHUTIL_H

@@ -1,0 +1,59 @@
+//===--- ablation_stride.cpp - Wilson/Lam stride refinement ---------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the Wilson/Lam-style stride rule the paper discusses in its
+/// related-work section: pointer arithmetic on a pointer into an array
+/// cannot reach arbitrary fields of the enclosing structure, only other
+/// elements (one representative element here). Compares the Common-
+/// Initial-Sequence and Offsets instances with and without the rule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/TablePrinter.h"
+
+using namespace spa;
+using namespace spa::bench;
+
+int main() {
+  std::printf("== Ablation: array-stride pointer arithmetic (Wilson/Lam) "
+              "==\n   (avg deref set size; 'plain' is the paper's "
+              "Assumption-1 rule)\n\n");
+
+  TablePrinter Table({"program", "CIS plain", "CIS stride", "Off plain",
+                      "Off stride", "improvement"});
+
+  for (const CorpusEntry &E : corpusManifest()) {
+    auto P = compileEntry(E);
+    double Avg[2][2]; // [model][stride]
+    ModelKind Kinds[2] = {ModelKind::CommonInitialSeq, ModelKind::Offsets};
+    for (int M = 0; M < 2; ++M)
+      for (int Stride = 0; Stride < 2; ++Stride) {
+        AnalysisOptions Opts;
+        Opts.Model = Kinds[M];
+        Opts.Solver.StrideArith = Stride != 0;
+        Analysis A(P->Prog, Opts);
+        A.run();
+        Avg[M][Stride] = A.derefMetrics().AvgSetSize;
+      }
+    double Improvement =
+        Avg[0][0] > 0 ? 100.0 * (Avg[0][0] - Avg[0][1]) / Avg[0][0] : 0;
+    Table.addRow({E.Name, TablePrinter::fixed(Avg[0][0]),
+                  TablePrinter::fixed(Avg[0][1]),
+                  TablePrinter::fixed(Avg[1][0]),
+                  TablePrinter::fixed(Avg[1][1]),
+                  TablePrinter::fixed(Improvement, 1) + "%"});
+  }
+
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\nReading: programs that walk arrays through moving pointers "
+              "(string scans,\nword-packed records) tighten; programs whose "
+              "arithmetic crosses real field\nboundaries are unaffected, as "
+              "they must be.\n");
+  return 0;
+}

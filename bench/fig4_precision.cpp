@@ -1,0 +1,60 @@
+//===--- fig4_precision.cpp - Reproduce the paper's Figure 4 --------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 4 of the paper: the average points-to-set size of a dereferenced
+/// pointer, per program, for all four instances, over the 12 programs with
+/// structure casting. As in the paper, when the Collapse-Always instance
+/// reports a whole structure as a target, the fact is expanded to one
+/// target per field so the numbers are comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/TablePrinter.h"
+
+using namespace spa;
+using namespace spa::bench;
+
+int main() {
+  std::printf("== Figure 4: average points-to set size of a dereferenced "
+              "pointer ==\n   (programs with structure casting; Collapse "
+              "Always expanded to fields)\n\n");
+
+  TablePrinter Table({"program", "Collapse Always", "Collapse on Cast",
+                      "Common Init Seq", "Offsets", "CA/CIS ratio"});
+
+  double WorstRatio = 0;
+  std::string WorstProgram;
+  for (const CorpusEntry &E : corpusManifest()) {
+    if (!E.HasStructCasting)
+      continue;
+    auto P = compileEntry(E);
+    double Avg[4];
+    for (int I = 0; I < 4; ++I) {
+      auto A = runModel(P->Prog, AllModels[I]);
+      Avg[I] = A->derefMetrics().AvgSetSize;
+    }
+    double Ratio = Avg[2] > 0 ? Avg[0] / Avg[2] : 0;
+    if (Ratio > WorstRatio) {
+      WorstRatio = Ratio;
+      WorstProgram = E.Name;
+    }
+    Table.addRow({E.Name, TablePrinter::fixed(Avg[0]),
+                  TablePrinter::fixed(Avg[1]), TablePrinter::fixed(Avg[2]),
+                  TablePrinter::fixed(Avg[3]),
+                  TablePrinter::fixed(Ratio, 1) + "x"});
+  }
+
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\nShape check (paper): collapsing structures often at least "
+              "doubles the sets\n(worst case ~10x for bc); the two portable "
+              "field-sensitive instances stay\nclose to Offsets. Largest "
+              "collapse penalty here: %s (%.1fx).\n",
+              WorstProgram.c_str(), WorstRatio);
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===--- scaling.cpp - Solver scaling on generated programs ---------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark microbenchmarks of the whole pipeline on generated
+/// programs of growing size, per analysis instance: how parse, normalize,
+/// and solve scale with statement count. Complements the paper's Figure 5
+/// (which uses fixed real programs) with a controlled sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "workload/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spa;
+using namespace spa::bench;
+
+namespace {
+
+std::string generatedSource(int SizeClass) {
+  GeneratorConfig Config;
+  Config.Seed = 42;
+  Config.NumStructs = 4 + SizeClass;
+  Config.NumStructVars = 6 * SizeClass;
+  Config.NumInts = 4 * SizeClass;
+  Config.NumPtrVars = 4 * SizeClass;
+  Config.NumFunctions = 2 * SizeClass;
+  Config.StmtsPerFunction = 30;
+  Config.UseHeap = true;
+  return generateProgram(Config);
+}
+
+void pipelineBenchmark(benchmark::State &State) {
+  std::string Source = generatedSource(static_cast<int>(State.range(0)));
+  ModelKind Kind = AllModels[State.range(1)];
+  bool Worklist = State.range(2) != 0;
+  size_t Stmts = 0;
+  uint64_t Edges = 0;
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(Source, Diags);
+    if (!P) {
+      State.SkipWithError("generated program failed to compile");
+      return;
+    }
+    AnalysisOptions Opts;
+    Opts.Model = Kind;
+    Opts.Solver.UseWorklist = Worklist;
+    Analysis A(P->Prog, Opts);
+    A.run();
+    Stmts = P->Prog.Stmts.size();
+    Edges = A.solver().numEdges();
+    benchmark::DoNotOptimize(Edges);
+  }
+  State.counters["stmts"] = static_cast<double>(Stmts);
+  State.counters["edges"] = static_cast<double>(Edges);
+}
+
+void parseOnlyBenchmark(benchmark::State &State) {
+  std::string Source = generatedSource(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(Source, Diags);
+    benchmark::DoNotOptimize(P);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *ModelTag[4] = {"CollapseAlways", "CollapseOnCast",
+                             "CommonInitSeq", "Offsets"};
+  for (int Size : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        ("parse_normalize/size:" + std::to_string(Size)).c_str(),
+        parseOnlyBenchmark)
+        ->Args({Size})
+        ->Unit(benchmark::kMillisecond);
+    for (int M = 0; M < 4; ++M) {
+      benchmark::RegisterBenchmark(
+          (std::string("pipeline/") + ModelTag[M] +
+           "/size:" + std::to_string(Size))
+              .c_str(),
+          pipelineBenchmark)
+          ->Args({Size, M, 0})
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          (std::string("pipeline_worklist/") + ModelTag[M] +
+           "/size:" + std::to_string(Size))
+              .c_str(),
+          pipelineBenchmark)
+          ->Args({Size, M, 1})
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

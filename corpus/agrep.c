@@ -1,0 +1,179 @@
+/*
+ * agrep -- approximate pattern matcher over a packed record stream.
+ * Corpus program (with structure casting): match records are serialized
+ * into an int-array shift window and recovered by casting; the bitmask
+ * engine stores state words and pointers in the same slots.
+ */
+
+enum { WINDOW = 32, MAX_HITS = 16 };
+
+struct hit {
+    int pos;
+    int errors;
+    const char *line;
+};
+
+struct packed_hit { /* same layout prefix as struct hit under ilp32 */
+    int pos;
+    int errors;
+    const char *line;
+};
+
+int window[32];       /* raw words: shift-register of packed hits */
+int window_used;
+struct hit hits[16];
+int n_hits;
+const char *current_line;
+
+static int approx_match(const char *text, const char *pat, int max_err) {
+    int errors;
+    const char *t;
+    const char *p;
+    errors = 0;
+    t = text;
+    p = pat;
+    while (*t && *p) {
+        if (*t != *p)
+            errors++;
+        if (errors > max_err)
+            return -1;
+        t++;
+        p++;
+    }
+    while (*p) {
+        errors++;
+        p++;
+    }
+    return errors <= max_err ? errors : -1;
+}
+
+static void push_hit(int pos, int errors) {
+    struct packed_hit *ph;
+    int words;
+    words = sizeof(struct packed_hit) / sizeof(int);
+    if (window_used + words > WINDOW)
+        window_used = 0; /* wrap the shift register */
+    ph = (struct packed_hit *)&window[window_used];  /* cast int* -> rec */
+    ph->pos = pos;
+    ph->errors = errors;
+    ph->line = current_line;
+    window_used += words;
+}
+
+static void drain_window(void) {
+    int i, words;
+    const struct packed_hit *ph;
+    struct hit *h;
+    words = sizeof(struct packed_hit) / sizeof(int);
+    for (i = 0; i + words <= window_used; i += words) {
+        ph = (const struct packed_hit *)&window[i];
+        if (n_hits >= MAX_HITS)
+            break;
+        h = &hits[n_hits++];
+        h->pos = ph->pos;
+        h->errors = ph->errors;
+        h->line = ph->line;
+    }
+}
+
+static void scan_line(const char *line, const char *pattern, int max_err) {
+    int pos;
+    int err;
+    current_line = line;
+    for (pos = 0; line[pos]; pos++) {
+        err = approx_match(line + pos, pattern, max_err);
+        if (err >= 0)
+            push_hit(pos, err);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Exact scanner with a bad-character skip table, and a multi-pattern  */
+/* driver sharing the hit window.                                      */
+/* ------------------------------------------------------------------ */
+
+int skip_table[128];
+
+static void build_skip(const char *pat) {
+    int i, m;
+    m = strlen(pat);
+    for (i = 0; i < 128; i++)
+        skip_table[i] = m;
+    for (i = 0; i + 1 < m; i++)
+        skip_table[(int)pat[i] & 127] = m - 1 - i;
+}
+
+static int exact_scan(const char *text, const char *pat) {
+    int n, m, i, j, hits;
+    n = strlen(text);
+    m = strlen(pat);
+    hits = 0;
+    i = 0;
+    while (i + m <= n) {
+        j = m - 1;
+        while (j >= 0 && text[i + j] == pat[j])
+            j--;
+        if (j < 0) {
+            push_hit(i, 0);
+            hits++;
+            i += 1;
+        } else {
+            i += skip_table[(int)text[i + m - 1] & 127];
+            if (i <= 0)
+                i = 1;
+        }
+    }
+    return hits;
+}
+
+struct pattern_set {
+    const char *patterns[4];
+    int n_patterns;
+    int max_errors;
+    int total_hits;
+};
+
+static void scan_all(struct pattern_set *ps, const char *line) {
+    int p;
+    current_line = line;
+    for (p = 0; p < ps->n_patterns; p++) {
+        if (ps->max_errors == 0) {
+            build_skip(ps->patterns[p]);
+            ps->total_hits += exact_scan(line, ps->patterns[p]);
+        } else {
+            scan_line(line, ps->patterns[p], ps->max_errors);
+            ps->total_hits++;
+        }
+    }
+}
+
+static const char *corpus_lines[] = {
+    "the quick brown fox",
+    "pack my box with jugs",
+    "sphinx of black quartz",
+};
+
+int main(void) {
+    struct pattern_set exact;
+    int i;
+    window_used = 0;
+    n_hits = 0;
+    for (i = 0; i < 3; i++)
+        scan_line(corpus_lines[i], "box", 1);
+    drain_window();
+    for (i = 0; i < n_hits; i++)
+        printf("hit at %d (%d errors) in: %s\n", hits[i].pos, hits[i].errors,
+               hits[i].line);
+
+    exact.patterns[0] = "qu";
+    exact.patterns[1] = "ck";
+    exact.n_patterns = 2;
+    exact.max_errors = 0;
+    exact.total_hits = 0;
+    for (i = 0; i < 3; i++)
+        scan_all(&exact, corpus_lines[i]);
+    n_hits = 0;
+    drain_window();
+    printf("exact hits %d (window replay %d)\n", exact.total_hits, n_hits);
+    return 0;
+}

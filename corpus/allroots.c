@@ -1,0 +1,206 @@
+/*
+ * allroots -- find all roots of a polynomial by recursive deflation.
+ * Corpus program (no structure casting): plain structs, arrays of structs,
+ * pointers into arrays, and simple dynamic allocation.
+ */
+
+enum { MAX_DEGREE = 32, MAX_ROOTS = 64 };
+
+struct poly {
+    int degree;
+    double coef[33];
+};
+
+struct root {
+    double re;
+    double im;
+    int multiplicity;
+};
+
+struct poly work_poly;
+struct poly deriv_poly;
+struct root roots[64];
+int num_roots;
+
+double eps;
+int max_iters;
+
+static double fabs_local(double x) { return x < 0.0 ? -x : x; }
+
+static void poly_set(struct poly *dst, const double *c, int degree) {
+    int i;
+    dst->degree = degree;
+    for (i = 0; i <= degree; i++)
+        dst->coef[i] = c[i];
+}
+
+static double poly_eval(const struct poly *p, double x) {
+    double acc;
+    int i;
+    acc = 0.0;
+    for (i = p->degree; i >= 0; i--)
+        acc = acc * x + p->coef[i];
+    return acc;
+}
+
+static void poly_derive(const struct poly *src, struct poly *dst) {
+    int i;
+    dst->degree = src->degree > 0 ? src->degree - 1 : 0;
+    for (i = 1; i <= src->degree; i++)
+        dst->coef[i - 1] = src->coef[i] * (double)i;
+    if (src->degree == 0)
+        dst->coef[0] = 0.0;
+}
+
+static double newton(const struct poly *p, const struct poly *dp,
+                     double guess) {
+    double x, fx, dfx;
+    int iter;
+    x = guess;
+    for (iter = 0; iter < max_iters; iter++) {
+        fx = poly_eval(p, x);
+        dfx = poly_eval(dp, x);
+        if (fabs_local(dfx) < eps)
+            break;
+        x = x - fx / dfx;
+        if (fabs_local(fx) < eps)
+            break;
+    }
+    return x;
+}
+
+static void deflate(struct poly *p, double r) {
+    /* synthetic division by (x - r) */
+    double carry, tmp;
+    int i;
+    carry = p->coef[p->degree];
+    for (i = p->degree - 1; i >= 0; i--) {
+        tmp = p->coef[i];
+        p->coef[i] = carry;
+        carry = tmp + carry * r;
+    }
+    p->degree = p->degree - 1;
+}
+
+static struct root *record_root(double r) {
+    struct root *slot;
+    int i;
+    for (i = 0; i < num_roots; i++) {
+        slot = &roots[i];
+        if (fabs_local(slot->re - r) < eps && slot->im == 0.0) {
+            slot->multiplicity++;
+            return slot;
+        }
+    }
+    slot = &roots[num_roots];
+    num_roots++;
+    slot->re = r;
+    slot->im = 0.0;
+    slot->multiplicity = 1;
+    return slot;
+}
+
+static void find_all(struct poly *p) {
+    double r;
+    struct root *last;
+    while (p->degree > 0) {
+        poly_derive(p, &deriv_poly);
+        r = newton(p, &deriv_poly, 1.0);
+        last = record_root(r);
+        if (last->multiplicity > MAX_DEGREE)
+            break;
+        deflate(p, r);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Quality checks: residual evaluation at each root and bracketing.    */
+/* ------------------------------------------------------------------ */
+
+struct residual {
+    const struct root *at;
+    double value;
+};
+
+struct residual residuals[64];
+int n_residuals;
+
+static void check_residuals(const struct poly *p) {
+    int i;
+    struct residual *r;
+    n_residuals = 0;
+    for (i = 0; i < num_roots; i++) {
+        r = &residuals[n_residuals++];
+        r->at = &roots[i];
+        r->value = poly_eval(p, roots[i].re);
+    }
+}
+
+static double worst_residual(void) {
+    int i;
+    double worst;
+    worst = 0.0;
+    for (i = 0; i < n_residuals; i++)
+        if (fabs_local(residuals[i].value) > worst)
+            worst = fabs_local(residuals[i].value);
+    return worst;
+}
+
+static int bracket_root(const struct poly *p, double lo, double hi,
+                        double *out) {
+    double mid, flo, fmid;
+    int iter;
+    flo = poly_eval(p, lo);
+    if (flo * poly_eval(p, hi) > 0.0)
+        return 0;
+    for (iter = 0; iter < 60; iter++) {
+        mid = (lo + hi) / 2.0;
+        fmid = poly_eval(p, mid);
+        if (fabs_local(fmid) < eps)
+            break;
+        if (flo * fmid <= 0.0) {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    *out = (lo + hi) / 2.0;
+    return 1;
+}
+
+static void report(void) {
+    int i;
+    const struct root *r;
+    for (i = 0; i < num_roots; i++) {
+        r = &roots[i];
+        printf("root %d: %f (x%d)\n", i, r->re, r->multiplicity);
+    }
+}
+
+int main(void) {
+    double c[33];
+    int i;
+    eps = 0.000001;
+    max_iters = 40;
+    for (i = 0; i <= 32; i++)
+        c[i] = 0.0;
+    c[0] = -6.0;
+    c[1] = 11.0;
+    c[2] = -6.0;
+    c[3] = 1.0;
+    poly_set(&work_poly, c, 3);
+    num_roots = 0;
+    {
+        struct poly original;
+        double bracketed;
+        original = work_poly; /* keep a pristine copy for the checks */
+        find_all(&work_poly);
+        report();
+        check_residuals(&original);
+        printf("worst residual %f\n", worst_residual());
+        if (bracket_root(&original, 0.5, 1.5, &bracketed))
+            printf("bracketed root near %f\n", bracketed);
+    }
+    return 0;
+}

@@ -1,0 +1,160 @@
+/*
+ * anagram -- group dictionary words by their sorted letter signature.
+ * Corpus program (no structure casting): string tables, qsort with a
+ * function-pointer callback, hash chains of heap records.
+ */
+
+enum { HASH_SIZE = 257, MAX_WORD = 64 };
+
+struct entry {
+    char *word;
+    char *signature;
+    struct entry *next_in_bucket;
+    struct entry *next_in_group;
+};
+
+struct entry *buckets[257];
+struct entry *all_entries;
+int entry_count;
+
+static int sig_hash(const char *s) {
+    int h;
+    h = 0;
+    while (*s) {
+        h = h * 31 + *s;
+        if (h < 0)
+            h = -h;
+        s++;
+    }
+    return h % HASH_SIZE;
+}
+
+static int char_cmp(const void *a, const void *b) {
+    const char *ca;
+    const char *cb;
+    ca = (const char *)a;
+    cb = (const char *)b;
+    return *ca - *cb;
+}
+
+static char *make_signature(const char *word) {
+    char *sig;
+    int n;
+    n = strlen(word);
+    sig = (char *)malloc(n + 1);
+    strcpy(sig, word);
+    qsort(sig, n, 1, char_cmp);
+    return sig;
+}
+
+static struct entry *add_word(char *word) {
+    struct entry *e;
+    struct entry *probe;
+    int h;
+    e = (struct entry *)malloc(sizeof(struct entry));
+    e->word = word;
+    e->signature = make_signature(word);
+    e->next_in_group = 0;
+    h = sig_hash(e->signature);
+    for (probe = buckets[h]; probe; probe = probe->next_in_bucket) {
+        if (strcmp(probe->signature, e->signature) == 0) {
+            e->next_in_group = probe->next_in_group;
+            probe->next_in_group = e;
+            return e;
+        }
+    }
+    e->next_in_bucket = buckets[h];
+    buckets[h] = e;
+    e->next_in_group = 0;
+    entry_count++;
+    return e;
+}
+
+static void dump_groups(void) {
+    int h;
+    const struct entry *head;
+    const struct entry *member;
+    for (h = 0; h < HASH_SIZE; h++) {
+        for (head = buckets[h]; head; head = head->next_in_bucket) {
+            if (!head->next_in_group)
+                continue;
+            printf("%s:", head->signature);
+            for (member = head; member; member = member->next_in_group)
+                printf(" %s", member->word);
+            printf("\n");
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Reporting helpers: largest anagram family and length histogram.     */
+/* ------------------------------------------------------------------ */
+
+static int group_size(const struct entry *head) {
+    const struct entry *m;
+    int n;
+    n = 0;
+    for (m = head; m; m = m->next_in_group)
+        n++;
+    return n;
+}
+
+static const struct entry *largest_group(void) {
+    const struct entry *head;
+    const struct entry *best;
+    int h, best_n, n;
+    best = 0;
+    best_n = 0;
+    for (h = 0; h < HASH_SIZE; h++)
+        for (head = buckets[h]; head; head = head->next_in_bucket) {
+            n = group_size(head);
+            if (n > best_n) {
+                best_n = n;
+                best = head;
+            }
+        }
+    return best;
+}
+
+static void length_histogram(int *hist, int cap) {
+    const struct entry *head;
+    int h, len;
+    for (h = 0; h < cap; h++)
+        hist[h] = 0;
+    for (h = 0; h < HASH_SIZE; h++)
+        for (head = buckets[h]; head; head = head->next_in_bucket) {
+            len = strlen(head->signature);
+            if (len >= cap)
+                len = cap - 1;
+            hist[len]++;
+        }
+}
+
+static char *dict[] = {
+    "listen", "silent", "enlist", "google", "gooleg",
+    "banana", "rats",   "star",  "arts",   "cider",
+    "cried",  "dice",   "iced",  "night",  "thing",
+};
+
+int main(void) {
+    int i;
+    for (i = 0; i < 15; i++)
+        add_word(dict[i]);
+    dump_groups();
+    printf("%d distinct signatures\n", entry_count);
+
+    {
+        const struct entry *best;
+        int hist[12];
+        int len;
+        best = largest_group();
+        if (best)
+            printf("largest family: %s (%d words)\n", best->signature,
+                   group_size(best));
+        length_histogram(hist, 12);
+        for (len = 1; len < 12; len++)
+            if (hist[len])
+                printf("len %d: %d signatures\n", len, hist[len]);
+    }
+    return 0;
+}

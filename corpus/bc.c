@@ -1,0 +1,405 @@
+/*
+ * bc -- arbitrary-precision calculator core (bytecode flavor).
+ * Corpus program (with structure casting): a large interpreter-state
+ * struct with many pointer fields accessed individually -- the paper's
+ * worst case for the Collapse-Always instance (collapsing this struct
+ * makes every dereference see every field) -- plus number records that
+ * travel through a raw free list.
+ */
+
+enum { STACK_MAX = 32, CODE_MAX = 128 };
+
+enum opcode { OP_PUSH = 1, OP_ADD = 2, OP_MUL = 3, OP_NEG = 4, OP_HALT = 5 };
+
+struct number {
+    int sign;
+    int n_digits;
+    char *digits;          /* heap digit string */
+    struct number *next;   /* free-list link */
+};
+
+struct instruction {
+    int op;
+    int operand;
+};
+
+/* One big interpreter record: sixteen individually-used pointer fields.
+ * Collapsing it into a single blob conflates all of them. */
+struct machine {
+    struct number *stack[32];
+    int sp;
+    struct instruction *code;
+    int pc;
+    int code_len;
+    struct number *free_numbers;
+    struct number *reg_a;
+    struct number *reg_b;
+    struct number *reg_r;
+    char *input_cursor;
+    char *input_end;
+    char *error_msg;
+    int *line_map;
+    int *depth_map;
+    struct machine *parent;     /* nested evaluation */
+    struct number *(*alloc_fn)(struct machine *m);
+    void (*trace_fn)(struct machine *m, int op);
+};
+
+struct machine vm;
+
+static struct number *number_alloc(struct machine *m) {
+    struct number *n;
+    if (m->free_numbers) {
+        n = m->free_numbers;
+        m->free_numbers = n->next;
+    } else {
+        /* numbers are carved from a raw byte allocation */
+        n = (struct number *)malloc(sizeof(struct number));
+        n->digits = (char *)malloc(16);
+    }
+    n->sign = 1;
+    n->n_digits = 0;
+    n->next = 0;
+    return n;
+}
+
+static void number_free(struct machine *m, struct number *n) {
+    n->next = m->free_numbers;
+    m->free_numbers = n;
+}
+
+static void number_from_int(struct number *n, int value) {
+    int i;
+    n->sign = value < 0 ? -1 : 1;
+    if (value < 0)
+        value = -value;
+    i = 0;
+    if (value == 0)
+        n->digits[i++] = 0;
+    while (value > 0) {
+        n->digits[i++] = (char)(value % 10);
+        value /= 10;
+    }
+    n->n_digits = i;
+}
+
+static int number_to_int(const struct number *n) {
+    int v, i;
+    v = 0;
+    for (i = n->n_digits - 1; i >= 0; i--)
+        v = v * 10 + n->digits[i];
+    return n->sign < 0 ? -v : v;
+}
+
+static void push(struct machine *m, struct number *n) {
+    m->stack[m->sp++] = n;
+}
+
+static struct number *pop(struct machine *m) {
+    return m->stack[--m->sp];
+}
+
+static void trace_noop(struct machine *m, int op) {
+    if (m->error_msg)
+        printf("trace after error %s: op %d\n", m->error_msg, op);
+}
+
+static void step(struct machine *m) {
+    struct instruction *ins;
+    struct number *a;
+    struct number *b;
+    struct number *r;
+    ins = &m->code[m->pc++];
+    if (m->trace_fn)
+        m->trace_fn(m, ins->op);
+    switch (ins->op) {
+    case OP_PUSH:
+        r = m->alloc_fn(m);
+        number_from_int(r, ins->operand);
+        push(m, r);
+        break;
+    case OP_ADD:
+        b = pop(m);
+        a = pop(m);
+        m->reg_a = a;
+        m->reg_b = b;
+        r = m->alloc_fn(m);
+        number_from_int(r, number_to_int(a) + number_to_int(b));
+        m->reg_r = r;
+        push(m, r);
+        number_free(m, a);
+        number_free(m, b);
+        break;
+    case OP_MUL:
+        b = pop(m);
+        a = pop(m);
+        r = m->alloc_fn(m);
+        number_from_int(r, number_to_int(a) * number_to_int(b));
+        push(m, r);
+        number_free(m, a);
+        number_free(m, b);
+        break;
+    case OP_NEG:
+        a = pop(m);
+        a->sign = -a->sign;
+        push(m, a);
+        break;
+    default:
+        m->error_msg = "halt";
+        break;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Expression front end: tokenize and compile infix text to bytecode.  */
+/* ------------------------------------------------------------------ */
+
+enum tok_kind { TK_NUM = 1, TK_PLUS, TK_MINUS, TK_STAR, TK_LPAR, TK_RPAR,
+                TK_NAME, TK_ASSIGN, TK_END };
+
+struct token {
+    int kind;
+    int value;
+    char name;
+};
+
+struct compiler {
+    const char *src;
+    int pos;
+    struct token cur;
+    struct instruction *out;
+    int out_len;
+    int out_cap;
+    char *error;
+};
+
+struct variable {
+    char name;
+    struct number *value;
+    struct variable *next;
+};
+
+struct variable *var_list;
+
+static struct variable *var_lookup(char name, int create) {
+    struct variable *v;
+    for (v = var_list; v; v = v->next)
+        if (v->name == name)
+            return v;
+    if (!create)
+        return 0;
+    v = (struct variable *)malloc(sizeof(struct variable));
+    v->name = name;
+    v->value = 0;
+    v->next = var_list;
+    var_list = v;
+    return v;
+}
+
+static void next_token(struct compiler *c) {
+    char ch;
+    while (c->src[c->pos] == ' ')
+        c->pos++;
+    ch = c->src[c->pos];
+    if (!ch) {
+        c->cur.kind = TK_END;
+        return;
+    }
+    if (ch >= '0' && ch <= '9') {
+        int v;
+        v = 0;
+        while (c->src[c->pos] >= '0' && c->src[c->pos] <= '9') {
+            v = v * 10 + (c->src[c->pos] - '0');
+            c->pos++;
+        }
+        c->cur.kind = TK_NUM;
+        c->cur.value = v;
+        return;
+    }
+    if (ch >= 'a' && ch <= 'z') {
+        c->cur.kind = TK_NAME;
+        c->cur.name = ch;
+        c->pos++;
+        return;
+    }
+    c->pos++;
+    switch (ch) {
+    case '+': c->cur.kind = TK_PLUS; return;
+    case '-': c->cur.kind = TK_MINUS; return;
+    case '*': c->cur.kind = TK_STAR; return;
+    case '(': c->cur.kind = TK_LPAR; return;
+    case ')': c->cur.kind = TK_RPAR; return;
+    case '=': c->cur.kind = TK_ASSIGN; return;
+    default:
+        c->error = "bad character";
+        c->cur.kind = TK_END;
+        return;
+    }
+}
+
+static void emit(struct compiler *c, int op, int operand) {
+    struct instruction *ins;
+    if (c->out_len >= c->out_cap) {
+        c->error = "program too long";
+        return;
+    }
+    ins = &c->out[c->out_len++];
+    ins->op = op;
+    ins->operand = operand;
+}
+
+static void compile_expr(struct compiler *c);
+
+static void compile_primary(struct compiler *c) {
+    struct variable *v;
+    if (c->cur.kind == TK_NUM) {
+        emit(c, OP_PUSH, c->cur.value);
+        next_token(c);
+        return;
+    }
+    if (c->cur.kind == TK_NAME) {
+        v = var_lookup(c->cur.name, 0);
+        emit(c, OP_PUSH, v && v->value ? number_to_int(v->value) : 0);
+        next_token(c);
+        return;
+    }
+    if (c->cur.kind == TK_MINUS) {
+        next_token(c);
+        compile_primary(c);
+        emit(c, OP_NEG, 0);
+        return;
+    }
+    if (c->cur.kind == TK_LPAR) {
+        next_token(c);
+        compile_expr(c);
+        if (c->cur.kind != TK_RPAR) {
+            c->error = "missing )";
+            return;
+        }
+        next_token(c);
+        return;
+    }
+    c->error = "expected operand";
+}
+
+static void compile_term(struct compiler *c) {
+    compile_primary(c);
+    while (c->cur.kind == TK_STAR && !c->error) {
+        next_token(c);
+        compile_primary(c);
+        emit(c, OP_MUL, 0);
+    }
+}
+
+static void compile_expr(struct compiler *c) {
+    int negate;
+    compile_term(c);
+    while ((c->cur.kind == TK_PLUS || c->cur.kind == TK_MINUS) && !c->error) {
+        negate = c->cur.kind == TK_MINUS;
+        next_token(c);
+        compile_term(c);
+        if (negate)
+            emit(c, OP_NEG, 0);
+        emit(c, OP_ADD, 0);
+    }
+}
+
+static struct instruction code_buffer[128];
+
+static int compile_line(const char *line, struct compiler *c) {
+    c->src = line;
+    c->pos = 0;
+    c->out = code_buffer;
+    c->out_len = 0;
+    c->out_cap = CODE_MAX;
+    c->error = 0;
+    next_token(c);
+    compile_expr(c);
+    emit(c, OP_HALT, 0);
+    return c->error == 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Nested evaluation: a child machine shares the free list by linking  */
+/* to its parent (the paper-style many-pointer-field record in use).   */
+/* ------------------------------------------------------------------ */
+
+static int eval_line(const char *line, struct machine *parent) {
+    struct machine child;
+    struct compiler comp;
+    struct number *result;
+    int value;
+
+    if (!compile_line(line, &comp)) {
+        printf("error: %s in \"%s\"\n", comp.error, line);
+        return 0;
+    }
+    child.sp = 0;
+    child.pc = 0;
+    child.code = comp.out;
+    child.code_len = comp.out_len;
+    child.free_numbers = parent ? parent->free_numbers : 0;
+    child.error_msg = 0;
+    child.parent = parent;
+    child.alloc_fn = parent ? parent->alloc_fn : number_alloc;
+    child.trace_fn = parent ? parent->trace_fn : trace_noop;
+    while (!child.error_msg && child.pc < child.code_len)
+        step(&child);
+    if (child.sp <= 0)
+        return 0;
+    result = pop(&child);
+    value = number_to_int(result);
+    if (parent) /* hand the free list back */
+        parent->free_numbers = child.free_numbers;
+    return value;
+}
+
+static void assign_var(char name, int value, struct machine *m) {
+    struct variable *v;
+    v = var_lookup(name, 1);
+    if (!v->value)
+        v->value = m->alloc_fn(m);
+    number_from_int(v->value, value);
+}
+
+static struct instruction program[8];
+
+static void load_program(struct machine *m) {
+    program[0].op = OP_PUSH; program[0].operand = 6;
+    program[1].op = OP_PUSH; program[1].operand = 7;
+    program[2].op = OP_MUL;  program[2].operand = 0;
+    program[3].op = OP_PUSH; program[3].operand = 4;
+    program[4].op = OP_ADD;  program[4].operand = 0;
+    program[5].op = OP_NEG;  program[5].operand = 0;
+    program[6].op = OP_HALT; program[6].operand = 0;
+    m->code = program;
+    m->code_len = 7;
+    m->pc = 0;
+}
+
+int main(void) {
+    struct number *result;
+    int v;
+    vm.sp = 0;
+    vm.free_numbers = 0;
+    vm.error_msg = 0;
+    vm.parent = 0;
+    vm.alloc_fn = number_alloc;
+    vm.trace_fn = trace_noop;
+    load_program(&vm);
+    while (!vm.error_msg && vm.pc < vm.code_len)
+        step(&vm);
+    result = pop(&vm);
+    printf("result: %d\n", number_to_int(result));
+
+    vm.error_msg = 0;
+    var_list = 0;
+    v = eval_line("2 * (3 + 4)", &vm);
+    printf("2 * (3 + 4) = %d\n", v);
+    assign_var('x', v, &vm);
+    v = eval_line("x * x - 1", &vm);
+    printf("x * x - 1 = %d\n", v);
+    v = eval_line("((1 + 2) * (3 + 4))", &vm);
+    printf("nested = %d\n", v);
+    return 0;
+}

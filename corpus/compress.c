@@ -1,0 +1,186 @@
+/*
+ * compress -- LZW-style compressor over an in-memory buffer.
+ * Corpus program (no structure casting): code table as an array of
+ * structs with chain pointers, input/output cursors.
+ */
+
+enum { TABLE_SIZE = 1024, FIRST_CODE = 256 };
+
+struct code_entry {
+    int prefix_code;
+    int suffix_char;
+    struct code_entry *chain;
+};
+
+struct cursor {
+    const char *data;
+    int pos;
+    int limit;
+};
+
+struct code_entry table[1024];
+struct code_entry *hash_heads[256];
+int next_code;
+
+int out_codes[2048];
+int out_count;
+
+static void table_reset(void) {
+    int i;
+    next_code = FIRST_CODE;
+    for (i = 0; i < 256; i++)
+        hash_heads[i] = 0;
+}
+
+static int table_find(int prefix, int suffix) {
+    const struct code_entry *e;
+    int h;
+    h = (prefix * 31 + suffix) & 255;
+    for (e = hash_heads[h]; e; e = e->chain) {
+        if (e->prefix_code == prefix && e->suffix_char == suffix)
+            return (int)(e - table);
+    }
+    return -1;
+}
+
+static int table_add(int prefix, int suffix) {
+    struct code_entry *e;
+    int h;
+    if (next_code >= TABLE_SIZE)
+        return -1;
+    e = &table[next_code];
+    e->prefix_code = prefix;
+    e->suffix_char = suffix;
+    h = (prefix * 31 + suffix) & 255;
+    e->chain = hash_heads[h];
+    hash_heads[h] = e;
+    return next_code++;
+}
+
+static int cursor_next(struct cursor *c) {
+    if (c->pos >= c->limit)
+        return -1;
+    return (int)c->data[c->pos++];
+}
+
+static void emit_code(int code) {
+    out_codes[out_count++] = code;
+}
+
+static void do_compress(struct cursor *in) {
+    int current;
+    int ch;
+    int found;
+    current = cursor_next(in);
+    if (current < 0)
+        return;
+    for (;;) {
+        ch = cursor_next(in);
+        if (ch < 0)
+            break;
+        found = table_find(current, ch);
+        if (found >= 0) {
+            current = found;
+        } else {
+            emit_code(current);
+            table_add(current, ch);
+            current = ch;
+        }
+    }
+    emit_code(current);
+}
+
+/* ------------------------------------------------------------------ */
+/* Decompressor: rebuilds strings from codes using the prefix chains.  */
+/* ------------------------------------------------------------------ */
+
+char out_text[4096];
+int out_text_len;
+int decode_stack[64];
+
+static int code_first_char(int code) {
+    while (code >= FIRST_CODE)
+        code = table[code].prefix_code;
+    return code;
+}
+
+static int expand_code(int code, int *stack, int cap) {
+    int depth;
+    depth = 0;
+    while (code >= FIRST_CODE && depth < cap) {
+        stack[depth++] = table[code].suffix_char;
+        code = table[code].prefix_code;
+    }
+    if (depth < cap)
+        stack[depth++] = code;
+    return depth;
+}
+
+static void emit_text(int ch) {
+    if (out_text_len + 1 < 4096)
+        out_text[out_text_len++] = (char)ch;
+    out_text[out_text_len] = 0;
+}
+
+static void do_decompress(const int *codes, int count) {
+    int i, j, depth, prev, cur;
+    out_text_len = 0;
+    if (count <= 0)
+        return;
+    prev = codes[0];
+    depth = expand_code(prev, decode_stack, 64);
+    for (j = depth - 1; j >= 0; j--)
+        emit_text(decode_stack[j]);
+    for (i = 1; i < count; i++) {
+        cur = codes[i];
+        if (cur < next_code) {
+            depth = expand_code(cur, decode_stack, 64);
+        } else {
+            /* the KwKwK case: cur == next_code */
+            depth = expand_code(prev, decode_stack, 64);
+            if (depth < 64) {
+                int k;
+                for (k = depth; k > 0; k--)
+                    decode_stack[k] = decode_stack[k - 1];
+                decode_stack[0] = code_first_char(prev);
+                depth++;
+            }
+        }
+        for (j = depth - 1; j >= 0; j--)
+            emit_text(decode_stack[j]);
+        table_add(prev, code_first_char(cur));
+        prev = cur;
+    }
+}
+
+static int verify_roundtrip(const char *original) {
+    int i;
+    for (i = 0; original[i] && i < out_text_len; i++)
+        if (original[i] != out_text[i])
+            return 0;
+    return original[i] == 0;
+}
+
+static const char *sample =
+    "abababababab the quick brown fox jumps over the lazy dog "
+    "abababababab the quick brown fox jumps over the lazy dog";
+
+int main(void) {
+    struct cursor in;
+    int i;
+    table_reset();
+    out_count = 0;
+    in.data = sample;
+    in.pos = 0;
+    in.limit = strlen(sample);
+    do_compress(&in);
+    printf("input %d bytes -> %d codes\n", in.limit, out_count);
+    for (i = 0; i < out_count && i < 8; i++)
+        printf("code[%d] = %d\n", i, out_codes[i]);
+
+    table_reset();
+    do_decompress(out_codes, out_count);
+    printf("decoded %d bytes, roundtrip %s\n", out_text_len,
+           verify_roundtrip(sample) ? "ok" : "FAILED");
+    return 0;
+}

@@ -1,0 +1,207 @@
+/*
+ * diffh -- half-diff: compare two line sequences by hashed records.
+ * Corpus program (with structure casting): line records are stored in a
+ * raw byte arena and recovered by casting the arena cursor back to the
+ * record type; a header struct shares a common initial sequence with the
+ * full record.
+ */
+
+extern char *strdup();
+
+enum { ARENA_SIZE = 4096, MAX_LINES = 64 };
+
+struct line_head {          /* common initial sequence of line_rec */
+    int serial;
+    int hash;
+};
+
+struct line_rec {
+    int serial;
+    int hash;
+    char *text;
+    struct line_rec *match;
+};
+
+char arena[4096];
+int arena_used;
+struct line_rec *file_a[64];
+struct line_rec *file_b[64];
+int count_a;
+int count_b;
+
+static char *arena_alloc(int n) {
+    char *p;
+    if (arena_used + n > ARENA_SIZE)
+        return 0;
+    p = &arena[arena_used];
+    arena_used += n;
+    return p;
+}
+
+static int hash_line(const char *s) {
+    int h;
+    h = 0;
+    while (*s) {
+        h = h * 131 + *s;
+        s++;
+    }
+    if (h < 0)
+        h = -h;
+    return h;
+}
+
+static struct line_rec *make_rec(const char *text, int serial) {
+    struct line_rec *r;
+    /* allocate out of the byte arena and cast the cursor */
+    r = (struct line_rec *)arena_alloc(sizeof(struct line_rec));
+    if (!r)
+        return 0;
+    r->serial = serial;
+    r->hash = hash_line(text);
+    r->text = strdup(text);
+    r->match = 0;
+    return r;
+}
+
+static int same_head(const char *pa, const char *pb) {
+    /* compare only the header part, through header-typed views */
+    const struct line_head *ha;
+    const struct line_head *hb;
+    ha = (const struct line_head *)pa;
+    hb = (const struct line_head *)pb;
+    return ha->hash == hb->hash;
+}
+
+static void pair_lines(void) {
+    int i, j;
+    struct line_rec *a;
+    struct line_rec *b;
+    for (i = 0; i < count_a; i++) {
+        a = file_a[i];
+        for (j = 0; j < count_b; j++) {
+            b = file_b[j];
+            if (b->match)
+                continue;
+            if (same_head((const char *)a, (const char *)b)) {
+                a->match = b;
+                b->match = a;
+                break;
+            }
+        }
+    }
+}
+
+static void load_a(const char *text) {
+    file_a[count_a] = make_rec(text, count_a);
+    count_a++;
+}
+
+static void load_b(const char *text) {
+    file_b[count_b] = make_rec(text, count_b);
+    count_b++;
+}
+
+static void report(void) {
+    int i;
+    const struct line_rec *r;
+    for (i = 0; i < count_a; i++) {
+        r = file_a[i];
+        if (r->match)
+            printf("%d -> %d  %s\n", r->serial, r->match->serial, r->text);
+        else
+            printf("%d deleted: %s\n", r->serial, r->text);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Edit script: walk both files after pairing and classify each line.  */
+/* ------------------------------------------------------------------ */
+
+enum { ED_KEEP = 0, ED_DELETE = 1, ED_INSERT = 2 };
+
+struct edit {
+    int op;
+    const struct line_rec *line;
+    struct edit *next;
+};
+
+struct edit *script_head;
+struct edit *script_tail;
+
+static void script_push(int op, const struct line_rec *line) {
+    struct edit *e;
+    e = (struct edit *)arena_alloc(sizeof(struct edit));
+    if (!e)
+        return;
+    e->op = op;
+    e->line = line;
+    e->next = 0;
+    if (script_tail)
+        script_tail->next = e;
+    else
+        script_head = e;
+    script_tail = e;
+}
+
+static void build_script(void) {
+    int ia, ib;
+    ia = 0;
+    ib = 0;
+    script_head = 0;
+    script_tail = 0;
+    while (ia < count_a || ib < count_b) {
+        if (ia < count_a && !file_a[ia]->match) {
+            script_push(ED_DELETE, file_a[ia]);
+            ia++;
+            continue;
+        }
+        if (ib < count_b && !file_b[ib]->match) {
+            script_push(ED_INSERT, file_b[ib]);
+            ib++;
+            continue;
+        }
+        if (ia < count_a) {
+            script_push(ED_KEEP, file_a[ia]);
+            ia++;
+        }
+        if (ib < count_b)
+            ib++;
+    }
+}
+
+static void print_script(void) {
+    const struct edit *e;
+    const char *tag;
+    for (e = script_head; e; e = e->next) {
+        tag = e->op == ED_KEEP ? " " : (e->op == ED_DELETE ? "-" : "+");
+        printf("%s %s\n", tag, e->line->text);
+    }
+}
+
+static int script_cost(void) {
+    const struct edit *e;
+    int cost;
+    cost = 0;
+    for (e = script_head; e; e = e->next)
+        if (e->op != ED_KEEP)
+            cost++;
+    return cost;
+}
+
+int main(void) {
+    arena_used = 0;
+    count_a = 0;
+    count_b = 0;
+    load_a("alpha");
+    load_a("beta");
+    load_a("gamma");
+    load_b("beta");
+    load_b("gamma");
+    load_b("delta");
+    pair_lines();
+    report();
+    build_script();
+    print_script();
+    printf("edit cost %d\n", script_cost());
+    return 0;
+}

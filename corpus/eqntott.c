@@ -1,0 +1,179 @@
+/*
+ * eqntott -- truth-table builder over product terms.
+ * Corpus program (with structure casting): product terms ("cubes") are
+ * copied between differently-typed views (a working view with scratch
+ * fields and a compact stored view), using whole-record copies through
+ * casts -- the paper's Problem 3 at scale.
+ */
+
+enum { MAX_VARS = 8, MAX_TERMS = 32 };
+
+struct cube_work {          /* working view */
+    int *mask;              /* heap array: per-variable care bit */
+    int *value;             /* heap array: per-variable value */
+    int n_vars;
+    int scratch;
+    struct cube_work *next;
+};
+
+struct cube_store {         /* compact stored view: shares the prefix */
+    int *mask;
+    int *value;
+    int n_vars;
+    int weight;             /* diverges from cube_work here */
+};
+
+struct cube_work *work_list;
+struct cube_store stored[32];
+int n_stored;
+int table[256];
+
+static struct cube_work *new_work(int n_vars) {
+    struct cube_work *c;
+    int i;
+    c = (struct cube_work *)malloc(sizeof(struct cube_work));
+    c->mask = (int *)malloc(n_vars * sizeof(int));
+    c->value = (int *)malloc(n_vars * sizeof(int));
+    c->n_vars = n_vars;
+    c->scratch = 0;
+    for (i = 0; i < n_vars; i++) {
+        c->mask[i] = 0;
+        c->value[i] = 0;
+    }
+    c->next = work_list;
+    work_list = c;
+    return c;
+}
+
+static void set_literal(struct cube_work *c, int var, int val) {
+    c->mask[var] = 1;
+    c->value[var] = val;
+}
+
+static void store_cube(const struct cube_work *c) {
+    struct cube_store *s;
+    s = &stored[n_stored++];
+    /* copy the working view into the stored view through a cast: only the
+     * common prefix is meaningful, the tail is re-initialized */
+    *s = *(const struct cube_store *)c;
+    s->weight = 0;
+}
+
+static int cube_covers(const struct cube_store *s, int assignment) {
+    int v, bit;
+    for (v = 0; v < s->n_vars; v++) {
+        if (!s->mask[v])
+            continue;
+        bit = (assignment >> v) & 1;
+        if (bit != s->value[v])
+            return 0;
+    }
+    return 1;
+}
+
+static void build_table(int n_vars) {
+    int a, t;
+    int rows;
+    rows = 1 << n_vars;
+    for (a = 0; a < rows; a++) {
+        table[a] = 0;
+        for (t = 0; t < n_stored; t++) {
+            if (cube_covers(&stored[t], a)) {
+                table[a] = 1;
+                break;
+            }
+        }
+    }
+}
+
+static int count_ones(int n_vars) {
+    int a, total;
+    total = 0;
+    for (a = 0; a < (1 << n_vars); a++)
+        total += table[a];
+    return total;
+}
+
+/* ------------------------------------------------------------------ */
+/* Cofactors and a unateness check over the stored views.              */
+/* ------------------------------------------------------------------ */
+
+static int cofactor_covers(const struct cube_store *s, int var, int val,
+                           int assignment) {
+    int v, bit;
+    for (v = 0; v < s->n_vars; v++) {
+        if (!s->mask[v])
+            continue;
+        bit = v == var ? val : ((assignment >> v) & 1);
+        if (bit != s->value[v])
+            return 0;
+    }
+    return 1;
+}
+
+static int count_cofactor(int var, int val, int n_vars) {
+    int a, t, total;
+    total = 0;
+    for (a = 0; a < (1 << n_vars); a++) {
+        for (t = 0; t < n_stored; t++)
+            if (cofactor_covers(&stored[t], var, val, a)) {
+                total++;
+                break;
+            }
+    }
+    return total;
+}
+
+static int is_unate_in(int var) {
+    int t, pos, neg;
+    pos = 0;
+    neg = 0;
+    for (t = 0; t < n_stored; t++) {
+        if (!stored[t].mask[var])
+            continue;
+        if (stored[t].value[var])
+            pos++;
+        else
+            neg++;
+    }
+    return !(pos && neg);
+}
+
+static void weigh_stored(void) {
+    int t, v;
+    for (t = 0; t < n_stored; t++) {
+        stored[t].weight = 0;
+        for (v = 0; v < stored[t].n_vars; v++)
+            if (stored[t].mask[v])
+                stored[t].weight++;
+    }
+}
+
+int main(void) {
+    struct cube_work *c;
+    int v, n_vars;
+    n_vars = 4;
+    work_list = 0;
+    n_stored = 0;
+
+    c = new_work(n_vars);          /* term: x0 & !x2 */
+    set_literal(c, 0, 1);
+    set_literal(c, 2, 0);
+    store_cube(c);
+
+    c = new_work(n_vars);          /* term: x1 & x3 */
+    set_literal(c, 1, 1);
+    set_literal(c, 3, 1);
+    store_cube(c);
+
+    build_table(n_vars);
+    printf("minterms covered: %d of %d\n", count_ones(n_vars), 1 << n_vars);
+
+    weigh_stored();
+    for (v = 0; v < n_vars; v++)
+        printf("var %d: cofactor sizes %d/%d, unate %d\n", v,
+               count_cofactor(v, 0, n_vars), count_cofactor(v, 1, n_vars),
+               is_unate_in(v));
+    printf("weights: %d %d\n", stored[0].weight, stored[1].weight);
+    return 0;
+}

@@ -1,0 +1,273 @@
+/*
+ * espresso -- two-level logic minimizer core.
+ * Corpus program (with structure casting): cubes are bit vectors stored
+ * as unsigned word arrays; the cover structure views its cube storage
+ * both as raw words and as typed cube records, and set operations walk
+ * word pointers across cube boundaries.
+ */
+
+enum { WORDS_PER_CUBE = 4, MAX_CUBES = 32 };
+
+struct cube {
+    unsigned w[4];
+};
+
+struct cube_attr {        /* attribute view: diverges after first word */
+    unsigned first_word;
+    int is_prime;
+    int is_covered;
+};
+
+struct cover {
+    unsigned *storage;    /* heap: MAX_CUBES * WORDS_PER_CUBE words */
+    int count;
+    int word_capacity;
+};
+
+struct cover onset;
+struct cover offset_cover;
+
+static void cover_init(struct cover *c) {
+    c->storage = (unsigned *)malloc(MAX_CUBES * WORDS_PER_CUBE *
+                                    sizeof(unsigned));
+    c->count = 0;
+    c->word_capacity = MAX_CUBES * WORDS_PER_CUBE;
+}
+
+static struct cube *cover_cube(struct cover *c, int i) {
+    /* recover a typed cube from the word storage */
+    return (struct cube *)&c->storage[i * WORDS_PER_CUBE];
+}
+
+static struct cube *cover_push(struct cover *c) {
+    struct cube *q;
+    q = cover_cube(c, c->count);
+    c->count++;
+    q->w[0] = 0;
+    q->w[1] = 0;
+    q->w[2] = 0;
+    q->w[3] = 0;
+    return q;
+}
+
+static void cube_set(struct cube *q, int bit) {
+    q->w[bit / 32] |= 1u << (bit % 32);
+}
+
+static int cube_contains(const struct cube *a, const struct cube *b) {
+    int i;
+    for (i = 0; i < WORDS_PER_CUBE; i++)
+        if ((b->w[i] & ~a->w[i]) != 0)
+            return 0;
+    return 1;
+}
+
+static void cube_or(struct cube *dst, const struct cube *a,
+                    const struct cube *b) {
+    int i;
+    for (i = 0; i < WORDS_PER_CUBE; i++)
+        dst->w[i] = a->w[i] | b->w[i];
+}
+
+static int popcount_word(unsigned w) {
+    int n;
+    n = 0;
+    while (w) {
+        n += (int)(w & 1u);
+        w >>= 1;
+    }
+    return n;
+}
+
+static int cover_literals(const struct cover *c) {
+    /* walk the raw word storage straight through all cubes */
+    const unsigned *p;
+    const unsigned *end;
+    int total;
+    p = c->storage;
+    end = c->storage + c->count * WORDS_PER_CUBE;
+    total = 0;
+    while (p < end) {
+        total += popcount_word(*p);
+        p++;
+    }
+    return total;
+}
+
+static int expand_cube(struct cover *c, int i) {
+    /* mark primality through the attribute view of the cube */
+    struct cube_attr *attr;
+    struct cube *q;
+    struct cube *other;
+    int j, grew;
+    q = cover_cube(c, i);
+    attr = (struct cube_attr *)q;   /* mismatched record view */
+    grew = 0;
+    for (j = 0; j < c->count; j++) {
+        if (j == i)
+            continue;
+        other = cover_cube(c, j);
+        if (cube_contains(q, other)) {
+            cube_or(q, q, other);
+            grew = 1;
+        }
+    }
+    attr->is_prime = grew ? 0 : 1;
+    return grew;
+}
+
+/* ------------------------------------------------------------------ */
+/* Cover-level operations: containment reduction, intersection,        */
+/* and a weight-ordered cube list built from the attribute views.      */
+/* ------------------------------------------------------------------ */
+
+static void cube_and(struct cube *dst, const struct cube *a,
+                     const struct cube *b) {
+    int i;
+    for (i = 0; i < WORDS_PER_CUBE; i++)
+        dst->w[i] = a->w[i] & b->w[i];
+}
+
+static int cube_empty(const struct cube *q) {
+    int i;
+    for (i = 0; i < WORDS_PER_CUBE; i++)
+        if (q->w[i])
+            return 0;
+    return 1;
+}
+
+static int cube_weight(const struct cube *q) {
+    int i, total;
+    total = 0;
+    for (i = 0; i < WORDS_PER_CUBE; i++)
+        total += popcount_word(q->w[i]);
+    return total;
+}
+
+/* Remove cubes contained in some other cube (single containment pass). */
+static int irredundant(struct cover *c) {
+    int i, j, removed, w;
+    struct cube *a;
+    struct cube *b;
+    removed = 0;
+    for (i = 0; i < c->count; i++) {
+        a = cover_cube(c, i);
+        if (cube_empty(a))
+            continue;
+        for (j = 0; j < c->count; j++) {
+            if (i == j)
+                continue;
+            b = cover_cube(c, j);
+            if (cube_empty(b))
+                continue;
+            if (cube_contains(b, a) && j < i) {
+                for (w = 0; w < WORDS_PER_CUBE; w++)
+                    a->w[w] = 0; /* tombstone */
+                removed++;
+                break;
+            }
+        }
+    }
+    return removed;
+}
+
+/* Intersect two covers pairwise into a third. */
+static void cover_intersect(struct cover *out, const struct cover *a,
+                            const struct cover *b) {
+    int i, j;
+    struct cube *q;
+    struct cube tmp;
+    for (i = 0; i < a->count; i++)
+        for (j = 0; j < b->count; j++) {
+            cube_and(&tmp, cover_cube((struct cover *)a, i),
+                     cover_cube((struct cover *)b, j));
+            if (cube_empty(&tmp))
+                continue;
+            if (out->count >= MAX_CUBES)
+                return;
+            q = cover_push(out);
+            *q = tmp;
+        }
+}
+
+/* A weight-ordered list threading heap nodes over attribute views. */
+struct weight_node {
+    struct cube_attr *attr;   /* the cube, through its attribute view */
+    int weight;
+    struct weight_node *next;
+};
+
+struct weight_node *weight_list;
+
+static void weight_insert(struct cover *c, int i) {
+    struct weight_node *n;
+    struct weight_node **link;
+    n = (struct weight_node *)malloc(sizeof(struct weight_node));
+    n->attr = (struct cube_attr *)cover_cube(c, i);
+    n->weight = cube_weight(cover_cube(c, i));
+    link = &weight_list;
+    while (*link && (*link)->weight >= n->weight)
+        link = &(*link)->next;
+    n->next = *link;
+    *link = n;
+}
+
+static int weight_rank(void) {
+    const struct weight_node *n;
+    int rank, prev;
+    rank = 0;
+    prev = 1 << 30;
+    for (n = weight_list; n; n = n->next) {
+        if (n->weight > prev)
+            return -1; /* ordering violated */
+        prev = n->weight;
+        rank++;
+    }
+    return rank;
+}
+
+int main(void) {
+    struct cube *q;
+    struct cover meet;
+    int i, lits, grew, removed, rank;
+
+    cover_init(&onset);
+    cover_init(&offset_cover);
+
+    q = cover_push(&onset);
+    cube_set(q, 0);
+    cube_set(q, 5);
+    q = cover_push(&onset);
+    cube_set(q, 0);
+    q = cover_push(&onset);
+    cube_set(q, 9);
+    cube_set(q, 70);
+
+    grew = 0;
+    for (i = 0; i < onset.count; i++)
+        grew += expand_cube(&onset, i);
+
+    lits = cover_literals(&onset);
+    printf("cubes %d literals %d expanded %d\n", onset.count, lits, grew);
+
+    removed = irredundant(&onset);
+    printf("containment removed %d\n", removed);
+
+    q = cover_push(&offset_cover);
+    cube_set(q, 0);
+    cube_set(q, 9);
+    cover_init(&meet);
+    cover_intersect(&meet, &onset, &offset_cover);
+    printf("intersection cubes %d literals %d\n", meet.count,
+           cover_literals(&meet));
+
+    weight_list = 0;
+    for (i = 0; i < onset.count; i++)
+        weight_insert(&onset, i);
+    rank = weight_rank();
+    printf("weight ranking %d (prime flags:", rank);
+    for (i = 0; i < onset.count; i++)
+        printf(" %d", ((struct cube_attr *)cover_cube(&onset, i))->is_prime);
+    printf(")\n");
+    return 0;
+}

@@ -1,0 +1,254 @@
+/*
+ * flex -- scanner-generator table packer.
+ * Corpus program (with structure casting): DFA transition tables are
+ * built as typed rows, then serialized into a flat int image whose
+ * regions are recovered by casting; buffer descriptors are viewed
+ * through a shorter "handle" type when passed around.
+ */
+
+enum { N_STATES = 16, N_SYMS = 8, IMAGE_WORDS = 512 };
+
+struct dfa_row {
+    int defstate;
+    int base;
+    int *transitions;     /* heap: N_SYMS entries */
+};
+
+struct buf_handle {       /* shorter view of buf_desc: shares prefix */
+    char *start;
+    char *cursor;
+};
+
+struct buf_desc {
+    char *start;
+    char *cursor;
+    char *limit;
+    int line_no;
+    struct buf_desc *chain;
+};
+
+struct dfa_row rows[16];
+int image[512];
+int image_used;
+struct buf_desc main_buf;
+struct buf_desc include_buf;
+char storage_a[64];
+char storage_b[64];
+
+static void row_init(struct dfa_row *r, int def) {
+    int s;
+    r->defstate = def;
+    r->base = 0;
+    r->transitions = (int *)malloc(N_SYMS * sizeof(int));
+    for (s = 0; s < N_SYMS; s++)
+        r->transitions[s] = (def + s) % N_STATES;
+}
+
+static int pack_rows(void) {
+    int i, s;
+    struct dfa_row *r;
+    image_used = 0;
+    for (i = 0; i < N_STATES; i++) {
+        r = &rows[i];
+        r->base = image_used;
+        image[image_used++] = r->defstate;
+        for (s = 0; s < N_SYMS; s++)
+            image[image_used++] = r->transitions[s];
+    }
+    return image_used;
+}
+
+/* Recover a row view from the packed image: int* cast to a record whose
+ * first field lines up with the packed defstate word. */
+struct packed_row {
+    int defstate;
+    int trans[8];
+};
+
+static int lookup_packed(int state, int sym) {
+    const struct packed_row *pr;
+    pr = (const struct packed_row *)&image[rows[state].base];
+    return pr->trans[sym];
+}
+
+static void buf_init(struct buf_desc *b, char *storage, int len) {
+    b->start = storage;
+    b->cursor = storage;
+    b->limit = storage + len;
+    b->line_no = 1;
+    b->chain = 0;
+}
+
+static int handle_getc(struct buf_handle *h) {
+    /* callers pass buf_desc* cast down to buf_handle* */
+    if (!*h->cursor)
+        return -1;
+    return (int)*h->cursor++;
+}
+
+static int scan(struct buf_desc *b) {
+    struct buf_handle *h;
+    int state, ch, count;
+    h = (struct buf_handle *)b;   /* shorten the view */
+    state = 0;
+    count = 0;
+    for (;;) {
+        ch = handle_getc(h);
+        if (ch < 0)
+            break;
+        state = lookup_packed(state, ch % N_SYMS);
+        count++;
+        if (ch == '\n')
+            b->line_no++;
+    }
+    return count;
+}
+
+static void fill(char *dst, const char *src) {
+    strcpy(dst, src);
+}
+
+/* ------------------------------------------------------------------ */
+/* Symbol equivalence classes, as flex computes before table packing.  */
+/* ------------------------------------------------------------------ */
+
+int equiv_class[8];
+
+static int compute_equiv_classes(void) {
+    int classes, s, a, b, same;
+    classes = 0;
+    for (a = 0; a < N_SYMS; a++)
+        equiv_class[a] = -1;
+    for (a = 0; a < N_SYMS; a++) {
+        if (equiv_class[a] >= 0)
+            continue;
+        equiv_class[a] = classes;
+        for (b = a + 1; b < N_SYMS; b++) {
+            if (equiv_class[b] >= 0)
+                continue;
+            same = 1;
+            for (s = 0; s < N_STATES; s++)
+                if (rows[s].transitions[a] != rows[s].transitions[b]) {
+                    same = 0;
+                    break;
+                }
+            if (same)
+                equiv_class[b] = classes;
+        }
+        classes++;
+    }
+    return classes;
+}
+
+/* ------------------------------------------------------------------ */
+/* Default-compression: rows that mostly agree share a default row and */
+/* store only their exceptions, chained through heap records.          */
+/* ------------------------------------------------------------------ */
+
+struct exception_entry {
+    int symbol;
+    int target;
+    struct exception_entry *next;
+};
+
+struct compressed_row {
+    int default_row;
+    struct exception_entry *exceptions;
+};
+
+struct compressed_row crows[16];
+
+static int row_distance(const struct dfa_row *a, const struct dfa_row *b) {
+    int s, d;
+    d = 0;
+    for (s = 0; s < N_SYMS; s++)
+        if (a->transitions[s] != b->transitions[s])
+            d++;
+    return d;
+}
+
+static void compress_rows(void) {
+    int i, j, best, best_d, d, s;
+    struct exception_entry *e;
+    for (i = 0; i < N_STATES; i++) {
+        best = -1;
+        best_d = N_SYMS;
+        for (j = 0; j < i; j++) {
+            d = row_distance(&rows[i], &rows[j]);
+            if (d < best_d) {
+                best_d = d;
+                best = j;
+            }
+        }
+        crows[i].default_row = best;
+        crows[i].exceptions = 0;
+        if (best < 0)
+            continue;
+        for (s = 0; s < N_SYMS; s++) {
+            if (rows[i].transitions[s] == rows[best].transitions[s])
+                continue;
+            e = (struct exception_entry *)malloc(
+                sizeof(struct exception_entry));
+            e->symbol = s;
+            e->target = rows[i].transitions[s];
+            e->next = crows[i].exceptions;
+            crows[i].exceptions = e;
+        }
+    }
+}
+
+static int lookup_compressed(int state, int sym) {
+    const struct exception_entry *e;
+    while (state >= 0) {
+        for (e = crows[state].exceptions; e; e = e->next)
+            if (e->symbol == sym)
+                return e->target;
+        if (crows[state].default_row < 0)
+            return rows[state].transitions[sym];
+        state = crows[state].default_row;
+    }
+    return 0;
+}
+
+static int scan_compressed(struct buf_desc *b) {
+    struct buf_handle *h;
+    int state, ch, count;
+    h = (struct buf_handle *)b;
+    state = 0;
+    count = 0;
+    for (;;) {
+        ch = handle_getc(h);
+        if (ch < 0)
+            break;
+        state = lookup_compressed(state, equiv_class[ch % N_SYMS]);
+        count++;
+    }
+    return count;
+}
+
+int main(void) {
+    int i, words, consumed, classes, consumed2;
+    for (i = 0; i < N_STATES; i++)
+        row_init(&rows[i], (i * 3) % N_STATES);
+    words = pack_rows();
+    fill(storage_a, "token stream one\n");
+    fill(storage_b, "second include file\n");
+    buf_init(&main_buf, storage_a, 64);
+    buf_init(&include_buf, storage_b, 64);
+    main_buf.chain = &include_buf;
+    consumed = scan(&main_buf);
+    consumed += scan(main_buf.chain);
+    printf("packed %d words, consumed %d chars, line %d\n", words, consumed,
+           main_buf.line_no);
+
+    classes = compute_equiv_classes();
+    compress_rows();
+    buf_init(&main_buf, storage_a, 64);
+    consumed2 = scan_compressed(&main_buf);
+    printf("%d equivalence classes, compressed scan %d chars\n", classes,
+           consumed2);
+    for (i = 0; i < 4; i++)
+        printf("row %d default %d first trans %d\n", i,
+               crows[i].default_row, lookup_compressed(i, 0));
+    return 0;
+}

@@ -1,0 +1,166 @@
+/*
+ * ft -- minimum spanning forest (Austin benchmark style).
+ * Corpus program (no structure casting): heap-built graph, union-find
+ * with parent pointers, edge list sorting via insertion into buckets.
+ */
+
+enum { MAX_WEIGHT = 16 };
+
+struct vertex {
+    int id;
+    struct vertex *parent; /* union-find */
+    int rank;
+    struct vertex *next;   /* all-vertices list */
+};
+
+struct arc {
+    struct vertex *from;
+    struct vertex *to;
+    int weight;
+    struct arc *next;
+};
+
+struct vertex *vertices;
+struct arc *buckets[16];
+int vertex_count;
+int arc_count;
+int forest_weight;
+
+static struct vertex *make_vertex(int id) {
+    struct vertex *v;
+    v = (struct vertex *)malloc(sizeof(struct vertex));
+    v->id = id;
+    v->parent = v;
+    v->rank = 0;
+    v->next = vertices;
+    vertices = v;
+    vertex_count++;
+    return v;
+}
+
+static void make_arc(struct vertex *a, struct vertex *b, int w) {
+    struct arc *e;
+    e = (struct arc *)malloc(sizeof(struct arc));
+    e->from = a;
+    e->to = b;
+    e->weight = w % MAX_WEIGHT;
+    e->next = buckets[e->weight];
+    buckets[e->weight] = e;
+    arc_count++;
+}
+
+static struct vertex *find_root(struct vertex *v) {
+    struct vertex *root;
+    struct vertex *walk;
+    struct vertex *up;
+    root = v;
+    while (root->parent != root)
+        root = root->parent;
+    walk = v;
+    while (walk != root) { /* path compression */
+        up = walk->parent;
+        walk->parent = root;
+        walk = up;
+    }
+    return root;
+}
+
+static int unite(struct vertex *a, struct vertex *b) {
+    struct vertex *ra;
+    struct vertex *rb;
+    ra = find_root(a);
+    rb = find_root(b);
+    if (ra == rb)
+        return 0;
+    if (ra->rank < rb->rank) {
+        ra->parent = rb;
+    } else if (ra->rank > rb->rank) {
+        rb->parent = ra;
+    } else {
+        rb->parent = ra;
+        ra->rank++;
+    }
+    return 1;
+}
+
+static void kruskal(void) {
+    int w;
+    const struct arc *e;
+    forest_weight = 0;
+    for (w = 0; w < MAX_WEIGHT; w++) {
+        for (e = buckets[w]; e; e = e->next) {
+            if (unite(e->from, e->to))
+                forest_weight += e->weight;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Verification: count components via the union-find roots, and walk   */
+/* each bucket to cross-check the arc count.                           */
+/* ------------------------------------------------------------------ */
+
+static int count_components(void) {
+    struct vertex *v;
+    int roots;
+    roots = 0;
+    for (v = vertices; v; v = v->next)
+        if (find_root(v) == v)
+            roots++;
+    return roots;
+}
+
+static int recount_arcs(void) {
+    int w, n;
+    const struct arc *e;
+    n = 0;
+    for (w = 0; w < MAX_WEIGHT; w++)
+        for (e = buckets[w]; e; e = e->next)
+            n++;
+    return n;
+}
+
+static int heaviest_tree_edge(void) {
+    int w;
+    const struct arc *e;
+    int heaviest;
+    heaviest = -1;
+    for (w = MAX_WEIGHT - 1; w >= 0; w--)
+        for (e = buckets[w]; e; e = e->next)
+            if (find_root(e->from) == find_root(e->to) &&
+                e->weight > heaviest)
+                heaviest = e->weight;
+    return heaviest;
+}
+
+static int degree_of(const struct vertex *v) {
+    int w, d;
+    const struct arc *e;
+    d = 0;
+    for (w = 0; w < MAX_WEIGHT; w++)
+        for (e = buckets[w]; e; e = e->next)
+            if (e->from == v || e->to == v)
+                d++;
+    return d;
+}
+
+int main(void) {
+    struct vertex *vs[24];
+    int i;
+    vertices = 0;
+    vertex_count = 0;
+    arc_count = 0;
+    for (i = 0; i < 24; i++)
+        vs[i] = make_vertex(i);
+    for (i = 0; i + 1 < 24; i++)
+        make_arc(vs[i], vs[i + 1], (i * 7 + 3) % MAX_WEIGHT);
+    for (i = 0; i + 5 < 24; i += 2)
+        make_arc(vs[i], vs[i + 5], (i * 11 + 1) % MAX_WEIGHT);
+    kruskal();
+    printf("vertices %d arcs %d forest weight %d\n", vertex_count, arc_count,
+           forest_weight);
+    printf("components %d, recount %d, heaviest %d, deg(v0) %d\n",
+           count_components(), recount_arcs(), heaviest_tree_edge(),
+           degree_of(vs[0]));
+    return 0;
+}

@@ -1,0 +1,224 @@
+/*
+ * genetic -- toy genetic algorithm over bit-string genomes.
+ * Corpus program (no structure casting): population of structs holding
+ * heap genome arrays, tournament selection via pointers, generational
+ * swap of population buffers.
+ */
+
+enum { POP_SIZE = 16, GENOME_LEN = 32 };
+
+struct individual {
+    int *genome;   /* heap array of 0/1 */
+    int fitness;
+    int age;
+};
+
+struct population {
+    struct individual members[16];
+    int generation;
+    int best_fitness;
+    struct individual *best;
+};
+
+struct population pop_a;
+struct population pop_b;
+struct population *current;
+struct population *scratch;
+
+unsigned rng_state;
+
+static unsigned rng_next(void) {
+    rng_state = rng_state * 1103515245 + 12345;
+    return (rng_state >> 16) & 32767;
+}
+
+static int *alloc_genome(void) {
+    int *g;
+    int i;
+    g = (int *)malloc(GENOME_LEN * sizeof(int));
+    for (i = 0; i < GENOME_LEN; i++)
+        g[i] = (int)(rng_next() & 1);
+    return g;
+}
+
+static int eval_fitness(const int *genome) {
+    int i, score;
+    score = 0;
+    for (i = 0; i < GENOME_LEN; i++)
+        if (genome[i])
+            score++;
+    return score;
+}
+
+static void init_population(struct population *p) {
+    int i;
+    struct individual *ind;
+    p->generation = 0;
+    p->best_fitness = -1;
+    p->best = 0;
+    for (i = 0; i < POP_SIZE; i++) {
+        ind = &p->members[i];
+        ind->genome = alloc_genome();
+        ind->fitness = eval_fitness(ind->genome);
+        ind->age = 0;
+    }
+}
+
+static struct individual *tournament(struct population *p) {
+    struct individual *a;
+    struct individual *b;
+    a = &p->members[rng_next() % POP_SIZE];
+    b = &p->members[rng_next() % POP_SIZE];
+    return a->fitness >= b->fitness ? a : b;
+}
+
+static void crossover(const struct individual *ma, const struct individual *pa,
+                      struct individual *child) {
+    int cut, i;
+    if (!child->genome)
+        child->genome = alloc_genome();
+    cut = (int)(rng_next() % GENOME_LEN);
+    for (i = 0; i < GENOME_LEN; i++)
+        child->genome[i] = i < cut ? ma->genome[i] : pa->genome[i];
+    if ((rng_next() & 7) == 0) { /* mutation */
+        i = (int)(rng_next() % GENOME_LEN);
+        child->genome[i] = 1 - child->genome[i];
+    }
+    child->fitness = eval_fitness(child->genome);
+    child->age = 0;
+}
+
+static void step(void) {
+    int i;
+    struct individual *ma;
+    struct individual *pa;
+    struct population *tmp;
+    for (i = 0; i < POP_SIZE; i++) {
+        ma = tournament(current);
+        pa = tournament(current);
+        crossover(ma, pa, &scratch->members[i]);
+    }
+    scratch->generation = current->generation + 1;
+    tmp = current;
+    current = scratch;
+    scratch = tmp;
+    current->best = 0;
+    current->best_fitness = -1;
+    for (i = 0; i < POP_SIZE; i++) {
+        if (current->members[i].fitness > current->best_fitness) {
+            current->best_fitness = current->members[i].fitness;
+            current->best = &current->members[i];
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Variants: two-point crossover, elitism, and a diversity metric.     */
+/* ------------------------------------------------------------------ */
+
+static void crossover_two_point(const struct individual *ma,
+                                const struct individual *pa,
+                                struct individual *child) {
+    int lo, hi, i, tmp;
+    if (!child->genome)
+        child->genome = alloc_genome();
+    lo = (int)(rng_next() % GENOME_LEN);
+    hi = (int)(rng_next() % GENOME_LEN);
+    if (lo > hi) {
+        tmp = lo;
+        lo = hi;
+        hi = tmp;
+    }
+    for (i = 0; i < GENOME_LEN; i++)
+        child->genome[i] =
+            (i >= lo && i <= hi) ? pa->genome[i] : ma->genome[i];
+    child->fitness = eval_fitness(child->genome);
+    child->age = 0;
+}
+
+static struct individual *elite_of(struct population *p) {
+    struct individual *best;
+    int i;
+    best = &p->members[0];
+    for (i = 1; i < POP_SIZE; i++)
+        if (p->members[i].fitness > best->fitness)
+            best = &p->members[i];
+    return best;
+}
+
+static void copy_individual(struct individual *dst,
+                            const struct individual *src) {
+    int i;
+    if (!dst->genome)
+        dst->genome = alloc_genome();
+    for (i = 0; i < GENOME_LEN; i++)
+        dst->genome[i] = src->genome[i];
+    dst->fitness = src->fitness;
+    dst->age = src->age + 1;
+}
+
+static int hamming(const int *a, const int *b) {
+    int i, d;
+    d = 0;
+    for (i = 0; i < GENOME_LEN; i++)
+        if (a[i] != b[i])
+            d++;
+    return d;
+}
+
+static int diversity(struct population *p) {
+    int i, j, total, pairs;
+    total = 0;
+    pairs = 0;
+    for (i = 0; i < POP_SIZE; i++)
+        for (j = i + 1; j < POP_SIZE; j++) {
+            total += hamming(p->members[i].genome, p->members[j].genome);
+            pairs++;
+        }
+    return pairs ? total / pairs : 0;
+}
+
+static void step_elitist(void) {
+    struct individual *ma;
+    struct individual *pa;
+    struct individual *keep;
+    struct population *tmp;
+    int i;
+    keep = elite_of(current);
+    copy_individual(&scratch->members[0], keep);
+    for (i = 1; i < POP_SIZE; i++) {
+        ma = tournament(current);
+        pa = tournament(current);
+        if (rng_next() & 1)
+            crossover(ma, pa, &scratch->members[i]);
+        else
+            crossover_two_point(ma, pa, &scratch->members[i]);
+    }
+    scratch->generation = current->generation + 1;
+    tmp = current;
+    current = scratch;
+    scratch = tmp;
+}
+
+int main(void) {
+    int g;
+    rng_state = 12345;
+    init_population(&pop_a);
+    init_population(&pop_b);
+    current = &pop_a;
+    scratch = &pop_b;
+    for (g = 0; g < 10; g++)
+        step();
+    printf("generation %d best fitness %d\n", current->generation,
+           current->best_fitness);
+    if (current->best)
+        printf("best age %d\n", current->best->age);
+
+    for (g = 0; g < 10; g++)
+        step_elitist();
+    printf("after elitist run: generation %d elite fitness %d diversity "
+           "%d\n",
+           current->generation, elite_of(current)->fitness,
+           diversity(current));
+    return 0;
+}

@@ -1,0 +1,245 @@
+/*
+ * ks -- Kernighan-Schweikert-style graph partitioning.
+ * Corpus program (no structure casting): adjacency lists on the heap,
+ * doubly linked candidate lists, pointer-heavy swap logic.
+ */
+
+enum { MAX_NODES = 128 };
+
+struct edge {
+    struct vertex *to;
+    int weight;
+    struct edge *next;
+};
+
+struct vertex {
+    int id;
+    int partition;
+    int gain;
+    int locked;
+    struct edge *adj;
+    struct vertex *prev_cand;
+    struct vertex *next_cand;
+};
+
+struct vertex nodes[128];
+int node_count;
+struct vertex *cand_head[2];
+
+static void add_edge(struct vertex *a, struct vertex *b, int w) {
+    struct edge *e;
+    e = (struct edge *)malloc(sizeof(struct edge));
+    e->to = b;
+    e->weight = w;
+    e->next = a->adj;
+    a->adj = e;
+}
+
+static void link_both(int ia, int ib, int w) {
+    add_edge(&nodes[ia], &nodes[ib], w);
+    add_edge(&nodes[ib], &nodes[ia], w);
+}
+
+static void cand_insert(struct vertex *v) {
+    struct vertex **head;
+    head = &cand_head[v->partition];
+    v->prev_cand = 0;
+    v->next_cand = *head;
+    if (*head)
+        (*head)->prev_cand = v;
+    *head = v;
+}
+
+static void cand_remove(struct vertex *v) {
+    if (v->prev_cand)
+        v->prev_cand->next_cand = v->next_cand;
+    else
+        cand_head[v->partition] = v->next_cand;
+    if (v->next_cand)
+        v->next_cand->prev_cand = v->prev_cand;
+    v->prev_cand = 0;
+    v->next_cand = 0;
+}
+
+static void compute_gain(struct vertex *v) {
+    const struct edge *e;
+    int internal, external;
+    internal = 0;
+    external = 0;
+    for (e = v->adj; e; e = e->next) {
+        if (e->to->partition == v->partition)
+            internal += e->weight;
+        else
+            external += e->weight;
+    }
+    v->gain = external - internal;
+}
+
+static struct vertex *best_candidate(int side) {
+    struct vertex *v;
+    struct vertex *best;
+    best = 0;
+    for (v = cand_head[side]; v; v = v->next_cand) {
+        if (v->locked)
+            continue;
+        if (!best || v->gain > best->gain)
+            best = v;
+    }
+    return best;
+}
+
+static int cut_size(void) {
+    int i, cut;
+    const struct edge *e;
+    cut = 0;
+    for (i = 0; i < node_count; i++)
+        for (e = nodes[i].adj; e; e = e->next)
+            if (nodes[i].partition != e->to->partition)
+                cut += e->weight;
+    return cut / 2;
+}
+
+static void one_pass(void) {
+    struct vertex *a;
+    struct vertex *b;
+    int i;
+    for (i = 0; i < node_count; i++)
+        compute_gain(&nodes[i]);
+    a = best_candidate(0);
+    b = best_candidate(1);
+    while (a && b) {
+        if (a->gain + b->gain <= 0)
+            break;
+        cand_remove(a);
+        cand_remove(b);
+        a->partition = 1;
+        b->partition = 0;
+        a->locked = 1;
+        b->locked = 1;
+        cand_insert(a);
+        cand_insert(b);
+        for (i = 0; i < node_count; i++)
+            compute_gain(&nodes[i]);
+        a = best_candidate(0);
+        b = best_candidate(1);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Multi-pass driver: records swaps in a history log so the best       */
+/* prefix of each pass can be kept and the rest rolled back.           */
+/* ------------------------------------------------------------------ */
+
+struct move {
+    struct vertex *a;
+    struct vertex *b;
+    int gain_at_move;
+    int cut_after;
+};
+
+struct move history[64];
+int n_moves;
+
+static void record_move(struct vertex *a, struct vertex *b) {
+    struct move *m;
+    if (n_moves >= 64)
+        return;
+    m = &history[n_moves++];
+    m->a = a;
+    m->b = b;
+    m->gain_at_move = a->gain + b->gain;
+    m->cut_after = cut_size();
+}
+
+static void undo_move(const struct move *m) {
+    int tmp;
+    tmp = m->a->partition;
+    m->a->partition = m->b->partition;
+    m->b->partition = tmp;
+}
+
+static int best_prefix(void) {
+    int i, best, best_cut;
+    best = -1;
+    best_cut = 1 << 30;
+    for (i = 0; i < n_moves; i++)
+        if (history[i].cut_after < best_cut) {
+            best_cut = history[i].cut_after;
+            best = i;
+        }
+    return best;
+}
+
+static void rollback_after(int keep) {
+    int i;
+    for (i = n_moves - 1; i > keep; i--)
+        undo_move(&history[i]);
+    n_moves = keep + 1;
+}
+
+static void unlock_all(void) {
+    int i;
+    for (i = 0; i < node_count; i++)
+        nodes[i].locked = 0;
+}
+
+static int improved_pass(void) {
+    struct vertex *a;
+    struct vertex *b;
+    int before, keep, i;
+    before = cut_size();
+    n_moves = 0;
+    unlock_all();
+    for (i = 0; i < node_count; i++)
+        compute_gain(&nodes[i]);
+    for (;;) {
+        a = best_candidate(0);
+        b = best_candidate(1);
+        if (!a || !b)
+            break;
+        cand_remove(a);
+        cand_remove(b);
+        a->partition = 1;
+        b->partition = 0;
+        a->locked = 1;
+        b->locked = 1;
+        cand_insert(a);
+        cand_insert(b);
+        record_move(a, b);
+        for (i = 0; i < node_count; i++)
+            compute_gain(&nodes[i]);
+        if (n_moves >= node_count / 2)
+            break;
+    }
+    keep = best_prefix();
+    rollback_after(keep);
+    return before - cut_size();
+}
+
+int main(void) {
+    int i, pass, delta;
+    node_count = 16;
+    for (i = 0; i < node_count; i++) {
+        nodes[i].id = i;
+        nodes[i].partition = i % 2;
+        nodes[i].adj = 0;
+        nodes[i].locked = 0;
+    }
+    for (i = 0; i + 1 < node_count; i++)
+        link_both(i, i + 1, 1 + i % 3);
+    link_both(0, node_count - 1, 2);
+    link_both(3, 11, 5);
+    for (i = 0; i < node_count; i++)
+        cand_insert(&nodes[i]);
+    printf("initial cut %d\n", cut_size());
+    one_pass();
+    printf("after greedy pass %d\n", cut_size());
+    for (pass = 0; pass < 3; pass++) {
+        delta = improved_pass();
+        printf("pass %d improved by %d (cut %d, kept %d moves)\n", pass,
+               delta, cut_size(), n_moves);
+        if (delta <= 0)
+            break;
+    }
+    return 0;
+}

@@ -1,0 +1,278 @@
+/*
+ * less -- pager buffer manager.
+ * Corpus program (with structure casting): file data lives in fixed-size
+ * block buffers managed through several *unrelated* record views (LRU
+ * header, position index, raw bytes) layered over the same storage by
+ * casting. The views share no useful common initial sequence beyond the
+ * first field, which is the paper's worst case for Collapse-on-Cast.
+ */
+
+enum { BLOCK_SIZE = 64, N_BLOCKS = 8 };
+
+struct lru_view {               /* view 1: recency chain */
+    struct lru_view *newer;
+    struct lru_view *older;
+    int blockno;
+};
+
+struct index_view {             /* view 2: line index; diverges at field 1 */
+    struct index_view *newer;
+    int first_line;
+    int last_line;
+    int blockno;
+};
+
+struct block {                  /* the real storage record */
+    struct block *newer;
+    struct block *older;
+    int blockno;
+    int first_line;
+    char bytes[64];
+};
+
+struct block blocks[8];
+struct block *mru;
+struct block *lru_tail;
+int next_blockno;
+
+static void chain_init(void) {
+    int i;
+    mru = 0;
+    lru_tail = 0;
+    for (i = 0; i < N_BLOCKS; i++) {
+        blocks[i].newer = 0;
+        blocks[i].older = 0;
+        blocks[i].blockno = -1;
+    }
+}
+
+static void touch(struct block *b) {
+    struct lru_view *v;
+    struct lru_view *head;
+    /* unlink and move to front, manipulating the LRU view */
+    v = (struct lru_view *)b;
+    if (v->newer)
+        v->newer->older = v->older;
+    if (v->older)
+        v->older->newer = v->newer;
+    if (lru_tail == (struct block *)v && v->newer)
+        lru_tail = (struct block *)v->newer;
+    head = (struct lru_view *)mru;
+    v->newer = 0;
+    v->older = head;
+    if (head)
+        head->newer = v;
+    mru = (struct block *)v;
+    if (!lru_tail)
+        lru_tail = mru;
+}
+
+static struct block *evict(void) {
+    struct lru_view *v;
+    struct block *b;
+    b = lru_tail;
+    if (!b)
+        return &blocks[0];
+    v = (struct lru_view *)b;
+    if (v->newer) {
+        v->newer->older = 0;
+        lru_tail = (struct block *)v->newer;
+    } else {
+        mru = 0;
+        lru_tail = 0;
+    }
+    v->newer = 0;
+    v->older = 0;
+    return b;
+}
+
+static struct block *get_block(int blockno) {
+    struct block *b;
+    int i;
+    for (i = 0; i < N_BLOCKS; i++) {
+        if (blocks[i].blockno == blockno) {
+            touch(&blocks[i]);
+            return &blocks[i];
+        }
+    }
+    b = evict();
+    b->blockno = blockno;
+    b->first_line = blockno * 4;
+    for (i = 0; i < BLOCK_SIZE; i++)
+        b->bytes[i] = (char)('a' + (blockno + i) % 26);
+    touch(b);
+    return b;
+}
+
+static int line_of_offset(struct block *b, int offset) {
+    const struct index_view *ix;
+    /* consult the (mismatched) index view of the same storage */
+    ix = (const struct index_view *)b;
+    return ix->first_line + offset / 16;
+}
+
+static char *peek_bytes(struct block *b, int offset) {
+    char *raw;
+    raw = (char *)b;  /* the raw-bytes view */
+    return raw + sizeof(struct block) - BLOCK_SIZE + offset;
+}
+
+/* ------------------------------------------------------------------ */
+/* Position index: remembers where each line starts, as less(1) does.  */
+/* The mark table stores block views through the index_view type.      */
+/* ------------------------------------------------------------------ */
+
+struct mark {
+    char letter;
+    struct index_view *where;   /* a block, seen through the index view */
+    int offset;
+};
+
+struct mark marks[8];
+int n_marks;
+
+static void set_mark(char letter, struct block *b, int offset) {
+    struct mark *m;
+    int i;
+    for (i = 0; i < n_marks; i++)
+        if (marks[i].letter == letter) {
+            marks[i].where = (struct index_view *)b;
+            marks[i].offset = offset;
+            return;
+        }
+    if (n_marks >= 8)
+        return;
+    m = &marks[n_marks++];
+    m->letter = letter;
+    m->where = (struct index_view *)b;   /* store the mismatched view */
+    m->offset = offset;
+}
+
+static struct block *goto_mark(char letter) {
+    int i;
+    for (i = 0; i < n_marks; i++)
+        if (marks[i].letter == letter)
+            return (struct block *)marks[i].where;  /* and recover it */
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Forward search over the block chain.                                */
+/* ------------------------------------------------------------------ */
+
+static int match_at(const char *hay, const char *needle) {
+    while (*needle) {
+        if (*hay != *needle)
+            return 0;
+        hay++;
+        needle++;
+    }
+    return 1;
+}
+
+static int search_block(struct block *b, const char *pattern, int from) {
+    int i;
+    for (i = from; i < BLOCK_SIZE; i++)
+        if (match_at(&b->bytes[i], pattern))
+            return i;
+    return -1;
+}
+
+static struct block *search_forward(int start_block, const char *pattern,
+                                    int *offset_out) {
+    struct block *b;
+    int blockno, hit;
+    for (blockno = start_block; blockno < start_block + 6; blockno++) {
+        b = get_block(blockno);
+        hit = search_block(b, pattern, 0);
+        if (hit >= 0) {
+            *offset_out = hit;
+            return b;
+        }
+    }
+    *offset_out = -1;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Screen repaint: renders a window of bytes from the current block.   */
+/* ------------------------------------------------------------------ */
+
+struct screen_state {
+    struct block *top_block;
+    int top_offset;
+    int rows;
+    int cols;
+    int squeeze_blank;
+};
+
+struct screen_state screen;
+
+static void repaint(void) {
+    struct block *b;
+    const char *raw;
+    int row, col, off;
+    b = screen.top_block;
+    if (!b)
+        return;
+    off = screen.top_offset;
+    for (row = 0; row < screen.rows; row++) {
+        for (col = 0; col < screen.cols; col++) {
+            if (off >= BLOCK_SIZE) {
+                b = get_block(b->blockno + 1);
+                off = 0;
+            }
+            raw = peek_bytes(b, off);
+            putchar(*raw);
+            off++;
+        }
+        putchar('\n');
+    }
+    screen.top_block = b;
+}
+
+static void scroll_down(int lines) {
+    screen.top_offset += lines * screen.cols;
+    while (screen.top_offset >= BLOCK_SIZE) {
+        screen.top_offset -= BLOCK_SIZE;
+        screen.top_block = get_block(screen.top_block->blockno + 1);
+    }
+}
+
+int main(void) {
+    struct block *b;
+    struct block *hit_block;
+    char *p;
+    int i, line, hit_off;
+
+    chain_init();
+    next_blockno = 0;
+    for (i = 0; i < 12; i++) {
+        b = get_block(i % 5);
+        line = line_of_offset(b, (i * 7) % BLOCK_SIZE);
+        p = peek_bytes(b, i % BLOCK_SIZE);
+        printf("block %d line %d byte %c\n", b->blockno, line, *p);
+    }
+    printf("mru block: %d\n", mru ? mru->blockno : -1);
+
+    set_mark('a', get_block(2), 10);
+    set_mark('b', get_block(4), 0);
+    b = goto_mark('a');
+    printf("mark a at block %d\n", b ? b->blockno : -1);
+
+    hit_block = search_forward(0, "def", &hit_off);
+    if (hit_block)
+        printf("pattern at block %d offset %d\n", hit_block->blockno,
+               hit_off);
+
+    screen.top_block = get_block(0);
+    screen.top_offset = 0;
+    screen.rows = 2;
+    screen.cols = 16;
+    screen.squeeze_blank = 0;
+    repaint();
+    scroll_down(3);
+    repaint();
+    printf("top block now %d\n", screen.top_block->blockno);
+    return 0;
+}

@@ -1,0 +1,227 @@
+/*
+ * lex315 -- tiny scanner generator core.
+ * Corpus program (with structure casting): NFA nodes of several variants
+ * share a prefix; the free list recycles nodes of any variant as raw
+ * cells, and transition tables are built from casted node views.
+ */
+
+extern char *strdup();
+
+enum { NK_CHAR = 1, NK_STAR = 2, NK_ALT = 3, NK_ACCEPT = 4, MAX_STATES = 64 };
+
+struct node_common {
+    int kind;
+    int state_no;
+};
+
+struct char_node {
+    int kind;
+    int state_no;
+    int symbol;
+    struct node_common *out;
+};
+
+struct star_node {
+    int kind;
+    int state_no;
+    struct node_common *body;
+    struct node_common *out;
+};
+
+struct alt_node {
+    int kind;
+    int state_no;
+    struct node_common *left;
+    struct node_common *right;
+};
+
+struct free_cell {
+    struct free_cell *next_free;
+};
+
+struct free_cell *free_list;
+struct node_common *states[64];
+int n_states;
+char *rule_names[8];
+int n_rules;
+
+static void *cell_alloc(void) {
+    struct free_cell *c;
+    if (free_list) {
+        c = free_list;
+        free_list = c->next_free;
+        return (void *)c;
+    }
+    return malloc(32);
+}
+
+static void cell_free(void *p) {
+    struct free_cell *c;
+    c = (struct free_cell *)p;  /* any node recycles as a free cell */
+    c->next_free = free_list;
+    free_list = c;
+}
+
+static struct node_common *register_state(struct node_common *n) {
+    n->state_no = n_states;
+    states[n_states++] = n;
+    return n;
+}
+
+static struct node_common *mk_char(int symbol) {
+    struct char_node *n;
+    n = (struct char_node *)cell_alloc();
+    n->kind = NK_CHAR;
+    n->symbol = symbol;
+    n->out = 0;
+    return register_state((struct node_common *)n);
+}
+
+static struct node_common *mk_star(struct node_common *body) {
+    struct star_node *n;
+    n = (struct star_node *)cell_alloc();
+    n->kind = NK_STAR;
+    n->body = body;
+    n->out = 0;
+    return register_state((struct node_common *)n);
+}
+
+static struct node_common *mk_alt(struct node_common *l,
+                                  struct node_common *r) {
+    struct alt_node *n;
+    n = (struct alt_node *)cell_alloc();
+    n->kind = NK_ALT;
+    n->left = l;
+    n->right = r;
+    return register_state((struct node_common *)n);
+}
+
+static void connect(struct node_common *from, struct node_common *to) {
+    struct char_node *c;
+    struct star_node *s;
+    if (from->kind == NK_CHAR) {
+        c = (struct char_node *)from;
+        c->out = to;
+    } else if (from->kind == NK_STAR) {
+        s = (struct star_node *)from;
+        s->out = to;
+    }
+}
+
+static int count_reachable(struct node_common *root, int *seen) {
+    const struct char_node *c;
+    const struct star_node *s;
+    const struct alt_node *a;
+    int total;
+    if (!root || seen[root->state_no])
+        return 0;
+    seen[root->state_no] = 1;
+    total = 1;
+    if (root->kind == NK_CHAR) {
+        c = (const struct char_node *)root;
+        total += count_reachable(c->out, seen);
+    } else if (root->kind == NK_STAR) {
+        s = (const struct star_node *)root;
+        total += count_reachable(s->body, seen);
+        total += count_reachable(s->out, seen);
+    } else if (root->kind == NK_ALT) {
+        a = (const struct alt_node *)root;
+        total += count_reachable(a->left, seen);
+        total += count_reachable(a->right, seen);
+    }
+    return total;
+}
+
+/* ------------------------------------------------------------------ */
+/* Move set: collect, for a symbol, the nodes reachable in one step.   */
+/* The traversal dispatches on the common prefix and downcasts.        */
+/* ------------------------------------------------------------------ */
+
+struct node_set {
+    struct node_common *members[64];
+    int count;
+};
+
+static void set_add(struct node_set *set, struct node_common *n) {
+    int i;
+    if (!n)
+        return;
+    for (i = 0; i < set->count; i++)
+        if (set->members[i] == n)
+            return;
+    if (set->count < 64)
+        set->members[set->count++] = n;
+}
+
+static void closure_into(struct node_set *set, struct node_common *n) {
+    const struct star_node *s;
+    const struct alt_node *a;
+    if (!n)
+        return;
+    set_add(set, n);
+    if (n->kind == NK_STAR) {
+        s = (const struct star_node *)n;
+        closure_into(set, s->body);
+        closure_into(set, s->out);
+    } else if (n->kind == NK_ALT) {
+        a = (const struct alt_node *)n;
+        closure_into(set, a->left);
+        closure_into(set, a->right);
+    }
+}
+
+static void move_on(const struct node_set *from, int symbol,
+                    struct node_set *to) {
+    const struct char_node *c;
+    int i;
+    to->count = 0;
+    for (i = 0; i < from->count; i++) {
+        if (from->members[i]->kind != NK_CHAR)
+            continue;
+        c = (const struct char_node *)from->members[i];
+        if (c->symbol == symbol)
+            closure_into(to, c->out);
+    }
+}
+
+int main(void) {
+    struct node_common *a;
+    struct node_common *b;
+    struct node_common *ab;
+    struct node_common *star;
+    int seen[64];
+    int i, n;
+
+    free_list = 0;
+    n_states = 0;
+    n_rules = 0;
+
+    a = mk_char('a');
+    b = mk_char('b');
+    ab = mk_alt(a, b);
+    star = mk_star(ab);
+    connect(a, star);
+    connect(b, star);
+    rule_names[n_rules++] = strdup("ident");
+
+    for (i = 0; i < 64; i++)
+        seen[i] = 0;
+    n = count_reachable(star, seen);
+    printf("%d states, %d reachable, rule %s\n", n_states, n, rule_names[0]);
+
+    {
+        struct node_set start, next;
+        start.count = 0;
+        closure_into(&start, star);
+        printf("closure size %d\n", start.count);
+        move_on(&start, 'a', &next);
+        printf("move on 'a': %d nodes\n", next.count);
+        move_on(&start, 'b', &next);
+        printf("move on 'b': %d nodes\n", next.count);
+    }
+
+    cell_free((void *)a);
+    a = mk_char('c'); /* reuses the freed cell */
+    printf("recycled state %d kind %d\n", a->state_no, a->kind);
+    return 0;
+}

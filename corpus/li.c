@@ -1,0 +1,333 @@
+/*
+ * li -- lisp interpreter kernel (xlisp flavor).
+ * Corpus program (with structure casting): cons cells are tagged unions;
+ * the garbage-collector free list threads through the value slots by
+ * casting; fixnums and pointers share cell payloads.
+ */
+
+extern char *strdup();
+
+enum { T_NIL = 0, T_CONS = 1, T_FIXNUM = 2, T_SYMBOL = 3, T_SUBR = 4,
+       HEAP_CELLS = 128 };
+
+struct cell;
+
+union payload {
+    struct {
+        struct cell *car;
+        struct cell *cdr;
+    } cons;
+    long fixnum;
+    struct {
+        char *name;
+        struct cell *value;
+    } symbol;
+    struct cell *(*subr)(struct cell *args);
+};
+
+struct cell {
+    int tag;
+    int mark;
+    union payload p;
+};
+
+struct cell heap[128];
+struct cell *free_list;
+struct cell *nil_cell;
+struct cell *oblist;     /* list of interned symbols */
+
+static void heap_init(void) {
+    int i;
+    free_list = 0;
+    for (i = 0; i < HEAP_CELLS; i++) {
+        heap[i].tag = T_NIL;
+        heap[i].mark = 0;
+        /* thread the free list through the car slot */
+        heap[i].p.cons.car = free_list;
+        free_list = &heap[i];
+    }
+}
+
+static struct cell *cell_alloc(int tag) {
+    struct cell *c;
+    c = free_list;
+    free_list = c->p.cons.car;
+    c->tag = tag;
+    c->mark = 0;
+    return c;
+}
+
+static struct cell *cons(struct cell *car, struct cell *cdr) {
+    struct cell *c;
+    c = cell_alloc(T_CONS);
+    c->p.cons.car = car;
+    c->p.cons.cdr = cdr;
+    return c;
+}
+
+static struct cell *fixnum(long v) {
+    struct cell *c;
+    c = cell_alloc(T_FIXNUM);
+    c->p.fixnum = v;
+    return c;
+}
+
+static struct cell *intern(const char *name) {
+    struct cell *walk;
+    struct cell *sym;
+    for (walk = oblist; walk && walk->tag == T_CONS;
+         walk = walk->p.cons.cdr) {
+        sym = walk->p.cons.car;
+        if (strcmp(sym->p.symbol.name, name) == 0)
+            return sym;
+    }
+    sym = cell_alloc(T_SYMBOL);
+    sym->p.symbol.name = strdup(name);
+    sym->p.symbol.value = nil_cell;
+    oblist = cons(sym, oblist);
+    return sym;
+}
+
+static struct cell *subr_add(struct cell *args) {
+    long total;
+    struct cell *walk;
+    total = 0;
+    for (walk = args; walk && walk->tag == T_CONS; walk = walk->p.cons.cdr)
+        if (walk->p.cons.car->tag == T_FIXNUM)
+            total += walk->p.cons.car->p.fixnum;
+    return fixnum(total);
+}
+
+static struct cell *make_subr(struct cell *(*fn)(struct cell *args)) {
+    struct cell *c;
+    c = cell_alloc(T_SUBR);
+    c->p.subr = fn;
+    return c;
+}
+
+static struct cell *eval(struct cell *expr);
+
+static struct cell *eval_list(struct cell *list) {
+    if (!list || list->tag != T_CONS)
+        return nil_cell;
+    return cons(eval(list->p.cons.car), eval_list(list->p.cons.cdr));
+}
+
+static struct cell *eval(struct cell *expr) {
+    struct cell *fn;
+    struct cell *args;
+    if (!expr)
+        return nil_cell;
+    if (expr->tag == T_FIXNUM)
+        return expr;
+    if (expr->tag == T_SYMBOL)
+        return expr->p.symbol.value;
+    if (expr->tag != T_CONS)
+        return expr;
+    fn = eval(expr->p.cons.car);
+    args = eval_list(expr->p.cons.cdr);
+    if (fn && fn->tag == T_SUBR)
+        return fn->p.subr(args);
+    return nil_cell;
+}
+
+static void mark(struct cell *c) {
+    if (!c || c->mark)
+        return;
+    c->mark = 1;
+    if (c->tag == T_CONS) {
+        mark(c->p.cons.car);
+        mark(c->p.cons.cdr);
+    } else if (c->tag == T_SYMBOL) {
+        mark(c->p.symbol.value);
+    }
+}
+
+static int sweep(void) {
+    int freed, i;
+    freed = 0;
+    for (i = 0; i < HEAP_CELLS; i++) {
+        if (heap[i].mark) {
+            heap[i].mark = 0;
+            continue;
+        }
+        heap[i].tag = T_NIL;
+        heap[i].p.cons.car = free_list;  /* back onto the free list */
+        free_list = &heap[i];
+        freed++;
+    }
+    return freed;
+}
+
+/* ------------------------------------------------------------------ */
+/* More builtins, a tiny reader, and list utilities.                   */
+/* ------------------------------------------------------------------ */
+
+static struct cell *subr_mul(struct cell *args) {
+    long total;
+    struct cell *walk;
+    total = 1;
+    for (walk = args; walk && walk->tag == T_CONS; walk = walk->p.cons.cdr)
+        if (walk->p.cons.car->tag == T_FIXNUM)
+            total *= walk->p.cons.car->p.fixnum;
+    return fixnum(total);
+}
+
+static struct cell *subr_car(struct cell *args) {
+    struct cell *first;
+    if (!args || args->tag != T_CONS)
+        return nil_cell;
+    first = args->p.cons.car;
+    if (first && first->tag == T_CONS)
+        return first->p.cons.car;
+    return nil_cell;
+}
+
+static struct cell *subr_cdr(struct cell *args) {
+    struct cell *first;
+    if (!args || args->tag != T_CONS)
+        return nil_cell;
+    first = args->p.cons.car;
+    if (first && first->tag == T_CONS)
+        return first->p.cons.cdr;
+    return nil_cell;
+}
+
+static struct cell *subr_list(struct cell *args) {
+    return args;
+}
+
+static int list_length(struct cell *list) {
+    int n;
+    n = 0;
+    while (list && list->tag == T_CONS) {
+        n++;
+        list = list->p.cons.cdr;
+    }
+    return n;
+}
+
+static struct cell *list_reverse(struct cell *list) {
+    struct cell *out;
+    out = nil_cell;
+    while (list && list->tag == T_CONS) {
+        out = cons(list->p.cons.car, out);
+        list = list->p.cons.cdr;
+    }
+    return out;
+}
+
+/* A minimal reader: parses "(+ 1 (* 2 3))" into cells. */
+
+struct reader {
+    const char *src;
+    int pos;
+};
+
+static void skip_spaces(struct reader *r) {
+    while (r->src[r->pos] == ' ')
+        r->pos++;
+}
+
+static struct cell *read_form(struct reader *r);
+
+static struct cell *read_list(struct reader *r) {
+    struct cell *items;
+    struct cell *form;
+    items = nil_cell;
+    for (;;) {
+        skip_spaces(r);
+        if (!r->src[r->pos] || r->src[r->pos] == ')') {
+            if (r->src[r->pos])
+                r->pos++;
+            return list_reverse(items);
+        }
+        form = read_form(r);
+        items = cons(form, items);
+    }
+}
+
+static struct cell *read_form(struct reader *r) {
+    char ch;
+    skip_spaces(r);
+    ch = r->src[r->pos];
+    if (ch == '(') {
+        r->pos++;
+        return read_list(r);
+    }
+    if (ch >= '0' && ch <= '9') {
+        long v;
+        v = 0;
+        while (r->src[r->pos] >= '0' && r->src[r->pos] <= '9') {
+            v = v * 10 + (r->src[r->pos] - '0');
+            r->pos++;
+        }
+        return fixnum(v);
+    }
+    {
+        char name[16];
+        int n;
+        n = 0;
+        while (r->src[r->pos] && r->src[r->pos] != ' ' &&
+               r->src[r->pos] != '(' && r->src[r->pos] != ')') {
+            if (n + 1 < 16)
+                name[n++] = r->src[r->pos];
+            r->pos++;
+        }
+        name[n] = 0;
+        return intern(name);
+    }
+}
+
+static struct cell *read_string(const char *text) {
+    struct reader r;
+    r.src = text;
+    r.pos = 0;
+    return read_form(&r);
+}
+
+static long eval_string(const char *text) {
+    struct cell *result;
+    result = eval(read_string(text));
+    return result && result->tag == T_FIXNUM ? result->p.fixnum : -1;
+}
+
+int main(void) {
+    struct cell *plus;
+    struct cell *expr;
+    struct cell *result;
+    int freed;
+
+    heap_init();
+    nil_cell = cell_alloc(T_NIL);
+    oblist = nil_cell;
+
+    plus = intern("+");
+    plus->p.symbol.value = make_subr(subr_add);
+    intern("*")->p.symbol.value = make_subr(subr_mul);
+    intern("car")->p.symbol.value = make_subr(subr_car);
+    intern("cdr")->p.symbol.value = make_subr(subr_cdr);
+    intern("list")->p.symbol.value = make_subr(subr_list);
+
+    /* (+ 1 2 3) */
+    expr = cons(plus, cons(fixnum(1), cons(fixnum(2), cons(fixnum(3),
+                                                            nil_cell))));
+    result = eval(expr);
+    printf("(+ 1 2 3) => %ld\n",
+           result->tag == T_FIXNUM ? result->p.fixnum : -1);
+
+    printf("(+ 1 (* 2 3)) => %ld\n", eval_string("(+ 1 (* 2 3))"));
+    printf("(car (list 7 8)) => %ld\n", eval_string("(car (list 7 8))"));
+
+    result = read_string("(list 1 2 3 4)");
+    printf("read length => %d\n", list_length(result->p.cons.cdr));
+
+    mark(oblist);
+    freed = sweep();
+    printf("gc freed %d cells\n", freed);
+
+    /* allocate after gc: recycled cells come off the free list */
+    expr = cons(fixnum(9), nil_cell);
+    printf("recycled tag %d\n", expr->tag);
+    return 0;
+}

@@ -1,0 +1,221 @@
+/*
+ * loader -- toy object-file loader over an in-memory image.
+ * Corpus program (with structure casting): a byte image is parsed by
+ * casting cursors to header/section/symbol records; all record types
+ * share a common initial sequence (tag, size), which is exactly the case
+ * the Common-Initial-Sequence instance keeps precise.
+ */
+
+enum { TAG_FILE = 1, TAG_SECTION = 2, TAG_SYMBOL = 3, IMAGE_MAX = 2048 };
+
+struct rec_head {        /* the shared prefix of every record */
+    int tag;
+    int size;
+};
+
+struct file_rec {
+    int tag;
+    int size;
+    int n_sections;
+    int entry_point;
+};
+
+struct section_rec {
+    int tag;
+    int size;
+    char *name;
+    char *bytes;
+    int length;
+};
+
+struct symbol_rec {
+    int tag;
+    int size;
+    char *name;
+    struct section_rec *home;
+    int offset;
+};
+
+char image[2048];
+int image_len;
+struct section_rec *sections[16];
+int n_sections;
+struct symbol_rec *symbols[32];
+int n_symbols;
+
+static char *image_put(int n) {
+    char *p;
+    p = &image[image_len];
+    image_len += n;
+    return p;
+}
+
+static void put_file_header(int nsec) {
+    struct file_rec *f;
+    f = (struct file_rec *)image_put(sizeof(struct file_rec));
+    f->tag = TAG_FILE;
+    f->size = sizeof(struct file_rec);
+    f->n_sections = nsec;
+    f->entry_point = 0;
+}
+
+static void put_section(char *name, char *bytes, int length) {
+    struct section_rec *s;
+    s = (struct section_rec *)image_put(sizeof(struct section_rec));
+    s->tag = TAG_SECTION;
+    s->size = sizeof(struct section_rec);
+    s->name = name;
+    s->bytes = bytes;
+    s->length = length;
+}
+
+static void put_symbol(char *name, int offset) {
+    struct symbol_rec *y;
+    y = (struct symbol_rec *)image_put(sizeof(struct symbol_rec));
+    y->tag = TAG_SYMBOL;
+    y->size = sizeof(struct symbol_rec);
+    y->name = name;
+    y->home = 0;
+    y->offset = offset;
+}
+
+static void scan_image(void) {
+    char *cursor;
+    const struct rec_head *h;
+    struct section_rec *s;
+    struct symbol_rec *y;
+    cursor = image;
+    while (cursor < image + image_len) {
+        h = (const struct rec_head *)cursor;  /* view through the prefix */
+        if (h->tag == TAG_SECTION) {
+            s = (struct section_rec *)cursor;
+            sections[n_sections++] = s;
+        } else if (h->tag == TAG_SYMBOL) {
+            y = (struct symbol_rec *)cursor;
+            symbols[n_symbols++] = y;
+        }
+        cursor += h->size;
+    }
+}
+
+static void bind_symbols(void) {
+    int i;
+    struct symbol_rec *y;
+    for (i = 0; i < n_symbols; i++) {
+        y = symbols[i];
+        if (n_sections > 0)
+            y->home = sections[y->offset % n_sections];
+    }
+}
+
+static void report(void) {
+    int i;
+    for (i = 0; i < n_sections; i++)
+        printf("section %s (%d bytes)\n", sections[i]->name,
+               sections[i]->length);
+    for (i = 0; i < n_symbols; i++)
+        printf("symbol %s in %s at %d\n", symbols[i]->name,
+               symbols[i]->home ? symbols[i]->home->name : "?",
+               symbols[i]->offset);
+}
+
+/* ------------------------------------------------------------------ */
+/* Relocations: one more record family member, plus an apply pass that */
+/* patches section bytes with symbol addresses.                        */
+/* ------------------------------------------------------------------ */
+
+enum { TAG_RELOC = 4, RELOC_ABS = 0, RELOC_REL = 1 };
+
+struct reloc_rec {
+    int tag;
+    int size;
+    struct symbol_rec *target;
+    struct section_rec *in_section;
+    int at_offset;
+    int kind;
+};
+
+struct reloc_rec *relocs[16];
+int n_relocs;
+
+static void put_reloc(int symbol_index, int section_index, int at, int kind) {
+    struct reloc_rec *r;
+    r = (struct reloc_rec *)image_put(sizeof(struct reloc_rec));
+    r->tag = TAG_RELOC;
+    r->size = sizeof(struct reloc_rec);
+    r->target = 0;
+    r->in_section = 0;
+    r->at_offset = at;
+    r->kind = kind;
+    /* indices are resolved after scanning, like a real loader */
+    r->at_offset = at;
+    (void)symbol_index;
+    (void)section_index;
+}
+
+static void collect_relocs(void) {
+    char *cursor;
+    const struct rec_head *h;
+    cursor = image;
+    n_relocs = 0;
+    while (cursor < image + image_len) {
+        h = (const struct rec_head *)cursor;
+        if (h->tag == TAG_RELOC && n_relocs < 16)
+            relocs[n_relocs++] = (struct reloc_rec *)cursor;
+        cursor += h->size;
+    }
+}
+
+static void bind_relocs(void) {
+    int i;
+    struct reloc_rec *r;
+    for (i = 0; i < n_relocs; i++) {
+        r = relocs[i];
+        if (n_symbols > 0)
+            r->target = symbols[i % n_symbols];
+        if (n_sections > 0)
+            r->in_section = sections[i % n_sections];
+    }
+}
+
+static int apply_relocs(void) {
+    int i, applied;
+    struct reloc_rec *r;
+    char *where;
+    applied = 0;
+    for (i = 0; i < n_relocs; i++) {
+        r = relocs[i];
+        if (!r->target || !r->in_section)
+            continue;
+        if (r->at_offset < 0 || r->at_offset >= r->in_section->length)
+            continue;
+        where = r->in_section->bytes + r->at_offset;
+        *where = (char)(r->kind == RELOC_ABS ? r->target->offset
+                                             : r->target->offset - i);
+        applied++;
+    }
+    return applied;
+}
+
+static char text_bytes[16];
+static char data_bytes[16];
+
+int main(void) {
+    image_len = 0;
+    n_sections = 0;
+    n_symbols = 0;
+    put_file_header(2);
+    put_section("text", text_bytes, 16);
+    put_section("data", data_bytes, 16);
+    put_symbol("start", 0);
+    put_symbol("buffer", 4);
+    put_reloc(0, 0, 2, RELOC_ABS);
+    put_reloc(1, 1, 5, RELOC_REL);
+    scan_image();
+    bind_symbols();
+    collect_relocs();
+    bind_relocs();
+    printf("applied %d relocations\n", apply_relocs());
+    report();
+    return 0;
+}

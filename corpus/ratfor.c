@@ -1,0 +1,252 @@
+/*
+ * ratfor -- rational-Fortran-style keyword translator.
+ * Corpus program (no structure casting): keyword table, symbol table of
+ * heap records, a small token buffer, nested lookup helpers.
+ */
+
+enum { SYM_HASH = 64, TOKEN_MAX = 64 };
+
+struct keyword {
+    const char *text;
+    const char *replacement;
+};
+
+struct symbol {
+    char *name;
+    int kind;
+    int uses;
+    struct symbol *next;
+};
+
+struct token {
+    char text[64];
+    int len;
+    int is_word;
+};
+
+struct keyword keywords[8];
+struct symbol *sym_table[64];
+int sym_count;
+
+static void init_keywords(void) {
+    keywords[0].text = "if";
+    keywords[0].replacement = "IF(";
+    keywords[1].text = "then";
+    keywords[1].replacement = ")THEN";
+    keywords[2].text = "else";
+    keywords[2].replacement = "ELSE";
+    keywords[3].text = "while";
+    keywords[3].replacement = "DOWHILE(";
+    keywords[4].text = "repeat";
+    keywords[4].replacement = "CONTINUE";
+    keywords[5].text = "until";
+    keywords[5].replacement = "IF(.NOT.";
+    keywords[6].text = "end";
+    keywords[6].replacement = "ENDDO";
+    keywords[7].text = "return";
+    keywords[7].replacement = "RETURN";
+}
+
+static int sym_hash(const char *s) {
+    int h;
+    h = 5381;
+    while (*s) {
+        h = h * 33 + *s;
+        s++;
+    }
+    if (h < 0)
+        h = -h;
+    return h % SYM_HASH;
+}
+
+static struct symbol *sym_lookup(const char *name, int create) {
+    struct symbol *s;
+    int h;
+    h = sym_hash(name);
+    for (s = sym_table[h]; s; s = s->next)
+        if (strcmp(s->name, name) == 0)
+            return s;
+    if (!create)
+        return 0;
+    s = (struct symbol *)malloc(sizeof(struct symbol));
+    s->name = strdup(name);
+    s->kind = 0;
+    s->uses = 0;
+    s->next = sym_table[h];
+    sym_table[h] = s;
+    sym_count++;
+    return s;
+}
+
+static const char *keyword_replacement(const char *word) {
+    int i;
+    for (i = 0; i < 8; i++)
+        if (strcmp(keywords[i].text, word) == 0)
+            return keywords[i].replacement;
+    return 0;
+}
+
+static int next_token(const char *src, int pos, struct token *tok) {
+    int i;
+    tok->len = 0;
+    tok->is_word = 0;
+    while (src[pos] == ' ' || src[pos] == '\t')
+        pos++;
+    if (!src[pos])
+        return -1;
+    if ((src[pos] >= 'a' && src[pos] <= 'z') ||
+        (src[pos] >= 'A' && src[pos] <= 'Z')) {
+        tok->is_word = 1;
+        i = 0;
+        while (src[pos] && ((src[pos] >= 'a' && src[pos] <= 'z') ||
+                            (src[pos] >= 'A' && src[pos] <= 'Z') ||
+                            (src[pos] >= '0' && src[pos] <= '9'))) {
+            if (i + 1 < TOKEN_MAX)
+                tok->text[i++] = src[pos];
+            pos++;
+        }
+        tok->text[i] = 0;
+        tok->len = i;
+        return pos;
+    }
+    tok->text[0] = src[pos];
+    tok->text[1] = 0;
+    tok->len = 1;
+    return pos + 1;
+}
+
+static void translate(const char *src) {
+    struct token tok;
+    struct symbol *sym;
+    const char *repl;
+    int pos;
+    pos = 0;
+    for (;;) {
+        pos = next_token(src, pos, &tok);
+        if (pos < 0)
+            break;
+        if (tok.is_word) {
+            repl = keyword_replacement(tok.text);
+            if (repl) {
+                printf("%s", repl);
+            } else {
+                sym = sym_lookup(tok.text, 1);
+                sym->uses++;
+                printf("%s", sym->name);
+            }
+        } else {
+            printf("%s", tok.text);
+        }
+        printf(" ");
+    }
+    printf("\n");
+}
+
+/* ------------------------------------------------------------------ */
+/* Output buffer with indentation and a block-keyword stack.           */
+/* ------------------------------------------------------------------ */
+
+struct out_buffer {
+    char data[512];
+    int len;
+    int indent;
+    struct out_buffer *overflow;  /* chained buffers */
+};
+
+struct out_buffer primary_out;
+
+static struct out_buffer *buffer_for(struct out_buffer *b, int needed) {
+    while (b->len + needed >= 512) {
+        if (!b->overflow) {
+            b->overflow =
+                (struct out_buffer *)malloc(sizeof(struct out_buffer));
+            b->overflow->len = 0;
+            b->overflow->indent = b->indent;
+            b->overflow->overflow = 0;
+        }
+        b = b->overflow;
+    }
+    return b;
+}
+
+static void out_str(const char *text) {
+    struct out_buffer *b;
+    int n, i;
+    n = strlen(text);
+    b = buffer_for(&primary_out, n + primary_out.indent + 1);
+    for (i = 0; i < b->indent; i++)
+        b->data[b->len++] = ' ';
+    for (i = 0; i < n; i++)
+        b->data[b->len++] = text[i];
+    b->data[b->len] = 0;
+}
+
+const char *block_stack[16];
+int block_depth;
+
+static void push_block(const char *kw) {
+    if (block_depth < 16)
+        block_stack[block_depth++] = kw;
+    primary_out.indent += 2;
+}
+
+static const char *pop_block(void) {
+    if (primary_out.indent >= 2)
+        primary_out.indent -= 2;
+    if (block_depth > 0)
+        return block_stack[--block_depth];
+    return "";
+}
+
+static void translate_buffered(const char *src) {
+    struct token tok;
+    const char *repl;
+    int pos;
+    pos = 0;
+    for (;;) {
+        pos = next_token(src, pos, &tok);
+        if (pos < 0)
+            break;
+        if (!tok.is_word) {
+            out_str(tok.text);
+            continue;
+        }
+        repl = keyword_replacement(tok.text);
+        if (!repl) {
+            out_str(tok.text);
+            continue;
+        }
+        if (strcmp(tok.text, "while") == 0 || strcmp(tok.text, "if") == 0)
+            push_block(tok.text);
+        else if (strcmp(tok.text, "end") == 0)
+            pop_block();
+        out_str(repl);
+    }
+}
+
+static int buffered_total(void) {
+    const struct out_buffer *b;
+    int total;
+    total = 0;
+    for (b = &primary_out; b; b = b->overflow)
+        total += b->len;
+    return total;
+}
+
+int main(void) {
+    init_keywords();
+    sym_count = 0;
+    primary_out.len = 0;
+    primary_out.indent = 0;
+    primary_out.overflow = 0;
+    block_depth = 0;
+    translate("while x < n repeat x = x + delta end");
+    translate("if done then return else x = x * 2 end");
+    printf("%d symbols\n", sym_count);
+
+    translate_buffered("while count < max repeat body end");
+    translate_buffered("if flag then while inner repeat step end end");
+    printf("buffered %d bytes, depth %d, indent %d\n", buffered_total(),
+           block_depth, primary_out.indent);
+    return 0;
+}

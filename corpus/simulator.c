@@ -1,0 +1,289 @@
+/*
+ * simulator -- discrete-event simulator with first-member "inheritance".
+ * Corpus program (with structure casting): every event type embeds a
+ * struct event as its first member; the queue holds base pointers and
+ * handlers cast back to the concrete type (the classic offset-0 idiom,
+ * the paper's Problem 1).
+ */
+
+enum { EV_ARRIVE = 1, EV_DEPART = 2, EV_TIMER = 3 };
+
+struct event {
+    int time;
+    int kind;
+    struct event *next;
+};
+
+struct arrive_event {
+    struct event base;
+    int customer_id;
+    struct station *where;
+};
+
+struct depart_event {
+    struct event base;
+    int customer_id;
+    int service_time;
+};
+
+struct timer_event {
+    struct event base;
+    void (*callback)(struct event *self);
+    int period;
+};
+
+struct station {
+    int id;
+    int queue_len;
+    int busy;
+};
+
+struct event *event_queue;
+int now;
+int served;
+struct station stations[4];
+
+static void enqueue(struct event *e) {
+    struct event **link;
+    link = &event_queue;
+    while (*link && (*link)->time <= e->time)
+        link = &(*link)->next;
+    e->next = *link;
+    *link = e;
+}
+
+static struct event *dequeue(void) {
+    struct event *e;
+    e = event_queue;
+    if (e)
+        event_queue = e->next;
+    return e;
+}
+
+static void schedule_arrive(int t, int id, struct station *st) {
+    struct arrive_event *a;
+    a = (struct arrive_event *)malloc(sizeof(struct arrive_event));
+    a->base.time = t;
+    a->base.kind = EV_ARRIVE;
+    a->base.next = 0;
+    a->customer_id = id;
+    a->where = st;
+    enqueue((struct event *)a);  /* up-cast: base is the first member */
+}
+
+static void schedule_depart(int t, int id, int svc) {
+    struct depart_event *d;
+    d = (struct depart_event *)malloc(sizeof(struct depart_event));
+    d->base.time = t;
+    d->base.kind = EV_DEPART;
+    d->base.next = 0;
+    d->customer_id = id;
+    d->service_time = svc;
+    enqueue((struct event *)d);
+}
+
+static void timer_tick(struct event *self) {
+    struct timer_event *t;
+    t = (struct timer_event *)self;  /* down-cast */
+    if (now < 40) {
+        t->base.time = now + t->period;
+        enqueue(self);
+    }
+}
+
+static void schedule_timer(int t0, int period) {
+    struct timer_event *t;
+    t = (struct timer_event *)malloc(sizeof(struct timer_event));
+    t->base.time = t0;
+    t->base.kind = EV_TIMER;
+    t->base.next = 0;
+    t->callback = timer_tick;
+    t->period = period;
+    enqueue((struct event *)t);
+}
+
+static void handle_arrive(struct event *e) {
+    struct arrive_event *a;
+    a = (struct arrive_event *)e;  /* down-cast */
+    a->where->queue_len++;
+    if (!a->where->busy) {
+        a->where->busy = 1;
+        schedule_depart(now + 3, a->customer_id, 3);
+    }
+}
+
+static void handle_depart(struct event *e) {
+    struct depart_event *d;
+    d = (struct depart_event *)e;
+    served++;
+    stations[d->customer_id % 4].busy = 0;
+    if (stations[d->customer_id % 4].queue_len > 0)
+        stations[d->customer_id % 4].queue_len--;
+}
+
+static void record_event(const struct event *e);
+static int pool_acquire(struct resource_pool *p, struct event *who);
+static void pool_release(struct resource_pool *p);
+struct resource_pool;
+
+static void run(void) {
+    struct event *e;
+    struct timer_event *t;
+    for (;;) {
+        e = dequeue();
+        if (!e)
+            break;
+        now = e->time;
+        if (now > 50)
+            break;
+        record_event(e);
+        if (e->kind == EV_ARRIVE) {
+            handle_arrive(e);
+        } else if (e->kind == EV_DEPART) {
+            handle_depart(e);
+        } else {
+            t = (struct timer_event *)e;
+            t->callback(e);
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Statistics: per-kind event counters collected through the base view */
+/* and a histogram of inter-event gaps.                                */
+/* ------------------------------------------------------------------ */
+
+struct stat_bucket {
+    int kind;
+    int count;
+    int total_time;
+    struct stat_bucket *next;
+};
+
+struct stat_bucket *stat_list;
+int gap_histogram[8];
+int last_event_time;
+
+static struct stat_bucket *stat_for(int kind) {
+    struct stat_bucket *b;
+    for (b = stat_list; b; b = b->next)
+        if (b->kind == kind)
+            return b;
+    b = (struct stat_bucket *)malloc(sizeof(struct stat_bucket));
+    b->kind = kind;
+    b->count = 0;
+    b->total_time = 0;
+    b->next = stat_list;
+    stat_list = b;
+    return b;
+}
+
+static void record_event(const struct event *e) {
+    struct stat_bucket *b;
+    int gap;
+    b = stat_for(e->kind);
+    b->count++;
+    b->total_time += e->time;
+    gap = e->time - last_event_time;
+    if (gap < 0)
+        gap = 0;
+    if (gap > 7)
+        gap = 7;
+    gap_histogram[gap]++;
+    last_event_time = e->time;
+}
+
+static void report_stats(void) {
+    const struct stat_bucket *b;
+    int i;
+    for (b = stat_list; b; b = b->next)
+        printf("kind %d: %d events, mean time %d\n", b->kind, b->count,
+               b->count ? b->total_time / b->count : 0);
+    printf("gap histogram:");
+    for (i = 0; i < 8; i++)
+        printf(" %d", gap_histogram[i]);
+    printf("\n");
+}
+
+/* ------------------------------------------------------------------ */
+/* A resource pool: departing customers release a token; arrivals wait */
+/* in a queue of base-event pointers when the pool is empty.           */
+/* ------------------------------------------------------------------ */
+
+struct resource_pool {
+    int tokens;
+    struct event *waiters[16];
+    int n_waiters;
+    int grants;
+};
+
+struct resource_pool teller_pool;
+
+static int pool_acquire(struct resource_pool *p, struct event *who) {
+    if (p->tokens > 0) {
+        p->tokens--;
+        p->grants++;
+        return 1;
+    }
+    if (p->n_waiters < 16)
+        p->waiters[p->n_waiters++] = who;
+    return 0;
+}
+
+static void pool_release(struct resource_pool *p) {
+    struct event *e;
+    if (p->n_waiters > 0) {
+        e = p->waiters[--p->n_waiters];
+        e->time = now + 1;   /* reschedule the waiter */
+        enqueue(e);
+        p->grants++;
+        return;
+    }
+    p->tokens++;
+}
+
+int main(void) {
+    int i;
+    now = 0;
+    served = 0;
+    event_queue = 0;
+    stat_list = 0;
+    last_event_time = 0;
+    teller_pool.tokens = 2;
+    teller_pool.n_waiters = 0;
+    teller_pool.grants = 0;
+    for (i = 0; i < 4; i++) {
+        stations[i].id = i;
+        stations[i].queue_len = 0;
+        stations[i].busy = 0;
+    }
+    for (i = 0; i < 8; i++)
+        schedule_arrive(i * 2, i, &stations[i % 4]);
+    schedule_timer(5, 7);
+    run();
+    printf("served %d customers by time %d\n", served, now);
+    report_stats();
+
+    /* drive the pool directly with freshly built arrivals */
+    {
+        struct arrive_event *probe;
+        int granted;
+        granted = 0;
+        for (i = 0; i < 5; i++) {
+            probe = (struct arrive_event *)malloc(
+                sizeof(struct arrive_event));
+            probe->base.time = now + i;
+            probe->base.kind = EV_ARRIVE;
+            probe->base.next = 0;
+            probe->customer_id = i;
+            probe->where = &stations[i % 4];
+            granted += pool_acquire(&teller_pool, (struct event *)probe);
+        }
+        pool_release(&teller_pool);
+        pool_release(&teller_pool);
+        printf("pool grants %d waiters %d\n", teller_pool.grants,
+               teller_pool.n_waiters);
+        (void)granted;
+    }
+    return 0;
+}

@@ -1,0 +1,226 @@
+/*
+ * twig -- tree-pattern matcher (code-generator generator flavor).
+ * Corpus program (with structure casting): pattern trees and subject
+ * trees use different node layouts that agree only on a short prefix;
+ * the matcher walks both through a third "cursor" view whose fields sit
+ * beyond the common initial sequence -- the paper's worst case for the
+ * Common-Initial-Sequence instance.
+ */
+
+enum { OP_LEAF = 0, OP_PLUS = 1, OP_MUL = 2, OP_MEM = 3, MAX_NODES = 64 };
+
+struct pat_node {
+    int op;                    /* prefix: op */
+    struct pat_node *kids[2];  /* diverges immediately after op */
+    int cost;
+    int rule_no;
+};
+
+struct subj_node {
+    int op;                    /* prefix: op */
+    int value;                 /* diverges here */
+    struct subj_node *left;
+    struct subj_node *right;
+    struct pat_node *matched;
+};
+
+struct cursor_view {           /* a third, mismatched traversal view */
+    int op;
+    int aux;
+    struct cursor_view *first;
+    struct cursor_view *second;
+};
+
+struct pat_node pat_pool[64];
+int n_pats;
+struct subj_node subj_pool[64];
+int n_subjs;
+int match_count;
+
+static struct pat_node *mk_pat(int op, struct pat_node *l,
+                               struct pat_node *r, int rule) {
+    struct pat_node *p;
+    p = &pat_pool[n_pats++];
+    p->op = op;
+    p->kids[0] = l;
+    p->kids[1] = r;
+    p->cost = 1;
+    p->rule_no = rule;
+    return p;
+}
+
+static struct subj_node *mk_subj(int op, int value, struct subj_node *l,
+                                 struct subj_node *r) {
+    struct subj_node *s;
+    s = &subj_pool[n_subjs++];
+    s->op = op;
+    s->value = value;
+    s->left = l;
+    s->right = r;
+    s->matched = 0;
+    return s;
+}
+
+static int match(struct pat_node *p, struct subj_node *s) {
+    if (!p)
+        return 1;
+    if (!s)
+        return 0;
+    if (p->op != s->op && p->op != OP_LEAF)
+        return 0;
+    if (p->op == OP_LEAF)
+        return 1;
+    if (!match(p->kids[0], s->left))
+        return 0;
+    return match(p->kids[1], s->right);
+}
+
+/* Walk any tree through the mismatched cursor view: reads fall beyond
+ * the one-field common initial sequence on purpose. */
+static int cursor_weigh(struct cursor_view *c, int depth) {
+    int total;
+    if (!c || depth > 8)
+        return 0;
+    total = c->op + c->aux;
+    total += cursor_weigh(c->first, depth + 1);
+    total += cursor_weigh(c->second, depth + 1);
+    return total;
+}
+
+static void label_tree(struct subj_node *s, struct pat_node *rules[],
+                       int n_rules) {
+    int r;
+    if (!s)
+        return;
+    label_tree(s->left, rules, n_rules);
+    label_tree(s->right, rules, n_rules);
+    for (r = 0; r < n_rules; r++) {
+        if (match(rules[r], s)) {
+            s->matched = rules[r];
+            match_count++;
+            break;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Cost-based labeling and bottom-up rewriting.                        */
+/* ------------------------------------------------------------------ */
+
+struct label {
+    int rule_no;
+    int cost;
+    struct label *cheaper;   /* chain of dominated labels */
+};
+
+struct label label_pool[64];
+int n_labels;
+
+static struct label *mk_label(int rule, int cost) {
+    struct label *l;
+    l = &label_pool[n_labels++];
+    l->rule_no = rule;
+    l->cost = cost;
+    l->cheaper = 0;
+    return l;
+}
+
+static int tree_cost(const struct subj_node *s) {
+    int c;
+    if (!s)
+        return 0;
+    c = 1 + tree_cost(s->left) + tree_cost(s->right);
+    if (s->matched)
+        c += s->matched->cost;
+    return c;
+}
+
+static struct label *best_label(struct subj_node *s,
+                                struct pat_node *rules[], int n_rules) {
+    struct label *best;
+    struct label *l;
+    int r;
+    best = 0;
+    for (r = 0; r < n_rules; r++) {
+        if (!match(rules[r], s))
+            continue;
+        l = mk_label(rules[r]->rule_no, rules[r]->cost + tree_cost(s));
+        if (best) {
+            if (l->cost < best->cost) {
+                l->cheaper = best;
+                best = l;
+            } else {
+                l->cheaper = best->cheaper;
+                best->cheaper = l;
+            }
+        } else {
+            best = l;
+        }
+    }
+    return best;
+}
+
+/* Rewrite MEM(PLUS(leaf,leaf)) into a single "addressing mode" node. */
+static struct subj_node *rewrite(struct subj_node *s) {
+    struct subj_node *folded;
+    if (!s)
+        return 0;
+    s->left = rewrite(s->left);
+    s->right = rewrite(s->right);
+    if (s->op == OP_MEM && s->left && s->left->op == OP_PLUS) {
+        folded = mk_subj(OP_LEAF,
+                         (s->left->left ? s->left->left->value : 0) +
+                             (s->left->right ? s->left->right->value : 0),
+                         0, 0);
+        folded->matched = s->matched;
+        return folded;
+    }
+    return s;
+}
+
+int main(void) {
+    struct pat_node *leaf;
+    struct pat_node *add_rule;
+    struct pat_node *mem_rule;
+    struct pat_node *rules[3];
+    struct subj_node *t;
+    int w1, w2;
+
+    n_pats = 0;
+    n_subjs = 0;
+    match_count = 0;
+
+    leaf = mk_pat(OP_LEAF, 0, 0, 1);
+    add_rule = mk_pat(OP_PLUS, leaf, leaf, 2);
+    mem_rule = mk_pat(OP_MEM, mk_pat(OP_PLUS, leaf, leaf, 0), 0, 3);
+    rules[0] = mem_rule;
+    rules[1] = add_rule;
+    rules[2] = leaf;
+
+    t = mk_subj(OP_MEM, 0,
+                mk_subj(OP_PLUS, 0,
+                        mk_subj(OP_LEAF, 4, 0, 0),
+                        mk_subj(OP_LEAF, 8, 0, 0)),
+                0);
+
+    label_tree(t, rules, 3);
+
+    n_labels = 0;
+    {
+        struct label *l;
+        l = best_label(t, rules, 3);
+        if (l)
+            printf("best label: rule %d cost %d (alternatives %d)\n",
+                   l->rule_no, l->cost, n_labels - 1);
+    }
+    t = rewrite(t);
+    printf("rewritten root op %d value %d\n", t->op, t->value);
+
+    /* weigh both trees through the cursor view (mismatched casts) */
+    w1 = cursor_weigh((struct cursor_view *)t, 0);
+    w2 = cursor_weigh((struct cursor_view *)add_rule, 0);
+    printf("matches %d, weights %d %d\n", match_count, w1, w2);
+    if (t->matched)
+        printf("root matched rule %d\n", t->matched->rule_no);
+    return 0;
+}

@@ -1,0 +1,196 @@
+/*
+ * ul -- underline/overstrike filter in the style of BSD ul(1).
+ * Corpus program (no structure casting): mode tables with function
+ * pointers, per-character state structs, buffered output lines.
+ */
+
+enum { LINE_MAX = 256 };
+
+enum mode_kind { MODE_NORMAL, MODE_UNDERLINE, MODE_BOLD };
+
+struct charcell {
+    int ch;
+    int mode;
+};
+
+struct outline {
+    struct charcell cells[256];
+    int len;
+    struct outline *next;
+};
+
+struct mode_handler {
+    int kind;
+    void (*emit)(struct charcell *cell);
+    const char *name;
+};
+
+struct outline *line_head;
+struct outline *line_tail;
+struct outline *cur_line;
+int col;
+
+static void emit_normal(struct charcell *cell) {
+    putchar(cell->ch);
+}
+
+static void emit_underline(struct charcell *cell) {
+    putchar('_');
+    putchar(8); /* backspace */
+    putchar(cell->ch);
+}
+
+static void emit_bold(struct charcell *cell) {
+    putchar(cell->ch);
+    putchar(8);
+    putchar(cell->ch);
+}
+
+struct mode_handler handlers[3];
+
+static void init_handlers(void) {
+    handlers[0].kind = MODE_NORMAL;
+    handlers[0].emit = emit_normal;
+    handlers[0].name = "normal";
+    handlers[1].kind = MODE_UNDERLINE;
+    handlers[1].emit = emit_underline;
+    handlers[1].name = "underline";
+    handlers[2].kind = MODE_BOLD;
+    handlers[2].emit = emit_bold;
+    handlers[2].name = "bold";
+}
+
+static struct outline *new_line(void) {
+    struct outline *l;
+    l = (struct outline *)malloc(sizeof(struct outline));
+    l->len = 0;
+    l->next = 0;
+    if (line_tail)
+        line_tail->next = l;
+    else
+        line_head = l;
+    line_tail = l;
+    return l;
+}
+
+static void put_cell(int ch, int mode) {
+    struct charcell *cell;
+    if (!cur_line || cur_line->len >= LINE_MAX)
+        cur_line = new_line();
+    cell = &cur_line->cells[cur_line->len];
+    cell->ch = ch;
+    cell->mode = mode;
+    cur_line->len++;
+}
+
+static void feed(const char *text) {
+    int mode;
+    const char *p;
+    mode = MODE_NORMAL;
+    for (p = text; *p; p++) {
+        if (*p == '_' && p[1] == 8) {
+            mode = MODE_UNDERLINE;
+            p++;
+            continue;
+        }
+        if (*p == '\n') {
+            cur_line = new_line();
+            continue;
+        }
+        put_cell(*p, mode);
+        mode = MODE_NORMAL;
+    }
+}
+
+static void flush_lines(void) {
+    struct outline *l;
+    struct charcell *cell;
+    struct mode_handler *h;
+    int i;
+    for (l = line_head; l; l = l->next) {
+        for (i = 0; i < l->len; i++) {
+            cell = &l->cells[i];
+            h = &handlers[cell->mode];
+            h->emit(cell);
+        }
+        putchar('\n');
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Tab expansion and per-mode statistics.                              */
+/* ------------------------------------------------------------------ */
+
+struct mode_stats {
+    int counts[3];
+    int lines;
+    struct outline *longest;
+};
+
+struct mode_stats stats;
+
+static void expand_tabs(struct outline *l, int tabstop) {
+    struct charcell expanded[256];
+    int out, i, pad;
+    out = 0;
+    for (i = 0; i < l->len && out < LINE_MAX; i++) {
+        if (l->cells[i].ch == '\t') {
+            pad = tabstop - (out % tabstop);
+            while (pad-- > 0 && out < LINE_MAX) {
+                expanded[out].ch = ' ';
+                expanded[out].mode = MODE_NORMAL;
+                out++;
+            }
+            continue;
+        }
+        expanded[out++] = l->cells[i];
+    }
+    for (i = 0; i < out; i++)
+        l->cells[i] = expanded[i];
+    l->len = out;
+}
+
+static void collect_stats(void) {
+    struct outline *l;
+    int i;
+    stats.counts[0] = 0;
+    stats.counts[1] = 0;
+    stats.counts[2] = 0;
+    stats.lines = 0;
+    stats.longest = 0;
+    for (l = line_head; l; l = l->next) {
+        stats.lines++;
+        if (!stats.longest || l->len > stats.longest->len)
+            stats.longest = l;
+        for (i = 0; i < l->len; i++)
+            stats.counts[l->cells[i].mode]++;
+    }
+}
+
+static void report_stats(void) {
+    const struct mode_handler *h;
+    int m;
+    for (m = 0; m < 3; m++) {
+        h = &handlers[m];
+        printf("%s: %d cells\n", h->name, stats.counts[m]);
+    }
+    printf("%d lines, longest %d cells\n", stats.lines,
+           stats.longest ? stats.longest->len : 0);
+}
+
+int main(void) {
+    struct outline *l;
+    init_handlers();
+    cur_line = 0;
+    line_head = 0;
+    line_tail = 0;
+    feed("plain text\n");
+    feed("emphasized words here\n");
+    feed("col1\tcol2\tend\n");
+    for (l = line_head; l; l = l->next)
+        expand_tabs(l, 8);
+    flush_lines();
+    collect_stats();
+    report_stats();
+    return 0;
+}

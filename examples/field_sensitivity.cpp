@@ -1,0 +1,97 @@
+//===--- field_sensitivity.cpp - Why fields matter downstream -------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deeper tour of the framework on a linked-list workload: shows the
+/// per-dereference points-to sets each instance computes and the Figure-4
+/// metric for this one program, illustrating the paper's motivation (the
+/// slicing experiment where collapsed structures poisoned the results).
+///
+/// Run: ./build/examples/field_sensitivity
+///
+//===----------------------------------------------------------------------===//
+
+#include "pta/Frontend.h"
+
+#include <cstdio>
+
+static const char *Source = R"(
+struct node {
+  struct node *next;
+  int *payload;
+  char *label;
+};
+
+struct node pool[8];
+int values[8];
+char name_a[4];
+struct node *head;
+int *sum_src;
+char *tag_src;
+
+void build(void) {
+  int i;
+  head = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    pool[i].next = head;
+    pool[i].payload = &values[i];
+    pool[i].label = name_a;
+    head = &pool[i];
+  }
+}
+
+void walk(void) {
+  struct node *p;
+  for (p = head; p; p = p->next) {
+    sum_src = p->payload;   /* should see only values */
+    tag_src = p->label;     /* should see only name_a */
+  }
+}
+
+int main(void) { build(); walk(); return 0; }
+)";
+
+int main() {
+  std::printf("== field_sensitivity: what each instance tells a client ==\n");
+
+  spa::DiagnosticEngine Diags;
+  auto Program = spa::CompiledProgram::fromSource(Source, Diags);
+  if (!Program) {
+    std::fprintf(stderr, "%s", Diags.formatAll().c_str());
+    return 1;
+  }
+
+  for (spa::ModelKind Kind :
+       {spa::ModelKind::CollapseAlways, spa::ModelKind::CollapseOnCast,
+        spa::ModelKind::CommonInitialSeq, spa::ModelKind::Offsets}) {
+    spa::AnalysisOptions Opts;
+    Opts.Model = Kind;
+    spa::Analysis A(Program->Prog, Opts);
+    A.run();
+
+    std::printf("\n-- %s --\n", spa::modelKindName(Kind));
+    for (const char *Var : {"sum_src", "tag_src"}) {
+      std::printf("  %-8s -> {", Var);
+      bool First = true;
+      for (const std::string &T : spa::pointsToSetOf(A.solver(), Var)) {
+        std::printf("%s%s", First ? "" : ", ", T.c_str());
+        First = false;
+      }
+      std::printf("}\n");
+    }
+    spa::DerefMetrics M = A.derefMetrics();
+    std::printf("  avg deref set size: %.2f over %zu sites "
+                "(max %llu, edges %llu)\n",
+                M.AvgSetSize, M.Sites, (unsigned long long)M.MaxSetSize,
+                (unsigned long long)A.solver().numEdges());
+  }
+
+  std::printf("\nA client like program slicing asks exactly these "
+              "questions; with collapsed\nstructures, sum_src appears to "
+              "reach the label string and every next link,\nso the slice "
+              "would drag in the whole list plumbing.\n");
+  return 0;
+}

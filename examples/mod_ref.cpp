@@ -1,0 +1,116 @@
+//===--- mod_ref.cpp - A downstream client: per-function MOD sets ---------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper motivates field-sensitive points-to analysis by the precision
+/// of *subsequent* analyses. This example builds one such client -- the
+/// classic MOD problem (which locations may each function modify through
+/// stores) -- on top of the public API, and contrasts the MOD sets
+/// produced with the Collapse-Always and Common-Initial-Sequence
+/// instances.
+///
+/// Run: ./build/examples/mod_ref
+///
+//===----------------------------------------------------------------------===//
+
+#include "pta/Frontend.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+using namespace spa;
+
+static const char *Source = R"(
+struct config {
+  int *verbosity;
+  int *log_level;
+  char *log_path;
+};
+
+struct stats {
+  int hits;
+  int misses;
+};
+
+struct config cfg;
+struct stats counters;
+int verbosity_storage;
+int level_storage;
+
+void set_verbosity(int v) {
+  *cfg.verbosity = v;       /* writes only verbosity_storage */
+}
+
+void set_level(int l) {
+  *cfg.log_level = l;       /* writes only level_storage */
+}
+
+void bump(struct stats *s) {
+  s->hits = s->hits + 1;    /* writes only counters.hits */
+}
+
+int main(void) {
+  cfg.verbosity = &verbosity_storage;
+  cfg.log_level = &level_storage;
+  set_verbosity(2);
+  set_level(7);
+  bump(&counters);
+  return 0;
+}
+)";
+
+/// Computes, for each defined function, the set of locations its stores
+/// may modify (printable names), using one solved analysis.
+static std::map<std::string, std::set<std::string>>
+computeModSets(Analysis &A, const NormProgram &Prog) {
+  std::map<std::string, std::set<std::string>> Mod;
+  for (const NormStmt &S : Prog.Stmts) {
+    if (S.Op != NormOp::Store || !S.Owner.isValid())
+      continue;
+    std::string Fn(Prog.Strings.text(Prog.func(S.Owner).Name));
+    for (NodeId Target : A.solver().pointsTo(A.solver().normalizeObj(S.Dst)))
+      Mod[Fn].insert(nodeToString(A.solver(), Target));
+  }
+  return Mod;
+}
+
+int main() {
+  DiagnosticEngine Diags;
+  auto Program = CompiledProgram::fromSource(Source, Diags);
+  if (!Program) {
+    std::fprintf(stderr, "%s", Diags.formatAll().c_str());
+    return 1;
+  }
+
+  std::printf("== mod_ref: per-function MOD sets as a downstream client "
+              "==\n");
+  for (ModelKind Kind :
+       {ModelKind::CollapseAlways, ModelKind::CommonInitialSeq}) {
+    AnalysisOptions Opts;
+    Opts.Model = Kind;
+    Analysis A(Program->Prog, Opts);
+    A.run();
+    auto Mod = computeModSets(A, Program->Prog);
+
+    std::printf("\n-- %s --\n", modelKindName(Kind));
+    for (const auto &[Fn, Locs] : Mod) {
+      std::printf("  MOD(%s) = {", Fn.c_str());
+      bool First = true;
+      for (const std::string &L : Locs) {
+        std::printf("%s%s", First ? "" : ", ", L.c_str());
+        First = false;
+      }
+      std::printf("}\n");
+    }
+  }
+
+  std::printf("\nWith collapsed structures, set_verbosity and set_level "
+              "appear to write the\nsame locations (any field of cfg's "
+              "targets), so a compiler could not reorder\nor parallelize "
+              "them; the field-sensitive MOD sets are disjoint.\n");
+  return 0;
+}

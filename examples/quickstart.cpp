@@ -1,0 +1,74 @@
+//===--- quickstart.cpp - Minimal end-to-end use of the library ----------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analyzes the paper's introductory example with all four instances of
+/// the framework and prints each instance's points-to set for p, showing
+/// the headline difference: collapsing structures reports p -> {x, y},
+/// while every field-sensitive instance reports the precise p -> {x}.
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "pta/Frontend.h"
+
+#include <cstdio>
+
+static const char *Source = R"(
+struct S { int *s1; int *s2; } s;
+int x, y, *p;
+
+int main(void) {
+  s.s1 = &x;
+  s.s2 = &y;
+  p = s.s1;
+  return 0;
+}
+)";
+
+int main() {
+  std::printf("== spa quickstart: the paper's introductory example ==\n\n");
+  std::printf("%s\n", Source);
+
+  spa::DiagnosticEngine Diags;
+  auto Program = spa::CompiledProgram::fromSource(Source, Diags);
+  if (!Program) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.formatAll().c_str());
+    return 1;
+  }
+
+  const spa::ModelKind Kinds[] = {
+      spa::ModelKind::CollapseAlways,
+      spa::ModelKind::CollapseOnCast,
+      spa::ModelKind::CommonInitialSeq,
+      spa::ModelKind::Offsets,
+  };
+
+  for (spa::ModelKind Kind : Kinds) {
+    spa::AnalysisOptions Opts;
+    Opts.Model = Kind;
+    spa::Analysis A(Program->Prog, Opts);
+    A.run();
+
+    std::printf("%-24s p -> {", spa::modelKindName(Kind));
+    bool First = true;
+    for (const std::string &Target : spa::pointsToSetOf(A.solver(), "p")) {
+      std::printf("%s%s", First ? "" : ", ", Target.c_str());
+      First = false;
+    }
+    std::printf("}   (edges=%llu, iterations=%u)\n",
+                (unsigned long long)A.solver().numEdges(),
+                A.solver().runStats().Iterations);
+  }
+
+  std::printf("\nCollapse Always merges the fields of s, so p appears to "
+              "point to x and y;\nthe field-sensitive instances all report "
+              "the precise answer {x}.\n");
+  return 0;
+}

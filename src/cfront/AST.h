@@ -1,0 +1,192 @@
+//===--- AST.h - Abstract syntax tree --------------------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed AST produced by the parser. Nodes use a flattened
+/// kind-discriminated representation (one Expr struct, one Stmt struct)
+/// rather than a deep class hierarchy: the only consumers are the
+/// normalizer and tests, both of which dispatch on the kind anyway.
+///
+/// Every expression carries the type computed during parsing. Array- and
+/// function-typed expressions are *not* decayed in the AST; the normalizer
+/// applies decay where C's semantics require it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CFRONT_AST_H
+#define SPA_CFRONT_AST_H
+
+#include "ctypes/TypeTable.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spa {
+
+struct Expr;
+struct Stmt;
+struct FunctionDecl;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  IntLit,     ///< integer or character literal
+  FloatLit,
+  StringLit,  ///< string literal (a distinct char-array object)
+  DeclRef,    ///< reference to a variable or parameter
+  FuncRef,    ///< reference to a function by name
+  EnumRef,    ///< reference to an enumeration constant
+  Unary,
+  Binary,
+  Assign,     ///< '=' and compound assignments
+  Conditional,
+  Cast,
+  Call,
+  Member,     ///< '.' and '->'
+  Index,      ///< a[i]
+  SizeofType, ///< sizeof(type-name); sizeof expr is folded by the parser
+  Comma,
+  InitList,   ///< brace-enclosed initializer (only in initializers)
+};
+
+/// Unary operators.
+enum class UnaryOp : uint8_t {
+  AddrOf, Deref, Plus, Minus, Not, BitNot, PreInc, PreDec, PostInc, PostDec,
+};
+
+/// Binary operators (assignment is ExprKind::Assign, not here).
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Rem, Shl, Shr, BitAnd, BitOr, BitXor,
+  LogAnd, LogOr, Lt, Gt, Le, Ge, Eq, Ne,
+};
+
+struct VarDecl;
+
+/// One expression node; the meaningful members depend on Kind.
+struct Expr {
+  ExprKind Kind = ExprKind::IntLit;
+  SourceLoc Loc;
+  /// Type of the expression (arrays/functions not decayed).
+  TypeId Ty;
+
+  UnaryOp UOp = UnaryOp::Plus;       ///< Unary
+  BinaryOp BOp = BinaryOp::Add;      ///< Binary; also compound-assign op
+  bool IsCompoundAssign = false;     ///< Assign: '+=' etc. rather than '='
+
+  ExprPtr Lhs;  ///< Unary/Cast operand, Binary/Assign/Comma lhs, Call callee,
+                ///< Member base, Index base, Conditional condition
+  ExprPtr Rhs;  ///< Binary/Assign/Comma rhs, Index subscript,
+                ///< Conditional then-arm
+  ExprPtr Cond; ///< Conditional else-arm
+
+  std::vector<ExprPtr> Args; ///< Call arguments; InitList elements
+
+  VarDecl *Var = nullptr;      ///< DeclRef
+  FunctionDecl *Fn = nullptr;  ///< FuncRef
+  Symbol Member;               ///< Member: field name
+  uint32_t MemberIndex = 0;    ///< Member: index into the record's fields
+  bool IsArrow = false;        ///< Member: '->' rather than '.'
+
+  uint64_t IntValue = 0;  ///< IntLit; EnumRef value
+  double FloatValue = 0;  ///< FloatLit
+  std::string StrValue;   ///< StringLit (decoded)
+  TypeId SizeofArg;       ///< SizeofType: the measured type
+};
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  Compound, ExprStmt, If, While, DoWhile, For, Switch, Case, Default,
+  Break, Continue, Return, DeclStmt, Null, Goto, Label,
+};
+
+/// One statement node; the meaningful members depend on Kind.
+struct Stmt {
+  StmtKind Kind = StmtKind::Null;
+  SourceLoc Loc;
+
+  ExprPtr Cond;  ///< If/While/DoWhile/For/Switch condition; Return value;
+                 ///< ExprStmt expression
+  ExprPtr Init;  ///< For: init expression (exclusive with InitDecl)
+  ExprPtr Step;  ///< For: step expression
+  StmtPtr Then;  ///< If then; loop/Switch/Case/Default/Label body
+  StmtPtr Else;  ///< If else
+  StmtPtr InitDecl; ///< For: init declaration (a DeclStmt)
+
+  std::vector<StmtPtr> Body;     ///< Compound: children
+  std::vector<VarDecl *> Decls;  ///< DeclStmt: declared locals
+  Symbol LabelName;              ///< Goto/Label
+  long CaseValue = 0;            ///< Case
+};
+
+/// A variable: global, local, or parameter. Owned by the TranslationUnit.
+struct VarDecl {
+  Symbol Name;
+  TypeId Ty;
+  SourceLoc Loc;
+  bool IsGlobal = false;
+  bool IsParam = false;
+  bool IsStatic = false;
+  bool IsExtern = false;
+  ExprPtr Init;                    ///< may be an InitList; often null
+  FunctionDecl *Owner = nullptr;   ///< enclosing function; null for globals
+};
+
+/// A function declaration or definition. Owned by the TranslationUnit.
+struct FunctionDecl {
+  Symbol Name;
+  TypeId Ty; ///< a Function type
+  SourceLoc Loc;
+  std::vector<VarDecl *> Params;
+  StmtPtr Body; ///< null if declared but not defined
+  bool IsVariadic = false;
+  bool IsStatic = false;
+
+  bool isDefined() const { return Body != nullptr; }
+};
+
+/// Everything parsed from one source buffer.
+///
+/// Owns all declarations; AST nodes reference them by plain pointer. The
+/// TypeTable and StringInterner are owned by the caller so that several
+/// translation units (or an analysis over the result) can share them.
+struct TranslationUnit {
+  explicit TranslationUnit(TypeTable &Types, StringInterner &Strings)
+      : Types(Types), Strings(Strings) {}
+
+  TypeTable &Types;
+  StringInterner &Strings;
+
+  std::vector<std::unique_ptr<VarDecl>> AllVars; ///< globals + locals + params
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+  std::vector<VarDecl *> Globals; ///< in declaration order
+
+  /// Creates and registers a variable.
+  VarDecl *makeVar() {
+    AllVars.push_back(std::make_unique<VarDecl>());
+    return AllVars.back().get();
+  }
+
+  /// Creates and registers a function.
+  FunctionDecl *makeFunction() {
+    Functions.push_back(std::make_unique<FunctionDecl>());
+    return Functions.back().get();
+  }
+
+  /// Finds a function by name; null if absent.
+  FunctionDecl *findFunction(Symbol Name) const {
+    for (const auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+} // namespace spa
+
+#endif // SPA_CFRONT_AST_H

@@ -1,0 +1,429 @@
+//===--- Lexer.cpp --------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace spa;
+
+const char *spa::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof: return "end of file";
+  case TokKind::Identifier: return "identifier";
+  case TokKind::IntLiteral: return "integer literal";
+  case TokKind::FloatLiteral: return "float literal";
+  case TokKind::CharLiteral: return "character literal";
+  case TokKind::StringLiteral: return "string literal";
+  case TokKind::KwVoid: return "'void'";
+  case TokKind::KwChar: return "'char'";
+  case TokKind::KwShort: return "'short'";
+  case TokKind::KwInt: return "'int'";
+  case TokKind::KwLong: return "'long'";
+  case TokKind::KwFloat: return "'float'";
+  case TokKind::KwDouble: return "'double'";
+  case TokKind::KwSigned: return "'signed'";
+  case TokKind::KwUnsigned: return "'unsigned'";
+  case TokKind::KwStruct: return "'struct'";
+  case TokKind::KwUnion: return "'union'";
+  case TokKind::KwEnum: return "'enum'";
+  case TokKind::KwTypedef: return "'typedef'";
+  case TokKind::KwExtern: return "'extern'";
+  case TokKind::KwStatic: return "'static'";
+  case TokKind::KwAuto: return "'auto'";
+  case TokKind::KwRegister: return "'register'";
+  case TokKind::KwConst: return "'const'";
+  case TokKind::KwVolatile: return "'volatile'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwWhile: return "'while'";
+  case TokKind::KwFor: return "'for'";
+  case TokKind::KwDo: return "'do'";
+  case TokKind::KwSwitch: return "'switch'";
+  case TokKind::KwCase: return "'case'";
+  case TokKind::KwDefault: return "'default'";
+  case TokKind::KwBreak: return "'break'";
+  case TokKind::KwContinue: return "'continue'";
+  case TokKind::KwReturn: return "'return'";
+  case TokKind::KwGoto: return "'goto'";
+  case TokKind::KwSizeof: return "'sizeof'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Semi: return "';'";
+  case TokKind::Comma: return "','";
+  case TokKind::Dot: return "'.'";
+  case TokKind::Arrow: return "'->'";
+  case TokKind::Ellipsis: return "'...'";
+  case TokKind::Amp: return "'&'";
+  case TokKind::AmpAmp: return "'&&'";
+  case TokKind::Pipe: return "'|'";
+  case TokKind::PipePipe: return "'||'";
+  case TokKind::Caret: return "'^'";
+  case TokKind::Tilde: return "'~'";
+  case TokKind::Bang: return "'!'";
+  case TokKind::Plus: return "'+'";
+  case TokKind::PlusPlus: return "'++'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::MinusMinus: return "'--'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::Less: return "'<'";
+  case TokKind::LessEq: return "'<='";
+  case TokKind::Greater: return "'>'";
+  case TokKind::GreaterEq: return "'>='";
+  case TokKind::EqEq: return "'=='";
+  case TokKind::BangEq: return "'!='";
+  case TokKind::Shl: return "'<<'";
+  case TokKind::Shr: return "'>>'";
+  case TokKind::Question: return "'?'";
+  case TokKind::Colon: return "':'";
+  case TokKind::Assign: return "'='";
+  case TokKind::PlusAssign: return "'+='";
+  case TokKind::MinusAssign: return "'-='";
+  case TokKind::StarAssign: return "'*='";
+  case TokKind::SlashAssign: return "'/='";
+  case TokKind::PercentAssign: return "'%='";
+  case TokKind::AmpAssign: return "'&='";
+  case TokKind::PipeAssign: return "'|='";
+  case TokKind::CaretAssign: return "'^='";
+  case TokKind::ShlAssign: return "'<<='";
+  case TokKind::ShrAssign: return "'>>='";
+  }
+  return "token";
+}
+
+Lexer::Lexer(std::string_view Source, StringInterner &Strings,
+             DiagnosticEngine &Diags)
+    : Source(Source), Strings(Strings), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    if (C == '#' && Column == 1) {
+      // Preprocessor line marker or directive remnant: skip the line.
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"void", TokKind::KwVoid},       {"char", TokKind::KwChar},
+      {"short", TokKind::KwShort},     {"int", TokKind::KwInt},
+      {"long", TokKind::KwLong},       {"float", TokKind::KwFloat},
+      {"double", TokKind::KwDouble},   {"signed", TokKind::KwSigned},
+      {"unsigned", TokKind::KwUnsigned}, {"struct", TokKind::KwStruct},
+      {"union", TokKind::KwUnion},     {"enum", TokKind::KwEnum},
+      {"typedef", TokKind::KwTypedef}, {"extern", TokKind::KwExtern},
+      {"static", TokKind::KwStatic},   {"auto", TokKind::KwAuto},
+      {"register", TokKind::KwRegister}, {"const", TokKind::KwConst},
+      {"volatile", TokKind::KwVolatile}, {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},         {"do", TokKind::KwDo},
+      {"switch", TokKind::KwSwitch},   {"case", TokKind::KwCase},
+      {"default", TokKind::KwDefault}, {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"return", TokKind::KwReturn},
+      {"goto", TokKind::KwGoto},       {"sizeof", TokKind::KwSizeof},
+  };
+
+  Token Tok;
+  Tok.Loc = here();
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string_view Text = Source.substr(Start, Pos - Start);
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end()) {
+    Tok.Kind = It->second;
+    return Tok;
+  }
+  Tok.Kind = TokKind::Identifier;
+  Tok.Ident = Strings.intern(Text);
+  return Tok;
+}
+
+Token Lexer::lexNumber() {
+  Token Tok;
+  Tok.Loc = here();
+  size_t Start = Pos;
+  bool IsFloat = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Sign = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(Sign)) ||
+          ((Sign == '+' || Sign == '-') &&
+           std::isdigit(static_cast<unsigned char>(peek(2))))) {
+        IsFloat = true;
+        advance();
+        if (peek() == '+' || peek() == '-')
+          advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      }
+    }
+  }
+  std::string Text(Source.substr(Start, Pos - Start));
+  // Suffixes (u, l, f combinations).
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+         peek() == 'f' || peek() == 'F') {
+    if (peek() == 'f' || peek() == 'F')
+      IsFloat = true;
+    advance();
+  }
+
+  if (IsFloat) {
+    Tok.Kind = TokKind::FloatLiteral;
+    Tok.FloatValue = std::strtod(Text.c_str(), nullptr);
+  } else {
+    Tok.Kind = TokKind::IntLiteral;
+    Tok.IntValue = std::strtoull(Text.c_str(), nullptr, 0);
+  }
+  return Tok;
+}
+
+int Lexer::decodeEscape() {
+  char C = advance();
+  if (C != '\\')
+    return static_cast<unsigned char>(C);
+  char E = advance();
+  switch (E) {
+  case 'n': return '\n';
+  case 't': return '\t';
+  case 'r': return '\r';
+  case '0': return '\0';
+  case 'a': return '\a';
+  case 'b': return '\b';
+  case 'f': return '\f';
+  case 'v': return '\v';
+  case '\\': return '\\';
+  case '\'': return '\'';
+  case '"': return '"';
+  case 'x': {
+    int Value = 0;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char H = advance();
+      int D = H <= '9' ? H - '0' : (H | 0x20) - 'a' + 10;
+      Value = Value * 16 + D;
+    }
+    return Value & 0xFF;
+  }
+  default:
+    return static_cast<unsigned char>(E);
+  }
+}
+
+Token Lexer::lexCharLiteral() {
+  Token Tok;
+  Tok.Loc = here();
+  Tok.Kind = TokKind::CharLiteral;
+  advance(); // opening quote
+  if (peek() == '\'') {
+    Diags.error(Tok.Loc, "empty character literal");
+    advance();
+    return Tok;
+  }
+  Tok.IntValue = static_cast<uint64_t>(decodeEscape());
+  if (!match('\''))
+    Diags.error(Tok.Loc, "unterminated character literal");
+  return Tok;
+}
+
+Token Lexer::lexStringLiteral() {
+  Token Tok;
+  Tok.Loc = here();
+  Tok.Kind = TokKind::StringLiteral;
+  advance(); // opening quote
+  while (peek() != '"') {
+    if (peek() == '\0' || peek() == '\n') {
+      Diags.error(Tok.Loc, "unterminated string literal");
+      return Tok;
+    }
+    Tok.StrValue.push_back(static_cast<char>(decodeEscape()));
+  }
+  advance(); // closing quote
+  return Tok;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  char C = peek();
+
+  if (C == '\0') {
+    Token Tok;
+    Tok.Kind = TokKind::Eof;
+    Tok.Loc = Loc;
+    return Tok;
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '\'')
+    return lexCharLiteral();
+  if (C == '"') {
+    // Adjacent string literals concatenate.
+    Token Tok = lexStringLiteral();
+    for (;;) {
+      skipTrivia();
+      if (peek() != '"')
+        break;
+      Token More = lexStringLiteral();
+      Tok.StrValue += More.StrValue;
+    }
+    return Tok;
+  }
+
+  Token Tok;
+  Tok.Loc = Loc;
+  advance();
+  auto Set = [&](TokKind Kind) { Tok.Kind = Kind; return Tok; };
+  switch (C) {
+  case '(': return Set(TokKind::LParen);
+  case ')': return Set(TokKind::RParen);
+  case '{': return Set(TokKind::LBrace);
+  case '}': return Set(TokKind::RBrace);
+  case '[': return Set(TokKind::LBracket);
+  case ']': return Set(TokKind::RBracket);
+  case ';': return Set(TokKind::Semi);
+  case ',': return Set(TokKind::Comma);
+  case '~': return Set(TokKind::Tilde);
+  case '?': return Set(TokKind::Question);
+  case ':': return Set(TokKind::Colon);
+  case '.':
+    if (peek() == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      return Set(TokKind::Ellipsis);
+    }
+    return Set(TokKind::Dot);
+  case '+':
+    if (match('+')) return Set(TokKind::PlusPlus);
+    if (match('=')) return Set(TokKind::PlusAssign);
+    return Set(TokKind::Plus);
+  case '-':
+    if (match('-')) return Set(TokKind::MinusMinus);
+    if (match('=')) return Set(TokKind::MinusAssign);
+    if (match('>')) return Set(TokKind::Arrow);
+    return Set(TokKind::Minus);
+  case '*':
+    if (match('=')) return Set(TokKind::StarAssign);
+    return Set(TokKind::Star);
+  case '/':
+    if (match('=')) return Set(TokKind::SlashAssign);
+    return Set(TokKind::Slash);
+  case '%':
+    if (match('=')) return Set(TokKind::PercentAssign);
+    return Set(TokKind::Percent);
+  case '&':
+    if (match('&')) return Set(TokKind::AmpAmp);
+    if (match('=')) return Set(TokKind::AmpAssign);
+    return Set(TokKind::Amp);
+  case '|':
+    if (match('|')) return Set(TokKind::PipePipe);
+    if (match('=')) return Set(TokKind::PipeAssign);
+    return Set(TokKind::Pipe);
+  case '^':
+    if (match('=')) return Set(TokKind::CaretAssign);
+    return Set(TokKind::Caret);
+  case '!':
+    if (match('=')) return Set(TokKind::BangEq);
+    return Set(TokKind::Bang);
+  case '=':
+    if (match('=')) return Set(TokKind::EqEq);
+    return Set(TokKind::Assign);
+  case '<':
+    if (match('<')) {
+      if (match('=')) return Set(TokKind::ShlAssign);
+      return Set(TokKind::Shl);
+    }
+    if (match('=')) return Set(TokKind::LessEq);
+    return Set(TokKind::Less);
+  case '>':
+    if (match('>')) {
+      if (match('=')) return Set(TokKind::ShrAssign);
+      return Set(TokKind::Shr);
+    }
+    if (match('=')) return Set(TokKind::GreaterEq);
+    return Set(TokKind::Greater);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+}

@@ -1,0 +1,58 @@
+//===--- Lexer.h - C lexer -------------------------------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for preprocessed C: identifiers, keywords, numeric /
+/// character / string literals, all operators, and both comment styles.
+/// Preprocessor directives (`# ...` lines) are skipped so lightly
+/// preprocessed sources still lex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CFRONT_LEXER_H
+#define SPA_CFRONT_LEXER_H
+
+#include "cfront/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace spa {
+
+/// Produces a token stream from a source buffer.
+class Lexer {
+public:
+  Lexer(std::string_view Source, StringInterner &Strings,
+        DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token (Eof forever once exhausted).
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  SourceLoc here() const { return {Line, Column}; }
+
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+  /// Decodes one (possibly escaped) character of a char/string literal.
+  int decodeEscape();
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  StringInterner &Strings;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace spa
+
+#endif // SPA_CFRONT_LEXER_H

@@ -1,0 +1,1517 @@
+//===--- Parser.cpp -------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Parser.h"
+
+using namespace spa;
+
+Parser::Parser(std::string_view Source, TranslationUnit &TU,
+               DiagnosticEngine &Diags, TargetInfo Target)
+    : Lex(Source, TU.Strings, Diags), TU(TU), Types(TU.Types),
+      Strings(TU.Strings), Diags(Diags), Layout(TU.Types, std::move(Target)) {
+  Cur = Lex.next();
+  pushScope(); // file scope
+}
+
+//===----------------------------------------------------------------------===//
+// Token stream
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::peekTok() {
+  if (!HasAhead) {
+    Ahead = Lex.next();
+    HasAhead = true;
+  }
+  return Ahead;
+}
+
+void Parser::consume() {
+  if (HasAhead) {
+    Cur = Ahead;
+    HasAhead = false;
+    return;
+  }
+  Cur = Lex.next();
+}
+
+bool Parser::accept(TokKind Kind) {
+  if (!at(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(Cur.Loc, std::string("expected ") + tokKindName(Kind) +
+                           " in " + Context + ", found " +
+                           tokKindName(Cur.Kind));
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+const Parser::OrdinaryEntry *Parser::lookupOrdinary(Symbol Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->Ordinary.find(Name);
+    if (Found != It->Ordinary.end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+const Parser::TagEntry *Parser::lookupTag(Symbol Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->Tags.find(Name);
+    if (Found != It->Tags.end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+void Parser::declareOrdinary(Symbol Name, OrdinaryEntry Entry) {
+  Scopes.back().Ordinary[Name] = std::move(Entry);
+}
+
+bool Parser::isTypeName(const Token &T) const {
+  if (T.Kind != TokKind::Identifier)
+    return false;
+  const OrdinaryEntry *Entry = lookupOrdinary(T.Ident);
+  return Entry && Entry->Kind == OrdinaryEntry::EK_Typedef;
+}
+
+bool Parser::atDeclSpecStart() const {
+  switch (Cur.Kind) {
+  case TokKind::KwVoid: case TokKind::KwChar: case TokKind::KwShort:
+  case TokKind::KwInt: case TokKind::KwLong: case TokKind::KwFloat:
+  case TokKind::KwDouble: case TokKind::KwSigned: case TokKind::KwUnsigned:
+  case TokKind::KwStruct: case TokKind::KwUnion: case TokKind::KwEnum:
+  case TokKind::KwTypedef: case TokKind::KwExtern: case TokKind::KwStatic:
+  case TokKind::KwAuto: case TokKind::KwRegister: case TokKind::KwConst:
+  case TokKind::KwVolatile:
+    return true;
+  case TokKind::Identifier:
+    return isTypeName(Cur);
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declaration specifiers
+//===----------------------------------------------------------------------===//
+
+Parser::DeclSpecs Parser::parseDeclSpecs() {
+  DeclSpecs Specs;
+  bool SawVoid = false, SawChar = false, SawFloat = false, SawDouble = false;
+  bool SawSigned = false, SawUnsigned = false, SawShort = false,
+       SawInt = false;
+  int Longs = 0;
+  uint8_t Quals = QualNone;
+  TypeId TaggedOrTypedef; // struct/union/enum or typedef name
+
+  for (;;) {
+    switch (Cur.Kind) {
+    case TokKind::KwTypedef: Specs.IsTypedef = true; consume(); continue;
+    case TokKind::KwExtern: Specs.IsExtern = true; consume(); continue;
+    case TokKind::KwStatic: Specs.IsStatic = true; consume(); continue;
+    case TokKind::KwAuto:
+    case TokKind::KwRegister: consume(); continue;
+    case TokKind::KwConst: Quals |= QualConst; consume(); continue;
+    case TokKind::KwVolatile: Quals |= QualVolatile; consume(); continue;
+    case TokKind::KwVoid: SawVoid = true; Specs.SawSpecifier = true;
+      consume(); continue;
+    case TokKind::KwChar: SawChar = true; Specs.SawSpecifier = true;
+      consume(); continue;
+    case TokKind::KwShort: SawShort = true; Specs.SawSpecifier = true;
+      consume(); continue;
+    case TokKind::KwInt: SawInt = true; Specs.SawSpecifier = true;
+      consume(); continue;
+    case TokKind::KwLong: ++Longs; Specs.SawSpecifier = true;
+      consume(); continue;
+    case TokKind::KwFloat: SawFloat = true; Specs.SawSpecifier = true;
+      consume(); continue;
+    case TokKind::KwDouble: SawDouble = true; Specs.SawSpecifier = true;
+      consume(); continue;
+    case TokKind::KwSigned: SawSigned = true; Specs.SawSpecifier = true;
+      consume(); continue;
+    case TokKind::KwUnsigned: SawUnsigned = true; Specs.SawSpecifier = true;
+      consume(); continue;
+    case TokKind::KwStruct:
+    case TokKind::KwUnion:
+      TaggedOrTypedef = parseStructOrUnionSpecifier();
+      Specs.SawSpecifier = true;
+      continue;
+    case TokKind::KwEnum:
+      TaggedOrTypedef = parseEnumSpecifier();
+      Specs.SawSpecifier = true;
+      continue;
+    case TokKind::Identifier:
+      // A typedef name acts as the type specifier, but only if no other
+      // type specifier has been seen (so "unsigned T x;" treats T as the
+      // declarator name, matching C).
+      if (!Specs.SawSpecifier && isTypeName(Cur)) {
+        TaggedOrTypedef = lookupOrdinary(Cur.Ident)->TypedefTy;
+        Specs.SawSpecifier = true;
+        consume();
+        continue;
+      }
+      break;
+    default:
+      break;
+    }
+    break;
+  }
+
+  TypeId Base;
+  if (TaggedOrTypedef.isValid()) {
+    Base = TaggedOrTypedef;
+  } else if (SawVoid) {
+    Base = Types.voidType();
+  } else if (SawChar) {
+    Base = SawUnsigned ? Types.ucharType()
+                       : (SawSigned ? Types.scharType() : Types.charType());
+  } else if (SawFloat) {
+    Base = Types.floatType();
+  } else if (SawDouble) {
+    Base = Longs > 0 ? Types.longdoubleType() : Types.doubleType();
+  } else if (SawShort) {
+    Base = SawUnsigned ? Types.ushortType() : Types.shortType();
+  } else if (Longs >= 2) {
+    Base = SawUnsigned ? Types.ulonglongType() : Types.longlongType();
+  } else if (Longs == 1) {
+    Base = SawUnsigned ? Types.ulongType() : Types.longType();
+  } else if (SawUnsigned) {
+    Base = Types.uintType();
+  } else {
+    (void)SawInt; // plain/implicit int
+    Base = Types.intType();
+  }
+  Specs.Base = Types.getQualified(Base, Quals);
+  return Specs;
+}
+
+TypeId Parser::parseStructOrUnionSpecifier() {
+  bool IsUnion = at(TokKind::KwUnion);
+  SourceLoc Loc = Cur.Loc;
+  consume(); // struct/union
+
+  Symbol Tag;
+  if (at(TokKind::Identifier)) {
+    Tag = Cur.Ident;
+    consume();
+  }
+
+  if (!at(TokKind::LBrace)) {
+    // Reference (possibly forward) to a tagged record.
+    if (!Tag.isValid()) {
+      Diags.error(Loc, "anonymous struct/union requires a definition body");
+      return Types.intType();
+    }
+    if (const TagEntry *Entry = lookupTag(Tag)) {
+      if (Entry->IsEnum) {
+        Diags.error(Loc, "tag redeclared as a different kind");
+        return Types.intType();
+      }
+      return Types.getRecordType(Entry->Rec);
+    }
+    RecordId Rec = Types.createRecord(IsUnion, Tag);
+    Scopes.back().Tags[Tag] = TagEntry{false, Rec, EnumId()};
+    return Types.getRecordType(Rec);
+  }
+
+  // Definition. A tag already declared *in the current scope* is completed;
+  // otherwise a fresh record is created in the current scope.
+  RecordId Rec;
+  bool Found = false;
+  if (Tag.isValid()) {
+    auto It = Scopes.back().Tags.find(Tag);
+    if (It != Scopes.back().Tags.end() && !It->second.IsEnum) {
+      Rec = It->second.Rec;
+      Found = true;
+      if (Types.record(Rec).IsComplete) {
+        Diags.error(Loc, "redefinition of struct/union tag");
+        Rec = Types.createRecord(IsUnion, Tag); // recover with a fresh one
+      }
+    }
+  }
+  if (!Found)
+    Rec = Types.createRecord(IsUnion, Tag);
+  if (Tag.isValid())
+    Scopes.back().Tags[Tag] = TagEntry{false, Rec, EnumId()};
+
+  consume(); // '{'
+  std::vector<FieldDecl> Fields = parseStructDeclarationList();
+  expect(TokKind::RBrace, "struct/union definition");
+  Types.completeRecord(Rec, std::move(Fields));
+  return Types.getRecordType(Rec);
+}
+
+std::vector<FieldDecl> Parser::parseStructDeclarationList() {
+  std::vector<FieldDecl> Fields;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    DeclSpecs Specs = parseDeclSpecs();
+    if (accept(TokKind::Semi))
+      continue; // bare "struct S;" member declaration: no field
+    for (;;) {
+      if (at(TokKind::Colon)) {
+        // Unnamed bit-field: consumes padding only; no field is added.
+        consume();
+        parseConstExpr("bit-field width");
+      } else {
+        std::unique_ptr<Declarator> D = parseDeclarator(/*Abstract=*/false);
+        Symbol Name;
+        SourceLoc NameLoc;
+        TypeId Ty = applyDeclarator(*D, Specs.Base, Name, NameLoc, nullptr);
+        if (at(TokKind::Colon)) {
+          // Bit-field width is parsed and ignored: the field occupies its
+          // declared type (documented deviation; see Parser.h).
+          consume();
+          parseConstExpr("bit-field width");
+        }
+        if (!Name.isValid())
+          Diags.error(Cur.Loc, "expected member name");
+        else
+          Fields.push_back({Name, Ty});
+      }
+      if (!accept(TokKind::Comma))
+        break;
+    }
+    expect(TokKind::Semi, "struct member declaration");
+  }
+  return Fields;
+}
+
+TypeId Parser::parseEnumSpecifier() {
+  SourceLoc Loc = Cur.Loc;
+  consume(); // 'enum'
+
+  Symbol Tag;
+  if (at(TokKind::Identifier)) {
+    Tag = Cur.Ident;
+    consume();
+  }
+
+  if (!at(TokKind::LBrace)) {
+    if (!Tag.isValid()) {
+      Diags.error(Loc, "anonymous enum requires a definition body");
+      return Types.intType();
+    }
+    if (const TagEntry *Entry = lookupTag(Tag)) {
+      if (!Entry->IsEnum) {
+        Diags.error(Loc, "tag redeclared as a different kind");
+        return Types.intType();
+      }
+      return Types.getEnumType(Entry->En);
+    }
+    EnumId En = Types.createEnum(Tag);
+    Scopes.back().Tags[Tag] = TagEntry{true, RecordId(), En};
+    return Types.getEnumType(En);
+  }
+
+  EnumId En = Types.createEnum(Tag);
+  if (Tag.isValid())
+    Scopes.back().Tags[Tag] = TagEntry{true, RecordId(), En};
+  TypeId EnumTy = Types.getEnumType(En);
+
+  consume(); // '{'
+  long NextValue = 0;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    if (!at(TokKind::Identifier)) {
+      Diags.error(Cur.Loc, "expected enumerator name");
+      break;
+    }
+    Symbol Name = Cur.Ident;
+    consume();
+    if (accept(TokKind::Assign))
+      NextValue = parseConstExpr("enumerator value");
+    OrdinaryEntry Entry;
+    Entry.Kind = OrdinaryEntry::EK_EnumConst;
+    Entry.EnumValue = NextValue;
+    Entry.EnumTy = EnumTy;
+    declareOrdinary(Name, Entry);
+    ++NextValue;
+    if (!accept(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::RBrace, "enum definition");
+  Types.completeEnum(En);
+  return EnumTy;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarators
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Parser::Declarator> Parser::parseDeclarator(bool Abstract) {
+  auto D = std::make_unique<Declarator>();
+  while (at(TokKind::Star)) {
+    consume();
+    Declarator::PointerLevel Level;
+    for (;;) {
+      if (accept(TokKind::KwConst)) {
+        Level.Quals |= QualConst;
+        continue;
+      }
+      if (accept(TokKind::KwVolatile)) {
+        Level.Quals |= QualVolatile;
+        continue;
+      }
+      break;
+    }
+    D->Pointers.push_back(Level);
+  }
+  std::unique_ptr<Declarator> Direct = parseDirectDeclarator(Abstract);
+  D->Nested = std::move(Direct->Nested);
+  D->Name = Direct->Name;
+  D->NameLoc = Direct->NameLoc;
+  D->Suffixes = std::move(Direct->Suffixes);
+  return D;
+}
+
+std::unique_ptr<Parser::Declarator>
+Parser::parseDirectDeclarator(bool Abstract) {
+  auto D = std::make_unique<Declarator>();
+
+  // A declarator name may shadow a typedef name ("typedef int T; unsigned
+  // T;" declares a variable T). Only abstract declarators treat a typedef
+  // name as "no name here".
+  if (at(TokKind::Identifier) && (!Abstract || !isTypeName(Cur))) {
+    D->Name = Cur.Ident;
+    D->NameLoc = Cur.Loc;
+    consume();
+  } else if (at(TokKind::LParen)) {
+    // Distinguish "(declarator)" from a leading function suffix of an
+    // abstract declarator like "int (int)": a parenthesized declarator
+    // starts with '*', '(', or a non-typedef identifier.
+    const Token &Next = peekTok();
+    bool Nested = Next.Kind == TokKind::Star || Next.Kind == TokKind::LParen ||
+                  (Next.Kind == TokKind::Identifier && !isTypeName(Next));
+    if (Nested) {
+      consume(); // '('
+      D->Nested = parseDeclarator(Abstract);
+      expect(TokKind::RParen, "parenthesized declarator");
+    } else if (!Abstract) {
+      Diags.error(Cur.Loc, "expected declarator name");
+    }
+    // Otherwise: abstract declarator with no core; suffix loop below will
+    // consume the '(' as a function suffix.
+  } else if (!Abstract) {
+    Diags.error(Cur.Loc, "expected declarator");
+  }
+
+  for (;;) {
+    if (at(TokKind::LBracket)) {
+      consume();
+      Declarator::Suffix Suffix;
+      Suffix.IsFunction = false;
+      if (!at(TokKind::RBracket)) {
+        long N = parseConstExpr("array size");
+        Suffix.Array.Count = N <= 0 ? 0 : static_cast<uint64_t>(N);
+      }
+      expect(TokKind::RBracket, "array declarator");
+      D->Suffixes.push_back(std::move(Suffix));
+      continue;
+    }
+    if (at(TokKind::LParen)) {
+      consume();
+      Declarator::Suffix Suffix;
+      Suffix.IsFunction = true;
+      Suffix.Function = parseParameterList();
+      expect(TokKind::RParen, "parameter list");
+      D->Suffixes.push_back(std::move(Suffix));
+      continue;
+    }
+    break;
+  }
+  return D;
+}
+
+Parser::Declarator::FunctionSuffix Parser::parseParameterList() {
+  Declarator::FunctionSuffix Fn;
+  if (at(TokKind::RParen))
+    return Fn; // "()": unprototyped; treated as zero-parameter + variadic
+  if (at(TokKind::KwVoid) && peekTok().Kind == TokKind::RParen) {
+    consume();
+    return Fn;
+  }
+  for (;;) {
+    if (at(TokKind::Ellipsis)) {
+      consume();
+      Fn.Variadic = true;
+      break;
+    }
+    DeclSpecs Specs = parseDeclSpecs();
+    std::unique_ptr<Declarator> D = parseDeclarator(/*Abstract=*/true);
+    Symbol Name;
+    SourceLoc NameLoc = Cur.Loc;
+    TypeId Ty = applyDeclarator(*D, Specs.Base, Name, NameLoc, nullptr);
+    // Parameter type adjustments: array -> pointer to element, function ->
+    // pointer to function.
+    TypeId Unqual = Types.unqualified(Ty);
+    if (Types.isArray(Unqual))
+      Ty = Types.getPointer(Types.element(Unqual));
+    else if (Types.isFunction(Unqual))
+      Ty = Types.getPointer(Unqual);
+    Fn.ParamTypes.push_back(Ty);
+    Fn.ParamNames.push_back(Name);
+    Fn.ParamLocs.push_back(NameLoc);
+    if (!accept(TokKind::Comma))
+      break;
+  }
+  return Fn;
+}
+
+TypeId Parser::applyDeclarator(const Declarator &D, TypeId Base, Symbol &Name,
+                               SourceLoc &NameLoc,
+                               const Declarator::FunctionSuffix **OuterFn) {
+  for (const Declarator::PointerLevel &Level : D.Pointers)
+    Base = Types.getQualified(Types.getPointer(Base), Level.Quals);
+  for (size_t I = D.Suffixes.size(); I-- > 0;) {
+    const Declarator::Suffix &Suffix = D.Suffixes[I];
+    if (Suffix.IsFunction) {
+      Base = Types.getFunction(Base, Suffix.Function.ParamTypes,
+                               Suffix.Function.Variadic);
+    } else {
+      Base = Types.getArray(Base, Suffix.Array.Count);
+    }
+  }
+  if (D.Nested)
+    return applyDeclarator(*D.Nested, Base, Name, NameLoc, OuterFn);
+  Name = D.Name;
+  NameLoc = D.NameLoc;
+  if (OuterFn) {
+    *OuterFn = nullptr;
+    if (!D.Suffixes.empty() && D.Suffixes.front().IsFunction)
+      *OuterFn = &D.Suffixes.front().Function;
+  }
+  return Base;
+}
+
+TypeId Parser::parseTypeName() {
+  DeclSpecs Specs = parseDeclSpecs();
+  std::unique_ptr<Declarator> D = parseDeclarator(/*Abstract=*/true);
+  Symbol Name;
+  SourceLoc NameLoc;
+  TypeId Ty = applyDeclarator(*D, Specs.Base, Name, NameLoc, nullptr);
+  if (Name.isValid())
+    Diags.error(NameLoc, "type name may not declare an identifier");
+  return Ty;
+}
+
+//===----------------------------------------------------------------------===//
+// External declarations and initializers
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseTranslationUnit() {
+  while (!at(TokKind::Eof)) {
+    parseExternalDeclaration();
+    if (Diags.errorCount() > 200) {
+      Diags.error(Cur.Loc, "too many errors; giving up");
+      break;
+    }
+  }
+  return !Diags.hasErrors();
+}
+
+void Parser::parseExternalDeclaration() {
+  DeclSpecs Specs = parseDeclSpecs();
+  if (accept(TokKind::Semi))
+    return; // bare type declaration: "struct S { ... };"
+
+  bool First = true;
+  for (;;) {
+    std::unique_ptr<Declarator> D = parseDeclarator(/*Abstract=*/false);
+    Symbol Name;
+    SourceLoc NameLoc;
+    const Declarator::FunctionSuffix *OuterFn = nullptr;
+    TypeId Ty = applyDeclarator(*D, Specs.Base, Name, NameLoc, &OuterFn);
+
+    if (First && Types.isFunction(Types.unqualified(Ty)) && OuterFn &&
+        at(TokKind::LBrace)) {
+      parseFunctionDefinition(Specs, *D, Types.unqualified(Ty), Name, NameLoc);
+      return;
+    }
+    First = false;
+
+    if (!Name.isValid()) {
+      Diags.error(NameLoc.isValid() ? NameLoc : Cur.Loc,
+                  "declaration declares nothing");
+    } else if (Specs.IsTypedef) {
+      OrdinaryEntry Entry;
+      Entry.Kind = OrdinaryEntry::EK_Typedef;
+      Entry.TypedefTy = Ty;
+      declareOrdinary(Name, Entry);
+    } else if (Types.isFunction(Types.unqualified(Ty))) {
+      FunctionDecl *Fn = TU.findFunction(Name);
+      if (!Fn) {
+        Fn = TU.makeFunction();
+        Fn->Name = Name;
+        Fn->Ty = Types.unqualified(Ty);
+        Fn->Loc = NameLoc;
+        Fn->IsVariadic = Types.node(Fn->Ty).Variadic;
+        Fn->IsStatic = Specs.IsStatic;
+      }
+      OrdinaryEntry Entry;
+      Entry.Kind = OrdinaryEntry::EK_Func;
+      Entry.Fn = Fn;
+      declareOrdinary(Name, Entry);
+    } else {
+      // Global variable; redeclarations (extern + definition) merge.
+      VarDecl *Var = nullptr;
+      if (const OrdinaryEntry *Prev = lookupOrdinary(Name))
+        if (Prev->Kind == OrdinaryEntry::EK_Var && Prev->Var->IsGlobal)
+          Var = Prev->Var;
+      if (!Var) {
+        Var = TU.makeVar();
+        Var->Name = Name;
+        Var->Loc = NameLoc;
+        Var->IsGlobal = true;
+        TU.Globals.push_back(Var);
+      }
+      Var->Ty = Ty;
+      Var->IsStatic = Specs.IsStatic;
+      Var->IsExtern = Specs.IsExtern && !at(TokKind::Assign);
+      OrdinaryEntry Entry;
+      Entry.Kind = OrdinaryEntry::EK_Var;
+      Entry.Var = Var;
+      declareOrdinary(Name, Entry);
+      if (accept(TokKind::Assign))
+        Var->Init = parseInitializer();
+    }
+
+    if (accept(TokKind::Comma))
+      continue;
+    expect(TokKind::Semi, "declaration");
+    return;
+  }
+}
+
+void Parser::parseFunctionDefinition(const DeclSpecs &Specs,
+                                     const Declarator &D, TypeId FnTy,
+                                     Symbol Name, SourceLoc NameLoc) {
+  (void)D;
+  FunctionDecl *Fn = TU.findFunction(Name);
+  if (Fn && Fn->isDefined()) {
+    Diags.error(NameLoc, "redefinition of function");
+    Fn = nullptr;
+  }
+  if (!Fn) {
+    Fn = TU.makeFunction();
+    Fn->Name = Name;
+  }
+  Fn->Ty = FnTy;
+  Fn->Loc = NameLoc;
+  Fn->IsVariadic = Types.node(FnTy).Variadic;
+  Fn->IsStatic = Specs.IsStatic;
+
+  OrdinaryEntry Entry;
+  Entry.Kind = OrdinaryEntry::EK_Func;
+  Entry.Fn = Fn;
+  declareOrdinary(Name, Entry);
+
+  // Locate the defining function suffix to recover parameter names. The
+  // declarator was already applied; re-walk it.
+  const Declarator *Level = &D;
+  while (Level->Nested)
+    Level = Level->Nested.get();
+  const Declarator::FunctionSuffix *Suffix = nullptr;
+  if (!Level->Suffixes.empty() && Level->Suffixes.front().IsFunction)
+    Suffix = &Level->Suffixes.front().Function;
+
+  pushScope();
+  FunctionDecl *PrevFunction = CurFunction;
+  CurFunction = Fn;
+  Fn->Params.clear();
+  if (Suffix) {
+    for (size_t I = 0; I < Suffix->ParamTypes.size(); ++I) {
+      VarDecl *Param = TU.makeVar();
+      Param->Name = Suffix->ParamNames[I];
+      Param->Ty = Suffix->ParamTypes[I];
+      Param->Loc = Suffix->ParamLocs[I];
+      Param->IsParam = true;
+      Param->Owner = Fn;
+      Fn->Params.push_back(Param);
+      if (Param->Name.isValid()) {
+        OrdinaryEntry ParamEntry;
+        ParamEntry.Kind = OrdinaryEntry::EK_Var;
+        ParamEntry.Var = Param;
+        declareOrdinary(Param->Name, ParamEntry);
+      }
+    }
+  }
+  Fn->Body = parseCompound();
+  CurFunction = PrevFunction;
+  popScope();
+}
+
+ExprPtr Parser::parseInitializer() {
+  if (!at(TokKind::LBrace))
+    return parseAssignment();
+  SourceLoc Loc = Cur.Loc;
+  consume();
+  auto List = std::make_unique<Expr>();
+  List->Kind = ExprKind::InitList;
+  List->Loc = Loc;
+  List->Ty = Types.intType(); // the declared object supplies the real type
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    List->Args.push_back(parseInitializer());
+    if (!accept(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::RBrace, "initializer list");
+  return List;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+bool Parser::atLocalDeclStart() { return atDeclSpecStart(); }
+
+StmtPtr Parser::parseDeclStmt() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::DeclStmt;
+  S->Loc = Cur.Loc;
+  DeclSpecs Specs = parseDeclSpecs();
+  if (accept(TokKind::Semi))
+    return S; // local struct/enum declaration only
+  for (;;) {
+    parseInitDeclarator(Specs, /*AtFileScope=*/false, &S->Decls);
+    if (!accept(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::Semi, "declaration");
+  return S;
+}
+
+void Parser::parseInitDeclarator(const DeclSpecs &Specs, bool AtFileScope,
+                                 std::vector<VarDecl *> *LocalsOut) {
+  assert(!AtFileScope && "file scope handled by parseExternalDeclaration");
+  (void)AtFileScope;
+  std::unique_ptr<Declarator> D = parseDeclarator(/*Abstract=*/false);
+  Symbol Name;
+  SourceLoc NameLoc;
+  TypeId Ty = applyDeclarator(*D, Specs.Base, Name, NameLoc, nullptr);
+
+  if (!Name.isValid()) {
+    Diags.error(Cur.Loc, "declaration declares nothing");
+    return;
+  }
+  if (Specs.IsTypedef) {
+    OrdinaryEntry Entry;
+    Entry.Kind = OrdinaryEntry::EK_Typedef;
+    Entry.TypedefTy = Ty;
+    declareOrdinary(Name, Entry);
+    return;
+  }
+  if (Types.isFunction(Types.unqualified(Ty))) {
+    // Local function declaration.
+    FunctionDecl *Fn = TU.findFunction(Name);
+    if (!Fn) {
+      Fn = TU.makeFunction();
+      Fn->Name = Name;
+      Fn->Ty = Types.unqualified(Ty);
+      Fn->Loc = NameLoc;
+      Fn->IsVariadic = Types.node(Fn->Ty).Variadic;
+    }
+    OrdinaryEntry Entry;
+    Entry.Kind = OrdinaryEntry::EK_Func;
+    Entry.Fn = Fn;
+    declareOrdinary(Name, Entry);
+    return;
+  }
+
+  VarDecl *Var = TU.makeVar();
+  Var->Name = Name;
+  Var->Ty = Ty;
+  Var->Loc = NameLoc;
+  Var->IsStatic = Specs.IsStatic;
+  Var->Owner = CurFunction;
+  if (LocalsOut)
+    LocalsOut->push_back(Var);
+  OrdinaryEntry Entry;
+  Entry.Kind = OrdinaryEntry::EK_Var;
+  Entry.Var = Var;
+  declareOrdinary(Name, Entry);
+  if (accept(TokKind::Assign))
+    Var->Init = parseInitializer();
+}
+
+StmtPtr Parser::parseCompound() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Compound;
+  S->Loc = Cur.Loc;
+  if (!expect(TokKind::LBrace, "compound statement"))
+    return S;
+  pushScope();
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    if (atLocalDeclStart())
+      S->Body.push_back(parseDeclStmt());
+    else
+      S->Body.push_back(parseStatement());
+  }
+  popScope();
+  expect(TokKind::RBrace, "compound statement");
+  return S;
+}
+
+StmtPtr Parser::parseStatement() {
+  auto S = std::make_unique<Stmt>();
+  S->Loc = Cur.Loc;
+
+  switch (Cur.Kind) {
+  case TokKind::LBrace:
+    return parseCompound();
+  case TokKind::Semi:
+    consume();
+    S->Kind = StmtKind::Null;
+    return S;
+  case TokKind::KwIf: {
+    consume();
+    S->Kind = StmtKind::If;
+    expect(TokKind::LParen, "if statement");
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "if statement");
+    S->Then = parseStatement();
+    if (accept(TokKind::KwElse))
+      S->Else = parseStatement();
+    return S;
+  }
+  case TokKind::KwWhile: {
+    consume();
+    S->Kind = StmtKind::While;
+    expect(TokKind::LParen, "while statement");
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "while statement");
+    S->Then = parseStatement();
+    return S;
+  }
+  case TokKind::KwDo: {
+    consume();
+    S->Kind = StmtKind::DoWhile;
+    S->Then = parseStatement();
+    expect(TokKind::KwWhile, "do statement");
+    expect(TokKind::LParen, "do statement");
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "do statement");
+    expect(TokKind::Semi, "do statement");
+    return S;
+  }
+  case TokKind::KwFor: {
+    consume();
+    S->Kind = StmtKind::For;
+    expect(TokKind::LParen, "for statement");
+    if (!accept(TokKind::Semi)) {
+      if (atLocalDeclStart()) {
+        S->InitDecl = parseDeclStmt();
+      } else {
+        S->Init = parseExpr();
+        expect(TokKind::Semi, "for statement");
+      }
+    }
+    if (!at(TokKind::Semi))
+      S->Cond = parseExpr();
+    expect(TokKind::Semi, "for statement");
+    if (!at(TokKind::RParen))
+      S->Step = parseExpr();
+    expect(TokKind::RParen, "for statement");
+    S->Then = parseStatement();
+    return S;
+  }
+  case TokKind::KwSwitch: {
+    consume();
+    S->Kind = StmtKind::Switch;
+    expect(TokKind::LParen, "switch statement");
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "switch statement");
+    S->Then = parseStatement();
+    return S;
+  }
+  case TokKind::KwCase: {
+    consume();
+    S->Kind = StmtKind::Case;
+    S->CaseValue = parseConstExpr("case label");
+    expect(TokKind::Colon, "case label");
+    S->Then = parseStatement();
+    return S;
+  }
+  case TokKind::KwDefault: {
+    consume();
+    S->Kind = StmtKind::Default;
+    expect(TokKind::Colon, "default label");
+    S->Then = parseStatement();
+    return S;
+  }
+  case TokKind::KwBreak:
+    consume();
+    S->Kind = StmtKind::Break;
+    expect(TokKind::Semi, "break statement");
+    return S;
+  case TokKind::KwContinue:
+    consume();
+    S->Kind = StmtKind::Continue;
+    expect(TokKind::Semi, "continue statement");
+    return S;
+  case TokKind::KwReturn: {
+    consume();
+    S->Kind = StmtKind::Return;
+    if (!at(TokKind::Semi))
+      S->Cond = parseExpr();
+    expect(TokKind::Semi, "return statement");
+    return S;
+  }
+  case TokKind::KwGoto: {
+    consume();
+    S->Kind = StmtKind::Goto;
+    if (at(TokKind::Identifier)) {
+      S->LabelName = Cur.Ident;
+      consume();
+    } else {
+      Diags.error(Cur.Loc, "expected label name after 'goto'");
+    }
+    expect(TokKind::Semi, "goto statement");
+    return S;
+  }
+  case TokKind::Identifier:
+    if (peekTok().Kind == TokKind::Colon) {
+      S->Kind = StmtKind::Label;
+      S->LabelName = Cur.Ident;
+      consume();
+      consume();
+      S->Then = parseStatement();
+      return S;
+    }
+    break;
+  default:
+    break;
+  }
+
+  S->Kind = StmtKind::ExprStmt;
+  S->Cond = parseExpr();
+  expect(TokKind::Semi, "expression statement");
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TypeId Parser::decayed(TypeId Ty) const {
+  TypeId Unqual = Types.unqualified(Ty);
+  if (Types.isArray(Unqual))
+    return Types.getPointer(Types.element(Unqual));
+  if (Types.isFunction(Unqual))
+    return Types.getPointer(Unqual);
+  return Ty;
+}
+
+TypeId Parser::arithmeticResult(TypeId A, TypeId B) const {
+  TypeId DA = decayed(A), DB = decayed(B);
+  if (Types.isPointer(Types.unqualified(DA)))
+    return Types.unqualified(DA);
+  if (Types.isPointer(Types.unqualified(DB)))
+    return Types.unqualified(DB);
+  if (Types.isFloating(Types.unqualified(DA)) ||
+      Types.isFloating(Types.unqualified(DB)))
+    return Types.doubleType();
+  return Types.intType();
+}
+
+uint32_t Parser::fieldIndex(TypeId RecTy, Symbol Name) const {
+  TypeId Unqual = Types.unqualified(RecTy);
+  if (!Types.isRecord(Unqual))
+    return UINT32_MAX;
+  const RecordDecl &Decl = Types.record(Types.node(Unqual).Record);
+  for (uint32_t I = 0; I < Decl.Fields.size(); ++I)
+    if (Decl.Fields[I].Name == Name)
+      return I;
+  return UINT32_MAX;
+}
+
+ExprPtr Parser::makeIntLit(SourceLoc Loc, uint64_t Value) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::IntLit;
+  E->Loc = Loc;
+  E->Ty = Types.intType();
+  E->IntValue = Value;
+  return E;
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Lhs = parseAssignment();
+  while (at(TokKind::Comma)) {
+    SourceLoc Loc = Cur.Loc;
+    consume();
+    ExprPtr Rhs = parseAssignment();
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::Comma;
+    E->Loc = Loc;
+    E->Ty = Rhs->Ty;
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr Lhs = parseConditional();
+  BinaryOp CompoundOp = BinaryOp::Add;
+  bool IsCompound = true;
+  switch (Cur.Kind) {
+  case TokKind::Assign: IsCompound = false; break;
+  case TokKind::PlusAssign: CompoundOp = BinaryOp::Add; break;
+  case TokKind::MinusAssign: CompoundOp = BinaryOp::Sub; break;
+  case TokKind::StarAssign: CompoundOp = BinaryOp::Mul; break;
+  case TokKind::SlashAssign: CompoundOp = BinaryOp::Div; break;
+  case TokKind::PercentAssign: CompoundOp = BinaryOp::Rem; break;
+  case TokKind::AmpAssign: CompoundOp = BinaryOp::BitAnd; break;
+  case TokKind::PipeAssign: CompoundOp = BinaryOp::BitOr; break;
+  case TokKind::CaretAssign: CompoundOp = BinaryOp::BitXor; break;
+  case TokKind::ShlAssign: CompoundOp = BinaryOp::Shl; break;
+  case TokKind::ShrAssign: CompoundOp = BinaryOp::Shr; break;
+  default:
+    return Lhs;
+  }
+  SourceLoc Loc = Cur.Loc;
+  consume();
+  ExprPtr Rhs = parseAssignment();
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Assign;
+  E->Loc = Loc;
+  E->Ty = Lhs->Ty;
+  E->IsCompoundAssign = IsCompound;
+  E->BOp = CompoundOp;
+  E->Lhs = std::move(Lhs);
+  E->Rhs = std::move(Rhs);
+  return E;
+}
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr Cond = parseBinary(/*MinPrec=*/1);
+  if (!at(TokKind::Question))
+    return Cond;
+  SourceLoc Loc = Cur.Loc;
+  consume();
+  ExprPtr ThenE = parseExpr();
+  expect(TokKind::Colon, "conditional expression");
+  ExprPtr ElseE = parseConditional();
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Conditional;
+  E->Loc = Loc;
+  // Prefer a pointer-typed arm as the result type, mirroring the usual
+  // composite-type rule closely enough for analysis purposes.
+  TypeId ThenTy = decayed(ThenE->Ty), ElseTy = decayed(ElseE->Ty);
+  E->Ty = Types.isPointer(Types.unqualified(ThenTy)) ? ThenTy : ElseTy;
+  E->Lhs = std::move(Cond);
+  E->Rhs = std::move(ThenE);
+  E->Cond = std::move(ElseE);
+  return E;
+}
+
+namespace {
+struct BinOpInfo {
+  TokKind Tok;
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+static const BinOpInfo BinOps[] = {
+    {TokKind::PipePipe, BinaryOp::LogOr, 1},
+    {TokKind::AmpAmp, BinaryOp::LogAnd, 2},
+    {TokKind::Pipe, BinaryOp::BitOr, 3},
+    {TokKind::Caret, BinaryOp::BitXor, 4},
+    {TokKind::Amp, BinaryOp::BitAnd, 5},
+    {TokKind::EqEq, BinaryOp::Eq, 6},
+    {TokKind::BangEq, BinaryOp::Ne, 6},
+    {TokKind::Less, BinaryOp::Lt, 7},
+    {TokKind::Greater, BinaryOp::Gt, 7},
+    {TokKind::LessEq, BinaryOp::Le, 7},
+    {TokKind::GreaterEq, BinaryOp::Ge, 7},
+    {TokKind::Shl, BinaryOp::Shl, 8},
+    {TokKind::Shr, BinaryOp::Shr, 8},
+    {TokKind::Plus, BinaryOp::Add, 9},
+    {TokKind::Minus, BinaryOp::Sub, 9},
+    {TokKind::Star, BinaryOp::Mul, 10},
+    {TokKind::Slash, BinaryOp::Div, 10},
+    {TokKind::Percent, BinaryOp::Rem, 10},
+};
+
+static const BinOpInfo *findBinOp(TokKind Kind) {
+  for (const BinOpInfo &Info : BinOps)
+    if (Info.Tok == Kind)
+      return &Info;
+  return nullptr;
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseCastExpr();
+  for (;;) {
+    const BinOpInfo *Info = findBinOp(Cur.Kind);
+    if (!Info || Info->Prec < MinPrec)
+      return Lhs;
+    SourceLoc Loc = Cur.Loc;
+    consume();
+    ExprPtr Rhs = parseBinary(Info->Prec + 1);
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::Binary;
+    E->Loc = Loc;
+    E->BOp = Info->Op;
+    switch (Info->Op) {
+    case BinaryOp::LogAnd: case BinaryOp::LogOr:
+    case BinaryOp::Lt: case BinaryOp::Gt: case BinaryOp::Le:
+    case BinaryOp::Ge: case BinaryOp::Eq: case BinaryOp::Ne:
+      E->Ty = Types.intType();
+      break;
+    case BinaryOp::Sub: {
+      // pointer - pointer is an integer.
+      TypeId LT = Types.unqualified(decayed(Lhs->Ty));
+      TypeId RT = Types.unqualified(decayed(Rhs->Ty));
+      if (Types.isPointer(LT) && Types.isPointer(RT))
+        E->Ty = Types.intType();
+      else
+        E->Ty = arithmeticResult(Lhs->Ty, Rhs->Ty);
+      break;
+    }
+    default:
+      E->Ty = arithmeticResult(Lhs->Ty, Rhs->Ty);
+      break;
+    }
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+}
+
+ExprPtr Parser::parseCastExpr() {
+  if (at(TokKind::LParen)) {
+    const Token &Next = peekTok();
+    bool IsType = false;
+    switch (Next.Kind) {
+    case TokKind::KwVoid: case TokKind::KwChar: case TokKind::KwShort:
+    case TokKind::KwInt: case TokKind::KwLong: case TokKind::KwFloat:
+    case TokKind::KwDouble: case TokKind::KwSigned: case TokKind::KwUnsigned:
+    case TokKind::KwStruct: case TokKind::KwUnion: case TokKind::KwEnum:
+    case TokKind::KwConst: case TokKind::KwVolatile:
+      IsType = true;
+      break;
+    case TokKind::Identifier:
+      IsType = isTypeName(Next);
+      break;
+    default:
+      break;
+    }
+    if (IsType) {
+      SourceLoc Loc = Cur.Loc;
+      consume(); // '('
+      TypeId Ty = parseTypeName();
+      expect(TokKind::RParen, "cast expression");
+      ExprPtr Operand = parseCastExpr();
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Cast;
+      E->Loc = Loc;
+      E->Ty = Ty;
+      E->Lhs = std::move(Operand);
+      return E;
+    }
+  }
+  return parseUnary();
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = Cur.Loc;
+  auto MakeUnary = [&](UnaryOp Op, ExprPtr Operand, TypeId Ty) {
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::Unary;
+    E->Loc = Loc;
+    E->UOp = Op;
+    E->Ty = Ty;
+    E->Lhs = std::move(Operand);
+    return E;
+  };
+
+  switch (Cur.Kind) {
+  case TokKind::Amp: {
+    consume();
+    ExprPtr Operand = parseCastExpr();
+    TypeId Ty = Types.getPointer(Operand->Ty);
+    return MakeUnary(UnaryOp::AddrOf, std::move(Operand), Ty);
+  }
+  case TokKind::Star: {
+    consume();
+    ExprPtr Operand = parseCastExpr();
+    TypeId OpTy = Types.unqualified(decayed(Operand->Ty));
+    TypeId Ty;
+    if (Types.isPointer(OpTy)) {
+      Ty = Types.pointee(OpTy);
+      // Dereferencing a pointer-to-function yields the function itself.
+    } else {
+      Diags.error(Loc, "dereference of non-pointer");
+      Ty = Types.intType();
+    }
+    return MakeUnary(UnaryOp::Deref, std::move(Operand), Ty);
+  }
+  case TokKind::Plus: {
+    consume();
+    ExprPtr Operand = parseCastExpr();
+    TypeId Ty = decayed(Operand->Ty);
+    return MakeUnary(UnaryOp::Plus, std::move(Operand), Ty);
+  }
+  case TokKind::Minus: {
+    consume();
+    ExprPtr Operand = parseCastExpr();
+    TypeId Ty = arithmeticResult(Operand->Ty, Operand->Ty);
+    return MakeUnary(UnaryOp::Minus, std::move(Operand), Ty);
+  }
+  case TokKind::Bang: {
+    consume();
+    ExprPtr Operand = parseCastExpr();
+    return MakeUnary(UnaryOp::Not, std::move(Operand), Types.intType());
+  }
+  case TokKind::Tilde: {
+    consume();
+    ExprPtr Operand = parseCastExpr();
+    return MakeUnary(UnaryOp::BitNot, std::move(Operand), Types.intType());
+  }
+  case TokKind::PlusPlus: {
+    consume();
+    ExprPtr Operand = parseUnary();
+    TypeId Ty = Operand->Ty;
+    return MakeUnary(UnaryOp::PreInc, std::move(Operand), Ty);
+  }
+  case TokKind::MinusMinus: {
+    consume();
+    ExprPtr Operand = parseUnary();
+    TypeId Ty = Operand->Ty;
+    return MakeUnary(UnaryOp::PreDec, std::move(Operand), Ty);
+  }
+  case TokKind::KwSizeof: {
+    consume();
+    TypeId Measured;
+    if (at(TokKind::LParen)) {
+      const Token &Next = peekTok();
+      bool IsType = false;
+      switch (Next.Kind) {
+      case TokKind::KwVoid: case TokKind::KwChar: case TokKind::KwShort:
+      case TokKind::KwInt: case TokKind::KwLong: case TokKind::KwFloat:
+      case TokKind::KwDouble: case TokKind::KwSigned:
+      case TokKind::KwUnsigned: case TokKind::KwStruct: case TokKind::KwUnion:
+      case TokKind::KwEnum: case TokKind::KwConst: case TokKind::KwVolatile:
+        IsType = true;
+        break;
+      case TokKind::Identifier:
+        IsType = isTypeName(Next);
+        break;
+      default:
+        break;
+      }
+      if (IsType) {
+        consume();
+        Measured = parseTypeName();
+        expect(TokKind::RParen, "sizeof");
+      }
+    }
+    if (!Measured.isValid()) {
+      ExprPtr Operand = parseUnary();
+      Measured = Operand->Ty;
+    }
+    // Folded to a constant under the parse-time ABI; the portable analysis
+    // instances never consult object sizes, so this is benign for them.
+    return makeIntLit(Loc, Layout.sizeOf(Types.unqualified(Measured)));
+  }
+  default:
+    return parsePostfix();
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  for (;;) {
+    SourceLoc Loc = Cur.Loc;
+    switch (Cur.Kind) {
+    case TokKind::LParen: {
+      consume();
+      auto Call = std::make_unique<Expr>();
+      Call->Kind = ExprKind::Call;
+      Call->Loc = Loc;
+      TypeId CalleeTy = Types.unqualified(E->Ty);
+      if (Types.isPointer(CalleeTy))
+        CalleeTy = Types.unqualified(Types.pointee(CalleeTy));
+      if (Types.isFunction(CalleeTy))
+        Call->Ty = Types.node(CalleeTy).Inner;
+      else
+        Call->Ty = Types.intType();
+      Call->Lhs = std::move(E);
+      while (!at(TokKind::RParen) && !at(TokKind::Eof)) {
+        Call->Args.push_back(parseAssignment());
+        if (!accept(TokKind::Comma))
+          break;
+      }
+      expect(TokKind::RParen, "call expression");
+      E = std::move(Call);
+      continue;
+    }
+    case TokKind::LBracket: {
+      consume();
+      auto Index = std::make_unique<Expr>();
+      Index->Kind = ExprKind::Index;
+      Index->Loc = Loc;
+      TypeId BaseTy = Types.unqualified(E->Ty);
+      if (Types.isArray(BaseTy))
+        Index->Ty = Types.element(BaseTy);
+      else if (Types.isPointer(BaseTy))
+        Index->Ty = Types.pointee(BaseTy);
+      else {
+        Diags.error(Loc, "subscript of non-array, non-pointer");
+        Index->Ty = Types.intType();
+      }
+      Index->Lhs = std::move(E);
+      Index->Rhs = parseExpr();
+      expect(TokKind::RBracket, "index expression");
+      E = std::move(Index);
+      continue;
+    }
+    case TokKind::Dot:
+    case TokKind::Arrow: {
+      bool IsArrow = at(TokKind::Arrow);
+      consume();
+      if (!at(TokKind::Identifier)) {
+        Diags.error(Cur.Loc, "expected member name");
+        return E;
+      }
+      Symbol Member = Cur.Ident;
+      consume();
+      TypeId RecTy = Types.unqualified(E->Ty);
+      if (IsArrow) {
+        TypeId PtrTy = Types.unqualified(decayed(E->Ty));
+        if (Types.isPointer(PtrTy))
+          RecTy = Types.unqualified(Types.pointee(PtrTy));
+        else
+          Diags.error(Loc, "'->' applied to non-pointer");
+      }
+      auto M = std::make_unique<Expr>();
+      M->Kind = ExprKind::Member;
+      M->Loc = Loc;
+      M->IsArrow = IsArrow;
+      M->Member = Member;
+      uint32_t Index = fieldIndex(RecTy, Member);
+      if (Index == UINT32_MAX) {
+        Diags.error(Loc, "no member named '" +
+                             std::string(Strings.text(Member)) + "' in " +
+                             Types.toString(RecTy, Strings));
+        M->Ty = Types.intType();
+        M->MemberIndex = 0;
+      } else {
+        M->MemberIndex = Index;
+        M->Ty = Types.record(Types.node(RecTy).Record).Fields[Index].Ty;
+      }
+      M->Lhs = std::move(E);
+      E = std::move(M);
+      continue;
+    }
+    case TokKind::PlusPlus:
+    case TokKind::MinusMinus: {
+      bool IsInc = at(TokKind::PlusPlus);
+      consume();
+      auto U = std::make_unique<Expr>();
+      U->Kind = ExprKind::Unary;
+      U->Loc = Loc;
+      U->UOp = IsInc ? UnaryOp::PostInc : UnaryOp::PostDec;
+      U->Ty = E->Ty;
+      U->Lhs = std::move(E);
+      E = std::move(U);
+      continue;
+    }
+    default:
+      return E;
+    }
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = Cur.Loc;
+  switch (Cur.Kind) {
+  case TokKind::IntLiteral: {
+    ExprPtr E = makeIntLit(Loc, Cur.IntValue);
+    consume();
+    return E;
+  }
+  case TokKind::CharLiteral: {
+    ExprPtr E = makeIntLit(Loc, Cur.IntValue);
+    consume();
+    return E;
+  }
+  case TokKind::FloatLiteral: {
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::FloatLit;
+    E->Loc = Loc;
+    E->Ty = Types.doubleType();
+    E->FloatValue = Cur.FloatValue;
+    consume();
+    return E;
+  }
+  case TokKind::StringLiteral: {
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::StringLit;
+    E->Loc = Loc;
+    E->StrValue = Cur.StrValue;
+    E->Ty = Types.getArray(Types.charType(), E->StrValue.size() + 1);
+    consume();
+    return E;
+  }
+  case TokKind::LParen: {
+    consume();
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "parenthesized expression");
+    return E;
+  }
+  case TokKind::Identifier: {
+    Symbol Name = Cur.Ident;
+    consume();
+    if (const OrdinaryEntry *Entry = lookupOrdinary(Name)) {
+      switch (Entry->Kind) {
+      case OrdinaryEntry::EK_Var: {
+        auto E = std::make_unique<Expr>();
+        E->Kind = ExprKind::DeclRef;
+        E->Loc = Loc;
+        E->Ty = Entry->Var->Ty;
+        E->Var = Entry->Var;
+        return E;
+      }
+      case OrdinaryEntry::EK_Func: {
+        auto E = std::make_unique<Expr>();
+        E->Kind = ExprKind::FuncRef;
+        E->Loc = Loc;
+        E->Ty = Entry->Fn->Ty;
+        E->Fn = Entry->Fn;
+        return E;
+      }
+      case OrdinaryEntry::EK_EnumConst: {
+        auto E = std::make_unique<Expr>();
+        E->Kind = ExprKind::EnumRef;
+        E->Loc = Loc;
+        E->Ty = Entry->EnumTy;
+        E->IntValue = static_cast<uint64_t>(Entry->EnumValue);
+        return E;
+      }
+      case OrdinaryEntry::EK_Typedef:
+        Diags.error(Loc, "unexpected type name in expression");
+        return makeIntLit(Loc, 0);
+      }
+    }
+    if (at(TokKind::LParen)) {
+      // Implicit declaration of a called function: "int name();" variadic.
+      FunctionDecl *Fn = TU.findFunction(Name);
+      if (!Fn) {
+        Fn = TU.makeFunction();
+        Fn->Name = Name;
+        Fn->Ty = Types.getFunction(Types.intType(), {}, /*Variadic=*/true);
+        Fn->Loc = Loc;
+        Fn->IsVariadic = true;
+      }
+      OrdinaryEntry Entry;
+      Entry.Kind = OrdinaryEntry::EK_Func;
+      Entry.Fn = Fn;
+      Scopes.front().Ordinary[Name] = Entry;
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::FuncRef;
+      E->Loc = Loc;
+      E->Ty = Fn->Ty;
+      E->Fn = Fn;
+      return E;
+    }
+    Diags.error(Loc,
+                "use of undeclared identifier '" +
+                    std::string(Strings.text(Name)) + "'");
+    return makeIntLit(Loc, 0);
+  }
+  default:
+    Diags.error(Loc, std::string("expected expression, found ") +
+                         tokKindName(Cur.Kind));
+    consume(); // make progress
+    return makeIntLit(Loc, 0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Constant expressions
+//===----------------------------------------------------------------------===//
+
+std::optional<long> Parser::evalConst(const Expr &E) const {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::EnumRef:
+    return static_cast<long>(E.IntValue);
+  case ExprKind::Unary: {
+    auto V = evalConst(*E.Lhs);
+    if (!V)
+      return std::nullopt;
+    switch (E.UOp) {
+    case UnaryOp::Plus: return *V;
+    case UnaryOp::Minus: return -*V;
+    case UnaryOp::Not: return *V == 0 ? 1 : 0;
+    case UnaryOp::BitNot: return ~*V;
+    default: return std::nullopt;
+    }
+  }
+  case ExprKind::Binary: {
+    auto A = evalConst(*E.Lhs);
+    auto B = evalConst(*E.Rhs);
+    if (!A || !B)
+      return std::nullopt;
+    switch (E.BOp) {
+    case BinaryOp::Add: return *A + *B;
+    case BinaryOp::Sub: return *A - *B;
+    case BinaryOp::Mul: return *A * *B;
+    case BinaryOp::Div: return *B == 0 ? std::optional<long>() : *A / *B;
+    case BinaryOp::Rem: return *B == 0 ? std::optional<long>() : *A % *B;
+    case BinaryOp::Shl: return *A << *B;
+    case BinaryOp::Shr: return *A >> *B;
+    case BinaryOp::BitAnd: return *A & *B;
+    case BinaryOp::BitOr: return *A | *B;
+    case BinaryOp::BitXor: return *A ^ *B;
+    case BinaryOp::LogAnd: return (*A && *B) ? 1 : 0;
+    case BinaryOp::LogOr: return (*A || *B) ? 1 : 0;
+    case BinaryOp::Lt: return *A < *B ? 1 : 0;
+    case BinaryOp::Gt: return *A > *B ? 1 : 0;
+    case BinaryOp::Le: return *A <= *B ? 1 : 0;
+    case BinaryOp::Ge: return *A >= *B ? 1 : 0;
+    case BinaryOp::Eq: return *A == *B ? 1 : 0;
+    case BinaryOp::Ne: return *A != *B ? 1 : 0;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Conditional: {
+    auto C = evalConst(*E.Lhs);
+    if (!C)
+      return std::nullopt;
+    return *C ? evalConst(*E.Rhs) : evalConst(*E.Cond);
+  }
+  case ExprKind::Cast:
+    if (Types.isInteger(Types.unqualified(E.Ty)) ||
+        Types.kind(Types.unqualified(E.Ty)) == TypeKind::Enum)
+      return evalConst(*E.Lhs);
+    return std::nullopt;
+  default:
+    return std::nullopt;
+  }
+}
+
+long Parser::parseConstExpr(const char *Context) {
+  ExprPtr E = parseConditional();
+  std::optional<long> V = evalConst(*E);
+  if (!V) {
+    Diags.error(E->Loc, std::string("expected integer constant in ") +
+                            Context);
+    return 0;
+  }
+  return *V;
+}

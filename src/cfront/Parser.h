@@ -1,0 +1,193 @@
+//===--- Parser.h - C parser -----------------------------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the ANSI-C subset used by the analysis:
+/// full declarator syntax (function pointers, nested declarators, arrays),
+/// struct/union/enum definitions, typedefs, the complete expression grammar
+/// with casts, and all statements. Expressions are typed during parsing;
+/// member references are resolved to field indices.
+///
+/// Out of scope (diagnosed as errors where they would matter): K&R-style
+/// parameter lists, designated initializers, bit-field layout (widths are
+/// parsed and ignored; each bit-field occupies its declared type), _Bool
+/// and other C99-only types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CFRONT_PARSER_H
+#define SPA_CFRONT_PARSER_H
+
+#include "cfront/AST.h"
+#include "cfront/Lexer.h"
+#include "ctypes/Layout.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <string_view>
+
+namespace spa {
+
+/// Parses one translation unit into an existing TranslationUnit.
+class Parser {
+public:
+  /// \p Target is used only to fold sizeof expressions to constants.
+  Parser(std::string_view Source, TranslationUnit &TU, DiagnosticEngine &Diags,
+         TargetInfo Target = TargetInfo::ilp32());
+
+  /// Parses the whole buffer. Returns true if no errors were reported.
+  bool parseTranslationUnit();
+
+private:
+  /// \name Token stream.
+  /// @{
+  const Token &tok() const { return Cur; }
+  const Token &peekTok();
+  void consume();
+  bool at(TokKind Kind) const { return Cur.Kind == Kind; }
+  bool accept(TokKind Kind);
+  bool expect(TokKind Kind, const char *Context);
+  /// @}
+
+  /// \name Scopes.
+  /// @{
+  struct OrdinaryEntry {
+    enum EntryKind { EK_Var, EK_Func, EK_Typedef, EK_EnumConst } Kind;
+    VarDecl *Var = nullptr;
+    FunctionDecl *Fn = nullptr;
+    TypeId TypedefTy;
+    long EnumValue = 0;
+    TypeId EnumTy;
+  };
+  struct TagEntry {
+    bool IsEnum = false;
+    RecordId Rec;
+    EnumId En;
+  };
+  struct ScopeLevel {
+    std::map<Symbol, OrdinaryEntry> Ordinary;
+    std::map<Symbol, TagEntry> Tags;
+  };
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  const OrdinaryEntry *lookupOrdinary(Symbol Name) const;
+  const TagEntry *lookupTag(Symbol Name) const;
+  void declareOrdinary(Symbol Name, OrdinaryEntry Entry);
+  bool isTypeName(const Token &T) const;
+  /// @}
+
+  /// \name Declarations.
+  /// @{
+  struct DeclSpecs {
+    TypeId Base;
+    bool IsTypedef = false;
+    bool IsExtern = false;
+    bool IsStatic = false;
+    bool SawSpecifier = false;
+  };
+  /// A parsed declarator, built inside-out when applied to a base type.
+  struct Declarator {
+    struct PointerLevel {
+      uint8_t Quals = QualNone;
+    };
+    struct ArraySuffix {
+      uint64_t Count = 0;
+    };
+    struct FunctionSuffix {
+      std::vector<TypeId> ParamTypes;
+      std::vector<Symbol> ParamNames;
+      std::vector<SourceLoc> ParamLocs;
+      bool Variadic = false;
+    };
+    struct Suffix {
+      bool IsFunction = false;
+      ArraySuffix Array;
+      FunctionSuffix Function;
+    };
+    std::vector<PointerLevel> Pointers;
+    std::unique_ptr<Declarator> Nested;
+    Symbol Name; ///< invalid for abstract declarators
+    SourceLoc NameLoc;
+    std::vector<Suffix> Suffixes;
+  };
+
+  void parseExternalDeclaration();
+  DeclSpecs parseDeclSpecs();
+  bool atDeclSpecStart() const;
+  TypeId parseStructOrUnionSpecifier();
+  TypeId parseEnumSpecifier();
+  std::vector<FieldDecl> parseStructDeclarationList();
+  std::unique_ptr<Declarator> parseDeclarator(bool Abstract);
+  std::unique_ptr<Declarator> parseDirectDeclarator(bool Abstract);
+  Declarator::FunctionSuffix parseParameterList();
+  /// Applies \p D to \p Base; returns the declared type and sets \p Name.
+  TypeId applyDeclarator(const Declarator &D, TypeId Base, Symbol &Name,
+                         SourceLoc &NameLoc,
+                         const Declarator::FunctionSuffix **OuterFn);
+  /// Parses a type-name (for casts and sizeof).
+  TypeId parseTypeName();
+  /// Handles one init-declarator at file scope or as a local.
+  void parseInitDeclarator(const DeclSpecs &Specs, bool AtFileScope,
+                           std::vector<VarDecl *> *LocalsOut);
+  void parseFunctionDefinition(const DeclSpecs &Specs, const Declarator &D,
+                               TypeId FnTy, Symbol Name, SourceLoc NameLoc);
+  ExprPtr parseInitializer();
+  /// @}
+
+  /// \name Statements.
+  /// @{
+  StmtPtr parseStatement();
+  StmtPtr parseCompound();
+  StmtPtr parseDeclStmt();
+  bool atLocalDeclStart();
+  /// @}
+
+  /// \name Expressions (typed while parsing).
+  /// @{
+  ExprPtr parseExpr();           ///< comma expression
+  ExprPtr parseAssignment();
+  ExprPtr parseConditional();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseCastExpr();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  /// @}
+
+  /// \name Typing helpers.
+  /// @{
+  TypeId decayed(TypeId Ty) const;
+  TypeId arithmeticResult(TypeId A, TypeId B) const;
+  /// Resolves member \p Name in record type \p RecTy; ~0u if absent.
+  uint32_t fieldIndex(TypeId RecTy, Symbol Name) const;
+  ExprPtr makeIntLit(SourceLoc Loc, uint64_t Value);
+  /// @}
+
+  /// Evaluates an integer constant expression; nullopt if not constant.
+  std::optional<long> evalConst(const Expr &E) const;
+  /// Parses a constant expression and evaluates it (error if non-const).
+  long parseConstExpr(const char *Context);
+
+  Lexer Lex;
+  Token Cur;
+  Token Ahead;
+  bool HasAhead = false;
+
+  TranslationUnit &TU;
+  TypeTable &Types;
+  StringInterner &Strings;
+  DiagnosticEngine &Diags;
+  LayoutEngine Layout; ///< only for folding sizeof
+
+  std::vector<ScopeLevel> Scopes;
+  FunctionDecl *CurFunction = nullptr;
+  unsigned ErrorLimitCounter = 0;
+};
+
+} // namespace spa
+
+#endif // SPA_CFRONT_PARSER_H

@@ -1,0 +1,66 @@
+//===--- Token.h - Lexical tokens ------------------------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the token record produced by the lexer for the
+/// (preprocessed) C subset accepted by the front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CFRONT_TOKEN_H
+#define SPA_CFRONT_TOKEN_H
+
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+
+namespace spa {
+
+/// Every kind of token the lexer can produce.
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble,
+  KwSigned, KwUnsigned, KwStruct, KwUnion, KwEnum, KwTypedef,
+  KwExtern, KwStatic, KwAuto, KwRegister, KwConst, KwVolatile,
+  KwIf, KwElse, KwWhile, KwFor, KwDo, KwSwitch, KwCase, KwDefault,
+  KwBreak, KwContinue, KwReturn, KwGoto, KwSizeof,
+
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Dot, Arrow, Ellipsis,
+  Amp, AmpAmp, Pipe, PipePipe, Caret, Tilde, Bang,
+  Plus, PlusPlus, Minus, MinusMinus, Star, Slash, Percent,
+  Less, LessEq, Greater, GreaterEq, EqEq, BangEq,
+  Shl, Shr, Question, Colon,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+};
+
+/// One lexed token. Literal payloads are stored decoded.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  Symbol Ident;          ///< Identifier: interned spelling
+  uint64_t IntValue = 0; ///< IntLiteral / CharLiteral
+  double FloatValue = 0; ///< FloatLiteral
+  std::string StrValue;  ///< StringLiteral (decoded, without quotes)
+};
+
+/// Returns a short printable name for \p Kind (for diagnostics).
+const char *tokKindName(TokKind Kind);
+
+} // namespace spa
+
+#endif // SPA_CFRONT_TOKEN_H

@@ -1,0 +1,79 @@
+//===--- Compat.cpp -------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/Compat.h"
+
+using namespace spa;
+
+bool spa::areCompatible(const TypeTable &Types, TypeId A, TypeId B) {
+  if (A == B)
+    return true;
+  // Deviation from the ISO letter (documented in Compat.h): qualifiers are
+  // ignored. A qualification conversion is not a cast, and qualifiers
+  // never affect layout, so treating "const T" as matching "T" is safe and
+  // keeps ordinary const-correct code out of the mismatch statistics.
+  A = Types.unqualified(A);
+  B = Types.unqualified(B);
+  if (A == B)
+    return true;
+  const TypeNode &NA = Types.node(A);
+  const TypeNode &NB = Types.node(B);
+
+  // int <-> enum (the paper's footnote on compatible types).
+  auto isIntOrEnum = [](TypeKind K) {
+    return K == TypeKind::Int || K == TypeKind::Enum;
+  };
+  if (isIntOrEnum(NA.Kind) && isIntOrEnum(NB.Kind))
+    return NA.Kind != NB.Kind || NA.Enum == NB.Enum;
+
+  if (NA.Kind != NB.Kind)
+    return false;
+
+  switch (NA.Kind) {
+  case TypeKind::Pointer:
+    return areCompatible(Types, NA.Inner, NB.Inner);
+  case TypeKind::Array:
+    // Compatible elements; sizes must agree unless one is incomplete.
+    if (!areCompatible(Types, NA.Inner, NB.Inner))
+      return false;
+    return NA.ArraySize == 0 || NB.ArraySize == 0 ||
+           NA.ArraySize == NB.ArraySize;
+  case TypeKind::Record:
+    return NA.Record == NB.Record;
+  case TypeKind::Function: {
+    if (!areCompatible(Types, NA.Inner, NB.Inner))
+      return false;
+    if (NA.Variadic != NB.Variadic || NA.Params.size() != NB.Params.size())
+      return false;
+    for (size_t I = 0; I < NA.Params.size(); ++I)
+      if (!areCompatible(Types, NA.Params[I], NB.Params[I]))
+        return false;
+    return true;
+  }
+  default:
+    // Same-kind scalars with matching qualifiers: only reachable when the
+    // ids differ yet the kinds match, which cannot happen for interned
+    // builtins; be permissive anyway.
+    return true;
+  }
+}
+
+unsigned spa::commonInitialSeqLen(const TypeTable &Types, RecordId A,
+                                  RecordId B) {
+  const RecordDecl &DA = Types.record(A);
+  const RecordDecl &DB = Types.record(B);
+  if (DA.IsUnion || DB.IsUnion || !DA.IsComplete || !DB.IsComplete)
+    return 0;
+  unsigned N =
+      static_cast<unsigned>(std::min(DA.Fields.size(), DB.Fields.size()));
+  unsigned Len = 0;
+  for (unsigned I = 0; I < N; ++I) {
+    if (!areCompatible(Types, DA.Fields[I].Ty, DB.Fields[I].Ty))
+      break;
+    ++Len;
+  }
+  return Len;
+}

@@ -1,0 +1,40 @@
+//===--- Compat.h - ISO C compatible types ---------------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ISO C "compatible types" (C90 6.1.2.6 / C99 6.2.7), as used by the
+/// paper's Common Initial Sequence analysis instance. Following the paper's
+/// footnote: an int is compatible with an enum. Within a single translation
+/// unit, two struct/union types are compatible iff they are the same
+/// declaration.
+///
+/// Deviation from the ISO letter: qualifiers are ignored (the standard and
+/// the paper's footnote make "volatile T" incompatible with "T"). A
+/// qualification conversion is not a cast, qualifiers never affect layout,
+/// and treating them as mismatches would put every const-correct program
+/// into the "casting involved" statistics; ignoring them is safe and
+/// strictly more precise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CTYPES_COMPAT_H
+#define SPA_CTYPES_COMPAT_H
+
+#include "ctypes/TypeTable.h"
+
+namespace spa {
+
+/// Returns true if \p A and \p B are compatible types.
+bool areCompatible(const TypeTable &Types, TypeId A, TypeId B);
+
+/// Returns the length of the common initial sequence of two struct types:
+/// the number of leading corresponding direct fields with compatible types.
+/// Returns 0 if either record is not a complete struct (unions excluded).
+unsigned commonInitialSeqLen(const TypeTable &Types, RecordId A, RecordId B);
+
+} // namespace spa
+
+#endif // SPA_CTYPES_COMPAT_H

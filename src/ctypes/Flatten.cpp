@@ -1,0 +1,107 @@
+//===--- Flatten.cpp ------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/Flatten.h"
+
+using namespace spa;
+
+FlattenedType::FlattenedType(const TypeTable &Types,
+                             const LayoutEngine &Layout, TypeId Root)
+    : Types(Types) {
+  struct Walker {
+    const TypeTable &Types;
+    const LayoutEngine &Layout;
+    std::vector<LeafField> &Leaves;
+
+    void walk(TypeId Ty, FieldPath &Path, uint64_t Offset, int ArrayDepth) {
+      Ty = Types.unqualified(Ty);
+      const TypeNode &N = Types.node(Ty);
+      if (N.Kind == TypeKind::Array) {
+        uint32_t GroupStart = static_cast<uint32_t>(Leaves.size());
+        walk(N.Inner, Path, Offset, ArrayDepth + 1);
+        if (ArrayDepth == 0) {
+          uint32_t GroupEnd = static_cast<uint32_t>(Leaves.size());
+          for (uint32_t I = GroupStart; I < GroupEnd; ++I) {
+            Leaves[I].ArrayGroupBegin = GroupStart;
+            Leaves[I].ArrayGroupEnd = GroupEnd;
+          }
+        }
+        return;
+      }
+      if (N.Kind == TypeKind::Record) {
+        const RecordDecl &Decl = Types.record(N.Record);
+        if (!Decl.IsUnion && Decl.IsComplete && !Decl.Fields.empty()) {
+          const RecordLayout &L = Layout.layout(N.Record);
+          for (uint32_t I = 0; I < Decl.Fields.size(); ++I) {
+            Path.push_back(I);
+            walk(Decl.Fields[I].Ty, Path, Offset + L.FieldOffsets[I],
+                 ArrayDepth);
+            Path.pop_back();
+          }
+          return;
+        }
+        // Unions, incomplete records, and empty structs become one leaf.
+      }
+      LeafField Leaf;
+      Leaf.Path = Path;
+      Leaf.Ty = Ty;
+      Leaf.Offset = Offset;
+      Leaves.push_back(std::move(Leaf));
+    }
+  };
+
+  FieldPath Path;
+  Walker W{Types, Layout, Leaves};
+  W.walk(Root, Path, 0, 0);
+  assert(!Leaves.empty() && "every object type has at least one leaf");
+}
+
+std::optional<uint32_t>
+FlattenedType::leafIndexOfPath(const FieldPath &Path) const {
+  for (uint32_t I = 0; I < Leaves.size(); ++I)
+    if (Leaves[I].Path == Path)
+      return I;
+  return std::nullopt;
+}
+
+uint32_t FlattenedType::normalizedLeaf(const FieldPath &Path) const {
+  // The normalized form of a member path is reached by repeatedly stepping
+  // into the first field while the designated member is a (complete,
+  // non-union, non-empty) struct. Rather than recomputing types, exploit
+  // the flattening order: the leaf for the normalized path is the first
+  // leaf whose path has Path as a prefix, and if Path itself names a leaf,
+  // that leaf.
+  for (uint32_t I = 0; I < Leaves.size(); ++I) {
+    const FieldPath &LP = Leaves[I].Path;
+    if (LP.size() < Path.size())
+      continue;
+    if (std::equal(Path.begin(), Path.end(), LP.begin()))
+      return I;
+  }
+  // A path that steps through a union (or an incomplete record) has no leaf
+  // extension; it maps to the blob leaf that is a prefix of the path.
+  for (uint32_t I = 0; I < Leaves.size(); ++I) {
+    const FieldPath &LP = Leaves[I].Path;
+    if (LP.size() > Path.size())
+      continue;
+    if (std::equal(LP.begin(), LP.end(), Path.begin()))
+      return I;
+  }
+  assert(false && "path does not designate a member of this type");
+  return 0;
+}
+
+std::vector<uint32_t> FlattenedType::fromLeafOnward(uint32_t Leaf) const {
+  assert(Leaf < Leaves.size() && "leaf index out of range");
+  uint32_t Start = Leaf;
+  if (Leaves[Leaf].ArrayGroupBegin != UINT32_MAX)
+    Start = std::min(Start, Leaves[Leaf].ArrayGroupBegin);
+  std::vector<uint32_t> Out;
+  Out.reserve(Leaves.size() - Start);
+  for (uint32_t I = Start; I < Leaves.size(); ++I)
+    Out.push_back(I);
+  return Out;
+}

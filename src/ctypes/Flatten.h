@@ -1,0 +1,83 @@
+//===--- Flatten.h - Flattened leaf fields of an object --------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumerates the "leaf" fields of an object type in layout order. A leaf
+/// is a scalar member, a union (conservatively treated as one blob), or an
+/// incomplete record. Arrays are transparent: the enumeration descends into
+/// the single representative element, recording which leaves lie inside an
+/// array so that followingFields can apply the paper's array adjustment
+/// ("the followingFields of a field within an array must include all fields
+/// within that array").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CTYPES_FLATTEN_H
+#define SPA_CTYPES_FLATTEN_H
+
+#include "ctypes/Layout.h"
+#include "ctypes/TypeTable.h"
+
+#include <optional>
+#include <vector>
+
+namespace spa {
+
+/// One leaf field of a flattened object type.
+struct LeafField {
+  /// Member-index path from the root type to this leaf ("normalized" form
+  /// for a leaf is the path itself; for record objects it is the path to
+  /// the innermost first leaf).
+  FieldPath Path;
+  /// Type of the leaf.
+  TypeId Ty;
+  /// Byte offset from the start of the root object (representative array
+  /// element; union members share their union's offset).
+  uint64_t Offset = 0;
+  /// If this leaf lies inside one or more array members, the index range
+  /// [ArrayGroupBegin, ArrayGroupEnd) of leaves belonging to the
+  /// *outermost* enclosing array; otherwise both are ~0.
+  uint32_t ArrayGroupBegin = UINT32_MAX;
+  uint32_t ArrayGroupEnd = UINT32_MAX;
+};
+
+/// Flattened view of one object type, in declaration/layout order.
+class FlattenedType {
+public:
+  /// Flattens \p Root. The layout engine supplies leaf offsets (the
+  /// field-name-based analyses ignore them; the Offsets instance uses
+  /// them).
+  FlattenedType(const TypeTable &Types, const LayoutEngine &Layout,
+                TypeId Root);
+
+  const std::vector<LeafField> &leaves() const { return Leaves; }
+
+  /// Index of the leaf whose path equals \p Path, if \p Path designates a
+  /// leaf (i.e. is already in normalized form).
+  std::optional<uint32_t> leafIndexOfPath(const FieldPath &Path) const;
+
+  /// Normalized form of an arbitrary member path \p Path: descends into
+  /// first fields until reaching a leaf, and returns that leaf's index.
+  /// This is exactly the paper's "normalize" for the field-name-based
+  /// instances.
+  uint32_t normalizedLeaf(const FieldPath &Path) const;
+
+  /// Indices of \p Leaf itself plus every leaf that follows it, including
+  /// (per the array adjustment) every leaf of the outermost array group
+  /// containing \p Leaf, if any.
+  std::vector<uint32_t> fromLeafOnward(uint32_t Leaf) const;
+
+private:
+  void flatten(TypeId Ty, FieldPath &Path, uint64_t Offset, int ArrayDepth,
+               uint32_t ArrayGroupStart);
+
+  const TypeTable &Types;
+  std::vector<LeafField> Leaves;
+};
+
+} // namespace spa
+
+#endif // SPA_CTYPES_FLATTEN_H

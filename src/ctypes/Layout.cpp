@@ -1,0 +1,225 @@
+//===--- Layout.cpp -------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/Layout.h"
+
+using namespace spa;
+
+TargetInfo TargetInfo::ilp32() {
+  TargetInfo T;
+  T.Name = "ilp32";
+  return T;
+}
+
+TargetInfo TargetInfo::lp64() {
+  TargetInfo T;
+  T.Name = "lp64";
+  T.LongSize = T.LongAlign = 8;
+  T.PointerSize = T.PointerAlign = 8;
+  T.LongDoubleSize = 16;
+  T.LongDoubleAlign = 16;
+  return T;
+}
+
+TargetInfo TargetInfo::padded32() {
+  TargetInfo T;
+  T.Name = "padded32";
+  // Everything scalar is padded out to 8-byte slots. Still conforming: the
+  // first field sits at offset 0 and compatible initial sequences line up.
+  T.ShortSize = T.ShortAlign = 8;
+  T.IntSize = T.IntAlign = 8;
+  T.LongSize = T.LongAlign = 8;
+  T.FloatSize = T.FloatAlign = 8;
+  T.PointerSize = T.PointerAlign = 8;
+  T.EnumSize = T.EnumAlign = 8;
+  return T;
+}
+
+static uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  assert(Align != 0 && "zero alignment");
+  return (Value + Align - 1) / Align * Align;
+}
+
+uint64_t LayoutEngine::sizeOf(TypeId Ty) const {
+  const TypeNode &N = Types.node(Ty);
+  switch (N.Kind) {
+  case TypeKind::Void:
+    return 1; // GNU-style: sizeof(void) == 1; used only defensively.
+  case TypeKind::Char:
+  case TypeKind::SChar:
+  case TypeKind::UChar:
+    return Target.CharSize;
+  case TypeKind::Short:
+  case TypeKind::UShort:
+    return Target.ShortSize;
+  case TypeKind::Int:
+  case TypeKind::UInt:
+    return Target.IntSize;
+  case TypeKind::Long:
+  case TypeKind::ULong:
+    return Target.LongSize;
+  case TypeKind::LongLong:
+  case TypeKind::ULongLong:
+    return Target.LongLongSize;
+  case TypeKind::Float:
+    return Target.FloatSize;
+  case TypeKind::Double:
+    return Target.DoubleSize;
+  case TypeKind::LongDouble:
+    return Target.LongDoubleSize;
+  case TypeKind::Enum:
+    return Target.EnumSize;
+  case TypeKind::Pointer:
+    return Target.PointerSize;
+  case TypeKind::Array: {
+    uint64_t Count = N.ArraySize == 0 ? 1 : N.ArraySize;
+    return Count * sizeOf(N.Inner);
+  }
+  case TypeKind::Record:
+    return layout(N.Record).Size;
+  case TypeKind::Function:
+    assert(false && "sizeof(function type)");
+    return 1;
+  }
+  return 1;
+}
+
+uint64_t LayoutEngine::alignOf(TypeId Ty) const {
+  const TypeNode &N = Types.node(Ty);
+  switch (N.Kind) {
+  case TypeKind::Void:
+    return 1;
+  case TypeKind::Char:
+  case TypeKind::SChar:
+  case TypeKind::UChar:
+    return Target.CharAlign;
+  case TypeKind::Short:
+  case TypeKind::UShort:
+    return Target.ShortAlign;
+  case TypeKind::Int:
+  case TypeKind::UInt:
+    return Target.IntAlign;
+  case TypeKind::Long:
+  case TypeKind::ULong:
+    return Target.LongAlign;
+  case TypeKind::LongLong:
+  case TypeKind::ULongLong:
+    return Target.LongLongAlign;
+  case TypeKind::Float:
+    return Target.FloatAlign;
+  case TypeKind::Double:
+    return Target.DoubleAlign;
+  case TypeKind::LongDouble:
+    return Target.LongDoubleAlign;
+  case TypeKind::Enum:
+    return Target.EnumAlign;
+  case TypeKind::Pointer:
+    return Target.PointerAlign;
+  case TypeKind::Array:
+    return alignOf(N.Inner);
+  case TypeKind::Record:
+    return layout(N.Record).Align;
+  case TypeKind::Function:
+    return 1;
+  }
+  return 1;
+}
+
+const RecordLayout &LayoutEngine::layout(RecordId Rec) const {
+  if (Rec.index() >= Cache.size()) {
+    Cache.resize(Rec.index() + 1);
+    CacheValid.resize(Rec.index() + 1, 0);
+  }
+  if (CacheValid[Rec.index()])
+    return Cache[Rec.index()];
+
+  const RecordDecl &Decl = Types.record(Rec);
+  assert(Decl.IsComplete && "layout of incomplete record");
+  RecordLayout L;
+  if (Decl.IsUnion) {
+    for (const FieldDecl &F : Decl.Fields) {
+      L.FieldOffsets.push_back(0);
+      L.Size = std::max(L.Size, sizeOf(F.Ty));
+      L.Align = std::max(L.Align, alignOf(F.Ty));
+    }
+  } else {
+    uint64_t Offset = 0;
+    for (const FieldDecl &F : Decl.Fields) {
+      uint64_t A = alignOf(F.Ty);
+      Offset = alignTo(Offset, A);
+      L.FieldOffsets.push_back(Offset);
+      Offset += sizeOf(F.Ty);
+      L.Align = std::max(L.Align, A);
+    }
+    L.Size = Offset;
+  }
+  if (L.Size == 0)
+    L.Size = 1; // empty struct: give it one byte, as GCC does.
+  L.Size = alignTo(L.Size, L.Align);
+
+  Cache[Rec.index()] = std::move(L);
+  CacheValid[Rec.index()] = 1;
+  return Cache[Rec.index()];
+}
+
+uint64_t LayoutEngine::offsetOfPath(TypeId Root, const FieldPath &Path) const {
+  uint64_t Offset = 0;
+  TypeId Ty = Root;
+  for (uint32_t Step : Path) {
+    Ty = Types.stripArrays(Types.unqualified(Ty));
+    assert(Types.isRecord(Ty) && "offsetOfPath step into non-record");
+    RecordId Rec = Types.node(Ty).Record;
+    Offset += layout(Rec).FieldOffsets[Step];
+    Ty = Types.record(Rec).Fields[Step].Ty;
+  }
+  return Offset;
+}
+
+uint64_t LayoutEngine::canonicalOffset(TypeId Root, uint64_t Offset) const {
+  TypeId Ty = Types.unqualified(Root);
+  uint64_t Size = Types.isFunction(Ty) ? 1 : sizeOf(Ty);
+  if (Offset >= Size)
+    Offset = Size == 0 ? 0 : Size - 1;
+
+  uint64_t Base = 0;
+  for (;;) {
+    Ty = Types.unqualified(Ty);
+    const TypeNode &N = Types.node(Ty);
+    if (N.Kind == TypeKind::Array) {
+      uint64_t ElemSize = sizeOf(N.Inner);
+      if (ElemSize == 0)
+        return Base + Offset;
+      Offset %= ElemSize; // map into the representative first element
+      Ty = N.Inner;
+      continue;
+    }
+    if (N.Kind == TypeKind::Record) {
+      const RecordDecl &Decl = Types.record(N.Record);
+      if (Decl.IsUnion || !Decl.IsComplete || Decl.Fields.empty())
+        return Base + Offset; // stop at union boundaries / opaque records
+      const RecordLayout &L = layout(N.Record);
+      // Find the last field whose offset is <= Offset and which contains it.
+      for (size_t I = Decl.Fields.size(); I-- > 0;) {
+        uint64_t FO = L.FieldOffsets[I];
+        if (FO > Offset)
+          continue;
+        uint64_t FS = sizeOf(Decl.Fields[I].Ty);
+        if (Offset < FO + FS) {
+          Base += FO;
+          Offset -= FO;
+          Ty = Decl.Fields[I].Ty;
+          goto descended;
+        }
+        break; // offset lands in padding; keep it as-is
+      }
+      return Base + Offset;
+    descended:
+      continue;
+    }
+    // Scalar (or function): nothing further to canonicalize.
+    return Base + Offset;
+  }
+}

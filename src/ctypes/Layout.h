@@ -1,0 +1,101 @@
+//===--- Layout.h - ABI layout engine --------------------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes sizes, alignments, and field offsets for a configurable target
+/// ABI. The paper's "Offsets" analysis instance is layout-specific; making
+/// the ABI a runtime parameter lets tests demonstrate exactly the
+/// portability hazard the paper describes (the same program analyzed under
+/// two ABIs yields different offset-based results, while the portable
+/// instances are ABI-independent).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CTYPES_LAYOUT_H
+#define SPA_CTYPES_LAYOUT_H
+
+#include "ctypes/TypeTable.h"
+
+#include <string>
+#include <vector>
+
+namespace spa {
+
+/// Sizes and alignments of the scalar types for one target ABI.
+struct TargetInfo {
+  std::string Name;
+  unsigned CharSize = 1, CharAlign = 1;
+  unsigned ShortSize = 2, ShortAlign = 2;
+  unsigned IntSize = 4, IntAlign = 4;
+  unsigned LongSize = 4, LongAlign = 4;
+  unsigned LongLongSize = 8, LongLongAlign = 8;
+  unsigned FloatSize = 4, FloatAlign = 4;
+  unsigned DoubleSize = 8, DoubleAlign = 8;
+  unsigned LongDoubleSize = 8, LongDoubleAlign = 8;
+  unsigned PointerSize = 4, PointerAlign = 4;
+  unsigned EnumSize = 4, EnumAlign = 4;
+
+  /// 32-bit SPARC/x86-style ABI (4-byte pointers), matching the paper's
+  /// evaluation platform. This is the default.
+  static TargetInfo ilp32();
+
+  /// 64-bit ABI (8-byte pointers and longs).
+  static TargetInfo lp64();
+
+  /// A deliberately eccentric-but-conforming ABI (extra padding via larger
+  /// alignments) used by tests to show that offset-based results are not
+  /// portable while the field-name-based results are.
+  static TargetInfo padded32();
+};
+
+/// Size and per-field offsets of one struct or union under one ABI.
+struct RecordLayout {
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+  std::vector<uint64_t> FieldOffsets;
+};
+
+/// Answers sizeof/alignof/offsetof queries for one (TypeTable, TargetInfo)
+/// pair. Layouts of records are computed on demand and cached.
+class LayoutEngine {
+public:
+  LayoutEngine(const TypeTable &Types, TargetInfo Target)
+      : Types(Types), Target(std::move(Target)) {}
+
+  const TargetInfo &target() const { return Target; }
+
+  /// sizeof(\p Ty). Incomplete arrays are sized as one element (the
+  /// analysis collapses every array to a single representative element).
+  /// Function types are not object types; asking for their size asserts.
+  uint64_t sizeOf(TypeId Ty) const;
+
+  /// alignof(\p Ty).
+  uint64_t alignOf(TypeId Ty) const;
+
+  /// Layout of record \p Rec, which must be complete.
+  const RecordLayout &layout(RecordId Rec) const;
+
+  /// offsetof: byte offset of \p Path within an object of type \p Root
+  /// (array layers contribute offset 0 — the representative element).
+  uint64_t offsetOfPath(TypeId Root, const FieldPath &Path) const;
+
+  /// Canonicalizes \p Offset within an object of type \p Root so that any
+  /// position inside an array maps into the array's first (representative)
+  /// element, recursively (the paper's array adjustment for lookup and
+  /// resolve). Offsets at or beyond sizeof(Root) are clamped to the last
+  /// byte. Canonicalization stops at union boundaries.
+  uint64_t canonicalOffset(TypeId Root, uint64_t Offset) const;
+
+private:
+  const TypeTable &Types;
+  TargetInfo Target;
+  mutable std::vector<RecordLayout> Cache;      ///< indexed by RecordId
+  mutable std::vector<uint8_t> CacheValid;
+};
+
+} // namespace spa
+
+#endif // SPA_CTYPES_LAYOUT_H

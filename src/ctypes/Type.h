@@ -1,0 +1,120 @@
+//===--- Type.h - C type system --------------------------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C type representation shared by the front end and the pointer
+/// analysis. Types are immutable, interned nodes identified by TypeId;
+/// struct/union definitions are nominal RecordDecls that may be completed
+/// after creation (to support self-referential types).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CTYPES_TYPE_H
+#define SPA_CTYPES_TYPE_H
+
+#include "support/IdTypes.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spa {
+
+struct TypeTag {};
+/// Identifier of an interned type node.
+using TypeId = Id<TypeTag>;
+
+struct RecordTag {};
+/// Identifier of a struct or union declaration.
+using RecordId = Id<RecordTag>;
+
+struct EnumTag {};
+/// Identifier of an enum declaration.
+using EnumId = Id<EnumTag>;
+
+/// The kind of a type node.
+enum class TypeKind : uint8_t {
+  Void,
+  Char,      ///< plain char
+  SChar,     ///< signed char
+  UChar,     ///< unsigned char
+  Short,
+  UShort,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  LongLong,
+  ULongLong,
+  Float,
+  Double,
+  LongDouble,
+  Enum,
+  Pointer,
+  Array,
+  Record,    ///< struct or union (see RecordDecl::IsUnion)
+  Function,
+};
+
+/// const/volatile qualifier bits.
+enum Qualifiers : uint8_t {
+  QualNone = 0,
+  QualConst = 1,
+  QualVolatile = 2,
+};
+
+/// One interned type node. Which members are meaningful depends on Kind.
+struct TypeNode {
+  TypeKind Kind = TypeKind::Void;
+  uint8_t Quals = QualNone;
+  /// Pointer: pointee. Array: element. Function: return type.
+  TypeId Inner;
+  /// Array: element count; 0 means incomplete ("[]"). Arrays are collapsed
+  /// to a single representative element by the analysis, but the count still
+  /// matters for sizeof.
+  uint64_t ArraySize = 0;
+  /// Record: the struct/union declaration.
+  RecordId Record;
+  /// Enum: the enum declaration.
+  EnumId Enum;
+  /// Function: parameter types.
+  std::vector<TypeId> Params;
+  /// Function: true if declared with a trailing "...".
+  bool Variadic = false;
+};
+
+/// A named member of a struct or union.
+struct FieldDecl {
+  Symbol Name;
+  TypeId Ty;
+};
+
+/// A struct or union declaration. Fields may be filled in after creation;
+/// IsComplete flips to true once the definition body has been seen.
+struct RecordDecl {
+  bool IsUnion = false;
+  Symbol Tag;            ///< invalid for anonymous records
+  bool IsComplete = false;
+  std::vector<FieldDecl> Fields;
+};
+
+/// An enum declaration. Enumerator values live in the front end's symbol
+/// table; the declaration itself only carries identity and its tag.
+struct EnumDecl {
+  Symbol Tag; ///< invalid for anonymous enums
+  bool IsComplete = false;
+};
+
+/// A path from the top of an object down to a (possibly nested) member:
+/// a sequence of member indices into successive RecordDecl::Fields arrays.
+/// Array types are transparent: the path steps from an array directly into
+/// a member of its (single representative) element when the element is a
+/// record; the array itself never consumes a path step.
+using FieldPath = std::vector<uint32_t>;
+
+} // namespace spa
+
+#endif // SPA_CTYPES_TYPE_H

@@ -1,0 +1,280 @@
+//===--- TypeTable.cpp ----------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/TypeTable.h"
+
+using namespace spa;
+
+TypeTable::TypeTable() {
+  for (int K = (int)TypeKind::Void; K <= (int)TypeKind::LongDouble; ++K) {
+    TypeNode Node;
+    Node.Kind = (TypeKind)K;
+    Builtins[K] = addNode(std::move(Node));
+  }
+}
+
+TypeId TypeTable::addNode(TypeNode Node) {
+  Nodes.push_back(std::move(Node));
+  return TypeId(static_cast<uint32_t>(Nodes.size() - 1));
+}
+
+TypeId TypeTable::getPointer(TypeId Pointee) {
+  auto It = PointerCache.find(Pointee);
+  if (It != PointerCache.end())
+    return It->second;
+  TypeNode Node;
+  Node.Kind = TypeKind::Pointer;
+  Node.Inner = Pointee;
+  TypeId Ty = addNode(std::move(Node));
+  PointerCache.emplace(Pointee, Ty);
+  return Ty;
+}
+
+TypeId TypeTable::getArray(TypeId Element, uint64_t Count) {
+  auto Key = std::make_pair(Element, Count);
+  auto It = ArrayCache.find(Key);
+  if (It != ArrayCache.end())
+    return It->second;
+  TypeNode Node;
+  Node.Kind = TypeKind::Array;
+  Node.Inner = Element;
+  Node.ArraySize = Count;
+  TypeId Ty = addNode(std::move(Node));
+  ArrayCache.emplace(Key, Ty);
+  return Ty;
+}
+
+TypeId TypeTable::getFunction(TypeId Ret, std::vector<TypeId> Params,
+                              bool Variadic) {
+  auto Key = std::make_tuple(Ret, Params, Variadic);
+  auto It = FnCache.find(Key);
+  if (It != FnCache.end())
+    return It->second;
+  TypeNode Node;
+  Node.Kind = TypeKind::Function;
+  Node.Inner = Ret;
+  Node.Params = std::move(Params);
+  Node.Variadic = Variadic;
+  TypeId Ty = addNode(std::move(Node));
+  FnCache.emplace(std::move(Key), Ty);
+  return Ty;
+}
+
+TypeId TypeTable::getQualified(TypeId Base, uint8_t Quals) {
+  if (Quals == QualNone)
+    return Base;
+  const TypeNode &BaseNode = node(Base);
+  uint8_t Combined = BaseNode.Quals | Quals;
+  if (Combined == BaseNode.Quals)
+    return Base;
+  auto Key = std::make_pair(unqualified(Base), Combined);
+  auto It = QualCache.find(Key);
+  if (It != QualCache.end())
+    return It->second;
+  TypeNode Node = node(Key.first);
+  Node.Quals = Combined;
+  TypeId Ty = addNode(std::move(Node));
+  QualCache.emplace(Key, Ty);
+  return Ty;
+}
+
+TypeId TypeTable::unqualified(TypeId Ty) const {
+  const TypeNode &N = node(Ty);
+  if (N.Quals == QualNone)
+    return Ty;
+  // Qualified nodes are copies of an unqualified node plus qualifier bits;
+  // recover the original via the appropriate cache-free path: builtin
+  // singletons, record/enum types, or structural re-lookup. The cheapest
+  // safe approach is a linear scan of the caches' domains, but since every
+  // qualified node was created through getQualified we can reconstruct by
+  // kind instead.
+  switch (N.Kind) {
+  case TypeKind::Record:
+    return RecordTypes[N.Record.index()];
+  case TypeKind::Enum:
+    return EnumTypes[N.Enum.index()];
+  case TypeKind::Pointer: {
+    auto It = const_cast<TypeTable *>(this)->PointerCache.find(N.Inner);
+    assert(It != PointerCache.end() && "pointer base must be interned");
+    return It->second;
+  }
+  case TypeKind::Array: {
+    auto Key = std::make_pair(N.Inner, N.ArraySize);
+    auto It = const_cast<TypeTable *>(this)->ArrayCache.find(Key);
+    assert(It != ArrayCache.end() && "array base must be interned");
+    return It->second;
+  }
+  case TypeKind::Function: {
+    auto Key = std::make_tuple(N.Inner, N.Params, N.Variadic);
+    auto It = const_cast<TypeTable *>(this)->FnCache.find(Key);
+    assert(It != FnCache.end() && "function base must be interned");
+    return It->second;
+  }
+  default:
+    return Builtins[(int)N.Kind];
+  }
+}
+
+TypeId TypeTable::canonical(TypeId Ty) const {
+  TypeId Base = unqualified(Ty);
+  const TypeNode &N = node(Base);
+  // Rebuilding derived types requires interning, which is logically const
+  // here (the table is append-only and canonicalization changes no
+  // observable state of existing types).
+  TypeTable &Self = const_cast<TypeTable &>(*this);
+  switch (N.Kind) {
+  case TypeKind::Pointer: {
+    TypeId Inner = canonical(N.Inner);
+    return Inner == N.Inner ? Base : Self.getPointer(Inner);
+  }
+  case TypeKind::Array: {
+    TypeId Inner = canonical(N.Inner);
+    return Inner == N.Inner ? Base : Self.getArray(Inner, N.ArraySize);
+  }
+  case TypeKind::Function: {
+    TypeId Ret = canonical(N.Inner);
+    std::vector<TypeId> Params;
+    Params.reserve(N.Params.size());
+    bool Same = Ret == N.Inner;
+    for (TypeId P : N.Params) {
+      Params.push_back(canonical(P));
+      Same = Same && Params.back() == P;
+    }
+    return Same ? Base : Self.getFunction(Ret, std::move(Params), N.Variadic);
+  }
+  default:
+    return Base;
+  }
+}
+
+TypeId TypeTable::stripArrays(TypeId Ty) const {
+  while (isArray(Ty))
+    Ty = element(Ty);
+  return Ty;
+}
+
+RecordId TypeTable::createRecord(bool IsUnion, Symbol Tag) {
+  RecordDecl Decl;
+  Decl.IsUnion = IsUnion;
+  Decl.Tag = Tag;
+  Records.push_back(std::move(Decl));
+  RecordId Rec(static_cast<uint32_t>(Records.size() - 1));
+  TypeNode Node;
+  Node.Kind = TypeKind::Record;
+  Node.Record = Rec;
+  RecordTypes.push_back(addNode(std::move(Node)));
+  return Rec;
+}
+
+TypeId TypeTable::getRecordType(RecordId Rec) {
+  return RecordTypes[Rec.index()];
+}
+
+void TypeTable::completeRecord(RecordId Rec, std::vector<FieldDecl> Fields) {
+  RecordDecl &Decl = Records[Rec.index()];
+  assert(!Decl.IsComplete && "record completed twice");
+  Decl.Fields = std::move(Fields);
+  Decl.IsComplete = true;
+}
+
+EnumId TypeTable::createEnum(Symbol Tag) {
+  EnumDecl Decl;
+  Decl.Tag = Tag;
+  Enums.push_back(std::move(Decl));
+  EnumId En(static_cast<uint32_t>(Enums.size() - 1));
+  TypeNode Node;
+  Node.Kind = TypeKind::Enum;
+  Node.Enum = En;
+  EnumTypes.push_back(addNode(std::move(Node)));
+  return En;
+}
+
+TypeId TypeTable::getEnumType(EnumId En) { return EnumTypes[En.index()]; }
+
+TypeId TypeTable::typeOfPath(TypeId Root, const FieldPath &Path) const {
+  TypeId Ty = Root;
+  for (uint32_t Step : Path) {
+    Ty = stripArrays(unqualified(Ty));
+    assert(isRecord(Ty) && "field path step into non-record");
+    const RecordDecl &Decl = record(node(Ty).Record);
+    assert(Step < Decl.Fields.size() && "field path step out of range");
+    Ty = Decl.Fields[Step].Ty;
+  }
+  return Ty;
+}
+
+std::string TypeTable::toString(TypeId Ty,
+                                const StringInterner &Strings) const {
+  const TypeNode &N = node(Ty);
+  std::string Quals;
+  if (N.Quals & QualConst)
+    Quals += "const ";
+  if (N.Quals & QualVolatile)
+    Quals += "volatile ";
+  switch (N.Kind) {
+  case TypeKind::Void:
+    return Quals + "void";
+  case TypeKind::Char:
+    return Quals + "char";
+  case TypeKind::SChar:
+    return Quals + "signed char";
+  case TypeKind::UChar:
+    return Quals + "unsigned char";
+  case TypeKind::Short:
+    return Quals + "short";
+  case TypeKind::UShort:
+    return Quals + "unsigned short";
+  case TypeKind::Int:
+    return Quals + "int";
+  case TypeKind::UInt:
+    return Quals + "unsigned int";
+  case TypeKind::Long:
+    return Quals + "long";
+  case TypeKind::ULong:
+    return Quals + "unsigned long";
+  case TypeKind::LongLong:
+    return Quals + "long long";
+  case TypeKind::ULongLong:
+    return Quals + "unsigned long long";
+  case TypeKind::Float:
+    return Quals + "float";
+  case TypeKind::Double:
+    return Quals + "double";
+  case TypeKind::LongDouble:
+    return Quals + "long double";
+  case TypeKind::Enum: {
+    const EnumDecl &Decl = enumDecl(N.Enum);
+    std::string Tag = Decl.Tag.isValid()
+                          ? std::string(Strings.text(Decl.Tag))
+                          : "<anon>";
+    return Quals + "enum " + Tag;
+  }
+  case TypeKind::Pointer:
+    return Quals + toString(N.Inner, Strings) + " *";
+  case TypeKind::Array:
+    return Quals + toString(N.Inner, Strings) + " [" +
+           std::to_string(N.ArraySize) + "]";
+  case TypeKind::Record: {
+    const RecordDecl &Decl = record(N.Record);
+    std::string Tag =
+        Decl.Tag.isValid() ? std::string(Strings.text(Decl.Tag)) : "<anon>";
+    return Quals + (Decl.IsUnion ? "union " : "struct ") + Tag;
+  }
+  case TypeKind::Function: {
+    std::string Out = toString(N.Inner, Strings) + " (";
+    for (size_t I = 0; I < N.Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += toString(N.Params[I], Strings);
+    }
+    if (N.Variadic)
+      Out += N.Params.empty() ? "..." : ", ...";
+    Out += ")";
+    return Quals + Out;
+  }
+  }
+  return "<?>";
+}

@@ -1,0 +1,160 @@
+//===--- TypeTable.h - Type interning and queries --------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns all type nodes for a translation unit. Builtins are singletons;
+/// derived types (pointer/array/function and qualified variants) are
+/// structurally interned; records and enums are nominal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CTYPES_TYPETABLE_H
+#define SPA_CTYPES_TYPETABLE_H
+
+#include "ctypes/Type.h"
+
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace spa {
+
+/// Factory and registry for every type in a translation unit.
+class TypeTable {
+public:
+  TypeTable();
+
+  /// \name Builtin types (unqualified singletons).
+  /// @{
+  TypeId voidType() const { return Builtins[(int)TypeKind::Void]; }
+  TypeId charType() const { return Builtins[(int)TypeKind::Char]; }
+  TypeId scharType() const { return Builtins[(int)TypeKind::SChar]; }
+  TypeId ucharType() const { return Builtins[(int)TypeKind::UChar]; }
+  TypeId shortType() const { return Builtins[(int)TypeKind::Short]; }
+  TypeId ushortType() const { return Builtins[(int)TypeKind::UShort]; }
+  TypeId intType() const { return Builtins[(int)TypeKind::Int]; }
+  TypeId uintType() const { return Builtins[(int)TypeKind::UInt]; }
+  TypeId longType() const { return Builtins[(int)TypeKind::Long]; }
+  TypeId ulongType() const { return Builtins[(int)TypeKind::ULong]; }
+  TypeId longlongType() const { return Builtins[(int)TypeKind::LongLong]; }
+  TypeId ulonglongType() const { return Builtins[(int)TypeKind::ULongLong]; }
+  TypeId floatType() const { return Builtins[(int)TypeKind::Float]; }
+  TypeId doubleType() const { return Builtins[(int)TypeKind::Double]; }
+  TypeId longdoubleType() const { return Builtins[(int)TypeKind::LongDouble]; }
+  /// @}
+
+  /// Returns the pointer type "\p Pointee *".
+  TypeId getPointer(TypeId Pointee);
+
+  /// Returns the array type "\p Element [\p Count]". Count 0 = incomplete.
+  TypeId getArray(TypeId Element, uint64_t Count);
+
+  /// Returns the function type "Ret(Params...)".
+  TypeId getFunction(TypeId Ret, std::vector<TypeId> Params, bool Variadic);
+
+  /// Returns \p Base with qualifier bits \p Quals added.
+  TypeId getQualified(TypeId Base, uint8_t Quals);
+
+  /// Creates a new (incomplete) struct or union declaration.
+  RecordId createRecord(bool IsUnion, Symbol Tag);
+
+  /// Returns the unique record type for \p Rec.
+  TypeId getRecordType(RecordId Rec);
+
+  /// Completes \p Rec with its member list.
+  void completeRecord(RecordId Rec, std::vector<FieldDecl> Fields);
+
+  /// Creates a new enum declaration and returns it.
+  EnumId createEnum(Symbol Tag);
+
+  /// Returns the unique enum type for \p En.
+  TypeId getEnumType(EnumId En);
+
+  /// Marks \p En complete.
+  void completeEnum(EnumId En) { Enums[En.index()].IsComplete = true; }
+
+  /// \name Node accessors.
+  /// @{
+  const TypeNode &node(TypeId Ty) const { return Nodes[Ty.index()]; }
+  const RecordDecl &record(RecordId Rec) const { return Records[Rec.index()]; }
+  const EnumDecl &enumDecl(EnumId En) const { return Enums[En.index()]; }
+  size_t numTypes() const { return Nodes.size(); }
+  /// @}
+
+  /// \name Convenience predicates and projections.
+  /// @{
+  TypeKind kind(TypeId Ty) const { return node(Ty).Kind; }
+  bool isPointer(TypeId Ty) const { return kind(Ty) == TypeKind::Pointer; }
+  bool isArray(TypeId Ty) const { return kind(Ty) == TypeKind::Array; }
+  bool isFunction(TypeId Ty) const { return kind(Ty) == TypeKind::Function; }
+  bool isRecord(TypeId Ty) const { return kind(Ty) == TypeKind::Record; }
+  bool isStruct(TypeId Ty) const {
+    return isRecord(Ty) && !record(node(Ty).Record).IsUnion;
+  }
+  bool isUnion(TypeId Ty) const {
+    return isRecord(Ty) && record(node(Ty).Record).IsUnion;
+  }
+  bool isVoid(TypeId Ty) const { return kind(Ty) == TypeKind::Void; }
+  bool isInteger(TypeId Ty) const {
+    TypeKind K = kind(Ty);
+    return K >= TypeKind::Char && K <= TypeKind::ULongLong;
+  }
+  bool isFloating(TypeId Ty) const {
+    TypeKind K = kind(Ty);
+    return K == TypeKind::Float || K == TypeKind::Double ||
+           K == TypeKind::LongDouble;
+  }
+  bool isScalar(TypeId Ty) const {
+    TypeKind K = kind(Ty);
+    return isInteger(Ty) || isFloating(Ty) || K == TypeKind::Enum ||
+           K == TypeKind::Pointer;
+  }
+  TypeId pointee(TypeId Ty) const {
+    assert(isPointer(Ty) && "pointee() of non-pointer");
+    return node(Ty).Inner;
+  }
+  TypeId element(TypeId Ty) const {
+    assert(isArray(Ty) && "element() of non-array");
+    return node(Ty).Inner;
+  }
+  /// Strips qualifier bits (returns the unqualified structural type).
+  TypeId unqualified(TypeId Ty) const;
+  /// Strips qualifiers at every level ("const char *const" -> "char *").
+  /// Qualifiers never affect layout, so the analysis instances compare
+  /// canonical types; treating differently-qualified types as matching is
+  /// both safe and more precise (a qualification conversion is not a
+  /// cast).
+  TypeId canonical(TypeId Ty) const;
+  /// Strips any number of array layers: T[2][3] -> T.
+  TypeId stripArrays(TypeId Ty) const;
+  /// @}
+
+  /// Walks \p Path from \p Root (looking through arrays) and returns the
+  /// member type it designates; returns Root itself for the empty path.
+  TypeId typeOfPath(TypeId Root, const FieldPath &Path) const;
+
+  /// Renders a human-readable spelling, e.g. "struct S *".
+  std::string toString(TypeId Ty, const StringInterner &Strings) const;
+
+private:
+  TypeId addNode(TypeNode Node);
+
+  std::vector<TypeNode> Nodes;
+  std::vector<RecordDecl> Records;
+  std::vector<EnumDecl> Enums;
+  std::vector<TypeId> RecordTypes; ///< RecordId -> TypeId
+  std::vector<TypeId> EnumTypes;   ///< EnumId -> TypeId
+  TypeId Builtins[(int)TypeKind::LongDouble + 1];
+
+  std::map<TypeId, TypeId> PointerCache;
+  std::map<std::pair<TypeId, uint64_t>, TypeId> ArrayCache;
+  std::map<std::tuple<TypeId, std::vector<TypeId>, bool>, TypeId> FnCache;
+  std::map<std::pair<TypeId, uint8_t>, TypeId> QualCache;
+};
+
+} // namespace spa
+
+#endif // SPA_CTYPES_TYPETABLE_H

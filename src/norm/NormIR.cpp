@@ -1,0 +1,89 @@
+//===--- NormIR.cpp -------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "norm/NormIR.h"
+
+using namespace spa;
+
+std::string NormProgram::objectName(ObjectId Id) const {
+  const NormObject &Obj = object(Id);
+  std::string Name = Obj.Name.isValid() ? std::string(Strings.text(Obj.Name))
+                                        : "<unnamed>";
+  if (Obj.Owner.isValid())
+    return std::string(Strings.text(func(Obj.Owner).Name)) + "::" + Name;
+  return Name;
+}
+
+/// Renders ".f1.f2" for \p Path relative to \p RootTy.
+static std::string pathToString(const TypeTable &Types,
+                                const StringInterner &Strings, TypeId RootTy,
+                                const FieldPath &Path) {
+  std::string Out;
+  TypeId Ty = RootTy;
+  for (uint32_t Step : Path) {
+    Ty = Types.stripArrays(Types.unqualified(Ty));
+    if (!Types.isRecord(Ty))
+      return Out + ".<bad>";
+    const RecordDecl &Decl = Types.record(Types.node(Ty).Record);
+    if (Step >= Decl.Fields.size())
+      return Out + ".<bad>";
+    Out += ".";
+    Out += Strings.text(Decl.Fields[Step].Name);
+    Ty = Decl.Fields[Step].Ty;
+  }
+  return Out;
+}
+
+std::string NormProgram::stmtToString(const NormStmt &S) const {
+  auto Obj = [&](ObjectId Id) {
+    return Id.isValid() ? objectName(Id) : std::string("<none>");
+  };
+  auto Cast = [&](TypeId Ty) {
+    return Ty.isValid() ? "(" + Types.toString(Ty, Strings) + ") "
+                        : std::string();
+  };
+  switch (S.Op) {
+  case NormOp::AddrOf:
+    return Obj(S.Dst) + " = " + Cast(S.LhsTy) + "&" + Obj(S.Src) +
+           pathToString(Types, Strings, object(S.Src).Ty, S.Path);
+  case NormOp::AddrOfDeref:
+    return Obj(S.Dst) + " = &((*" + Obj(S.Src) + ")" +
+           pathToString(Types, Strings, S.DeclPointeeTy, S.Path) + ")";
+  case NormOp::Copy:
+    return Obj(S.Dst) + " = " + Cast(S.LhsTy) + Obj(S.Src) +
+           pathToString(Types, Strings, object(S.Src).Ty, S.Path);
+  case NormOp::Load:
+    return Obj(S.Dst) + " = " + Cast(S.LhsTy) + "*" + Obj(S.Src);
+  case NormOp::Store:
+    return "*" + Obj(S.Dst) + " = " + Cast(S.LhsTy) + Obj(S.Src);
+  case NormOp::PtrArith: {
+    std::string Out = Obj(S.Dst) + " = arith(";
+    for (size_t I = 0; I < S.ArithSrcs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Obj(S.ArithSrcs[I]);
+    }
+    return Out + ")";
+  }
+  case NormOp::Call: {
+    std::string Out;
+    if (S.RetDst.isValid())
+      Out += Obj(S.RetDst) + " = ";
+    if (S.DirectCallee.isValid())
+      Out += std::string(Strings.text(func(S.DirectCallee).Name));
+    else
+      Out += "(*" + Obj(S.IndirectCallee) + ")";
+    Out += "(";
+    for (size_t I = 0; I < S.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Obj(S.Args[I]);
+    }
+    return Out + ")";
+  }
+  }
+  return "<?>";
+}

@@ -1,0 +1,195 @@
+//===--- NormIR.h - Normalized assignment forms ----------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The normalized program representation consumed by the pointer analysis:
+/// the paper's five assignment forms (Section 2)
+///
+///   1. s = (ts) &t.b          AddrOf
+///   2. s = (ts) &((*p).a)     AddrOfDeref
+///   3. s = (ts) t.b           Copy
+///   4. s = (ts) *q            Load
+///   5. *p = (tp) t            Store
+///
+/// plus two forms the paper describes in prose:
+///
+///   6. s = p (+) q ...        PtrArith   (Section 4.2.1, Assumption 1)
+///   7. calls                  Call       (context-insensitive binding)
+///
+/// Left-hand sides (and every operand of forms 2 and 4-7) are "top level"
+/// objects; field accesses appear only as the explicit paths of forms 1-3.
+/// The normalizer introduces temporaries to reach this shape, exactly as
+/// the paper assumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_NORM_NORMIR_H
+#define SPA_NORM_NORMIR_H
+
+#include "ctypes/TypeTable.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace spa {
+
+struct ObjectTag {};
+/// Identifier of an abstract memory object.
+using ObjectId = Id<ObjectTag>;
+
+struct NormFuncTag {};
+/// Identifier of a function in the normalized program.
+using FuncId = Id<NormFuncTag>;
+
+/// What kind of memory an object abstracts.
+enum class ObjectKind : uint8_t {
+  Global,   ///< file-scope variable
+  Local,    ///< block-scope variable (including statics)
+  Param,    ///< function parameter
+  Temp,     ///< normalizer-introduced temporary
+  Heap,     ///< allocation-site pseudo-variable ("malloc_i")
+  Function, ///< a function used as a value
+  StringLit,///< a string literal object
+  Return,   ///< a function's return-value pseudo-variable
+  Varargs,  ///< a variadic function's "..." pseudo-variable
+  Constant, ///< the shared pseudo-object for literal values: never holds
+            ///< points-to facts and never participates in resolve
+  Unknown,  ///< the special "possibly corrupted pointer" location used by
+            ///< SolverOptions::TrackUnknown (paper, Section 4.2.1)
+};
+
+/// One abstract memory object ("top level" variable in the paper's sense).
+struct NormObject {
+  ObjectKind Kind = ObjectKind::Temp;
+  Symbol Name;       ///< display name ("x", "malloc@12", "$t3", ...)
+  TypeId Ty;         ///< declared type of the whole object
+  SourceLoc Loc;
+  FuncId Owner;      ///< owning function; invalid for globals/heap/strings
+  FuncId AsFunction; ///< for Kind==Function: which function this object is
+};
+
+/// The operation of one normalized statement.
+enum class NormOp : uint8_t {
+  AddrOf,      ///< Dst = (LhsTy) &Src.Path
+  AddrOfDeref, ///< Dst = &((*Src).Path); DeclPointeeTy = declared pointee
+  Copy,        ///< Dst = (LhsTy) Src.Path
+  Load,        ///< Dst = (LhsTy) *Src
+  Store,       ///< *Dst = (LhsTy) Src; LhsTy = declared pointee of Dst
+  PtrArith,    ///< Dst = ArithSrcs[0] (+) ArithSrcs[1] ...
+  Call,        ///< see Callee/Args/RetDst
+};
+
+/// One normalized statement.
+struct NormStmt {
+  NormOp Op = NormOp::Copy;
+  SourceLoc Loc;
+  FuncId Owner; ///< invalid for global-initializer statements
+
+  ObjectId Dst; ///< LHS object (for Store: the pointer being stored through)
+  ObjectId Src; ///< RHS base object (AddrOf/Copy), or the pointer (AddrOfDeref/Load), or the stored value (Store)
+  FieldPath Path; ///< beta (AddrOf/Copy) or alpha (AddrOfDeref)
+
+  /// The declared type of the assignment's left-hand side: the paper's
+  /// third argument to resolve (Complication 4). For Store this is the
+  /// declared pointee type of the pointer.
+  TypeId LhsTy;
+  /// AddrOfDeref: the declared pointee type of the dereferenced pointer
+  /// (the first argument of lookup).
+  TypeId DeclPointeeTy;
+
+  std::vector<ObjectId> ArithSrcs; ///< PtrArith operands
+
+  /// Call payload.
+  FuncId DirectCallee;       ///< valid for direct calls
+  ObjectId IndirectCallee;   ///< valid for calls through a pointer
+  std::vector<ObjectId> Args;
+  ObjectId RetDst;           ///< temp receiving the return value
+
+  /// Index into NormProgram::DerefSites for AddrOfDeref/Load/Store and
+  /// indirect calls; -1 otherwise.
+  int32_t DerefSite = -1;
+};
+
+/// One static pointer-dereference site (the unit of the paper's Figure 4
+/// metric: points-to set size per dereferenced pointer instance).
+struct DerefSite {
+  SourceLoc Loc;
+  ObjectId Ptr;          ///< the dereferenced pointer object
+  TypeId DeclPointeeTy;  ///< its declared pointee type
+  bool IsCall = false;   ///< an indirect call rather than a data access
+};
+
+/// One function in the normalized program.
+struct NormFunction {
+  Symbol Name;
+  TypeId Ty; ///< function type
+  bool IsDefined = false;
+  bool IsVariadic = false;
+  std::vector<ObjectId> Params;
+  ObjectId RetObj;     ///< invalid for void functions
+  ObjectId VarargsObj; ///< valid only for variadic functions
+  ObjectId FnObj;      ///< the function-as-object (target of &f)
+};
+
+/// A whole normalized program: the bag of statements the flow-insensitive
+/// analysis closes over, plus the object and function tables.
+class NormProgram {
+public:
+  NormProgram(TypeTable &Types, StringInterner &Strings)
+      : Types(Types), Strings(Strings) {}
+
+  TypeTable &Types;
+  StringInterner &Strings;
+
+  std::vector<NormObject> Objects;
+  std::vector<NormFunction> Funcs;
+  std::vector<NormStmt> Stmts;
+  std::vector<DerefSite> DerefSites;
+
+  /// Creates an object and returns its id.
+  ObjectId makeObject(ObjectKind Kind, Symbol Name, TypeId Ty, SourceLoc Loc,
+                      FuncId Owner = FuncId()) {
+    NormObject Obj;
+    Obj.Kind = Kind;
+    Obj.Name = Name;
+    Obj.Ty = Ty;
+    Obj.Loc = Loc;
+    Obj.Owner = Owner;
+    Objects.push_back(std::move(Obj));
+    return ObjectId(static_cast<uint32_t>(Objects.size() - 1));
+  }
+
+  const NormObject &object(ObjectId Id) const { return Objects[Id.index()]; }
+  const NormFunction &func(FuncId Id) const { return Funcs[Id.index()]; }
+
+  /// Finds a normalized function by name; invalid id if absent.
+  FuncId findFunc(Symbol Name) const {
+    for (uint32_t I = 0; I < Funcs.size(); ++I)
+      if (Funcs[I].Name == Name)
+        return FuncId(I);
+    return FuncId();
+  }
+
+  /// Number of statements of each kind, for reporting.
+  size_t countOps(NormOp Op) const {
+    size_t N = 0;
+    for (const NormStmt &S : Stmts)
+      if (S.Op == Op)
+        ++N;
+    return N;
+  }
+
+  /// Renders an object's display name ("f::x" for locals).
+  std::string objectName(ObjectId Id) const;
+
+  /// Renders a statement for debugging and golden tests.
+  std::string stmtToString(const NormStmt &S) const;
+};
+
+} // namespace spa
+
+#endif // SPA_NORM_NORMIR_H

@@ -1,0 +1,846 @@
+//===--- Normalizer.cpp ---------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "norm/Normalizer.h"
+
+using namespace spa;
+
+Normalizer::Normalizer(const TranslationUnit &TU, NormProgram &Prog,
+                       DiagnosticEngine &Diags)
+    : TU(TU), Prog(Prog), Diags(Diags), Types(Prog.Types),
+      Strings(Prog.Strings) {
+  ConstObj = Prog.makeObject(ObjectKind::Constant, Strings.intern("$const"),
+                             Types.intType(), SourceLoc());
+}
+
+//===----------------------------------------------------------------------===//
+// Objects
+//===----------------------------------------------------------------------===//
+
+ObjectId Normalizer::objectForVar(const VarDecl *Var) {
+  auto It = VarObjects.find(Var);
+  if (It != VarObjects.end())
+    return It->second;
+  ObjectKind Kind = Var->IsGlobal
+                        ? ObjectKind::Global
+                        : (Var->IsParam ? ObjectKind::Param
+                                        : ObjectKind::Local);
+  FuncId Owner = Var->IsGlobal ? FuncId() : CurFunc;
+  if (Var->Owner)
+    Owner = funcIdFor(Var->Owner);
+  ObjectId Obj = Prog.makeObject(Kind, Var->Name, Var->Ty, Var->Loc, Owner);
+  VarObjects.emplace(Var, Obj);
+  return Obj;
+}
+
+ObjectId Normalizer::makeTemp(TypeId Ty, SourceLoc Loc) {
+  Symbol Name = Strings.intern("$t" + std::to_string(TempCounter++));
+  return Prog.makeObject(ObjectKind::Temp, Name, Ty, Loc, CurFunc);
+}
+
+ObjectId Normalizer::stringObject(const Expr &Lit) {
+  Symbol Name = Strings.intern("$str@" + std::to_string(Lit.Loc.Line) + ":" +
+                               std::to_string(Lit.Loc.Column));
+  return Prog.makeObject(ObjectKind::StringLit, Name, Lit.Ty, Lit.Loc);
+}
+
+ObjectId Normalizer::heapObject(TypeId ElemTy, SourceLoc Loc) {
+  Symbol Name = Strings.intern("malloc@" + std::to_string(Loc.Line) + ":" +
+                               std::to_string(Loc.Column));
+  return Prog.makeObject(ObjectKind::Heap, Name, ElemTy, Loc);
+}
+
+FuncId Normalizer::funcIdFor(const FunctionDecl *Fn) {
+  auto It = FuncIds.find(Fn);
+  assert(It != FuncIds.end() && "function not registered");
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Emission helpers
+//===----------------------------------------------------------------------===//
+
+NormStmt &Normalizer::emit(NormOp Op, SourceLoc Loc) {
+  NormStmt Stmt;
+  Stmt.Op = Op;
+  Stmt.Loc = Loc;
+  Stmt.Owner = CurFunc;
+  Prog.Stmts.push_back(std::move(Stmt));
+  return Prog.Stmts.back();
+}
+
+int32_t Normalizer::makeDerefSite(ObjectId Ptr, TypeId DeclPointee,
+                                  bool IsCall, SourceLoc Loc) {
+  DerefSite Site;
+  Site.Loc = Loc;
+  Site.Ptr = Ptr;
+  Site.DeclPointeeTy = DeclPointee;
+  Site.IsCall = IsCall;
+  Prog.DerefSites.push_back(Site);
+  return static_cast<int32_t>(Prog.DerefSites.size() - 1);
+}
+
+void Normalizer::emitAddrOf(ObjectId Dst, ObjectId Src, FieldPath Path,
+                            TypeId LhsTy, SourceLoc Loc) {
+  NormStmt &S = emit(NormOp::AddrOf, Loc);
+  S.Dst = Dst;
+  S.Src = Src;
+  S.Path = std::move(Path);
+  S.LhsTy = LhsTy;
+}
+
+ObjectId Normalizer::emitAddrOfDeref(ObjectId Ptr, FieldPath Alpha,
+                                     TypeId DeclPointee, TypeId ResultTy,
+                                     SourceLoc Loc) {
+  ObjectId Dst = makeTemp(ResultTy, Loc);
+  NormStmt &S = emit(NormOp::AddrOfDeref, Loc);
+  S.Dst = Dst;
+  S.Src = Ptr;
+  S.Path = std::move(Alpha);
+  S.LhsTy = ResultTy;
+  S.DeclPointeeTy = DeclPointee;
+  S.DerefSite = makeDerefSite(Ptr, DeclPointee, /*IsCall=*/false, Loc);
+  return Dst;
+}
+
+void Normalizer::emitCopy(ObjectId Dst, ObjectId Src, FieldPath Path,
+                          TypeId LhsTy, SourceLoc Loc) {
+  NormStmt &S = emit(NormOp::Copy, Loc);
+  S.Dst = Dst;
+  S.Src = Src;
+  S.Path = std::move(Path);
+  S.LhsTy = LhsTy;
+}
+
+void Normalizer::emitLoad(ObjectId Dst, ObjectId Ptr, TypeId LhsTy,
+                          TypeId DeclPointee, SourceLoc Loc) {
+  NormStmt &S = emit(NormOp::Load, Loc);
+  S.Dst = Dst;
+  S.Src = Ptr;
+  S.LhsTy = LhsTy;
+  S.DeclPointeeTy = DeclPointee;
+  S.DerefSite = makeDerefSite(Ptr, DeclPointee, /*IsCall=*/false, Loc);
+}
+
+void Normalizer::emitStore(ObjectId Ptr, ObjectId Value, TypeId LhsTy,
+                           SourceLoc Loc) {
+  NormStmt &S = emit(NormOp::Store, Loc);
+  S.Dst = Ptr;
+  S.Src = Value;
+  S.LhsTy = LhsTy;
+  S.DeclPointeeTy = LhsTy;
+  S.DerefSite = makeDerefSite(Ptr, LhsTy, /*IsCall=*/false, Loc);
+}
+
+ObjectId Normalizer::emitPtrArith(std::vector<ObjectId> Srcs, TypeId Ty,
+                                  SourceLoc Loc) {
+  ObjectId Dst = makeTemp(Ty, Loc);
+  std::erase(Srcs, ConstObj); // constants contribute no addresses
+  if (Srcs.empty())
+    return Dst;
+  NormStmt &S = emit(NormOp::PtrArith, Loc);
+  S.Dst = Dst;
+  S.ArithSrcs = std::move(Srcs);
+  S.LhsTy = Ty;
+  return Dst;
+}
+
+//===----------------------------------------------------------------------===//
+// Accesses
+//===----------------------------------------------------------------------===//
+
+Normalizer::Access Normalizer::genAccess(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::DeclRef: {
+    Access A;
+    A.Kind = Access::Direct;
+    A.Base = objectForVar(E.Var);
+    A.Ty = E.Ty;
+    return A;
+  }
+  case ExprKind::StringLit: {
+    Access A;
+    A.Kind = Access::Direct;
+    A.Base = stringObject(E);
+    A.Ty = E.Ty;
+    return A;
+  }
+  case ExprKind::Member: {
+    if (E.IsArrow) {
+      ObjectId Ptr = genRValue(*E.Lhs);
+      Access A;
+      A.Kind = Access::Indirect;
+      A.Base = Ptr;
+      A.Path.push_back(E.MemberIndex);
+      TypeId PtrTy = Types.unqualified(E.Lhs->Ty);
+      if (Types.isArray(PtrTy))
+        PtrTy = Types.getPointer(Types.element(PtrTy));
+      A.DeclPointeeTy = Types.isPointer(PtrTy) ? Types.pointee(PtrTy)
+                                               : Types.intType();
+      A.Ty = E.Ty;
+      return A;
+    }
+    Access A = genAccess(*E.Lhs);
+    A.Path.push_back(E.MemberIndex);
+    A.Ty = E.Ty;
+    return A;
+  }
+  case ExprKind::Index: {
+    TypeId BaseTy = Types.unqualified(E.Lhs->Ty);
+    if (Types.isArray(BaseTy)) {
+      // Indexing an array lvalue stays within the array's single
+      // representative element: same access path.
+      Access A = genAccess(*E.Lhs);
+      genDiscard(*E.Rhs);
+      A.Ty = E.Ty;
+      return A;
+    }
+    // p[i] == *(p + i): pointer arithmetic, then an indirect access.
+    ObjectId Ptr = genRValue(*E.Lhs);
+    ObjectId Idx = genRValue(*E.Rhs);
+    ObjectId Moved = emitPtrArith({Ptr, Idx}, Types.unqualified(E.Lhs->Ty),
+                                  E.Loc);
+    Access A;
+    A.Kind = Access::Indirect;
+    A.Base = Moved;
+    A.DeclPointeeTy = E.Ty;
+    A.Ty = E.Ty;
+    return A;
+  }
+  case ExprKind::Unary:
+    if (E.UOp == UnaryOp::Deref) {
+      ObjectId Ptr = genRValue(*E.Lhs);
+      Access A;
+      A.Kind = Access::Indirect;
+      A.Base = Ptr;
+      TypeId PtrTy = Types.unqualified(E.Lhs->Ty);
+      if (Types.isArray(PtrTy))
+        PtrTy = Types.getPointer(Types.element(PtrTy));
+      A.DeclPointeeTy = Types.isPointer(PtrTy) ? Types.pointee(PtrTy)
+                                               : Types.intType();
+      A.Ty = E.Ty;
+      return A;
+    }
+    break;
+  default:
+    break;
+  }
+  // Not an lvalue form: materialize the value and treat the temp as the
+  // location (e.g. taking a member of a returned struct).
+  Access A;
+  A.Kind = Access::Direct;
+  ObjectId V = genRValue(E);
+  A.Base = V.isValid() ? V : ConstObj;
+  A.Ty = E.Ty;
+  return A;
+}
+
+ObjectId Normalizer::materializeAccess(const Access &A, TypeId ResultTy,
+                                       SourceLoc Loc) {
+  if (A.Kind == Access::Direct && A.Base == ConstObj)
+    return ConstObj; // constant pseudo-locations never hold facts
+  TypeId Unqual = Types.unqualified(A.Ty);
+
+  // Array-typed accesses decay to a pointer to the (representative)
+  // element; function-typed accesses decay to a function pointer.
+  bool Decays = Types.isArray(Unqual) || Types.isFunction(Unqual);
+  if (Decays) {
+    TypeId PtrTy = Types.isArray(Unqual)
+                       ? Types.getPointer(Types.element(Unqual))
+                       : Types.getPointer(Unqual);
+    if (A.Kind == Access::Direct) {
+      ObjectId Tmp = makeTemp(PtrTy, Loc);
+      emitAddrOf(Tmp, A.Base, A.Path, PtrTy, Loc);
+      return Tmp;
+    }
+    if (A.Path.empty()) {
+      // *(p) of array/function type: the decayed value is p itself.
+      ObjectId Tmp = makeTemp(PtrTy, Loc);
+      emitCopy(Tmp, A.Base, {}, PtrTy, Loc);
+      return Tmp;
+    }
+    return emitAddrOfDeref(A.Base, A.Path, A.DeclPointeeTy, PtrTy, Loc);
+  }
+
+  if (A.Kind == Access::Direct) {
+    if (A.Path.empty() && ResultTy == Types.unqualified(
+                              Prog.object(A.Base).Ty))
+      return A.Base; // already a top-level object of the right type
+    ObjectId Tmp = makeTemp(ResultTy, Loc);
+    emitCopy(Tmp, A.Base, A.Path, ResultTy, Loc);
+    return Tmp;
+  }
+
+  ObjectId Ptr = A.Base;
+  if (!A.Path.empty())
+    Ptr = emitAddrOfDeref(A.Base, A.Path, A.DeclPointeeTy,
+                          Types.getPointer(A.Ty), Loc);
+  ObjectId Tmp = makeTemp(ResultTy, Loc);
+  emitLoad(Tmp, Ptr, ResultTy, A.Path.empty() ? A.DeclPointeeTy : A.Ty, Loc);
+  return Tmp;
+}
+
+void Normalizer::genAssignInto(const Access &A, ObjectId Value,
+                               SourceLoc Loc) {
+  if (!Value.isValid() || Value == ConstObj) {
+    // A constant (e.g. a NULL assignment) adds no points-to facts: emit no
+    // statement, but an indirect store still dereferences the pointer, so
+    // the site is recorded against it (with its declared pointee type).
+    if (A.Kind == Access::Indirect)
+      makeDerefSite(A.Base, A.DeclPointeeTy, /*IsCall=*/false, Loc);
+    return;
+  }
+  if (A.Kind == Access::Direct) {
+    if (A.Path.empty()) {
+      emitCopy(A.Base, Value, {}, A.Ty, Loc);
+      return;
+    }
+    // t.path = v   =>   tmp = &t.path; *tmp = v;
+    ObjectId Addr = makeTemp(Types.getPointer(A.Ty), Loc);
+    emitAddrOf(Addr, A.Base, A.Path, Types.getPointer(A.Ty), Loc);
+    emitStore(Addr, Value, A.Ty, Loc);
+    return;
+  }
+  ObjectId Ptr = A.Base;
+  TypeId StoredTy = A.Path.empty() ? A.DeclPointeeTy : A.Ty;
+  if (!A.Path.empty())
+    Ptr = emitAddrOfDeref(A.Base, A.Path, A.DeclPointeeTy,
+                          Types.getPointer(A.Ty), Loc);
+  emitStore(Ptr, Value, StoredTy, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+void Normalizer::genDiscard(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::EnumRef:
+  case ExprKind::DeclRef:
+  case ExprKind::FuncRef:
+  case ExprKind::StringLit:
+  case ExprKind::SizeofType:
+    return; // no side effects
+  case ExprKind::Comma:
+    genDiscard(*E.Lhs);
+    genDiscard(*E.Rhs);
+    return;
+  default:
+    (void)genRValue(E);
+    return;
+  }
+}
+
+bool Normalizer::isAllocator(const FunctionDecl *Fn) const {
+  if (Fn->isDefined())
+    return false; // a locally defined malloc() is just a function
+  std::string_view Name = Strings.text(Fn->Name);
+  return Name == "malloc" || Name == "calloc" || Name == "realloc" ||
+         Name == "valloc" || Name == "xmalloc" || Name == "xcalloc" ||
+         Name == "xrealloc" || Name == "strdup" || Name == "strndup";
+}
+
+ObjectId Normalizer::genRValue(const Expr &E, TypeId TypeHint) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::EnumRef:
+  case ExprKind::SizeofType:
+    return ConstObj;
+
+  case ExprKind::StringLit: {
+    ObjectId Str = stringObject(E);
+    TypeId PtrTy = Types.getPointer(Types.charType());
+    ObjectId Tmp = makeTemp(PtrTy, E.Loc);
+    emitAddrOf(Tmp, Str, {}, PtrTy, E.Loc);
+    return Tmp;
+  }
+
+  case ExprKind::FuncRef: {
+    const NormFunction &Fn = Prog.func(funcIdFor(E.Fn));
+    TypeId PtrTy = Types.getPointer(E.Ty);
+    ObjectId Tmp = makeTemp(PtrTy, E.Loc);
+    emitAddrOf(Tmp, Fn.FnObj, {}, PtrTy, E.Loc);
+    return Tmp;
+  }
+
+  case ExprKind::DeclRef:
+  case ExprKind::Member:
+  case ExprKind::Index: {
+    Access A = genAccess(E);
+    return materializeAccess(A, E.Ty, E.Loc);
+  }
+
+  case ExprKind::Unary:
+    switch (E.UOp) {
+    case UnaryOp::Deref: {
+      Access A = genAccess(E);
+      return materializeAccess(A, E.Ty, E.Loc);
+    }
+    case UnaryOp::AddrOf: {
+      const Expr &Operand = *E.Lhs;
+      // &f for a function: the same as the function designator itself.
+      if (Operand.Kind == ExprKind::FuncRef)
+        return genRValue(Operand);
+      Access A = genAccess(Operand);
+      if (A.Kind == Access::Direct) {
+        ObjectId Tmp = makeTemp(E.Ty, E.Loc);
+        emitAddrOf(Tmp, A.Base, A.Path, E.Ty, E.Loc);
+        return Tmp;
+      }
+      if (A.Path.empty()) {
+        // &*p is just p's value.
+        ObjectId Tmp = makeTemp(E.Ty, E.Loc);
+        emitCopy(Tmp, A.Base, {}, E.Ty, E.Loc);
+        return Tmp;
+      }
+      return emitAddrOfDeref(A.Base, A.Path, A.DeclPointeeTy, E.Ty, E.Loc);
+    }
+    case UnaryOp::Plus:
+      return genRValue(*E.Lhs);
+    case UnaryOp::Minus:
+    case UnaryOp::BitNot: {
+      ObjectId V = genRValue(*E.Lhs);
+      return emitPtrArith({V.isValid() ? V : ConstObj}, E.Ty, E.Loc);
+    }
+    case UnaryOp::Not:
+      genDiscard(*E.Lhs);
+      return ConstObj;
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+      Access A = genAccess(*E.Lhs);
+      ObjectId Old = materializeAccess(A, E.Ty, E.Loc);
+      ObjectId Moved = emitPtrArith({Old}, E.Ty, E.Loc);
+      genAssignInto(A, Moved, E.Loc);
+      return Moved;
+    }
+    }
+    return ConstObj;
+
+  case ExprKind::Binary:
+    switch (E.BOp) {
+    case BinaryOp::LogAnd:
+    case BinaryOp::LogOr:
+    case BinaryOp::Lt:
+    case BinaryOp::Gt:
+    case BinaryOp::Le:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      genDiscard(*E.Lhs);
+      genDiscard(*E.Rhs);
+      return ConstObj;
+    default: {
+      // Assumption 1: the result of arithmetic may still carry any address
+      // reachable from either operand (pointer moved within its object,
+      // integer holding a casted pointer, ...).
+      ObjectId A = genRValue(*E.Lhs);
+      ObjectId B = genRValue(*E.Rhs);
+      std::vector<ObjectId> Srcs;
+      if (A.isValid())
+        Srcs.push_back(A);
+      if (B.isValid())
+        Srcs.push_back(B);
+      return emitPtrArith(std::move(Srcs), E.Ty, E.Loc);
+    }
+    }
+
+  case ExprKind::Assign:
+    return genAssignExpr(E);
+
+  case ExprKind::Conditional: {
+    genDiscard(*E.Lhs); // condition
+    ObjectId ThenV = genRValue(*E.Rhs);
+    ObjectId ElseV = genRValue(*E.Cond);
+    ObjectId Tmp = makeTemp(E.Ty, E.Loc);
+    if (ThenV.isValid() && ThenV != ConstObj)
+      emitCopy(Tmp, ThenV, {}, E.Ty, E.Loc);
+    if (ElseV.isValid() && ElseV != ConstObj)
+      emitCopy(Tmp, ElseV, {}, E.Ty, E.Loc);
+    return Tmp;
+  }
+
+  case ExprKind::Cast: {
+    TypeId CastTy = Types.unqualified(E.Ty);
+    if (Types.isVoid(CastTy)) {
+      genDiscard(*E.Lhs);
+      return ObjectId();
+    }
+    // (T *)malloc(...) and friends: the allocation-site pseudo-variable
+    // takes the casted-to pointee type.
+    if (E.Lhs->Kind == ExprKind::Call)
+      return genCall(*E.Lhs, CastTy);
+    // Fold the cast into the copy/load out of an lvalue when possible:
+    // s = (tau)t.beta in one normalized statement.
+    switch (E.Lhs->Kind) {
+    case ExprKind::DeclRef:
+    case ExprKind::Member:
+    case ExprKind::Index: {
+      Access A = genAccess(*E.Lhs);
+      return materializeAccess(A, CastTy, E.Loc);
+    }
+    case ExprKind::Unary:
+      if (E.Lhs->UOp == UnaryOp::Deref) {
+        Access A = genAccess(*E.Lhs);
+        return materializeAccess(A, CastTy, E.Loc);
+      }
+      break;
+    default:
+      break;
+    }
+    ObjectId V = genRValue(*E.Lhs, CastTy);
+    if (!V.isValid())
+      return ObjectId();
+    if (V == ConstObj)
+      return ConstObj;
+    ObjectId Tmp = makeTemp(CastTy, E.Loc);
+    emitCopy(Tmp, V, {}, CastTy, E.Loc);
+    return Tmp;
+  }
+
+  case ExprKind::Call:
+    return genCall(E, TypeHint);
+
+  case ExprKind::Comma:
+    genDiscard(*E.Lhs);
+    return genRValue(*E.Rhs, TypeHint);
+
+  case ExprKind::InitList:
+    Diags.error(E.Loc, "initializer list in expression context");
+    return ConstObj;
+  }
+  return ConstObj;
+}
+
+ObjectId Normalizer::genAssignExpr(const Expr &E) {
+  Access A = genAccess(*E.Lhs);
+  ObjectId V = genRValue(*E.Rhs, A.Ty);
+  if (E.IsCompoundAssign) {
+    ObjectId Old = materializeAccess(A, A.Ty, E.Loc);
+    std::vector<ObjectId> Srcs{Old};
+    if (V.isValid())
+      Srcs.push_back(V);
+    V = emitPtrArith(std::move(Srcs), A.Ty, E.Loc);
+  }
+  genAssignInto(A, V, E.Loc);
+  return V.isValid() ? V : ConstObj;
+}
+
+ObjectId Normalizer::genCall(const Expr &E, TypeId TypeHint) {
+  // Identify the callee: unwrap derefs ((*fp)() == fp()).
+  const Expr *Callee = E.Lhs.get();
+  while (Callee->Kind == ExprKind::Unary && Callee->UOp == UnaryOp::Deref &&
+         Types.isFunction(Types.unqualified(Callee->Ty)))
+    Callee = Callee->Lhs.get();
+
+  // Allocation sites become heap pseudo-variables instead of calls.
+  if (Callee->Kind == ExprKind::FuncRef && isAllocator(Callee->Fn)) {
+    std::string_view Name = Strings.text(Callee->Fn->Name);
+    ObjectId Prev; // realloc: the result may also be the old block
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      ObjectId ArgV = genRValue(*E.Args[I]);
+      if (I == 0 && (Name == "realloc" || Name == "xrealloc"))
+        Prev = ArgV;
+    }
+    TypeId ElemTy = Types.getArray(Types.charType(), 0); // untyped blob
+    if (TypeHint.isValid() && Types.isPointer(Types.unqualified(TypeHint))) {
+      TypeId Pointee = Types.unqualified(
+          Types.pointee(Types.unqualified(TypeHint)));
+      if (!Types.isVoid(Pointee) && !Types.isFunction(Pointee))
+        ElemTy = Pointee;
+    }
+    ObjectId Heap = heapObject(ElemTy, E.Loc);
+    TypeId PtrTy = TypeHint.isValid() &&
+                           Types.isPointer(Types.unqualified(TypeHint))
+                       ? Types.unqualified(TypeHint)
+                       : Types.getPointer(ElemTy);
+    ObjectId Tmp = makeTemp(PtrTy, E.Loc);
+    emitAddrOf(Tmp, Heap, {}, PtrTy, E.Loc);
+    if (Prev.isValid())
+      emitCopy(Tmp, Prev, {}, PtrTy, E.Loc);
+    return Tmp;
+  }
+
+  emit(NormOp::Call, E.Loc);
+  size_t StmtIndex = Prog.Stmts.size() - 1;
+  std::vector<ObjectId> Args;
+  for (const ExprPtr &Arg : E.Args) {
+    ObjectId V = genRValue(*Arg);
+    Args.push_back(V.isValid() ? V : ConstObj);
+  }
+
+  ObjectId IndirectPtr;
+  FuncId Direct;
+  if (Callee->Kind == ExprKind::FuncRef) {
+    Direct = funcIdFor(Callee->Fn);
+  } else {
+    IndirectPtr = genRValue(*Callee);
+    if (!IndirectPtr.isValid())
+      IndirectPtr = ConstObj;
+  }
+
+  ObjectId Ret;
+  TypeId RetTy = Types.unqualified(E.Ty);
+  if (!Types.isVoid(RetTy))
+    Ret = makeTemp(E.Ty, E.Loc);
+
+  // Re-fetch: emitted statements may have invalidated the reference.
+  NormStmt &Stmt = Prog.Stmts[StmtIndex];
+  Stmt.DirectCallee = Direct;
+  Stmt.IndirectCallee = IndirectPtr;
+  Stmt.Args = std::move(Args);
+  Stmt.RetDst = Ret;
+  if (IndirectPtr.isValid())
+    Stmt.DerefSite = makeDerefSite(
+        IndirectPtr,
+        Types.isPointer(Types.unqualified(Prog.object(IndirectPtr).Ty))
+            ? Types.pointee(Types.unqualified(Prog.object(IndirectPtr).Ty))
+            : Types.intType(),
+        /*IsCall=*/true, E.Loc);
+  return Ret;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations, initializers, statements
+//===----------------------------------------------------------------------===//
+
+void Normalizer::declareFunctions() {
+  for (const auto &FnPtr : TU.Functions) {
+    const FunctionDecl &Fn = *FnPtr;
+    NormFunction NF;
+    NF.Name = Fn.Name;
+    NF.Ty = Fn.Ty;
+    NF.IsDefined = Fn.isDefined();
+    NF.IsVariadic = Fn.IsVariadic;
+    Prog.Funcs.push_back(std::move(NF));
+    FuncId Id(static_cast<uint32_t>(Prog.Funcs.size() - 1));
+    FuncIds.emplace(&Fn, Id);
+
+    NormFunction &Entry = Prog.Funcs[Id.index()];
+    Entry.FnObj =
+        Prog.makeObject(ObjectKind::Function, Fn.Name, Fn.Ty, Fn.Loc);
+    Prog.Objects[Entry.FnObj.index()].AsFunction = Id;
+
+    TypeId RetTy = Types.unqualified(Types.node(Fn.Ty).Inner);
+    if (!Types.isVoid(RetTy))
+      Entry.RetObj = Prog.makeObject(
+          ObjectKind::Return,
+          Strings.intern(std::string(Strings.text(Fn.Name)) + "$ret"),
+          Types.node(Fn.Ty).Inner, Fn.Loc, Id);
+    if (Fn.IsVariadic)
+      Entry.VarargsObj = Prog.makeObject(
+          ObjectKind::Varargs,
+          Strings.intern(std::string(Strings.text(Fn.Name)) + "$va"),
+          Types.getArray(Types.charType(), 0), Fn.Loc, Id);
+
+    for (const VarDecl *Param : Fn.Params) {
+      CurFunc = Id;
+      Entry.Params.push_back(objectForVar(Param));
+      CurFunc = FuncId();
+    }
+  }
+}
+
+void Normalizer::run() {
+  declareFunctions();
+
+  // Global initializers (emitted as ownerless statements).
+  CurFunc = FuncId();
+  for (const VarDecl *Global : TU.Globals) {
+    objectForVar(Global);
+    if (Global->Init)
+      normalizeVarInit(Global);
+  }
+
+  for (const auto &FnPtr : TU.Functions)
+    if (FnPtr->isDefined())
+      normalizeFunction(*FnPtr);
+}
+
+void Normalizer::normalizeFunction(const FunctionDecl &Fn) {
+  CurFunc = funcIdFor(&Fn);
+  normalizeStmt(*Fn.Body);
+  CurFunc = FuncId();
+}
+
+void Normalizer::normalizeVarInit(const VarDecl *Var) {
+  ObjectId Obj = objectForVar(Var);
+  const Expr &Init = *Var->Init;
+  TypeId Ty = Types.unqualified(Var->Ty);
+  if (Init.Kind == ExprKind::InitList) {
+    size_t Cursor = 0;
+    FieldPath Path;
+    initFromList(Obj, Path, Ty, Init.Args, Cursor, Init.Loc);
+    return;
+  }
+  initScalar(Obj, {}, Var->Ty, Init);
+}
+
+void Normalizer::initScalar(ObjectId Base, const FieldPath &Path, TypeId Ty,
+                            const Expr &Init) {
+  // Special case: char arrays initialized from a string literal copy the
+  // characters, not a pointer; no points-to facts arise.
+  TypeId Unqual = Types.unqualified(Ty);
+  if (Types.isArray(Unqual) && Init.Kind == ExprKind::StringLit)
+    return;
+
+  ObjectId V = genRValue(Init, Ty);
+  if (!V.isValid())
+    V = ConstObj;
+  Access A;
+  A.Kind = Access::Direct;
+  A.Base = Base;
+  A.Path = Path;
+  A.Ty = Ty;
+  genAssignInto(A, V, Init.Loc);
+}
+
+void Normalizer::initFromList(ObjectId Base, FieldPath &Path, TypeId Ty,
+                              const std::vector<ExprPtr> &Elems,
+                              size_t &Cursor, SourceLoc Loc) {
+  TypeId Unqual = Types.unqualified(Ty);
+
+  if (Types.isArray(Unqual)) {
+    // Every element initializes the representative first element.
+    TypeId ElemTy = Types.element(Unqual);
+    uint64_t Count = Types.node(Unqual).ArraySize;
+    uint64_t Limit = Count == 0 ? Elems.size() : Count;
+    for (uint64_t I = 0; I < Limit && Cursor < Elems.size(); ++I) {
+      const Expr &Elem = *Elems[Cursor];
+      if (Elem.Kind == ExprKind::InitList) {
+        ++Cursor;
+        size_t SubCursor = 0;
+        initFromList(Base, Path, ElemTy, Elem.Args, SubCursor, Elem.Loc);
+      } else if (Types.isRecord(Types.unqualified(ElemTy)) ||
+                 Types.isArray(Types.unqualified(ElemTy))) {
+        initFromList(Base, Path, ElemTy, Elems, Cursor, Loc); // flat fill
+      } else {
+        initScalar(Base, Path, ElemTy, Elem);
+        ++Cursor;
+      }
+    }
+    return;
+  }
+
+  if (Types.isStruct(Unqual)) {
+    const RecordDecl &Decl = Types.record(Types.node(Unqual).Record);
+    for (uint32_t I = 0; I < Decl.Fields.size() && Cursor < Elems.size();
+         ++I) {
+      const Expr &Elem = *Elems[Cursor];
+      TypeId FieldTy = Decl.Fields[I].Ty;
+      Path.push_back(I);
+      if (Elem.Kind == ExprKind::InitList) {
+        ++Cursor;
+        size_t SubCursor = 0;
+        initFromList(Base, Path, FieldTy, Elem.Args, SubCursor, Elem.Loc);
+      } else if (Types.isRecord(Types.unqualified(FieldTy)) ||
+                 (Types.isArray(Types.unqualified(FieldTy)) &&
+                  Elem.Kind != ExprKind::StringLit)) {
+        initFromList(Base, Path, FieldTy, Elems, Cursor, Loc); // flat fill
+      } else {
+        initScalar(Base, Path, FieldTy, Elem);
+        ++Cursor;
+      }
+      Path.pop_back();
+    }
+    return;
+  }
+
+  if (Types.isUnion(Unqual)) {
+    // Initialize the first member (C90 semantics).
+    const RecordDecl &Decl = Types.record(Types.node(Unqual).Record);
+    if (!Decl.Fields.empty() && Cursor < Elems.size()) {
+      const Expr &Elem = *Elems[Cursor];
+      TypeId FieldTy = Decl.Fields[0].Ty;
+      Path.push_back(0);
+      if (Elem.Kind == ExprKind::InitList) {
+        ++Cursor;
+        size_t SubCursor = 0;
+        initFromList(Base, Path, FieldTy, Elem.Args, SubCursor, Elem.Loc);
+      } else {
+        initScalar(Base, Path, FieldTy, Elem);
+        ++Cursor;
+      }
+      Path.pop_back();
+    }
+    return;
+  }
+
+  // Scalar: one element.
+  if (Cursor < Elems.size()) {
+    initScalar(Base, Path, Ty, *Elems[Cursor]);
+    ++Cursor;
+  }
+}
+
+void Normalizer::normalizeStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Compound:
+    for (const StmtPtr &Child : S.Body)
+      normalizeStmt(*Child);
+    return;
+  case StmtKind::ExprStmt:
+    if (S.Cond)
+      genDiscard(*S.Cond);
+    return;
+  case StmtKind::If:
+    genDiscard(*S.Cond);
+    normalizeStmt(*S.Then);
+    if (S.Else)
+      normalizeStmt(*S.Else);
+    return;
+  case StmtKind::While:
+  case StmtKind::DoWhile:
+  case StmtKind::Switch:
+    genDiscard(*S.Cond);
+    normalizeStmt(*S.Then);
+    return;
+  case StmtKind::For:
+    if (S.InitDecl)
+      normalizeStmt(*S.InitDecl);
+    if (S.Init)
+      genDiscard(*S.Init);
+    if (S.Cond)
+      genDiscard(*S.Cond);
+    if (S.Step)
+      genDiscard(*S.Step);
+    normalizeStmt(*S.Then);
+    return;
+  case StmtKind::Case:
+  case StmtKind::Default:
+  case StmtKind::Label:
+    if (S.Then)
+      normalizeStmt(*S.Then);
+    return;
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Null:
+  case StmtKind::Goto:
+    return;
+  case StmtKind::Return: {
+    if (!S.Cond)
+      return;
+    const NormFunction &Fn = Prog.func(CurFunc);
+    ObjectId V = genRValue(*S.Cond,
+                           Fn.RetObj.isValid() ? Prog.object(Fn.RetObj).Ty
+                                               : TypeId());
+    if (Fn.RetObj.isValid() && V.isValid() && V != ConstObj)
+      emitCopy(Fn.RetObj, V, {}, Prog.object(Fn.RetObj).Ty, S.Loc);
+    return;
+  }
+  case StmtKind::DeclStmt:
+    for (VarDecl *Var : S.Decls) {
+      objectForVar(Var);
+      if (Var->Init)
+        normalizeVarInit(Var);
+    }
+    return;
+  }
+}

@@ -1,0 +1,139 @@
+//===--- Normalizer.h - AST to normalized assignments ----------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed translation unit to the paper's normalized assignment
+/// forms (see NormIR.h), introducing temporaries so that every statement
+/// operand is a top-level object:
+///
+///   s.s1 = &x;   =>   tmp1 = &s.s1;  tmp2 = &x;  *tmp1 = tmp2;
+///
+/// Heap allocation sites become allocation-site pseudo-variables; when an
+/// allocation call appears under a pointer cast or a pointer-typed
+/// assignment, the pseudo-variable takes the pointed-to type, otherwise it
+/// is an untyped byte blob. Every pointer dereference emitted registers a
+/// DerefSite (the unit of the paper's precision metric).
+///
+/// Conservatism carried over from the paper (Assumption 1): all arithmetic
+/// flows through PtrArith statements, including arithmetic on integers
+/// (which may hold casted pointers); comparisons and logical operators
+/// yield pointer-free values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_NORM_NORMALIZER_H
+#define SPA_NORM_NORMALIZER_H
+
+#include "cfront/AST.h"
+#include "norm/NormIR.h"
+#include "support/Diagnostics.h"
+
+#include <unordered_map>
+
+namespace spa {
+
+/// Translates one TranslationUnit into a NormProgram.
+class Normalizer {
+public:
+  Normalizer(const TranslationUnit &TU, NormProgram &Prog,
+             DiagnosticEngine &Diags);
+
+  /// Runs the lowering. The program is usable even if diagnostics were
+  /// reported (unsupported constructs degrade to conservative statements).
+  void run();
+
+private:
+  /// A resolved reference to a storage location.
+  struct Access {
+    enum AccessKind {
+      Direct, ///< Base.Path (Base is a top-level object)
+      Indirect, ///< (*Base).Path (Base is a pointer-valued object)
+    } Kind = Direct;
+    ObjectId Base;
+    FieldPath Path;
+    TypeId DeclPointeeTy; ///< Indirect: declared pointee type of Base
+    TypeId Ty;            ///< type of the designated location
+  };
+
+  /// \name Object management.
+  /// @{
+  ObjectId objectForVar(const VarDecl *Var);
+  ObjectId makeTemp(TypeId Ty, SourceLoc Loc);
+  ObjectId stringObject(const Expr &Lit);
+  ObjectId heapObject(TypeId ElemTy, SourceLoc Loc);
+  FuncId funcIdFor(const FunctionDecl *Fn);
+  /// @}
+
+  /// \name Statement emission.
+  /// @{
+  NormStmt &emit(NormOp Op, SourceLoc Loc);
+  void emitAddrOf(ObjectId Dst, ObjectId Src, FieldPath Path, TypeId LhsTy,
+                  SourceLoc Loc);
+  ObjectId emitAddrOfDeref(ObjectId Ptr, FieldPath Alpha, TypeId DeclPointee,
+                           TypeId ResultTy, SourceLoc Loc);
+  void emitCopy(ObjectId Dst, ObjectId Src, FieldPath Path, TypeId LhsTy,
+                SourceLoc Loc);
+  void emitLoad(ObjectId Dst, ObjectId Ptr, TypeId LhsTy, TypeId DeclPointee,
+                SourceLoc Loc);
+  void emitStore(ObjectId Ptr, ObjectId Value, TypeId LhsTy, SourceLoc Loc);
+  ObjectId emitPtrArith(std::vector<ObjectId> Srcs, TypeId Ty, SourceLoc Loc);
+  int32_t makeDerefSite(ObjectId Ptr, TypeId DeclPointee, bool IsCall,
+                        SourceLoc Loc);
+  /// @}
+
+  /// \name Expression lowering.
+  /// @{
+  Access genAccess(const Expr &E);
+  /// Materializes the value of \p E into a top-level object. \p TypeHint
+  /// is the type the context converts the value to (assignment LHS type or
+  /// cast type); it also types heap pseudo-variables. Returns an invalid
+  /// id only for void values.
+  ObjectId genRValue(const Expr &E, TypeId TypeHint = TypeId());
+  /// Loads/copies out of \p A into a fresh temp of type \p ResultTy.
+  ObjectId materializeAccess(const Access &A, TypeId ResultTy, SourceLoc Loc);
+  void genAssignInto(const Access &A, ObjectId Value, SourceLoc Loc);
+  ObjectId genAssignExpr(const Expr &E);
+  ObjectId genCall(const Expr &E, TypeId TypeHint);
+  /// Evaluates \p E for its side effects, discarding the value.
+  void genDiscard(const Expr &E);
+  /// @}
+
+  /// \name Declarations and statements.
+  /// @{
+  void declareFunctions();
+  void normalizeFunction(const FunctionDecl &Fn);
+  void normalizeStmt(const Stmt &S);
+  void normalizeVarInit(const VarDecl *Var);
+  /// Brace-initializer cursor: initializes (Base,Path):Ty from List
+  /// starting at element \p Cursor, consuming elements as C's flat
+  /// initialization rules do (arrays collapse to their representative
+  /// element).
+  void initFromList(ObjectId Base, FieldPath &Path, TypeId Ty,
+                    const std::vector<ExprPtr> &Elems, size_t &Cursor,
+                    SourceLoc Loc);
+  void initScalar(ObjectId Base, const FieldPath &Path, TypeId Ty,
+                  const Expr &Init);
+  /// @}
+
+  /// Returns true if \p Fn is an allocation function (malloc family).
+  bool isAllocator(const FunctionDecl *Fn) const;
+
+  const TranslationUnit &TU;
+  NormProgram &Prog;
+  DiagnosticEngine &Diags;
+  TypeTable &Types;
+  StringInterner &Strings;
+
+  std::unordered_map<const VarDecl *, ObjectId> VarObjects;
+  std::unordered_map<const FunctionDecl *, FuncId> FuncIds;
+  FuncId CurFunc;
+  ObjectId ConstObj; ///< shared pointer-free object for literals
+  unsigned TempCounter = 0;
+};
+
+} // namespace spa
+
+#endif // SPA_NORM_NORMALIZER_H

@@ -1,0 +1,188 @@
+//===--- FieldModel.h - The tunable analysis parameter ---------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's framework is parameterized by three functions — normalize,
+/// lookup, and resolve — whose different definitions yield analyses of
+/// different precision and portability (Sections 4.2.2 and 4.3). This
+/// interface is exactly that parameter. The inference-rule solver is
+/// written once against it; four concrete models implement it.
+///
+/// The mapping to the paper:
+///  * normalizeLoc(o, path)        == normalize(o.path), returning the
+///    canonical node for the location;
+///  * lookup(tau, alpha, t)        == lookup(tau, alpha, t-hat): the node t
+///    is already normalized (it came out of a points-to set);
+///  * resolve(d, s, tau, out)      == resolve(d-hat, s-hat, tau): the
+///    returned pairs are (destination, source) nodes whose points-to sets
+///    the copy joins. The Offsets instance realizes the paper's per-byte
+///    matching over the *materialized* offsets of the source object; the
+///    fixpoint loop re-runs statements, so offsets materialized later are
+///    still propagated.
+///  * allNodesOfObject             == the "any sub-field of s or of any
+///    structure containing s" set used for pointer arithmetic under
+///    Assumption 1 (our objects are whole top-level variables, so the
+///    enclosing structure is the object itself).
+///
+/// Instrumentation: every model counts its lookup/resolve calls, whether
+/// they involved a structure, and whether the types failed to match —
+/// the raw data of the paper's Figure 3. Calls to lookup made internally
+/// by resolve are not counted (paper, footnote to Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_FIELDMODEL_H
+#define SPA_PTA_FIELDMODEL_H
+
+#include "ctypes/Flatten.h"
+#include "ctypes/Layout.h"
+#include "pta/NodeStore.h"
+
+#include <memory>
+
+namespace spa {
+
+/// Counters mirroring the paper's Figure 3 columns.
+struct ModelStats {
+  uint64_t LookupCalls = 0;
+  uint64_t LookupStruct = 0;   ///< lookups involving a structure
+  uint64_t LookupMismatch = 0; ///< ... of those, with a type mismatch
+  uint64_t ResolveCalls = 0;
+  uint64_t ResolveStruct = 0;
+  uint64_t ResolveMismatch = 0;
+};
+
+/// Base class of the four analysis instances.
+class FieldModel {
+public:
+  FieldModel(const NormProgram &Prog, const LayoutEngine &Layout)
+      : Prog(Prog), Types(Prog.Types), Layout(Layout) {}
+  virtual ~FieldModel() = default;
+
+  /// Short display name ("Offsets", "Collapse Always", ...).
+  virtual const char *name() const = 0;
+
+  /// The paper's normalize: canonical node for object \p Obj at member
+  /// path \p Path.
+  virtual NodeId normalizeLoc(ObjectId Obj, const FieldPath &Path) = 0;
+
+  /// The paper's lookup(tau, alpha, t-hat): which nodes of \p Target's
+  /// object are referenced when a pointer declared to point to \p Tau,
+  /// actually pointing at \p Target, is dereferenced at member path
+  /// \p Alpha. Appends to \p Out.
+  virtual void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+                      std::vector<NodeId> &Out) = 0;
+
+  /// The paper's resolve(dst, src, tau): pairs of (destination, source)
+  /// nodes matched by a copy of declared type \p Tau from \p Src to
+  /// \p Dst. Appends to \p Out.
+  virtual void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+                       std::vector<std::pair<NodeId, NodeId>> &Out) = 0;
+
+  /// Every node of \p Obj (for pointer-arithmetic smearing). Appends to
+  /// \p Out; materializes nodes as needed.
+  virtual void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) = 0;
+
+  /// Nodes a pointer-arithmetic result may target, given that an operand
+  /// points to \p Target. The paper's Assumption-1 rule (default) smears
+  /// over the whole object. With \p Stride set, the Wilson/Lam refinement
+  /// applies: arithmetic on a pointer into an array moves by element
+  /// strides, so (arrays being collapsed to one representative element)
+  /// the target is unchanged; only pointers outside arrays smear.
+  virtual void arithNodes(NodeId Target, bool Stride,
+                          std::vector<NodeId> &Out) {
+    if (Stride && targetInsideArray(Target)) {
+      Out.push_back(Target);
+      return;
+    }
+    allNodesOfObject(Store.objectOf(Target), Out);
+  }
+
+  /// True if \p Target denotes a location inside an array member (or an
+  /// array object). Used by the stride refinement.
+  virtual bool targetInsideArray(NodeId Target) const {
+    (void)Target;
+    return false;
+  }
+
+  /// For reporting: how many concrete fields one node of \p Obj stands
+  /// for (used to expand Collapse Always sets when comparing set sizes,
+  /// exactly as the paper does for its Figure 4).
+  virtual uint64_t expandedFieldCount(NodeId Node) const {
+    (void)Node;
+    return 1;
+  }
+
+  /// For reporting: the within-object part of a node's display name
+  /// (".s1" for field nodes, "+4" for offset nodes, "" for whole objects).
+  virtual std::string nodeSuffix(NodeId Node) const {
+    (void)Node;
+    return std::string();
+  }
+
+  NodeStore &nodes() { return Store; }
+  const NodeStore &nodes() const { return Store; }
+  const ModelStats &stats() const { return Stats; }
+
+  /// Object type helper: declared type of an object, unqualified.
+  TypeId objectType(ObjectId Obj) const {
+    return Types.unqualified(Prog.object(Obj).Ty);
+  }
+
+protected:
+  /// Instrumentation helpers. \p InResolve suppresses nested counting.
+  void noteLookup(bool InvolvesStruct, bool Mismatch) {
+    if (InResolveDepth > 0)
+      return;
+    ++Stats.LookupCalls;
+    if (InvolvesStruct)
+      ++Stats.LookupStruct;
+    if (InvolvesStruct && Mismatch)
+      ++Stats.LookupMismatch;
+  }
+  void noteResolve(bool InvolvesStruct, bool Mismatch) {
+    ++Stats.ResolveCalls;
+    if (InvolvesStruct)
+      ++Stats.ResolveStruct;
+    if (InvolvesStruct && Mismatch)
+      ++Stats.ResolveMismatch;
+  }
+  /// RAII guard marking "inside resolve" so nested lookups are not counted.
+  struct ResolveScope {
+    FieldModel &Model;
+    explicit ResolveScope(FieldModel &Model) : Model(Model) {
+      ++Model.InResolveDepth;
+    }
+    ~ResolveScope() { --Model.InResolveDepth; }
+  };
+
+  const NormProgram &Prog;
+  const TypeTable &Types;
+  const LayoutEngine &Layout;
+  NodeStore Store;
+  ModelStats Stats;
+  unsigned InResolveDepth = 0;
+};
+
+/// Which instance of the framework to run.
+enum class ModelKind {
+  CollapseAlways,
+  CollapseOnCast,
+  CommonInitialSeq,
+  Offsets,
+};
+
+/// Display name of \p Kind.
+const char *modelKindName(ModelKind Kind);
+
+/// Factory for the four instances.
+std::unique_ptr<FieldModel> makeFieldModel(ModelKind Kind,
+                                           const NormProgram &Prog,
+                                           const LayoutEngine &Layout);
+
+} // namespace spa
+
+#endif // SPA_PTA_FIELDMODEL_H

@@ -1,0 +1,138 @@
+//===--- FigureOneModel.h - The paper's Section-3 reference rules -*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 1: flow-insensitive rules that distinguish structure
+/// fields but assume NO casting. Locations are raw (non-normalized)
+/// *field-name* paths, exactly as the paper writes them: copying a struct
+/// A into a struct B yields the nonsensical pointsTo(b.a1, x) because the
+/// fact is keyed by the name "a1", which no access of b ever reads.
+/// Section 3 shows these rules are therefore UNSOUND for programs that
+/// cast ("the desired fact pointsTo(b.b1, x) cannot be inferred"), and
+/// Section 4.1's Problem 1 exhibits a concrete miss. This instance exists
+/// to reproduce those demonstrations (see FigureOneModelTest); it is NOT
+/// part of ModelKind and must not be used on casting programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_FIGUREONEMODEL_H
+#define SPA_PTA_FIGUREONEMODEL_H
+
+#include "pta/Models.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spa {
+
+/// Field-sensitive, cast-oblivious instance implementing Figure 1.
+class FigureOneModel : public FieldModel {
+public:
+  FigureOneModel(const NormProgram &Prog, const LayoutEngine &Layout)
+      : FieldModel(Prog, Layout), Flats(Prog.Types, Layout) {}
+
+  const char *name() const override { return "Figure 1 (no casting)"; }
+
+  /// Rule 1's right-hand sides are used as-is: the node for s.alpha is the
+  /// sequence of field *names*, with no first-field normalization.
+  NodeId normalizeLoc(ObjectId Obj, const FieldPath &Path) override {
+    return Store.getNode(Obj, pathKey(namesOf(objectType(Obj), Path)));
+  }
+
+  /// Rule 2: pointsTo(p, t.beta) |- pointsTo(s, t.beta.alpha), where alpha
+  /// is spelled with the names of the pointer's DECLARED pointee type (the
+  /// rules know no other type).
+  void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+              std::vector<NodeId> &Out) override {
+    noteLookup(/*InvolvesStruct=*/!Alpha.empty(), /*Mismatch=*/false);
+    NamePath Full = pathOfKey(Store.keyOf(Target));
+    NamePath Suffix = namesOf(Tau, Alpha);
+    Full.insert(Full.end(), Suffix.begin(), Suffix.end());
+    Out.push_back(Store.getNode(Store.objectOf(Target), pathKey(Full)));
+  }
+
+  /// Rules 3-5: pointsTo(t.beta.gamma, u.delta) |- pointsTo(s.gamma,
+  /// u.delta) — realized by pairing every materialized source node whose
+  /// path extends beta with the destination node at the same suffix.
+  void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+               std::vector<std::pair<NodeId, NodeId>> &Out) override {
+    (void)Tau;
+    noteResolve(/*InvolvesStruct=*/false, /*Mismatch=*/false);
+    ObjectId SrcObj = Store.objectOf(Src);
+    ObjectId DstObj = Store.objectOf(Dst);
+    NamePath Beta = pathOfKey(Store.keyOf(Src));
+    NamePath DstBase = pathOfKey(Store.keyOf(Dst));
+    std::vector<NodeId> SrcNodes = Store.nodesOfObject(SrcObj); // copy
+    for (NodeId N : SrcNodes) {
+      NamePath P = pathOfKey(Store.keyOf(N));
+      if (P.size() < Beta.size() ||
+          !std::equal(Beta.begin(), Beta.end(), P.begin()))
+        continue;
+      NamePath DstPath = DstBase;
+      DstPath.insert(DstPath.end(), P.begin() + Beta.size(), P.end());
+      Out.emplace_back(Store.getNode(DstObj, pathKey(DstPath)), N);
+    }
+  }
+
+  void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) override {
+    // Materialize the declared leaves (by their name paths) plus whatever
+    // else exists.
+    const FlattenedType &FT = Flats.get(objectType(Obj));
+    for (const LeafField &Leaf : FT.leaves())
+      Out.push_back(
+          Store.getNode(Obj, pathKey(namesOf(objectType(Obj), Leaf.Path))));
+    for (NodeId N : Store.nodesOfObject(Obj))
+      Out.push_back(N);
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+
+  std::string nodeSuffix(NodeId Node) const override {
+    const NamePath &Path = Paths[Store.keyOf(Node)];
+    std::string Out;
+    for (Symbol Name : Path) {
+      Out += ".";
+      Out += Prog.Strings.text(Name);
+    }
+    return Out;
+  }
+
+private:
+  using NamePath = std::vector<Symbol>;
+
+  /// Spells an index path as field names, relative to \p Root.
+  NamePath namesOf(TypeId Root, const FieldPath &Path) const {
+    NamePath Out;
+    TypeId Ty = Root;
+    for (uint32_t Step : Path) {
+      Ty = Types.stripArrays(Types.unqualified(Ty));
+      assert(Types.isRecord(Ty) && "name path step into non-record");
+      const RecordDecl &Decl = Types.record(Types.node(Ty).Record);
+      Out.push_back(Decl.Fields[Step].Name);
+      Ty = Decl.Fields[Step].Ty;
+    }
+    return Out;
+  }
+
+  uint64_t pathKey(const NamePath &Path) {
+    auto [It, Inserted] = PathIds.try_emplace(Path);
+    if (Inserted) {
+      Paths.push_back(Path);
+      It->second = Paths.size() - 1;
+    }
+    return It->second;
+  }
+
+  NamePath pathOfKey(uint64_t Key) const { return Paths[Key]; }
+
+  mutable FlattenCache Flats;
+  std::map<NamePath, uint64_t> PathIds;
+  std::vector<NamePath> Paths;
+};
+
+} // namespace spa
+
+#endif // SPA_PTA_FIGUREONEMODEL_H

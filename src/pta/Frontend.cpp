@@ -1,0 +1,48 @@
+//===--- Frontend.cpp -----------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Frontend.h"
+
+#include "cfront/Parser.h"
+#include "norm/Normalizer.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace spa;
+
+std::unique_ptr<CompiledProgram>
+CompiledProgram::fromSource(std::string_view Source, DiagnosticEngine &Diags,
+                            TargetInfo Target) {
+  std::unique_ptr<CompiledProgram> P(new CompiledProgram());
+  Parser TheParser(Source, P->TU, Diags, Target);
+  if (!TheParser.parseTranslationUnit())
+    return nullptr;
+  Normalizer Norm(P->TU, P->Prog, Diags);
+  Norm.run();
+  if (Diags.hasErrors())
+    return nullptr;
+  return P;
+}
+
+std::unique_ptr<CompiledProgram>
+CompiledProgram::fromFile(const std::string &Path, DiagnosticEngine &Diags,
+                          TargetInfo Target) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Diags.error(SourceLoc(), "cannot open file: " + Path);
+    return nullptr;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+  return fromSource(Source, Diags, std::move(Target));
+}
+
+Analysis::Analysis(NormProgram &Prog, AnalysisOptions Options)
+    : Opts(std::move(Options)), Layout(Prog.Types, Opts.Target),
+      Model(makeFieldModel(Opts.Model, Prog, Layout)),
+      TheSolver(Prog, *Model, Opts.Solver) {}

@@ -1,0 +1,98 @@
+//===--- Frontend.h - Source-to-analysis convenience API -------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-stop public API: compile C source text into a normalized
+/// program (CompiledProgram) and run any of the four analysis instances
+/// over it (Analysis). Most clients only need these two types plus the
+/// query helpers in Metrics.h.
+///
+/// \code
+///   auto Program = spa::CompiledProgram::fromSource(Source, Diags);
+///   spa::Analysis A(Program->Prog, {spa::ModelKind::CommonInitialSeq});
+///   A.run();
+///   for (const std::string &T : spa::pointsToSetOf(A.solver(), "p")) ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_FRONTEND_H
+#define SPA_PTA_FRONTEND_H
+
+#include "cfront/AST.h"
+#include "norm/NormIR.h"
+#include "pta/Metrics.h"
+#include "pta/Solver.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace spa {
+
+/// One translation unit, parsed and normalized, with all its owning
+/// tables. Create via fromSource/fromFile.
+class CompiledProgram {
+public:
+  StringInterner Strings;
+  TypeTable Types;
+  TranslationUnit TU;
+  NormProgram Prog;
+
+  /// Parses and normalizes \p Source. Returns null (with diagnostics in
+  /// \p Diags) if the source has errors. \p Target affects only parse-time
+  /// sizeof folding.
+  static std::unique_ptr<CompiledProgram>
+  fromSource(std::string_view Source, DiagnosticEngine &Diags,
+             TargetInfo Target = TargetInfo::ilp32());
+
+  /// Reads \p Path and calls fromSource.
+  static std::unique_ptr<CompiledProgram>
+  fromFile(const std::string &Path, DiagnosticEngine &Diags,
+           TargetInfo Target = TargetInfo::ilp32());
+
+private:
+  CompiledProgram() : TU(Types, Strings), Prog(Types, Strings) {}
+};
+
+/// Options for one analysis run.
+struct AnalysisOptions {
+  ModelKind Model = ModelKind::CommonInitialSeq;
+  /// ABI used by the Offsets instance (and by expandedFieldCount); the
+  /// portable instances' results do not depend on it.
+  TargetInfo Target = TargetInfo::ilp32();
+  SolverOptions Solver;
+};
+
+/// One analysis instance bound to a program: owns the layout engine, the
+/// field model, and the solver.
+class Analysis {
+public:
+  Analysis(NormProgram &Prog, AnalysisOptions Opts = {});
+
+  /// Runs the solver to fixpoint.
+  void run() { TheSolver.solve(); }
+
+  Solver &solver() { return TheSolver; }
+  FieldModel &model() { return *Model; }
+  const LayoutEngine &layout() const { return Layout; }
+  const AnalysisOptions &options() const { return Opts; }
+
+  /// Figure-4 metric for this run.
+  DerefMetrics derefMetrics(bool IncludeCalls = true) {
+    return computeDerefMetrics(TheSolver, IncludeCalls);
+  }
+
+private:
+  AnalysisOptions Opts;
+  LayoutEngine Layout;
+  std::unique_ptr<FieldModel> Model;
+  Solver TheSolver;
+};
+
+} // namespace spa
+
+#endif // SPA_PTA_FRONTEND_H

@@ -1,0 +1,89 @@
+//===--- GraphExport.cpp --------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/GraphExport.h"
+
+#include "pta/Metrics.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace spa;
+
+namespace {
+
+/// Collects the printable edges once for both exporters.
+std::vector<std::pair<std::string, std::string>>
+collectEdges(const Solver &S, const ExportOptions &Opts) {
+  const NormProgram &Prog = S.program();
+  const NodeStore &Nodes = S.model().nodes();
+  auto Wanted = [&](NodeId Node) {
+    ObjectId Obj = Nodes.objectOf(Node);
+    return Opts.IncludeTemps ||
+           Prog.object(Obj).Kind != ObjectKind::Temp;
+  };
+
+  std::vector<std::pair<std::string, std::string>> Edges;
+  for (uint32_t I = 0; I < Nodes.size(); ++I) {
+    NodeId From(I);
+    if (!Wanted(From))
+      continue;
+    for (NodeId To : S.pointsTo(From)) {
+      if (!Wanted(To))
+        continue;
+      Edges.emplace_back(nodeToString(S, From), nodeToString(S, To));
+    }
+  }
+  std::sort(Edges.begin(), Edges.end());
+  Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+  return Edges;
+}
+
+std::string escapeDot(const std::string &Label) {
+  std::string Out;
+  for (char C : Label) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string spa::exportDot(const Solver &S, const ExportOptions &Opts) {
+  auto Edges = collectEdges(S, Opts);
+  std::set<std::string> Mentioned;
+  for (const auto &[From, To] : Edges) {
+    Mentioned.insert(From);
+    Mentioned.insert(To);
+  }
+
+  std::string Out = "digraph pointsto {\n  rankdir=LR;\n  node [shape=box, "
+                    "fontname=\"monospace\"];\n";
+  if (Opts.IncludeIsolated) {
+    const NodeStore &Nodes = S.model().nodes();
+    for (uint32_t I = 0; I < Nodes.size(); ++I)
+      Mentioned.insert(nodeToString(S, NodeId(I)));
+  }
+  for (const std::string &Name : Mentioned)
+    Out += "  \"" + escapeDot(Name) + "\";\n";
+  for (const auto &[From, To] : Edges)
+    Out += "  \"" + escapeDot(From) + "\" -> \"" + escapeDot(To) + "\";\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string spa::exportEdgeList(const Solver &S, const ExportOptions &Opts) {
+  std::string Out;
+  for (const auto &[From, To] : collectEdges(S, Opts)) {
+    Out += From;
+    Out += " -> ";
+    Out += To;
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===--- GraphExport.h - Points-to graph serialization ---------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a solved points-to graph as Graphviz DOT (for visualization)
+/// or as a stable sorted text listing (for golden tests and diffing runs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_GRAPHEXPORT_H
+#define SPA_PTA_GRAPHEXPORT_H
+
+#include "pta/Solver.h"
+
+#include <string>
+
+namespace spa {
+
+/// Options controlling which nodes appear in an export.
+struct ExportOptions {
+  /// Include normalizer temporaries ("$t42"); off by default since they
+  /// drown out the interesting variables.
+  bool IncludeTemps = false;
+  /// Include nodes with empty points-to sets that nothing points at.
+  bool IncludeIsolated = false;
+};
+
+/// Renders the graph as Graphviz DOT.
+std::string exportDot(const Solver &S, const ExportOptions &Opts = {});
+
+/// Renders the graph as sorted "source -> target" lines, one per edge.
+std::string exportEdgeList(const Solver &S, const ExportOptions &Opts = {});
+
+} // namespace spa
+
+#endif // SPA_PTA_GRAPHEXPORT_H

@@ -1,0 +1,165 @@
+//===--- LibrarySummaries.cpp ---------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/LibrarySummaries.h"
+
+#include "pta/Solver.h"
+
+using namespace spa;
+
+using Effect = LibrarySummaries::Effect;
+
+LibrarySummaries::LibrarySummaries() {
+  auto None = std::vector<Effect>{};
+  auto RetAlias0 = std::vector<Effect>{{Effect::RetAliasArg, 0, 0}};
+  auto RetInto0 = std::vector<Effect>{{Effect::RetIntoArg, 0, 0}};
+  auto RetExt = std::vector<Effect>{{Effect::RetExtern, 0, 0}};
+
+  // Pure / pointer-free externals.
+  for (const char *Name :
+       {"printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf",
+        "scanf", "fscanf", "sscanf", "puts", "fputs", "putc", "fputc",
+        "putchar", "getc", "fgetc", "getchar", "ungetc", "fread", "fwrite",
+        "fseek", "ftell", "rewind", "fclose", "fflush", "feof", "ferror",
+        "remove", "rename", "exit", "abort", "atexit", "free", "cfree",
+        "strcmp", "strncmp", "strcasecmp", "strncasecmp", "memcmp", "strlen",
+        "strspn", "strcspn", "atoi", "atol", "atof", "strtol", "strtoul",
+        "strtod", "abs", "labs", "rand", "srand", "random", "srandom",
+        "time", "clock", "difftime", "isalpha", "isdigit", "isalnum",
+        "isspace", "isupper", "islower", "ispunct", "isprint", "iscntrl",
+        "isxdigit", "toupper", "tolower", "memset", "bzero", "perror",
+        "assert", "close", "open", "read", "write", "unlink", "system",
+        "sleep", "usleep", "setbuf", "setvbuf", "clearerr", "fileno",
+        "longjmp", "setjmp", "sin", "cos", "tan", "sqrt",
+        "pow", "exp", "log", "floor", "ceil", "fabs", "fmod"})
+    Summaries[Name] = None;
+
+  // Return aliases the destination argument.
+  for (const char *Name : {"strcpy", "strncpy", "strcat", "strncat", "fgets",
+                           "gets", "memcpy", "memmove", "bcopy"})
+    Summaries[Name] = RetAlias0;
+
+  // memcpy/memmove/bcopy also copy pointees (bcopy's operands are swapped).
+  Summaries["memcpy"].push_back({Effect::CopyPointees, 0, 1});
+  Summaries["memmove"].push_back({Effect::CopyPointees, 0, 1});
+  Summaries["bcopy"] = {{Effect::CopyPointees, 1, 0}};
+
+  // Return points somewhere into the object the argument points to.
+  for (const char *Name : {"strchr", "strrchr", "strstr", "strpbrk", "index",
+                           "rindex", "strtok", "memchr", "basename"})
+    Summaries[Name] = RetInto0;
+
+  // Returns a pointer to external/anonymous storage.
+  for (const char *Name :
+       {"fopen", "freopen", "tmpfile", "getenv", "ctime", "asctime",
+        "localtime", "gmtime", "strerror", "ttyname", "getlogin", "opendir",
+        "readdir", "getpwuid", "getpwnam", "tmpnam",
+        "setlocale", "bindtextdomain", "textdomain"})
+    Summaries[Name] = RetExt;
+
+  // stdin/stdout are modeled as externals too when called through fdopen.
+  Summaries["fdopen"] = RetExt;
+
+  // signal(sig, handler) returns the previous handler: alias arg 1; the
+  // handler is invoked with an int, so no pointer binding is needed.
+  Summaries["signal"] = {{Effect::RetAliasArg, 1, 0}};
+
+  // qsort(base, n, size, cmp): cmp receives pointers into *base.
+  Summaries["qsort"] = {{Effect::Callback, 3, 0}};
+  // bsearch(key, base, n, size, cmp): cmp gets key and elements; the result
+  // points into *base.
+  Summaries["bsearch"] = {{Effect::Callback, 4, 1},
+                          {Effect::Callback, 4, 0},
+                          {Effect::RetIntoArg, 1, 0}};
+}
+
+bool LibrarySummaries::apply(std::string_view Name, const NormStmt &Call,
+                             Solver &S) {
+  auto It = Summaries.find(std::string(Name));
+  if (It == Summaries.end()) {
+    Unknown.insert(std::string(Name));
+    return false;
+  }
+
+  NormProgram &Prog = S.program();
+  bool Changed = false;
+  auto ArgNode = [&](int I) -> NodeId {
+    if (I < 0 || static_cast<size_t>(I) >= Call.Args.size())
+      return NodeId();
+    return S.normalizeObj(Call.Args[I]);
+  };
+
+  for (const Effect &E : It->second) {
+    switch (E.K) {
+    case Effect::RetAliasArg: {
+      if (!Call.RetDst.isValid())
+        break;
+      NodeId Arg = ArgNode(E.A);
+      if (!Arg.isValid())
+        break;
+      if (S.flowResolve(S.normalizeObj(Call.RetDst), Arg,
+                        Prog.object(Call.RetDst).Ty))
+        Changed = true;
+      break;
+    }
+    case Effect::RetIntoArg: {
+      if (!Call.RetDst.isValid())
+        break;
+      NodeId Arg = ArgNode(E.A);
+      if (!Arg.isValid())
+        break;
+      if (S.flowPtrArith(S.normalizeObj(Call.RetDst), S.pointsTo(Arg)))
+        Changed = true;
+      break;
+    }
+    case Effect::CopyPointees: {
+      NodeId DstArg = ArgNode(E.A);
+      NodeId SrcArg = ArgNode(E.B);
+      if (!DstArg.isValid() || !SrcArg.isValid())
+        break;
+      // The byte count is unknown statically; copy as if the whole source
+      // object were transferred (safe under the collapsed-array view).
+      PtsSet DstTargets = S.pointsTo(DstArg);
+      PtsSet SrcTargets = S.pointsTo(SrcArg);
+      for (NodeId D : DstTargets)
+        for (NodeId Src : SrcTargets) {
+          ObjectId SrcObj = S.model().nodes().objectOf(Src);
+          if (S.flowResolve(D, Src, Prog.object(SrcObj).Ty))
+            Changed = true;
+        }
+      break;
+    }
+    case Effect::RetExtern: {
+      if (!Call.RetDst.isValid())
+        break;
+      NodeId Ext = S.model().normalizeLoc(S.externObject(), {});
+      if (S.addEdge(S.normalizeObj(Call.RetDst), Ext))
+        Changed = true;
+      break;
+    }
+    case Effect::Callback: {
+      NodeId Cb = ArgNode(E.A);
+      NodeId Data = ArgNode(E.B);
+      if (!Cb.isValid() || !Data.isValid())
+        break;
+      PtsSet CbTargets = S.pointsTo(Cb);
+      PtsSet DataTargets = S.pointsTo(Data);
+      for (NodeId Target : CbTargets) {
+        ObjectId Obj = S.model().nodes().objectOf(Target);
+        const NormObject &Info = Prog.object(Obj);
+        if (Info.Kind != ObjectKind::Function || !Info.AsFunction.isValid())
+          continue;
+        const NormFunction &Fn = Prog.func(Info.AsFunction);
+        for (ObjectId Param : Fn.Params)
+          if (S.flowPtrArith(S.normalizeObj(Param), DataTargets))
+            Changed = true;
+      }
+      break;
+    }
+    }
+  }
+  return Changed;
+}

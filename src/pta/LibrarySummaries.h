@@ -1,0 +1,80 @@
+//===--- LibrarySummaries.h - External function models ---------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Points-to summaries for calls to library functions without bodies,
+/// playing the role of the Wilson/Lam summaries the paper's implementation
+/// used ("calls to library functions are handled by providing summaries of
+/// the potential pointer assignments in each library function").
+///
+/// A summary is a small list of effects:
+///   RetAliasArg(i)        the return value aliases argument i
+///   RetIntoArg(i)         the return value points somewhere into the
+///                         objects argument i points to (strchr & co.)
+///   CopyPointees(d, s)    a block copy from *arg s to *arg d (memcpy)
+///   RetExtern             returns a pointer to external/anonymous storage
+///   Callback(cb, data)    argument cb is called with pointers into the
+///                         objects argument data points to (qsort)
+///
+/// Functions known to have no pointer effects map to an empty effect list;
+/// unknown externals are collected and reported (conservatively treated as
+/// having no effect, which mirrors the paper's reliance on per-function
+/// summaries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_LIBRARYSUMMARIES_H
+#define SPA_PTA_LIBRARYSUMMARIES_H
+
+#include "norm/NormIR.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace spa {
+
+class Solver;
+
+/// Registry of library-function effect summaries.
+class LibrarySummaries {
+public:
+  /// One primitive effect of a library call.
+  struct Effect {
+    enum Kind {
+      RetAliasArg,
+      RetIntoArg,
+      CopyPointees,
+      RetExtern,
+      Callback,
+    } K;
+    int A = 0; ///< primary argument index (or callback index)
+    int B = 0; ///< secondary argument index
+  };
+
+  LibrarySummaries();
+
+  /// True if \p Name has a registered summary (possibly empty).
+  bool hasSummary(std::string_view Name) const {
+    return Summaries.count(std::string(Name)) != 0;
+  }
+
+  /// Applies \p Name's summary to call statement \p Call. Returns true if
+  /// any points-to set changed. Unknown names are recorded and ignored.
+  bool apply(std::string_view Name, const NormStmt &Call, Solver &S);
+
+  /// Names of called externals with no summary (for diagnostics).
+  const std::set<std::string> &unknownCallees() const { return Unknown; }
+
+private:
+  std::map<std::string, std::vector<Effect>> Summaries;
+  std::set<std::string> Unknown;
+};
+
+} // namespace spa
+
+#endif // SPA_PTA_LIBRARYSUMMARIES_H

@@ -1,0 +1,62 @@
+//===--- Metrics.cpp ------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Metrics.h"
+
+#include <algorithm>
+
+using namespace spa;
+
+DerefMetrics spa::computeDerefMetrics(Solver &S, bool IncludeCalls) {
+  DerefMetrics M;
+  const NormProgram &Prog = S.program();
+  FieldModel &Model = S.model();
+  for (const DerefSite &Site : Prog.DerefSites) {
+    if (Site.IsCall && !IncludeCalls)
+      continue;
+    ++M.Sites;
+    const PtsSet &Targets = S.derefTargets(Site);
+    uint64_t Expanded = 0;
+    bool SawUnknown = false;
+    for (NodeId Target : Targets) {
+      Expanded += Model.expandedFieldCount(Target);
+      SawUnknown = SawUnknown || S.isUnknownNode(Target);
+    }
+    if (SawUnknown)
+      ++M.UnknownSites;
+    if (Expanded != 0)
+      ++M.NonEmptySites;
+    M.TotalTargets += Expanded;
+    M.MaxSetSize = std::max(M.MaxSetSize, Expanded);
+  }
+  M.AvgSetSize = M.Sites ? double(M.TotalTargets) / double(M.Sites) : 0.0;
+  M.AvgNonEmpty =
+      M.NonEmptySites ? double(M.TotalTargets) / double(M.NonEmptySites) : 0.0;
+  return M;
+}
+
+std::string spa::nodeToString(const Solver &S, NodeId Node) {
+  const NormProgram &Prog = S.program();
+  ObjectId Obj = S.model().nodes().objectOf(Node);
+  return Prog.objectName(Obj) + S.model().nodeSuffix(Node);
+}
+
+std::vector<std::string> spa::pointsToSetOf(Solver &S, std::string_view Name) {
+  std::vector<std::string> Out;
+  NormProgram &Prog = S.program();
+  for (uint32_t I = 0; I < Prog.Objects.size(); ++I) {
+    ObjectId Obj(I);
+    if (Prog.objectName(Obj) != Name &&
+        Prog.Strings.text(Prog.object(Obj).Name) != Name)
+      continue;
+    for (NodeId Node : S.model().nodes().nodesOfObject(Obj))
+      for (NodeId Target : S.pointsTo(Node))
+        Out.push_back(nodeToString(S, Target));
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}

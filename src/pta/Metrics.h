@@ -1,0 +1,48 @@
+//===--- Metrics.h - Precision and cost measurements -----------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurements behind the paper's evaluation: average points-to-set
+/// size per static dereferenced-pointer instance (Figure 4, with Collapse
+/// Always sets expanded to fields for comparability), total points-to
+/// edges (Figure 6), and the lookup/resolve call statistics (Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_METRICS_H
+#define SPA_PTA_METRICS_H
+
+#include "pta/Solver.h"
+
+namespace spa {
+
+/// Aggregate deref-site statistics of one solved analysis.
+struct DerefMetrics {
+  size_t Sites = 0;          ///< static dereference instances
+  size_t NonEmptySites = 0;  ///< ... whose pointer has a nonempty set
+  uint64_t TotalTargets = 0; ///< sum of expanded set sizes
+  double AvgSetSize = 0;     ///< TotalTargets / Sites
+  double AvgNonEmpty = 0;    ///< TotalTargets / NonEmptySites
+  uint64_t MaxSetSize = 0;
+  size_t UnknownSites = 0;   ///< sites whose set contains Unknown (only
+                             ///< nonzero with SolverOptions::TrackUnknown)
+};
+
+/// Computes Figure-4-style metrics over every dereference site. When
+/// \p IncludeCalls is false, indirect-call sites are excluded.
+DerefMetrics computeDerefMetrics(Solver &S, bool IncludeCalls = true);
+
+/// Renders the points-to set of the object named \p Name (top-level
+/// normalized node) as sorted "object.field" strings — the primary
+/// user-facing query.
+std::vector<std::string> pointsToSetOf(Solver &S, std::string_view Name);
+
+/// Renders one node as "object.field" / "object+off".
+std::string nodeToString(const Solver &S, NodeId Node);
+
+} // namespace spa
+
+#endif // SPA_PTA_METRICS_H

@@ -1,0 +1,517 @@
+//===--- Models.cpp -------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Models.h"
+
+#include "ctypes/Compat.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+using namespace spa;
+
+const char *spa::modelKindName(ModelKind Kind) {
+  switch (Kind) {
+  case ModelKind::CollapseAlways:
+    return "Collapse Always";
+  case ModelKind::CollapseOnCast:
+    return "Collapse on Cast";
+  case ModelKind::CommonInitialSeq:
+    return "Common Initial Sequence";
+  case ModelKind::Offsets:
+    return "Offsets";
+  }
+  return "?";
+}
+
+std::unique_ptr<FieldModel> spa::makeFieldModel(ModelKind Kind,
+                                                const NormProgram &Prog,
+                                                const LayoutEngine &Layout) {
+  switch (Kind) {
+  case ModelKind::CollapseAlways:
+    return std::make_unique<CollapseAlwaysModel>(Prog, Layout);
+  case ModelKind::CollapseOnCast:
+    return std::make_unique<CollapseOnCastModel>(Prog, Layout);
+  case ModelKind::CommonInitialSeq:
+    return std::make_unique<CommonInitSeqModel>(Prog, Layout);
+  case ModelKind::Offsets:
+    return std::make_unique<OffsetsModel>(Prog, Layout);
+  }
+  return nullptr;
+}
+
+/// Removes duplicate pairs produced by cross-products.
+static void dedupePairs(std::vector<std::pair<NodeId, NodeId>> &Pairs,
+                        size_t From) {
+  std::sort(Pairs.begin() + From, Pairs.end());
+  Pairs.erase(std::unique(Pairs.begin() + From, Pairs.end()), Pairs.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Collapse Always
+//===----------------------------------------------------------------------===//
+
+NodeId CollapseAlwaysModel::normalizeLoc(ObjectId Obj, const FieldPath &) {
+  return Store.getNode(Obj, 0);
+}
+
+void CollapseAlwaysModel::lookup(TypeId Tau, const FieldPath &, NodeId Target,
+                                 std::vector<NodeId> &Out) {
+  bool InvolvesStruct = Types.isRecord(Types.unqualified(Tau)) ||
+                        Types.isRecord(objectType(Store.objectOf(Target)));
+  noteLookup(InvolvesStruct, /*Mismatch=*/false);
+  Out.push_back(Store.getNode(Store.objectOf(Target), 0));
+}
+
+void CollapseAlwaysModel::resolve(NodeId Dst, NodeId Src, TypeId Tau,
+                                  std::vector<std::pair<NodeId, NodeId>> &Out) {
+  bool InvolvesStruct = Types.isRecord(Types.unqualified(Tau)) ||
+                        Types.isRecord(objectType(Store.objectOf(Dst))) ||
+                        Types.isRecord(objectType(Store.objectOf(Src)));
+  noteResolve(InvolvesStruct, /*Mismatch=*/false);
+  Out.emplace_back(Store.getNode(Store.objectOf(Dst), 0),
+                   Store.getNode(Store.objectOf(Src), 0));
+}
+
+void CollapseAlwaysModel::allNodesOfObject(ObjectId Obj,
+                                           std::vector<NodeId> &Out) {
+  Out.push_back(Store.getNode(Obj, 0));
+}
+
+uint64_t CollapseAlwaysModel::expandedFieldCount(NodeId Node) const {
+  TypeId Ty = objectType(Store.objectOf(Node));
+  if (!Types.isRecord(Types.stripArrays(Ty)))
+    return 1;
+  return Flats.get(Ty).leaves().size();
+}
+
+//===----------------------------------------------------------------------===//
+// Field-name-based instances: shared machinery
+//===----------------------------------------------------------------------===//
+
+NodeId FieldNameModelBase::normalizeLoc(ObjectId Obj, const FieldPath &Path) {
+  const FlattenedType &FT = Flats.get(objectType(Obj));
+  return Store.getNode(Obj, FT.normalizedLeaf(Path));
+}
+
+std::vector<FieldPath>
+FieldNameModelBase::candidatePrefixes(const FlattenedType &FT,
+                                      uint32_t LeafIdx) const {
+  const FieldPath &LeafPath = FT.leaves()[LeafIdx].Path;
+  std::vector<FieldPath> Out;
+  for (size_t Len = 0; Len <= LeafPath.size(); ++Len) {
+    FieldPath Prefix(LeafPath.begin(), LeafPath.begin() + Len);
+    if (FT.normalizedLeaf(Prefix) == LeafIdx)
+      Out.push_back(std::move(Prefix));
+  }
+  return Out;
+}
+
+void FieldNameModelBase::lookup(TypeId Tau, const FieldPath &Alpha,
+                                NodeId Target, std::vector<NodeId> &Out) {
+  ObjectId Obj = Store.objectOf(Target);
+  const FlattenedType &FT = Flats.get(objectType(Obj));
+  std::vector<uint32_t> Leaves;
+  bool Matched = lookupLeaves(Tau, Alpha, Obj, (uint32_t)Store.keyOf(Target),
+                              FT, Leaves);
+  bool InvolvesStruct = Types.isRecord(Types.unqualified(Tau)) ||
+                        Types.isRecord(Types.stripArrays(objectType(Obj)));
+  noteLookup(InvolvesStruct, /*Mismatch=*/!Matched);
+  for (uint32_t Leaf : Leaves)
+    Out.push_back(Store.getNode(Obj, Leaf));
+}
+
+void FieldNameModelBase::resolve(NodeId Dst, NodeId Src, TypeId Tau,
+                                 std::vector<std::pair<NodeId, NodeId>> &Out) {
+  ResolveScope Guard(*this);
+  size_t From = Out.size();
+  TypeId TauU = Types.stripArrays(Types.unqualified(Tau));
+
+  ObjectId DstObj = Store.objectOf(Dst);
+  ObjectId SrcObj = Store.objectOf(Src);
+  const FlattenedType &DstFT = Flats.get(objectType(DstObj));
+  const FlattenedType &SrcFT = Flats.get(objectType(SrcObj));
+  bool AllMatched = true;
+
+  auto CrossFor = [&](const FieldPath &Delta) {
+    std::vector<uint32_t> DstLeaves, SrcLeaves;
+    AllMatched &= lookupLeaves(TauU, Delta, DstObj,
+                               (uint32_t)Store.keyOf(Dst), DstFT, DstLeaves);
+    AllMatched &= lookupLeaves(TauU, Delta, SrcObj,
+                               (uint32_t)Store.keyOf(Src), SrcFT, SrcLeaves);
+    for (uint32_t D : DstLeaves)
+      for (uint32_t S : SrcLeaves)
+        Out.emplace_back(Store.getNode(DstObj, D), Store.getNode(SrcObj, S));
+  };
+
+  if (Types.isStruct(TauU) &&
+      Types.record(Types.node(TauU).Record).IsComplete) {
+    const FlattenedType &TauFT = Flats.get(TauU);
+    for (const LeafField &Delta : TauFT.leaves())
+      CrossFor(Delta.Path);
+  } else {
+    CrossFor(FieldPath());
+  }
+
+  dedupePairs(Out, From);
+  bool InvolvesStruct =
+      Types.isRecord(TauU) ||
+      Types.isRecord(Types.stripArrays(objectType(DstObj))) ||
+      Types.isRecord(Types.stripArrays(objectType(SrcObj)));
+  noteResolve(InvolvesStruct, /*Mismatch=*/!AllMatched);
+
+  // Debugging aid: SPA_TRACE_MISMATCH=1 prints every struct-involving
+  // resolve whose types failed to match.
+  if (!AllMatched && InvolvesStruct && std::getenv("SPA_TRACE_MISMATCH"))
+    std::fprintf(stderr, "[spa] resolve mismatch: dst=%s src=%s tau=%s\n",
+                 Prog.objectName(DstObj).c_str(),
+                 Prog.objectName(SrcObj).c_str(),
+                 Types.toString(TauU, Prog.Strings).c_str());
+}
+
+void FieldNameModelBase::allNodesOfObject(ObjectId Obj,
+                                          std::vector<NodeId> &Out) {
+  const FlattenedType &FT = Flats.get(objectType(Obj));
+  for (uint32_t I = 0; I < FT.leaves().size(); ++I)
+    Out.push_back(Store.getNode(Obj, I));
+}
+
+
+/// Returns true if viewing a union of type \p UnionTy at type \p Tau is a
+/// type-consistent access: some member (reached through nested first
+/// fields and nested unions) has type Tau. Matching keeps the access on
+/// the union's blob node instead of smearing to the following fields; the
+/// mismatch path remains sound because it returns a superset (the blob
+/// plus everything after it).
+static bool unionAdmits(const TypeTable &Types, TypeId UnionTy, TypeId Tau,
+                        bool UseCompat) {
+  std::vector<TypeId> Work{UnionTy};
+  // Bounded walk (type graphs are small; guard against pathological ones).
+  for (size_t I = 0; I < Work.size() && I < 64; ++I) {
+    TypeId Ty = Types.canonical(
+        Types.stripArrays(Types.unqualified(Work[I])));
+    if (UseCompat ? areCompatible(Types, Ty, Tau) : Ty == Tau)
+      return true;
+    if (!Types.isRecord(Ty))
+      continue;
+    const RecordDecl &Decl = Types.record(Types.node(Ty).Record);
+    if (!Decl.IsComplete || Decl.Fields.empty())
+      continue;
+    if (Decl.IsUnion) {
+      for (const FieldDecl &F : Decl.Fields)
+        Work.push_back(F.Ty);
+    } else {
+      // A pointer to a struct also points to its first field.
+      Work.push_back(Decl.Fields[0].Ty);
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Collapse on Cast
+//===----------------------------------------------------------------------===//
+
+bool CollapseOnCastModel::lookupLeaves(TypeId Tau, const FieldPath &Alpha,
+                                       ObjectId Obj, uint32_t LeafIdx,
+                                       const FlattenedType &FT,
+                                       std::vector<uint32_t> &OutLeaves) {
+  TypeId ObjTy = objectType(Obj);
+  // Arrays are modeled as their single representative element, so both tau
+  // and the candidate enclosing types match through array layers.
+  TypeId TauU = Types.canonical(Types.stripArrays(Types.unqualified(Tau)));
+
+  // Match branch: some enclosing delta whose innermost first field is this
+  // leaf has exactly the type tau.
+  for (const FieldPath &Q : candidatePrefixes(FT, LeafIdx)) {
+    TypeId TQ = Types.canonical(
+        Types.stripArrays(Types.unqualified(Types.typeOfPath(ObjTy, Q))));
+    if (Types.isUnion(TQ)) {
+      // Everything inside a union is the blob node; accessing it at the
+      // type of any of its (transitive) members is consistent.
+      if (unionAdmits(Types, TQ, TauU, /*UseCompat=*/false)) {
+        OutLeaves.push_back(LeafIdx);
+        return true;
+      }
+      continue;
+    }
+    if (TQ != TauU)
+      continue;
+    FieldPath Full = Q;
+    Full.insert(Full.end(), Alpha.begin(), Alpha.end());
+    OutLeaves.push_back(FT.normalizedLeaf(Full));
+    return true;
+  }
+
+  // Mismatch: all fields of the object from this leaf onward (with the
+  // array adjustment).
+  for (uint32_t Leaf : FT.fromLeafOnward(LeafIdx))
+    OutLeaves.push_back(Leaf);
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Common Initial Sequence
+//===----------------------------------------------------------------------===//
+
+/// Index one past the last leaf whose path has \p Q as a prefix.
+static uint32_t subtreeEnd(const FlattenedType &FT, const FieldPath &Q,
+                           uint32_t FirstLeaf) {
+  uint32_t End = FirstLeaf;
+  const auto &Leaves = FT.leaves();
+  while (End < Leaves.size()) {
+    const FieldPath &LP = Leaves[End].Path;
+    if (LP.size() < Q.size() ||
+        !std::equal(Q.begin(), Q.end(), LP.begin()))
+      break;
+    ++End;
+  }
+  return End;
+}
+
+bool CommonInitSeqModel::lookupLeaves(TypeId Tau, const FieldPath &Alpha,
+                                      ObjectId Obj, uint32_t LeafIdx,
+                                      const FlattenedType &FT,
+                                      std::vector<uint32_t> &OutLeaves) {
+  TypeId ObjTy = objectType(Obj);
+  TypeId TauU = Types.canonical(Types.stripArrays(Types.unqualified(Tau)));
+  std::vector<FieldPath> Candidates = candidatePrefixes(FT, LeafIdx);
+
+  // Match branch: alpha falls inside a (non-empty) common initial sequence
+  // of tau and some enclosing delta -- or, for scalar tau, the types are
+  // compatible outright.
+  for (const FieldPath &Q : Candidates) {
+    TypeId TQ = Types.canonical(
+        Types.stripArrays(Types.unqualified(Types.typeOfPath(ObjTy, Q))));
+    if (Types.isUnion(TQ)) {
+      if (unionAdmits(Types, TQ, TauU, /*UseCompat=*/true)) {
+        OutLeaves.push_back(LeafIdx);
+        return true;
+      }
+      continue;
+    }
+    if (Alpha.empty()) {
+      if (areCompatible(Types, TauU, TQ)) {
+        OutLeaves.push_back(LeafIdx);
+        return true;
+      }
+      continue;
+    }
+    if (!Types.isStruct(TauU) || !Types.isStruct(TQ))
+      continue;
+    unsigned Len = commonInitialSeqLen(Types, Types.node(TauU).Record,
+                                       Types.node(TQ).Record);
+    if (Alpha.front() < Len) {
+      // The corresponding field of TQ has the same index; compatible
+      // record fields are identical records here, so the rest of alpha
+      // stays valid.
+      FieldPath Full = Q;
+      Full.insert(Full.end(), Alpha.begin(), Alpha.end());
+      OutLeaves.push_back(FT.normalizedLeaf(Full));
+      return true;
+    }
+  }
+
+  // Mismatch: return all fields of the object starting at the first field
+  // that follows the (longest) common initial sequence, or at this leaf if
+  // every candidate's sequence is empty.
+  uint32_t Start = LeafIdx;
+  unsigned BestLen = 0;
+  for (const FieldPath &Q : Candidates) {
+    TypeId TQ = Types.canonical(
+        Types.stripArrays(Types.unqualified(Types.typeOfPath(ObjTy, Q))));
+    if (!Types.isStruct(TauU) || !Types.isStruct(TQ))
+      continue;
+    unsigned Len = commonInitialSeqLen(Types, Types.node(TauU).Record,
+                                       Types.node(TQ).Record);
+    if (Len <= BestLen)
+      continue;
+    BestLen = Len;
+    const RecordDecl &Decl = Types.record(Types.node(TQ).Record);
+    if (Len < Decl.Fields.size()) {
+      FieldPath Next = Q;
+      Next.push_back(Len);
+      Start = FT.normalizedLeaf(Next);
+    } else {
+      Start = subtreeEnd(FT, Q, LeafIdx);
+    }
+  }
+  if (Start >= FT.leaves().size())
+    return false; // nothing follows: the access falls off the object
+  for (uint32_t Leaf : FT.fromLeafOnward(Start))
+    OutLeaves.push_back(Leaf);
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Offsets
+//===----------------------------------------------------------------------===//
+
+NodeId OffsetsModel::normalizeLoc(ObjectId Obj, const FieldPath &Path) {
+  TypeId Ty = objectType(Obj);
+  uint64_t Off = Layout.offsetOfPath(Ty, Path);
+  return Store.getNode(Obj, Layout.canonicalOffset(Ty, Off));
+}
+
+void OffsetsModel::lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+                          std::vector<NodeId> &Out) {
+  ObjectId Obj = Store.objectOf(Target);
+  TypeId ObjTy = objectType(Obj);
+  uint64_t N = Store.keyOf(Target) +
+               Layout.offsetOfPath(Types.unqualified(Tau), Alpha);
+  bool InvolvesStruct = Types.isRecord(Types.unqualified(Tau)) ||
+                        Types.isRecord(Types.stripArrays(ObjTy));
+  noteLookup(InvolvesStruct, /*Mismatch=*/false);
+  Out.push_back(Store.getNode(Obj, Layout.canonicalOffset(ObjTy, N)));
+}
+
+void OffsetsModel::resolve(NodeId Dst, NodeId Src, TypeId Tau,
+                           std::vector<std::pair<NodeId, NodeId>> &Out) {
+  size_t From = Out.size();
+  TypeId TauU = Types.unqualified(Tau);
+  uint64_t Size = Types.isFunction(TauU) ? 1 : Layout.sizeOf(TauU);
+
+  ObjectId DstObj = Store.objectOf(Dst);
+  ObjectId SrcObj = Store.objectOf(Src);
+  TypeId DstTy = objectType(DstObj);
+  uint64_t DstOff = Store.keyOf(Dst);
+  uint64_t SrcOff = Store.keyOf(Src);
+
+  bool InvolvesStruct =
+      Types.isRecord(TauU) || Types.isRecord(Types.stripArrays(DstTy)) ||
+      Types.isRecord(Types.stripArrays(objectType(SrcObj)));
+  noteResolve(InvolvesStruct, /*Mismatch=*/false);
+
+  // The paper's definition pairs every byte i in [0, sizeof(tau)). Only
+  // source offsets that actually hold facts matter, and those are exactly
+  // the materialized nodes; but array canonicalization is many-to-one
+  // (every element maps to the representative), so one canonical source
+  // node can stand for *several* source bytes and must fan out to several
+  // destination offsets. The per-byte walk below realizes that; the
+  // common no-array case takes the one-to-one fast path. (The solver's
+  // fixpoint re-runs resolve, so nodes materialized later still pair up.)
+  std::vector<NodeId> SrcNodes = Store.nodesOfObject(SrcObj); // copy: we
+  // may materialize destination nodes in the same object below.
+  TypeId SrcTy = objectType(SrcObj);
+  bool SrcCanonical =
+      Size > 0 && Layout.canonicalOffset(SrcTy, SrcOff) == SrcOff &&
+      Layout.canonicalOffset(SrcTy, SrcOff + Size - 1) == SrcOff + Size - 1;
+  if (SrcCanonical) {
+    for (NodeId N : SrcNodes) {
+      uint64_t K = Store.keyOf(N);
+      if (K < SrcOff || K >= SrcOff + Size)
+        continue;
+      uint64_t DstKey =
+          Layout.canonicalOffset(DstTy, DstOff + (K - SrcOff));
+      Out.emplace_back(Store.getNode(DstObj, DstKey), N);
+    }
+  } else {
+    std::set<uint64_t> SrcKeys;
+    for (NodeId N : SrcNodes)
+      SrcKeys.insert(Store.keyOf(N));
+    for (uint64_t I = 0; I < Size; ++I) {
+      uint64_t SrcKey = Layout.canonicalOffset(SrcTy, SrcOff + I);
+      if (!SrcKeys.count(SrcKey))
+        continue;
+      uint64_t DstKey = Layout.canonicalOffset(DstTy, DstOff + I);
+      Out.emplace_back(Store.getNode(DstObj, DstKey),
+                       *Store.findNode(SrcObj, SrcKey));
+    }
+  }
+  dedupePairs(Out, From);
+}
+
+void OffsetsModel::allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) {
+  TypeId Ty = objectType(Obj);
+  // Every declared field offset...
+  for (const LeafField &Leaf : Flats.get(Ty).leaves())
+    Out.push_back(Store.getNode(Obj, Layout.canonicalOffset(Ty, Leaf.Offset)));
+  // ...plus any artificial offsets that have been materialized.
+  for (NodeId N : Store.nodesOfObject(Obj))
+    Out.push_back(N);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Node display suffixes
+//===----------------------------------------------------------------------===//
+
+std::string FieldNameModelBase::nodeSuffix(NodeId Node) const {
+  ObjectId Obj = Store.objectOf(Node);
+  TypeId Ty = objectType(Obj);
+  const FlattenedType &FT = Flats.get(Ty);
+  const FieldPath &Path = FT.leaves()[Store.keyOf(Node)].Path;
+  std::string Out;
+  TypeId Cur = Ty;
+  for (uint32_t Step : Path) {
+    Cur = Types.stripArrays(Types.unqualified(Cur));
+    const RecordDecl &Decl = Types.record(Types.node(Cur).Record);
+    Out += ".";
+    Out += Prog.Strings.text(Decl.Fields[Step].Name);
+    Cur = Decl.Fields[Step].Ty;
+  }
+  return Out;
+}
+
+std::string OffsetsModel::nodeSuffix(NodeId Node) const {
+  uint64_t Key = Store.keyOf(Node);
+  if (Key == 0)
+    return std::string();
+  return "+" + std::to_string(Key);
+}
+
+//===----------------------------------------------------------------------===//
+// Stride refinement support (Wilson/Lam-style; see FieldModel::arithNodes)
+//===----------------------------------------------------------------------===//
+
+bool FieldNameModelBase::targetInsideArray(NodeId Target) const {
+  ObjectId Obj = Store.objectOf(Target);
+  const FlattenedType &FT = Flats.get(objectType(Obj));
+  const LeafField &Leaf = FT.leaves()[Store.keyOf(Target)];
+  if (Leaf.ArrayGroupBegin != UINT32_MAX)
+    return true;
+  // A whole-object array (e.g. "int buf[64]") flattens to a single leaf
+  // with no group marker; treat the object-is-array case directly.
+  return Types.isArray(objectType(Obj));
+}
+
+bool OffsetsModel::targetInsideArray(NodeId Target) const {
+  ObjectId Obj = Store.objectOf(Target);
+  TypeId Ty = objectType(Obj);
+  uint64_t Off = Store.keyOf(Target);
+  // Walk the layout towards the offset; any array layer on the way means
+  // the location is inside an array.
+  for (;;) {
+    Ty = Types.unqualified(Ty);
+    const TypeNode &N = Types.node(Ty);
+    if (N.Kind == TypeKind::Array)
+      return true;
+    if (N.Kind != TypeKind::Record)
+      return false;
+    const RecordDecl &Decl = Types.record(N.Record);
+    if (Decl.IsUnion || !Decl.IsComplete || Decl.Fields.empty())
+      return false;
+    const RecordLayout &L = Layout.layout(N.Record);
+    bool Descended = false;
+    for (size_t I = Decl.Fields.size(); I-- > 0;) {
+      uint64_t FO = L.FieldOffsets[I];
+      if (FO > Off)
+        continue;
+      uint64_t FS = Layout.sizeOf(Decl.Fields[I].Ty);
+      if (Off < FO + FS) {
+        Off -= FO;
+        Ty = Decl.Fields[I].Ty;
+        Descended = true;
+      }
+      break;
+    }
+    if (!Descended)
+      return false;
+  }
+}

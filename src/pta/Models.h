@@ -1,0 +1,152 @@
+//===--- Models.h - The four analysis instances ----------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete definitions of normalize/lookup/resolve for the paper's four
+/// instances:
+///
+///  * Collapse Always (Section 4.3.1)
+///  * Collapse on Cast (Section 4.3.2)
+///  * Common Initial Sequence (Section 4.3.3)
+///  * Offsets (Section 4.2.2; layout-specific, most precise, not portable)
+///
+/// The two field-name-based instances share their normalize (innermost
+/// first field) and their resolve (defined through lookup over the fields
+/// of the copy's declared type); they differ only in lookup's matching
+/// test, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_MODELS_H
+#define SPA_PTA_MODELS_H
+
+#include "pta/FieldModel.h"
+
+#include <map>
+
+namespace spa {
+
+/// Shared cache of flattened-leaf views, one per object type.
+class FlattenCache {
+public:
+  FlattenCache(const TypeTable &Types, const LayoutEngine &Layout)
+      : Types(Types), Layout(Layout) {}
+
+  const FlattenedType &get(TypeId Ty) {
+    auto [It, Inserted] = Cache.try_emplace(Ty);
+    if (Inserted)
+      It->second = std::make_unique<FlattenedType>(Types, Layout, Ty);
+    return *It->second;
+  }
+
+private:
+  const TypeTable &Types;
+  const LayoutEngine &Layout;
+  std::map<TypeId, std::unique_ptr<FlattenedType>> Cache;
+};
+
+/// Section 4.3.1: every structure is one blob.
+class CollapseAlwaysModel : public FieldModel {
+public:
+  CollapseAlwaysModel(const NormProgram &Prog, const LayoutEngine &Layout)
+      : FieldModel(Prog, Layout), Flats(Prog.Types, Layout) {}
+
+  const char *name() const override { return "Collapse Always"; }
+  NodeId normalizeLoc(ObjectId Obj, const FieldPath &Path) override;
+  void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+              std::vector<NodeId> &Out) override;
+  void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+               std::vector<std::pair<NodeId, NodeId>> &Out) override;
+  void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) override;
+  uint64_t expandedFieldCount(NodeId Node) const override;
+
+private:
+  mutable FlattenCache Flats;
+};
+
+/// Shared machinery of the Collapse-on-Cast and Common-Initial-Sequence
+/// instances: nodes are flattened leaf-field indices; normalize descends
+/// into innermost first fields; resolve is lookup-per-field of tau.
+class FieldNameModelBase : public FieldModel {
+public:
+  FieldNameModelBase(const NormProgram &Prog, const LayoutEngine &Layout)
+      : FieldModel(Prog, Layout), Flats(Prog.Types, Layout) {}
+
+  NodeId normalizeLoc(ObjectId Obj, const FieldPath &Path) final;
+  void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+              std::vector<NodeId> &Out) final;
+  void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+               std::vector<std::pair<NodeId, NodeId>> &Out) final;
+  void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) final;
+  std::string nodeSuffix(NodeId Node) const final;
+  bool targetInsideArray(NodeId Target) const final;
+
+protected:
+  /// The matching core; returns true if the types matched (no collapse).
+  /// Appends leaf indices of the target's object to \p OutLeaves.
+  virtual bool lookupLeaves(TypeId Tau, const FieldPath &Alpha,
+                            ObjectId Obj, uint32_t LeafIdx,
+                            const FlattenedType &FT,
+                            std::vector<uint32_t> &OutLeaves) = 0;
+
+  /// All prefixes q of the leaf's path with normalize(obj.q) == leaf —
+  /// the paper's candidate deltas ("t.beta is the innermost first field
+  /// of t.delta"). Ordered outermost (shortest) first.
+  std::vector<FieldPath> candidatePrefixes(const FlattenedType &FT,
+                                           uint32_t LeafIdx) const;
+
+  mutable FlattenCache Flats;
+};
+
+/// Section 4.3.2: collapse the tail of a structure when accessed at a
+/// mismatched type.
+class CollapseOnCastModel : public FieldNameModelBase {
+public:
+  using FieldNameModelBase::FieldNameModelBase;
+  const char *name() const override { return "Collapse on Cast"; }
+
+protected:
+  bool lookupLeaves(TypeId Tau, const FieldPath &Alpha, ObjectId Obj,
+                    uint32_t LeafIdx, const FlattenedType &FT,
+                    std::vector<uint32_t> &OutLeaves) override;
+};
+
+/// Section 4.3.3: keep fields distinct across a cast while they lie in a
+/// common initial sequence of the two types.
+class CommonInitSeqModel : public FieldNameModelBase {
+public:
+  using FieldNameModelBase::FieldNameModelBase;
+  const char *name() const override { return "Common Initial Sequence"; }
+
+protected:
+  bool lookupLeaves(TypeId Tau, const FieldPath &Alpha, ObjectId Obj,
+                    uint32_t LeafIdx, const FlattenedType &FT,
+                    std::vector<uint32_t> &OutLeaves) override;
+};
+
+/// Section 4.2.2: byte offsets under one concrete ABI layout.
+class OffsetsModel : public FieldModel {
+public:
+  OffsetsModel(const NormProgram &Prog, const LayoutEngine &Layout)
+      : FieldModel(Prog, Layout), Flats(Prog.Types, Layout) {}
+
+  const char *name() const override { return "Offsets"; }
+  NodeId normalizeLoc(ObjectId Obj, const FieldPath &Path) override;
+  void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+              std::vector<NodeId> &Out) override;
+  void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+               std::vector<std::pair<NodeId, NodeId>> &Out) override;
+  void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) override;
+  std::string nodeSuffix(NodeId Node) const override;
+  bool targetInsideArray(NodeId Target) const override;
+
+private:
+  mutable FlattenCache Flats;
+};
+
+} // namespace spa
+
+#endif // SPA_PTA_MODELS_H

@@ -1,0 +1,100 @@
+//===--- NodeStore.h - Canonical abstract locations ------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A node is one canonical abstract location: an (object, key) pair where
+/// the key's meaning is chosen by the analysis instance (always 0 for
+/// Collapse Always; a flattened leaf-field index for the field-name-based
+/// instances; a byte offset for Offsets). Points-to facts are edges between
+/// nodes; the target node denotes "the address of that location".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_NODESTORE_H
+#define SPA_PTA_NODESTORE_H
+
+#include "norm/NormIR.h"
+#include "support/IdSet.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace spa {
+
+struct NodeTag {};
+/// Identifier of a canonical abstract location.
+using NodeId = Id<NodeTag>;
+
+/// A points-to set: the targets of one node.
+using PtsSet = IdSet<NodeTag>;
+
+/// Lazily materializes and indexes nodes.
+class NodeStore {
+public:
+  /// Returns the node for (\p Obj, \p Key), creating it on first use.
+  NodeId getNode(ObjectId Obj, uint64_t Key) {
+    auto [It, Inserted] = Index.try_emplace({Obj, Key});
+    if (Inserted) {
+
+      Infos.push_back({Obj, Key});
+      It->second = NodeId(static_cast<uint32_t>(Infos.size() - 1));
+      if (Obj.index() >= ByObject.size())
+        ByObject.resize(Obj.index() + 1);
+      ByObject[Obj.index()].push_back(It->second);
+      if (OnNewNode)
+        OnNewNode(Obj);
+    }
+    return It->second;
+  }
+
+  /// Installs a hook called whenever a node is first materialized. The
+  /// worklist solver uses it: the Offsets instance's node set is stateful
+  /// (artificial offsets appear as facts spread), so statements that
+  /// enumerated an object's nodes must be re-run when it grows.
+  void setOnNewNode(std::function<void(ObjectId)> Hook) {
+    OnNewNode = std::move(Hook);
+  }
+
+  /// Returns the node for (\p Obj, \p Key) if it has been materialized.
+  std::optional<NodeId> findNode(ObjectId Obj, uint64_t Key) const {
+    auto It = Index.find({Obj, Key});
+    if (It == Index.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// The object a node belongs to.
+  ObjectId objectOf(NodeId Node) const { return Infos[Node.index()].Obj; }
+
+  /// The model-specific key of a node.
+  uint64_t keyOf(NodeId Node) const { return Infos[Node.index()].Key; }
+
+  /// All materialized nodes of \p Obj, in creation order.
+  const std::vector<NodeId> &nodesOfObject(ObjectId Obj) const {
+    static const std::vector<NodeId> Empty;
+    if (Obj.index() >= ByObject.size())
+      return Empty;
+    return ByObject[Obj.index()];
+  }
+
+  size_t size() const { return Infos.size(); }
+
+private:
+  struct NodeInfo {
+    ObjectId Obj;
+    uint64_t Key;
+  };
+  std::vector<NodeInfo> Infos;
+  std::map<std::pair<ObjectId, uint64_t>, NodeId> Index;
+  std::vector<std::vector<NodeId>> ByObject;
+  std::function<void(ObjectId)> OnNewNode;
+};
+
+} // namespace spa
+
+#endif // SPA_PTA_NODESTORE_H

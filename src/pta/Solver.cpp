@@ -1,0 +1,338 @@
+//===--- Solver.cpp -------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Solver.h"
+
+#include <algorithm>
+
+using namespace spa;
+
+Solver::Solver(NormProgram &Prog, FieldModel &Model, SolverOptions Opts)
+    : Prog(Prog), Model(Model), Opts(Opts) {}
+
+PtsSet &Solver::ptsOf(NodeId Node) {
+  if (Node.index() >= Pts.size())
+    Pts.resize(Node.index() + 1);
+  return Pts[Node.index()];
+}
+
+const PtsSet &Solver::pointsTo(NodeId Node) const {
+  static const PtsSet Empty;
+  if (Node.index() >= Pts.size())
+    return Empty;
+  return Pts[Node.index()];
+}
+
+bool Solver::addEdge(NodeId From, NodeId To) {
+  if (!ptsOf(From).insert(To))
+    return false;
+  noteChanged(From);
+  return true;
+}
+
+void Solver::noteRead(ObjectId Obj) {
+  if (!WorklistActive || CurrentStmt < 0 || !Obj.isValid())
+    return;
+  if (Obj.index() >= DependentsByObject.size())
+    DependentsByObject.resize(Obj.index() + 1);
+  auto &Deps = DependentsByObject[Obj.index()];
+  if (std::find(Deps.begin(), Deps.end(), CurrentStmt) == Deps.end())
+    Deps.push_back(CurrentStmt);
+}
+
+void Solver::noteChanged(NodeId Node) {
+  if (!WorklistActive)
+    return;
+  ObjectId Obj = Model.nodes().objectOf(Node);
+  if (Obj.index() >= DependentsByObject.size())
+    return; // nothing depends on it yet
+  for (int32_t StmtIdx : DependentsByObject[Obj.index()]) {
+    if (StmtQueued[StmtIdx])
+      continue;
+    StmtQueued[StmtIdx] = 1;
+    Worklist.push_back(StmtIdx);
+  }
+}
+
+uint64_t Solver::numEdges() const {
+  uint64_t Total = 0;
+  for (const PtsSet &Set : Pts)
+    Total += Set.size();
+  return Total;
+}
+
+bool Solver::flowResolve(NodeId Dst, NodeId Src, TypeId Tau) {
+  noteRead(Model.nodes().objectOf(Src)); // the pairs read the source side
+  std::vector<std::pair<NodeId, NodeId>> Pairs;
+  Model.resolve(Dst, Src, Tau, Pairs);
+  bool Changed = false;
+  for (const auto &[D, S] : Pairs) {
+    // Self-pair copies are no-ops but harmless.
+    PtsSet SrcSet = pointsTo(S); // copy: D may equal S's storage
+    if (ptsOf(D).insertAll(SrcSet) != 0) {
+      Changed = true;
+      noteChanged(D);
+    }
+  }
+  return Changed;
+}
+
+bool Solver::flowPtrArith(NodeId Dst, const PtsSet &Targets) {
+  if (Opts.TrackUnknown) {
+    // Section 4.2.1's alternative: record a (possibly) corrupted pointer
+    // instead of smearing.
+    return !Targets.empty() && addEdge(Dst, unknownNode());
+  }
+  bool Changed = false;
+  std::vector<NodeId> All;
+  for (NodeId Target : Targets) {
+    if (isUnknownNode(Target))
+      continue;
+    // The smear enumerates the target object's (stateful) node set.
+    noteRead(Model.nodes().objectOf(Target));
+    All.clear();
+    Model.arithNodes(Target, Opts.StrideArith, All);
+    for (NodeId Node : All)
+      if (addEdge(Dst, Node))
+        Changed = true;
+  }
+  return Changed;
+}
+
+NodeId Solver::unknownNode() {
+  if (!UnknownObj.isValid())
+    UnknownObj = Prog.makeObject(ObjectKind::Unknown,
+                                 Prog.Strings.intern("$unknown"),
+                                 Prog.Types.intType(), SourceLoc());
+  return Model.normalizeLoc(UnknownObj, {});
+}
+
+bool Solver::isUnknownNode(NodeId Node) const {
+  return UnknownObj.isValid() &&
+         Model.nodes().objectOf(Node) == UnknownObj;
+}
+
+const PtsSet &Solver::derefTargets(const DerefSite &Site) {
+  return pointsTo(normalizeObj(Site.Ptr));
+}
+
+std::vector<FuncId> Solver::calleesOf(const NormStmt &Call) {
+  std::vector<FuncId> Out;
+  if (Call.DirectCallee.isValid()) {
+    Out.push_back(Call.DirectCallee);
+    return Out;
+  }
+  if (!Call.IndirectCallee.isValid())
+    return Out;
+  for (NodeId Target : pointsTo(normalizeObj(Call.IndirectCallee))) {
+    ObjectId Obj = Model.nodes().objectOf(Target);
+    const NormObject &Info = Prog.object(Obj);
+    if (Info.Kind == ObjectKind::Function && Info.AsFunction.isValid())
+      Out.push_back(Info.AsFunction);
+  }
+  return Out;
+}
+
+ObjectId Solver::externObject() {
+  if (!ExternObj.isValid())
+    ExternObj = Prog.makeObject(
+        ObjectKind::Heap, Prog.Strings.intern("$extern"),
+        Prog.Types.getArray(Prog.Types.charType(), 0), SourceLoc());
+  return ExternObj;
+}
+
+bool Solver::bindCall(const NormStmt &S, FuncId Callee) {
+  const NormFunction &Fn = Prog.func(Callee);
+  const TypeTable &Types = Prog.Types;
+
+  if (!Fn.IsDefined) {
+    if (!Opts.UseLibrarySummaries)
+      return false;
+    // Summaries may read any argument's facts.
+    for (ObjectId Arg : S.Args)
+      noteRead(Arg);
+    return Lib.apply(Prog.Strings.text(Fn.Name), S, *this);
+  }
+
+  bool Changed = false;
+  size_t NumParams = Fn.Params.size();
+  for (size_t I = 0; I < S.Args.size(); ++I) {
+    if (Prog.object(S.Args[I]).Kind == ObjectKind::Constant)
+      continue; // literal arguments carry no points-to facts
+    if (I < NumParams) {
+      ObjectId Param = Fn.Params[I];
+      if (flowResolve(normalizeObj(Param), normalizeObj(S.Args[I]),
+                      Prog.object(Param).Ty))
+        Changed = true;
+    } else if (Fn.VarargsObj.isValid()) {
+      // Extra arguments pool into the callee's "..." pseudo-variable. This
+      // is a plain join over every node of the argument object (no typed
+      // resolve: a varargs pool has no declared layout to match against,
+      // and it should not pollute the mismatch statistics).
+      NodeId Va = normalizeObj(Fn.VarargsObj);
+      noteRead(S.Args[I]);
+      for (NodeId ArgNode :
+           Model.nodes().nodesOfObject(S.Args[I])) {
+        PtsSet Targets = pointsTo(ArgNode);
+        if (ptsOf(Va).insertAll(Targets) != 0) {
+          Changed = true;
+          noteChanged(Va);
+        }
+      }
+    }
+  }
+  if (S.RetDst.isValid() && Fn.RetObj.isValid()) {
+    if (flowResolve(normalizeObj(S.RetDst), normalizeObj(Fn.RetObj),
+                    Prog.object(S.RetDst).Ty))
+      Changed = true;
+  }
+  (void)Types;
+  return Changed;
+}
+
+bool Solver::applyCall(const NormStmt &S) {
+  if (S.IndirectCallee.isValid())
+    noteRead(S.IndirectCallee);
+  bool Changed = false;
+  for (FuncId Callee : calleesOf(S))
+    if (bindCall(S, Callee))
+      Changed = true;
+  return Changed;
+}
+
+bool Solver::applyStmt(const NormStmt &S) {
+  switch (S.Op) {
+  case NormOp::AddrOf: {
+    // Rule 1: pointsTo(normalize(s), normalize(t.beta)).
+    NodeId Dst = normalizeObj(S.Dst);
+    NodeId Target = Model.normalizeLoc(S.Src, S.Path);
+    return addEdge(Dst, Target);
+  }
+  case NormOp::AddrOfDeref: {
+    // Rule 2: for each pointsTo(p, t-hat), for each n in
+    // lookup(tau_p, alpha, t-hat): pointsTo(normalize(s), n).
+    NodeId Dst = normalizeObj(S.Dst);
+    bool Changed = false;
+    std::vector<NodeId> Fields;
+    noteRead(S.Src);
+    PtsSet Targets = pointsTo(normalizeObj(S.Src)); // copy: we add edges
+    for (NodeId Target : Targets) {
+      Fields.clear();
+      Model.lookup(S.DeclPointeeTy, S.Path, Target, Fields);
+      for (NodeId Field : Fields)
+        if (addEdge(Dst, Field))
+          Changed = true;
+    }
+    return Changed;
+  }
+  case NormOp::Copy:
+    // Rule 3: resolve(normalize(s), normalize(t.beta), tau_s).
+    return flowResolve(normalizeObj(S.Dst), Model.normalizeLoc(S.Src, S.Path),
+                       S.LhsTy);
+  case NormOp::Load: {
+    // Rule 4: for each pointsTo(q, t-hat):
+    //   resolve(normalize(s), t-hat, tau_s).
+    bool Changed = false;
+    NodeId Dst = normalizeObj(S.Dst);
+    noteRead(S.Src);
+    PtsSet Targets = pointsTo(normalizeObj(S.Src));
+    for (NodeId Target : Targets)
+      if (flowResolve(Dst, Target, S.LhsTy))
+        Changed = true;
+    return Changed;
+  }
+  case NormOp::Store: {
+    // Rule 5: for each pointsTo(p, s-hat):
+    //   resolve(s-hat, normalize(t), tau_p-pointee).
+    bool Changed = false;
+    NodeId Src = normalizeObj(S.Src);
+    noteRead(S.Dst);
+    PtsSet Targets = pointsTo(normalizeObj(S.Dst));
+    for (NodeId Target : Targets)
+      if (flowResolve(Target, Src, S.LhsTy))
+        Changed = true;
+    return Changed;
+  }
+  case NormOp::PtrArith: {
+    // Assumption 1: the result may point to any sub-field of any object an
+    // operand points into.
+    if (!Opts.HandlePtrArith)
+      return false;
+    bool Changed = false;
+    NodeId Dst = normalizeObj(S.Dst);
+    for (ObjectId Operand : S.ArithSrcs) {
+      noteRead(Operand);
+      PtsSet Targets = pointsTo(normalizeObj(Operand));
+      if (flowPtrArith(Dst, Targets))
+        Changed = true;
+    }
+    return Changed;
+  }
+  case NormOp::Call:
+    return applyCall(S);
+  }
+  return false;
+}
+
+void Solver::solveNaive() {
+  bool Changed = true;
+  while (Changed && Stats.Iterations < Opts.MaxIterations) {
+    Changed = false;
+    ++Stats.Iterations;
+    for (const NormStmt &S : Prog.Stmts) {
+      ++Stats.StmtsApplied;
+      if (applyStmt(S))
+        Changed = true;
+    }
+  }
+}
+
+void Solver::solveWorklist() {
+  WorklistActive = true;
+  // Materializing a node in an object invalidates any statement that
+  // enumerated that object's nodes (Offsets artificial offsets).
+  Model.nodes().setOnNewNode([this](ObjectId Obj) {
+    if (Obj.index() >= DependentsByObject.size())
+      return;
+    for (int32_t StmtIdx : DependentsByObject[Obj.index()]) {
+      if (StmtQueued[StmtIdx])
+        continue;
+      StmtQueued[StmtIdx] = 1;
+      Worklist.push_back(StmtIdx);
+    }
+  });
+  size_t N = Prog.Stmts.size();
+  StmtQueued.assign(N, 1);
+  Worklist.clear();
+  // Push in reverse so the first pop processes statement 0.
+  for (size_t I = N; I-- > 0;)
+    Worklist.push_back(static_cast<int32_t>(I));
+
+  uint64_t Budget = uint64_t(Opts.MaxIterations) * (N ? N : 1);
+  while (!Worklist.empty() && Stats.StmtsApplied < Budget) {
+    int32_t Idx = Worklist.back();
+    Worklist.pop_back();
+    StmtQueued[Idx] = 0;
+    CurrentStmt = Idx;
+    ++Stats.StmtsApplied;
+    ++Stats.Iterations;
+    applyStmt(Prog.Stmts[Idx]);
+  }
+  CurrentStmt = -1;
+  WorklistActive = false;
+  Model.nodes().setOnNewNode(nullptr);
+}
+
+void Solver::solve() {
+  Stats.Iterations = 0;
+  Stats.StmtsApplied = 0;
+  if (Opts.UseWorklist)
+    solveWorklist();
+  else
+    solveNaive();
+  Stats.Edges = numEdges();
+  Stats.Nodes = Model.nodes().size();
+}

@@ -1,0 +1,153 @@
+//===--- Solver.h - Inference-rule fixpoint engine -------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flow-insensitive, context-insensitive solver: it interprets every
+/// normalized statement with the model's normalize/lookup/resolve until no
+/// new points-to edge can be added — the paper's "use the rules of
+/// inference to add additional edges, each of which represents one
+/// points-to fact" (Section 5). Calls are bound context-insensitively;
+/// indirect calls use the current points-to set of the function pointer
+/// (an on-the-fly call graph, re-examined every round).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_SOLVER_H
+#define SPA_PTA_SOLVER_H
+
+#include "pta/FieldModel.h"
+#include "pta/LibrarySummaries.h"
+
+namespace spa {
+
+/// Tuning knobs for one solver run.
+struct SolverOptions {
+  /// Apply LibrarySummaries to calls of undefined functions.
+  bool UseLibrarySummaries = true;
+  /// Apply the paper's Assumption-1 rule to pointer arithmetic (results
+  /// may point to any sub-field of the operands' objects). Disabling it is
+  /// UNSOUND and exists only for the ablation benchmark that measures what
+  /// the conservative rule costs.
+  bool HandlePtrArith = true;
+  /// Wilson/Lam-style stride refinement (paper, Section 6): pointer
+  /// arithmetic on a pointer into an array cannot escape the array, so
+  /// (arrays being one representative element) the target is unchanged.
+  /// A sound precision improvement over plain Assumption 1 for array
+  /// walking; off by default to match the paper's algorithms exactly.
+  bool StrideArith = false;
+  /// The paper's Section-4.2.1 alternative to Assumption 1: instead of
+  /// smearing, pointer-arithmetic results are tagged with the special
+  /// Unknown location ("a pointer that may have been corrupted"), which
+  /// clients can use to flag potential misuses of memory. Dereferences of
+  /// Unknown do not propagate facts, so this mode is NOT sound for
+  /// programs that really do move pointers; it exists to reproduce the
+  /// paper's discussion of the trade-off.
+  bool TrackUnknown = false;
+  /// Solve with an object-granularity worklist instead of the paper's
+  /// repeat-all-statements rounds. Computes the identical fixpoint (the
+  /// property tests assert bit-for-bit equal graphs) but touches only the
+  /// statements whose inputs changed; a large win on bigger programs.
+  /// Off by default so the default configuration is the paper's
+  /// algorithm, statement for statement.
+  bool UseWorklist = false;
+  /// Hard iteration cap (a safety net; real programs converge quickly).
+  unsigned MaxIterations = 100000;
+};
+
+/// Run statistics.
+struct SolverRunStats {
+  unsigned Iterations = 0;   ///< rounds (naive) or total pops (worklist)
+  uint64_t StmtsApplied = 0; ///< statement evaluations, either mode
+  uint64_t Edges = 0;
+  size_t Nodes = 0;
+};
+
+/// One analysis run: a model plus the points-to graph it computes.
+class Solver {
+public:
+  /// \p Prog is non-const because library summaries may add pseudo-objects
+  /// (e.g. the shared "$extern" blob) during initialization.
+  Solver(NormProgram &Prog, FieldModel &Model, SolverOptions Opts = {});
+
+  /// Runs to fixpoint.
+  void solve();
+
+  /// \name Points-to graph access.
+  /// @{
+  const PtsSet &pointsTo(NodeId Node) const;
+  /// normalize(obj) — the canonical node of a whole top-level object.
+  NodeId normalizeObj(ObjectId Obj) { return Model.normalizeLoc(Obj, {}); }
+  /// Adds the fact "From points to To". Returns true if new.
+  bool addEdge(NodeId From, NodeId To);
+  /// Joins pts(SrcNode) into pts(DstNode) for every resolve pair of a copy
+  /// of declared type \p Tau. Returns true if anything changed.
+  bool flowResolve(NodeId Dst, NodeId Src, TypeId Tau);
+  /// Smears: Dst may point to every node of every object that \p Targets
+  /// point into (pointer-arithmetic semantics). Returns true if changed.
+  bool flowPtrArith(NodeId Dst, const PtsSet &Targets);
+  /// Total number of points-to edges.
+  uint64_t numEdges() const;
+  /// @}
+
+  /// \name Queries.
+  /// @{
+  /// Current targets of a dereference site's pointer.
+  const PtsSet &derefTargets(const DerefSite &Site);
+  /// Functions an indirect-call statement may invoke right now.
+  std::vector<FuncId> calleesOf(const NormStmt &Call);
+  /// The shared external-storage blob (created on first use).
+  ObjectId externObject();
+  /// The special Unknown location (created on first use; only meaningful
+  /// with SolverOptions::TrackUnknown).
+  NodeId unknownNode();
+  /// True if \p Node is the Unknown location.
+  bool isUnknownNode(NodeId Node) const;
+  /// @}
+
+  NormProgram &program() { return Prog; }
+  const NormProgram &program() const { return Prog; }
+  FieldModel &model() { return Model; }
+  const FieldModel &model() const { return Model; }
+  const SolverRunStats &runStats() const { return Stats; }
+  const LibrarySummaries &summaries() const { return Lib; }
+
+private:
+  bool applyStmt(const NormStmt &S);
+  bool applyCall(const NormStmt &S);
+  void solveNaive();
+  void solveWorklist();
+  /// Worklist mode: records that the running statement read the points-to
+  /// facts of \p Obj, so it must re-run when they change.
+  void noteRead(ObjectId Obj);
+  /// Worklist mode: marks \p Node's object dirty after a points-to change.
+  void noteChanged(NodeId Node);
+  /// Binds arguments and the return value for one resolved callee.
+  bool bindCall(const NormStmt &S, FuncId Callee);
+
+  PtsSet &ptsOf(NodeId Node);
+
+  NormProgram &Prog;
+  FieldModel &Model;
+  SolverOptions Opts;
+  LibrarySummaries Lib;
+  std::vector<PtsSet> Pts; ///< indexed by NodeId
+  SolverRunStats Stats;
+  ObjectId ExternObj;
+  ObjectId UnknownObj;
+
+  /// \name Worklist state (active only while solveWorklist runs).
+  /// @{
+  bool WorklistActive = false;
+  int32_t CurrentStmt = -1;
+  std::vector<std::vector<int32_t>> DependentsByObject;
+  std::vector<uint8_t> StmtQueued;
+  std::vector<int32_t> Worklist;
+  /// @}
+};
+
+} // namespace spa
+
+#endif // SPA_PTA_SOLVER_H

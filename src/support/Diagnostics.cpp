@@ -1,0 +1,34 @@
+//===--- Diagnostics.cpp --------------------------------------------------===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace spa;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::formatAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += toString(D.Loc);
+    Out += ": ";
+    Out += kindName(D.Kind);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+  }
+  return Out;
+}

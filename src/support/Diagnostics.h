@@ -1,0 +1,67 @@
+//===--- Diagnostics.h - Error and warning collection ----------*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects diagnostics emitted while lexing, parsing, and normalizing a
+/// translation unit. Library code never prints or exits; callers inspect
+/// the collected list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_DIAGNOSTICS_H
+#define SPA_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace spa {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem, anchored to a source position.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one front-end run.
+class DiagnosticEngine {
+public:
+  /// Records an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++ErrorCount;
+  }
+
+  /// Records a warning at \p Loc.
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  /// Records an informational note at \p Loc.
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return ErrorCount != 0; }
+  unsigned errorCount() const { return ErrorCount; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic as "line:col: kind: message", one per line.
+  std::string formatAll() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned ErrorCount = 0;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,71 @@
+//===--- IdSet.h - Sorted set of dense ids ---------------------*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted-vector set of dense ids. Points-to sets in the solver are small
+/// most of the time, so a sorted vector beats a node-based set in both space
+/// and iteration speed, and iteration order is deterministic by value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_IDSET_H
+#define SPA_SUPPORT_IDSET_H
+
+#include "support/IdTypes.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace spa {
+
+/// Sorted-unique vector of \c Id<Tag> values.
+template <typename Tag> class IdSet {
+public:
+  using value_type = Id<Tag>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  /// Inserts \p V; returns true if it was not already present.
+  bool insert(value_type V) {
+    auto It = std::lower_bound(Items.begin(), Items.end(), V);
+    if (It != Items.end() && *It == V)
+      return false;
+    Items.insert(It, V);
+    return true;
+  }
+
+  /// Inserts every element of \p Other; returns the number of new elements.
+  size_t insertAll(const IdSet &Other) {
+    if (Other.empty())
+      return 0;
+    size_t Before = Items.size();
+    std::vector<value_type> Merged;
+    Merged.reserve(Items.size() + Other.Items.size());
+    std::set_union(Items.begin(), Items.end(), Other.Items.begin(),
+                   Other.Items.end(), std::back_inserter(Merged));
+    Items = std::move(Merged);
+    return Items.size() - Before;
+  }
+
+  bool contains(value_type V) const {
+    return std::binary_search(Items.begin(), Items.end(), V);
+  }
+
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+  const_iterator begin() const { return Items.begin(); }
+  const_iterator end() const { return Items.end(); }
+
+  friend bool operator==(const IdSet &A, const IdSet &B) {
+    return A.Items == B.Items;
+  }
+
+private:
+  std::vector<value_type> Items;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_IDSET_H

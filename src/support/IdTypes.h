@@ -1,0 +1,69 @@
+//===--- IdTypes.h - Strongly typed dense identifiers ----------*- C++ -*-===//
+//
+// Part of the spa project: a reproduction of Yong/Horwitz/Reps,
+// "Pointer Analysis for Programs with Structures and Casting" (PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed wrappers around dense indices. The analysis identifies
+/// every entity (objects, nodes, types, statements, ...) by a small integer
+/// so that containers can be plain vectors and iteration order is always
+/// deterministic (never pointer order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_IDTYPES_H
+#define SPA_SUPPORT_IDTYPES_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace spa {
+
+/// A dense, strongly typed identifier. \p Tag is a phantom type that keeps
+/// ids of different entity kinds from being mixed up at compile time.
+template <typename Tag> class Id {
+public:
+  using ValueType = uint32_t;
+
+  /// Sentinel for "no id".
+  static constexpr ValueType InvalidValue =
+      std::numeric_limits<ValueType>::max();
+
+  constexpr Id() : Value(InvalidValue) {}
+  constexpr explicit Id(ValueType V) : Value(V) {}
+
+  /// Returns true if this id refers to an actual entity.
+  constexpr bool isValid() const { return Value != InvalidValue; }
+
+  /// Returns the raw index. The id must be valid.
+  constexpr ValueType index() const {
+    assert(isValid() && "indexing an invalid id");
+    return Value;
+  }
+
+  /// Returns the raw value, including the sentinel.
+  constexpr ValueType rawValue() const { return Value; }
+
+  friend constexpr bool operator==(Id A, Id B) { return A.Value == B.Value; }
+  friend constexpr bool operator!=(Id A, Id B) { return A.Value != B.Value; }
+  friend constexpr bool operator<(Id A, Id B) { return A.Value < B.Value; }
+
+private:
+  ValueType Value;
+};
+
+} // namespace spa
+
+namespace std {
+template <typename Tag> struct hash<spa::Id<Tag>> {
+  size_t operator()(spa::Id<Tag> V) const {
+    return std::hash<uint32_t>()(V.rawValue());
+  }
+};
+} // namespace std
+
+#endif // SPA_SUPPORT_IDTYPES_H

@@ -1,0 +1,42 @@
+//===--- SourceLoc.h - Source positions ------------------------*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight (file, line, column) source position used by the lexer,
+/// parser, and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_SOURCELOC_H
+#define SPA_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace spa {
+
+/// A position in a source buffer. Files are identified by name; the front
+/// end analyzes one translation unit at a time, so no file id table is
+/// needed.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+/// Renders "line:col" for diagnostics.
+inline std::string toString(SourceLoc Loc) {
+  return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Column);
+}
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_SOURCELOC_H

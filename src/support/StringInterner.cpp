@@ -1,0 +1,19 @@
+//===--- StringInterner.cpp -----------------------------------------------===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace spa;
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return It->second;
+  Strings.emplace_back(Text);
+  Symbol Sym(static_cast<uint32_t>(Strings.size() - 1));
+  Index.emplace(std::string_view(Strings.back()), Sym);
+  return Sym;
+}

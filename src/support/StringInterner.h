@@ -1,0 +1,56 @@
+//===--- StringInterner.h - Unique string table ----------------*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense ids so identifiers can be compared and hashed
+/// as integers throughout the front end and the analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_STRINGINTERNER_H
+#define SPA_SUPPORT_STRINGINTERNER_H
+
+#include "support/IdTypes.h"
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace spa {
+
+struct SymbolTag {};
+/// Identifier for an interned string.
+using Symbol = Id<SymbolTag>;
+
+/// Owns a set of unique strings and hands out dense \c Symbol ids for them.
+///
+/// Storage is a deque so that the string objects (and therefore the
+/// string_view keys into them) stay at stable addresses as new strings are
+/// interned.
+class StringInterner {
+public:
+  /// Interns \p Text, returning the existing id if already present.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the text for \p Sym. The symbol must have been produced by this
+  /// interner.
+  std::string_view text(Symbol Sym) const {
+    assert(Sym.index() < Strings.size() && "foreign symbol");
+    return Strings[Sym.index()];
+  }
+
+  /// Returns the number of distinct strings interned so far.
+  size_t size() const { return Strings.size(); }
+
+private:
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, Symbol> Index;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,90 @@
+//===--- TablePrinter.cpp -------------------------------------------------===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace spa;
+
+TablePrinter::TablePrinter(std::vector<std::string> Hdr)
+    : Header(std::move(Hdr)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row/header arity mismatch");
+  Rows.push_back({false, std::move(Row)});
+}
+
+void TablePrinter::addSeparator() { Rows.push_back({true, {}}); }
+
+std::string TablePrinter::fixed(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+/// Returns true if \p Cell looks like a number (so it gets right-aligned).
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell)
+    if ((C < '0' || C > '9') && C != '.' && C != '-' && C != '+' && C != '%' &&
+        C != 'x')
+      return false;
+  return true;
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const RowData &Row : Rows) {
+    if (Row.IsSeparator)
+      continue;
+    for (size_t I = 0; I < Row.Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row.Cells[I].size());
+  }
+
+  auto appendCell = [&](std::string &Out, const std::string &Cell, size_t W) {
+    if (looksNumeric(Cell)) {
+      Out.append(W - Cell.size(), ' ');
+      Out += Cell;
+    } else {
+      Out += Cell;
+      Out.append(W - Cell.size(), ' ');
+    }
+  };
+
+  size_t Total = Header.size() > 0 ? (Header.size() - 1) * 3 : 0;
+  for (size_t W : Widths)
+    Total += W;
+
+  std::string Out;
+  for (size_t I = 0; I < Header.size(); ++I) {
+    if (I)
+      Out += " | ";
+    appendCell(Out, Header[I], Widths[I]);
+  }
+  Out += '\n';
+  Out.append(Total, '-');
+  Out += '\n';
+
+  for (const RowData &Row : Rows) {
+    if (Row.IsSeparator) {
+      Out.append(Total, '-');
+      Out += '\n';
+      continue;
+    }
+    for (size_t I = 0; I < Row.Cells.size(); ++I) {
+      if (I)
+        Out += " | ";
+      appendCell(Out, Row.Cells[I], Widths[I]);
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===--- TablePrinter.h - Aligned text tables ------------------*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders benchmark results as aligned plain-text tables, mirroring the
+/// tabular figures in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_TABLEPRINTER_H
+#define SPA_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace spa {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+public:
+  /// Sets the header row. Column count is fixed by the header.
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a data row. Must have the same number of cells as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table. Numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  /// Formats \p Value with \p Decimals fractional digits.
+  static std::string fixed(double Value, int Decimals = 2);
+
+private:
+  struct RowData {
+    bool IsSeparator = false;
+    std::vector<std::string> Cells;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<RowData> Rows;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_TABLEPRINTER_H

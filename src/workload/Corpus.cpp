@@ -1,0 +1,61 @@
+//===--- Corpus.cpp -------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifndef SPA_CORPUS_DIR
+#define SPA_CORPUS_DIR "corpus"
+#endif
+
+using namespace spa;
+
+const std::vector<CorpusEntry> &spa::corpusManifest() {
+  static const std::vector<CorpusEntry> Manifest = {
+      // 8 programs with no structure casting (paper Figure 3, upper group).
+      {"allroots", "allroots.c", false},
+      {"anagram", "anagram.c", false},
+      {"ks", "ks.c", false},
+      {"ul", "ul.c", false},
+      {"ft", "ft.c", false},
+      {"compress", "compress.c", false},
+      {"ratfor", "ratfor.c", false},
+      {"genetic", "genetic.c", false},
+      // 12 programs with structure casting (lower group).
+      {"diff.diffh", "diffh.c", true},
+      {"lex315", "lex315.c", true},
+      {"loader", "loader.c", true},
+      {"agrep", "agrep.c", true},
+      {"simulator", "simulator.c", true},
+      {"eqntott", "eqntott.c", true},
+      {"bc-1.03", "bc.c", true},
+      {"less-177", "less.c", true},
+      {"twig", "twig.c", true},
+      {"li-130", "li.c", true},
+      {"flex-2.4.7", "flex.c", true},
+      {"espresso", "espresso.c", true},
+  };
+  return Manifest;
+}
+
+std::string spa::corpusDir() {
+  if (const char *Env = std::getenv("SPA_CORPUS_DIR"))
+    return Env;
+  return SPA_CORPUS_DIR;
+}
+
+bool spa::loadCorpusSource(const CorpusEntry &Entry, std::string &OutSource) {
+  std::ifstream In(corpusDir() + "/" + Entry.FileName, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  OutSource = Buf.str();
+  return true;
+}

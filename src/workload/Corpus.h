@@ -1,0 +1,44 @@
+//===--- Corpus.h - The 20-program benchmark corpus ------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Manifest and loader for the benchmark corpus. The paper evaluated 20
+/// real C programs (GNU utilities, SPEC, and the Landi and Austin
+/// benchmark suites); those sources are not redistributable here, so the
+/// corpus contains written-for-purpose programs of the same two flavors —
+/// 8 without structure casting and 12 with — each exercising the casting
+/// idioms the paper discusses (see DESIGN.md, "Substitutions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_WORKLOAD_CORPUS_H
+#define SPA_WORKLOAD_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace spa {
+
+/// One benchmark program.
+struct CorpusEntry {
+  std::string Name;       ///< display name (after the paper's benchmark)
+  std::string FileName;   ///< file under the corpus directory
+  bool HasStructCasting;  ///< which of the paper's two groups it belongs to
+};
+
+/// The 20 programs, non-casting group first (like the paper's Figure 3).
+const std::vector<CorpusEntry> &corpusManifest();
+
+/// Directory holding the corpus .c files. Honors $SPA_CORPUS_DIR, falling
+/// back to the compile-time default.
+std::string corpusDir();
+
+/// Reads one program's source; empty string (and false) on failure.
+bool loadCorpusSource(const CorpusEntry &Entry, std::string &OutSource);
+
+} // namespace spa
+
+#endif // SPA_WORKLOAD_CORPUS_H

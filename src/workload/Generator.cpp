@@ -1,0 +1,226 @@
+//===--- Generator.cpp ----------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include <vector>
+
+using namespace spa;
+
+namespace {
+
+/// Small deterministic PRNG (xorshift64*), independent of the C++ library
+/// so generated programs are stable across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, Bound).
+  unsigned below(unsigned Bound) {
+    return Bound == 0 ? 0 : static_cast<unsigned>(next() % Bound);
+  }
+
+  bool percent(unsigned P) { return below(100) < P; }
+
+private:
+  uint64_t State;
+};
+
+/// Emits one program.
+class ProgramWriter {
+public:
+  ProgramWriter(const GeneratorConfig &Config)
+      : Config(Config), Rand(Config.Seed) {}
+
+  std::string write() {
+    emitStructs();
+    emitGlobals();
+    emitHelpers();
+    emitMain();
+    return Out;
+  }
+
+private:
+  void line(const std::string &Text) {
+    Out += Text;
+    Out += '\n';
+  }
+
+  std::string structName(unsigned I) { return "S" + std::to_string(I); }
+  std::string structVar(unsigned I) { return "g" + std::to_string(I); }
+  std::string intVar(unsigned I) { return "x" + std::to_string(I); }
+  std::string ptrVar(unsigned I) { return "p" + std::to_string(I); }
+  std::string structPtrVar(unsigned I) { return "q" + std::to_string(I); }
+
+  unsigned structOfVar(unsigned VarIdx) const {
+    return VarIdx % Config.NumStructs;
+  }
+
+  void emitStructs() {
+    // Struct 0 is the "base"; even-numbered structs share a 2-field common
+    // initial sequence with it (int *f0; int *f1;), odd-numbered structs
+    // diverge at the second field. Remaining fields alternate pointers and
+    // scalars.
+    for (unsigned I = 0; I < Config.NumStructs; ++I) {
+      std::string Def = "struct " + structName(I) + " { int *f0; ";
+      if (I % 2 == 0)
+        Def += "int *f1; ";
+      else
+        Def += "char f1; ";
+      for (unsigned F = 2; F < Config.FieldsPerStruct; ++F) {
+        if ((I + F) % 3 == 0)
+          Def += "int f" + std::to_string(F) + "; ";
+        else if ((I + F) % 3 == 1)
+          Def += "int *f" + std::to_string(F) + "; ";
+        else
+          Def += "char *f" + std::to_string(F) + "; ";
+      }
+      Def += "};";
+      line(Def);
+    }
+    line("");
+  }
+
+  /// Field index -> declared pointer-ness for struct \p S (mirrors
+  /// emitStructs).
+  bool fieldIsIntPtr(unsigned S, unsigned F) const {
+    if (F == 0)
+      return true;
+    if (F == 1)
+      return S % 2 == 0;
+    return (S + F) % 3 == 1;
+  }
+
+  void emitGlobals() {
+    for (unsigned I = 0; I < Config.NumInts; ++I)
+      line("int " + intVar(I) + ";");
+    for (unsigned I = 0; I < Config.NumPtrVars; ++I)
+      line("int *" + ptrVar(I) + ";");
+    for (unsigned I = 0; I < Config.NumStructVars; ++I)
+      line("struct " + structName(structOfVar(I)) + " " + structVar(I) + ";");
+    for (unsigned I = 0; I < Config.NumStructs; ++I)
+      line("struct " + structName(I) + " *" + structPtrVar(I) + ";");
+    if (Config.UseFunctionPointers)
+      line("int *(*fptr)(int *);");
+    line("");
+  }
+
+  /// One random statement; all references are to globals, so statements
+  /// are valid in any function.
+  std::string randomStmt() {
+    unsigned S = Rand.below(Config.NumStructVars);
+    unsigned SType = structOfVar(S);
+    unsigned P = Rand.below(Config.NumPtrVars);
+    unsigned X = Rand.below(Config.NumInts);
+    bool Cast = Rand.percent(Config.CastSharePercent);
+
+    switch (Rand.below(Cast ? 9 : 6)) {
+    case 0: // take the address of an int into a pointer field
+      return structVar(S) + ".f0 = &" + intVar(X) + ";";
+    case 1: { // load a pointer field
+      unsigned F = Rand.below(Config.FieldsPerStruct);
+      if (!fieldIsIntPtr(SType, F))
+        F = 0;
+      return ptrVar(P) + " = " + structVar(S) + ".f" + std::to_string(F) +
+             ";";
+    }
+    case 2: { // store through a struct pointer of the matching type
+      unsigned Q = SType;
+      return structPtrVar(Q) + " = &" + structVar(S) + "; " + structPtrVar(Q) +
+             "->f0 = &" + intVar(X) + ";";
+    }
+    case 3: // plain pointer copy
+      return ptrVar(P) + " = " + ptrVar(Rand.below(Config.NumPtrVars)) + ";";
+    case 4: { // same-type struct copy
+      unsigned S2 = Rand.below(Config.NumStructVars);
+      if (structOfVar(S2) != SType)
+        return structVar(S) + ".f0 = &" + intVar(X) + ";";
+      return structVar(S) + " = " + structVar(S2) + ";";
+    }
+    case 5: { // heap or pointer arithmetic
+      if (Config.UseHeap && Rand.percent(50)) {
+        unsigned Q = SType;
+        return structPtrVar(Q) + " = (struct " + structName(SType) +
+               " *)malloc(64); " + structPtrVar(Q) + "->f0 = &" + intVar(X) +
+               ";";
+      }
+      return ptrVar(P) + " = " + ptrVar(Rand.below(Config.NumPtrVars)) +
+             " + 1;";
+    }
+    case 6: { // cast a struct pointer to a different struct type and load
+      unsigned Other = (SType + 1 + Rand.below(Config.NumStructs - 1)) %
+                       Config.NumStructs;
+      return structPtrVar(Other) + " = (struct " + structName(Other) +
+             " *)&" + structVar(S) + "; " + ptrVar(P) + " = " +
+             structPtrVar(Other) + "->f0;";
+    }
+    case 7: { // whole-struct copy through a cast
+      unsigned S2 = Rand.below(Config.NumStructVars);
+      return structVar(S) + " = *(struct " + structName(SType) + " *)&" +
+             structVar(S2) + ";";
+    }
+    default: { // int <- pointer round trip through a cast
+      return ptrVar(P) + " = (int *)(long)" + ptrVar(
+                 Rand.below(Config.NumPtrVars)) + ";";
+    }
+    }
+  }
+
+  void emitHelpers() {
+    for (unsigned F = 0; F < Config.NumFunctions; ++F) {
+      line("int *helper" + std::to_string(F) + "(int *a, struct " +
+           structName(F % Config.NumStructs) + " *b) {");
+      line("  b->f0 = a;");
+      for (unsigned I = 0; I < Config.StmtsPerFunction; ++I)
+        line("  " + randomStmt());
+      line("  return b->f0;");
+      line("}");
+      line("");
+    }
+    if (Config.UseFunctionPointers && Config.NumFunctions > 0) {
+      line("int *dispatch(int *a) {");
+      line("  return fptr ? fptr(a) : a;");
+      line("}");
+      line("");
+    }
+  }
+
+  void emitMain() {
+    line("int main(void) {");
+    for (unsigned F = 0; F < Config.NumFunctions; ++F) {
+      unsigned X = Rand.below(Config.NumInts);
+      unsigned S = Rand.below(Config.NumStructVars);
+      // Pick a struct variable whose type matches the helper's parameter.
+      while (structOfVar(S) != F % Config.NumStructs)
+        S = (S + 1) % Config.NumStructVars;
+      line("  " + ptrVar(Rand.below(Config.NumPtrVars)) + " = helper" +
+           std::to_string(F) + "(&" + intVar(X) + ", &" + structVar(S) +
+           ");");
+    }
+    for (unsigned I = 0; I < Config.StmtsPerFunction; ++I)
+      line("  " + randomStmt());
+    line("  return 0;");
+    line("}");
+  }
+
+  const GeneratorConfig &Config;
+  Rng Rand;
+  std::string Out;
+};
+
+} // namespace
+
+std::string spa::generateProgram(const GeneratorConfig &Config) {
+  ProgramWriter Writer(Config);
+  return Writer.write();
+}

@@ -1,0 +1,47 @@
+//===--- Generator.h - Parametric C program generator ----------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministically generates self-contained C programs exercising the
+/// analysis: struct families with shared common-initial-sequence prefixes,
+/// address-taking, field loads/stores, pointer casts between related and
+/// unrelated struct types, whole-struct copies through casts, heap
+/// allocation, pointer arithmetic, and (optionally) function pointers.
+/// Used by property tests (cross-model invariants must hold on any
+/// generated program) and by the scaling benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_WORKLOAD_GENERATOR_H
+#define SPA_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace spa {
+
+/// Shape parameters for one generated program.
+struct GeneratorConfig {
+  uint64_t Seed = 1;
+  unsigned NumStructs = 4;      ///< struct types (>= 2)
+  unsigned FieldsPerStruct = 4; ///< fields per struct (>= 2)
+  unsigned NumInts = 6;         ///< int globals (address-taken targets)
+  unsigned NumStructVars = 6;   ///< struct-typed globals
+  unsigned NumPtrVars = 6;      ///< int* globals
+  unsigned NumFunctions = 3;    ///< helper functions called from main
+  unsigned StmtsPerFunction = 24;
+  unsigned CastSharePercent = 25; ///< % of statements using casts
+  bool UseHeap = true;
+  bool UseFunctionPointers = false;
+};
+
+/// Generates the program text. Deterministic in the config (including
+/// the seed).
+std::string generateProgram(const GeneratorConfig &Config);
+
+} // namespace spa
+
+#endif // SPA_WORKLOAD_GENERATOR_H

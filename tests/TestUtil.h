@@ -1,0 +1,61 @@
+//===--- TestUtil.h - Shared test helpers ----------------------*- C++ -*-===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_TESTS_TESTUTIL_H
+#define SPA_TESTS_TESTUTIL_H
+
+#include "pta/Frontend.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spa::test {
+
+/// Compiles \p Source, failing the test on diagnostics.
+inline std::unique_ptr<CompiledProgram>
+compile(std::string_view Source,
+        TargetInfo Target = TargetInfo::ilp32()) {
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags, std::move(Target));
+  EXPECT_TRUE(P != nullptr) << Diags.formatAll();
+  return P;
+}
+
+/// One solved analysis over freshly compiled source.
+struct Solved {
+  std::unique_ptr<CompiledProgram> Program;
+  std::unique_ptr<Analysis> A;
+
+  std::vector<std::string> pts(std::string_view Name) {
+    return pointsToSetOf(A->solver(), Name);
+  }
+};
+
+inline Solved analyze(std::string_view Source, ModelKind Kind,
+                      TargetInfo Target = TargetInfo::ilp32()) {
+  Solved S;
+  S.Program = compile(Source, Target);
+  if (!S.Program)
+    return S;
+  AnalysisOptions Opts;
+  Opts.Model = Kind;
+  Opts.Target = std::move(Target);
+  S.A = std::make_unique<Analysis>(S.Program->Prog, Opts);
+  S.A->run();
+  return S;
+}
+
+/// Readable set comparison.
+inline std::vector<std::string> strs(std::initializer_list<const char *> L) {
+  return std::vector<std::string>(L.begin(), L.end());
+}
+
+} // namespace spa::test
+
+#endif // SPA_TESTS_TESTUTIL_H

@@ -1,0 +1,146 @@
+//===--- ExprTypingTest.cpp - Expression typing depth ---------------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The normalizer's statement shapes depend on the types the parser
+/// assigns to expressions; these tests pin the typing rules down by
+/// observing their effect on declared initializer targets (a global's
+/// declared type must accept the expression for the program to make
+/// sense to the analysis).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+
+/// Parses a program whose last global "probe" is initialized with the
+/// expression under test, and returns probe's declared type spelling plus
+/// whether everything parsed.
+struct Typed {
+  StringInterner Strings;
+  TypeTable Types;
+  DiagnosticEngine Diags;
+  TranslationUnit TU{Types, Strings};
+  bool Ok = false;
+
+  explicit Typed(std::string_view Source) {
+    Parser P(Source, TU, Diags);
+    Ok = P.parseTranslationUnit();
+  }
+};
+
+} // namespace
+
+TEST(ExprTyping, DerefOfPointerToArrayYieldsArray) {
+  // *pa has type int[4]; indexing it must give int.
+  Typed P("int (*pa)[4];"
+          "int n;"
+          "void f(void) { n = (*pa)[2]; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, ArrowThroughArrayOfPointers) {
+  Typed P("struct S { int v; } *table[4];"
+          "int n;"
+          "void f(void) { n = table[1]->v; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, CallThroughMemberFunctionPointerChain) {
+  Typed P("struct Ops { int (*get)(void); };"
+          "struct Obj { struct Ops *ops; } o;"
+          "int n;"
+          "void f(void) { n = o.ops->get(); }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, TernaryPrefersPointerArm) {
+  Typed P("int *p; int x;"
+          "void f(int c) { p = c ? p : 0; p = c ? 0 : &x; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, PointerDifferenceIsInteger) {
+  Typed P("int a[8]; int n;"
+          "void f(void) { n = &a[5] - &a[2]; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, AddressOfArrayElementThroughPointer) {
+  Typed P("struct S { char buf[16]; } *p;"
+          "char *c;"
+          "void f(void) { c = &p->buf[3]; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, CompoundAssignOnDeref) {
+  Typed P("int *p;"
+          "void f(void) { *p += 3; *p <<= 1; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, SizeofOfDereferencedExpression) {
+  Typed P("struct S { int a[10]; } *p;"
+          "int n[sizeof(*p) / sizeof(int)];");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  for (VarDecl *Var : P.TU.Globals)
+    if (P.Strings.text(Var->Name) == "n") {
+      EXPECT_EQ(P.Types.toString(Var->Ty, P.Strings), "int [10]");
+    }
+}
+
+TEST(ExprTyping, NestedCastsParse) {
+  Typed P("long l; char *c;"
+          "void f(void) { l = (long)(int *)(void *)c; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, FunctionNameDecaysInConditions) {
+  Typed P("void g(void);"
+          "int n;"
+          "void f(void) { if (g) n = 1; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, StringLiteralIndexing) {
+  Typed P("char c;"
+          "void f(void) { c = \"hello\"[1]; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, ChainedAssignmentsAssociateRight) {
+  Typed P("int *a, *b, *c; int x;"
+          "void f(void) { a = b = c = &x; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, NegativeArraySizeIsSafe) {
+  // A pathological constant folds to <= 0; the parser clamps rather than
+  // crashing, and the declaration still exists.
+  Typed P("int a[2 - 5];");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(ExprTyping, EnumArithmeticInConstantContexts) {
+  Typed P("enum E { A = 3, B = A * 2, C = B + A };"
+          "int buf[C];");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  for (VarDecl *Var : P.TU.Globals)
+    if (P.Strings.text(Var->Name) == "buf") {
+      EXPECT_EQ(P.Types.toString(Var->Ty, P.Strings), "int [9]");
+    }
+}
+
+TEST(ExprTyping, CommaInForHeaders) {
+  Typed P("int i, j, n;"
+          "void f(void) { for (i = 0, j = 9; i < j; i++, j--) n++; }");
+  EXPECT_TRUE(P.Ok) << P.Diags.formatAll();
+}

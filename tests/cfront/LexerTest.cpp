@@ -1,0 +1,132 @@
+//===--- LexerTest.cpp - Unit tests for the lexer -------------------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Lexer.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Source, DiagnosticEngine &Diags) {
+  StringInterner Strings;
+  Lexer Lex(Source, Strings, Diags);
+  std::vector<Token> Out;
+  for (;;) {
+    Token Tok = Lex.next();
+    if (Tok.Kind == TokKind::Eof)
+      break;
+    Out.push_back(Tok);
+  }
+  return Out;
+}
+
+std::vector<TokKind> kindsOf(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::vector<TokKind> Kinds;
+  for (const Token &Tok : lexAll(Source, Diags))
+    Kinds.push_back(Tok.Kind);
+  EXPECT_FALSE(Diags.hasErrors());
+  return Kinds;
+}
+
+} // namespace
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto Kinds = kindsOf("struct foo int intx _bar");
+  EXPECT_EQ(Kinds, (std::vector<TokKind>{
+                       TokKind::KwStruct, TokKind::Identifier, TokKind::KwInt,
+                       TokKind::Identifier, TokKind::Identifier}));
+}
+
+TEST(Lexer, IntegerLiteralsAllBases) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("42 0x2A 052 1u 7L 9UL", Diags);
+  ASSERT_EQ(Toks.size(), 6u);
+  EXPECT_EQ(Toks[0].IntValue, 42u);
+  EXPECT_EQ(Toks[1].IntValue, 42u);
+  EXPECT_EQ(Toks[2].IntValue, 42u); // octal
+  EXPECT_EQ(Toks[3].IntValue, 1u);
+  EXPECT_EQ(Toks[4].IntValue, 7u);
+  EXPECT_EQ(Toks[5].IntValue, 9u);
+}
+
+TEST(Lexer, FloatLiterals) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("3.25 1e3 2.5e-1 4f", Diags);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Toks[0].FloatValue, 3.25);
+  EXPECT_DOUBLE_EQ(Toks[1].FloatValue, 1000.0);
+  EXPECT_DOUBLE_EQ(Toks[2].FloatValue, 0.25);
+  EXPECT_EQ(Toks[3].Kind, TokKind::FloatLiteral); // 4f via suffix
+}
+
+TEST(Lexer, CharAndStringEscapes) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll(R"('a' '\n' '\x41' "hi\tthere", "a" "b")", Diags);
+  ASSERT_EQ(Toks.size(), 6u);
+  EXPECT_EQ(Toks[0].IntValue, (uint64_t)'a');
+  EXPECT_EQ(Toks[1].IntValue, (uint64_t)'\n');
+  EXPECT_EQ(Toks[2].IntValue, 0x41u);
+  EXPECT_EQ(Toks[3].StrValue, "hi\tthere");
+  EXPECT_EQ(Toks[5].StrValue, "ab"); // adjacent literals concatenate
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto Kinds = kindsOf("-> ++ -- << >> <<= >>= <= >= == != && || ... += &=");
+  EXPECT_EQ(Kinds, (std::vector<TokKind>{
+                       TokKind::Arrow, TokKind::PlusPlus, TokKind::MinusMinus,
+                       TokKind::Shl, TokKind::Shr, TokKind::ShlAssign,
+                       TokKind::ShrAssign, TokKind::LessEq, TokKind::GreaterEq,
+                       TokKind::EqEq, TokKind::BangEq, TokKind::AmpAmp,
+                       TokKind::PipePipe, TokKind::Ellipsis,
+                       TokKind::PlusAssign, TokKind::AmpAssign}));
+}
+
+TEST(Lexer, CommentsAndDirectivesAreSkipped) {
+  auto Kinds = kindsOf("a // line comment\n"
+                       "/* block\n comment */ b\n"
+                       "# 1 \"file.c\"\n"
+                       "c");
+  EXPECT_EQ(Kinds.size(), 3u);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("a\n  bb", Diags);
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Column, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Column, 3u);
+}
+
+TEST(Lexer, ReportsUnterminatedLiterals) {
+  DiagnosticEngine Diags;
+  lexAll("\"never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+
+  DiagnosticEngine Diags2;
+  lexAll("/* never closed", Diags2);
+  EXPECT_TRUE(Diags2.hasErrors());
+}
+
+TEST(Lexer, UnknownCharacterRecovers) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("a @ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Toks.size(), 2u); // a and b still lexed
+}
+
+TEST(Lexer, DotVersusEllipsisVersusNumber) {
+  auto Kinds = kindsOf("a.b 1.5 ...");
+  EXPECT_EQ(Kinds, (std::vector<TokKind>{TokKind::Identifier, TokKind::Dot,
+                                         TokKind::Identifier,
+                                         TokKind::FloatLiteral,
+                                         TokKind::Ellipsis}));
+}

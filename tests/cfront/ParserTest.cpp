@@ -1,0 +1,261 @@
+//===--- ParserTest.cpp - Unit tests for the parser -----------------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+
+struct Parsed {
+  StringInterner Strings;
+  TypeTable Types;
+  DiagnosticEngine Diags;
+  TranslationUnit TU{Types, Strings};
+  bool Ok = false;
+
+  explicit Parsed(std::string_view Source) {
+    Parser P(Source, TU, Diags);
+    Ok = P.parseTranslationUnit();
+  }
+
+  VarDecl *global(const char *Name) {
+    for (VarDecl *Var : TU.Globals)
+      if (Strings.text(Var->Name) == Name)
+        return Var;
+    return nullptr;
+  }
+
+  FunctionDecl *function(const char *Name) {
+    return TU.findFunction(Strings.intern(Name));
+  }
+
+  std::string typeOf(const char *GlobalName) {
+    VarDecl *Var = global(GlobalName);
+    return Var ? Types.toString(Var->Ty, Strings) : "<missing>";
+  }
+};
+
+} // namespace
+
+TEST(Parser, SimpleGlobals) {
+  Parsed P("int a; char *b; double c[3];");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  EXPECT_EQ(P.typeOf("a"), "int");
+  EXPECT_EQ(P.typeOf("b"), "char *");
+  EXPECT_EQ(P.typeOf("c"), "double [3]");
+}
+
+TEST(Parser, DeclaratorPrecedence) {
+  Parsed P("int *a[4];"      // array of pointer
+           "int (*b)[4];"    // pointer to array
+           "int (*c)(int);"  // pointer to function
+           "int *(*d)(void);" // pointer to function returning int*
+           "int (*e[2])(char *);"); // array of function pointers
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  EXPECT_EQ(P.typeOf("a"), "int * [4]");
+  EXPECT_EQ(P.typeOf("b"), "int [4] *");
+  EXPECT_EQ(P.typeOf("c"), "int (int) *");
+  EXPECT_EQ(P.typeOf("d"), "int * () *");
+  EXPECT_EQ(P.typeOf("e"), "int (char *) * [2]");
+}
+
+TEST(Parser, FunctionReturningFunctionPointer) {
+  // int (*f(int a))(char): f is a function(int) returning ptr to
+  // function(char) returning int.
+  Parsed P("int (*f(int a))(char);");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  FunctionDecl *F = P.function("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(P.Types.toString(F->Ty, P.Strings), "int (char) * (int)");
+}
+
+TEST(Parser, TypedefsActAsTypeNames) {
+  Parsed P("typedef unsigned long size_t;"
+           "typedef struct node Node;"
+           "struct node { Node *next; size_t len; };"
+           "Node head;"
+           "size_t total;");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  EXPECT_EQ(P.typeOf("head"), "struct node");
+  EXPECT_EQ(P.typeOf("total"), "unsigned long");
+}
+
+TEST(Parser, TypedefDoesNotShadowDeclaratorNames) {
+  // "unsigned T;" where T is a typedef name still declares a variable T of
+  // type unsigned (the specifier was already seen).
+  Parsed P("typedef int T; unsigned T;");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  EXPECT_EQ(P.typeOf("T"), "unsigned int");
+}
+
+TEST(Parser, StructTagsAndForwardReferences) {
+  Parsed P("struct list { struct list *next; int v; };"
+           "struct tree;"
+           "struct tree *root;"
+           "struct tree { struct tree *kids[2]; };");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  EXPECT_EQ(P.typeOf("root"), "struct tree *");
+  // Both references to "struct tree" resolve to the same record.
+  VarDecl *Root = P.global("root");
+  TypeId Pointee = P.Types.pointee(Root->Ty);
+  EXPECT_TRUE(P.Types.record(P.Types.node(Pointee).Record).IsComplete);
+}
+
+TEST(Parser, EnumsDefineConstants) {
+  Parsed P("enum color { RED, GREEN = 5, BLUE };"
+           "int x[BLUE];");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  EXPECT_EQ(P.typeOf("x"), "int [6]"); // BLUE == 6
+}
+
+TEST(Parser, SizeofFoldsToConstants) {
+  Parsed P("struct S { int a; char b; };"
+           "int x[sizeof(struct S)];"
+           "int y[sizeof(int *)];");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  EXPECT_EQ(P.typeOf("x"), "int [8]"); // ilp32 layout
+  EXPECT_EQ(P.typeOf("y"), "int [4]");
+}
+
+TEST(Parser, CastVersusParenExpression) {
+  Parsed P("typedef int T;"
+           "int a, b;"
+           "void f(void) {"
+           "  a = (T)b;"    // cast
+           "  a = (b);"     // parenthesized expr
+           "  a = (T)(b);"  // cast of paren
+           "}");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(Parser, MemberAccessResolvesIndices) {
+  Parsed P("struct S { int a; int b; } s, *p;"
+           "int f(void) { return s.b + p->a; }");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(Parser, UnknownMemberIsAnError) {
+  Parsed P("struct S { int a; } s;"
+           "int f(void) { return s.nope; }");
+  EXPECT_FALSE(P.Ok);
+  EXPECT_NE(P.Diags.formatAll().find("no member named 'nope'"),
+            std::string::npos);
+}
+
+TEST(Parser, UndeclaredIdentifierIsAnError) {
+  Parsed P("int f(void) { return mystery; }");
+  EXPECT_FALSE(P.Ok);
+}
+
+TEST(Parser, ImplicitFunctionDeclaration) {
+  Parsed P("int f(void) { return g(1, 2); }");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  FunctionDecl *G = P.function("g");
+  ASSERT_NE(G, nullptr);
+  EXPECT_TRUE(G->IsVariadic);
+  EXPECT_FALSE(G->isDefined());
+}
+
+TEST(Parser, AllStatementForms) {
+  Parsed P(R"(
+int g;
+void f(int n) {
+  int i;
+  if (n) g = 1; else g = 2;
+  while (n > 0) n--;
+  do { g++; } while (0);
+  for (i = 0; i < n; i++) { if (i == 3) continue; if (i == 5) break; }
+  for (;;) break;
+  switch (n) {
+  case 1: g = 10; break;
+  case 2:
+  default: g = 20; break;
+  }
+  goto done;
+done:
+  return;
+}
+)");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(Parser, LocalDeclarationsShadow) {
+  Parsed P("int x;"
+           "int f(void) { int x; { char x; } return x; }");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(Parser, InitializerLists) {
+  Parsed P("struct P { int x; int y; };"
+           "struct P origin = {0, 0};"
+           "int table[3] = {1, 2, 3};"
+           "struct P pts[2] = {{1, 2}, {3, 4}};"
+           "char msg[] = \"hello\";"
+           "char *names[] = {\"a\", \"b\"};");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(Parser, VariadicFunctionDefinition) {
+  Parsed P("int log_msg(char *fmt, ...) { return fmt != 0; }");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  FunctionDecl *F = P.function("log_msg");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->IsVariadic);
+  EXPECT_EQ(F->Params.size(), 1u);
+}
+
+TEST(Parser, UnionsAndBitfields) {
+  Parsed P("union u { int i; char c[4]; };"
+           "struct flags { int a : 1; int b : 2; int : 5; int c; };"
+           "union u uu; struct flags ff;");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  VarDecl *FF = P.global("ff");
+  const RecordDecl &Rec = P.Types.record(P.Types.node(FF->Ty).Record);
+  EXPECT_EQ(Rec.Fields.size(), 3u); // unnamed bit-field adds no member
+}
+
+TEST(Parser, ConditionalAndCommaExpressions) {
+  Parsed P("int a, b, c;"
+           "void f(void) { a = b ? b : c; a = (b = 1, c = 2, b + c); }");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(Parser, RedefinitionOfTagIsAnError) {
+  Parsed P("struct S { int a; }; struct S { int b; };");
+  EXPECT_FALSE(P.Ok);
+}
+
+TEST(Parser, RecoversAndKeepsGoingAfterErrors) {
+  Parsed P("int a = $$$;"
+           "int b;");
+  EXPECT_FALSE(P.Ok);
+  EXPECT_NE(P.global("b"), nullptr); // later declarations still parsed
+}
+
+TEST(Parser, ExpressionTypesPropagate) {
+  Parsed P("struct S { int *p; } s;"
+           "int *q; int n;"
+           "void f(void) {"
+           "  q = s.p;"       // member type
+           "  q = &n;"        // address-of
+           "  n = *q;"        // deref
+           "  q = q + n;"     // pointer arithmetic keeps pointer type
+           "  n = q - q;"     // pointer difference is integer
+           "}");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+}
+
+TEST(Parser, StaticAndExternStorage) {
+  Parsed P("static int hidden; extern int shared;"
+           "static void helper(void) { hidden++; }");
+  ASSERT_TRUE(P.Ok) << P.Diags.formatAll();
+  EXPECT_TRUE(P.global("hidden")->IsStatic);
+  EXPECT_TRUE(P.global("shared")->IsExtern);
+  EXPECT_TRUE(P.function("helper")->IsStatic);
+}

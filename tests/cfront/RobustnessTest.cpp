@@ -1,0 +1,133 @@
+//===--- RobustnessTest.cpp - Hostile-input behavior ----------------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front end must reject malformed input with diagnostics -- never
+/// crash, hang, or accept garbage silently. These tests feed truncated,
+/// deeply nested, and pseudo-random inputs through the whole pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pta/Frontend.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+
+/// Runs the full pipeline; returns true if it compiled cleanly. The point
+/// of these tests is that the call returns at all and the invariant
+/// "null result iff errors" holds.
+bool pipelineSurvives(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  EXPECT_EQ(P == nullptr, Diags.hasErrors());
+  if (!P)
+    return false;
+  AnalysisOptions Opts;
+  Opts.Model = ModelKind::CommonInitialSeq;
+  Analysis A(P->Prog, Opts);
+  A.run();
+  return true;
+}
+
+} // namespace
+
+TEST(Robustness, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(pipelineSurvives(""));
+  EXPECT_TRUE(pipelineSurvives("   \n\t  /* nothing */ // here\n"));
+}
+
+TEST(Robustness, TruncatedConstructs) {
+  const char *Cases[] = {
+      "int",
+      "int x",
+      "int x = ",
+      "struct S {",
+      "struct S { int a;",
+      "void f(void) {",
+      "void f(void) { if (",
+      "void f(void) { return",
+      "int a[",
+      "int (*f)(",
+      "typedef",
+      "enum E { A,",
+      "char *s = \"unterminated",
+  };
+  for (const char *Source : Cases)
+    EXPECT_FALSE(pipelineSurvives(Source)) << Source;
+}
+
+TEST(Robustness, DeepExpressionNesting) {
+  std::string Source = "int x; void f(void) { x = ";
+  for (int I = 0; I < 200; ++I)
+    Source += "(1 + ";
+  Source += "2";
+  for (int I = 0; I < 200; ++I)
+    Source += ")";
+  Source += "; }";
+  EXPECT_TRUE(pipelineSurvives(Source));
+}
+
+TEST(Robustness, DeepDeclaratorNesting) {
+  std::string Source = "int ";
+  for (int I = 0; I < 100; ++I)
+    Source += "*";
+  Source += "p;";
+  EXPECT_TRUE(pipelineSurvives(Source));
+}
+
+TEST(Robustness, ManyErrorsDoNotLoopForever) {
+  std::string Source;
+  for (int I = 0; I < 500; ++I)
+    Source += "@ $ ` \x01 ;; }} (( int 3x;\n";
+  EXPECT_FALSE(pipelineSurvives(Source));
+}
+
+TEST(Robustness, PseudoRandomBytesNeverCrash) {
+  // Deterministic pseudo-random printable soup, several seeds.
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    uint64_t State = Seed * 0x9e3779b97f4a7c15ull;
+    std::string Source;
+    for (int I = 0; I < 2000; ++I) {
+      State ^= State >> 12;
+      State ^= State << 25;
+      State ^= State >> 27;
+      char C = static_cast<char>(32 + (State * 0x2545F4914F6CDD1Dull >> 57));
+      Source.push_back(C);
+    }
+    (void)pipelineSurvives(Source); // must terminate without crashing
+  }
+}
+
+TEST(Robustness, TokenSoupFromValidTokens) {
+  EXPECT_FALSE(pipelineSurvives(
+      "struct -> int [ ] ( ++ typedef ; , . case 123 \"s\" 'c' } { "
+      "while if sizeof & * ... enum = == <= >> |= ? : void"));
+}
+
+TEST(Robustness, SelfReferentialTypesTerminate) {
+  EXPECT_TRUE(pipelineSurvives(
+      "struct a { struct a *next; };"
+      "struct b { struct a inner; struct b *self; } x;"
+      "void f(void) { x.self = &x; x.self = x.self->self; }"));
+}
+
+TEST(Robustness, IncompleteTypeUsesAreDiagnosed) {
+  EXPECT_FALSE(pipelineSurvives("struct never_defined s;"
+                                "void f(void) { s.field = 1; }"));
+}
+
+TEST(Robustness, HugeButValidProgramIsFine) {
+  std::string Source = "int sink;\n";
+  for (int I = 0; I < 400; ++I) {
+    Source += "int g" + std::to_string(I) + ";\n";
+    Source += "void f" + std::to_string(I) + "(void) { sink = g" +
+              std::to_string(I) + "; }\n";
+  }
+  EXPECT_TRUE(pipelineSurvives(Source));
+}

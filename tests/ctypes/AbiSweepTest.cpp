@@ -1,0 +1,132 @@
+//===--- AbiSweepTest.cpp - Layout invariants across every ABI ------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized sweep over the supported target ABIs: the invariants
+/// ISO C guarantees (and the paper leans on) must hold under every
+/// conforming layout the engine can produce — first field at offset 0,
+/// common-initial-sequence offsets agreeing, monotone non-overlapping
+/// struct fields, union members at 0.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/Compat.h"
+#include "ctypes/Flatten.h"
+#include "ctypes/Layout.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+
+class AbiSweep : public ::testing::TestWithParam<TargetInfo> {
+protected:
+  StringInterner Strings;
+  TypeTable Types;
+
+  RecordId makeStruct(const char *Tag, std::vector<TypeId> FieldTypes,
+                      bool IsUnion = false) {
+    RecordId Rec = Types.createRecord(IsUnion, Strings.intern(Tag));
+    std::vector<FieldDecl> Decls;
+    int N = 0;
+    for (TypeId Ty : FieldTypes)
+      Decls.push_back({Strings.intern("f" + std::to_string(N++)), Ty});
+    Types.completeRecord(Rec, std::move(Decls));
+    return Rec;
+  }
+};
+
+} // namespace
+
+TEST_P(AbiSweep, FirstFieldIsAtOffsetZero) {
+  // The paper's Problem-1 guarantee, under every layout.
+  RecordId Inner = makeStruct("Inner", {Types.doubleType()});
+  RecordId Outer = makeStruct(
+      "Outer", {Types.getRecordType(Inner), Types.charType()});
+  LayoutEngine L(Types, GetParam());
+  EXPECT_EQ(L.layout(Outer).FieldOffsets[0], 0u);
+  EXPECT_EQ(L.offsetOfPath(Types.getRecordType(Outer), {0, 0}), 0u);
+}
+
+TEST_P(AbiSweep, CommonInitialSequenceOffsetsAgree) {
+  // The CIS layout guarantee the Common-Initial-Sequence instance uses.
+  TypeId IP = Types.getPointer(Types.intType());
+  TypeId CP = Types.getPointer(Types.charType());
+  RecordId A = makeStruct("A", {IP, Types.intType(), IP});
+  RecordId B = makeStruct("B", {IP, Types.intType(), CP, Types.charType()});
+  unsigned Cis = commonInitialSeqLen(Types, A, B);
+  ASSERT_GE(Cis, 2u);
+  LayoutEngine L(Types, GetParam());
+  for (unsigned I = 0; I < Cis; ++I)
+    EXPECT_EQ(L.layout(A).FieldOffsets[I], L.layout(B).FieldOffsets[I])
+        << "field " << I << " under " << GetParam().Name;
+}
+
+TEST_P(AbiSweep, StructFieldsDoNotOverlapAndFit) {
+  RecordId Rec = makeStruct(
+      "Mix", {Types.charType(), Types.doubleType(), Types.shortType(),
+              Types.getPointer(Types.voidType()), Types.charType()});
+  LayoutEngine L(Types, GetParam());
+  const RecordLayout &RL = L.layout(Rec);
+  const RecordDecl &Decl = Types.record(Rec);
+  uint64_t PrevEnd = 0;
+  for (size_t I = 0; I < Decl.Fields.size(); ++I) {
+    EXPECT_GE(RL.FieldOffsets[I], PrevEnd) << GetParam().Name;
+    PrevEnd = RL.FieldOffsets[I] + L.sizeOf(Decl.Fields[I].Ty);
+  }
+  EXPECT_LE(PrevEnd, RL.Size);
+  EXPECT_EQ(RL.Size % RL.Align, 0u);
+}
+
+TEST_P(AbiSweep, UnionMembersShareOffsetZeroAndSizeCoversAll) {
+  RecordId U = makeStruct("U",
+                          {Types.charType(), Types.doubleType(),
+                           Types.getPointer(Types.intType())},
+                          /*IsUnion=*/true);
+  LayoutEngine L(Types, GetParam());
+  const RecordLayout &RL = L.layout(U);
+  for (uint64_t Off : RL.FieldOffsets)
+    EXPECT_EQ(Off, 0u);
+  const RecordDecl &Decl = Types.record(U);
+  for (const FieldDecl &F : Decl.Fields)
+    EXPECT_GE(RL.Size, L.sizeOf(F.Ty));
+}
+
+TEST_P(AbiSweep, CanonicalOffsetIsIdempotent) {
+  RecordId Row = makeStruct("Row", {Types.intType(), Types.intType()});
+  RecordId T = makeStruct(
+      "T", {Types.charType(),
+            Types.getArray(Types.getRecordType(Row), 5), Types.intType()});
+  LayoutEngine L(Types, GetParam());
+  TypeId Ty = Types.getRecordType(T);
+  for (uint64_t Off = 0; Off < L.sizeOf(Ty); ++Off) {
+    uint64_t C = L.canonicalOffset(Ty, Off);
+    EXPECT_EQ(L.canonicalOffset(Ty, C), C)
+        << "offset " << Off << " under " << GetParam().Name;
+    EXPECT_LE(C, Off);
+  }
+}
+
+TEST_P(AbiSweep, FlattenedLeafOffsetsMatchOffsetOfPath) {
+  TypeId IP = Types.getPointer(Types.intType());
+  RecordId Inner = makeStruct("Inner", {IP, Types.charType()});
+  RecordId Outer = makeStruct(
+      "Outer", {Types.shortType(), Types.getRecordType(Inner),
+                Types.getArray(IP, 3)});
+  LayoutEngine L(Types, GetParam());
+  TypeId Ty = Types.getRecordType(Outer);
+  FlattenedType FT(Types, L, Ty);
+  for (const LeafField &Leaf : FT.leaves())
+    EXPECT_EQ(Leaf.Offset, L.offsetOfPath(Ty, Leaf.Path))
+        << GetParam().Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, AbiSweep,
+                         ::testing::Values(TargetInfo::ilp32(),
+                                           TargetInfo::lp64(),
+                                           TargetInfo::padded32()),
+                         [](const auto &Info) { return Info.param.Name; });

@@ -1,0 +1,124 @@
+//===--- CompatTest.cpp - Unit tests for compatible types -----------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/Compat.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+struct Fixture : ::testing::Test {
+  StringInterner Strings;
+  TypeTable Types;
+
+  RecordId makeStruct(const char *Tag, std::vector<TypeId> FieldTypes) {
+    RecordId Rec = Types.createRecord(false, Strings.intern(Tag));
+    std::vector<FieldDecl> Decls;
+    int N = 0;
+    for (TypeId Ty : FieldTypes)
+      Decls.push_back({Strings.intern("f" + std::to_string(N++)), Ty});
+    Types.completeRecord(Rec, std::move(Decls));
+    return Rec;
+  }
+};
+} // namespace
+
+TEST_F(Fixture, IdenticalTypesAreCompatible) {
+  EXPECT_TRUE(areCompatible(Types, Types.intType(), Types.intType()));
+  TypeId P = Types.getPointer(Types.charType());
+  EXPECT_TRUE(areCompatible(Types, P, P));
+}
+
+TEST_F(Fixture, DistinctScalarKindsAreNot) {
+  EXPECT_FALSE(areCompatible(Types, Types.intType(), Types.longType()));
+  EXPECT_FALSE(areCompatible(Types, Types.charType(), Types.scharType()));
+  EXPECT_FALSE(areCompatible(Types, Types.intType(), Types.uintType()));
+  EXPECT_FALSE(areCompatible(Types, Types.floatType(), Types.doubleType()));
+}
+
+TEST_F(Fixture, IntIsCompatibleWithEnum) {
+  EnumId En = Types.createEnum(Strings.intern("E"));
+  TypeId EnumTy = Types.getEnumType(En);
+  EXPECT_TRUE(areCompatible(Types, Types.intType(), EnumTy));
+  EXPECT_TRUE(areCompatible(Types, EnumTy, Types.intType()));
+  EnumId Other = Types.createEnum(Strings.intern("F"));
+  EXPECT_FALSE(
+      areCompatible(Types, EnumTy, Types.getEnumType(Other)));
+}
+
+TEST_F(Fixture, QualifiersAreIgnoredByDesign) {
+  // Documented deviation from the ISO letter: see Compat.h.
+  TypeId ConstInt = Types.getQualified(Types.intType(), QualConst);
+  EXPECT_TRUE(areCompatible(Types, ConstInt, Types.intType()));
+  TypeId PConst = Types.getPointer(ConstInt);
+  TypeId P = Types.getPointer(Types.intType());
+  EXPECT_TRUE(areCompatible(Types, PConst, P));
+}
+
+TEST_F(Fixture, PointersFollowPointees) {
+  TypeId PI = Types.getPointer(Types.intType());
+  TypeId PC = Types.getPointer(Types.charType());
+  EXPECT_FALSE(areCompatible(Types, PI, PC));
+  EXPECT_TRUE(areCompatible(Types, Types.getPointer(PI),
+                            Types.getPointer(PI)));
+}
+
+TEST_F(Fixture, ArraysNeedMatchingElementAndSize) {
+  TypeId A4 = Types.getArray(Types.intType(), 4);
+  TypeId A5 = Types.getArray(Types.intType(), 5);
+  TypeId AIncomplete = Types.getArray(Types.intType(), 0);
+  EXPECT_FALSE(areCompatible(Types, A4, A5));
+  EXPECT_TRUE(areCompatible(Types, A4, AIncomplete));
+  EXPECT_FALSE(areCompatible(Types, A4, Types.getArray(Types.charType(), 4)));
+}
+
+TEST_F(Fixture, RecordsAreCompatibleOnlyWithThemselves) {
+  RecordId A = makeStruct("A", {Types.intType()});
+  RecordId B = makeStruct("B", {Types.intType()});
+  EXPECT_TRUE(areCompatible(Types, Types.getRecordType(A),
+                            Types.getRecordType(A)));
+  EXPECT_FALSE(areCompatible(Types, Types.getRecordType(A),
+                             Types.getRecordType(B)));
+}
+
+TEST_F(Fixture, FunctionsCompareSignatures) {
+  TypeId F1 = Types.getFunction(Types.intType(), {Types.intType()}, false);
+  TypeId F2 = Types.getFunction(Types.intType(), {Types.intType()}, false);
+  TypeId F3 = Types.getFunction(Types.intType(), {Types.longType()}, false);
+  EXPECT_TRUE(areCompatible(Types, F1, F2));
+  EXPECT_FALSE(areCompatible(Types, F1, F3));
+}
+
+TEST_F(Fixture, CommonInitialSequenceLength) {
+  TypeId IP = Types.getPointer(Types.intType());
+  TypeId CP = Types.getPointer(Types.charType());
+  RecordId S = makeStruct("S", {IP, IP, IP});
+  RecordId T = makeStruct("T", {IP, IP, CP});
+  RecordId V = makeStruct("V", {CP, IP});
+  EXPECT_EQ(commonInitialSeqLen(Types, S, T), 2u);
+  EXPECT_EQ(commonInitialSeqLen(Types, T, S), 2u);
+  EXPECT_EQ(commonInitialSeqLen(Types, S, V), 0u);
+  EXPECT_EQ(commonInitialSeqLen(Types, S, S), 3u);
+}
+
+TEST_F(Fixture, CommonInitialSequenceExcludesUnionsAndIncomplete) {
+  TypeId IP = Types.getPointer(Types.intType());
+  RecordId S = makeStruct("S", {IP});
+  RecordId U = Types.createRecord(true, Strings.intern("U"));
+  Types.completeRecord(U, {{Strings.intern("f"), IP}});
+  RecordId Inc = Types.createRecord(false, Strings.intern("Inc"));
+  EXPECT_EQ(commonInitialSeqLen(Types, S, U), 0u);
+  EXPECT_EQ(commonInitialSeqLen(Types, S, Inc), 0u);
+}
+
+TEST_F(Fixture, NestedRecordFieldsMatchByIdentity) {
+  RecordId Inner = makeStruct("Inner", {Types.intType()});
+  TypeId InnerTy = Types.getRecordType(Inner);
+  RecordId A = makeStruct("A", {InnerTy, Types.intType()});
+  RecordId B = makeStruct("B", {InnerTy, Types.charType()});
+  EXPECT_EQ(commonInitialSeqLen(Types, A, B), 1u);
+}

@@ -1,0 +1,127 @@
+//===--- FlattenTest.cpp - Unit tests for leaf flattening -----------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/Flatten.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+struct Fixture : ::testing::Test {
+  StringInterner Strings;
+  TypeTable Types;
+  LayoutEngine Layout{Types, TargetInfo::ilp32()};
+
+  RecordId makeStruct(const char *Tag, std::vector<TypeId> FieldTypes,
+                      bool IsUnion = false) {
+    RecordId Rec = Types.createRecord(IsUnion, Strings.intern(Tag));
+    std::vector<FieldDecl> Decls;
+    int N = 0;
+    for (TypeId Ty : FieldTypes)
+      Decls.push_back({Strings.intern("f" + std::to_string(N++)), Ty});
+    Types.completeRecord(Rec, std::move(Decls));
+    return Rec;
+  }
+};
+} // namespace
+
+TEST_F(Fixture, ScalarIsOneLeaf) {
+  FlattenedType FT(Types, Layout, Types.intType());
+  ASSERT_EQ(FT.leaves().size(), 1u);
+  EXPECT_TRUE(FT.leaves()[0].Path.empty());
+  EXPECT_EQ(FT.leaves()[0].Offset, 0u);
+  EXPECT_EQ(FT.normalizedLeaf({}), 0u);
+}
+
+TEST_F(Fixture, NestedStructFlattensInLayoutOrder) {
+  TypeId IP = Types.getPointer(Types.intType());
+  RecordId Inner = makeStruct("Inner", {IP, Types.charType()});
+  RecordId Outer = makeStruct(
+      "Outer", {Types.getRecordType(Inner), Types.intType()});
+  FlattenedType FT(Types, Layout, Types.getRecordType(Outer));
+  ASSERT_EQ(FT.leaves().size(), 3u);
+  EXPECT_EQ(FT.leaves()[0].Path, (FieldPath{0, 0})); // inner.f0
+  EXPECT_EQ(FT.leaves()[1].Path, (FieldPath{0, 1})); // inner.f1
+  EXPECT_EQ(FT.leaves()[2].Path, (FieldPath{1}));    // outer.f1
+  EXPECT_EQ(FT.leaves()[0].Offset, 0u);
+  EXPECT_EQ(FT.leaves()[1].Offset, 4u);
+  EXPECT_EQ(FT.leaves()[2].Offset, 8u);
+}
+
+TEST_F(Fixture, NormalizedLeafDescendsFirstFields) {
+  TypeId IP = Types.getPointer(Types.intType());
+  RecordId Inner = makeStruct("Inner", {IP, Types.charType()});
+  RecordId Outer = makeStruct(
+      "Outer", {Types.getRecordType(Inner), Types.intType()});
+  FlattenedType FT(Types, Layout, Types.getRecordType(Outer));
+  // normalize(outer) == normalize(outer.f0) == outer.f0.f0.
+  EXPECT_EQ(FT.normalizedLeaf({}), 0u);
+  EXPECT_EQ(FT.normalizedLeaf({0}), 0u);
+  EXPECT_EQ(FT.normalizedLeaf({0, 1}), 1u);
+  EXPECT_EQ(FT.normalizedLeaf({1}), 2u);
+}
+
+TEST_F(Fixture, UnionsBecomeOneBlobLeaf) {
+  TypeId IP = Types.getPointer(Types.intType());
+  RecordId U = makeStruct("U", {IP, Types.doubleType()}, /*IsUnion=*/true);
+  RecordId S = makeStruct("S", {Types.intType(), Types.getRecordType(U)});
+  FlattenedType FT(Types, Layout, Types.getRecordType(S));
+  ASSERT_EQ(FT.leaves().size(), 2u);
+  EXPECT_EQ(FT.leaves()[1].Path, (FieldPath{1}));
+  EXPECT_TRUE(Types.isUnion(FT.leaves()[1].Ty));
+  // A path THROUGH the union maps to the union blob.
+  EXPECT_EQ(FT.normalizedLeaf({1, 0}), 1u);
+}
+
+TEST_F(Fixture, ArrayLeavesCarryTheirGroup) {
+  TypeId IP = Types.getPointer(Types.intType());
+  RecordId Elem = makeStruct("Elem", {IP, Types.intType()});
+  RecordId S = makeStruct(
+      "S", {Types.charType(), Types.getArray(Types.getRecordType(Elem), 3),
+            IP});
+  FlattenedType FT(Types, Layout, Types.getRecordType(S));
+  ASSERT_EQ(FT.leaves().size(), 4u);
+  // Leaves 1 and 2 are inside the array member.
+  EXPECT_EQ(FT.leaves()[1].ArrayGroupBegin, 1u);
+  EXPECT_EQ(FT.leaves()[1].ArrayGroupEnd, 3u);
+  EXPECT_EQ(FT.leaves()[2].ArrayGroupBegin, 1u);
+  EXPECT_EQ(FT.leaves()[0].ArrayGroupBegin, UINT32_MAX);
+  EXPECT_EQ(FT.leaves()[3].ArrayGroupBegin, UINT32_MAX);
+}
+
+TEST_F(Fixture, FromLeafOnwardAppliesTheArrayAdjustment) {
+  TypeId IP = Types.getPointer(Types.intType());
+  RecordId Elem = makeStruct("Elem", {IP, Types.intType()});
+  RecordId S = makeStruct(
+      "S", {Types.charType(), Types.getArray(Types.getRecordType(Elem), 3),
+            IP});
+  FlattenedType FT(Types, Layout, Types.getRecordType(S));
+  // From the second leaf of the array element: the paper requires all
+  // fields *within that array* to be included, so the result starts at the
+  // array group's first leaf.
+  EXPECT_EQ(FT.fromLeafOnward(2), (std::vector<uint32_t>{1, 2, 3}));
+  // Outside an array: plain suffix.
+  EXPECT_EQ(FT.fromLeafOnward(3), (std::vector<uint32_t>{3}));
+  EXPECT_EQ(FT.fromLeafOnward(0), (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST_F(Fixture, EmptyAndIncompleteRecordsAreLeaves) {
+  RecordId Empty = makeStruct("Empty", {});
+  FlattenedType FT1(Types, Layout, Types.getRecordType(Empty));
+  EXPECT_EQ(FT1.leaves().size(), 1u);
+
+  RecordId Fwd = Types.createRecord(false, Strings.intern("Fwd"));
+  // Note: flattening an incomplete record is legal (it is a blob leaf).
+  FlattenedType FT2(Types, Layout, Types.getRecordType(Fwd));
+  EXPECT_EQ(FT2.leaves().size(), 1u);
+}
+
+TEST_F(Fixture, FunctionTypeIsALeaf) {
+  TypeId Fn = Types.getFunction(Types.intType(), {}, false);
+  FlattenedType FT(Types, Layout, Fn);
+  EXPECT_EQ(FT.leaves().size(), 1u);
+}

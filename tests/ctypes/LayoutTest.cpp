@@ -1,0 +1,130 @@
+//===--- LayoutTest.cpp - Unit tests for the ABI layout engine ------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/Layout.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+struct Fixture : ::testing::Test {
+  StringInterner Strings;
+  TypeTable Types;
+
+  RecordId makeStruct(const char *Tag,
+                      std::vector<std::pair<const char *, TypeId>> Fields,
+                      bool IsUnion = false) {
+    RecordId Rec = Types.createRecord(IsUnion, Strings.intern(Tag));
+    std::vector<FieldDecl> Decls;
+    for (auto &[Name, Ty] : Fields)
+      Decls.push_back({Strings.intern(Name), Ty});
+    Types.completeRecord(Rec, std::move(Decls));
+    return Rec;
+  }
+};
+} // namespace
+
+TEST_F(Fixture, ScalarSizesFollowTheTarget) {
+  LayoutEngine L32(Types, TargetInfo::ilp32());
+  LayoutEngine L64(Types, TargetInfo::lp64());
+  EXPECT_EQ(L32.sizeOf(Types.getPointer(Types.intType())), 4u);
+  EXPECT_EQ(L64.sizeOf(Types.getPointer(Types.intType())), 8u);
+  EXPECT_EQ(L32.sizeOf(Types.longType()), 4u);
+  EXPECT_EQ(L64.sizeOf(Types.longType()), 8u);
+  EXPECT_EQ(L32.sizeOf(Types.doubleType()), 8u);
+}
+
+TEST_F(Fixture, StructLayoutInsertsPadding) {
+  // struct { char c; int i; char d; } -> offsets 0, 4, 8; size 12 (ilp32).
+  RecordId Rec = makeStruct("S", {{"c", Types.charType()},
+                                  {"i", Types.intType()},
+                                  {"d", Types.charType()}});
+  LayoutEngine L(Types, TargetInfo::ilp32());
+  const RecordLayout &RL = L.layout(Rec);
+  EXPECT_EQ(RL.FieldOffsets, (std::vector<uint64_t>{0, 4, 8}));
+  EXPECT_EQ(RL.Size, 12u);
+  EXPECT_EQ(RL.Align, 4u);
+}
+
+TEST_F(Fixture, UnionMembersShareOffsetZero) {
+  RecordId Rec = makeStruct("U",
+                            {{"i", Types.intType()},
+                             {"d", Types.doubleType()},
+                             {"p", Types.getPointer(Types.charType())}},
+                            /*IsUnion=*/true);
+  LayoutEngine L(Types, TargetInfo::ilp32());
+  const RecordLayout &RL = L.layout(Rec);
+  EXPECT_EQ(RL.FieldOffsets, (std::vector<uint64_t>{0, 0, 0}));
+  EXPECT_EQ(RL.Size, 8u);
+  EXPECT_EQ(RL.Align, 8u);
+}
+
+TEST_F(Fixture, ArraysMultiplyAndIncompleteArraysCountOne) {
+  LayoutEngine L(Types, TargetInfo::ilp32());
+  EXPECT_EQ(L.sizeOf(Types.getArray(Types.intType(), 5)), 20u);
+  EXPECT_EQ(L.sizeOf(Types.getArray(Types.intType(), 0)), 4u);
+  EXPECT_EQ(L.alignOf(Types.getArray(Types.doubleType(), 2)), 8u);
+}
+
+TEST_F(Fixture, OffsetOfPathAccumulatesThroughNesting) {
+  RecordId Inner = makeStruct("I", {{"a", Types.intType()},
+                                    {"b", Types.intType()}});
+  RecordId Outer =
+      makeStruct("O", {{"x", Types.charType()},
+                       {"in", Types.getRecordType(Inner)},
+                       {"y", Types.intType()}});
+  LayoutEngine L(Types, TargetInfo::ilp32());
+  TypeId OuterTy = Types.getRecordType(Outer);
+  EXPECT_EQ(L.offsetOfPath(OuterTy, {}), 0u);
+  EXPECT_EQ(L.offsetOfPath(OuterTy, {1}), 4u);
+  EXPECT_EQ(L.offsetOfPath(OuterTy, {1, 1}), 8u);
+  EXPECT_EQ(L.offsetOfPath(OuterTy, {2}), 12u);
+}
+
+TEST_F(Fixture, CanonicalOffsetMapsIntoRepresentativeArrayElement) {
+  // struct { int hdr; struct { int a; int b; } rows[4]; }
+  RecordId Row = makeStruct("Row", {{"a", Types.intType()},
+                                    {"b", Types.intType()}});
+  RecordId Table =
+      makeStruct("T", {{"hdr", Types.intType()},
+                       {"rows", Types.getArray(Types.getRecordType(Row), 4)}});
+  LayoutEngine L(Types, TargetInfo::ilp32());
+  TypeId Ty = Types.getRecordType(Table);
+  // rows[2].b sits at 4 + 2*8 + 4 = 24; canonical is rows[0].b at 8.
+  EXPECT_EQ(L.canonicalOffset(Ty, 24), 8u);
+  EXPECT_EQ(L.canonicalOffset(Ty, 4), 4u);
+  EXPECT_EQ(L.canonicalOffset(Ty, 0), 0u);
+  // Beyond the object: clamps to the last byte.
+  EXPECT_EQ(L.canonicalOffset(Ty, 4096), L.canonicalOffset(Ty, 35));
+}
+
+TEST_F(Fixture, CanonicalOffsetStopsAtUnions) {
+  RecordId U = makeStruct("U",
+                          {{"arr", Types.getArray(Types.intType(), 4)},
+                           {"d", Types.doubleType()}},
+                          /*IsUnion=*/true);
+  LayoutEngine L(Types, TargetInfo::ilp32());
+  TypeId Ty = Types.getRecordType(U);
+  // No canonicalization inside the union: offset 12 stays 12.
+  EXPECT_EQ(L.canonicalOffset(Ty, 12), 12u);
+}
+
+TEST_F(Fixture, PaddedTargetChangesOffsets) {
+  RecordId Rec = makeStruct("P", {{"p", Types.getPointer(Types.intType())},
+                                  {"i", Types.intType()},
+                                  {"q", Types.getPointer(Types.intType())}});
+  LayoutEngine L32(Types, TargetInfo::ilp32());
+  LayoutEngine LPad(Types, TargetInfo::padded32());
+  EXPECT_EQ(L32.layout(Rec).FieldOffsets, (std::vector<uint64_t>{0, 4, 8}));
+  EXPECT_EQ(LPad.layout(Rec).FieldOffsets, (std::vector<uint64_t>{0, 8, 16}));
+}
+
+TEST_F(Fixture, EmptyStructGetsOneByte) {
+  RecordId Rec = makeStruct("E", {});
+  LayoutEngine L(Types, TargetInfo::ilp32());
+  EXPECT_EQ(L.layout(Rec).Size, 1u);
+}

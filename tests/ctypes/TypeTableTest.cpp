@@ -1,0 +1,114 @@
+//===--- TypeTableTest.cpp - Unit tests for type interning ----------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/TypeTable.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+struct Fixture : ::testing::Test {
+  StringInterner Strings;
+  TypeTable Types;
+};
+} // namespace
+
+TEST_F(Fixture, DerivedTypesAreInterned) {
+  TypeId IntPtr = Types.getPointer(Types.intType());
+  EXPECT_EQ(IntPtr, Types.getPointer(Types.intType()));
+  EXPECT_NE(IntPtr, Types.getPointer(Types.charType()));
+
+  TypeId Arr = Types.getArray(Types.intType(), 10);
+  EXPECT_EQ(Arr, Types.getArray(Types.intType(), 10));
+  EXPECT_NE(Arr, Types.getArray(Types.intType(), 9));
+
+  TypeId Fn = Types.getFunction(Types.voidType(), {IntPtr}, false);
+  EXPECT_EQ(Fn, Types.getFunction(Types.voidType(), {IntPtr}, false));
+  EXPECT_NE(Fn, Types.getFunction(Types.voidType(), {IntPtr}, true));
+}
+
+TEST_F(Fixture, QualifiersComposeAndStrip) {
+  TypeId ConstInt = Types.getQualified(Types.intType(), QualConst);
+  EXPECT_NE(ConstInt, Types.intType());
+  EXPECT_EQ(Types.unqualified(ConstInt), Types.intType());
+  EXPECT_EQ(Types.getQualified(ConstInt, QualConst), ConstInt);
+
+  TypeId CV = Types.getQualified(ConstInt, QualVolatile);
+  EXPECT_EQ(Types.node(CV).Quals, QualConst | QualVolatile);
+  EXPECT_EQ(Types.unqualified(CV), Types.intType());
+}
+
+TEST_F(Fixture, CanonicalStripsNestedQualifiers) {
+  // const char * const  ->  char *
+  TypeId ConstChar = Types.getQualified(Types.charType(), QualConst);
+  TypeId P = Types.getQualified(Types.getPointer(ConstChar), QualConst);
+  EXPECT_EQ(Types.canonical(P), Types.getPointer(Types.charType()));
+
+  // Array and function types canonicalize through their components.
+  TypeId Arr = Types.getArray(ConstChar, 4);
+  EXPECT_EQ(Types.canonical(Arr), Types.getArray(Types.charType(), 4));
+  TypeId Fn = Types.getFunction(ConstChar, {P}, false);
+  EXPECT_EQ(Types.canonical(Fn),
+            Types.getFunction(Types.charType(),
+                              {Types.getPointer(Types.charType())}, false));
+}
+
+TEST_F(Fixture, RecordsAreNominal) {
+  RecordId A = Types.createRecord(false, Strings.intern("A"));
+  RecordId B = Types.createRecord(false, Strings.intern("A"));
+  EXPECT_NE(Types.getRecordType(A), Types.getRecordType(B));
+  EXPECT_FALSE(Types.record(A).IsComplete);
+  Types.completeRecord(A, {{Strings.intern("x"), Types.intType()}});
+  EXPECT_TRUE(Types.record(A).IsComplete);
+  EXPECT_EQ(Types.record(A).Fields.size(), 1u);
+}
+
+TEST_F(Fixture, TypeOfPathWalksNestedRecordsAndArrays) {
+  // struct Inner { int a; char *b; };
+  RecordId Inner = Types.createRecord(false, Strings.intern("Inner"));
+  Types.completeRecord(
+      Inner, {{Strings.intern("a"), Types.intType()},
+              {Strings.intern("b"), Types.getPointer(Types.charType())}});
+  // struct Outer { struct Inner in[4]; double d; };
+  RecordId Outer = Types.createRecord(false, Strings.intern("Outer"));
+  Types.completeRecord(
+      Outer, {{Strings.intern("in"),
+               Types.getArray(Types.getRecordType(Inner), 4)},
+              {Strings.intern("d"), Types.doubleType()}});
+
+  TypeId OuterTy = Types.getRecordType(Outer);
+  EXPECT_EQ(Types.typeOfPath(OuterTy, {}), OuterTy);
+  EXPECT_EQ(Types.typeOfPath(OuterTy, {1}), Types.doubleType());
+  // Arrays are transparent: path {0, 1} reaches in[...].b.
+  EXPECT_EQ(Types.typeOfPath(OuterTy, {0, 1}),
+            Types.getPointer(Types.charType()));
+}
+
+TEST_F(Fixture, ToStringSpellsCommonTypes) {
+  RecordId S = Types.createRecord(false, Strings.intern("S"));
+  EXPECT_EQ(Types.toString(Types.getRecordType(S), Strings), "struct S");
+  EXPECT_EQ(Types.toString(Types.getPointer(Types.intType()), Strings),
+            "int *");
+  EXPECT_EQ(Types.toString(Types.getArray(Types.charType(), 3), Strings),
+            "char [3]");
+  TypeId Fn = Types.getFunction(Types.intType(), {}, true);
+  EXPECT_EQ(Types.toString(Fn, Strings), "int (...)");
+}
+
+TEST_F(Fixture, PredicatesClassifyKinds) {
+  EXPECT_TRUE(Types.isInteger(Types.charType()));
+  EXPECT_TRUE(Types.isInteger(Types.ulonglongType()));
+  EXPECT_FALSE(Types.isInteger(Types.floatType()));
+  EXPECT_TRUE(Types.isFloating(Types.longdoubleType()));
+  EXPECT_TRUE(Types.isScalar(Types.getPointer(Types.voidType())));
+  RecordId U = Types.createRecord(true, Strings.intern("U"));
+  EXPECT_TRUE(Types.isUnion(Types.getRecordType(U)));
+  EXPECT_FALSE(Types.isStruct(Types.getRecordType(U)));
+  EXPECT_EQ(Types.stripArrays(Types.getArray(
+                Types.getArray(Types.intType(), 2), 3)),
+            Types.intType());
+}

@@ -1,0 +1,94 @@
+//===--- CorpusTest.cpp - Whole-corpus integration checks -----------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses, normalizes, and analyzes every corpus program under all four
+/// instances, checking the invariants the paper's evaluation relies on:
+/// the analyses terminate, the non-casting programs report no type
+/// mismatches, and the precision ordering between instances holds for the
+/// Figure-4 metric.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "workload/Corpus.h"
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+class CorpusTest : public ::testing::TestWithParam<CorpusEntry> {};
+
+} // namespace
+
+TEST_P(CorpusTest, CompilesAndNormalizes) {
+  const CorpusEntry &Entry = GetParam();
+  std::string Source;
+  ASSERT_TRUE(loadCorpusSource(Entry, Source))
+      << "missing corpus file " << Entry.FileName << " in " << corpusDir();
+  DiagnosticEngine Diags;
+  auto Program = CompiledProgram::fromSource(Source, Diags);
+  ASSERT_TRUE(Program != nullptr) << Entry.Name << ":\n" << Diags.formatAll();
+  EXPECT_GT(Program->Prog.Stmts.size(), 10u) << Entry.Name;
+  EXPECT_GT(Program->Prog.DerefSites.size(), 0u) << Entry.Name;
+}
+
+TEST_P(CorpusTest, AllFourInstancesConvergeAndOrderByPrecision) {
+  const CorpusEntry &Entry = GetParam();
+  std::string Source;
+  ASSERT_TRUE(loadCorpusSource(Entry, Source));
+
+  double Avg[4] = {0, 0, 0, 0};
+  const ModelKind Kinds[4] = {ModelKind::CollapseAlways,
+                              ModelKind::CollapseOnCast,
+                              ModelKind::CommonInitialSeq, ModelKind::Offsets};
+  for (int I = 0; I < 4; ++I) {
+    auto S = analyze(Source, Kinds[I]);
+    ASSERT_TRUE(S.A != nullptr) << Entry.Name;
+    EXPECT_LT(S.A->solver().runStats().Iterations, 1000u) << Entry.Name;
+    Avg[I] = S.A->derefMetrics().AvgSetSize;
+
+    // For the non-casting group, type mismatches must be (nearly) absent.
+    // "Nearly": the paper's Assumption-1 pointer-arithmetic rule smears a
+    // walking pointer across its whole object, so a char* stepping through
+    // a struct's char array can transitively be looked up against an int
+    // field; the paper counts those transitive effects too.
+    if (!Entry.HasStructCasting &&
+        (Kinds[I] == ModelKind::CollapseOnCast ||
+         Kinds[I] == ModelKind::CommonInitialSeq)) {
+      const ModelStats &MS = S.A->model().stats();
+      EXPECT_LE(MS.LookupMismatch * 10, MS.LookupCalls + 9) << Entry.Name;
+      EXPECT_LE(MS.ResolveMismatch * 10, MS.ResolveCalls + 9) << Entry.Name;
+    }
+  }
+
+  // Precision ordering of the Figure-4 metric (expanded set sizes):
+  // CollapseAlways >= CollapseOnCast >= CommonInitialSeq. These three
+  // share node granularity, so the ordering is exact. The Offsets
+  // instance is not strictly comparable by count: it materializes a node
+  // per byte offset (including artificial offsets inside unions and word
+  // arrays), which the paper itself observes for 130.li ("nodes ... that
+  // do not correspond to real fields"). We therefore only require it to
+  // beat the fully collapsed instance.
+  // (Union-heavy programs like li make even that comparison granularity-
+  // dependent -- a union is one field-model node but several byte-offset
+  // nodes -- so the Offsets ordering is asserted only in the union-free
+  // generated-program property tests.)
+  const double Tol = 1e-9;
+  EXPECT_GE(Avg[0] + Tol, Avg[1]) << Entry.Name;
+  EXPECT_GE(Avg[1] + Tol, Avg[2]) << Entry.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, CorpusTest, ::testing::ValuesIn(corpusManifest()),
+    [](const ::testing::TestParamInfo<CorpusEntry> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });

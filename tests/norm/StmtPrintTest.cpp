@@ -1,0 +1,87 @@
+//===--- StmtPrintTest.cpp - Golden strings for the normalized form -------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the printable normalized form (used by spa_cli --stmts and by
+/// humans debugging the analysis) to the paper's notation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pta/Frontend.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+
+std::string dumped(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.formatAll();
+  if (!P)
+    return {};
+  std::string Out;
+  for (const NormStmt &S : P->Prog.Stmts) {
+    Out += P->Prog.stmtToString(S);
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(StmtPrint, AddrOfShowsFieldPathsByName) {
+  std::string Text = dumped("struct S { int *a; int *b; } s;"
+                            "int **p; void f(void) { p = &s.b; }");
+  EXPECT_NE(Text.find("&s.b"), std::string::npos);
+}
+
+TEST(StmtPrint, StoreAndLoadUseTheStarNotation) {
+  std::string Text = dumped("int x, *p, *q;"
+                            "void f(void) { *(&p) = &x; q = *(&p); }");
+  EXPECT_NE(Text.find("*"), std::string::npos);
+  EXPECT_NE(Text.find("&x"), std::string::npos);
+}
+
+TEST(StmtPrint, CastsAreSpelledOnCopies) {
+  std::string Text = dumped("struct S { int *a; } s; char *c;"
+                            "void f(void) { c = (char *)s.a; }");
+  EXPECT_NE(Text.find("(char *)"), std::string::npos);
+  EXPECT_NE(Text.find("s.a"), std::string::npos);
+}
+
+TEST(StmtPrint, AddrOfDerefShowsAlphaPath) {
+  std::string Text = dumped("struct S { int a; int b; } *p; int *q;"
+                            "void f(void) { q = &p->b; }");
+  EXPECT_NE(Text.find("&((*"), std::string::npos);
+  EXPECT_NE(Text.find(".b)"), std::string::npos);
+}
+
+TEST(StmtPrint, CallsShowCalleeAndArgs) {
+  std::string Text = dumped("int *id(int *v) { return v; }"
+                            "int x, *r; void f(void) { r = id(&x); }");
+  EXPECT_NE(Text.find("id("), std::string::npos);
+  EXPECT_NE(Text.find("= id"), std::string::npos);
+}
+
+TEST(StmtPrint, IndirectCallsShowTheFunctionPointer) {
+  std::string Text = dumped("void (*fp)(void); void f(void) { fp(); }");
+  EXPECT_NE(Text.find("(*fp)()"), std::string::npos);
+}
+
+TEST(StmtPrint, PtrArithListsOperands) {
+  std::string Text = dumped("int *p, *q; int n;"
+                            "void f(void) { q = p + n; }");
+  EXPECT_NE(Text.find("arith("), std::string::npos);
+  EXPECT_NE(Text.find("p"), std::string::npos);
+}
+
+TEST(StmtPrint, LocalsArePrefixedWithTheirFunction) {
+  std::string Text = dumped("int x;"
+                            "void f(void) { int *local; local = &x; }");
+  EXPECT_NE(Text.find("f::local"), std::string::npos);
+}

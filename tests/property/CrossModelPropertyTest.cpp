@@ -1,0 +1,110 @@
+//===--- CrossModelPropertyTest.cpp - Invariants over generated programs --===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style sweeps: for every generated program (across seeds and
+/// shapes), all four instances must converge, be deterministic, respect
+/// the precision ordering, and the portable instances must be invariant
+/// under the target ABI while Offsets is allowed to differ.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "workload/Generator.h"
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+struct PropertyCase {
+  uint64_t Seed;
+  bool Casts;
+  bool FnPtrs;
+};
+
+class GeneratedProgramTest : public ::testing::TestWithParam<PropertyCase> {
+protected:
+  std::string source() const {
+    GeneratorConfig Config;
+    Config.Seed = GetParam().Seed;
+    Config.NumStructs = 3 + GetParam().Seed % 4;
+    Config.StmtsPerFunction = 18;
+    Config.CastSharePercent = GetParam().Casts ? 30 : 0;
+    Config.UseFunctionPointers = GetParam().FnPtrs;
+    return generateProgram(Config);
+  }
+};
+
+} // namespace
+
+TEST_P(GeneratedProgramTest, CompilesAndAllInstancesConverge) {
+  std::string Source = source();
+  for (ModelKind Kind :
+       {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+        ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(Source, Kind);
+    ASSERT_TRUE(S.A != nullptr) << "seed " << GetParam().Seed;
+    EXPECT_LT(S.A->solver().runStats().Iterations, 100u);
+    EXPECT_GT(S.A->solver().numEdges(), 0u);
+  }
+}
+
+TEST_P(GeneratedProgramTest, PrecisionOrderingHolds) {
+  std::string Source = source();
+  double CA = analyze(Source, ModelKind::CollapseAlways)
+                  .A->derefMetrics().AvgSetSize;
+  double CoC = analyze(Source, ModelKind::CollapseOnCast)
+                   .A->derefMetrics().AvgSetSize;
+  double CIS = analyze(Source, ModelKind::CommonInitialSeq)
+                   .A->derefMetrics().AvgSetSize;
+  double Off = analyze(Source, ModelKind::Offsets)
+                   .A->derefMetrics().AvgSetSize;
+  const double Tol = 1e-9;
+  EXPECT_GE(CA + Tol, CoC) << "seed " << GetParam().Seed;
+  EXPECT_GE(CoC + Tol, CIS) << "seed " << GetParam().Seed;
+  // Generated programs are union-free, so the byte-offset instance is
+  // comparable and must be the most precise.
+  EXPECT_GE(CIS + Tol, Off) << "seed " << GetParam().Seed;
+}
+
+TEST_P(GeneratedProgramTest, PortableInstancesIgnoreTheABI) {
+  std::string Source = source();
+  for (ModelKind Kind : {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq}) {
+    auto A32 = analyze(Source, Kind, TargetInfo::ilp32());
+    auto A64 = analyze(Source, Kind, TargetInfo::lp64());
+    auto APad = analyze(Source, Kind, TargetInfo::padded32());
+    EXPECT_EQ(A32.A->solver().numEdges(), A64.A->solver().numEdges())
+        << modelKindName(Kind) << " seed " << GetParam().Seed;
+    EXPECT_EQ(A32.A->solver().numEdges(), APad.A->solver().numEdges())
+        << modelKindName(Kind) << " seed " << GetParam().Seed;
+    EXPECT_DOUBLE_EQ(A32.A->derefMetrics().AvgSetSize,
+                     APad.A->derefMetrics().AvgSetSize)
+        << modelKindName(Kind) << " seed " << GetParam().Seed;
+  }
+}
+
+TEST_P(GeneratedProgramTest, GeneratorIsDeterministic) {
+  EXPECT_EQ(source(), source());
+}
+
+static std::vector<PropertyCase> makeCases() {
+  std::vector<PropertyCase> Cases;
+  for (uint64_t Seed : {1, 2, 3, 5, 8, 13, 21, 34})
+    Cases.push_back({Seed, /*Casts=*/true, /*FnPtrs=*/Seed % 2 == 0});
+  for (uint64_t Seed : {4, 9})
+    Cases.push_back({Seed, /*Casts=*/false, /*FnPtrs=*/false});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratedProgramTest,
+                         ::testing::ValuesIn(makeCases()),
+                         [](const auto &Info) {
+                           return "seed" + std::to_string(Info.param.Seed) +
+                                  (Info.param.Casts ? "_casts" : "_nocasts") +
+                                  (Info.param.FnPtrs ? "_fp" : "");
+                         });

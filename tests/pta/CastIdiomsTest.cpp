@@ -1,0 +1,234 @@
+//===--- CastIdiomsTest.cpp - Real-world casting idioms -------------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The casting idioms that motivated the paper, as focused scenarios:
+/// sockaddr-style record families, first-member "inheritance" with up and
+/// down casts, byte-arena allocation, intrusive links recovered from
+/// member addresses, and pointer laundering through integers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace spa;
+using namespace spa::test;
+
+//===----------------------------------------------------------------------===//
+// sockaddr-style: a generic header type and per-family variants sharing a
+// common initial sequence.
+//===----------------------------------------------------------------------===//
+
+static const char *SockaddrSource = R"(
+struct sockaddr { int sa_family; char sa_data[4]; };
+struct sockaddr_in { int sin_family; int sin_port; int *sin_addr; };
+struct sockaddr_un { int sun_family; char sun_path[8]; };
+
+struct sockaddr_in sin;
+int the_addr;
+int family_out;
+int *addr_out;
+
+void fill(struct sockaddr *sa) {
+  family_out = sa->sa_family; /* CIS-covered access */
+}
+
+void f(void) {
+  sin.sin_family = 2;
+  sin.sin_addr = &the_addr;
+  fill((struct sockaddr *)&sin);
+  addr_out = sin.sin_addr;
+}
+)";
+
+TEST(CastIdioms, SockaddrFamilyStaysPrecise) {
+  auto S = analyze(SockaddrSource, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("addr_out"), strs({"the_addr"}));
+  // The header access through the generic view did not disturb sin_addr.
+  auto CIS = S.A->model().stats();
+  EXPECT_GT(CIS.LookupCalls + CIS.ResolveCalls, 0u);
+}
+
+TEST(CastIdioms, SockaddrUnderCollapseOnCastSmearsTheVariant) {
+  // sa_family matches only via the 1-field CIS; CoC has no exact type
+  // match for the generic view, so the variant's fields merge.
+  auto CoC = analyze(SockaddrSource, ModelKind::CollapseOnCast);
+  auto CIS = analyze(SockaddrSource, ModelKind::CommonInitialSeq);
+  EXPECT_GE(CoC.A->derefMetrics().AvgSetSize,
+            CIS.A->derefMetrics().AvgSetSize);
+}
+
+//===----------------------------------------------------------------------===//
+// First-member inheritance (Problem 1 at scale).
+//===----------------------------------------------------------------------===//
+
+static const char *InheritanceSource = R"(
+struct base { int kind; struct base *next; };
+struct derived { struct base b; int *payload; };
+
+struct base *list_head;
+struct derived d1, d2;
+int x1, x2;
+int *out;
+
+void push(struct base *node) {
+  node->next = list_head;
+  list_head = node;
+}
+
+void f(void) {
+  d1.payload = &x1;
+  d2.payload = &x2;
+  push((struct base *)&d1);  /* up-casts */
+  push((struct base *)&d2);
+  out = ((struct derived *)list_head)->payload; /* down-cast */
+}
+)";
+
+TEST(CastIdioms, FirstMemberInheritanceRoundTrips) {
+  for (ModelKind Kind : {ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(InheritanceSource, Kind);
+    EXPECT_EQ(S.pts("out"), strs({"x1", "x2"})) << modelKindName(Kind);
+    // The intrusive next links see only the two nodes.
+    auto Head = S.pts("list_head");
+    EXPECT_EQ(Head.size(), 2u) << modelKindName(Kind);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-arena allocation: records carved out of a char array.
+//===----------------------------------------------------------------------===//
+
+static const char *ArenaSource = R"(
+struct rec { int *val; struct rec *link; };
+char arena[256];
+int used;
+int x;
+struct rec *r1, *r2;
+int *out;
+
+char *bump(int n) {
+  char *p;
+  p = &arena[used];
+  used += n;
+  return p;
+}
+
+void f(void) {
+  r1 = (struct rec *)bump(8);
+  r2 = (struct rec *)bump(8);
+  r1->val = &x;
+  r1->link = r2;
+  out = r1->val;
+}
+)";
+
+TEST(CastIdioms, ArenaRecordsAreSafeEverywhere) {
+  for (ModelKind Kind :
+       {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+        ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(ArenaSource, Kind);
+    auto Out = S.pts("out");
+    EXPECT_TRUE(std::find(Out.begin(), Out.end(), "x") != Out.end())
+        << modelKindName(Kind);
+  }
+}
+
+TEST(CastIdioms, ArenaCollapsesIntoOneObjectButNotAcrossObjects) {
+  // Both records live in the arena object, so they alias each other --
+  // but unrelated variables stay out.
+  auto S = analyze(ArenaSource, ModelKind::CommonInitialSeq);
+  auto R1 = S.pts("r1");
+  ASSERT_FALSE(R1.empty());
+  for (const std::string &T : R1)
+    EXPECT_EQ(T.substr(0, 5), "arena");
+}
+
+//===----------------------------------------------------------------------===//
+// Pointer laundering through memcpy of a struct holding pointers.
+//===----------------------------------------------------------------------===//
+
+TEST(CastIdioms, StructBlittedThroughCharBufferKeepsTargets) {
+  const char *Source = R"(
+struct pair { int *first; int *second; };
+struct pair a, b;
+char buf[16];
+int x, y;
+int *out1, *out2;
+void f(void) {
+  a.first = &x;
+  a.second = &y;
+  memcpy(buf, &a, sizeof(a));
+  memcpy(&b, buf, sizeof(b));
+  out1 = b.first;
+  out2 = b.second;
+}
+)";
+  for (ModelKind Kind : {ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(Source, Kind);
+    auto O1 = S.pts("out1");
+    EXPECT_TRUE(std::find(O1.begin(), O1.end(), "x") != O1.end())
+        << modelKindName(Kind);
+    auto O2 = S.pts("out2");
+    EXPECT_TRUE(std::find(O2.begin(), O2.end(), "y") != O2.end())
+        << modelKindName(Kind);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Opaque handle pattern: a typed pointer exposed as void*/long.
+//===----------------------------------------------------------------------===//
+
+TEST(CastIdioms, OpaqueHandleRoundTrip) {
+  const char *Source = R"(
+struct session { int id; int *state; };
+int the_state;
+long handle;
+int *out;
+
+long open_session(void) {
+  struct session *s;
+  s = (struct session *)malloc(sizeof(struct session));
+  s->state = &the_state;
+  return (long)s;
+}
+
+void use_session(long h) {
+  struct session *s;
+  s = (struct session *)h;
+  out = s->state;
+}
+
+void f(void) {
+  handle = open_session();
+  use_session(handle);
+}
+)";
+  auto S = analyze(Source, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("out"), strs({"the_state"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Problem 1's converse: a struct used as its first-field pointer.
+//===----------------------------------------------------------------------===//
+
+TEST(CastIdioms, StructUsedAsItsFirstPointer) {
+  const char *Source = R"(
+struct wrap { int *inner; } w;
+int x;
+int *out;
+void f(void) {
+  w.inner = &x;
+  out = *(int **)&w;   /* read the struct as its first field */
+}
+)";
+  for (ModelKind Kind : {ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(Source, Kind);
+    EXPECT_EQ(S.pts("out"), strs({"x"})) << modelKindName(Kind);
+  }
+}

@@ -1,0 +1,67 @@
+//===--- GraphExportTest.cpp - Unit tests for graph serialization ---------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/GraphExport.h"
+
+#include "TestUtil.h"
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+Solved solved() {
+  return analyze("struct S { int *a; int *b; } s;"
+                 "int x, y, *p;"
+                 "void f(void) { s.a = &x; s.b = &y; p = s.a; }",
+                 ModelKind::CommonInitialSeq);
+}
+
+} // namespace
+
+TEST(GraphExport, EdgeListIsSortedAndTempFree) {
+  auto S = solved();
+  std::string Edges = exportEdgeList(S.A->solver());
+  EXPECT_NE(Edges.find("p -> x"), std::string::npos);
+  EXPECT_NE(Edges.find("s.a -> x"), std::string::npos);
+  EXPECT_NE(Edges.find("s.b -> y"), std::string::npos);
+  EXPECT_EQ(Edges.find("$t"), std::string::npos); // temps filtered
+
+  // Sorted: each line <= the next.
+  std::string Prev;
+  size_t Pos = 0;
+  while (Pos < Edges.size()) {
+    size_t End = Edges.find('\n', Pos);
+    std::string Line = Edges.substr(Pos, End - Pos);
+    EXPECT_LE(Prev, Line);
+    Prev = Line;
+    Pos = End + 1;
+  }
+}
+
+TEST(GraphExport, IncludeTempsShowsTheMachinery) {
+  auto S = solved();
+  ExportOptions Opts;
+  Opts.IncludeTemps = true;
+  std::string Edges = exportEdgeList(S.A->solver(), Opts);
+  EXPECT_NE(Edges.find("$t"), std::string::npos);
+}
+
+TEST(GraphExport, DotIsWellFormed) {
+  auto S = solved();
+  std::string Dot = exportDot(S.A->solver());
+  EXPECT_EQ(Dot.rfind("digraph pointsto {", 0), 0u);
+  EXPECT_NE(Dot.find("\"p\" -> \"x\";"), std::string::npos);
+  EXPECT_EQ(Dot.back(), '\n');
+  EXPECT_NE(Dot.find("}"), std::string::npos);
+}
+
+TEST(GraphExport, StableAcrossRuns) {
+  auto S1 = solved();
+  auto S2 = solved();
+  EXPECT_EQ(exportEdgeList(S1.A->solver()), exportEdgeList(S2.A->solver()));
+  EXPECT_EQ(exportDot(S1.A->solver()), exportDot(S2.A->solver()));
+}

@@ -1,0 +1,97 @@
+//===--- LibrarySummariesTest.cpp - Unit tests for external models --------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace spa;
+using namespace spa::test;
+
+TEST(Summaries, MemcpyCopiesPointees) {
+  auto S = analyze("struct S { int *a; int *b; } src, dst;"
+                   "int x, y, *r;"
+                   "void f(void) {"
+                   "  src.a = &x;"
+                   "  src.b = &y;"
+                   "  memcpy(&dst, &src, sizeof(src));"
+                   "  r = dst.a;"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  auto R = S.pts("r");
+  EXPECT_TRUE(std::find(R.begin(), R.end(), "x") != R.end());
+}
+
+TEST(Summaries, MemcpyReturnsItsDestination) {
+  auto S = analyze("char buf[8]; char *r;"
+                   "void f(void) { r = memcpy(buf, \"ab\", 2); }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("r"), strs({"buf"}));
+}
+
+TEST(Summaries, StrchrPointsIntoItsArgument) {
+  auto S = analyze("char text[16]; char *hit;"
+                   "void f(void) { hit = strchr(text, 'x'); }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("hit"), strs({"text"}));
+}
+
+TEST(Summaries, QsortInvokesTheComparator) {
+  auto S = analyze("int table[8];"
+                   "int *seen;"
+                   "int cmp(const void *a, const void *b) {"
+                   "  seen = (int *)a;"
+                   "  return 0;"
+                   "}"
+                   "void f(void) { qsort(table, 8, 4, cmp); }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("seen"), strs({"table"}));
+}
+
+TEST(Summaries, FopenReturnsExternalStorage) {
+  auto S = analyze("int *fp;"
+                   "void f(void) { fp = (int *)fopen(\"x\", \"r\"); }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("fp"), strs({"$extern"}));
+}
+
+TEST(Summaries, SignalReturnsThePreviousHandler) {
+  auto S = analyze("void on_int(int sig) { }"
+                   "void (*old)(int);"
+                   "void f(void) { old = signal(2, on_int); }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("old"), strs({"on_int"}));
+}
+
+TEST(Summaries, PureFunctionsHaveNoEffect) {
+  auto S = analyze("int x, *p;"
+                   "void f(void) { p = &x; printf(\"%d\", *p); }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("p"), strs({"x"}));
+}
+
+TEST(Summaries, UnknownExternalsAreRecorded) {
+  auto S = analyze("void f(void) { frobnicate_9000(); }",
+                   ModelKind::CommonInitialSeq);
+  const auto &Unknown = S.A->solver().summaries().unknownCallees();
+  EXPECT_EQ(Unknown.count("frobnicate_9000"), 1u);
+}
+
+TEST(Summaries, StrcpyAliasesDestination) {
+  auto S = analyze("char dst[8]; char *r;"
+                   "void f(void) { r = strcpy(dst, \"hi\"); }",
+                   ModelKind::Offsets);
+  EXPECT_EQ(S.pts("r"), strs({"dst"}));
+}
+
+TEST(Summaries, ReallocKeepsTheOldBlockReachable) {
+  auto S = analyze("int *p, *q;"
+                   "void f(void) {"
+                   "  p = (int *)malloc(8);"
+                   "  q = (int *)realloc(p, 16);"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  // q may be the fresh block or (the summary keeps) the old one.
+  EXPECT_EQ(S.pts("q").size(), 2u);
+}

@@ -1,0 +1,198 @@
+//===--- ModelsUnitTest.cpp - Direct tests of normalize/lookup/resolve ----===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the three framework functions directly through the model API
+/// (no solver), mirroring the paper's per-function examples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pta/Models.h"
+
+#include "pta/Frontend.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+namespace {
+
+/// Declares types/objects via source, then lets tests poke the models.
+struct ModelFixture : ::testing::Test {
+  DiagnosticEngine Diags;
+  std::unique_ptr<CompiledProgram> Program;
+  std::unique_ptr<LayoutEngine> Layout;
+
+  void build(std::string_view Source) {
+    Program = CompiledProgram::fromSource(Source, Diags);
+    ASSERT_TRUE(Program != nullptr) << Diags.formatAll();
+    Layout = std::make_unique<LayoutEngine>(Program->Types,
+                                            TargetInfo::ilp32());
+  }
+
+  ObjectId object(const char *Name) {
+    NormProgram &Prog = Program->Prog;
+    for (uint32_t I = 0; I < Prog.Objects.size(); ++I)
+      if (Prog.Strings.text(Prog.Objects[I].Name) == Name)
+        return ObjectId(I);
+    ADD_FAILURE() << "no object " << Name;
+    return ObjectId();
+  }
+
+  TypeId typeOfTag(const char *Spelling) {
+    // Looks a struct type up by its rendered name.
+    TypeTable &Types = Program->Types;
+    for (uint32_t I = 0; I < Types.numTypes(); ++I) {
+      TypeId Ty(I);
+      if (Types.isRecord(Ty) &&
+          Types.toString(Ty, Program->Strings) == Spelling)
+        return Ty;
+    }
+    ADD_FAILURE() << "no type " << Spelling;
+    return TypeId();
+  }
+};
+
+} // namespace
+
+TEST_F(ModelFixture, NormalizeDescendsToInnermostFirstField) {
+  build("struct In { int *a; char b; };"
+        "struct Out { struct In in; int c; } o;");
+  CollapseOnCastModel Model(Program->Prog, *Layout);
+  ObjectId O = object("o");
+  // normalize(o) == normalize(o.in) == normalize(o.in.a).
+  NodeId Whole = Model.normalizeLoc(O, {});
+  NodeId In = Model.normalizeLoc(O, {0});
+  NodeId InA = Model.normalizeLoc(O, {0, 0});
+  EXPECT_EQ(Whole, In);
+  EXPECT_EQ(In, InA);
+  EXPECT_NE(Whole, Model.normalizeLoc(O, {0, 1}));
+  EXPECT_NE(Whole, Model.normalizeLoc(O, {1}));
+}
+
+TEST_F(ModelFixture, OffsetsNormalizeUsesByteOffsets) {
+  build("struct S { char c; int *p; } s;");
+  OffsetsModel Model(Program->Prog, *Layout);
+  ObjectId S = object("s");
+  EXPECT_EQ(Model.nodes().keyOf(Model.normalizeLoc(S, {0})), 0u);
+  EXPECT_EQ(Model.nodes().keyOf(Model.normalizeLoc(S, {1})), 4u);
+}
+
+TEST_F(ModelFixture, CollapseAlwaysHasOneNodePerObject) {
+  build("struct S { int *a; int *b; } s;");
+  CollapseAlwaysModel Model(Program->Prog, *Layout);
+  ObjectId S = object("s");
+  EXPECT_EQ(Model.normalizeLoc(S, {}), Model.normalizeLoc(S, {1}));
+  std::vector<NodeId> All;
+  Model.allNodesOfObject(S, All);
+  EXPECT_EQ(All.size(), 1u);
+  EXPECT_EQ(Model.expandedFieldCount(All[0]), 2u);
+}
+
+TEST_F(ModelFixture, LookupMatchedTypeFindsTheField) {
+  // The paper's 4.3.2 example, called directly.
+  build("struct S { int s1; char s2; } *p;"
+        "struct T { struct S t1; int t2; char t3; } t;");
+  CollapseOnCastModel Model(Program->Prog, *Layout);
+  ObjectId T = object("t");
+  NodeId Target = Model.normalizeLoc(T, {0}); // t.t1 normalized
+  std::vector<NodeId> Out;
+  Model.lookup(typeOfTag("struct S"), {1}, Target, Out); // field s2
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Model.nodeSuffix(Out[0]), ".t1.s2");
+}
+
+TEST_F(ModelFixture, LookupMismatchReturnsFollowingFields) {
+  build("struct S { int s1; char s2; } *p;"
+        "struct T { struct S t1; int t2; char t3; } t;");
+  CollapseOnCastModel Model(Program->Prog, *Layout);
+  ObjectId T = object("t");
+  NodeId Target = Model.normalizeLoc(T, {1}); // t.t2 (no matching delta)
+  std::vector<NodeId> Out;
+  Model.lookup(typeOfTag("struct S"), {1}, Target, Out);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Model.nodeSuffix(Out[0]), ".t2");
+  EXPECT_EQ(Model.nodeSuffix(Out[1]), ".t3");
+}
+
+TEST_F(ModelFixture, CISLookupUsesTheCommonPrefix) {
+  // The paper's 4.3.3 example, called directly.
+  build("struct S { int *s1; int *s2; int *s3; } *p;"
+        "struct T { int *t1; int *t2; char t3; int t4; } t;");
+  CommonInitSeqModel Model(Program->Prog, *Layout);
+  ObjectId T = object("t");
+  NodeId Target = Model.normalizeLoc(T, {});
+  std::vector<NodeId> Out;
+  Model.lookup(typeOfTag("struct S"), {1}, Target, Out); // s2 -> t2
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Model.nodeSuffix(Out[0]), ".t2");
+  Out.clear();
+  Model.lookup(typeOfTag("struct S"), {2}, Target, Out); // s3 -> {t3, t4}
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Model.nodeSuffix(Out[0]), ".t3");
+  EXPECT_EQ(Model.nodeSuffix(Out[1]), ".t4");
+}
+
+TEST_F(ModelFixture, ResolveThirdArgumentLimitsThePairs) {
+  // Complication 4 at the model level: only sizeof(T) worth of fields.
+  build("struct R { int *r1; int *r2; char *r3; } r;"
+        "struct S { int *s1; int *s2; int *s3; } s;"
+        "struct T { int *t1; int *t2; } t;");
+  CommonInitSeqModel Model(Program->Prog, *Layout);
+  NodeId R = Model.normalizeLoc(object("r"), {});
+  NodeId S = Model.normalizeLoc(object("s"), {});
+  std::vector<std::pair<NodeId, NodeId>> Pairs;
+  Model.resolve(R, S, typeOfTag("struct T"), Pairs);
+  ASSERT_EQ(Pairs.size(), 2u);
+  EXPECT_EQ(Model.nodeSuffix(Pairs[0].first), ".r1");
+  EXPECT_EQ(Model.nodeSuffix(Pairs[0].second), ".s1");
+  EXPECT_EQ(Model.nodeSuffix(Pairs[1].first), ".r2");
+  EXPECT_EQ(Model.nodeSuffix(Pairs[1].second), ".s2");
+}
+
+TEST_F(ModelFixture, OffsetsResolveCopiesMaterializedRange) {
+  build("struct S { int *a; int *b; } s, t; int x;");
+  OffsetsModel Model(Program->Prog, *Layout);
+  ObjectId S = object("s"), T = object("t");
+  // Materialize t+4 as if a fact lived there.
+  NodeId T4 = Model.nodes().getNode(T, 4);
+  (void)T4;
+  NodeId T0 = Model.nodes().getNode(T, 0);
+  (void)T0;
+  std::vector<std::pair<NodeId, NodeId>> Pairs;
+  Model.resolve(Model.normalizeLoc(S, {}), Model.normalizeLoc(T, {}),
+                typeOfTag("struct S"), Pairs);
+  ASSERT_EQ(Pairs.size(), 2u); // both materialized offsets pair up
+  EXPECT_EQ(Model.nodes().keyOf(Pairs[0].first), 0u);
+  EXPECT_EQ(Model.nodes().keyOf(Pairs[1].first), 4u);
+}
+
+TEST_F(ModelFixture, InstrumentationSeparatesResolveFromLookup) {
+  build("struct S { int *a; int *b; } s, t;");
+  CommonInitSeqModel Model(Program->Prog, *Layout);
+  NodeId S = Model.normalizeLoc(object("s"), {});
+  NodeId T = Model.normalizeLoc(object("t"), {});
+  std::vector<std::pair<NodeId, NodeId>> Pairs;
+  Model.resolve(S, T, typeOfTag("struct S"), Pairs);
+  // The paper's footnote: lookups made inside resolve are not counted.
+  EXPECT_EQ(Model.stats().ResolveCalls, 1u);
+  EXPECT_EQ(Model.stats().LookupCalls, 0u);
+}
+
+TEST_F(ModelFixture, StrideClassifierSeesArrays) {
+  build("struct S { int hdr; int *slots[4]; int tail; } s; int buf[8];");
+  CommonInitSeqModel Model(Program->Prog, *Layout);
+  NodeId InArray = Model.normalizeLoc(object("s"), {1});
+  NodeId Header = Model.normalizeLoc(object("s"), {0});
+  NodeId WholeArray = Model.normalizeLoc(object("buf"), {});
+  EXPECT_TRUE(Model.targetInsideArray(InArray));
+  EXPECT_FALSE(Model.targetInsideArray(Header));
+  EXPECT_TRUE(Model.targetInsideArray(WholeArray));
+
+  OffsetsModel OModel(Program->Prog, *Layout);
+  EXPECT_TRUE(OModel.targetInsideArray(OModel.normalizeLoc(object("s"), {1})));
+  EXPECT_FALSE(OModel.targetInsideArray(OModel.normalizeLoc(object("s"), {0})));
+}

@@ -1,0 +1,68 @@
+//===--- NodeStoreTest.cpp - Unit tests for the node table ----------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/NodeStore.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+TEST(NodeStore, GetNodeIsIdempotent) {
+  NodeStore Store;
+  ObjectId Obj(3);
+  NodeId A = Store.getNode(Obj, 0);
+  NodeId B = Store.getNode(Obj, 4);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Store.getNode(Obj, 0), A);
+  EXPECT_EQ(Store.getNode(Obj, 4), B);
+  EXPECT_EQ(Store.size(), 2u);
+}
+
+TEST(NodeStore, InfoRoundTrips) {
+  NodeStore Store;
+  NodeId N = Store.getNode(ObjectId(7), 42);
+  EXPECT_EQ(Store.objectOf(N), ObjectId(7));
+  EXPECT_EQ(Store.keyOf(N), 42u);
+}
+
+TEST(NodeStore, FindDoesNotMaterialize) {
+  NodeStore Store;
+  EXPECT_FALSE(Store.findNode(ObjectId(1), 0).has_value());
+  EXPECT_EQ(Store.size(), 0u);
+  NodeId N = Store.getNode(ObjectId(1), 0);
+  auto Found = Store.findNode(ObjectId(1), 0);
+  ASSERT_TRUE(Found.has_value());
+  EXPECT_EQ(*Found, N);
+}
+
+TEST(NodeStore, NodesOfObjectGroupsByOwner) {
+  NodeStore Store;
+  Store.getNode(ObjectId(0), 0);
+  Store.getNode(ObjectId(1), 0);
+  Store.getNode(ObjectId(1), 8);
+  Store.getNode(ObjectId(2), 0);
+  EXPECT_EQ(Store.nodesOfObject(ObjectId(1)).size(), 2u);
+  EXPECT_EQ(Store.nodesOfObject(ObjectId(0)).size(), 1u);
+  EXPECT_TRUE(Store.nodesOfObject(ObjectId(99)).empty());
+}
+
+TEST(NodeStore, OnNewNodeHookFiresOncePerNode) {
+  NodeStore Store;
+  int Fired = 0;
+  ObjectId Seen;
+  Store.setOnNewNode([&](ObjectId Obj) {
+    ++Fired;
+    Seen = Obj;
+  });
+  Store.getNode(ObjectId(5), 0);
+  Store.getNode(ObjectId(5), 0); // existing: no callback
+  Store.getNode(ObjectId(5), 4);
+  EXPECT_EQ(Fired, 2);
+  EXPECT_EQ(Seen, ObjectId(5));
+  Store.setOnNewNode(nullptr);
+  Store.getNode(ObjectId(6), 0); // must not crash with hook cleared
+  EXPECT_EQ(Fired, 2);
+}

@@ -1,0 +1,387 @@
+//===--- PaperExamplesTest.cpp - The paper's worked examples --------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every worked example in the paper, checked against the behaviour each
+/// section ascribes to each analysis instance. Direct structure casts
+/// "(struct B)a" (which the paper permits for exposition) are written in
+/// their legal-C form "*(struct B *)&a", exactly as the paper's Section 2
+/// explains the equivalence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace spa;
+using namespace spa::test;
+
+//===----------------------------------------------------------------------===//
+// Section 1: the introductory example
+//===----------------------------------------------------------------------===//
+
+static const char *IntroSource = R"(
+struct S { int *s1; int *s2; } s;
+int x, y, *p;
+void f(void) {
+  s.s1 = &x;
+  s.s2 = &y;
+  p = s.s1;
+}
+)";
+
+TEST(PaperIntro, CollapseAlwaysMergesFields) {
+  auto S = analyze(IntroSource, ModelKind::CollapseAlways);
+  EXPECT_EQ(S.pts("p"), strs({"x", "y"}));
+}
+
+TEST(PaperIntro, FieldSensitiveInstancesArePrecise) {
+  for (ModelKind Kind : {ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(IntroSource, Kind);
+    EXPECT_EQ(S.pts("p"), strs({"x"})) << modelKindName(Kind);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Section 4.1, Problem 1: a pointer to a struct points to its first field
+//===----------------------------------------------------------------------===//
+
+static const char *Problem1Source = R"(
+struct S { int *s1; } s, *p;
+int x, *q, *r;
+void f(void) {
+  p = &s;
+  q = &x;
+  *p = *(struct S *)&q;  /* the paper's *p = (struct S)q */
+  r = s.s1;
+}
+)";
+
+TEST(PaperProblem1, AllCastingAwareInstancesInferR) {
+  for (ModelKind Kind :
+       {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+        ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(Problem1Source, Kind);
+    auto R = S.pts("r");
+    EXPECT_TRUE(std::find(R.begin(), R.end(), "x") != R.end())
+        << modelKindName(Kind) << " must infer r -> x";
+  }
+}
+
+TEST(PaperProblem1, FieldInstancesAreExact) {
+  for (ModelKind Kind : {ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(Problem1Source, Kind);
+    EXPECT_EQ(S.pts("r"), strs({"x"})) << modelKindName(Kind);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Section 4.1, Problem 2: dereference at a mismatched type
+//===----------------------------------------------------------------------===//
+
+// struct S's s3 and struct T's t3 are both at offset 8 under ilp32, but the
+// second fields have incompatible types, so only Offsets may match them.
+static const char *Problem2Source = R"(
+struct S { int *s1; int s2; char *s3; } *p;
+struct T { int *t1; int *t2; char *t3; } t;
+char **c;
+void f(void) {
+  p = (struct S *)&t;
+  c = &((*p).s3);
+}
+)";
+
+TEST(PaperProblem2, OffsetsIsExact) {
+  auto S = analyze(Problem2Source, ModelKind::Offsets);
+  EXPECT_EQ(S.pts("c"), strs({"t+8"}));
+}
+
+TEST(PaperProblem2, CommonInitialSequenceKeepsTheMatchedPrefixOut) {
+  // CIS(S, T) = {<s1,t1>}; s3 follows the sequence, so lookup returns the
+  // fields of t from the first field after the sequence: {t2, t3}.
+  auto S = analyze(Problem2Source, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("c"), strs({"t.t2", "t.t3"}));
+}
+
+TEST(PaperProblem2, CollapseOnCastSmearsFromBeta) {
+  auto S = analyze(Problem2Source, ModelKind::CollapseOnCast);
+  EXPECT_EQ(S.pts("c"), strs({"t.t1", "t.t2", "t.t3"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Section 4.1, Problem 3: block copy at a mismatched type
+//===----------------------------------------------------------------------===//
+
+static const char *Problem3Source = R"(
+struct S { int *s1; int s2; char *s3; } s;
+struct T { int *t1; int *t2; char *t3; } t;
+int a; int b; char cc;
+void f(void) {
+  t.t1 = &a;
+  t.t2 = &b;
+  t.t3 = &cc;
+  s = *(struct S *)&t;  /* the paper's s = (struct S)t */
+}
+)";
+
+TEST(PaperProblem3, OffsetsCopiesByteForByte) {
+  auto S = analyze(Problem3Source, ModelKind::Offsets);
+  EXPECT_EQ(S.pts("s"), strs({"a", "b", "cc"})); // s+0<-a, s+4<-b, s+8<-cc
+  // Precisely: the copy matches offsets 0/4/8.
+  auto &Solver = S.A->solver();
+  auto &Prog = S.Program->Prog;
+  // Find object "s" and check per-offset sets.
+  for (uint32_t I = 0; I < Prog.Objects.size(); ++I) {
+    if (Prog.Strings.text(Prog.Objects[I].Name) != "s")
+      continue;
+    ObjectId Obj(I);
+    auto N0 = Solver.model().nodes().findNode(Obj, 0);
+    auto N4 = Solver.model().nodes().findNode(Obj, 4);
+    auto N8 = Solver.model().nodes().findNode(Obj, 8);
+    ASSERT_TRUE(N0 && N4 && N8);
+    EXPECT_EQ(Solver.pointsTo(*N0).size(), 1u);
+    EXPECT_EQ(Solver.pointsTo(*N4).size(), 1u);
+    EXPECT_EQ(Solver.pointsTo(*N8).size(), 1u);
+  }
+}
+
+TEST(PaperProblem3, PortableInstancesAreSafe) {
+  for (ModelKind Kind : {ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq}) {
+    auto S = analyze(Problem3Source, Kind);
+    auto Set = S.pts("s");
+    // Must cover everything t's fields point to (safety).
+    for (const char *Must : {"a", "b", "cc"})
+      EXPECT_TRUE(std::find(Set.begin(), Set.end(), Must) != Set.end())
+          << modelKindName(Kind) << " missing " << Must;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Section 4.2.1, Complication 1: access beyond a nested struct
+//===----------------------------------------------------------------------===//
+
+static const char *Complication1Source = R"(
+struct V { int *a; char *b; int *c; } v;
+struct R { int *r1; char *r2; } r;
+struct W { int *w1; struct R r; int *w3; } w;
+int x1; char x2; int x3;
+void f(void) {
+  w.r.r1 = &x1;
+  w.r.r2 = &x2;
+  w.w3 = &x3;
+  v = *(struct V *)&w.r;  /* the paper's v = (struct V)w.r */
+}
+)";
+
+TEST(PaperComplication1, OffsetsReachesBeyondTheNestedStruct) {
+  auto S = analyze(Complication1Source, ModelKind::Offsets);
+  EXPECT_EQ(S.pts("v"), strs({"x1", "x2", "x3"}));
+}
+
+TEST(PaperComplication1, CommonInitialSequenceMatchesAndOverflowsPrecisely) {
+  // CIS(V, R) covers both fields of R; V's third field falls beyond R, so
+  // it must pick up exactly the field following w.r, namely w.w3.
+  auto S = analyze(Complication1Source, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("v"), strs({"x1", "x2", "x3"}));
+}
+
+TEST(PaperComplication1, CollapseOnCastIsSafeButSmears) {
+  auto S = analyze(Complication1Source, ModelKind::CollapseOnCast);
+  auto Set = S.pts("v");
+  for (const char *Must : {"x1", "x2", "x3"})
+    EXPECT_TRUE(std::find(Set.begin(), Set.end(), Must) != Set.end())
+        << "missing " << Must;
+}
+
+//===----------------------------------------------------------------------===//
+// Section 4.2.1, Complication 2: a double holding two pointers
+//===----------------------------------------------------------------------===//
+
+static const char *Complication2Source = R"(
+struct R { int *r1; int *r2; } r;
+double d;
+struct R r2;
+int x, y, *px, *py;
+void f(void) {
+  r.r1 = &x;
+  r.r2 = &y;
+  d = *(double *)&r;        /* the paper's d = (double)r */
+  r2 = *(struct R *)&d;     /* recover both pointers from d */
+  px = r2.r1;
+  py = r2.r2;
+}
+)";
+
+TEST(PaperComplication2, OffsetsTracksArtificialSubfields) {
+  auto S = analyze(Complication2Source, ModelKind::Offsets);
+  EXPECT_EQ(S.pts("px"), strs({"x"}));
+  EXPECT_EQ(S.pts("py"), strs({"y"}));
+  EXPECT_EQ(S.pts("d"), strs({"x", "y"})); // d+0 -> x, d+4 -> y
+}
+
+TEST(PaperComplication2, PortableInstancesRecoverBothPointersSafely) {
+  for (ModelKind Kind : {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq}) {
+    auto S = analyze(Complication2Source, Kind);
+    auto Px = S.pts("px");
+    EXPECT_TRUE(std::find(Px.begin(), Px.end(), "x") != Px.end())
+        << modelKindName(Kind);
+    auto Py = S.pts("py");
+    EXPECT_TRUE(std::find(Py.begin(), Py.end(), "y") != Py.end())
+        << modelKindName(Kind);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Section 4.2.1, Complication 4: the LHS type governs the copy size
+//===----------------------------------------------------------------------===//
+
+static const char *Complication4Source = R"(
+struct R { int *r1; int *r2; char *r3; } r;
+struct S { int *s1; int *s2; int *s3; } s;
+struct T { int *t1; int *t2; } *p;
+int a1, a2, a3; char keep;
+void f(void) {
+  s.s1 = &a1;
+  s.s2 = &a2;
+  s.s3 = &a3;
+  r.r3 = &keep;
+  p = (struct T *)&r;
+  *p = *(struct T *)&s;  /* copies only two fields' worth */
+}
+)";
+
+TEST(PaperComplication4, OffsetsCopiesOnlySizeofT) {
+  auto S = analyze(Complication4Source, ModelKind::Offsets);
+  auto Set = S.pts("r");
+  EXPECT_EQ(Set, strs({"a1", "a2", "keep"})); // r3 keeps its old target only
+}
+
+TEST(PaperComplication4, CommonInitialSequencePairsExactly) {
+  // CIS keeps r.r1<-s.s1 and r.r2<-s.s2 distinct and leaves r.r3 alone.
+  auto S = analyze(Complication4Source, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("r"), strs({"a1", "a2", "keep"}));
+}
+
+TEST(PaperComplication4, CollapseOnCastIsSafe) {
+  auto S = analyze(Complication4Source, ModelKind::CollapseOnCast);
+  auto Set = S.pts("r");
+  for (const char *Must : {"a1", "a2", "keep"})
+    EXPECT_TRUE(std::find(Set.begin(), Set.end(), Must) != Set.end())
+        << "missing " << Must;
+}
+
+//===----------------------------------------------------------------------===//
+// Section 4.3.2: the Collapse-on-Cast lookup example
+//===----------------------------------------------------------------------===//
+
+static const char *CoCLookupSource = R"(
+struct S { int s1; char s2; } *p, *q;
+struct T { struct S t1; int t2; char t3; } t;
+char *x, *y;
+void f(void) {
+  p = &t.t1;
+  x = &((*p).s2);
+  q = (struct S *)&t.t2;
+  y = &((*q).s2);
+}
+)";
+
+TEST(PaperSection432, MatchingEnclosingTypeStaysPrecise) {
+  auto S = analyze(CoCLookupSource, ModelKind::CollapseOnCast);
+  EXPECT_EQ(S.pts("x"), strs({"t.t1.s2"}));
+  EXPECT_EQ(S.pts("y"), strs({"t.t2", "t.t3"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Section 4.3.3: the Common-Initial-Sequence lookup example
+//===----------------------------------------------------------------------===//
+
+static const char *CISLookupSource = R"(
+struct S { int *s1; int *s2; int *s3; } *p;
+struct T { int *t1; int *t2; char t3; int t4; } t;
+int **x, **y;
+void f(void) {
+  p = (struct S *)&t;
+  x = &((*p).s2);
+  y = &((*p).s3);
+}
+)";
+
+TEST(PaperSection433, InsideAndOutsideTheCommonInitialSequence) {
+  auto S = analyze(CISLookupSource, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("x"), strs({"t.t2"}));
+  EXPECT_EQ(S.pts("y"), strs({"t.t3", "t.t4"}));
+}
+
+TEST(PaperSection433, CollapseOnCastSmearsBoth) {
+  auto S = analyze(CISLookupSource, ModelKind::CollapseOnCast);
+  EXPECT_EQ(S.pts("x"), strs({"t.t1", "t.t2", "t.t3", "t.t4"}));
+  EXPECT_EQ(S.pts("y"), strs({"t.t1", "t.t2", "t.t3", "t.t4"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Section 3: the no-casting rules, exercised through temporaries
+//===----------------------------------------------------------------------===//
+
+static const char *Section3Source = R"(
+struct S { int *s1; int *s2; } s;
+int x, y, *p;
+int **tmp1, **tmp2;
+void f(void) {
+  tmp1 = &s.s1;
+  tmp2 = &x ? &p : &p; /* keep p's address flowing somewhere harmless */
+  *tmp1 = &x;
+  p = s.s1;
+}
+)";
+
+TEST(PaperSection3, StoreThroughFieldAddress) {
+  for (ModelKind Kind : {ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(Section3Source, Kind);
+    EXPECT_EQ(S.pts("p"), strs({"x"})) << modelKindName(Kind);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Portability: the Offsets instance is layout-dependent, the others not
+//===----------------------------------------------------------------------===//
+
+static const char *PortabilitySource = R"(
+struct S { int *s1; int s2; char *s3; } *p;
+struct T { int *t1; int *t2; char *t3; } t;
+char **c;
+char target;
+void f(void) {
+  t.t3 = &target;
+  p = (struct S *)&t;
+  c = &((*p).s3);
+}
+)";
+
+TEST(PaperPortability, OffsetsResultsChangeWithTheABI) {
+  auto S32 = analyze(PortabilitySource, ModelKind::Offsets,
+                     TargetInfo::ilp32());
+  auto SPad = analyze(PortabilitySource, ModelKind::Offsets,
+                      TargetInfo::padded32());
+  // Under ilp32, s3 and t3 are both at offset 8: c -> {t+8}. Under the
+  // padded ABI both are at offset 16: c -> {t+16}. The raw results differ,
+  // which is exactly the portability hazard the paper describes.
+  EXPECT_EQ(S32.pts("c"), strs({"t+8"}));
+  EXPECT_EQ(SPad.pts("c"), strs({"t+16"}));
+}
+
+TEST(PaperPortability, PortableInstancesIgnoreTheABI) {
+  for (ModelKind Kind : {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq}) {
+    auto S32 = analyze(PortabilitySource, Kind, TargetInfo::ilp32());
+    auto SPad = analyze(PortabilitySource, Kind, TargetInfo::padded32());
+    EXPECT_EQ(S32.pts("c"), SPad.pts("c")) << modelKindName(Kind);
+  }
+}

@@ -1,0 +1,137 @@
+//===--- SolverEdgeCasesTest.cpp - Degenerate and adversarial inputs ------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace spa;
+using namespace spa::test;
+
+TEST(SolverEdges, EmptyProgramSolvesInstantly) {
+  auto S = analyze("int unused;", ModelKind::Offsets);
+  EXPECT_EQ(S.A->solver().numEdges(), 0u);
+  EXPECT_LE(S.A->solver().runStats().Iterations, 1u);
+}
+
+TEST(SolverEdges, SelfAssignmentIsAFixpointNoOp) {
+  auto S = analyze("struct S { int *a; struct S *me; } s;"
+                   "int x;"
+                   "void f(void) { s.a = &x; s.me = &s; s = *s.me; }",
+                   ModelKind::CommonInitialSeq);
+  // &s normalizes to the innermost first field (the paper's normalize),
+  // so the self-pointer target renders as s.a.
+  EXPECT_EQ(S.pts("s"), strs({"s.a", "x"}));
+  EXPECT_LT(S.A->solver().runStats().Iterations, 10u);
+}
+
+TEST(SolverEdges, CyclicPointerGraphConverges) {
+  auto S = analyze("int **a, **b; int *pa, *pb; int x;"
+                   "void f(void) {"
+                   "  a = &pa; b = &pb;"
+                   "  *a = (int *)b;"   /* pa -> pb (as data) */
+                   "  *b = (int *)a;"   /* pb -> pa */
+                   "  pa = &x;"
+                   "}",
+                   ModelKind::CollapseOnCast);
+  auto Pa = S.pts("pa");
+  EXPECT_TRUE(std::find(Pa.begin(), Pa.end(), "x") != Pa.end());
+  EXPECT_LT(S.A->solver().runStats().Iterations, 10u);
+}
+
+TEST(SolverEdges, DerefOfNeverAssignedPointerIsEmptyNotFatal) {
+  auto S = analyze("struct S { struct S *next; } *ghost;"
+                   "void f(void) { ghost = ghost->next->next; }",
+                   ModelKind::Offsets);
+  EXPECT_TRUE(S.pts("ghost").empty());
+}
+
+TEST(SolverEdges, HugeStructCopyStaysPolynomial) {
+  // A 32-field struct copied at a mismatched type: the CoC cross-product
+  // is 32x32 pairs; the solver must still converge promptly.
+  std::string Fields, Inits;
+  for (int I = 0; I < 32; ++I) {
+    Fields += "int *f" + std::to_string(I) + ";";
+    Inits += "a.f" + std::to_string(I) + " = &x" + std::to_string(I % 4) +
+             ";";
+  }
+  std::string Source = "struct A {" + Fields + "} a;" +
+                       "struct B {" + Fields + "} b;" +
+                       "int x0, x1, x2, x3;" +
+                       "void f(void) {" + Inits +
+                       " b = *(struct B *)&a; }";
+  auto S = analyze(Source, ModelKind::CollapseOnCast);
+  auto B = S.pts("b");
+  EXPECT_EQ(B.size(), 4u); // all four targets, nothing more
+  EXPECT_LT(S.A->solver().runStats().Iterations, 10u);
+}
+
+TEST(SolverEdges, StoreThroughEveryFieldOfASmearedPointer) {
+  auto S = analyze("struct S { int *a; int *b; int *c; } s;"
+                   "int x; int **w;"
+                   "void f(void) {"
+                   "  w = &s.a;"
+                   "  w = w + 1;"
+                   "  *w = &x;"   /* may hit any field */
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("s"), strs({"x"}));
+  // Every field saw the store.
+  auto A = pointsToSetOf(S.A->solver(), "s");
+  EXPECT_EQ(A, strs({"x"}));
+}
+
+TEST(SolverEdges, GlobalInitializersRunWithoutAnyFunctions) {
+  auto S = analyze("int x;"
+                   "int *p = &x;"
+                   "int **pp = &p;",
+                   ModelKind::Offsets);
+  EXPECT_EQ(S.pts("p"), strs({"x"}));
+  EXPECT_EQ(S.pts("pp"), strs({"p"}));
+}
+
+TEST(SolverEdges, MaxIterationCapPreventsRunaway) {
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource("int x, *p; void f(void) { p = &x; }",
+                                       Diags);
+  ASSERT_TRUE(P != nullptr);
+  AnalysisOptions Opts;
+  Opts.Model = ModelKind::CommonInitialSeq;
+  Opts.Solver.MaxIterations = 1; // artificially tiny
+  Analysis A(P->Prog, Opts);
+  A.run();
+  EXPECT_EQ(A.solver().runStats().Iterations, 1u);
+}
+
+TEST(SolverEdges, SummariesDisabledLeavesExternalsInert) {
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(
+      "char buf[8]; char *r; void f(void) { r = strchr(buf, 'x'); }", Diags);
+  ASSERT_TRUE(P != nullptr);
+  AnalysisOptions Opts;
+  Opts.Model = ModelKind::CommonInitialSeq;
+  Opts.Solver.UseLibrarySummaries = false;
+  Analysis A(P->Prog, Opts);
+  A.run();
+  EXPECT_TRUE(pointsToSetOf(A.solver(), "r").empty());
+}
+
+TEST(SolverEdges, TakingAddressOfAFunctionParameter) {
+  auto S = analyze("int *leak;"
+                   "void f(int v) { leak = &v; *leak = 3; }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("leak"), strs({"f::v"}));
+}
+
+TEST(SolverEdges, ShadowedLocalsGetDistinctObjects) {
+  auto S = analyze("int x, y;"
+                   "int *outer_p, *inner_p;"
+                   "void f(void) {"
+                   "  int *p; p = &x; outer_p = p;"
+                   "  { int *p; p = &y; inner_p = p; }"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("outer_p"), strs({"x"}));
+  EXPECT_EQ(S.pts("inner_p"), strs({"y"}));
+}

@@ -1,0 +1,192 @@
+//===--- SolverTest.cpp - Unit tests for the fixpoint engine --------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace spa;
+using namespace spa::test;
+
+TEST(Solver, TransitiveCopiesReachFixpoint) {
+  const char *Source = "int x, *a, *b, *c, *d;"
+                       "void f(void) { d = c; a = &x; b = a; c = b; }";
+  for (ModelKind Kind : {ModelKind::CollapseAlways, ModelKind::Offsets}) {
+    auto S = analyze(Source, Kind);
+    // Statement order is adversarial (d = c first); the fixpoint loop must
+    // still converge to d -> {x}.
+    EXPECT_EQ(S.pts("d"), strs({"x"})) << modelKindName(Kind);
+  }
+}
+
+TEST(Solver, LoadsAndStoresThroughPointers) {
+  auto S = analyze("int x, y, *p, *q, **pp;"
+                   "void f(void) { p = &x; pp = &p; *pp = &y; q = *pp; }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("p"), strs({"x", "y"}));
+  EXPECT_EQ(S.pts("q"), strs({"x", "y"}));
+}
+
+TEST(Solver, DirectCallsBindParametersAndReturn) {
+  auto S = analyze("int *id(int *v) { return v; }"
+                   "int x, y, *r1, *r2;"
+                   "void f(void) { r1 = id(&x); r2 = id(&y); }",
+                   ModelKind::CommonInitialSeq);
+  // Context-insensitive: both call sites merge.
+  EXPECT_EQ(S.pts("r1"), strs({"x", "y"}));
+  EXPECT_EQ(S.pts("r2"), strs({"x", "y"}));
+}
+
+TEST(Solver, IndirectCallsUseTheCallGraphOnTheFly) {
+  auto S = analyze("int a, b;"
+                   "int *pick_a(void) { return &a; }"
+                   "int *pick_b(void) { return &b; }"
+                   "int *(*fp)(void);"
+                   "int *r;"
+                   "void f(int cond) {"
+                   "  fp = pick_a;"
+                   "  if (cond) fp = pick_b;"
+                   "  r = fp();"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("r"), strs({"a", "b"}));
+  EXPECT_EQ(S.pts("fp"), strs({"pick_a", "pick_b"}));
+}
+
+TEST(Solver, FunctionPointersInStructFields) {
+  auto S = analyze("int a;"
+                   "int *getter(void) { return &a; }"
+                   "struct ops { int *(*get)(void); } vtable;"
+                   "int *r;"
+                   "void f(void) { vtable.get = getter; r = vtable.get(); }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("r"), strs({"a"}));
+}
+
+TEST(Solver, HeapObjectsSeparateBySite) {
+  auto S = analyze("struct S { int *a; } *p, *q;"
+                   "int x, y, *rx, *ry;"
+                   "void f(void) {"
+                   "  p = (struct S *)malloc(8);"
+                   "  q = (struct S *)malloc(8);"
+                   "  p->a = &x;"
+                   "  q->a = &y;"
+                   "  rx = p->a;"
+                   "  ry = q->a;"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  // Distinct allocation sites stay distinct.
+  EXPECT_EQ(S.pts("rx").size(), 1u);
+  EXPECT_EQ(S.pts("ry").size(), 1u);
+}
+
+TEST(Solver, PointerArithmeticSmearsOverTheObject) {
+  auto S = analyze("struct S { int *a; int *b; } s;"
+                   "int x, y, *r; int **walk;"
+                   "void f(void) {"
+                   "  s.a = &x;"
+                   "  s.b = &y;"
+                   "  walk = &s.a;"
+                   "  walk = walk + 1;"
+                   "  r = *walk;"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  // After arithmetic, walk may point at either field.
+  EXPECT_EQ(S.pts("r"), strs({"x", "y"}));
+}
+
+TEST(Solver, IntRoundTripPreservesTargets) {
+  auto S = analyze("int x, *p, *q; long cookie;"
+                   "void f(void) {"
+                   "  p = &x;"
+                   "  cookie = (long)p;"
+                   "  q = (int *)cookie;"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("q"), strs({"x"})); // pointers survive integer laundering
+}
+
+TEST(Solver, RecursiveDataStructuresConverge) {
+  auto S = analyze("struct node { struct node *next; int *v; };"
+                   "struct node *head;"
+                   "int x;"
+                   "void push(void) {"
+                   "  struct node *n = (struct node *)malloc(8);"
+                   "  n->next = head;"
+                   "  n->v = &x;"
+                   "  head = n;"
+                   "}"
+                   "int *sum(void) {"
+                   "  struct node *p; int *acc;"
+                   "  acc = 0;"
+                   "  for (p = head; p; p = p->next) acc = p->v;"
+                   "  return acc;"
+                   "}"
+                   "int main(void) { push(); push(); sum(); return 0; }",
+                   ModelKind::CommonInitialSeq);
+  ASSERT_TRUE(S.A != nullptr);
+  EXPECT_LT(S.A->solver().runStats().Iterations, 20u);
+  auto Sum = S.pts("sum$ret");
+  EXPECT_EQ(Sum, strs({"x"}));
+}
+
+TEST(Solver, VarargsArgumentsPoolSafely) {
+  auto S = analyze("int x; int *leak;"
+                   "void sink(int n, ...) { }"
+                   "void f(void) { sink(1, &x); }",
+                   ModelKind::CommonInitialSeq);
+  // The pooled pointer is retrievable from the varargs pseudo-variable.
+  EXPECT_EQ(S.pts("sink$va"), strs({"x"}));
+}
+
+TEST(Solver, ConvergesOnMutuallyRecursiveCalls) {
+  auto S = analyze("int x; int *a(int n); int *b(int n);"
+                   "int *a(int n) { if (n) return b(n - 1); return &x; }"
+                   "int *b(int n) { return a(n); }"
+                   "int *r; void f(void) { r = a(3); }",
+                   ModelKind::Offsets);
+  EXPECT_EQ(S.pts("r"), strs({"x"}));
+}
+
+TEST(Solver, DeterministicAcrossRuns) {
+  const char *Source = "struct S { int *a; int *b; } s, t;"
+                       "int x, y, *p;"
+                       "void f(void) {"
+                       "  s.a = &x; s.b = &y;"
+                       "  t = s;"
+                       "  p = t.b;"
+                       "}";
+  for (ModelKind Kind :
+       {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+        ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S1 = analyze(Source, Kind);
+    auto S2 = analyze(Source, Kind);
+    EXPECT_EQ(S1.pts("p"), S2.pts("p"));
+    EXPECT_EQ(S1.A->solver().numEdges(), S2.A->solver().numEdges());
+  }
+}
+
+TEST(Solver, DisablingPtrArithIsLessConservative) {
+  const char *Source = "struct S { int *a; int *b; } s;"
+                       "int x, y, *r; int **w;"
+                       "void f(void) {"
+                       "  s.a = &x; s.b = &y;"
+                       "  w = &s.a; w = w + 1; r = *w;"
+                       "}";
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  ASSERT_TRUE(P != nullptr);
+
+  AnalysisOptions On;
+  On.Model = ModelKind::CommonInitialSeq;
+  Analysis AOn(P->Prog, On);
+  AOn.run();
+
+  AnalysisOptions Off = On;
+  Off.Solver.HandlePtrArith = false;
+  Analysis AOff(P->Prog, Off);
+  AOff.run();
+
+  EXPECT_GT(AOn.solver().numEdges(), AOff.solver().numEdges());
+}

@@ -1,0 +1,199 @@
+//===--- UnionsArraysTest.cpp - Union and array semantics -----------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two structural accommodations: unions are handled safely
+/// (members may overlap arbitrarily), and every array is a single
+/// representative element.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace spa;
+using namespace spa::test;
+
+//===----------------------------------------------------------------------===//
+// Unions
+//===----------------------------------------------------------------------===//
+
+TEST(Unions, MembersConservativelyAlias) {
+  const char *Source = "union u { int *ip; char *cp; } un;"
+                       "int x; char c; int *p; char *q;"
+                       "void f(void) {"
+                       "  un.ip = &x;"
+                       "  q = un.cp;"  // reading the other member sees it
+                       "}";
+  for (ModelKind Kind :
+       {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+        ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(Source, Kind);
+    auto Q = S.pts("q");
+    EXPECT_TRUE(std::find(Q.begin(), Q.end(), "x") != Q.end())
+        << modelKindName(Kind);
+  }
+}
+
+TEST(Unions, StructContainingUnionKeepsOtherFieldsSeparate) {
+  auto S = analyze("struct S { union { int *a; char *b; } u; int *solo; } s;"
+                   "int x, y, *p, *q;"
+                   "void f(void) {"
+                   "  s.u.a = &x;"
+                   "  s.solo = &y;"
+                   "  p = s.u.a;"
+                   "  q = s.solo;"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("p"), strs({"x"}));
+  EXPECT_EQ(S.pts("q"), strs({"y"}));
+}
+
+TEST(Unions, TaggedUnionVariantsMerge) {
+  auto S = analyze("struct cell { int tag; union { struct cell *kid;"
+                   " long num; } p; } a, b;"
+                   "struct cell *r;"
+                   "void f(void) {"
+                   "  a.p.kid = &b;"
+                   "  r = a.p.kid;"
+                   "}",
+                   ModelKind::CollapseOnCast);
+  ASSERT_EQ(S.pts("r").size(), 1u);
+  EXPECT_EQ(S.pts("r")[0].substr(0, 1), "b");
+}
+
+//===----------------------------------------------------------------------===//
+// Arrays
+//===----------------------------------------------------------------------===//
+
+TEST(Arrays, ElementsCollapseToOneRepresentative) {
+  auto S = analyze("int *table[8]; int x, y, *p;"
+                   "void f(void) {"
+                   "  table[2] = &x;"
+                   "  table[5] = &y;"
+                   "  p = table[7];"
+                   "}",
+                   ModelKind::Offsets);
+  EXPECT_EQ(S.pts("p"), strs({"x", "y"})); // one element stands for all
+}
+
+TEST(Arrays, ArraysOfStructsKeepFieldsApart) {
+  const char *Source = "struct P { int *a; int *b; } ps[4];"
+                       "int x, y, *ra, *rb;"
+                       "void f(void) {"
+                       "  ps[0].a = &x;"
+                       "  ps[3].b = &y;"
+                       "  ra = ps[1].a;"
+                       "  rb = ps[2].b;"
+                       "}";
+  for (ModelKind Kind : {ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    auto S = analyze(Source, Kind);
+    EXPECT_EQ(S.pts("ra"), strs({"x"})) << modelKindName(Kind);
+    EXPECT_EQ(S.pts("rb"), strs({"y"})) << modelKindName(Kind);
+  }
+}
+
+TEST(Arrays, PointerWalkOverArrayStructSmears) {
+  // The paper's array adjustment: a lookup landing inside an array must
+  // include all fields of that array among the following fields.
+  auto S = analyze("struct P { int *a; int *b; };"
+                   "struct T { struct P rows[3]; int *tail; } t;"
+                   "int x, y, z, *r;"
+                   "char *rc;"
+                   "void f(void) {"
+                   "  t.rows[0].a = &x;"
+                   "  t.rows[0].b = &y;"
+                   "  t.tail = &z;"
+                   "  r = *(int **)&t.rows[1].b;"  // matched type: precise
+                   "  rc = *(char **)&t.rows[1].b;" // mismatched: smears
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  // The matched-type read is precise (one representative element).
+  EXPECT_EQ(S.pts("r"), strs({"y"}));
+  // The mismatched read returns the fields from b onward *including the
+  // whole array group* (the paper's array adjustment), plus the tail.
+  auto R = S.pts("rc");
+  EXPECT_TRUE(std::find(R.begin(), R.end(), "x") != R.end());
+  EXPECT_TRUE(std::find(R.begin(), R.end(), "y") != R.end());
+  EXPECT_TRUE(std::find(R.begin(), R.end(), "z") != R.end());
+}
+
+TEST(Arrays, MultiDimensionalCollapse) {
+  auto S = analyze("int *grid[3][4]; int x, *p;"
+                   "void f(void) {"
+                   "  grid[1][2] = &x;"
+                   "  p = grid[0][0];"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("p"), strs({"x"}));
+}
+
+TEST(Arrays, DecayAndExplicitAddressAgree) {
+  auto S = analyze("int buf[4]; int *p, *q, *r;"
+                   "void f(void) {"
+                   "  p = buf;"        // decay
+                   "  q = &buf[0];"    // explicit element address
+                   "  r = &buf[3];"    // any element: same representative
+                   "}",
+                   ModelKind::Offsets);
+  EXPECT_EQ(S.pts("p"), strs({"buf"}));
+  EXPECT_EQ(S.pts("q"), strs({"buf"}));
+  EXPECT_EQ(S.pts("r"), strs({"buf"}));
+}
+
+TEST(Arrays, StrideArithKeepsWalkInsideTheArray) {
+  const char *Source = "struct S { char name[8]; int *secret; } s;"
+                       "int x; char *w; char ch;"
+                       "void f(void) {"
+                       "  s.secret = &x;"
+                       "  w = s.name;"
+                       "  w = w + 1;"   // walking the char array
+                       "  ch = *w;"
+                       "}";
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  ASSERT_TRUE(P != nullptr);
+
+  // Plain Assumption 1: w may point at s.secret too.
+  AnalysisOptions Plain;
+  Plain.Model = ModelKind::CommonInitialSeq;
+  Analysis APlain(P->Prog, Plain);
+  APlain.run();
+  auto WPlain = pointsToSetOf(APlain.solver(), "w");
+  EXPECT_EQ(WPlain, strs({"s.name", "s.secret"}));
+
+  // Stride rule: the walk stays inside the array member.
+  AnalysisOptions Stride = Plain;
+  Stride.Solver.StrideArith = true;
+  Analysis AStride(P->Prog, Stride);
+  AStride.run();
+  auto WStride = pointsToSetOf(AStride.solver(), "w");
+  EXPECT_EQ(WStride, strs({"s.name"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Unknown tracking
+//===----------------------------------------------------------------------===//
+
+TEST(UnknownMode, ArithmeticTaintsInsteadOfSmearing) {
+  const char *Source = "struct S { int *a; int *b; } s;"
+                       "int x, *r; int **w;"
+                       "void f(void) {"
+                       "  s.a = &x;"
+                       "  w = &s.a; w = w + 1; r = *w;"
+                       "}";
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  ASSERT_TRUE(P != nullptr);
+  AnalysisOptions Opts;
+  Opts.Model = ModelKind::CommonInitialSeq;
+  Opts.Solver.TrackUnknown = true;
+  Analysis A(P->Prog, Opts);
+  A.run();
+  auto W = pointsToSetOf(A.solver(), "w");
+  EXPECT_EQ(W, strs({"$unknown", "s.a"}));
+  EXPECT_GE(A.derefMetrics().UnknownSites, 1u);
+}

@@ -1,0 +1,117 @@
+//===--- SupportTest.cpp - Unit tests for the support library -------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/IdSet.h"
+#include "support/StringInterner.h"
+#include "support/TablePrinter.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+TEST(StringInterner, DeduplicatesAndRoundTrips) {
+  StringInterner Strings;
+  Symbol A = Strings.intern("alpha");
+  Symbol B = Strings.intern("beta");
+  Symbol A2 = Strings.intern("alpha");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Strings.text(A), "alpha");
+  EXPECT_EQ(Strings.text(B), "beta");
+  EXPECT_EQ(Strings.size(), 2u);
+}
+
+TEST(StringInterner, ShortStringsSurviveGrowth) {
+  // Symbols must stay valid and unique across many insertions (the
+  // storage must not invalidate previously handed-out views).
+  StringInterner Strings;
+  std::vector<Symbol> Syms;
+  for (int I = 0; I < 1000; ++I)
+    Syms.push_back(Strings.intern("s" + std::to_string(I)));
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_EQ(Strings.text(Syms[I]), "s" + std::to_string(I));
+    EXPECT_EQ(Strings.intern("s" + std::to_string(I)), Syms[I]);
+  }
+}
+
+TEST(StringInterner, EmptyAndEmbeddedNul) {
+  StringInterner Strings;
+  Symbol Empty = Strings.intern("");
+  EXPECT_EQ(Strings.text(Empty), "");
+  std::string WithNul("a\0b", 3);
+  Symbol S = Strings.intern(WithNul);
+  EXPECT_EQ(Strings.text(S).size(), 3u);
+}
+
+namespace {
+struct TestTag {};
+using TestId = Id<TestTag>;
+using TestSet = IdSet<TestTag>;
+} // namespace
+
+TEST(IdSet, InsertKeepsSortedUnique) {
+  TestSet Set;
+  EXPECT_TRUE(Set.insert(TestId(5)));
+  EXPECT_TRUE(Set.insert(TestId(1)));
+  EXPECT_TRUE(Set.insert(TestId(3)));
+  EXPECT_FALSE(Set.insert(TestId(3)));
+  EXPECT_EQ(Set.size(), 3u);
+  uint32_t Prev = 0;
+  for (TestId V : Set) {
+    EXPECT_GE(V.index(), Prev);
+    Prev = V.index();
+  }
+  EXPECT_TRUE(Set.contains(TestId(5)));
+  EXPECT_FALSE(Set.contains(TestId(2)));
+}
+
+TEST(IdSet, InsertAllReturnsGrowth) {
+  TestSet A, B;
+  A.insert(TestId(1));
+  A.insert(TestId(2));
+  B.insert(TestId(2));
+  B.insert(TestId(3));
+  B.insert(TestId(4));
+  EXPECT_EQ(A.insertAll(B), 2u);
+  EXPECT_EQ(A.size(), 4u);
+  EXPECT_EQ(A.insertAll(B), 0u);
+}
+
+TEST(IdSet, InsertAllFromEmpty) {
+  TestSet A, Empty;
+  A.insert(TestId(7));
+  EXPECT_EQ(A.insertAll(Empty), 0u);
+  EXPECT_EQ(Empty.insertAll(A), 1u);
+}
+
+TEST(Diagnostics, CountsAndFormats) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({1, 2}, "watch out");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({3, 4}, "boom");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  std::string Text = Diags.formatAll();
+  EXPECT_NE(Text.find("1:2: warning: watch out"), std::string::npos);
+  EXPECT_NE(Text.find("3:4: error: boom"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumnsAndRightAlignsNumbers) {
+  TablePrinter Table({"name", "value"});
+  Table.addRow({"alpha", "1.25"});
+  Table.addRow({"b", "300"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("alpha |  1.25"), std::string::npos);
+  EXPECT_NE(Out.find("b     |   300"), std::string::npos);
+}
+
+TEST(TablePrinter, FixedFormatsDecimals) {
+  EXPECT_EQ(TablePrinter::fixed(1.005, 2), "1.00");
+  EXPECT_EQ(TablePrinter::fixed(2.5, 1), "2.5");
+  EXPECT_EQ(TablePrinter::fixed(3.0, 0), "3");
+}

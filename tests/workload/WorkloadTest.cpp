@@ -1,0 +1,108 @@
+//===--- WorkloadTest.cpp - Corpus and generator unit tests ---------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+#include "workload/Generator.h"
+
+#include "pta/Frontend.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+TEST(Corpus, ManifestMatchesThePaperSplit) {
+  const auto &Manifest = corpusManifest();
+  ASSERT_EQ(Manifest.size(), 20u);
+  size_t Casting = 0;
+  for (const CorpusEntry &E : Manifest)
+    if (E.HasStructCasting)
+      ++Casting;
+  EXPECT_EQ(Casting, 12u);
+  // Non-casting group first, as in the paper's Figure 3.
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_FALSE(Manifest[I].HasStructCasting) << Manifest[I].Name;
+}
+
+TEST(Corpus, EveryFileLoadsAndIsNonTrivial) {
+  for (const CorpusEntry &E : corpusManifest()) {
+    std::string Source;
+    ASSERT_TRUE(loadCorpusSource(E, Source)) << E.FileName;
+    EXPECT_GT(Source.size(), 1000u) << E.FileName;
+    EXPECT_NE(Source.find("int main(void)"), std::string::npos) << E.FileName;
+  }
+}
+
+TEST(Corpus, CastingGroupActuallyCasts) {
+  // Every casting program must trigger at least one struct-involving type
+  // mismatch under Collapse-on-Cast; the non-casting group stays clean of
+  // *direct* casts (only arithmetic-induced transitive effects allowed).
+  for (const CorpusEntry &E : corpusManifest()) {
+    std::string Source;
+    ASSERT_TRUE(loadCorpusSource(E, Source));
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(Source, Diags);
+    ASSERT_TRUE(P != nullptr) << E.Name << Diags.formatAll();
+    AnalysisOptions Opts;
+    Opts.Model = ModelKind::CollapseOnCast;
+    Analysis A(P->Prog, Opts);
+    A.run();
+    const ModelStats &MS = A.model().stats();
+    if (E.HasStructCasting) {
+      EXPECT_GT(MS.LookupMismatch + MS.ResolveMismatch, 0u) << E.Name;
+    }
+  }
+}
+
+TEST(Generator, HonorsShapeParameters) {
+  GeneratorConfig Small;
+  Small.Seed = 5;
+  Small.NumFunctions = 1;
+  Small.StmtsPerFunction = 5;
+  GeneratorConfig Large = Small;
+  Large.NumFunctions = 6;
+  Large.StmtsPerFunction = 40;
+  EXPECT_LT(generateProgram(Small).size(), generateProgram(Large).size());
+}
+
+TEST(Generator, NoCastsMeansNoCastTokens) {
+  GeneratorConfig Config;
+  Config.Seed = 9;
+  Config.CastSharePercent = 0;
+  Config.UseHeap = false;
+  std::string Source = generateProgram(Config);
+  EXPECT_EQ(Source.find("(struct S1 *)&"), std::string::npos);
+  EXPECT_EQ(Source.find("malloc"), std::string::npos);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  EXPECT_NE(generateProgram(A), generateProgram(B));
+}
+
+TEST(Generator, FunctionPointerModeCompilesAndResolves) {
+  GeneratorConfig Config;
+  Config.Seed = 6;
+  Config.UseFunctionPointers = true;
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(generateProgram(Config), Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.formatAll();
+}
+
+TEST(Generator, WideSweepAllCompile) {
+  for (uint64_t Seed = 50; Seed < 80; ++Seed) {
+    GeneratorConfig Config;
+    Config.Seed = Seed;
+    Config.NumStructs = 2 + Seed % 5;
+    Config.FieldsPerStruct = 2 + Seed % 4;
+    Config.CastSharePercent = static_cast<unsigned>(Seed % 50);
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(generateProgram(Config), Diags);
+    EXPECT_TRUE(P != nullptr)
+        << "seed " << Seed << ":\n" << Diags.formatAll();
+  }
+}

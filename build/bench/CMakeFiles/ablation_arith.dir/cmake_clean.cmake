@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arith.dir/ablation_arith.cpp.o"
+  "CMakeFiles/ablation_arith.dir/ablation_arith.cpp.o.d"
+  "ablation_arith"
+  "ablation_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unknown.dir/ablation_unknown.cpp.o"
+  "CMakeFiles/ablation_unknown.dir/ablation_unknown.cpp.o.d"
+  "ablation_unknown"
+  "ablation_unknown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unknown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_programs.dir/fig3_programs.cpp.o"
+  "CMakeFiles/fig3_programs.dir/fig3_programs.cpp.o.d"
+  "fig3_programs"
+  "fig3_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_edges.dir/fig6_edges.cpp.o"
+  "CMakeFiles/fig6_edges.dir/fig6_edges.cpp.o.d"
+  "fig6_edges"
+  "fig6_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

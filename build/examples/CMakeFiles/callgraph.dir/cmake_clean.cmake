@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callgraph.dir/callgraph.cpp.o"
+  "CMakeFiles/callgraph.dir/callgraph.cpp.o.d"
+  "callgraph"
+  "callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casting_audit.dir/casting_audit.cpp.o"
+  "CMakeFiles/casting_audit.dir/casting_audit.cpp.o.d"
+  "casting_audit"
+  "casting_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casting_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

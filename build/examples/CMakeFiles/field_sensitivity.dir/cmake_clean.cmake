@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_sensitivity.dir/field_sensitivity.cpp.o"
+  "CMakeFiles/field_sensitivity.dir/field_sensitivity.cpp.o.d"
+  "field_sensitivity"
+  "field_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

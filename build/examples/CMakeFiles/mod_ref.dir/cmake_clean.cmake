@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mod_ref.dir/mod_ref.cpp.o"
+  "CMakeFiles/mod_ref.dir/mod_ref.cpp.o.d"
+  "mod_ref"
+  "mod_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mod_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_cfront.dir/Lexer.cpp.o"
+  "CMakeFiles/spa_cfront.dir/Lexer.cpp.o.d"
+  "CMakeFiles/spa_cfront.dir/Parser.cpp.o"
+  "CMakeFiles/spa_cfront.dir/Parser.cpp.o.d"
+  "libspa_cfront.a"
+  "libspa_cfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

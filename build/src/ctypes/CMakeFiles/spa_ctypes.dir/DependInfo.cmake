@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctypes/Compat.cpp" "src/ctypes/CMakeFiles/spa_ctypes.dir/Compat.cpp.o" "gcc" "src/ctypes/CMakeFiles/spa_ctypes.dir/Compat.cpp.o.d"
+  "/root/repo/src/ctypes/Flatten.cpp" "src/ctypes/CMakeFiles/spa_ctypes.dir/Flatten.cpp.o" "gcc" "src/ctypes/CMakeFiles/spa_ctypes.dir/Flatten.cpp.o.d"
+  "/root/repo/src/ctypes/Layout.cpp" "src/ctypes/CMakeFiles/spa_ctypes.dir/Layout.cpp.o" "gcc" "src/ctypes/CMakeFiles/spa_ctypes.dir/Layout.cpp.o.d"
+  "/root/repo/src/ctypes/TypeTable.cpp" "src/ctypes/CMakeFiles/spa_ctypes.dir/TypeTable.cpp.o" "gcc" "src/ctypes/CMakeFiles/spa_ctypes.dir/TypeTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

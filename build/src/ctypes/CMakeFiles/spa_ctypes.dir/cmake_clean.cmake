@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_ctypes.dir/Compat.cpp.o"
+  "CMakeFiles/spa_ctypes.dir/Compat.cpp.o.d"
+  "CMakeFiles/spa_ctypes.dir/Flatten.cpp.o"
+  "CMakeFiles/spa_ctypes.dir/Flatten.cpp.o.d"
+  "CMakeFiles/spa_ctypes.dir/Layout.cpp.o"
+  "CMakeFiles/spa_ctypes.dir/Layout.cpp.o.d"
+  "CMakeFiles/spa_ctypes.dir/TypeTable.cpp.o"
+  "CMakeFiles/spa_ctypes.dir/TypeTable.cpp.o.d"
+  "libspa_ctypes.a"
+  "libspa_ctypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_ctypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

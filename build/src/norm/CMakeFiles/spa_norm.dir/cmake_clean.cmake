@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_norm.dir/NormIR.cpp.o"
+  "CMakeFiles/spa_norm.dir/NormIR.cpp.o.d"
+  "CMakeFiles/spa_norm.dir/Normalizer.cpp.o"
+  "CMakeFiles/spa_norm.dir/Normalizer.cpp.o.d"
+  "libspa_norm.a"
+  "libspa_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

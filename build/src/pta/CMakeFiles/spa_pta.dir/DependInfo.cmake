@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pta/Frontend.cpp" "src/pta/CMakeFiles/spa_pta.dir/Frontend.cpp.o" "gcc" "src/pta/CMakeFiles/spa_pta.dir/Frontend.cpp.o.d"
+  "/root/repo/src/pta/GraphExport.cpp" "src/pta/CMakeFiles/spa_pta.dir/GraphExport.cpp.o" "gcc" "src/pta/CMakeFiles/spa_pta.dir/GraphExport.cpp.o.d"
+  "/root/repo/src/pta/LibrarySummaries.cpp" "src/pta/CMakeFiles/spa_pta.dir/LibrarySummaries.cpp.o" "gcc" "src/pta/CMakeFiles/spa_pta.dir/LibrarySummaries.cpp.o.d"
+  "/root/repo/src/pta/Metrics.cpp" "src/pta/CMakeFiles/spa_pta.dir/Metrics.cpp.o" "gcc" "src/pta/CMakeFiles/spa_pta.dir/Metrics.cpp.o.d"
+  "/root/repo/src/pta/Models.cpp" "src/pta/CMakeFiles/spa_pta.dir/Models.cpp.o" "gcc" "src/pta/CMakeFiles/spa_pta.dir/Models.cpp.o.d"
+  "/root/repo/src/pta/Solver.cpp" "src/pta/CMakeFiles/spa_pta.dir/Solver.cpp.o" "gcc" "src/pta/CMakeFiles/spa_pta.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/norm/CMakeFiles/spa_norm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/spa_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctypes/CMakeFiles/spa_ctypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

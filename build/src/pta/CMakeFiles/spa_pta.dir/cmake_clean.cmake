@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_pta.dir/Frontend.cpp.o"
+  "CMakeFiles/spa_pta.dir/Frontend.cpp.o.d"
+  "CMakeFiles/spa_pta.dir/GraphExport.cpp.o"
+  "CMakeFiles/spa_pta.dir/GraphExport.cpp.o.d"
+  "CMakeFiles/spa_pta.dir/LibrarySummaries.cpp.o"
+  "CMakeFiles/spa_pta.dir/LibrarySummaries.cpp.o.d"
+  "CMakeFiles/spa_pta.dir/Metrics.cpp.o"
+  "CMakeFiles/spa_pta.dir/Metrics.cpp.o.d"
+  "CMakeFiles/spa_pta.dir/Models.cpp.o"
+  "CMakeFiles/spa_pta.dir/Models.cpp.o.d"
+  "CMakeFiles/spa_pta.dir/Solver.cpp.o"
+  "CMakeFiles/spa_pta.dir/Solver.cpp.o.d"
+  "libspa_pta.a"
+  "libspa_pta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_pta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/spa_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/spa_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/spa_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/spa_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/spa_support.dir/TablePrinter.cpp.o.d"
+  "libspa_support.a"
+  "libspa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_workload.dir/Corpus.cpp.o"
+  "CMakeFiles/spa_workload.dir/Corpus.cpp.o.d"
+  "CMakeFiles/spa_workload.dir/Generator.cpp.o"
+  "CMakeFiles/spa_workload.dir/Generator.cpp.o.d"
+  "libspa_workload.a"
+  "libspa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfront_expr_typing_test.dir/cfront/ExprTypingTest.cpp.o"
+  "CMakeFiles/cfront_expr_typing_test.dir/cfront/ExprTypingTest.cpp.o.d"
+  "cfront_expr_typing_test"
+  "cfront_expr_typing_test.pdb"
+  "cfront_expr_typing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfront_expr_typing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

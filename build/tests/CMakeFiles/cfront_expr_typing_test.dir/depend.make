@@ -1,0 +1,2 @@
+# Empty dependencies file for cfront_expr_typing_test.
+# This may be replaced when dependencies are built.

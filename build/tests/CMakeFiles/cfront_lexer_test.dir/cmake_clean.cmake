@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfront_lexer_test.dir/cfront/LexerTest.cpp.o"
+  "CMakeFiles/cfront_lexer_test.dir/cfront/LexerTest.cpp.o.d"
+  "cfront_lexer_test"
+  "cfront_lexer_test.pdb"
+  "cfront_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfront_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

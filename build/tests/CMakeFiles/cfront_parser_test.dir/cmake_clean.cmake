@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfront_parser_test.dir/cfront/ParserTest.cpp.o"
+  "CMakeFiles/cfront_parser_test.dir/cfront/ParserTest.cpp.o.d"
+  "cfront_parser_test"
+  "cfront_parser_test.pdb"
+  "cfront_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfront_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

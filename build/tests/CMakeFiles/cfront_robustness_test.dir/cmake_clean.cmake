@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfront_robustness_test.dir/cfront/RobustnessTest.cpp.o"
+  "CMakeFiles/cfront_robustness_test.dir/cfront/RobustnessTest.cpp.o.d"
+  "cfront_robustness_test"
+  "cfront_robustness_test.pdb"
+  "cfront_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfront_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctypes_abi_sweep_test.dir/ctypes/AbiSweepTest.cpp.o"
+  "CMakeFiles/ctypes_abi_sweep_test.dir/ctypes/AbiSweepTest.cpp.o.d"
+  "ctypes_abi_sweep_test"
+  "ctypes_abi_sweep_test.pdb"
+  "ctypes_abi_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctypes_abi_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctypes_compat_test.dir/ctypes/CompatTest.cpp.o"
+  "CMakeFiles/ctypes_compat_test.dir/ctypes/CompatTest.cpp.o.d"
+  "ctypes_compat_test"
+  "ctypes_compat_test.pdb"
+  "ctypes_compat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctypes_compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctypes_flatten_test.dir/ctypes/FlattenTest.cpp.o"
+  "CMakeFiles/ctypes_flatten_test.dir/ctypes/FlattenTest.cpp.o.d"
+  "ctypes_flatten_test"
+  "ctypes_flatten_test.pdb"
+  "ctypes_flatten_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctypes_flatten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

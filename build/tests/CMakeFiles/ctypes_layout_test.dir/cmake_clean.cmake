@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctypes_layout_test.dir/ctypes/LayoutTest.cpp.o"
+  "CMakeFiles/ctypes_layout_test.dir/ctypes/LayoutTest.cpp.o.d"
+  "ctypes_layout_test"
+  "ctypes_layout_test.pdb"
+  "ctypes_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctypes_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctypes_typetable_test.dir/ctypes/TypeTableTest.cpp.o"
+  "CMakeFiles/ctypes_typetable_test.dir/ctypes/TypeTableTest.cpp.o.d"
+  "ctypes_typetable_test"
+  "ctypes_typetable_test.pdb"
+  "ctypes_typetable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctypes_typetable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

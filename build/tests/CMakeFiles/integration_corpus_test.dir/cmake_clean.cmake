@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_corpus_test.dir/integration/CorpusTest.cpp.o"
+  "CMakeFiles/integration_corpus_test.dir/integration/CorpusTest.cpp.o.d"
+  "integration_corpus_test"
+  "integration_corpus_test.pdb"
+  "integration_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

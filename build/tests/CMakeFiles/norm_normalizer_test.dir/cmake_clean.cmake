@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norm_normalizer_test.dir/norm/NormalizerTest.cpp.o"
+  "CMakeFiles/norm_normalizer_test.dir/norm/NormalizerTest.cpp.o.d"
+  "norm_normalizer_test"
+  "norm_normalizer_test.pdb"
+  "norm_normalizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norm_normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norm_stmt_print_test.dir/norm/StmtPrintTest.cpp.o"
+  "CMakeFiles/norm_stmt_print_test.dir/norm/StmtPrintTest.cpp.o.d"
+  "norm_stmt_print_test"
+  "norm_stmt_print_test.pdb"
+  "norm_stmt_print_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norm_stmt_print_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_crossmodel_test.dir/property/CrossModelPropertyTest.cpp.o"
+  "CMakeFiles/property_crossmodel_test.dir/property/CrossModelPropertyTest.cpp.o.d"
+  "property_crossmodel_test"
+  "property_crossmodel_test.pdb"
+  "property_crossmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_crossmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

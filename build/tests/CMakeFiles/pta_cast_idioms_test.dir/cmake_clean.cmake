@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_cast_idioms_test.dir/pta/CastIdiomsTest.cpp.o"
+  "CMakeFiles/pta_cast_idioms_test.dir/pta/CastIdiomsTest.cpp.o.d"
+  "pta_cast_idioms_test"
+  "pta_cast_idioms_test.pdb"
+  "pta_cast_idioms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_cast_idioms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

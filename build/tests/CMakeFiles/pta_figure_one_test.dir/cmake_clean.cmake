@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_figure_one_test.dir/pta/FigureOneModelTest.cpp.o"
+  "CMakeFiles/pta_figure_one_test.dir/pta/FigureOneModelTest.cpp.o.d"
+  "pta_figure_one_test"
+  "pta_figure_one_test.pdb"
+  "pta_figure_one_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_figure_one_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

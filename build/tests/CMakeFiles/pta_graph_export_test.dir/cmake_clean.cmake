@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_graph_export_test.dir/pta/GraphExportTest.cpp.o"
+  "CMakeFiles/pta_graph_export_test.dir/pta/GraphExportTest.cpp.o.d"
+  "pta_graph_export_test"
+  "pta_graph_export_test.pdb"
+  "pta_graph_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_graph_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

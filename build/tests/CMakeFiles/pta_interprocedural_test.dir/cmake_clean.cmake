@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_interprocedural_test.dir/pta/InterproceduralTest.cpp.o"
+  "CMakeFiles/pta_interprocedural_test.dir/pta/InterproceduralTest.cpp.o.d"
+  "pta_interprocedural_test"
+  "pta_interprocedural_test.pdb"
+  "pta_interprocedural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_interprocedural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_metrics_test.dir/pta/MetricsTest.cpp.o"
+  "CMakeFiles/pta_metrics_test.dir/pta/MetricsTest.cpp.o.d"
+  "pta_metrics_test"
+  "pta_metrics_test.pdb"
+  "pta_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

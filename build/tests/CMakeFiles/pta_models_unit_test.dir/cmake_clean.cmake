@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_models_unit_test.dir/pta/ModelsUnitTest.cpp.o"
+  "CMakeFiles/pta_models_unit_test.dir/pta/ModelsUnitTest.cpp.o.d"
+  "pta_models_unit_test"
+  "pta_models_unit_test.pdb"
+  "pta_models_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_models_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_nodestore_test.dir/pta/NodeStoreTest.cpp.o"
+  "CMakeFiles/pta_nodestore_test.dir/pta/NodeStoreTest.cpp.o.d"
+  "pta_nodestore_test"
+  "pta_nodestore_test.pdb"
+  "pta_nodestore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_nodestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_paper_examples_test.dir/pta/PaperExamplesTest.cpp.o"
+  "CMakeFiles/pta_paper_examples_test.dir/pta/PaperExamplesTest.cpp.o.d"
+  "pta_paper_examples_test"
+  "pta_paper_examples_test.pdb"
+  "pta_paper_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

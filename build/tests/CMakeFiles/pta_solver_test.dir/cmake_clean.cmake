@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_solver_test.dir/pta/SolverTest.cpp.o"
+  "CMakeFiles/pta_solver_test.dir/pta/SolverTest.cpp.o.d"
+  "pta_solver_test"
+  "pta_solver_test.pdb"
+  "pta_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

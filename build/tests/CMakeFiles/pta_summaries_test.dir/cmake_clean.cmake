@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_summaries_test.dir/pta/LibrarySummariesTest.cpp.o"
+  "CMakeFiles/pta_summaries_test.dir/pta/LibrarySummariesTest.cpp.o.d"
+  "pta_summaries_test"
+  "pta_summaries_test.pdb"
+  "pta_summaries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_summaries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

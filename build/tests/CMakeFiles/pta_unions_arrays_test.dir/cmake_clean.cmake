@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_unions_arrays_test.dir/pta/UnionsArraysTest.cpp.o"
+  "CMakeFiles/pta_unions_arrays_test.dir/pta/UnionsArraysTest.cpp.o.d"
+  "pta_unions_arrays_test"
+  "pta_unions_arrays_test.pdb"
+  "pta_unions_arrays_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_unions_arrays_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

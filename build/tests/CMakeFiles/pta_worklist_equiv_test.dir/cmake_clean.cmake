@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_worklist_equiv_test.dir/pta/WorklistEquivalenceTest.cpp.o"
+  "CMakeFiles/pta_worklist_equiv_test.dir/pta/WorklistEquivalenceTest.cpp.o.d"
+  "pta_worklist_equiv_test"
+  "pta_worklist_equiv_test.pdb"
+  "pta_worklist_equiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_worklist_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

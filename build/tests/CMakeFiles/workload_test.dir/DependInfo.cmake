@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/WorkloadTest.cpp" "tests/CMakeFiles/workload_test.dir/workload/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pta/CMakeFiles/spa_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/norm/CMakeFiles/spa_norm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/spa_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctypes/CMakeFiles/spa_ctypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

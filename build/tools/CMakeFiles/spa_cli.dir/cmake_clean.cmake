@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_cli.dir/spa_cli.cpp.o"
+  "CMakeFiles/spa_cli.dir/spa_cli.cpp.o.d"
+  "spa_cli"
+  "spa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -43,7 +43,7 @@ int main() {
       A.run();
       Avg[On] = A.derefMetrics().AvgSetSize;
       Edges[On] = A.solver().numEdges();
-      Iters[On] = A.solver().runStats().Iterations;
+      Iters[On] = A.solver().runStats().Rounds;
     }
     Table.addRow({E.Name, TablePrinter::fixed(Avg[1]),
                   TablePrinter::fixed(Avg[0]), std::to_string(Edges[1]),

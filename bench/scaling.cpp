@@ -6,17 +6,28 @@
 ///
 /// \file
 /// Google-benchmark microbenchmarks of the whole pipeline on generated
-/// programs of growing size, per analysis instance: how parse, normalize,
-/// and solve scale with statement count. Complements the paper's Figure 5
-/// (which uses fixed real programs) with a controlled sweep.
+/// programs of growing size, per analysis instance and per solver engine
+/// (naive rounds, plain worklist, worklist with delta propagation): how
+/// parse, normalize, and solve scale with statement count. Complements
+/// the paper's Figure 5 (which uses fixed real programs) with a
+/// controlled sweep.
+///
+/// After the benchmarks, a head-to-head of the two worklist engines on
+/// the largest workload is written as spa.run.v1 telemetry to
+/// BENCH_scaling.json (override with --stats-json=<file>), so the bench
+/// output records convergence and delta/full propagation counts next to
+/// the timings.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include "pta/Telemetry.h"
 #include "workload/Generator.h"
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
 
 using namespace spa;
 using namespace spa::bench;
@@ -36,10 +47,17 @@ std::string generatedSource(int SizeClass) {
   return generateProgram(Config);
 }
 
+SolverOptions engineOptions(int Engine) {
+  SolverOptions Opts;
+  Opts.UseWorklist = Engine != 0;
+  Opts.DeltaPropagation = Engine == 2;
+  return Opts;
+}
+
 void pipelineBenchmark(benchmark::State &State) {
   std::string Source = generatedSource(static_cast<int>(State.range(0)));
   ModelKind Kind = AllModels[State.range(1)];
-  bool Worklist = State.range(2) != 0;
+  SolverOptions SOpts = engineOptions(static_cast<int>(State.range(2)));
   size_t Stmts = 0;
   uint64_t Edges = 0;
   for (auto _ : State) {
@@ -51,7 +69,7 @@ void pipelineBenchmark(benchmark::State &State) {
     }
     AnalysisOptions Opts;
     Opts.Model = Kind;
-    Opts.Solver.UseWorklist = Worklist;
+    Opts.Solver = SOpts;
     Analysis A(P->Prog, Opts);
     A.run();
     Stmts = P->Prog.Stmts.size();
@@ -71,35 +89,108 @@ void parseOnlyBenchmark(benchmark::State &State) {
   }
 }
 
+/// Solves the largest generated workload with \p Engine, best-of-\p Reps
+/// on solve time, and returns the telemetry of the best run.
+RunTelemetry headToHeadRun(const std::string &Source, int Engine, int Reps) {
+  RunTelemetry Best;
+  for (int R = 0; R < Reps; ++R) {
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(Source, Diags);
+    if (!P) {
+      std::fprintf(stderr, "error: generated program failed to compile\n");
+      std::exit(1);
+    }
+    AnalysisOptions Opts;
+    Opts.Model = ModelKind::CommonInitialSeq;
+    Opts.Solver = engineOptions(Engine);
+    Analysis A(P->Prog, Opts);
+    A.run();
+    RunTelemetry T = collectTelemetry(
+        A, Engine == 2 ? "scaling/size:8/worklist-delta"
+                       : "scaling/size:8/worklist-plain");
+    if (R == 0 || T.Solver.SolveSeconds < Best.Solver.SolveSeconds)
+      Best = T;
+  }
+  return Best;
+}
+
+/// Emits the head-to-head comparison as one JSON document: both runs'
+/// spa.run.v1 records plus the resulting speedup.
+void writeHeadToHead(const std::string &Path) {
+  std::string Source = generatedSource(8);
+  RunTelemetry Plain = headToHeadRun(Source, 1, 5);
+  RunTelemetry Delta = headToHeadRun(Source, 2, 5);
+  double Speedup = Delta.Solver.SolveSeconds > 0
+                       ? Plain.Solver.SolveSeconds / Delta.Solver.SolveSeconds
+                       : 0;
+
+  auto stripNewline = [](std::string S) {
+    while (!S.empty() && S.back() == '\n')
+      S.pop_back();
+    return S;
+  };
+  std::string Json = "{\"schema\":\"spa.bench.scaling.v1\",";
+  Json += "\"workload\":\"generated seed 42, size class 8\",";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "\"speedup_delta_vs_plain\":%.3f,",
+                Speedup);
+  Json += Buf;
+  Json += "\"runs\":[";
+  Json += stripNewline(telemetryToJson(Plain));
+  Json += ",";
+  Json += stripNewline(telemetryToJson(Delta));
+  Json += "]}\n";
+
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  Out << Json;
+  std::printf("\nworklist head-to-head (largest workload, best of 5):\n"
+              "  plain  %.3f ms   delta  %.3f ms   speedup %.2fx\n"
+              "  telemetry written to %s\n",
+              Plain.Solver.SolveSeconds * 1e3,
+              Delta.Solver.SolveSeconds * 1e3, Speedup, Path.c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath = "BENCH_scaling.json";
+  // Peel off our own flag before google-benchmark sees the arguments.
+  std::vector<char *> Args;
+  for (int I = 0; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--stats-json=", 0) == 0)
+      JsonPath = Arg.substr(13);
+    else
+      Args.push_back(argv[I]);
+  }
+  int Argc = static_cast<int>(Args.size());
+
   const char *ModelTag[4] = {"CollapseAlways", "CollapseOnCast",
                              "CommonInitSeq", "Offsets"};
+  const char *EngineTag[3] = {"pipeline", "pipeline_worklist",
+                              "pipeline_worklist_delta"};
   for (int Size : {1, 2, 4, 8}) {
     benchmark::RegisterBenchmark(
         ("parse_normalize/size:" + std::to_string(Size)).c_str(),
         parseOnlyBenchmark)
         ->Args({Size})
         ->Unit(benchmark::kMillisecond);
-    for (int M = 0; M < 4; ++M) {
-      benchmark::RegisterBenchmark(
-          (std::string("pipeline/") + ModelTag[M] +
-           "/size:" + std::to_string(Size))
-              .c_str(),
-          pipelineBenchmark)
-          ->Args({Size, M, 0})
-          ->Unit(benchmark::kMillisecond);
-      benchmark::RegisterBenchmark(
-          (std::string("pipeline_worklist/") + ModelTag[M] +
-           "/size:" + std::to_string(Size))
-              .c_str(),
-          pipelineBenchmark)
-          ->Args({Size, M, 1})
-          ->Unit(benchmark::kMillisecond);
-    }
+    for (int M = 0; M < 4; ++M)
+      for (int Engine = 0; Engine < 3; ++Engine)
+        benchmark::RegisterBenchmark(
+            (std::string(EngineTag[Engine]) + "/" + ModelTag[M] +
+             "/size:" + std::to_string(Size))
+                .c_str(),
+            pipelineBenchmark)
+            ->Args({Size, M, Engine})
+            ->Unit(benchmark::kMillisecond);
   }
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&Argc, Args.data());
   benchmark::RunSpecifiedBenchmarks();
+  writeHeadToHead(JsonPath);
   return 0;
 }

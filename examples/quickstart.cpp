@@ -62,9 +62,9 @@ int main() {
       std::printf("%s%s", First ? "" : ", ", Target.c_str());
       First = false;
     }
-    std::printf("}   (edges=%llu, iterations=%u)\n",
+    std::printf("}   (edges=%llu, rounds=%u)\n",
                 (unsigned long long)A.solver().numEdges(),
-                A.solver().runStats().Iterations);
+                A.solver().runStats().Rounds);
   }
 
   std::printf("\nCollapse Always merges the fields of s, so p appears to "

@@ -6,29 +6,31 @@
 
 #include "pta/Solver.h"
 
-#include <algorithm>
+#include "support/Diagnostics.h"
+
+#include <chrono>
 
 using namespace spa;
 
 Solver::Solver(NormProgram &Prog, FieldModel &Model, SolverOptions Opts)
     : Prog(Prog), Model(Model), Opts(Opts) {}
 
-PtsSet &Solver::ptsOf(NodeId Node) {
-  if (Node.index() >= Pts.size())
-    Pts.resize(Node.index() + 1);
-  return Pts[Node.index()];
+Solver::NodeFacts &Solver::factsOf(NodeId Node) {
+  return Facts.grow(Node.index());
 }
 
 const PtsSet &Solver::pointsTo(NodeId Node) const {
   static const PtsSet Empty;
-  if (Node.index() >= Pts.size())
+  if (Node.index() >= Facts.size())
     return Empty;
-  return Pts[Node.index()];
+  return Facts[Node.index()].Set;
 }
 
 bool Solver::addEdge(NodeId From, NodeId To) {
-  if (!ptsOf(From).insert(To))
+  NodeFacts &F = factsOf(From);
+  if (!F.Set.insert(To))
     return false;
+  F.Log.push_back(To);
   noteChanged(From);
   return true;
 }
@@ -36,47 +38,106 @@ bool Solver::addEdge(NodeId From, NodeId To) {
 void Solver::noteRead(ObjectId Obj) {
   if (!WorklistActive || CurrentStmt < 0 || !Obj.isValid())
     return;
+  // Each (statement, object) pair registers exactly once, guarded by a
+  // per-statement sorted flat set instead of a linear scan of the
+  // dependents list (which was quadratic on statement-heavy programs).
+  if (!StmtState[CurrentStmt].Reads.insert(Obj))
+    return;
   if (Obj.index() >= DependentsByObject.size())
     DependentsByObject.resize(Obj.index() + 1);
-  auto &Deps = DependentsByObject[Obj.index()];
-  if (std::find(Deps.begin(), Deps.end(), CurrentStmt) == Deps.end())
-    Deps.push_back(CurrentStmt);
+  DependentsByObject[Obj.index()].push_back(CurrentStmt);
 }
 
-void Solver::noteChanged(NodeId Node) {
-  if (!WorklistActive)
+void Solver::queueDependents(ObjectId Obj) {
+  if (!WorklistActive || !Obj.isValid() ||
+      Obj.index() >= DependentsByObject.size())
     return;
-  ObjectId Obj = Model.nodes().objectOf(Node);
-  if (Obj.index() >= DependentsByObject.size())
-    return; // nothing depends on it yet
   for (int32_t StmtIdx : DependentsByObject[Obj.index()]) {
     if (StmtQueued[StmtIdx])
       continue;
     StmtQueued[StmtIdx] = 1;
     Worklist.push_back(StmtIdx);
+    if (Worklist.size() > Stats.WorklistHighWater)
+      Stats.WorklistHighWater = Worklist.size();
   }
+}
+
+void Solver::noteChanged(NodeId Node) {
+  if (!WorklistActive)
+    return;
+  queueDependents(Model.nodes().objectOf(Node));
 }
 
 uint64_t Solver::numEdges() const {
   uint64_t Total = 0;
-  for (const PtsSet &Set : Pts)
-    Total += Set.size();
+  Facts.forEach([&Total](const NodeFacts &F) { Total += F.Set.size(); });
   return Total;
 }
 
+bool Solver::joinPair(NodeId D, NodeId S) {
+  if (deltaActive()) {
+    NodeFacts &Src = factsOf(S);
+    size_t End = Src.Log.size();
+    StmtSolveState &St = StmtState[CurrentStmt];
+    uint64_t Key = pairKey(D, S);
+    auto It = St.Cursor.find(Key);
+    size_t Cur = It == St.Cursor.end() ? 0 : It->second;
+    if (Cur >= End)
+      return false;
+    (Cur == 0 ? ++Stats.FullPropagations : ++Stats.DeltaPropagations);
+    bool Changed = false;
+    // Index-based: when D's log is S's log (self pair) addEdge appends to
+    // the vector being walked; entries past End are consumed on re-visit
+    // (the statement is registered on S's object, so it re-queues).
+    for (size_t I = Cur; I < End; ++I)
+      if (addEdge(D, Src.Log[I]))
+        Changed = true;
+    St.Cursor[Key] = static_cast<uint32_t>(End);
+    return Changed;
+  }
+  if (D == S)
+    return false; // joining a set into itself cannot change it
+  ++Stats.FullPropagations;
+  NodeFacts &Dst = factsOf(D);
+  const NodeFacts &Src = factsOf(S);
+  if (Dst.Set.insertAll(Src.Set, &Dst.Log) == 0)
+    return false;
+  noteChanged(D);
+  return true;
+}
+
 bool Solver::flowResolve(NodeId Dst, NodeId Src, TypeId Tau) {
-  noteRead(Model.nodes().objectOf(Src)); // the pairs read the source side
+  ObjectId SrcObj = Model.nodes().objectOf(Src);
+  noteRead(SrcObj); // the pairs read the source side
+  if (deltaActive()) {
+    // Memoize the pair list: recomputing it dominates re-visit cost, and
+    // it only changes when the source object's node set grows (which
+    // re-queues this statement via the OnNewNode hook, so the stale count
+    // is always observed on the next visit).
+    StmtSolveState &St = StmtState[CurrentStmt];
+    auto [It, Inserted] = St.Resolve.try_emplace(pairKey(Dst, Src));
+    ResolveCache &C = It->second;
+    uint32_t SrcCount =
+        static_cast<uint32_t>(Model.nodes().nodesOfObject(SrcObj).size());
+    if (Inserted || C.SrcNodes != SrcCount) {
+      C.Pairs.clear();
+      Model.resolve(Dst, Src, Tau, C.Pairs);
+      // resolve may itself materialize source nodes (self copies).
+      C.SrcNodes =
+          static_cast<uint32_t>(Model.nodes().nodesOfObject(SrcObj).size());
+    }
+    bool Changed = false;
+    for (const auto &[D, S] : C.Pairs)
+      if (joinPair(D, S))
+        Changed = true;
+    return Changed;
+  }
   std::vector<std::pair<NodeId, NodeId>> Pairs;
   Model.resolve(Dst, Src, Tau, Pairs);
   bool Changed = false;
-  for (const auto &[D, S] : Pairs) {
-    // Self-pair copies are no-ops but harmless.
-    PtsSet SrcSet = pointsTo(S); // copy: D may equal S's storage
-    if (ptsOf(D).insertAll(SrcSet) != 0) {
+  for (const auto &[D, S] : Pairs)
+    if (joinPair(D, S))
       Changed = true;
-      noteChanged(D);
-    }
-  }
   return Changed;
 }
 
@@ -86,9 +147,15 @@ bool Solver::flowPtrArith(NodeId Dst, const PtsSet &Targets) {
     // instead of smearing.
     return !Targets.empty() && addEdge(Dst, unknownNode());
   }
+  if (Targets.empty())
+    return false;
+  ++Stats.FullPropagations;
+  // Snapshot: Targets may alias pts(Dst) (library summaries pass a live
+  // reference), and the smear below adds edges while iterating.
+  std::vector<NodeId> Snapshot(Targets.begin(), Targets.end());
   bool Changed = false;
   std::vector<NodeId> All;
-  for (NodeId Target : Targets) {
+  for (NodeId Target : Snapshot) {
     if (isUnknownNode(Target))
       continue;
     // The smear enumerates the target object's (stateful) node set.
@@ -98,6 +165,45 @@ bool Solver::flowPtrArith(NodeId Dst, const PtsSet &Targets) {
     for (NodeId Node : All)
       if (addEdge(Dst, Node))
         Changed = true;
+  }
+  return Changed;
+}
+
+bool Solver::flowPtrArithDelta(NodeId Dst, NodeId Op) {
+  NodeFacts &Src = factsOf(Op);
+  size_t End = Src.Log.size();
+  StmtSolveState &St = StmtState[CurrentStmt];
+  uint64_t Key = pairKey(Dst, Op);
+  auto It = St.Cursor.find(Key);
+  size_t Cur = It == St.Cursor.end() ? 0 : It->second;
+  if (Cur >= End)
+    return false;
+  (Cur == 0 ? ++Stats.FullPropagations : ++Stats.DeltaPropagations);
+  St.Cursor[Key] = static_cast<uint32_t>(End);
+  if (Opts.TrackUnknown)
+    return addEdge(Dst, unknownNode());
+  bool Changed = false;
+  std::vector<NodeId> All;
+  for (size_t I = Cur; I < End; ++I) {
+    NodeId Target = Src.Log[I];
+    if (isUnknownNode(Target))
+      continue;
+    ObjectId Obj = Model.nodes().objectOf(Target);
+    noteRead(Obj);
+    if (Opts.StrideArith && Model.targetInsideArray(Target)) {
+      if (addEdge(Dst, Target))
+        Changed = true;
+      continue;
+    }
+    if (St.SmearCursor.count(Obj.index()))
+      continue; // object already smeared; later growth replays separately
+    All.clear();
+    Model.arithNodes(Target, Opts.StrideArith, All);
+    for (NodeId Node : All)
+      if (addEdge(Dst, Node))
+        Changed = true;
+    St.SmearCursor[Obj.index()] =
+        static_cast<uint32_t>(Model.nodes().nodesOfObject(Obj).size());
   }
   return Changed;
 }
@@ -146,7 +252,6 @@ ObjectId Solver::externObject() {
 
 bool Solver::bindCall(const NormStmt &S, FuncId Callee) {
   const NormFunction &Fn = Prog.func(Callee);
-  const TypeTable &Types = Prog.Types;
 
   if (!Fn.IsDefined) {
     if (!Opts.UseLibrarySummaries)
@@ -174,14 +279,12 @@ bool Solver::bindCall(const NormStmt &S, FuncId Callee) {
       // and it should not pollute the mismatch statistics).
       NodeId Va = normalizeObj(Fn.VarargsObj);
       noteRead(S.Args[I]);
-      for (NodeId ArgNode :
-           Model.nodes().nodesOfObject(S.Args[I])) {
-        PtsSet Targets = pointsTo(ArgNode);
-        if (ptsOf(Va).insertAll(Targets) != 0) {
+      const std::vector<NodeId> &ArgNodes =
+          Model.nodes().nodesOfObject(S.Args[I]);
+      size_t NumNodes = ArgNodes.size();
+      for (size_t K = 0; K < NumNodes; ++K)
+        if (joinPair(Va, ArgNodes[K]))
           Changed = true;
-          noteChanged(Va);
-        }
-      }
     }
   }
   if (S.RetDst.isValid() && Fn.RetObj.isValid()) {
@@ -189,7 +292,6 @@ bool Solver::bindCall(const NormStmt &S, FuncId Callee) {
                     Prog.object(S.RetDst).Ty))
       Changed = true;
   }
-  (void)Types;
   return Changed;
 }
 
@@ -204,6 +306,17 @@ bool Solver::applyCall(const NormStmt &S) {
 }
 
 bool Solver::applyStmt(const NormStmt &S) {
+  bool Changed = applyStmtImpl(S);
+  unsigned Rule = static_cast<unsigned>(S.Op);
+  if (Rule < NumSolverRules) {
+    ++Stats.RuleApplied[Rule];
+    if (Changed)
+      ++Stats.RuleChanged[Rule];
+  }
+  return Changed;
+}
+
+bool Solver::applyStmtImpl(const NormStmt &S) {
   switch (S.Op) {
   case NormOp::AddrOf: {
     // Rule 1: pointsTo(normalize(s), normalize(t.beta)).
@@ -218,10 +331,24 @@ bool Solver::applyStmt(const NormStmt &S) {
     bool Changed = false;
     std::vector<NodeId> Fields;
     noteRead(S.Src);
-    PtsSet Targets = pointsTo(normalizeObj(S.Src)); // copy: we add edges
-    for (NodeId Target : Targets) {
+    NodeId Ptr = normalizeObj(S.Src);
+    NodeFacts &PF = factsOf(Ptr);
+    size_t Begin = 0, End = PF.Log.size();
+    if (deltaActive()) {
+      // lookup() is a pure function of the target, so previously seen
+      // targets never need re-examination: walk only the unseen suffix.
+      StmtSolveState &St = StmtState[CurrentStmt];
+      uint64_t Key = pairKey(Dst, Ptr);
+      auto It = St.Cursor.find(Key);
+      if (It != St.Cursor.end())
+        Begin = It->second;
+      if (Begin < End)
+        (Begin == 0 ? ++Stats.FullPropagations : ++Stats.DeltaPropagations);
+      St.Cursor[Key] = static_cast<uint32_t>(End);
+    }
+    for (size_t I = Begin; I < End; ++I) {
       Fields.clear();
-      Model.lookup(S.DeclPointeeTy, S.Path, Target, Fields);
+      Model.lookup(S.DeclPointeeTy, S.Path, PF.Log[I], Fields);
       for (NodeId Field : Fields)
         if (addEdge(Dst, Field))
           Changed = true;
@@ -235,12 +362,16 @@ bool Solver::applyStmt(const NormStmt &S) {
   case NormOp::Load: {
     // Rule 4: for each pointsTo(q, t-hat):
     //   resolve(normalize(s), t-hat, tau_s).
+    // Every target is revisited (the resolve pairs read other sets whose
+    // growth the target walk can't see); with delta propagation a clean
+    // revisit costs only cursor probes.
     bool Changed = false;
     NodeId Dst = normalizeObj(S.Dst);
     noteRead(S.Src);
-    PtsSet Targets = pointsTo(normalizeObj(S.Src));
-    for (NodeId Target : Targets)
-      if (flowResolve(Dst, Target, S.LhsTy))
+    NodeFacts &PF = factsOf(normalizeObj(S.Src));
+    size_t End = PF.Log.size();
+    for (size_t I = 0; I < End; ++I)
+      if (flowResolve(Dst, PF.Log[I], S.LhsTy))
         Changed = true;
     return Changed;
   }
@@ -250,9 +381,10 @@ bool Solver::applyStmt(const NormStmt &S) {
     bool Changed = false;
     NodeId Src = normalizeObj(S.Src);
     noteRead(S.Dst);
-    PtsSet Targets = pointsTo(normalizeObj(S.Dst));
-    for (NodeId Target : Targets)
-      if (flowResolve(Target, Src, S.LhsTy))
+    NodeFacts &PF = factsOf(normalizeObj(S.Dst));
+    size_t End = PF.Log.size();
+    for (size_t I = 0; I < End; ++I)
+      if (flowResolve(PF.Log[I], Src, S.LhsTy))
         Changed = true;
     return Changed;
   }
@@ -263,11 +395,30 @@ bool Solver::applyStmt(const NormStmt &S) {
       return false;
     bool Changed = false;
     NodeId Dst = normalizeObj(S.Dst);
-    for (ObjectId Operand : S.ArithSrcs) {
-      noteRead(Operand);
-      PtsSet Targets = pointsTo(normalizeObj(Operand));
-      if (flowPtrArith(Dst, Targets))
-        Changed = true;
+    if (deltaActive()) {
+      // First replay objects smeared on earlier visits whose node set has
+      // grown since, then smear the operands' unseen targets.
+      StmtSolveState &St = StmtState[CurrentStmt];
+      for (auto &Entry : St.SmearCursor) {
+        const std::vector<NodeId> &Nodes =
+            Model.nodes().nodesOfObject(ObjectId(Entry.first));
+        size_t End = Nodes.size();
+        for (size_t I = Entry.second; I < End; ++I)
+          if (addEdge(Dst, Nodes[I]))
+            Changed = true;
+        Entry.second = static_cast<uint32_t>(End);
+      }
+      for (ObjectId Operand : S.ArithSrcs) {
+        noteRead(Operand);
+        if (flowPtrArithDelta(Dst, normalizeObj(Operand)))
+          Changed = true;
+      }
+    } else {
+      for (ObjectId Operand : S.ArithSrcs) {
+        noteRead(Operand);
+        if (flowPtrArith(Dst, pointsTo(normalizeObj(Operand))))
+          Changed = true;
+      }
     }
     return Changed;
   }
@@ -277,62 +428,84 @@ bool Solver::applyStmt(const NormStmt &S) {
   return false;
 }
 
+void Solver::reportNonConvergence(const char *Engine) {
+  Stats.Converged = false;
+  if (Opts.Diags)
+    Opts.Diags->warning(
+        SourceLoc(),
+        std::string("solver stopped before reaching a fixpoint (") + Engine +
+            " iteration budget exhausted); points-to results are incomplete");
+}
+
 void Solver::solveNaive() {
   bool Changed = true;
-  while (Changed && Stats.Iterations < Opts.MaxIterations) {
+  while (Changed) {
+    if (Stats.Rounds >= Opts.MaxIterations) {
+      reportNonConvergence("naive");
+      return;
+    }
     Changed = false;
-    ++Stats.Iterations;
+    ++Stats.Rounds;
     for (const NormStmt &S : Prog.Stmts) {
       ++Stats.StmtsApplied;
       if (applyStmt(S))
         Changed = true;
     }
   }
+  Stats.Converged = true;
 }
 
 void Solver::solveWorklist() {
   WorklistActive = true;
+  size_t N = Prog.Stmts.size();
+  StmtState.assign(N, StmtSolveState());
+  DependentsByObject.clear();
   // Materializing a node in an object invalidates any statement that
   // enumerated that object's nodes (Offsets artificial offsets).
-  Model.nodes().setOnNewNode([this](ObjectId Obj) {
-    if (Obj.index() >= DependentsByObject.size())
-      return;
-    for (int32_t StmtIdx : DependentsByObject[Obj.index()]) {
-      if (StmtQueued[StmtIdx])
-        continue;
-      StmtQueued[StmtIdx] = 1;
-      Worklist.push_back(StmtIdx);
-    }
-  });
-  size_t N = Prog.Stmts.size();
+  Model.nodes().setOnNewNode([this](ObjectId Obj) { queueDependents(Obj); });
   StmtQueued.assign(N, 1);
   Worklist.clear();
   // Push in reverse so the first pop processes statement 0.
   for (size_t I = N; I-- > 0;)
     Worklist.push_back(static_cast<int32_t>(I));
+  Stats.WorklistHighWater = Worklist.size();
 
   uint64_t Budget = uint64_t(Opts.MaxIterations) * (N ? N : 1);
-  while (!Worklist.empty() && Stats.StmtsApplied < Budget) {
+  bool Fixpoint = true;
+  while (!Worklist.empty()) {
+    if (Stats.StmtsApplied >= Budget) {
+      Fixpoint = false;
+      break;
+    }
     int32_t Idx = Worklist.back();
     Worklist.pop_back();
     StmtQueued[Idx] = 0;
     CurrentStmt = Idx;
+    ++Stats.Pops;
     ++Stats.StmtsApplied;
-    ++Stats.Iterations;
     applyStmt(Prog.Stmts[Idx]);
   }
   CurrentStmt = -1;
   WorklistActive = false;
   Model.nodes().setOnNewNode(nullptr);
+  StmtState.clear();
+  StmtState.shrink_to_fit();
+  if (Fixpoint)
+    Stats.Converged = true;
+  else
+    reportNonConvergence("worklist");
 }
 
 void Solver::solve() {
-  Stats.Iterations = 0;
-  Stats.StmtsApplied = 0;
+  Stats = SolverRunStats();
+  auto Start = std::chrono::steady_clock::now();
   if (Opts.UseWorklist)
     solveWorklist();
   else
     solveNaive();
+  Stats.SolveSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
   Stats.Edges = numEdges();
   Stats.Nodes = Model.nodes().size();
 }

@@ -13,6 +13,16 @@
 /// indirect calls use the current points-to set of the function pointer
 /// (an on-the-fly call graph, re-examined every round).
 ///
+/// Three engines compute the same fixpoint:
+///  * naive rounds (the paper's algorithm, statement for statement);
+///  * an object-granularity worklist (statements re-run only when an
+///    object they read changed);
+///  * the worklist with difference propagation (the default worklist
+///    configuration): every node keeps an append-only log of its facts in
+///    insertion order, and each statement remembers, per (dst, src) join
+///    pair, how much of the source log it has already consumed — a
+///    re-visit joins only the unseen suffix instead of the full set.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPA_PTA_SOLVER_H
@@ -20,8 +30,13 @@
 
 #include "pta/FieldModel.h"
 #include "pta/LibrarySummaries.h"
+#include "support/SegmentedVector.h"
+
+#include <unordered_map>
 
 namespace spa {
+
+class DiagnosticEngine;
 
 /// Tuning knobs for one solver run.
 struct SolverOptions {
@@ -53,16 +68,47 @@ struct SolverOptions {
   /// Off by default so the default configuration is the paper's
   /// algorithm, statement for statement.
   bool UseWorklist = false;
+  /// Difference propagation inside the worklist engine: statements join
+  /// only the facts added since they last consumed a source node, falling
+  /// back to the full set on first visit. Identical fixpoint again; off
+  /// only for the legacy-worklist comparison in bench/scaling.
+  bool DeltaPropagation = true;
   /// Hard iteration cap (a safety net; real programs converge quickly).
+  /// Naive mode: maximum rounds. Worklist mode: the statement-application
+  /// budget is MaxIterations * #statements.
   unsigned MaxIterations = 100000;
+  /// When set, the solver reports non-convergence (budget exhaustion) as
+  /// a warning here in addition to SolverRunStats::Converged.
+  DiagnosticEngine *Diags = nullptr;
 };
 
-/// Run statistics.
+/// Number of NormOp values (per-rule stats are indexed by NormOp).
+inline constexpr unsigned NumSolverRules = 7;
+
+/// Run statistics and telemetry counters for one solve().
 struct SolverRunStats {
-  unsigned Iterations = 0;   ///< rounds (naive) or total pops (worklist)
+  unsigned Rounds = 0;       ///< naive mode: full passes over the program
+  uint64_t Pops = 0;         ///< worklist mode: statements popped
   uint64_t StmtsApplied = 0; ///< statement evaluations, either mode
   uint64_t Edges = 0;
   size_t Nodes = 0;
+  /// True iff the run reached a fixpoint within the iteration budget. A
+  /// false value means the graph is UNSOUND (facts may be missing).
+  bool Converged = false;
+  /// Joins that consumed a full source set (first visit of a pair, or any
+  /// join outside delta mode).
+  uint64_t FullPropagations = 0;
+  /// Joins that consumed only the suffix of a source log added since the
+  /// statement last ran (delta mode only).
+  uint64_t DeltaPropagations = 0;
+  /// Worklist mode: maximum number of simultaneously queued statements.
+  size_t WorklistHighWater = 0;
+  /// Statement evaluations per rule, indexed by NormOp.
+  uint64_t RuleApplied[NumSolverRules] = {};
+  /// ... of those, evaluations that added at least one fact.
+  uint64_t RuleChanged[NumSolverRules] = {};
+  /// Wall-clock seconds spent inside the fixpoint loop.
+  double SolveSeconds = 0;
 };
 
 /// One analysis run: a model plus the points-to graph it computes.
@@ -77,6 +123,9 @@ public:
 
   /// \name Points-to graph access.
   /// @{
+  /// The returned reference is stable: facts are stored in segmented
+  /// storage, so later (even lazy, mid-solve) node creation never moves
+  /// an existing set.
   const PtsSet &pointsTo(NodeId Node) const;
   /// normalize(obj) — the canonical node of a whole top-level object.
   NodeId normalizeObj(ObjectId Obj) { return Model.normalizeLoc(Obj, {}); }
@@ -87,6 +136,7 @@ public:
   bool flowResolve(NodeId Dst, NodeId Src, TypeId Tau);
   /// Smears: Dst may point to every node of every object that \p Targets
   /// point into (pointer-arithmetic semantics). Returns true if changed.
+  /// \p Targets may alias pts(Dst); the smear snapshots it first.
   bool flowPtrArith(NodeId Dst, const PtsSet &Targets);
   /// Total number of points-to edges.
   uint64_t numEdges() const;
@@ -94,7 +144,7 @@ public:
 
   /// \name Queries.
   /// @{
-  /// Current targets of a dereference site's pointer.
+  /// Current targets of a dereference site's pointer (stable reference).
   const PtsSet &derefTargets(const DerefSite &Site);
   /// Functions an indirect-call statement may invoke right now.
   std::vector<FuncId> calleesOf(const NormStmt &Call);
@@ -111,11 +161,44 @@ public:
   const NormProgram &program() const { return Prog; }
   FieldModel &model() { return Model; }
   const FieldModel &model() const { return Model; }
+  const SolverOptions &options() const { return Opts; }
   const SolverRunStats &runStats() const { return Stats; }
   const LibrarySummaries &summaries() const { return Lib; }
 
 private:
+  /// One node's facts: the sorted set (queries, equality) plus the same
+  /// members in insertion order (append-only; delta cursors index it).
+  struct NodeFacts {
+    PtsSet Set;
+    std::vector<NodeId> Log;
+  };
+
+  /// Cached resolve pair list of one (dst, src) call site. The list is a
+  /// pure function of (dst, src, tau) except that the Offsets instance
+  /// enumerates the source object's materialized nodes — so the cache is
+  /// revalidated against that node count and recomputed when it grew.
+  struct ResolveCache {
+    uint32_t SrcNodes = 0;
+    std::vector<std::pair<NodeId, NodeId>> Pairs;
+  };
+
+  /// Worklist-mode per-statement state.
+  struct StmtSolveState {
+    /// Delta cursors: (dst, src) node pair -> length of src's log already
+    /// consumed by this statement for that pair.
+    std::unordered_map<uint64_t, uint32_t> Cursor;
+    /// Memoized Model.resolve results, keyed like Cursor.
+    std::unordered_map<uint64_t, ResolveCache> Resolve;
+    /// Pointer-arithmetic smears: object -> how many of its materialized
+    /// nodes this statement has already smeared into its destination.
+    std::unordered_map<uint32_t, uint32_t> SmearCursor;
+    /// Objects this statement is registered on in DependentsByObject
+    /// (sorted flat set: O(log n) membership, each pair registered once).
+    IdSet<ObjectTag> Reads;
+  };
+
   bool applyStmt(const NormStmt &S);
+  bool applyStmtImpl(const NormStmt &S);
   bool applyCall(const NormStmt &S);
   void solveNaive();
   void solveWorklist();
@@ -124,16 +207,37 @@ private:
   void noteRead(ObjectId Obj);
   /// Worklist mode: marks \p Node's object dirty after a points-to change.
   void noteChanged(NodeId Node);
+  /// Queues every statement registered as depending on \p Obj.
+  void queueDependents(ObjectId Obj);
+  /// Records budget exhaustion: clears Converged and warns via Opts.Diags.
+  void reportNonConvergence(const char *Engine);
   /// Binds arguments and the return value for one resolved callee.
   bool bindCall(const NormStmt &S, FuncId Callee);
 
-  PtsSet &ptsOf(NodeId Node);
+  /// True while the worklist engine runs with difference propagation and
+  /// a current statement to charge cursors to.
+  bool deltaActive() const {
+    return WorklistActive && Opts.DeltaPropagation && CurrentStmt >= 0;
+  }
+  static uint64_t pairKey(NodeId A, NodeId B) {
+    return (uint64_t(A.index()) << 32) | B.index();
+  }
+  /// The core join "pts(D) ⊇ pts(S)": full outside delta mode, suffix-only
+  /// inside it. Returns true if pts(D) changed.
+  bool joinPair(NodeId D, NodeId S);
+  /// Delta-mode pointer-arithmetic smear of the unseen targets of operand
+  /// node \p Op into \p Dst.
+  bool flowPtrArithDelta(NodeId Dst, NodeId Op);
+
+  NodeFacts &factsOf(NodeId Node);
 
   NormProgram &Prog;
   FieldModel &Model;
   SolverOptions Opts;
   LibrarySummaries Lib;
-  std::vector<PtsSet> Pts; ///< indexed by NodeId
+  /// Per-node facts, indexed by NodeId. Segmented so element references
+  /// survive growth (lazy $unknown/$extern creation mid-query).
+  SegmentedVector<NodeFacts> Facts;
   SolverRunStats Stats;
   ObjectId ExternObj;
   ObjectId UnknownObj;
@@ -143,6 +247,7 @@ private:
   bool WorklistActive = false;
   int32_t CurrentStmt = -1;
   std::vector<std::vector<int32_t>> DependentsByObject;
+  std::vector<StmtSolveState> StmtState;
   std::vector<uint8_t> StmtQueued;
   std::vector<int32_t> Worklist;
   /// @}

@@ -1,0 +1,200 @@
+//===--- Telemetry.cpp ----------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Telemetry.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+using namespace spa;
+
+RunTelemetry spa::collectTelemetry(Analysis &A, std::string ProgramLabel) {
+  RunTelemetry T;
+  T.Program = std::move(ProgramLabel);
+  T.Model = A.options().Model;
+  T.Options = A.solver().options();
+  const NormProgram &Prog = A.solver().program();
+  T.Functions = Prog.Funcs.size();
+  T.Objects = Prog.Objects.size();
+  T.Stmts = Prog.Stmts.size();
+  T.DerefSites = Prog.DerefSites.size();
+  T.Solver = A.solver().runStats();
+  T.Model_ = A.model().stats();
+  T.Deref = A.derefMetrics();
+  return T;
+}
+
+namespace {
+
+/// Minimal JSON writer: we emit only our own fixed schema, so a full
+/// serializer would be dead weight. Strings are escaped for the handful
+/// of characters a file path can realistically contain.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::string &Out) : Out(Out) {}
+
+  void open(const char *Key) {
+    key(Key);
+    Out += '{';
+    First = true;
+  }
+  void close() {
+    Out += '}';
+    First = false;
+  }
+  void field(const char *Key, const std::string &V) {
+    key(Key);
+    Out += '"';
+    for (char C : V) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    Out += '"';
+  }
+  void field(const char *Key, uint64_t V) {
+    key(Key);
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+    Out += Buf;
+  }
+  void field(const char *Key, bool V) {
+    key(Key);
+    Out += V ? "true" : "false";
+  }
+  void field(const char *Key, double V) {
+    key(Key);
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    Out += Buf;
+  }
+
+private:
+  void key(const char *Key) {
+    if (!First)
+      Out += ',';
+    First = false;
+    if (!Key)
+      return;
+    Out += '"';
+    Out += Key;
+    Out += "\":";
+  }
+
+  std::string &Out;
+  bool First = true;
+};
+
+/// JSON names for the per-rule counters, indexed by NormOp.
+constexpr const char *RuleNames[NumSolverRules] = {
+    "addr_of", "addr_of_deref", "copy", "load", "store", "ptr_arith", "call",
+};
+
+} // namespace
+
+std::string spa::telemetryToJson(const RunTelemetry &T) {
+  std::string Out;
+  Out += '{';
+  JsonWriter W(Out);
+  W.field("schema", std::string(RunTelemetry::SchemaId));
+  if (!T.Program.empty())
+    W.field("program", T.Program);
+  W.field("model", std::string(modelKindName(T.Model)));
+
+  W.open("options");
+  W.field("use_worklist", T.Options.UseWorklist);
+  W.field("delta_propagation", T.Options.DeltaPropagation);
+  W.field("use_library_summaries", T.Options.UseLibrarySummaries);
+  W.field("handle_ptr_arith", T.Options.HandlePtrArith);
+  W.field("stride_arith", T.Options.StrideArith);
+  W.field("track_unknown", T.Options.TrackUnknown);
+  W.field("max_iterations", uint64_t(T.Options.MaxIterations));
+  W.close();
+
+  W.open("program_shape");
+  W.field("functions", uint64_t(T.Functions));
+  W.field("objects", uint64_t(T.Objects));
+  W.field("stmts", uint64_t(T.Stmts));
+  W.field("deref_sites", uint64_t(T.DerefSites));
+  W.close();
+
+  W.open("solver");
+  W.field("converged", T.Solver.Converged);
+  W.field("rounds", uint64_t(T.Solver.Rounds));
+  W.field("pops", T.Solver.Pops);
+  W.field("stmts_applied", T.Solver.StmtsApplied);
+  W.field("edges", T.Solver.Edges);
+  W.field("nodes", uint64_t(T.Solver.Nodes));
+  W.field("full_propagations", T.Solver.FullPropagations);
+  W.field("delta_propagations", T.Solver.DeltaPropagations);
+  W.field("worklist_high_water", uint64_t(T.Solver.WorklistHighWater));
+  W.field("solve_seconds", T.Solver.SolveSeconds);
+  W.open("rule_applied");
+  for (unsigned I = 0; I < NumSolverRules; ++I)
+    W.field(RuleNames[I], T.Solver.RuleApplied[I]);
+  W.close();
+  W.open("rule_changed");
+  for (unsigned I = 0; I < NumSolverRules; ++I)
+    W.field(RuleNames[I], T.Solver.RuleChanged[I]);
+  W.close();
+  W.close();
+
+  W.open("model_stats");
+  W.field("lookup_calls", T.Model_.LookupCalls);
+  W.field("lookup_struct", T.Model_.LookupStruct);
+  W.field("lookup_mismatch", T.Model_.LookupMismatch);
+  W.field("resolve_calls", T.Model_.ResolveCalls);
+  W.field("resolve_struct", T.Model_.ResolveStruct);
+  W.field("resolve_mismatch", T.Model_.ResolveMismatch);
+  W.close();
+
+  W.open("deref_metrics");
+  W.field("sites", uint64_t(T.Deref.Sites));
+  W.field("non_empty_sites", uint64_t(T.Deref.NonEmptySites));
+  W.field("total_targets", T.Deref.TotalTargets);
+  W.field("avg_set_size", T.Deref.AvgSetSize);
+  W.field("avg_non_empty", T.Deref.AvgNonEmpty);
+  W.field("max_set_size", T.Deref.MaxSetSize);
+  W.field("unknown_sites", uint64_t(T.Deref.UnknownSites));
+  W.close();
+
+  Out += "}\n";
+  return Out;
+}
+
+bool spa::writeTelemetryJson(const RunTelemetry &T, const std::string &Path) {
+  std::string Json = telemetryToJson(T);
+  if (Path == "-") {
+    std::cout << Json;
+    return bool(std::cout);
+  }
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << Json;
+  return bool(Out);
+}

@@ -1,0 +1,64 @@
+//===--- Telemetry.h - Structured run telemetry ----------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One analysis run rendered as a stable, machine-readable record: the
+/// configuration that produced it, the program's shape, the solver's
+/// counters (rounds/pops, delta-vs-full propagations, per-rule work,
+/// convergence, timings), the model's Figure-3 statistics, and the
+/// Figure-4 dereference metrics. `spa_cli --stats-json=<file>` and
+/// `bench/scaling` both emit this schema; docs/TELEMETRY.md documents it
+/// field by field. The schema is versioned ("spa.run.v1") — additions are
+/// allowed within a version, renames and removals are not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_TELEMETRY_H
+#define SPA_PTA_TELEMETRY_H
+
+#include "pta/Frontend.h"
+
+#include <string>
+
+namespace spa {
+
+/// Snapshot of one solved Analysis, ready for JSON export.
+struct RunTelemetry {
+  /// Schema identifier emitted as "schema"; bump on breaking change.
+  static constexpr const char *SchemaId = "spa.run.v1";
+
+  /// Free-form run label ("" omits the field), e.g. a corpus file name.
+  std::string Program;
+  ModelKind Model = ModelKind::CommonInitialSeq;
+
+  /// Configuration echo (the knobs that change results or cost).
+  SolverOptions Options;
+
+  /// Program shape.
+  size_t Functions = 0;
+  size_t Objects = 0;
+  size_t Stmts = 0;
+  size_t DerefSites = 0;
+
+  SolverRunStats Solver;
+  ModelStats Model_;
+  DerefMetrics Deref;
+};
+
+/// Snapshots \p A (which must have been run) into a RunTelemetry.
+RunTelemetry collectTelemetry(Analysis &A, std::string ProgramLabel = "");
+
+/// Renders \p T as a self-contained JSON object (trailing newline
+/// included). Keys and nesting are the documented spa.run.v1 schema.
+std::string telemetryToJson(const RunTelemetry &T);
+
+/// Writes telemetryToJson(T) to \p Path ("-" means stdout). Returns false
+/// if the file cannot be written.
+bool writeTelemetryJson(const RunTelemetry &T, const std::string &Path);
+
+} // namespace spa
+
+#endif // SPA_PTA_TELEMETRY_H

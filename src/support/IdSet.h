@@ -37,14 +37,37 @@ public:
   }
 
   /// Inserts every element of \p Other; returns the number of new elements.
-  size_t insertAll(const IdSet &Other) {
-    if (Other.empty())
+  size_t insertAll(const IdSet &Other) { return insertAll(Other, nullptr); }
+
+  /// Like insertAll, and additionally appends each newly inserted element
+  /// to \p NewElems (when non-null) so callers can maintain a change log
+  /// of the merge without re-diffing the sets.
+  size_t insertAll(const IdSet &Other, std::vector<value_type> *NewElems) {
+    if (&Other == this || Other.empty())
       return 0;
     size_t Before = Items.size();
     std::vector<value_type> Merged;
     Merged.reserve(Items.size() + Other.Items.size());
-    std::set_union(Items.begin(), Items.end(), Other.Items.begin(),
-                   Other.Items.end(), std::back_inserter(Merged));
+    auto A = Items.begin(), AEnd = Items.end();
+    auto B = Other.Items.begin(), BEnd = Other.Items.end();
+    while (A != AEnd && B != BEnd) {
+      if (*A < *B) {
+        Merged.push_back(*A++);
+      } else if (*B < *A) {
+        if (NewElems)
+          NewElems->push_back(*B);
+        Merged.push_back(*B++);
+      } else {
+        Merged.push_back(*A++);
+        ++B;
+      }
+    }
+    Merged.insert(Merged.end(), A, AEnd);
+    for (; B != BEnd; ++B) {
+      if (NewElems)
+        NewElems->push_back(*B);
+      Merged.push_back(*B);
+    }
     Items = std::move(Merged);
     return Items.size() - Before;
   }

@@ -1,0 +1,75 @@
+//===--- SegmentedVector.h - Reference-stable dense storage ----*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, index-addressed container whose elements never move: storage
+/// is a chain of fixed-size heap segments, so growing the container never
+/// reallocates existing elements. The solver keeps per-node fact records
+/// in one of these — queries hand out references into it, and lazily
+/// created pseudo-objects ($unknown, $extern) may grow it mid-iteration,
+/// which with a plain std::vector would invalidate every outstanding
+/// reference (and did: see tests/pta/SolverEdgeCasesTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_SEGMENTEDVECTOR_H
+#define SPA_SUPPORT_SEGMENTEDVECTOR_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace spa {
+
+/// Grow-only vector of \p T with stable element addresses. \p SegSize must
+/// be a power of two.
+template <typename T, size_t SegSize = 256> class SegmentedVector {
+  static_assert((SegSize & (SegSize - 1)) == 0, "SegSize must be a power of 2");
+
+public:
+  /// Number of elements.
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Element access; \p I must be < size().
+  T &operator[](size_t I) { return Segments[I / SegSize][I % SegSize]; }
+  const T &operator[](size_t I) const {
+    return Segments[I / SegSize][I % SegSize];
+  }
+
+  /// Grows (default-constructing) until size() > \p I, then returns the
+  /// element. Existing references stay valid.
+  T &grow(size_t I) {
+    while (Count <= I) {
+      if (Count % SegSize == 0)
+        Segments.push_back(std::make_unique<T[]>(SegSize));
+      ++Count;
+    }
+    return (*this)[I];
+  }
+
+  /// Appends a default-constructed element and returns it.
+  T &emplaceBack() { return grow(Count); }
+
+  void clear() {
+    Segments.clear();
+    Count = 0;
+  }
+
+  /// Visits every element in index order.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (size_t I = 0; I < Count; ++I)
+      F((*this)[I]);
+  }
+
+private:
+  std::vector<std::unique_ptr<T[]>> Segments;
+  size_t Count = 0;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_SEGMENTEDVECTOR_H

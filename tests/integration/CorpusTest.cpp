@@ -49,7 +49,7 @@ TEST_P(CorpusTest, AllFourInstancesConvergeAndOrderByPrecision) {
   for (int I = 0; I < 4; ++I) {
     auto S = analyze(Source, Kinds[I]);
     ASSERT_TRUE(S.A != nullptr) << Entry.Name;
-    EXPECT_LT(S.A->solver().runStats().Iterations, 1000u) << Entry.Name;
+    EXPECT_LT(S.A->solver().runStats().Rounds, 1000u) << Entry.Name;
     Avg[I] = S.A->derefMetrics().AvgSetSize;
 
     // For the non-casting group, type mismatches must be (nearly) absent.

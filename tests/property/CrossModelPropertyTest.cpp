@@ -48,7 +48,7 @@ TEST_P(GeneratedProgramTest, CompilesAndAllInstancesConverge) {
         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
     auto S = analyze(Source, Kind);
     ASSERT_TRUE(S.A != nullptr) << "seed " << GetParam().Seed;
-    EXPECT_LT(S.A->solver().runStats().Iterations, 100u);
+    EXPECT_LT(S.A->solver().runStats().Rounds, 100u);
     EXPECT_GT(S.A->solver().numEdges(), 0u);
   }
 }

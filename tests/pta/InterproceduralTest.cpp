@@ -108,7 +108,7 @@ TEST(Interprocedural, RecursionOverHeapListConverges) {
       "int main(void) { r = last(build(5)); return 0; }",
       ModelKind::Offsets);
   EXPECT_EQ(S.pts("r"), strs({"x"}));
-  EXPECT_LT(S.A->solver().runStats().Iterations, 30u);
+  EXPECT_LT(S.A->solver().runStats().Rounds, 30u);
 }
 
 TEST(Interprocedural, UnusedReturnValueStillBindsArguments) {

@@ -12,7 +12,7 @@ using namespace spa::test;
 TEST(SolverEdges, EmptyProgramSolvesInstantly) {
   auto S = analyze("int unused;", ModelKind::Offsets);
   EXPECT_EQ(S.A->solver().numEdges(), 0u);
-  EXPECT_LE(S.A->solver().runStats().Iterations, 1u);
+  EXPECT_LE(S.A->solver().runStats().Rounds, 1u);
 }
 
 TEST(SolverEdges, SelfAssignmentIsAFixpointNoOp) {
@@ -23,7 +23,7 @@ TEST(SolverEdges, SelfAssignmentIsAFixpointNoOp) {
   // &s normalizes to the innermost first field (the paper's normalize),
   // so the self-pointer target renders as s.a.
   EXPECT_EQ(S.pts("s"), strs({"s.a", "x"}));
-  EXPECT_LT(S.A->solver().runStats().Iterations, 10u);
+  EXPECT_LT(S.A->solver().runStats().Rounds, 10u);
 }
 
 TEST(SolverEdges, CyclicPointerGraphConverges) {
@@ -37,7 +37,7 @@ TEST(SolverEdges, CyclicPointerGraphConverges) {
                    ModelKind::CollapseOnCast);
   auto Pa = S.pts("pa");
   EXPECT_TRUE(std::find(Pa.begin(), Pa.end(), "x") != Pa.end());
-  EXPECT_LT(S.A->solver().runStats().Iterations, 10u);
+  EXPECT_LT(S.A->solver().runStats().Rounds, 10u);
 }
 
 TEST(SolverEdges, DerefOfNeverAssignedPointerIsEmptyNotFatal) {
@@ -64,7 +64,7 @@ TEST(SolverEdges, HugeStructCopyStaysPolynomial) {
   auto S = analyze(Source, ModelKind::CollapseOnCast);
   auto B = S.pts("b");
   EXPECT_EQ(B.size(), 4u); // all four targets, nothing more
-  EXPECT_LT(S.A->solver().runStats().Iterations, 10u);
+  EXPECT_LT(S.A->solver().runStats().Rounds, 10u);
 }
 
 TEST(SolverEdges, StoreThroughEveryFieldOfASmearedPointer) {
@@ -99,9 +99,24 @@ TEST(SolverEdges, MaxIterationCapPreventsRunaway) {
   AnalysisOptions Opts;
   Opts.Model = ModelKind::CommonInitialSeq;
   Opts.Solver.MaxIterations = 1; // artificially tiny
+  Opts.Solver.Diags = &Diags;
   Analysis A(P->Prog, Opts);
   A.run();
-  EXPECT_EQ(A.solver().runStats().Iterations, 1u);
+  EXPECT_EQ(A.solver().runStats().Rounds, 1u);
+  // Hitting the cap is a truncated run, and the solver must say so instead
+  // of silently returning an unsound graph.
+  EXPECT_FALSE(A.solver().runStats().Converged);
+  bool Warned = false;
+  for (const Diagnostic &D : Diags.all())
+    Warned |= D.Kind == DiagKind::Warning &&
+              D.Message.find("fixpoint") != std::string::npos;
+  EXPECT_TRUE(Warned);
+}
+
+TEST(SolverEdges, ConvergedRunsReportConvergence) {
+  auto S = analyze("int x, *p; void f(void) { p = &x; }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_TRUE(S.A->solver().runStats().Converged);
 }
 
 TEST(SolverEdges, SummariesDisabledLeavesExternalsInert) {
@@ -115,6 +130,52 @@ TEST(SolverEdges, SummariesDisabledLeavesExternalsInert) {
   Analysis A(P->Prog, Opts);
   A.run();
   EXPECT_TRUE(pointsToSetOf(A.solver(), "r").empty());
+}
+
+namespace {
+/// Finds the top-level object named \p Name (test-only; linear scan).
+spa::ObjectId objectNamed(spa::Solver &S, std::string_view Name) {
+  spa::NormProgram &Prog = S.program();
+  for (uint32_t I = 0; I < Prog.Objects.size(); ++I)
+    if (Prog.objectName(spa::ObjectId(I)) == Name)
+      return spa::ObjectId(I);
+  return {};
+}
+} // namespace
+
+TEST(SolverEdges, PointsToReferencesSurviveLazyObjectCreation) {
+  // pointsTo hands out references into the solver's fact storage; lazy
+  // creation of the $unknown/$extern pseudo-objects used to grow a
+  // std::vector underneath them (a dangling-reference bug this guards
+  // against; the ASan preset catches any reintroduction).
+  auto S = analyze("int x, y, *p, *q; void f(void) { p = &x; q = &y; }",
+                   ModelKind::Offsets);
+  Solver &Sol = S.A->solver();
+  ObjectId P = objectNamed(Sol, "p");
+  ASSERT_TRUE(P.isValid());
+  const PtsSet &Held = Sol.pointsTo(Sol.normalizeObj(P));
+  ASSERT_EQ(Held.size(), 1u);
+  NodeId Target = *Held.begin();
+
+  // Force the lazy paths: materialize $unknown and $extern and give the
+  // new (highest-index) node facts of its own, growing the storage.
+  NodeId Unknown = Sol.unknownNode();
+  Sol.externObject();
+  Sol.addEdge(Unknown, Sol.normalizeObj(P));
+
+  EXPECT_EQ(Held.size(), 1u);
+  EXPECT_EQ(*Held.begin(), Target);
+}
+
+TEST(SolverEdges, DerefTargetsStableWhileSummariesRun) {
+  // strchr's summary returns its argument into the destination through
+  // the pointer-arithmetic flow while $extern is created mid-solve — the
+  // end-to-end shape of the same invalidation.
+  auto S = analyze("char buf[8]; char *r, *t;"
+                   "void f(void) { r = strchr(buf, 'x'); t = r + 1; }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.pts("r"), strs({"buf"}));
+  EXPECT_EQ(S.pts("t"), strs({"buf"}));
 }
 
 TEST(SolverEdges, TakingAddressOfAFunctionParameter) {

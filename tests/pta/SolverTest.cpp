@@ -126,7 +126,7 @@ TEST(Solver, RecursiveDataStructuresConverge) {
                    "int main(void) { push(); push(); sum(); return 0; }",
                    ModelKind::CommonInitialSeq);
   ASSERT_TRUE(S.A != nullptr);
-  EXPECT_LT(S.A->solver().runStats().Iterations, 20u);
+  EXPECT_LT(S.A->solver().runStats().Rounds, 20u);
   auto Sum = S.pts("sum$ret");
   EXPECT_EQ(Sum, strs({"x"}));
 }

@@ -1,0 +1,131 @@
+//===--- TelemetryTest.cpp - Run-telemetry collection and JSON export -----===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference.)
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The telemetry record is the contract behind `spa_cli --stats-json` and
+/// the bench output trajectories: its counters must be internally
+/// consistent and its JSON rendering must keep the documented spa.run.v1
+/// keys (docs/TELEMETRY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "pta/Telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+const char *Source = "struct S { int *a; int *b; } s;"
+                     "int x, y, *p;"
+                     "void f(void) { s.a = &x; s.b = &y; p = s.a; *p = 0; }";
+
+Solved analyzeWith(SolverOptions SOpts) {
+  Solved S;
+  S.Program = compile(Source);
+  AnalysisOptions Opts;
+  Opts.Model = ModelKind::CommonInitialSeq;
+  Opts.Solver = SOpts;
+  S.A = std::make_unique<Analysis>(S.Program->Prog, Opts);
+  S.A->run();
+  return S;
+}
+
+} // namespace
+
+TEST(Telemetry, CountersAreInternallyConsistent) {
+  SolverOptions SOpts;
+  SOpts.UseWorklist = true;
+  auto S = analyzeWith(SOpts);
+  RunTelemetry T = collectTelemetry(*S.A, "inline");
+
+  EXPECT_EQ(T.Stmts, S.Program->Prog.Stmts.size());
+  EXPECT_EQ(T.Objects, S.Program->Prog.Objects.size());
+  EXPECT_TRUE(T.Solver.Converged);
+  EXPECT_EQ(T.Solver.Pops, T.Solver.StmtsApplied);
+  EXPECT_GT(T.Solver.WorklistHighWater, 0u);
+  EXPECT_GE(T.Solver.SolveSeconds, 0.0);
+
+  // The per-rule counters partition the statement evaluations.
+  uint64_t RuleSum = 0, ChangedSum = 0;
+  for (unsigned I = 0; I < NumSolverRules; ++I) {
+    RuleSum += T.Solver.RuleApplied[I];
+    ChangedSum += T.Solver.RuleChanged[I];
+    EXPECT_LE(T.Solver.RuleChanged[I], T.Solver.RuleApplied[I]);
+  }
+  EXPECT_EQ(RuleSum, T.Solver.StmtsApplied);
+  EXPECT_GT(ChangedSum, 0u);
+}
+
+TEST(Telemetry, NaiveModeCountsRoundsNotPops) {
+  auto S = analyzeWith(SolverOptions{});
+  RunTelemetry T = collectTelemetry(*S.A);
+  EXPECT_GT(T.Solver.Rounds, 0u);
+  EXPECT_EQ(T.Solver.Pops, 0u);
+  EXPECT_EQ(T.Solver.DeltaPropagations, 0u); // delta is worklist-only
+  EXPECT_TRUE(T.Solver.Converged);
+}
+
+TEST(Telemetry, JsonCarriesTheDocumentedKeys) {
+  SolverOptions SOpts;
+  SOpts.UseWorklist = true;
+  auto S = analyzeWith(SOpts);
+  std::string Json = telemetryToJson(collectTelemetry(*S.A, "inline"));
+
+  for (const char *Key :
+       {"\"schema\":\"spa.run.v1\"", "\"program\":\"inline\"", "\"model\":",
+        "\"options\":", "\"use_worklist\":true", "\"delta_propagation\":true",
+        "\"program_shape\":", "\"solver\":", "\"converged\":true",
+        "\"rounds\":", "\"pops\":", "\"full_propagations\":",
+        "\"delta_propagations\":", "\"worklist_high_water\":",
+        "\"solve_seconds\":", "\"rule_applied\":", "\"rule_changed\":",
+        "\"addr_of\":", "\"ptr_arith\":", "\"call\":", "\"model_stats\":",
+        "\"lookup_calls\":", "\"deref_metrics\":", "\"avg_set_size\":"})
+    EXPECT_NE(Json.find(Key), std::string::npos) << Key << "\nin " << Json;
+
+  // Structurally sound: balanced braces, single trailing newline.
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I < Json.size(); ++I) {
+    char C = Json[I];
+    if (C == '"' && (I == 0 || Json[I - 1] != '\\'))
+      InString = !InString;
+    if (InString)
+      continue;
+    Depth += C == '{';
+    Depth -= C == '}';
+    EXPECT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_FALSE(InString);
+  ASSERT_FALSE(Json.empty());
+  EXPECT_EQ(Json.back(), '\n');
+}
+
+TEST(Telemetry, WriteToFileRoundTrips) {
+  auto S = analyzeWith(SolverOptions{});
+  RunTelemetry T = collectTelemetry(*S.A, "roundtrip");
+  std::string Path =
+      ::testing::TempDir() + "/spa_telemetry_test.json";
+  ASSERT_TRUE(writeTelemetryJson(T, Path));
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), telemetryToJson(T));
+  std::remove(Path.c_str());
+}
+
+TEST(Telemetry, UnwritablePathReportsFailure) {
+  auto S = analyzeWith(SolverOptions{});
+  RunTelemetry T = collectTelemetry(*S.A);
+  EXPECT_FALSE(writeTelemetryJson(T, "/nonexistent-dir/x/y.json"));
+}

@@ -5,11 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The worklist solver is an engineering optimization that must compute
-/// exactly the graph of the paper's repeat-all-statements algorithm. This
-/// asserts bit-for-bit equality (via the stable edge-list export) over
-/// the whole corpus and a sweep of generated programs, for all four
-/// instances.
+/// The worklist solver — with and without difference propagation — is an
+/// engineering optimization that must compute exactly the graph of the
+/// paper's repeat-all-statements algorithm. This asserts bit-for-bit
+/// equality (via the stable edge-list export) over the whole corpus, a
+/// sweep of generated programs, and a sweep of option permutations, for
+/// all four instances.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,34 +25,93 @@ using namespace spa::test;
 
 namespace {
 
-/// Solves \p Source both ways and compares the full graphs.
-void expectEquivalent(const std::string &Source, const std::string &Label) {
+/// Solves \p Source three ways — naive rounds, plain worklist, worklist
+/// with delta propagation — and compares the full graphs, for all four
+/// models. \p Base carries the option permutation under test.
+void expectEquivalent(const std::string &Source, const std::string &Label,
+                      SolverOptions Base = {}) {
   for (ModelKind Kind :
        {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
-    DiagnosticEngine D1, D2;
+    DiagnosticEngine D1, D2, D3;
     auto P1 = CompiledProgram::fromSource(Source, D1);
     auto P2 = CompiledProgram::fromSource(Source, D2);
-    ASSERT_TRUE(P1 && P2) << Label;
+    auto P3 = CompiledProgram::fromSource(Source, D3);
+    ASSERT_TRUE(P1 && P2 && P3) << Label;
 
     AnalysisOptions Naive;
     Naive.Model = Kind;
+    Naive.Solver = Base;
     Naive.Solver.UseWorklist = false;
     Analysis A1(P1->Prog, Naive);
     A1.run();
 
-    AnalysisOptions Fast = Naive;
-    Fast.Solver.UseWorklist = true;
-    Analysis A2(P2->Prog, Fast);
+    AnalysisOptions Plain = Naive;
+    Plain.Solver.UseWorklist = true;
+    Plain.Solver.DeltaPropagation = false;
+    Analysis A2(P2->Prog, Plain);
     A2.run();
+
+    AnalysisOptions Delta = Naive;
+    Delta.Solver.UseWorklist = true;
+    Delta.Solver.DeltaPropagation = true;
+    Analysis A3(P3->Prog, Delta);
+    A3.run();
+
+    ASSERT_TRUE(A1.solver().runStats().Converged) << Label;
+    ASSERT_TRUE(A2.solver().runStats().Converged) << Label;
+    ASSERT_TRUE(A3.solver().runStats().Converged) << Label;
 
     ExportOptions All;
     All.IncludeTemps = true;
-    EXPECT_EQ(exportEdgeList(A1.solver(), All), exportEdgeList(A2.solver(), All))
-        << Label << " under " << modelKindName(Kind);
-    EXPECT_EQ(A1.solver().numEdges(), A2.solver().numEdges())
+    std::string Expected = exportEdgeList(A1.solver(), All);
+    EXPECT_EQ(Expected, exportEdgeList(A2.solver(), All))
+        << Label << " (plain worklist) under " << modelKindName(Kind);
+    EXPECT_EQ(Expected, exportEdgeList(A3.solver(), All))
+        << Label << " (delta worklist) under " << modelKindName(Kind);
+    EXPECT_EQ(A1.solver().numEdges(), A3.solver().numEdges())
         << Label << " under " << modelKindName(Kind);
   }
+}
+
+/// An adversarial inline program: indirect calls through a function
+/// pointer table plus varargs pooling, the two call-binding paths whose
+/// delta handling is easiest to get wrong.
+const char *VarargsAndFnPtrSource = R"(
+struct S { int *a; int *b; } s;
+int x, y, z;
+int *sink1, *sink2;
+
+void take_many(int n, ...) { }
+
+void f1(int **pp) { sink1 = *pp; }
+void f2(int **pp) { sink2 = *pp; }
+
+void (*table[2])(int **);
+
+void dispatch(int i) {
+  int *local;
+  local = &x;
+  table[0] = f1;
+  table[1] = f2;
+  table[i](&local);
+  take_many(1, &y, s.a, table[i]);
+  take_many(2, &z);
+}
+
+int main(void) {
+  s.a = &y;
+  s.b = &z;
+  dispatch(0);
+  return 0;
+}
+)";
+
+const CorpusEntry *findCorpus(const char *FileName) {
+  for (const CorpusEntry &E : corpusManifest())
+    if (E.FileName == FileName)
+      return &E;
+  return nullptr;
 }
 
 class CorpusEquivalence : public ::testing::TestWithParam<CorpusEntry> {};
@@ -74,6 +134,39 @@ INSTANTIATE_TEST_SUITE_P(
       return Name;
     });
 
+TEST(OptionSweepEquivalence, AllPermutationsOnVarargsAndFnPtrs) {
+  // Full cross product of the three semantic toggles on a program with
+  // indirect calls and varargs; expectEquivalent multiplies in the four
+  // models and the three engines.
+  for (int Mask = 0; Mask < 8; ++Mask) {
+    SolverOptions Base;
+    Base.StrideArith = (Mask & 1) != 0;
+    Base.TrackUnknown = (Mask & 2) != 0;
+    Base.UseLibrarySummaries = (Mask & 4) == 0;
+    expectEquivalent(VarargsAndFnPtrSource,
+                     "varargs+fnptr mask " + std::to_string(Mask), Base);
+  }
+}
+
+TEST(OptionSweepEquivalence, TogglesOnCorpusProgramsWithIndirectCalls) {
+  // bc and less both drive work through function-pointer tables.
+  for (const char *FileName : {"bc.c", "less.c"}) {
+    const CorpusEntry *Entry = findCorpus(FileName);
+    ASSERT_TRUE(Entry != nullptr) << FileName;
+    std::string Source;
+    ASSERT_TRUE(loadCorpusSource(*Entry, Source));
+    for (int Toggle = 0; Toggle < 4; ++Toggle) {
+      SolverOptions Base;
+      Base.StrideArith = Toggle == 1;
+      Base.TrackUnknown = Toggle == 2;
+      Base.UseLibrarySummaries = Toggle != 3;
+      expectEquivalent(Source, std::string(FileName) + " toggle " +
+                                   std::to_string(Toggle),
+                       Base);
+    }
+  }
+}
+
 TEST(GeneratedEquivalence, WorklistMatchesNaiveOnGeneratedPrograms) {
   for (uint64_t Seed : {7, 11, 19, 23}) {
     GeneratorConfig Config;
@@ -83,6 +176,21 @@ TEST(GeneratedEquivalence, WorklistMatchesNaiveOnGeneratedPrograms) {
     expectEquivalent(generateProgram(Config),
                      "seed " + std::to_string(Seed));
   }
+}
+
+TEST(GeneratedEquivalence, StatementHeavyWorkloadStaysCheap) {
+  // Regression guard for the quadratic noteRead registration: a workload
+  // with many statements re-reading the same objects must register each
+  // (statement, object) dependency once and still match the naive graph.
+  GeneratorConfig Config;
+  Config.Seed = 5;
+  Config.NumStructVars = 16;
+  Config.NumPtrVars = 16;
+  Config.NumFunctions = 10;
+  Config.StmtsPerFunction = 60;
+  Config.UseFunctionPointers = true;
+  std::string Source = generateProgram(Config);
+  expectEquivalent(Source, "statement-heavy seed 5");
 }
 
 TEST(GeneratedEquivalence, WorklistDoesLessWork) {
@@ -110,4 +218,39 @@ TEST(GeneratedEquivalence, WorklistDoesLessWork) {
 
   EXPECT_LT(A2.solver().runStats().StmtsApplied,
             A1.solver().runStats().StmtsApplied);
+}
+
+TEST(GeneratedEquivalence, DeltaPropagationReplacesFullJoins) {
+  GeneratorConfig Config;
+  Config.Seed = 13;
+  Config.NumStructVars = 12;
+  Config.NumFunctions = 6;
+  Config.StmtsPerFunction = 30;
+  Config.UseFunctionPointers = true;
+  std::string Source = generateProgram(Config);
+
+  DiagnosticEngine D1, D2;
+  auto P1 = CompiledProgram::fromSource(Source, D1);
+  auto P2 = CompiledProgram::fromSource(Source, D2);
+  ASSERT_TRUE(P1 && P2);
+
+  AnalysisOptions Plain;
+  Plain.Model = ModelKind::CommonInitialSeq;
+  Plain.Solver.UseWorklist = true;
+  Plain.Solver.DeltaPropagation = false;
+  Analysis A1(P1->Prog, Plain);
+  A1.run();
+
+  AnalysisOptions Delta = Plain;
+  Delta.Solver.DeltaPropagation = true;
+  Analysis A2(P2->Prog, Delta);
+  A2.run();
+
+  const SolverRunStats &PS = A1.solver().runStats();
+  const SolverRunStats &DS = A2.solver().runStats();
+  EXPECT_EQ(PS.DeltaPropagations, 0u);
+  EXPECT_GT(DS.DeltaPropagations, 0u);
+  // Every re-visited pair that the plain engine re-joins in full becomes
+  // a (cheap) delta consume, so the delta engine does fewer full joins.
+  EXPECT_LT(DS.FullPropagations, PS.FullPropagations);
 }

@@ -6,6 +6,7 @@
 
 #include "support/Diagnostics.h"
 #include "support/IdSet.h"
+#include "support/SegmentedVector.h"
 #include "support/StringInterner.h"
 #include "support/TablePrinter.h"
 
@@ -86,6 +87,68 @@ TEST(IdSet, InsertAllFromEmpty) {
   A.insert(TestId(7));
   EXPECT_EQ(A.insertAll(Empty), 0u);
   EXPECT_EQ(Empty.insertAll(A), 1u);
+}
+
+TEST(IdSet, InsertAllRecordsNewElements) {
+  TestSet A, B;
+  A.insert(TestId(1));
+  A.insert(TestId(4));
+  B.insert(TestId(1));
+  B.insert(TestId(2));
+  B.insert(TestId(9));
+  std::vector<TestId> New;
+  EXPECT_EQ(A.insertAll(B, &New), 2u);
+  ASSERT_EQ(New.size(), 2u);
+  EXPECT_EQ(New[0], TestId(2));
+  EXPECT_EQ(New[1], TestId(9));
+  // No-change merges append nothing.
+  EXPECT_EQ(A.insertAll(B, &New), 0u);
+  EXPECT_EQ(New.size(), 2u);
+}
+
+TEST(IdSet, InsertAllFromSelfIsANoOp) {
+  TestSet A;
+  A.insert(TestId(1));
+  A.insert(TestId(2));
+  std::vector<TestId> New;
+  EXPECT_EQ(A.insertAll(A, &New), 0u);
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_TRUE(New.empty());
+}
+
+TEST(SegmentedVector, ReferencesSurviveGrowth) {
+  SegmentedVector<int, 4> V;
+  int &First = V.grow(0);
+  First = 42;
+  // Grow across many segment boundaries; &First must not move.
+  for (size_t I = 1; I < 1000; ++I)
+    V.grow(I) = static_cast<int>(I);
+  EXPECT_EQ(&First, &V[0]);
+  EXPECT_EQ(V[0], 42);
+  EXPECT_EQ(V.size(), 1000u);
+  EXPECT_EQ(V[999], 999);
+}
+
+TEST(SegmentedVector, GrowDefaultConstructsTheGap) {
+  SegmentedVector<int, 4> V;
+  V.grow(10) = 7;
+  EXPECT_EQ(V.size(), 11u);
+  for (size_t I = 0; I < 10; ++I)
+    EXPECT_EQ(V[I], 0);
+  EXPECT_EQ(V[10], 7);
+}
+
+TEST(SegmentedVector, ForEachVisitsInIndexOrder) {
+  SegmentedVector<int, 4> V;
+  for (size_t I = 0; I < 9; ++I)
+    V.emplaceBack() = static_cast<int>(I * I);
+  std::vector<int> Seen;
+  V.forEach([&Seen](const int &X) { Seen.push_back(X); });
+  ASSERT_EQ(Seen.size(), 9u);
+  for (size_t I = 0; I < 9; ++I)
+    EXPECT_EQ(Seen[I], static_cast<int>(I * I));
+  V.clear();
+  EXPECT_TRUE(V.empty());
 }
 
 TEST(Diagnostics, CountsAndFormats) {

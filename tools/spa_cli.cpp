@@ -19,13 +19,21 @@
 ///   spa_cli file.c --stmts                  dump normalized statements
 ///   spa_cli file.c --stride                 Wilson/Lam array-stride rule
 ///   spa_cli file.c --unknown                Unknown-tracking mode
+///   spa_cli file.c --worklist               worklist engine (delta default)
+///   spa_cli file.c --no-delta               ... without delta propagation
+///   spa_cli file.c --stats-json=out.json    run telemetry ("-" = stdout)
+///
+/// Exit codes: 0 success, 1 compile error, 2 usage error, 3 solver did
+/// not converge within its iteration budget (results are incomplete).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "pta/Frontend.h"
 #include "pta/GraphExport.h"
+#include "pta/Telemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace spa;
@@ -37,12 +45,17 @@ struct CliOptions {
   ModelKind Model = ModelKind::CommonInitialSeq;
   TargetInfo Target = TargetInfo::ilp32();
   std::vector<std::string> PrintVars;
+  std::string StatsJson;
   bool Edges = false;
   bool Dot = false;
   bool Stmts = false;
   bool Stride = false;
   bool Unknown = false;
+  bool Worklist = false;
+  bool NoDelta = false;
   bool ShowHelp = false;
+  unsigned MaxIterations = 0; // 0 = keep the SolverOptions default
+
 };
 
 bool parseArgs(int argc, char **argv, CliOptions &Opts) {
@@ -78,6 +91,12 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       }
     } else if (Arg.rfind("--print=", 0) == 0) {
       Opts.PrintVars.push_back(Arg.substr(8));
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      Opts.StatsJson = Arg.substr(13);
+      if (Opts.StatsJson.empty()) {
+        std::fprintf(stderr, "--stats-json needs a file name (or -)\n");
+        return false;
+      }
     } else if (Arg == "--edges") {
       Opts.Edges = true;
     } else if (Arg == "--dot") {
@@ -88,6 +107,17 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Stride = true;
     } else if (Arg == "--unknown") {
       Opts.Unknown = true;
+    } else if (Arg == "--worklist") {
+      Opts.Worklist = true;
+    } else if (Arg == "--no-delta") {
+      Opts.NoDelta = true;
+    } else if (Arg.rfind("--max-iterations=", 0) == 0) {
+      Opts.MaxIterations =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 17, nullptr, 10));
+      if (Opts.MaxIterations == 0) {
+        std::fprintf(stderr, "--max-iterations needs a positive count\n");
+        return false;
+      }
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -111,7 +141,12 @@ void usage(const char *Prog) {
       "  --dot                    print the graph as Graphviz DOT\n"
       "  --stmts                  dump the normalized statements\n"
       "  --stride                 enable the array-stride refinement\n"
-      "  --unknown                track corrupted pointers as Unknown\n",
+      "  --unknown                track corrupted pointers as Unknown\n"
+      "  --worklist               use the worklist engine (same fixpoint)\n"
+      "  --no-delta               worklist without difference propagation\n"
+      "  --max-iterations=N       solver iteration budget (exit 3 if exceeded)\n"
+      "  --stats-json=FILE        write run telemetry JSON (- for stdout;\n"
+      "                           - suppresses all other stdout output)\n",
       Prog);
 }
 
@@ -136,6 +171,7 @@ int main(int argc, char **argv) {
     if (D.Kind == DiagKind::Warning)
       std::fprintf(stderr, "%s: %s\n", toString(D.Loc).c_str(),
                    D.Message.c_str());
+  size_t WarningsPrinted = Diags.all().size();
 
   if (Opts.Stmts) {
     for (const NormStmt &S : Program->Prog.Stmts)
@@ -149,16 +185,40 @@ int main(int argc, char **argv) {
   AOpts.Target = Opts.Target;
   AOpts.Solver.StrideArith = Opts.Stride;
   AOpts.Solver.TrackUnknown = Opts.Unknown;
+  AOpts.Solver.UseWorklist = Opts.Worklist;
+  AOpts.Solver.DeltaPropagation = !Opts.NoDelta;
+  AOpts.Solver.Diags = &Diags;
+  if (Opts.MaxIterations)
+    AOpts.Solver.MaxIterations = Opts.MaxIterations;
   Analysis A(Program->Prog, AOpts);
   A.run();
 
+  // Solver-emitted warnings (e.g. non-convergence).
+  for (size_t I = WarningsPrinted; I < Diags.all().size(); ++I) {
+    const Diagnostic &D = Diags.all()[I];
+    if (D.Kind == DiagKind::Warning)
+      std::fprintf(stderr, "warning: %s\n", D.Message.c_str());
+  }
+  const SolverRunStats &RS = A.solver().runStats();
+  int ExitCode = RS.Converged ? 0 : 3;
+
+  if (!Opts.StatsJson.empty()) {
+    if (!writeTelemetryJson(collectTelemetry(A, Opts.File), Opts.StatsJson)) {
+      std::fprintf(stderr, "cannot write '%s'\n", Opts.StatsJson.c_str());
+      return 1;
+    }
+    // "-" promises machine-readable stdout: emit nothing else there.
+    if (Opts.StatsJson == "-")
+      return ExitCode;
+  }
+
   if (Opts.Dot) {
     std::fputs(exportDot(A.solver()).c_str(), stdout);
-    return 0;
+    return ExitCode;
   }
   if (Opts.Edges) {
     std::fputs(exportEdgeList(A.solver()).c_str(), stdout);
-    return 0;
+    return ExitCode;
   }
   for (const std::string &Var : Opts.PrintVars) {
     std::printf("%s -> {", Var.c_str());
@@ -170,18 +230,30 @@ int main(int argc, char **argv) {
     std::printf("}\n");
   }
   if (!Opts.PrintVars.empty())
-    return 0;
+    return ExitCode;
 
   DerefMetrics M = A.derefMetrics();
   const ModelStats &MS = A.model().stats();
-  const SolverRunStats &RS = A.solver().runStats();
   std::printf("model:               %s\n", modelKindName(Opts.Model));
   std::printf("target ABI:          %s\n", Opts.Target.Name.c_str());
   std::printf("statements:          %zu\n", Program->Prog.Stmts.size());
   std::printf("objects:             %zu\n", Program->Prog.Objects.size());
   std::printf("nodes:               %zu\n", RS.Nodes);
   std::printf("points-to edges:     %llu\n", (unsigned long long)RS.Edges);
-  std::printf("solver iterations:   %u\n", RS.Iterations);
+  if (Opts.Worklist) {
+    std::printf("solver engine:       worklist%s\n",
+                Opts.NoDelta ? "" : " (delta propagation)");
+    std::printf("worklist pops:       %llu (high water %zu)\n",
+                (unsigned long long)RS.Pops, RS.WorklistHighWater);
+    std::printf("propagations:        %llu full, %llu delta\n",
+                (unsigned long long)RS.FullPropagations,
+                (unsigned long long)RS.DeltaPropagations);
+  } else {
+    std::printf("solver engine:       naive rounds\n");
+    std::printf("solver rounds:       %u\n", RS.Rounds);
+  }
+  std::printf("converged:           %s\n", RS.Converged ? "yes" : "NO");
+  std::printf("solve time:          %.3f ms\n", RS.SolveSeconds * 1e3);
   std::printf("deref sites:         %zu\n", M.Sites);
   std::printf("avg deref set size:  %.2f\n", M.AvgSetSize);
   std::printf("max deref set size:  %llu\n",
@@ -203,5 +275,5 @@ int main(int argc, char **argv) {
       std::printf(" %s", Name.c_str());
     std::printf("\n");
   }
-  return 0;
+  return ExitCode;
 }

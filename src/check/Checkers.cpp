@@ -1,0 +1,382 @@
+//===--- Checkers.cpp - Client checkers over the points-to results --------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Checkers.h"
+
+#include "ctypes/Compat.h"
+
+#include <algorithm>
+
+using namespace spa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// cast-safety
+//===----------------------------------------------------------------------===//
+
+/// How a declared pointee type relates to one pointed-to object's layout.
+enum class ViewClass {
+  Ok,         ///< some view of the object matches the declared type
+  Mismatch,   ///< no view matches at all
+  Truncation, ///< a common initial sequence matches, but the declared view
+              ///< is larger than the object
+};
+
+/// Char-family and void views are universal: ISO C blesses byte access to
+/// any object, and untyped heap blobs / $extern are modeled as char[0].
+bool isByteView(const TypeTable &Types, TypeId Ty) {
+  switch (Types.kind(Ty)) {
+  case TypeKind::Void:
+  case TypeKind::Char:
+  case TypeKind::SChar:
+  case TypeKind::UChar:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Classifies a dereference through declared pointee \p DeclTy of an
+/// object declared as \p ObjTy. The object offers more views than its top
+/// type: a pointer to the first member (transitively) is a valid view, so
+/// the member types are searched breadth-first. This predicate depends
+/// only on the two types and the layout — not on the field model — so the
+/// set of flagged sites is monotone in the points-to sets, which is what
+/// the cross-model property test asserts.
+ViewClass classifyView(const TypeTable &Types, const LayoutEngine &Layout,
+                       TypeId DeclTy, TypeId ObjTy) {
+  TypeId T = Types.canonical(Types.stripArrays(Types.unqualified(DeclTy)));
+  TypeId O = Types.canonical(Types.stripArrays(Types.unqualified(ObjTy)));
+  if (isByteView(Types, T) || isByteView(Types, O))
+    return ViewClass::Ok;
+  if (Types.isFunction(T) || Types.isFunction(O))
+    return areCompatible(Types, T, O) ? ViewClass::Ok : ViewClass::Mismatch;
+  if (Types.isRecord(O) && !Types.record(Types.node(O).Record).IsComplete)
+    return ViewClass::Ok; // nothing known to contradict
+
+  // Breadth-first over the object's member types: each is the type of a
+  // prefix-addressable view (arrays collapse to one element, so every
+  // member is reachable by some pointer into the object).
+  unsigned BestCis = 0;
+  std::vector<TypeId> Queue{O}, Seen{O};
+  for (size_t Head = 0; Head < Queue.size() && Queue.size() < 256; ++Head) {
+    TypeId Cur = Queue[Head];
+    if (areCompatible(Types, T, Cur))
+      return ViewClass::Ok;
+    if (Types.isStruct(T) && Types.isStruct(Cur))
+      BestCis = std::max(BestCis,
+                         commonInitialSeqLen(Types, Types.node(T).Record,
+                                             Types.node(Cur).Record));
+    if (!Types.isRecord(Cur))
+      continue;
+    const RecordDecl &Decl = Types.record(Types.node(Cur).Record);
+    if (!Decl.IsComplete)
+      return ViewClass::Ok; // incomplete member: cannot contradict
+    for (const FieldDecl &F : Decl.Fields) {
+      TypeId FT = Types.canonical(Types.stripArrays(Types.unqualified(F.Ty)));
+      if (isByteView(Types, FT))
+        return ViewClass::Ok;
+      if (std::find(Seen.begin(), Seen.end(), FT) == Seen.end()) {
+        Seen.push_back(FT);
+        Queue.push_back(FT);
+      }
+    }
+  }
+  if (BestCis > 0)
+    return Layout.sizeOf(T) > Layout.sizeOf(O) ? ViewClass::Truncation
+                                               : ViewClass::Ok;
+  return ViewClass::Mismatch;
+}
+
+class CastSafetyChecker : public Checker {
+public:
+  const char *id() const override { return "cast-safety"; }
+  const char *description() const override {
+    return "dereferences whose declared pointee type matches no layout view "
+           "of any pointed-to object";
+  }
+
+  void run(CheckContext &Ctx) override {
+    NormProgram &Prog = Ctx.program();
+    const TypeTable &Types = Ctx.types();
+    Solver &S = Ctx.solver();
+    const std::vector<SiteEvents> &Events = S.siteEvents();
+    for (size_t I = 0; I < Prog.DerefSites.size(); ++I) {
+      const DerefSite &Site = Prog.DerefSites[I];
+      if (Site.IsCall)
+        continue; // indirect calls bind by function identity, not layout
+      ViewClass Worst = ViewClass::Ok;
+      ObjectId Offender;
+      IdSet<ObjectTag> SeenObjs;
+      for (NodeId Target : S.derefTargets(Site)) {
+        ObjectId Obj = S.model().nodes().objectOf(Target);
+        if (!SeenObjs.insert(Obj))
+          continue;
+        const NormObject &Info = Prog.object(Obj);
+        if (Info.Kind == ObjectKind::Constant ||
+            Info.Kind == ObjectKind::Unknown)
+          continue;
+        ViewClass VC = classifyView(Types, Ctx.layout(), Site.DeclPointeeTy,
+                                    Info.Ty);
+        // Mismatch outranks Truncation; the first offender of the worst
+        // class is reported (points-to sets iterate deterministically).
+        if (VC == ViewClass::Mismatch && Worst != ViewClass::Mismatch) {
+          Worst = VC;
+          Offender = Obj;
+        } else if (VC == ViewClass::Truncation && Worst == ViewClass::Ok) {
+          Worst = VC;
+          Offender = Obj;
+        }
+      }
+      if (Worst == ViewClass::Ok)
+        continue;
+      std::string PtrName = Prog.objectName(Site.Ptr);
+      std::string DeclStr = Types.toString(Site.DeclPointeeTy, Prog.Strings);
+      std::string ObjStr =
+          Types.toString(Prog.object(Offender).Ty, Prog.Strings);
+      std::string Msg;
+      if (Worst == ViewClass::Mismatch)
+        Msg = "dereference of '" + PtrName + "' as '" + DeclStr +
+              "' may access '" + Prog.objectName(Offender) +
+              "' whose type '" + ObjStr + "' matches no view of that layout";
+      else
+        Msg = "dereference of '" + PtrName + "' as '" + DeclStr +
+              "' may read past the end of '" + Prog.objectName(Offender) +
+              "' of smaller type '" + ObjStr +
+              "' (only a common initial sequence matches)";
+      Ctx.Diags.report(DiagKind::Warning, Site.Loc,
+                       Worst == ViewClass::Mismatch ? "cast-safety"
+                                                    : "cast-truncation",
+                       std::move(Msg));
+      if (I < Events.size() && Events[I].Mismatch)
+        Ctx.Diags.note(Site.Loc, "the field model recorded a type-mismatched "
+                                 "lookup at this site during the solve");
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// null-deref
+//===----------------------------------------------------------------------===//
+
+class NullDerefChecker : public Checker {
+public:
+  const char *id() const override { return "null-deref"; }
+  const char *description() const override {
+    return "dereferences of pointers that may be null, uninitialized, or "
+           "corrupted (empty points-to set)";
+  }
+
+  void run(CheckContext &Ctx) override {
+    NormProgram &Prog = Ctx.program();
+    Solver &S = Ctx.solver();
+    const std::vector<SiteEvents> &Events = S.siteEvents();
+
+    // A function is "referenced" if it is main, directly called, or used
+    // as a value anywhere. In an unreferenced function the parameters are
+    // never bound, so empty sets derived from them are artifacts of dead
+    // code, not null dereferences — such sites are suppressed below.
+    std::vector<char> Referenced(Prog.Funcs.size(), 0);
+    FuncId Main = Prog.findFunc(Prog.Strings.intern("main"));
+    if (Main.isValid())
+      Referenced[Main.index()] = 1;
+    auto MarkObj = [&](ObjectId Obj) {
+      if (!Obj.isValid())
+        return;
+      const NormObject &Info = Prog.object(Obj);
+      if (Info.Kind == ObjectKind::Function && Info.AsFunction.isValid())
+        Referenced[Info.AsFunction.index()] = 1;
+    };
+    for (const NormStmt &St : Prog.Stmts) {
+      if (St.Op == NormOp::Call && St.DirectCallee.isValid())
+        Referenced[St.DirectCallee.index()] = 1;
+      MarkObj(St.Src);
+      for (ObjectId Obj : St.ArithSrcs)
+        MarkObj(Obj);
+      for (ObjectId Obj : St.Args)
+        MarkObj(Obj);
+    }
+
+    for (size_t I = 0; I < Prog.DerefSites.size() && I < Events.size(); ++I) {
+      const DerefSite &Site = Prog.DerefSites[I];
+      std::string Variant;
+      if (Events[I].EmptyDeref) {
+        Variant = "points to nothing: it may be null or uninitialized";
+      } else {
+        // TrackUnknown mode: a set holding only the Unknown location means
+        // every value the pointer can hold came from arithmetic the
+        // analysis gave up on.
+        bool AllUnknown = true;
+        for (NodeId Target : S.derefTargets(Site))
+          if (Prog.object(S.model().nodes().objectOf(Target)).Kind !=
+              ObjectKind::Unknown) {
+            AllUnknown = false;
+            break;
+          }
+        if (!AllUnknown)
+          continue;
+        Variant = "may only hold an unknown (possibly corrupted) pointer";
+      }
+      const NormObject &P = Prog.object(Site.Ptr);
+      if (P.Owner.isValid() && !Referenced[P.Owner.index()] &&
+          !Prog.func(P.Owner).Params.empty())
+        continue;
+      Ctx.Diags.report(DiagKind::Warning, Site.Loc, "null-deref",
+                       (Site.IsCall ? "call through '" : "dereference of '") +
+                           Prog.objectName(Site.Ptr) + "' " + Variant);
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// use-after-free
+//===----------------------------------------------------------------------===//
+
+class UseAfterFreeChecker : public Checker {
+public:
+  const char *id() const override { return "use-after-free"; }
+  const char *description() const override {
+    return "dereferences that may reach a heap object after it was freed";
+  }
+
+  void run(CheckContext &Ctx) override {
+    NormProgram &Prog = Ctx.program();
+    Solver &S = Ctx.solver();
+    if (S.freedObjects().empty())
+      return;
+    for (const DerefSite &Site : Prog.DerefSites) {
+      for (NodeId Target : S.derefTargets(Site)) {
+        ObjectId Obj = S.model().nodes().objectOf(Target);
+        if (!S.isFreed(Obj))
+          continue;
+        Ctx.Diags.report(
+            DiagKind::Warning, Site.Loc, "use-after-free",
+            (Site.IsCall ? "call through '" : "dereference of '") +
+                Prog.objectName(Site.Ptr) + "' may use '" +
+                Prog.objectName(Obj) + "' after it was freed at " +
+                toString(S.freedAt(Obj)));
+        break; // one finding per site
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// unknown-external
+//===----------------------------------------------------------------------===//
+
+class UnknownExternalChecker : public Checker {
+public:
+  const char *id() const override { return "unknown-external"; }
+  const char *description() const override {
+    return "calls to external functions with no summary, silently treated "
+           "as having no pointer effects";
+  }
+
+  void run(CheckContext &Ctx) override {
+    NormProgram &Prog = Ctx.program();
+    const LibrarySummaries &Lib = Ctx.solver().summaries();
+    for (const NormStmt &St : Prog.Stmts) {
+      if (St.Op != NormOp::Call || !St.DirectCallee.isValid())
+        continue;
+      const NormFunction &Fn = Prog.func(St.DirectCallee);
+      if (Fn.IsDefined)
+        continue;
+      std::string_view Name = Prog.Strings.text(Fn.Name);
+      if (Lib.hasSummary(Name))
+        continue;
+      Ctx.Diags.report(DiagKind::Warning, St.Loc, "unknown-external",
+                       "call to external function '" + std::string(Name) +
+                           "' has no summary; its pointer effects are "
+                           "ignored");
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+template <class T> std::unique_ptr<Checker> make() {
+  return std::make_unique<T>();
+}
+
+struct RegistryEntry {
+  const char *Id;
+  std::unique_ptr<Checker> (*Make)();
+};
+
+const RegistryEntry Entries[] = {
+    {"cast-safety", make<CastSafetyChecker>},
+    {"null-deref", make<NullDerefChecker>},
+    {"use-after-free", make<UseAfterFreeChecker>},
+    {"unknown-external", make<UnknownExternalChecker>},
+};
+
+} // namespace
+
+std::vector<std::string> CheckerRegistry::allIds() {
+  std::vector<std::string> Out;
+  for (const RegistryEntry &E : Entries)
+    Out.push_back(E.Id);
+  return Out;
+}
+
+const char *CheckerRegistry::descriptionOf(std::string_view Id) {
+  for (const RegistryEntry &E : Entries)
+    if (Id == E.Id) {
+      // Instantiation is cheap; descriptions are string literals, so the
+      // pointer stays valid after the checker is destroyed.
+      return E.Make()->description();
+    }
+  return nullptr;
+}
+
+std::unique_ptr<Checker> CheckerRegistry::create(std::string_view Id) {
+  for (const RegistryEntry &E : Entries)
+    if (Id == E.Id)
+      return E.Make();
+  return nullptr;
+}
+
+const char *spa::findingCodeDescription(std::string_view Code) {
+  if (Code == "cast-safety")
+    return "Dereference whose declared pointee type matches no layout view "
+           "of a pointed-to object";
+  if (Code == "cast-truncation")
+    return "Dereference that may read past the end of a smaller pointed-to "
+           "object (only a common initial sequence matches)";
+  if (Code == "null-deref")
+    return "Dereference of a pointer that may be null, uninitialized, or "
+           "corrupted (empty points-to set)";
+  if (Code == "use-after-free")
+    return "Dereference that may reach a heap object after it was freed";
+  if (Code == "unknown-external")
+    return "Call to an external function without a summary; its pointer "
+           "effects are ignored";
+  return nullptr;
+}
+
+CheckReport spa::runCheckers(Analysis &A, const std::vector<std::string> &Ids,
+                             DiagnosticEngine &Diags) {
+  CheckContext Ctx{A, Diags};
+  CheckReport Report;
+  std::vector<std::string> Use =
+      Ids.empty() ? CheckerRegistry::allIds() : Ids;
+  for (const std::string &Id : Use) {
+    std::unique_ptr<Checker> C = CheckerRegistry::create(Id);
+    if (!C)
+      continue; // callers validate ids up front
+    C->run(Ctx);
+    Report.Ran.push_back(Id);
+  }
+  Diags.sortAndDedupe();
+  for (const Diagnostic &D : Diags.all())
+    if (D.Kind != DiagKind::Note && !D.Code.empty())
+      ++Report.Findings;
+  return Report;
+}

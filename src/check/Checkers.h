@@ -1,0 +1,106 @@
+//===--- Checkers.h - Client checkers over the points-to results -*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client-checker layer: small analyses that consume a finished
+/// points-to fixpoint (an Analysis that has run) and report findings
+/// through a DiagnosticEngine. The paper motivates its framework with
+/// exactly these clients — "detecting security holes" and flagging
+/// accesses through bad casts — and this layer is their realization.
+///
+/// Checkers never re-run the solver. Everything they need is either the
+/// final points-to sets (Solver::derefTargets) or the per-site resolution
+/// events the solver records while it runs (Solver::siteEvents,
+/// Solver::freedObjects): lookup outcomes, forced collapses, empty-set
+/// dereferences, and Dealloc effects from library summaries.
+///
+/// Each finding carries a stable code (Diagnostic::Code) that doubles as
+/// its SARIF rule id:
+///   cast-safety       declared pointee type disagrees with every view of
+///                     a pointed-to object's layout
+///   cast-truncation   a shared common initial sequence exists, but the
+///                     declared view reads past the end of the object
+///   null-deref        a dereferenced pointer's points-to set is empty (or
+///                     holds only the Unknown location): null, uninitialized,
+///                     or corrupted
+///   use-after-free    a dereference may reach a heap object already passed
+///                     to free/realloc
+///   unknown-external  a call to an external function with no summary is
+///                     silently treated as a no-op
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CHECK_CHECKERS_H
+#define SPA_CHECK_CHECKERS_H
+
+#include "pta/Frontend.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spa {
+
+/// Everything a checker may look at. The analysis is non-const because
+/// points-to queries can lazily materialize nodes; the fixpoint itself is
+/// never changed by a checker.
+struct CheckContext {
+  Analysis &A;
+  DiagnosticEngine &Diags;
+
+  Solver &solver() { return A.solver(); }
+  NormProgram &program() { return A.solver().program(); }
+  const TypeTable &types() { return A.solver().program().Types; }
+  const LayoutEngine &layout() const { return A.layout(); }
+};
+
+/// One checker: a named pass over the finished analysis.
+class Checker {
+public:
+  virtual ~Checker() = default;
+  /// Stable identifier ("cast-safety"), used by --check=LIST.
+  virtual const char *id() const = 0;
+  /// One-line human description.
+  virtual const char *description() const = 0;
+  /// Emits findings into \p Ctx.Diags.
+  virtual void run(CheckContext &Ctx) = 0;
+};
+
+/// Static registry of the built-in checkers.
+class CheckerRegistry {
+public:
+  /// Ids of every registered checker, in their canonical run order.
+  static std::vector<std::string> allIds();
+  /// Description of \p Id; null if unknown.
+  static const char *descriptionOf(std::string_view Id);
+  /// Instantiates \p Id; null if unknown.
+  static std::unique_ptr<Checker> create(std::string_view Id);
+};
+
+/// Description of a finding code (SARIF rule id); null if unknown. Codes
+/// are not 1:1 with checker ids: cast-safety also emits cast-truncation.
+const char *findingCodeDescription(std::string_view Code);
+
+/// Result of one runCheckers call.
+struct CheckReport {
+  /// Number of findings: non-note diagnostics carrying a code.
+  unsigned Findings = 0;
+  /// Checkers that actually ran, in order.
+  std::vector<std::string> Ran;
+};
+
+/// Runs the checkers named in \p Ids (all of them if empty) over \p A,
+/// which must already have run to fixpoint. Findings are appended to
+/// \p Diags, then the whole engine is sorted and deduplicated. Unknown
+/// ids are skipped (callers validate against CheckerRegistry::allIds()).
+CheckReport runCheckers(Analysis &A, const std::vector<std::string> &Ids,
+                        DiagnosticEngine &Diags);
+
+} // namespace spa
+
+#endif // SPA_CHECK_CHECKERS_H

@@ -1,0 +1,114 @@
+//===--- Sarif.cpp --------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Sarif.h"
+
+#include "check/Checkers.h"
+#include "support/Json.h"
+
+#include <algorithm>
+
+using namespace spa;
+
+static const char *levelOf(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "none";
+}
+
+std::string spa::findingsToSarif(const DiagnosticEngine &Diags,
+                                 const std::string &ArtifactUri) {
+  // Rules: the distinct codes present, in first-appearance order (the
+  // engine is already sorted, so the order is deterministic).
+  std::vector<std::string> Rules;
+  for (const Diagnostic &D : Diags.all())
+    if (!D.Code.empty() &&
+        std::find(Rules.begin(), Rules.end(), D.Code) == Rules.end())
+      Rules.push_back(D.Code);
+
+  std::string Out;
+  JsonWriter W(Out);
+  W.open(nullptr);
+  W.field("$schema", std::string("https://raw.githubusercontent.com/"
+                                 "oasis-tcs/sarif-spec/master/Schemata/"
+                                 "sarif-schema-2.1.0.json"));
+  W.field("version", std::string("2.1.0"));
+  W.openArray("runs");
+  W.open(nullptr);
+
+  W.open("tool");
+  W.open("driver");
+  W.field("name", std::string("spa"));
+  W.field("informationUri",
+          std::string("https://doi.org/10.1145/301631.301647"));
+  W.openArray("rules");
+  for (const std::string &Code : Rules) {
+    W.open(nullptr);
+    W.field("id", Code);
+    const char *Desc = findingCodeDescription(Code);
+    W.open("shortDescription");
+    W.field("text", std::string(Desc ? Desc : Code.c_str()));
+    W.close();
+    W.close();
+  }
+  W.closeArray();
+  W.close(); // driver
+  W.close(); // tool
+
+  W.openArray("artifacts");
+  W.open(nullptr);
+  W.open("location");
+  W.field("uri", ArtifactUri);
+  W.close();
+  W.close();
+  W.closeArray();
+
+  W.openArray("results");
+  for (const Diagnostic &D : Diags.all()) {
+    if (D.Code.empty())
+      continue;
+    size_t RuleIndex =
+        std::find(Rules.begin(), Rules.end(), D.Code) - Rules.begin();
+    W.open(nullptr);
+    W.field("ruleId", D.Code);
+    W.field("ruleIndex", static_cast<uint64_t>(RuleIndex));
+    W.field("level", std::string(levelOf(D.Kind)));
+    W.open("message");
+    W.field("text", D.Message);
+    W.close();
+    W.openArray("locations");
+    W.open(nullptr);
+    W.open("physicalLocation");
+    W.open("artifactLocation");
+    W.field("uri", ArtifactUri);
+    W.field("index", static_cast<uint64_t>(0));
+    W.close();
+    if (D.Loc.isValid()) {
+      W.open("region");
+      W.field("startLine", static_cast<uint64_t>(D.Loc.Line));
+      if (D.Loc.Column != 0)
+        W.field("startColumn", static_cast<uint64_t>(D.Loc.Column));
+      W.close();
+    }
+    W.close(); // physicalLocation
+    W.close(); // location
+    W.closeArray();
+    W.close(); // result
+  }
+  W.closeArray();
+
+  W.close(); // run
+  W.closeArray();
+  W.close();
+  Out += '\n';
+  return Out;
+}

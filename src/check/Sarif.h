@@ -1,0 +1,33 @@
+//===--- Sarif.h - SARIF 2.1.0 export of checker findings ------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes checker findings (diagnostics carrying a Code) as a minimal
+/// but valid SARIF 2.1.0 log: one run, one tool driver ("spa"), one rule
+/// per distinct finding code, one artifact (the analyzed file), and one
+/// result per finding. Diagnostics without a code (front-end warnings)
+/// are not findings and are omitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CHECK_SARIF_H
+#define SPA_CHECK_SARIF_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace spa {
+
+/// Renders \p Diags as a SARIF 2.1.0 JSON document. \p ArtifactUri is the
+/// analyzed file's URI (plain relative paths are accepted by SARIF
+/// consumers); results reference it via artifact index 0.
+std::string findingsToSarif(const DiagnosticEngine &Diags,
+                            const std::string &ArtifactUri);
+
+} // namespace spa
+
+#endif // SPA_CHECK_SARIF_H

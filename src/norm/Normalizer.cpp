@@ -563,8 +563,15 @@ ObjectId Normalizer::genCall(const Expr &E, TypeId TypeHint) {
                        : Types.getPointer(ElemTy);
     ObjectId Tmp = makeTemp(PtrTy, E.Loc);
     emitAddrOf(Tmp, Heap, {}, PtrTy, E.Loc);
-    if (Prev.isValid())
+    if (Prev.isValid()) {
       emitCopy(Tmp, Prev, {}, PtrTy, E.Loc);
+      // Residual call carrying realloc's deallocation of the old block.
+      // No return slot: the pointer result is fully modeled above, so the
+      // library summary's only live effect here is Dealloc(0).
+      NormStmt &FreeCall = emit(NormOp::Call, E.Loc);
+      FreeCall.DirectCallee = funcIdFor(Callee->Fn);
+      FreeCall.Args.push_back(Prev);
+    }
     return Tmp;
   }
 

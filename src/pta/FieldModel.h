@@ -72,14 +72,18 @@ public:
   /// The paper's lookup(tau, alpha, t-hat): which nodes of \p Target's
   /// object are referenced when a pointer declared to point to \p Tau,
   /// actually pointing at \p Target, is dereferenced at member path
-  /// \p Alpha. Appends to \p Out.
-  virtual void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+  /// \p Alpha. Appends to \p Out. Returns true iff the access was
+  /// type-consistent (the instance found a matching view; false means it
+  /// fell back to a collapse/smear, or truncated the access entirely) —
+  /// the solver records this per deref site for the checker layer.
+  virtual bool lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
                       std::vector<NodeId> &Out) = 0;
 
   /// The paper's resolve(dst, src, tau): pairs of (destination, source)
   /// nodes matched by a copy of declared type \p Tau from \p Src to
-  /// \p Dst. Appends to \p Out.
-  virtual void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+  /// \p Dst. Appends to \p Out. Returns true iff every internal lookup was
+  /// type-consistent (see lookup).
+  virtual bool resolve(NodeId Dst, NodeId Src, TypeId Tau,
                        std::vector<std::pair<NodeId, NodeId>> &Out) = 0;
 
   /// Every node of \p Obj (for pointer-arithmetic smearing). Appends to

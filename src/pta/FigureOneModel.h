@@ -45,19 +45,20 @@ public:
   /// Rule 2: pointsTo(p, t.beta) |- pointsTo(s, t.beta.alpha), where alpha
   /// is spelled with the names of the pointer's DECLARED pointee type (the
   /// rules know no other type).
-  void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+  bool lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
               std::vector<NodeId> &Out) override {
     noteLookup(/*InvolvesStruct=*/!Alpha.empty(), /*Mismatch=*/false);
     NamePath Full = pathOfKey(Store.keyOf(Target));
     NamePath Suffix = namesOf(Tau, Alpha);
     Full.insert(Full.end(), Suffix.begin(), Suffix.end());
     Out.push_back(Store.getNode(Store.objectOf(Target), pathKey(Full)));
+    return true; // Figure 1 knows no casts, so it never detects one
   }
 
   /// Rules 3-5: pointsTo(t.beta.gamma, u.delta) |- pointsTo(s.gamma,
   /// u.delta) — realized by pairing every materialized source node whose
   /// path extends beta with the destination node at the same suffix.
-  void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+  bool resolve(NodeId Dst, NodeId Src, TypeId Tau,
                std::vector<std::pair<NodeId, NodeId>> &Out) override {
     (void)Tau;
     noteResolve(/*InvolvesStruct=*/false, /*Mismatch=*/false);
@@ -75,6 +76,7 @@ public:
       DstPath.insert(DstPath.end(), P.begin() + Beta.size(), P.end());
       Out.emplace_back(Store.getNode(DstObj, pathKey(DstPath)), N);
     }
+    return true;
   }
 
   void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) override {

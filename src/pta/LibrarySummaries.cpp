@@ -24,7 +24,7 @@ LibrarySummaries::LibrarySummaries() {
         "scanf", "fscanf", "sscanf", "puts", "fputs", "putc", "fputc",
         "putchar", "getc", "fgetc", "getchar", "ungetc", "fread", "fwrite",
         "fseek", "ftell", "rewind", "fclose", "fflush", "feof", "ferror",
-        "remove", "rename", "exit", "abort", "atexit", "free", "cfree",
+        "remove", "rename", "exit", "abort", "atexit",
         "strcmp", "strncmp", "strcasecmp", "strncasecmp", "memcmp", "strlen",
         "strspn", "strcspn", "atoi", "atol", "atof", "strtol", "strtoul",
         "strtod", "abs", "labs", "rand", "srand", "random", "srandom",
@@ -63,6 +63,19 @@ LibrarySummaries::LibrarySummaries() {
   // stdin/stdout are modeled as externals too when called through fdopen.
   Summaries["fdopen"] = RetExt;
 
+  // free(p) has no pointer *assignment* effect, but it kills the heap
+  // blocks p points to — recorded for the use-after-free checker.
+  Summaries["free"] = {{Effect::Dealloc, 0, 0}};
+  Summaries["cfree"] = Summaries["free"];
+  // realloc(p, n) frees the old block and returns fresh storage whose
+  // contents start as a copy of the old pointees. The normalizer already
+  // models the returned pointer (heap pseudo-variable + copy of p), so the
+  // residual call it emits carries only the deallocation and content copy
+  // (A = -1 targets the return slot).
+  Summaries["realloc"] = {{Effect::Dealloc, 0, 0},
+                          {Effect::CopyPointees, -1, 0}};
+  Summaries["xrealloc"] = Summaries["realloc"];
+
   // signal(sig, handler) returns the previous handler: alias arg 1; the
   // handler is invoked with an int, so no pointer binding is needed.
   Summaries["signal"] = {{Effect::RetAliasArg, 1, 0}};
@@ -86,8 +99,13 @@ bool LibrarySummaries::apply(std::string_view Name, const NormStmt &Call,
 
   NormProgram &Prog = S.program();
   bool Changed = false;
+  // Negative indices name the call's return slot (realloc's CopyPointees
+  // destination); a missing slot or argument yields an invalid node, which
+  // every effect below treats as "skip".
   auto ArgNode = [&](int I) -> NodeId {
-    if (I < 0 || static_cast<size_t>(I) >= Call.Args.size())
+    if (I < 0)
+      return Call.RetDst.isValid() ? S.normalizeObj(Call.RetDst) : NodeId();
+    if (static_cast<size_t>(I) >= Call.Args.size())
       return NodeId();
     return S.normalizeObj(Call.Args[I]);
   };
@@ -157,6 +175,17 @@ bool LibrarySummaries::apply(std::string_view Name, const NormStmt &Call,
           if (S.flowPtrArith(S.normalizeObj(Param), DataTargets))
             Changed = true;
       }
+      break;
+    }
+    case Effect::Dealloc: {
+      NodeId Arg = ArgNode(E.A);
+      if (!Arg.isValid())
+        break;
+      // No points-to set changes: deallocation only marks the targeted
+      // heap objects dead so the use-after-free checker can flag later
+      // dereferences that may still reach them.
+      for (NodeId T : S.pointsTo(Arg))
+        S.markFreed(S.model().nodes().objectOf(T), Call.Loc);
       break;
     }
     }

@@ -18,6 +18,8 @@
 ///   RetExtern             returns a pointer to external/anonymous storage
 ///   Callback(cb, data)    argument cb is called with pointers into the
 ///                         objects argument data points to (qsort)
+///   Dealloc(i)            the heap objects argument i points to are
+///                         deallocated (free, and the old block of realloc)
 ///
 /// Functions known to have no pointer effects map to an empty effect list;
 /// unknown externals are collected and reported (conservatively treated as
@@ -51,6 +53,7 @@ public:
       CopyPointees,
       RetExtern,
       Callback,
+      Dealloc,
     } K;
     int A = 0; ///< primary argument index (or callback index)
     int B = 0; ///< secondary argument index

@@ -60,15 +60,17 @@ NodeId CollapseAlwaysModel::normalizeLoc(ObjectId Obj, const FieldPath &) {
   return Store.getNode(Obj, 0);
 }
 
-void CollapseAlwaysModel::lookup(TypeId Tau, const FieldPath &, NodeId Target,
+bool CollapseAlwaysModel::lookup(TypeId Tau, const FieldPath &, NodeId Target,
                                  std::vector<NodeId> &Out) {
   bool InvolvesStruct = Types.isRecord(Types.unqualified(Tau)) ||
                         Types.isRecord(objectType(Store.objectOf(Target)));
   noteLookup(InvolvesStruct, /*Mismatch=*/false);
   Out.push_back(Store.getNode(Store.objectOf(Target), 0));
+  // One blob per object: there is nothing to mismatch against.
+  return true;
 }
 
-void CollapseAlwaysModel::resolve(NodeId Dst, NodeId Src, TypeId Tau,
+bool CollapseAlwaysModel::resolve(NodeId Dst, NodeId Src, TypeId Tau,
                                   std::vector<std::pair<NodeId, NodeId>> &Out) {
   bool InvolvesStruct = Types.isRecord(Types.unqualified(Tau)) ||
                         Types.isRecord(objectType(Store.objectOf(Dst))) ||
@@ -76,6 +78,7 @@ void CollapseAlwaysModel::resolve(NodeId Dst, NodeId Src, TypeId Tau,
   noteResolve(InvolvesStruct, /*Mismatch=*/false);
   Out.emplace_back(Store.getNode(Store.objectOf(Dst), 0),
                    Store.getNode(Store.objectOf(Src), 0));
+  return true;
 }
 
 void CollapseAlwaysModel::allNodesOfObject(ObjectId Obj,
@@ -112,7 +115,7 @@ FieldNameModelBase::candidatePrefixes(const FlattenedType &FT,
   return Out;
 }
 
-void FieldNameModelBase::lookup(TypeId Tau, const FieldPath &Alpha,
+bool FieldNameModelBase::lookup(TypeId Tau, const FieldPath &Alpha,
                                 NodeId Target, std::vector<NodeId> &Out) {
   ObjectId Obj = Store.objectOf(Target);
   const FlattenedType &FT = Flats.get(objectType(Obj));
@@ -124,9 +127,10 @@ void FieldNameModelBase::lookup(TypeId Tau, const FieldPath &Alpha,
   noteLookup(InvolvesStruct, /*Mismatch=*/!Matched);
   for (uint32_t Leaf : Leaves)
     Out.push_back(Store.getNode(Obj, Leaf));
+  return Matched;
 }
 
-void FieldNameModelBase::resolve(NodeId Dst, NodeId Src, TypeId Tau,
+bool FieldNameModelBase::resolve(NodeId Dst, NodeId Src, TypeId Tau,
                                  std::vector<std::pair<NodeId, NodeId>> &Out) {
   ResolveScope Guard(*this);
   size_t From = Out.size();
@@ -172,6 +176,7 @@ void FieldNameModelBase::resolve(NodeId Dst, NodeId Src, TypeId Tau,
                  Prog.objectName(DstObj).c_str(),
                  Prog.objectName(SrcObj).c_str(),
                  Types.toString(TauU, Prog.Strings).c_str());
+  return AllMatched;
 }
 
 void FieldNameModelBase::allNodesOfObject(ObjectId Obj,
@@ -358,7 +363,7 @@ NodeId OffsetsModel::normalizeLoc(ObjectId Obj, const FieldPath &Path) {
   return Store.getNode(Obj, Layout.canonicalOffset(Ty, Off));
 }
 
-void OffsetsModel::lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+bool OffsetsModel::lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
                           std::vector<NodeId> &Out) {
   ObjectId Obj = Store.objectOf(Target);
   TypeId ObjTy = objectType(Obj);
@@ -368,9 +373,11 @@ void OffsetsModel::lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
                         Types.isRecord(Types.stripArrays(ObjTy));
   noteLookup(InvolvesStruct, /*Mismatch=*/false);
   Out.push_back(Store.getNode(Obj, Layout.canonicalOffset(ObjTy, N)));
+  // Offsets are exact under the chosen ABI: no collapse ever happens.
+  return true;
 }
 
-void OffsetsModel::resolve(NodeId Dst, NodeId Src, TypeId Tau,
+bool OffsetsModel::resolve(NodeId Dst, NodeId Src, TypeId Tau,
                            std::vector<std::pair<NodeId, NodeId>> &Out) {
   size_t From = Out.size();
   TypeId TauU = Types.unqualified(Tau);
@@ -424,6 +431,7 @@ void OffsetsModel::resolve(NodeId Dst, NodeId Src, TypeId Tau,
     }
   }
   dedupePairs(Out, From);
+  return true;
 }
 
 void OffsetsModel::allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) {

@@ -56,9 +56,9 @@ public:
 
   const char *name() const override { return "Collapse Always"; }
   NodeId normalizeLoc(ObjectId Obj, const FieldPath &Path) override;
-  void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+  bool lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
               std::vector<NodeId> &Out) override;
-  void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+  bool resolve(NodeId Dst, NodeId Src, TypeId Tau,
                std::vector<std::pair<NodeId, NodeId>> &Out) override;
   void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) override;
   uint64_t expandedFieldCount(NodeId Node) const override;
@@ -76,9 +76,9 @@ public:
       : FieldModel(Prog, Layout), Flats(Prog.Types, Layout) {}
 
   NodeId normalizeLoc(ObjectId Obj, const FieldPath &Path) final;
-  void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+  bool lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
               std::vector<NodeId> &Out) final;
-  void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+  bool resolve(NodeId Dst, NodeId Src, TypeId Tau,
                std::vector<std::pair<NodeId, NodeId>> &Out) final;
   void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) final;
   std::string nodeSuffix(NodeId Node) const final;
@@ -135,9 +135,9 @@ public:
 
   const char *name() const override { return "Offsets"; }
   NodeId normalizeLoc(ObjectId Obj, const FieldPath &Path) override;
-  void lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
+  bool lookup(TypeId Tau, const FieldPath &Alpha, NodeId Target,
               std::vector<NodeId> &Out) override;
-  void resolve(NodeId Dst, NodeId Src, TypeId Tau,
+  bool resolve(NodeId Dst, NodeId Src, TypeId Tau,
                std::vector<std::pair<NodeId, NodeId>> &Out) override;
   void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) override;
   std::string nodeSuffix(NodeId Node) const override;

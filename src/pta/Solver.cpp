@@ -106,6 +106,25 @@ bool Solver::joinPair(NodeId D, NodeId S) {
   return true;
 }
 
+void Solver::noteSiteMismatch() {
+  if (ActiveStmt && ActiveStmt->DerefSite >= 0 &&
+      static_cast<size_t>(ActiveStmt->DerefSite) < Events.size())
+    Events[ActiveStmt->DerefSite].Mismatch = true;
+}
+
+void Solver::markFreed(ObjectId Obj, SourceLoc FreeLoc) {
+  if (!Obj.isValid() || Obj == ExternObj ||
+      Prog.object(Obj).Kind != ObjectKind::Heap)
+    return;
+  if (Freed.insert(Obj))
+    FreedAt.emplace(Obj, FreeLoc);
+}
+
+SourceLoc Solver::freedAt(ObjectId Obj) const {
+  auto It = FreedAt.find(Obj);
+  return It == FreedAt.end() ? SourceLoc() : It->second;
+}
+
 bool Solver::flowResolve(NodeId Dst, NodeId Src, TypeId Tau) {
   ObjectId SrcObj = Model.nodes().objectOf(Src);
   noteRead(SrcObj); // the pairs read the source side
@@ -121,7 +140,11 @@ bool Solver::flowResolve(NodeId Dst, NodeId Src, TypeId Tau) {
         static_cast<uint32_t>(Model.nodes().nodesOfObject(SrcObj).size());
     if (Inserted || C.SrcNodes != SrcCount) {
       C.Pairs.clear();
-      Model.resolve(Dst, Src, Tau, C.Pairs);
+      // Mismatch is a pure function of the pair, so recording it only when
+      // the pair list is (re)computed still sets the sticky flag: every
+      // statement computes its own list at least once.
+      if (!Model.resolve(Dst, Src, Tau, C.Pairs))
+        noteSiteMismatch();
       // resolve may itself materialize source nodes (self copies).
       C.SrcNodes =
           static_cast<uint32_t>(Model.nodes().nodesOfObject(SrcObj).size());
@@ -133,7 +156,8 @@ bool Solver::flowResolve(NodeId Dst, NodeId Src, TypeId Tau) {
     return Changed;
   }
   std::vector<std::pair<NodeId, NodeId>> Pairs;
-  Model.resolve(Dst, Src, Tau, Pairs);
+  if (!Model.resolve(Dst, Src, Tau, Pairs))
+    noteSiteMismatch();
   bool Changed = false;
   for (const auto &[D, S] : Pairs)
     if (joinPair(D, S))
@@ -306,7 +330,9 @@ bool Solver::applyCall(const NormStmt &S) {
 }
 
 bool Solver::applyStmt(const NormStmt &S) {
+  ActiveStmt = &S;
   bool Changed = applyStmtImpl(S);
+  ActiveStmt = nullptr;
   unsigned Rule = static_cast<unsigned>(S.Op);
   if (Rule < NumSolverRules) {
     ++Stats.RuleApplied[Rule];
@@ -348,7 +374,15 @@ bool Solver::applyStmtImpl(const NormStmt &S) {
     }
     for (size_t I = Begin; I < End; ++I) {
       Fields.clear();
-      Model.lookup(S.DeclPointeeTy, S.Path, PF.Log[I], Fields);
+      bool Matched = Model.lookup(S.DeclPointeeTy, S.Path, PF.Log[I], Fields);
+      if (S.DerefSite >= 0 &&
+          static_cast<size_t>(S.DerefSite) < Events.size()) {
+        SiteEvents &E = Events[S.DerefSite];
+        if (!Matched)
+          E.Mismatch = true;
+        if (Fields.empty())
+          E.Truncated = true;
+      }
       for (NodeId Field : Fields)
         if (addEdge(Dst, Field))
           Changed = true;
@@ -498,6 +532,9 @@ void Solver::solveWorklist() {
 
 void Solver::solve() {
   Stats = SolverRunStats();
+  Events.assign(Prog.DerefSites.size(), SiteEvents());
+  Freed = IdSet<ObjectTag>();
+  FreedAt.clear();
   auto Start = std::chrono::steady_clock::now();
   if (Opts.UseWorklist)
     solveWorklist();
@@ -508,4 +545,8 @@ void Solver::solve() {
           .count();
   Stats.Edges = numEdges();
   Stats.Nodes = Model.nodes().size();
+  // Empty-deref is a property of the final sets, not of any one engine
+  // step: record it once the fixpoint is reached.
+  for (size_t I = 0; I < Prog.DerefSites.size(); ++I)
+    Events[I].EmptyDeref = derefTargets(Prog.DerefSites[I]).empty();
 }

@@ -32,11 +32,31 @@
 #include "pta/LibrarySummaries.h"
 #include "support/SegmentedVector.h"
 
+#include <map>
 #include <unordered_map>
 
 namespace spa {
 
 class DiagnosticEngine;
+
+/// Sticky per-dereference-site resolution events, recorded while the
+/// solver runs so the checker layer (src/check/) never has to re-run the
+/// analysis. A flag, once set by any engine visit, stays set: the events
+/// are facts about the whole fixpoint computation, not about one visit,
+/// and are therefore identical across the naive and worklist engines.
+struct SiteEvents {
+  /// A lookup/resolve performed on behalf of this site was not
+  /// type-consistent: the field model collapsed or smeared the access
+  /// (the paper's "casting involved" case).
+  bool Mismatch = false;
+  /// A lookup at this site produced no nodes at all: the access falls off
+  /// every view of the pointed-to object (Common Initial Sequence's
+  /// "nothing follows the sequence" branch).
+  bool Truncated = false;
+  /// The site's pointer had an empty points-to set at fixpoint (set after
+  /// the engines finish).
+  bool EmptyDeref = false;
+};
 
 /// Tuning knobs for one solver run.
 struct SolverOptions {
@@ -157,6 +177,25 @@ public:
   bool isUnknownNode(NodeId Node) const;
   /// @}
 
+  /// \name Checker support (see src/check/).
+  /// @{
+  /// Per-site resolution events of the last solve(), indexed like
+  /// NormProgram::DerefSites. Empty before the first solve.
+  const std::vector<SiteEvents> &siteEvents() const { return Events; }
+  /// Marks \p Obj deallocated (LibrarySummaries' Dealloc effect). Only
+  /// heap allocation sites are recorded: freeing a stack/global object is
+  /// a different bug, and the shared $extern blob aggregates every
+  /// external allocation, so killing it would poison unrelated findings.
+  /// The first free location per object is kept for diagnostics.
+  void markFreed(ObjectId Obj, SourceLoc FreeLoc);
+  /// True if \p Obj was marked freed during the solve.
+  bool isFreed(ObjectId Obj) const { return Freed.contains(Obj); }
+  /// All objects marked freed (deterministic order).
+  const IdSet<ObjectTag> &freedObjects() const { return Freed; }
+  /// Location of the first deallocation of \p Obj (invalid if not freed).
+  SourceLoc freedAt(ObjectId Obj) const;
+  /// @}
+
   NormProgram &program() { return Prog; }
   const NormProgram &program() const { return Prog; }
   FieldModel &model() { return Model; }
@@ -211,6 +250,9 @@ private:
   void queueDependents(ObjectId Obj);
   /// Records budget exhaustion: clears Converged and warns via Opts.Diags.
   void reportNonConvergence(const char *Engine);
+  /// Marks the running statement's deref site as type-mismatched (no-op
+  /// when the statement has no site).
+  void noteSiteMismatch();
   /// Binds arguments and the return value for one resolved callee.
   bool bindCall(const NormStmt &S, FuncId Callee);
 
@@ -241,6 +283,14 @@ private:
   SolverRunStats Stats;
   ObjectId ExternObj;
   ObjectId UnknownObj;
+  /// Per-deref-site resolution events (sized by solve()).
+  std::vector<SiteEvents> Events;
+  /// The statement applyStmt is currently interpreting (events recorded
+  /// by nested flowResolve calls are charged to its deref site).
+  const NormStmt *ActiveStmt = nullptr;
+  /// Heap objects deallocated by a Dealloc library-summary effect.
+  IdSet<ObjectTag> Freed;
+  std::map<ObjectId, SourceLoc> FreedAt;
 
   /// \name Worklist state (active only while solveWorklist runs).
   /// @{

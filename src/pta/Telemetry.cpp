@@ -6,8 +6,8 @@
 
 #include "pta/Telemetry.h"
 
-#include <cinttypes>
-#include <cstdio>
+#include "support/Json.h"
+
 #include <fstream>
 #include <iostream>
 
@@ -30,84 +30,6 @@ RunTelemetry spa::collectTelemetry(Analysis &A, std::string ProgramLabel) {
 }
 
 namespace {
-
-/// Minimal JSON writer: we emit only our own fixed schema, so a full
-/// serializer would be dead weight. Strings are escaped for the handful
-/// of characters a file path can realistically contain.
-class JsonWriter {
-public:
-  explicit JsonWriter(std::string &Out) : Out(Out) {}
-
-  void open(const char *Key) {
-    key(Key);
-    Out += '{';
-    First = true;
-  }
-  void close() {
-    Out += '}';
-    First = false;
-  }
-  void field(const char *Key, const std::string &V) {
-    key(Key);
-    Out += '"';
-    for (char C : V) {
-      switch (C) {
-      case '"':
-        Out += "\\\"";
-        break;
-      case '\\':
-        Out += "\\\\";
-        break;
-      case '\n':
-        Out += "\\n";
-        break;
-      case '\t':
-        Out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(C) < 0x20) {
-          char Buf[8];
-          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-          Out += Buf;
-        } else {
-          Out += C;
-        }
-      }
-    }
-    Out += '"';
-  }
-  void field(const char *Key, uint64_t V) {
-    key(Key);
-    char Buf[24];
-    std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
-    Out += Buf;
-  }
-  void field(const char *Key, bool V) {
-    key(Key);
-    Out += V ? "true" : "false";
-  }
-  void field(const char *Key, double V) {
-    key(Key);
-    char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
-    Out += Buf;
-  }
-
-private:
-  void key(const char *Key) {
-    if (!First)
-      Out += ',';
-    First = false;
-    if (!Key)
-      return;
-    Out += '"';
-    Out += Key;
-    Out += "\":";
-  }
-
-  std::string &Out;
-  bool First = true;
-};
 
 /// JSON names for the per-rule counters, indexed by NormOp.
 constexpr const char *RuleNames[NumSolverRules] = {

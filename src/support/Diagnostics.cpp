@@ -6,6 +6,9 @@
 
 #include "support/Diagnostics.h"
 
+#include <algorithm>
+#include <tuple>
+
 using namespace spa;
 
 static const char *kindName(DiagKind Kind) {
@@ -27,8 +30,34 @@ std::string DiagnosticEngine::formatAll() const {
     Out += ": ";
     Out += kindName(D.Kind);
     Out += ": ";
+    if (!D.Code.empty()) {
+      Out += '[';
+      Out += D.Code;
+      Out += "] ";
+    }
     Out += D.Message;
     Out += '\n';
   }
   return Out;
+}
+
+void DiagnosticEngine::sortAndDedupe() {
+  auto KeyOf = [](const Diagnostic &D) {
+    return std::make_tuple(D.Loc.Line, D.Loc.Column, std::cref(D.Code),
+                           static_cast<int>(D.Kind), std::cref(D.Message));
+  };
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [&](const Diagnostic &A, const Diagnostic &B) {
+                     return KeyOf(A) < KeyOf(B);
+                   });
+  Diags.erase(std::unique(Diags.begin(), Diags.end(),
+                          [](const Diagnostic &A, const Diagnostic &B) {
+                            return A.Kind == B.Kind && A.Loc == B.Loc &&
+                                   A.Code == B.Code && A.Message == B.Message;
+                          }),
+              Diags.end());
+  ErrorCount = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == DiagKind::Error)
+      ++ErrorCount;
 }

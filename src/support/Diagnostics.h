@@ -29,6 +29,10 @@ struct Diagnostic {
   DiagKind Kind = DiagKind::Error;
   SourceLoc Loc;
   std::string Message;
+  /// Stable machine-readable category ("cast-safety", "null-deref", ...).
+  /// Empty for plain front-end diagnostics; the checker layer always sets
+  /// it (it doubles as the SARIF rule id).
+  std::string Code;
 };
 
 /// Accumulates diagnostics for one front-end run.
@@ -36,25 +40,40 @@ class DiagnosticEngine {
 public:
   /// Records an error at \p Loc.
   void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message), {}});
     ++ErrorCount;
   }
 
   /// Records a warning at \p Loc.
   void warning(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message), {}});
   }
 
   /// Records an informational note at \p Loc.
   void note(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message), {}});
   }
+
+  /// Records a diagnostic with a stable category code (checker findings).
+  void report(DiagKind Kind, SourceLoc Loc, std::string Code,
+              std::string Message) {
+    Diags.push_back({Kind, Loc, std::move(Message), std::move(Code)});
+    if (Kind == DiagKind::Error)
+      ++ErrorCount;
+  }
+
+  /// Makes the collected list golden-testable: stable-sorts by source
+  /// location, then code, then severity, then message, and removes exact
+  /// duplicates (the flow-insensitive solver can surface one finding from
+  /// several statements of the same site).
+  void sortAndDedupe();
 
   bool hasErrors() const { return ErrorCount != 0; }
   unsigned errorCount() const { return ErrorCount; }
   const std::vector<Diagnostic> &all() const { return Diags; }
 
-  /// Renders every diagnostic as "line:col: kind: message", one per line.
+  /// Renders every diagnostic as "line:col: kind: message", one per line;
+  /// diagnostics with a code render as "line:col: kind: [code] message".
   std::string formatAll() const;
 
 private:

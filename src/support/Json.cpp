@@ -1,0 +1,268 @@
+//===--- Json.cpp ---------------------------------------------------------===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace spa;
+
+void JsonWriter::field(const char *Key, uint64_t V) {
+  key(Key);
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+}
+
+void JsonWriter::field(const char *Key, double V) {
+  key(Key);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Out += Buf;
+}
+
+void JsonWriter::appendEscaped(const std::string &V) {
+  Out += '"';
+  for (char C : V) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Strict recursive-descent parser over a string_view. Depth-bounded: our
+/// documents nest a dozen levels at most.
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue V;
+    if (!parseValue(V, 0))
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size())
+      return std::nullopt; // trailing garbage
+    return V;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 100;
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipSpace();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool eatWord(std::string_view W) {
+    if (Text.substr(Pos, W.size()) != W)
+      return false;
+    Pos += W.size();
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!eat('"'))
+      return false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return false;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return false;
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return false;
+        }
+        // Our emitters only produce \u00XX control escapes; encode the
+        // general case as UTF-8 anyway.
+        if (Code < 0x80) {
+          Out += char(Code);
+        } else if (Code < 0x800) {
+          Out += char(0xC0 | (Code >> 6));
+          Out += char(0x80 | (Code & 0x3F));
+        } else {
+          Out += char(0xE0 | (Code >> 12));
+          Out += char(0x80 | ((Code >> 6) & 0x3F));
+          Out += char(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false; // unterminated
+  }
+
+  bool parseNumber(JsonValue &V) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    V.K = JsonValue::Kind::Number;
+    V.Number = std::strtod(Num.c_str(), &End);
+    return End && *End == '\0';
+  }
+
+  bool parseValue(JsonValue &V, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return false;
+    skipSpace();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      V.K = JsonValue::Kind::Object;
+      skipSpace();
+      if (eat('}'))
+        return true;
+      for (;;) {
+        std::string Key;
+        skipSpace();
+        if (!parseString(Key) || !eat(':'))
+          return false;
+        JsonValue Member;
+        if (!parseValue(Member, Depth + 1))
+          return false;
+        V.Members.emplace_back(std::move(Key), std::move(Member));
+        if (eat(','))
+          continue;
+        return eat('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      V.K = JsonValue::Kind::Array;
+      skipSpace();
+      if (eat(']'))
+        return true;
+      for (;;) {
+        JsonValue Item;
+        if (!parseValue(Item, Depth + 1))
+          return false;
+        V.Items.push_back(std::move(Item));
+        if (eat(','))
+          continue;
+        return eat(']');
+      }
+    }
+    if (C == '"') {
+      V.K = JsonValue::Kind::String;
+      return parseString(V.Str);
+    }
+    if (eatWord("true")) {
+      V.K = JsonValue::Kind::Bool;
+      V.Bool = true;
+      return true;
+    }
+    if (eatWord("false")) {
+      V.K = JsonValue::Kind::Bool;
+      V.Bool = false;
+      return true;
+    }
+    if (eatWord("null")) {
+      V.K = JsonValue::Kind::Null;
+      return true;
+    }
+    return parseNumber(V);
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> spa::parseJson(std::string_view Text) {
+  return Parser(Text).run();
+}

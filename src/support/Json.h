@@ -1,0 +1,114 @@
+//===--- Json.h - Minimal JSON writing and parsing -------------*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal JSON toolkit shared by the telemetry and SARIF emitters (and
+/// by tests that validate their output). The writer emits only our own
+/// fixed schemas, so a full serializer would be dead weight; the parser is
+/// a strict recursive-descent reader used to round-trip and inspect those
+/// documents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_JSON_H
+#define SPA_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spa {
+
+/// Incremental JSON writer. The caller opens/closes containers in the
+/// right order; the writer only tracks comma placement. Pass a null key
+/// for anonymous containers (array elements).
+class JsonWriter {
+public:
+  explicit JsonWriter(std::string &Out) : Out(Out) {}
+
+  /// Opens "key":{ ... (or an anonymous object with a null key).
+  void open(const char *Key) {
+    key(Key);
+    Out += '{';
+    First = true;
+  }
+  void close() {
+    Out += '}';
+    First = false;
+  }
+  /// Opens "key":[ ... (or an anonymous array with a null key).
+  void openArray(const char *Key) {
+    key(Key);
+    Out += '[';
+    First = true;
+  }
+  void closeArray() {
+    Out += ']';
+    First = false;
+  }
+  void field(const char *Key, const std::string &V) {
+    key(Key);
+    appendEscaped(V);
+  }
+  void field(const char *Key, uint64_t V);
+  void field(const char *Key, bool V) {
+    key(Key);
+    Out += V ? "true" : "false";
+  }
+  void field(const char *Key, double V);
+  /// A bare string value (array element).
+  void value(const std::string &V) { field(nullptr, V); }
+
+private:
+  void key(const char *Key) {
+    if (!First)
+      Out += ',';
+    First = false;
+    if (!Key)
+      return;
+    Out += '"';
+    Out += Key;
+    Out += "\":";
+  }
+  void appendEscaped(const std::string &V);
+
+  std::string &Out;
+  bool First = true;
+};
+
+/// A parsed JSON value. Object members keep source order (our emitters are
+/// deterministic, so tests can rely on it).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Number = 0;
+  std::string Str;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue *find(std::string_view Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[Name, Val] : Members)
+      if (Name == Key)
+        return &Val;
+    return nullptr;
+  }
+};
+
+/// Parses one complete JSON document. Returns nullopt on any syntax error
+/// or trailing non-whitespace.
+std::optional<JsonValue> parseJson(std::string_view Text);
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_JSON_H

@@ -1,0 +1,378 @@
+//===--- CheckersTest.cpp - Golden-finding tests for the checker layer ----===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every checker gets at least one true positive and one clean negative,
+/// across all four analysis instances where the finding is model-
+/// independent. Findings are keyed on (code, line) so message rewording
+/// never breaks a test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "check/Checkers.h"
+
+#include <set>
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+const ModelKind AllModels[] = {ModelKind::CollapseAlways,
+                               ModelKind::CollapseOnCast,
+                               ModelKind::CommonInitialSeq, ModelKind::Offsets};
+
+struct Findings {
+  DiagnosticEngine Diags;
+  CheckReport Report;
+
+  /// (code, line) pairs of non-note findings.
+  std::set<std::pair<std::string, unsigned>> codeLines() const {
+    std::set<std::pair<std::string, unsigned>> Out;
+    for (const Diagnostic &D : Diags.all())
+      if (D.Kind != DiagKind::Note && !D.Code.empty())
+        Out.insert({D.Code, D.Loc.Line});
+    return Out;
+  }
+
+  bool hasCode(std::string_view Code) const {
+    for (const Diagnostic &D : Diags.all())
+      if (D.Code == Code)
+        return true;
+    return false;
+  }
+};
+
+Findings check(Solved &S, std::vector<std::string> Ids = {}) {
+  Findings F;
+  F.Report = runCheckers(*S.A, Ids, F.Diags);
+  return F;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// cast-safety
+//===----------------------------------------------------------------------===//
+
+TEST(CastSafety, FlagsStructReadThroughIncompatibleScalar) {
+  for (ModelKind Kind : AllModels) {
+    auto S = analyze("struct A { int x; int y; } a;"
+                     "float *fp; float v;"
+                     "void f(void) { fp = (float *)&a; v = *fp; }",
+                     Kind);
+    Findings F = check(S, {"cast-safety"});
+    EXPECT_TRUE(F.hasCode("cast-safety")) << modelKindName(Kind);
+  }
+}
+
+TEST(CastSafety, PointerToFirstMemberIsAValidView) {
+  for (ModelKind Kind : AllModels) {
+    auto S = analyze("struct A { int x; int y; } a;"
+                     "int *ip; int v;"
+                     "void f(void) { ip = (int *)&a; v = *ip; }",
+                     Kind);
+    Findings F = check(S, {"cast-safety"});
+    EXPECT_EQ(F.Report.Findings, 0u) << modelKindName(Kind) << "\n"
+                                     << F.Diags.formatAll();
+  }
+}
+
+TEST(CastSafety, CharViewsAreAlwaysAllowed) {
+  auto S = analyze("struct A { int x; int y; } a;"
+                   "char *cp; char c;"
+                   "void f(void) { cp = (char *)&a; c = *cp; }",
+                   ModelKind::CommonInitialSeq);
+  Findings F = check(S, {"cast-safety"});
+  EXPECT_EQ(F.Report.Findings, 0u) << F.Diags.formatAll();
+}
+
+TEST(CastSafety, LargerViewOfSmallerObjectIsTruncation) {
+  auto S = analyze("struct Small { int a; } s;"
+                   "struct Big { int a; int b; } *bp;"
+                   "int v;"
+                   "void f(void) { bp = (struct Big *)&s; v = bp->b; }",
+                   ModelKind::CommonInitialSeq);
+  Findings F = check(S, {"cast-safety"});
+  EXPECT_TRUE(F.hasCode("cast-truncation")) << F.Diags.formatAll();
+  bool MentionsPastEnd = false;
+  for (const Diagnostic &D : F.Diags.all())
+    if (D.Message.find("past the end") != std::string::npos)
+      MentionsPastEnd = true;
+  EXPECT_TRUE(MentionsPastEnd);
+}
+
+TEST(CastSafety, SharedPrefixOfEqualSizeIsAccepted) {
+  // Different tail types, same size, common initial sequence of one: the
+  // CIS rule blesses the prefix and nothing is read past the end.
+  auto S = analyze("struct P1 { int a; int b; } x;"
+                   "struct P2 { int a; unsigned b; } *p;"
+                   "int v;"
+                   "void f(void) { p = (struct P2 *)&x; v = p->a; }",
+                   ModelKind::CommonInitialSeq);
+  Findings F = check(S, {"cast-safety"});
+  EXPECT_EQ(F.Report.Findings, 0u) << F.Diags.formatAll();
+}
+
+TEST(CastSafety, SolverRecordsAMismatchEventAtTheBadSite) {
+  auto S = analyze("struct A { int x; int y; } a;"
+                   "float *fp; float v;"
+                   "void f(void) { fp = (float *)&a; v = *fp; }",
+                   ModelKind::CommonInitialSeq);
+  bool AnyMismatch = false;
+  for (const SiteEvents &E : S.A->solver().siteEvents())
+    AnyMismatch = AnyMismatch || E.Mismatch;
+  EXPECT_TRUE(AnyMismatch);
+}
+
+//===----------------------------------------------------------------------===//
+// null-deref
+//===----------------------------------------------------------------------===//
+
+TEST(NullDeref, FlagsUninitializedGlobalPointer) {
+  for (ModelKind Kind : AllModels) {
+    auto S = analyze("int *g; int v;"
+                     "int main(void) { v = *g; return 0; }",
+                     Kind);
+    Findings F = check(S, {"null-deref"});
+    EXPECT_TRUE(F.hasCode("null-deref")) << modelKindName(Kind);
+  }
+}
+
+TEST(NullDeref, InitializedPointerIsClean) {
+  for (ModelKind Kind : AllModels) {
+    auto S = analyze("int x; int *p; int v;"
+                     "int main(void) { p = &x; v = *p; return 0; }",
+                     Kind);
+    Findings F = check(S, {"null-deref"});
+    EXPECT_EQ(F.Report.Findings, 0u) << modelKindName(Kind) << "\n"
+                                     << F.Diags.formatAll();
+  }
+}
+
+TEST(NullDeref, UncalledFunctionParametersAreSuppressed) {
+  // api() is never called, so its parameter is never bound; the empty set
+  // is an artifact of dead code, not a null dereference.
+  auto S = analyze("int v;"
+                   "void api(int *p) { v = *p; }",
+                   ModelKind::CommonInitialSeq);
+  Findings F = check(S, {"null-deref"});
+  EXPECT_EQ(F.Report.Findings, 0u) << F.Diags.formatAll();
+}
+
+TEST(NullDeref, CalledFunctionParametersAreNotSuppressed) {
+  // Same function, but now called with a null-ish (empty-set) argument.
+  auto S = analyze("int v; int *g;"
+                   "void api(int *p) { v = *p; }"
+                   "int main(void) { api(g); return 0; }",
+                   ModelKind::CommonInitialSeq);
+  Findings F = check(S, {"null-deref"});
+  EXPECT_TRUE(F.hasCode("null-deref")) << F.Diags.formatAll();
+}
+
+//===----------------------------------------------------------------------===//
+// use-after-free
+//===----------------------------------------------------------------------===//
+
+TEST(UseAfterFree, FlagsDerefOfFreedBlock) {
+  for (ModelKind Kind : AllModels) {
+    auto S = analyze("int v;"
+                     "void f(void) {"
+                     "  int *d;"
+                     "  d = (int *)malloc(8);"
+                     "  free(d);"
+                     "  v = *d;"
+                     "}",
+                     Kind);
+    Findings F = check(S, {"use-after-free"});
+    EXPECT_TRUE(F.hasCode("use-after-free")) << modelKindName(Kind);
+  }
+}
+
+TEST(UseAfterFree, UnfreedBlockIsClean) {
+  for (ModelKind Kind : AllModels) {
+    auto S = analyze("int v;"
+                     "void f(void) {"
+                     "  int *d;"
+                     "  d = (int *)malloc(8);"
+                     "  v = *d;"
+                     "}",
+                     Kind);
+    Findings F = check(S, {"use-after-free"});
+    EXPECT_EQ(F.Report.Findings, 0u) << modelKindName(Kind) << "\n"
+                                     << F.Diags.formatAll();
+  }
+}
+
+TEST(UseAfterFree, FreeingAStackObjectIsIgnored) {
+  // Only heap allocation sites are recorded by markFreed: freeing a stack
+  // address is a different bug, and flagging the later dereference of the
+  // (perfectly valid) local would be a false positive here.
+  auto S = analyze("int x; int v;"
+                   "void f(void) { int *p; p = &x; free(p); v = *p; }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_TRUE(S.A->solver().freedObjects().empty());
+  Findings F = check(S, {"use-after-free"});
+  EXPECT_EQ(F.Report.Findings, 0u) << F.Diags.formatAll();
+}
+
+TEST(UseAfterFree, ReallocFreesTheOldBlock) {
+  auto S = analyze("int v;"
+                   "void f(void) {"
+                   "  int *p; int *q;"
+                   "  p = (int *)malloc(8);"
+                   "  q = (int *)realloc(p, 16);"
+                   "  v = *p;"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_EQ(S.A->solver().freedObjects().size(), 1u);
+  Findings F = check(S, {"use-after-free"});
+  EXPECT_TRUE(F.hasCode("use-after-free")) << F.Diags.formatAll();
+  // The pointer-level realloc model is unchanged: q still reaches both
+  // the fresh and the old block.
+  EXPECT_EQ(S.pts("q").size(), 2u);
+}
+
+TEST(UseAfterFree, WorklistEngineSeesTheSameFrees) {
+  const char *Src = "int v;"
+                    "void f(void) {"
+                    "  int *d;"
+                    "  d = (int *)malloc(8);"
+                    "  free(d);"
+                    "  v = *d;"
+                    "}";
+  auto Naive = analyze(Src, ModelKind::CommonInitialSeq);
+
+  auto Program = compile(Src);
+  AnalysisOptions Opts;
+  Opts.Model = ModelKind::CommonInitialSeq;
+  Opts.Solver.UseWorklist = true;
+  Analysis Worklist(Program->Prog, Opts);
+  Worklist.run();
+
+  EXPECT_EQ(Naive.A->solver().freedObjects().size(),
+            Worklist.solver().freedObjects().size());
+  DiagnosticEngine D1, D2;
+  CheckReport R1 = runCheckers(*Naive.A, {"use-after-free"}, D1);
+  CheckReport R2 = runCheckers(Worklist, {"use-after-free"}, D2);
+  EXPECT_EQ(R1.Findings, R2.Findings);
+  EXPECT_EQ(D1.formatAll(), D2.formatAll());
+}
+
+//===----------------------------------------------------------------------===//
+// unknown-external
+//===----------------------------------------------------------------------===//
+
+TEST(UnknownExternal, FlagsUnsummarizedCalls) {
+  auto S = analyze("int x;"
+                   "void f(void) { frobnicate_9000(&x); }",
+                   ModelKind::CommonInitialSeq);
+  Findings F = check(S, {"unknown-external"});
+  EXPECT_TRUE(F.hasCode("unknown-external")) << F.Diags.formatAll();
+}
+
+TEST(UnknownExternal, DefinedAndSummarizedCallsAreClean) {
+  auto S = analyze("int x;"
+                   "void helper(int *p) { *p = 1; }"
+                   "void f(void) { helper(&x); printf(\"%d\", x); }",
+                   ModelKind::CommonInitialSeq);
+  Findings F = check(S, {"unknown-external"});
+  EXPECT_EQ(F.Report.Findings, 0u) << F.Diags.formatAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Registry and runCheckers plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(Registry, KnowsAllFourCheckers) {
+  std::vector<std::string> Ids = CheckerRegistry::allIds();
+  ASSERT_EQ(Ids.size(), 4u);
+  for (const std::string &Id : Ids) {
+    EXPECT_NE(CheckerRegistry::descriptionOf(Id), nullptr) << Id;
+    auto C = CheckerRegistry::create(Id);
+    ASSERT_NE(C, nullptr) << Id;
+    EXPECT_EQ(C->id(), Id);
+  }
+  EXPECT_EQ(CheckerRegistry::descriptionOf("no-such"), nullptr);
+  EXPECT_EQ(CheckerRegistry::create("no-such"), nullptr);
+}
+
+TEST(Registry, SubsetRunsOnlyTheRequestedCheckers) {
+  auto S = analyze("struct A { int x; int y; } a;"
+                   "float *fp; float v; int *g; int w;"
+                   "void f(void) { fp = (float *)&a; v = *fp; w = *g; }",
+                   ModelKind::CommonInitialSeq);
+  Findings F = check(S, {"null-deref"});
+  EXPECT_EQ(F.Report.Ran, std::vector<std::string>{"null-deref"});
+  EXPECT_TRUE(F.hasCode("null-deref"));
+  EXPECT_FALSE(F.hasCode("cast-safety"));
+}
+
+TEST(Registry, FindingsAreSortedAndDeduplicated) {
+  auto S = analyze("struct A { int x; int y; } a;"
+                   "float *fp; float v; int *g; int w;"
+                   "void f(void) { fp = (float *)&a; v = *fp; w = *g; }",
+                   ModelKind::CommonInitialSeq);
+  Findings F = check(S);
+  const auto &All = F.Diags.all();
+  for (size_t I = 1; I < All.size(); ++I) {
+    auto Key = [](const Diagnostic &D) {
+      return std::make_tuple(D.Loc.Line, D.Loc.Column, D.Code);
+    };
+    EXPECT_LE(Key(All[I - 1]), Key(All[I]));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-model monotonicity: coarser points-to sets can only add findings.
+//===----------------------------------------------------------------------===//
+
+TEST(CrossModel, CastFindingsAreMonotoneAcrossModels) {
+  // The finding predicate depends only on the final object sets, which
+  // shrink monotonically CA >= CoC >= Offsets; so must the flagged sites.
+  const char *Programs[] = {
+      // The paper's discriminator: one struct, two pointer fields of
+      // different types. Collapse Always merges them; the finer models
+      // keep them apart.
+      "struct S { int *f1; float *f2; } s;"
+      "int i; float g;"
+      "float *fp; float v;"
+      "void f(void) {"
+      "  s.f1 = &i;"
+      "  s.f2 = &g;"
+      "  fp = s.f2;"
+      "  v = *fp;"
+      "}",
+      // A bad cast every model flags.
+      "struct A { int x; int y; } a;"
+      "float *fp; float v;"
+      "void f(void) { fp = (float *)&a; v = *fp; }",
+      // A clean program no model flags.
+      "struct P { int x; int y; } s; struct P *sp; int v;"
+      "void f(void) { sp = &s; v = sp->x; }",
+  };
+  const ModelKind Order[] = {ModelKind::CollapseAlways,
+                             ModelKind::CollapseOnCast, ModelKind::Offsets};
+  for (const char *Src : Programs) {
+    std::set<std::pair<std::string, unsigned>> Prev;
+    bool First = true;
+    for (ModelKind Kind : Order) {
+      auto S = analyze(Src, Kind);
+      Findings F = check(S, {"cast-safety"});
+      std::set<std::pair<std::string, unsigned>> Cur = F.codeLines();
+      if (!First) {
+        EXPECT_TRUE(std::includes(Prev.begin(), Prev.end(), Cur.begin(),
+                                  Cur.end()))
+            << "model " << modelKindName(Kind) << " found sites the coarser "
+            << "model missed in:\n"
+            << Src;
+      }
+      Prev = std::move(Cur);
+      First = false;
+    }
+  }
+}

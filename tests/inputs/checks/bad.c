@@ -1,0 +1,41 @@
+/* Seeded checker example: every checker has at least one true positive.
+ * Expected findings (spa_cli --check):
+ *   cast-safety      *fp reads struct A storage through float
+ *   use-after-free   *d reads the malloc block after free(d)
+ *   null-deref       *g dereferences an uninitialized global pointer
+ *   unknown-external mystery() has no summary
+ */
+void *malloc(unsigned n);
+void free(void *p);
+void mystery(int *p);
+
+struct A {
+  int x;
+  int y;
+};
+
+int *g; /* never assigned: empty points-to set */
+
+int bad_cast(void) {
+  struct A a;
+  float *fp;
+  fp = (float *)&a;
+  return (int)*fp;
+}
+
+int use_after_free(void) {
+  int *d;
+  d = (int *)malloc(sizeof(int));
+  *d = 1;
+  free(d);
+  return *d;
+}
+
+int null_deref(void) { return *g; }
+
+int main(void) {
+  int v;
+  v = 0;
+  mystery(&v);
+  return bad_cast() + use_after_free() + null_deref() + v;
+}

@@ -1,0 +1,21 @@
+/* Seeded checker example: no findings under any model or engine. All
+ * pointers are initialized before use, all types agree, nothing is freed,
+ * and every called function is defined here.
+ */
+struct P {
+  int x;
+  int y;
+};
+
+int get(struct P *p) { return p->x; }
+
+int main(void) {
+  struct P s;
+  struct P *sp;
+  int *ip;
+  s.x = 1;
+  s.y = 2;
+  sp = &s;
+  ip = &s.y;
+  return get(sp) + *ip;
+}

@@ -1,0 +1,175 @@
+//===--- CheckCliTest.cpp - End-to-end tests of spa_cli --check/--sarif ---===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the real spa_cli binary (SPA_CLI_PATH) over the seeded checker
+/// examples (SPA_CHECKS_DIR) and asserts the documented exit-code contract
+/// and the SARIF 2.1.0 shape, across all four field models and all three
+/// solver engine configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <sys/wait.h>
+
+using namespace spa;
+
+namespace {
+
+struct RunResult {
+  int Exit = -1;
+  std::string Out;
+};
+
+/// Runs spa_cli with \p Args; stderr is folded into stdout.
+RunResult runCli(const std::string &Args) {
+  RunResult R;
+  std::string Cmd = std::string(SPA_CLI_PATH) + " " + Args + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr) << Cmd;
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Out.append(Buf, N);
+  int Status = pclose(P);
+  R.Exit = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string badC() { return std::string(SPA_CHECKS_DIR) + "/bad.c"; }
+std::string cleanC() { return std::string(SPA_CHECKS_DIR) + "/clean.c"; }
+
+const char *const Models[] = {"ca", "coc", "cis", "off"};
+const char *const Engines[] = {"", "--worklist", "--worklist --no-delta"};
+
+/// Distinct ruleIds appearing in a parsed SARIF document's results.
+std::set<std::string> ruleIdsOf(const JsonValue &Doc) {
+  std::set<std::string> Ids;
+  const JsonValue *Runs = Doc.find("runs");
+  if (!Runs || Runs->Items.empty())
+    return Ids;
+  const JsonValue *Results = Runs->Items[0].find("results");
+  if (!Results)
+    return Ids;
+  for (const JsonValue &R : Results->Items)
+    if (const JsonValue *Id = R.find("ruleId"))
+      Ids.insert(Id->Str);
+  return Ids;
+}
+
+} // namespace
+
+TEST(CheckCli, BadProgramEmitsSarifAndExits2UnderEveryConfiguration) {
+  for (const char *Model : Models)
+    for (const char *Engine : Engines) {
+      std::string Args = badC() + " --model=" + Model + " " + Engine +
+                         " --sarif=- ";
+      RunResult R = runCli(Args);
+      EXPECT_EQ(R.Exit, 2) << Args << "\n" << R.Out;
+      auto Doc = parseJson(R.Out);
+      ASSERT_TRUE(Doc.has_value()) << Args << "\n" << R.Out;
+      const JsonValue *Version = Doc->find("version");
+      ASSERT_NE(Version, nullptr);
+      EXPECT_EQ(Version->Str, "2.1.0");
+      std::set<std::string> Ids = ruleIdsOf(*Doc);
+      EXPECT_GE(Ids.size(), 3u) << Args << "\n" << R.Out;
+      EXPECT_TRUE(Ids.count("cast-safety")) << Args;
+      EXPECT_TRUE(Ids.count("use-after-free")) << Args;
+      EXPECT_TRUE(Ids.count("null-deref")) << Args;
+      EXPECT_TRUE(Ids.count("unknown-external")) << Args;
+    }
+}
+
+TEST(CheckCli, CleanProgramExitsZeroWithEmptyResults) {
+  for (const char *Model : Models)
+    for (const char *Engine : Engines) {
+      std::string Args =
+          cleanC() + " --model=" + Model + " " + Engine + " --sarif=- ";
+      RunResult R = runCli(Args);
+      EXPECT_EQ(R.Exit, 0) << Args << "\n" << R.Out;
+      auto Doc = parseJson(R.Out);
+      ASSERT_TRUE(Doc.has_value()) << Args << "\n" << R.Out;
+      EXPECT_TRUE(ruleIdsOf(*Doc).empty()) << Args << "\n" << R.Out;
+    }
+}
+
+TEST(CheckCli, CheckPrintsTextFindings) {
+  RunResult R = runCli(badC() + " --check");
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("[cast-safety]"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("[use-after-free]"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("finding(s)"), std::string::npos) << R.Out;
+}
+
+TEST(CheckCli, CheckSubsetRestrictsFindings) {
+  RunResult R = runCli(badC() + " --check=unknown-external");
+  EXPECT_EQ(R.Exit, 2);
+  EXPECT_NE(R.Out.find("[unknown-external]"), std::string::npos) << R.Out;
+  EXPECT_EQ(R.Out.find("[cast-safety]"), std::string::npos) << R.Out;
+}
+
+TEST(CheckCli, SarifToFileRoundTrips) {
+  std::string Path = "spa_checkcli_tmp.sarif";
+  RunResult R = runCli(badC() + " --check --sarif=" + Path);
+  EXPECT_EQ(R.Exit, 2) << R.Out;
+  FILE *F = fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  std::string Doc;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Doc.append(Buf, N);
+  fclose(F);
+  remove(Path.c_str());
+  auto V = parseJson(Doc);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_GE(ruleIdsOf(*V).size(), 3u);
+  // The text findings still go to stdout alongside the file.
+  EXPECT_NE(R.Out.find("finding(s)"), std::string::npos) << R.Out;
+}
+
+TEST(CheckCli, UnknownFlagSuggestsTheClosestOption) {
+  RunResult R = runCli(badC() + " --chek");
+  EXPECT_EQ(R.Exit, 64) << R.Out;
+  EXPECT_NE(R.Out.find("did you mean '--check'"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("--help"), std::string::npos) << R.Out;
+}
+
+TEST(CheckCli, MissingDashesGetAHint) {
+  RunResult R = runCli(badC() + " model=cis");
+  EXPECT_EQ(R.Exit, 64) << R.Out;
+  EXPECT_NE(R.Out.find("missing leading '--'"), std::string::npos) << R.Out;
+}
+
+TEST(CheckCli, UnknownCheckerIsAUsageError) {
+  RunResult R = runCli(badC() + " --check=bogus");
+  EXPECT_EQ(R.Exit, 64) << R.Out;
+  EXPECT_NE(R.Out.find("unknown checker"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("cast-safety"), std::string::npos) << R.Out;
+}
+
+TEST(CheckCli, StdoutCanOnlyCarryOneDocument) {
+  RunResult R = runCli(badC() + " --stats-json=- --sarif=-");
+  EXPECT_EQ(R.Exit, 64) << R.Out;
+}
+
+TEST(CheckCli, NonConvergenceOutranksFindings) {
+  RunResult R = runCli(badC() + " --check --max-iterations=1");
+  EXPECT_EQ(R.Exit, 3) << R.Out;
+}
+
+TEST(CheckCli, MissingInputIsAUsageError) {
+  RunResult R = runCli("--check");
+  EXPECT_EQ(R.Exit, 64) << R.Out;
+}

@@ -95,3 +95,68 @@ TEST(Summaries, ReallocKeepsTheOldBlockReachable) {
   // q may be the fresh block or (the summary keeps) the old one.
   EXPECT_EQ(S.pts("q").size(), 2u);
 }
+
+TEST(Summaries, FreeMarksTheHeapBlockDeallocated) {
+  auto S = analyze("void f(void) {"
+                   "  int *p;"
+                   "  p = (int *)malloc(8);"
+                   "  free(p);"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  const Solver &Sol = S.A->solver();
+  ASSERT_EQ(Sol.freedObjects().size(), 1u);
+  ObjectId Block = *Sol.freedObjects().begin();
+  EXPECT_EQ(S.Program->Prog.object(Block).Kind, ObjectKind::Heap);
+  EXPECT_TRUE(Sol.isFreed(Block));
+  EXPECT_TRUE(Sol.freedAt(Block).isValid());
+  // Dealloc adds no points-to facts: p still reaches the block.
+  EXPECT_EQ(S.pts("f::p").size(), 1u);
+}
+
+TEST(Summaries, FreeIsNoLongerAPureNoOp) {
+  LibrarySummaries Lib;
+  EXPECT_TRUE(Lib.hasSummary("free"));
+  EXPECT_TRUE(Lib.hasSummary("cfree"));
+  EXPECT_TRUE(Lib.hasSummary("realloc"));
+}
+
+TEST(Summaries, FreeOfNonHeapStorageIsNotRecorded) {
+  auto S = analyze("int g;"
+                   "void f(void) { int *p; p = &g; free(p); }",
+                   ModelKind::CommonInitialSeq);
+  EXPECT_TRUE(S.A->solver().freedObjects().empty());
+}
+
+TEST(Summaries, ReallocDeallocatesItsOldBlock) {
+  auto S = analyze("void f(void) {"
+                   "  int *p; int *q;"
+                   "  p = (int *)malloc(8);"
+                   "  q = (int *)realloc(p, 16);"
+                   "}",
+                   ModelKind::CommonInitialSeq);
+  const Solver &Sol = S.A->solver();
+  ASSERT_EQ(Sol.freedObjects().size(), 1u);
+  // The freed object is the one p points to (the original block), and the
+  // pointer-level model still lets q reach both blocks.
+  EXPECT_EQ(S.pts("f::q").size(), 2u);
+  EXPECT_EQ(S.pts("f::p").size(), 1u);
+}
+
+TEST(Summaries, DeallocIsEngineIndependent) {
+  const char *Src = "void f(void) {"
+                    "  int *p;"
+                    "  p = (int *)malloc(8);"
+                    "  free(p);"
+                    "}";
+  auto Naive = analyze(Src, ModelKind::CommonInitialSeq);
+
+  auto Program = compile(Src);
+  AnalysisOptions Opts;
+  Opts.Model = ModelKind::CommonInitialSeq;
+  Opts.Solver.UseWorklist = true;
+  Analysis Worklist(Program->Prog, Opts);
+  Worklist.run();
+
+  EXPECT_EQ(Naive.A->solver().freedObjects().size(),
+            Worklist.solver().freedObjects().size());
+}

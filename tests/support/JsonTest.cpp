@@ -1,0 +1,93 @@
+//===--- JsonTest.cpp - Unit tests for the JSON toolkit -------------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+using namespace spa;
+
+TEST(JsonWriter, EmitsNestedContainers) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.open(nullptr);
+  W.field("name", std::string("spa"));
+  W.field("count", static_cast<uint64_t>(3));
+  W.field("ok", true);
+  W.openArray("items");
+  W.value("a");
+  W.value("b");
+  W.closeArray();
+  W.open("inner");
+  W.field("pi", 3.5);
+  W.close();
+  W.close();
+  EXPECT_EQ(Out, "{\"name\":\"spa\",\"count\":3,\"ok\":true,"
+                 "\"items\":[\"a\",\"b\"],\"inner\":{\"pi\":3.5}}");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.open(nullptr);
+  W.field("s", std::string("a\"b\\c\n\t"));
+  W.close();
+  EXPECT_EQ(Out, "{\"s\":\"a\\\"b\\\\c\\n\\t\"}");
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.open(nullptr);
+  W.field("version", std::string("2.1.0"));
+  W.openArray("runs");
+  W.open(nullptr);
+  W.field("n", static_cast<uint64_t>(42));
+  W.close();
+  W.closeArray();
+  W.close();
+
+  auto V = parseJson(Out);
+  ASSERT_TRUE(V.has_value());
+  ASSERT_EQ(V->K, JsonValue::Kind::Object);
+  const JsonValue *Version = V->find("version");
+  ASSERT_NE(Version, nullptr);
+  EXPECT_EQ(Version->Str, "2.1.0");
+  const JsonValue *Runs = V->find("runs");
+  ASSERT_NE(Runs, nullptr);
+  ASSERT_EQ(Runs->Items.size(), 1u);
+  const JsonValue *N = Runs->Items[0].find("n");
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->Number, 42.0);
+}
+
+TEST(JsonParser, ParsesScalarsAndEscapes) {
+  auto V = parseJson(R"({"t": true, "f": false, "z": null, )"
+                     R"("neg": -2.5e1, "u": "\u0041\u00e9"})");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_TRUE(V->find("t")->Bool);
+  EXPECT_FALSE(V->find("f")->Bool);
+  EXPECT_EQ(V->find("z")->K, JsonValue::Kind::Null);
+  EXPECT_EQ(V->find("neg")->Number, -25.0);
+  EXPECT_EQ(V->find("u")->Str, "A\xc3\xa9"); // \u escapes decode to UTF-8
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parseJson("").has_value());
+  EXPECT_FALSE(parseJson("{").has_value());
+  EXPECT_FALSE(parseJson("[1,]").has_value());
+  EXPECT_FALSE(parseJson("{\"a\" 1}").has_value());
+  EXPECT_FALSE(parseJson("tru").has_value());
+  EXPECT_FALSE(parseJson("{} trailing").has_value());
+  EXPECT_FALSE(parseJson("\"unterminated").has_value());
+  EXPECT_FALSE(parseJson("{\"a\": 01x}").has_value());
+}
+
+TEST(JsonParser, AcceptsWhitespaceEverywhere) {
+  auto V = parseJson(" \n\t{ \"a\" : [ 1 , 2 ] }\r\n");
+  ASSERT_TRUE(V.has_value());
+  ASSERT_EQ(V->find("a")->Items.size(), 2u);
+}

@@ -178,3 +178,37 @@ TEST(TablePrinter, FixedFormatsDecimals) {
   EXPECT_EQ(TablePrinter::fixed(2.5, 1), "2.5");
   EXPECT_EQ(TablePrinter::fixed(3.0, 0), "3");
 }
+
+TEST(Diagnostics, ReportCarriesACode) {
+  DiagnosticEngine Diags;
+  Diags.report(DiagKind::Warning, {7, 3}, "cast-safety", "bad view");
+  ASSERT_EQ(Diags.all().size(), 1u);
+  EXPECT_EQ(Diags.all()[0].Code, "cast-safety");
+  EXPECT_EQ(Diags.formatAll(), "7:3: warning: [cast-safety] bad view\n");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.report(DiagKind::Error, {8, 1}, "x", "fatal");
+  EXPECT_EQ(Diags.errorCount(), 1u);
+}
+
+TEST(Diagnostics, SortAndDedupeOrdersByLocationThenCode) {
+  DiagnosticEngine Diags;
+  Diags.report(DiagKind::Warning, {9, 1}, "b-code", "later");
+  Diags.report(DiagKind::Warning, {2, 5}, "z-code", "line two");
+  Diags.report(DiagKind::Warning, {2, 1}, "a-code", "first");
+  Diags.report(DiagKind::Warning, {2, 5}, "z-code", "line two"); // dup
+  Diags.sortAndDedupe();
+  ASSERT_EQ(Diags.all().size(), 3u);
+  EXPECT_EQ(Diags.all()[0].Code, "a-code");
+  EXPECT_EQ(Diags.all()[1].Code, "z-code");
+  EXPECT_EQ(Diags.all()[2].Code, "b-code");
+}
+
+TEST(Diagnostics, SortAndDedupeRecountsErrors) {
+  DiagnosticEngine Diags;
+  Diags.report(DiagKind::Error, {1, 1}, "e", "same");
+  Diags.report(DiagKind::Error, {1, 1}, "e", "same");
+  EXPECT_EQ(Diags.errorCount(), 2u);
+  Diags.sortAndDedupe();
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.all().size(), 1u);
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# CI entry point: tier-1 build + tests, lint, then the sanitizer preset.
+#
+#   tools/ci.sh            # everything
+#   SKIP_ASAN=1 tools/ci.sh  # tier-1 only (fast local loop)
+#
+# Exits nonzero on the first failure.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build =="
+cmake -B build -S .
+cmake --build build -j "$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure
+
+echo "== lint (no-op if clang-tidy is absent) =="
+cmake --build build --target lint
+
+if [ "${SKIP_ASAN:-0}" = "1" ]; then
+  echo "== asan-ubsan: skipped (SKIP_ASAN=1) =="
+  exit 0
+fi
+
+echo "== asan-ubsan preset =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc 2>/dev/null || echo 2)"
+ctest --preset asan-ubsan --output-on-failure
+
+echo "== ci.sh: all green =="

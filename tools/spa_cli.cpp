@@ -22,16 +22,28 @@
 ///   spa_cli file.c --worklist               worklist engine (delta default)
 ///   spa_cli file.c --no-delta               ... without delta propagation
 ///   spa_cli file.c --stats-json=out.json    run telemetry ("-" = stdout)
+///   spa_cli file.c --check                  run every client checker
+///   spa_cli file.c --check=LIST             run a comma-separated subset
+///   spa_cli file.c --sarif=out.json         findings as SARIF 2.1.0
+///                                           ("-" = stdout; implies --check)
 ///
-/// Exit codes: 0 success, 1 compile error, 2 usage error, 3 solver did
-/// not converge within its iteration budget (results are incomplete).
+/// Exit codes:
+///   0   success, no findings
+///   1   compile or I/O error
+///   2   checkers reported at least one finding
+///   3   solver did not converge within its iteration budget (results are
+///       incomplete; takes precedence over 2)
+///   64  usage error (unknown option, bad value, missing input)
 ///
 //===----------------------------------------------------------------------===//
 
+#include "check/Checkers.h"
+#include "check/Sarif.h"
 #include "pta/Frontend.h"
 #include "pta/GraphExport.h"
 #include "pta/Telemetry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,12 +52,18 @@ using namespace spa;
 
 namespace {
 
+/// Exit code for command-line misuse (sysexits.h EX_USAGE).
+constexpr int ExitUsage = 64;
+
 struct CliOptions {
   std::string File;
   ModelKind Model = ModelKind::CommonInitialSeq;
   TargetInfo Target = TargetInfo::ilp32();
   std::vector<std::string> PrintVars;
   std::string StatsJson;
+  std::string Sarif;
+  std::vector<std::string> Checkers; ///< empty with Check set = all
+  bool Check = false;
   bool Edges = false;
   bool Dot = false;
   bool Stmts = false;
@@ -57,6 +75,46 @@ struct CliOptions {
   unsigned MaxIterations = 0; // 0 = keep the SolverOptions default
 
 };
+
+/// Classic dynamic-programming edit distance, for option suggestions.
+size_t editDistance(std::string_view A, std::string_view B) {
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diag = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Next = std::min({Row[J] + 1, Row[J - 1] + 1,
+                              Diag + (A[I - 1] == B[J - 1] ? 0 : 1)});
+      Diag = Row[J];
+      Row[J] = Next;
+    }
+  }
+  return Row[B.size()];
+}
+
+const char *const KnownOptions[] = {
+    "--help",     "--model",    "--target",         "--print",
+    "--edges",    "--dot",      "--stmts",          "--stride",
+    "--unknown",  "--worklist", "--no-delta",       "--max-iterations",
+    "--stats-json", "--check",  "--sarif",
+};
+
+/// Best-matching known option for a mistyped one; null if nothing close.
+const char *suggestOption(const std::string &Arg) {
+  std::string Stem = Arg.substr(0, Arg.find('='));
+  const char *Best = nullptr;
+  size_t BestDist = 4; // anything further away is not a plausible typo
+  for (const char *Known : KnownOptions) {
+    size_t D = editDistance(Stem, Known);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = Known;
+    }
+  }
+  return Best;
+}
 
 bool parseArgs(int argc, char **argv, CliOptions &Opts) {
   for (int I = 1; I < argc; ++I) {
@@ -118,8 +176,51 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
         std::fprintf(stderr, "--max-iterations needs a positive count\n");
         return false;
       }
+    } else if (Arg == "--check") {
+      Opts.Check = true;
+    } else if (Arg.rfind("--check=", 0) == 0) {
+      Opts.Check = true;
+      std::string List = Arg.substr(8);
+      if (List.empty()) {
+        std::fprintf(stderr, "--check= needs a comma-separated checker list\n");
+        return false;
+      }
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        std::string Id = List.substr(Pos, Comma - Pos);
+        if (!Id.empty())
+          Opts.Checkers.push_back(std::move(Id));
+        Pos = Comma + 1;
+      }
+      for (const std::string &Id : Opts.Checkers)
+        if (!CheckerRegistry::descriptionOf(Id)) {
+          std::fprintf(stderr, "unknown checker '%s'; available:",
+                       Id.c_str());
+          for (const std::string &Known : CheckerRegistry::allIds())
+            std::fprintf(stderr, " %s", Known.c_str());
+          std::fprintf(stderr, "\n");
+          return false;
+        }
+    } else if (Arg.rfind("--sarif=", 0) == 0) {
+      Opts.Sarif = Arg.substr(8);
+      if (Opts.Sarif.empty()) {
+        std::fprintf(stderr, "--sarif needs a file name (or -)\n");
+        return false;
+      }
+      Opts.Check = true; // SARIF output is of checker findings
     } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      std::fprintf(stderr, "unknown option '%s'", Arg.c_str());
+      if (const char *Hint = suggestOption(Arg))
+        std::fprintf(stderr, "; did you mean '%s'?", Hint);
+      std::fprintf(stderr, " (try --help)\n");
+      return false;
+    } else if (Arg.find('=') != std::string::npos) {
+      std::fprintf(stderr,
+                   "'%s' is not an input file (missing leading '--'?)\n",
+                   Arg.c_str());
       return false;
     } else if (Opts.File.empty()) {
       Opts.File = Arg;
@@ -127,6 +228,12 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       std::fprintf(stderr, "multiple input files\n");
       return false;
     }
+  }
+  if (Opts.StatsJson == "-" && Opts.Sarif == "-") {
+    std::fprintf(stderr,
+                 "--stats-json=- and --sarif=- both claim stdout; write one "
+                 "of them to a file\n");
+    return false;
   }
   return true;
 }
@@ -146,8 +253,18 @@ void usage(const char *Prog) {
       "  --no-delta               worklist without difference propagation\n"
       "  --max-iterations=N       solver iteration budget (exit 3 if exceeded)\n"
       "  --stats-json=FILE        write run telemetry JSON (- for stdout;\n"
-      "                           - suppresses all other stdout output)\n",
+      "                           - suppresses all other stdout output)\n"
+      "  --check                  run every client checker, print findings\n"
+      "  --check=LIST             run a comma-separated checker subset\n"
+      "  --sarif=FILE             write findings as SARIF 2.1.0 (- for\n"
+      "                           stdout); implies --check\n"
+      "checkers:",
       Prog);
+  for (const std::string &Id : CheckerRegistry::allIds())
+    std::printf(" %s", Id.c_str());
+  std::printf("\n"
+              "exit codes: 0 no findings, 1 compile/IO error, 2 findings,\n"
+              "            3 non-convergence, 64 usage error\n");
 }
 
 } // namespace
@@ -155,10 +272,10 @@ void usage(const char *Prog) {
 int main(int argc, char **argv) {
   CliOptions Opts;
   if (!parseArgs(argc, argv, Opts))
-    return 2;
+    return ExitUsage;
   if (Opts.ShowHelp || Opts.File.empty()) {
     usage(argv[0]);
-    return Opts.ShowHelp ? 0 : 2;
+    return Opts.ShowHelp ? 0 : ExitUsage;
   }
 
   DiagnosticEngine Diags;
@@ -202,6 +319,29 @@ int main(int argc, char **argv) {
   const SolverRunStats &RS = A.solver().runStats();
   int ExitCode = RS.Converged ? 0 : 3;
 
+  // Checkers run on the finished fixpoint into their own engine so
+  // front-end warnings never leak into the SARIF log. Non-convergence
+  // (exit 3) outranks findings (exit 2): an unconverged graph may be
+  // missing facts, so its findings are not trustworthy either way.
+  DiagnosticEngine CheckDiags;
+  CheckReport Report;
+  if (Opts.Check) {
+    Report = runCheckers(A, Opts.Checkers, CheckDiags);
+    if (Report.Findings && ExitCode == 0)
+      ExitCode = 2;
+  }
+  if (!Opts.Sarif.empty() && Opts.Sarif != "-") {
+    std::string Doc = findingsToSarif(CheckDiags, Opts.File);
+    FILE *F = std::fopen(Opts.Sarif.c_str(), "w");
+    if (!F || std::fwrite(Doc.data(), 1, Doc.size(), F) != Doc.size()) {
+      if (F)
+        std::fclose(F);
+      std::fprintf(stderr, "cannot write '%s'\n", Opts.Sarif.c_str());
+      return 1;
+    }
+    std::fclose(F);
+  }
+
   if (!Opts.StatsJson.empty()) {
     if (!writeTelemetryJson(collectTelemetry(A, Opts.File), Opts.StatsJson)) {
       std::fprintf(stderr, "cannot write '%s'\n", Opts.StatsJson.c_str());
@@ -210,6 +350,15 @@ int main(int argc, char **argv) {
     // "-" promises machine-readable stdout: emit nothing else there.
     if (Opts.StatsJson == "-")
       return ExitCode;
+  }
+  if (Opts.Sarif == "-") {
+    std::fputs(findingsToSarif(CheckDiags, Opts.File).c_str(), stdout);
+    return ExitCode;
+  }
+  if (Opts.Check) {
+    std::fputs(CheckDiags.formatAll().c_str(), stdout);
+    std::printf("%u finding(s)\n", Report.Findings);
+    return ExitCode;
   }
 
   if (Opts.Dot) {

@@ -7,16 +7,22 @@
 /// \file
 /// Google-benchmark microbenchmarks of the whole pipeline on generated
 /// programs of growing size, per analysis instance and per solver engine
-/// (naive rounds, plain worklist, worklist with delta propagation): how
-/// parse, normalize, and solve scale with statement count. Complements
-/// the paper's Figure 5 (which uses fixed real programs) with a
-/// controlled sweep.
+/// (naive rounds, plain worklist, worklist with delta propagation, delta
+/// with online cycle elimination): how parse, normalize, and solve scale
+/// with statement count. Complements the paper's Figure 5 (which uses
+/// fixed real programs) with a controlled sweep.
 ///
-/// After the benchmarks, a head-to-head of the two worklist engines on
-/// the largest workload is written as spa.run.v1 telemetry to
-/// BENCH_scaling.json (override with --stats-json=<file>), so the bench
-/// output records convergence and delta/full propagation counts next to
-/// the timings.
+/// After the benchmarks, two head-to-heads are written as spa.run.v1
+/// telemetry to BENCH_scaling.json (override with --stats-json=<file>):
+/// plain vs delta worklist on the largest plain workload, and delta vs
+/// cycle elimination on a cycle-heavy workload (copy rings + mutually
+/// recursive call loops), so the bench output records convergence and
+/// propagation/collapse counts next to the timings.
+///
+/// `--smoke` skips google-benchmark entirely: it solves the smallest size
+/// class of both workloads with all four engines and exits non-zero
+/// unless every run converges and all engines agree edge-for-edge — the
+/// CI guard (tools/ci.sh) that the engines stay interchangeable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,12 +53,37 @@ std::string generatedSource(int SizeClass) {
   return generateProgram(Config);
 }
 
+/// A workload where copy cycles dominate: dense copy rings over pointer
+/// and struct globals plus a mutually recursive call-return loop — the
+/// shape where engines without cycle collapse grind (every lap of a ring
+/// moves facts one edge) and online cycle elimination pays off.
+std::string cycleHeavySource(int SizeClass) {
+  GeneratorConfig Config;
+  Config.Seed = 99;
+  Config.NumStructs = 4;
+  Config.NumStructVars = 8 * SizeClass;
+  Config.NumInts = 16 * SizeClass;
+  Config.NumPtrVars = 8 * SizeClass;
+  Config.NumFunctions = 2 * SizeClass;
+  Config.StmtsPerFunction = 60;
+  Config.CopyRingPercent = 60;
+  Config.NumCallCycleFuncs = 4 * SizeClass;
+  Config.UseHeap = true;
+  return generateProgram(Config);
+}
+
+/// Engine index -> options: 0 naive, 1 plain worklist, 2 delta worklist,
+/// 3 delta worklist with cycle elimination.
 SolverOptions engineOptions(int Engine) {
   SolverOptions Opts;
   Opts.UseWorklist = Engine != 0;
-  Opts.DeltaPropagation = Engine == 2;
+  Opts.DeltaPropagation = Engine >= 2;
+  Opts.CycleElimination = Engine == 3;
   return Opts;
 }
+
+const char *const EngineLabel[4] = {"naive", "worklist-plain",
+                                    "worklist-delta", "worklist-scc"};
 
 void pipelineBenchmark(benchmark::State &State) {
   std::string Source = generatedSource(static_cast<int>(State.range(0)));
@@ -89,9 +120,10 @@ void parseOnlyBenchmark(benchmark::State &State) {
   }
 }
 
-/// Solves the largest generated workload with \p Engine, best-of-\p Reps
-/// on solve time, and returns the telemetry of the best run.
-RunTelemetry headToHeadRun(const std::string &Source, int Engine, int Reps) {
+/// Solves \p Source with \p Engine, best-of-\p Reps on solve time, and
+/// returns the telemetry of the best run (labelled \p Label).
+RunTelemetry headToHeadRun(const std::string &Source,
+                           const std::string &Label, int Engine, int Reps) {
   RunTelemetry Best;
   for (int R = 0; R < Reps; ++R) {
     DiagnosticEngine Diags;
@@ -105,24 +137,35 @@ RunTelemetry headToHeadRun(const std::string &Source, int Engine, int Reps) {
     Opts.Solver = engineOptions(Engine);
     Analysis A(P->Prog, Opts);
     A.run();
-    RunTelemetry T = collectTelemetry(
-        A, Engine == 2 ? "scaling/size:8/worklist-delta"
-                       : "scaling/size:8/worklist-plain");
+    RunTelemetry T =
+        collectTelemetry(A, Label + "/" + EngineLabel[Engine]);
     if (R == 0 || T.Solver.SolveSeconds < Best.Solver.SolveSeconds)
       Best = T;
   }
   return Best;
 }
 
-/// Emits the head-to-head comparison as one JSON document: both runs'
-/// spa.run.v1 records plus the resulting speedup.
+/// Emits both head-to-head comparisons as one JSON document: the four
+/// runs' spa.run.v1 records plus the resulting speedups.
 void writeHeadToHead(const std::string &Path) {
-  std::string Source = generatedSource(8);
-  RunTelemetry Plain = headToHeadRun(Source, 1, 5);
-  RunTelemetry Delta = headToHeadRun(Source, 2, 5);
-  double Speedup = Delta.Solver.SolveSeconds > 0
-                       ? Plain.Solver.SolveSeconds / Delta.Solver.SolveSeconds
-                       : 0;
+  // Plain vs delta on the largest mixed workload (the historical
+  // comparison), delta vs cycle elimination on the cycle-heavy one
+  // (rings and call loops are where collapse changes the complexity).
+  std::string Mixed = generatedSource(24);
+  RunTelemetry Plain = headToHeadRun(Mixed, "scaling/size:24", 1, 5);
+  RunTelemetry Delta = headToHeadRun(Mixed, "scaling/size:24", 2, 5);
+  std::string Cyclic = cycleHeavySource(16);
+  RunTelemetry CycDelta = headToHeadRun(Cyclic, "cycles/size:16", 2, 5);
+  RunTelemetry CycScc = headToHeadRun(Cyclic, "cycles/size:16", 3, 5);
+
+  double SpeedupDelta =
+      Delta.Solver.SolveSeconds > 0
+          ? Plain.Solver.SolveSeconds / Delta.Solver.SolveSeconds
+          : 0;
+  double SpeedupScc =
+      CycScc.Solver.SolveSeconds > 0
+          ? CycDelta.Solver.SolveSeconds / CycScc.Solver.SolveSeconds
+          : 0;
 
   auto stripNewline = [](std::string S) {
     while (!S.empty() && S.back() == '\n')
@@ -130,15 +173,24 @@ void writeHeadToHead(const std::string &Path) {
     return S;
   };
   std::string Json = "{\"schema\":\"spa.bench.scaling.v1\",";
-  Json += "\"workload\":\"generated seed 42, size class 8\",";
-  char Buf[64];
+  Json += "\"workload\":\"generated seed 42, size class 24\",";
+  Json += "\"cycle_workload\":\"generated seed 99 (copy rings + call "
+          "loops), size class 16\",";
+  char Buf[96];
   std::snprintf(Buf, sizeof(Buf), "\"speedup_delta_vs_plain\":%.3f,",
-                Speedup);
+                SpeedupDelta);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf), "\"speedup_scc_vs_delta\":%.3f,",
+                SpeedupScc);
   Json += Buf;
   Json += "\"runs\":[";
   Json += stripNewline(telemetryToJson(Plain));
   Json += ",";
   Json += stripNewline(telemetryToJson(Delta));
+  Json += ",";
+  Json += stripNewline(telemetryToJson(CycDelta));
+  Json += ",";
+  Json += stripNewline(telemetryToJson(CycScc));
   Json += "]}\n";
 
   std::ofstream Out(Path);
@@ -149,38 +201,106 @@ void writeHeadToHead(const std::string &Path) {
   Out << Json;
   std::printf("\nworklist head-to-head (largest workload, best of 5):\n"
               "  plain  %.3f ms   delta  %.3f ms   speedup %.2fx\n"
+              "cycle-elimination head-to-head (cycle-heavy, best of 5):\n"
+              "  delta  %.3f ms   scc    %.3f ms   speedup %.2fx\n"
+              "  (scc: %llu sweeps, %llu sccs collapsed, %llu nodes "
+              "merged)\n"
               "  telemetry written to %s\n",
               Plain.Solver.SolveSeconds * 1e3,
-              Delta.Solver.SolveSeconds * 1e3, Speedup, Path.c_str());
+              Delta.Solver.SolveSeconds * 1e3, SpeedupDelta,
+              CycDelta.Solver.SolveSeconds * 1e3,
+              CycScc.Solver.SolveSeconds * 1e3, SpeedupScc,
+              (unsigned long long)CycScc.Solver.SccSweeps,
+              (unsigned long long)CycScc.Solver.SccsCollapsed,
+              (unsigned long long)CycScc.Solver.NodesMerged, Path.c_str());
+}
+
+/// `--smoke`: the CI guard. Solves the smallest size class of both
+/// workloads with all four engines; fails (exit 1) on non-convergence or
+/// any edge-count disagreement between engines.
+int runSmoke() {
+  int Failures = 0;
+  const struct {
+    const char *Name;
+    std::string Source;
+  } Workloads[] = {
+      {"mixed/size:1", generatedSource(1)},
+      {"cycles/size:1", cycleHeavySource(1)},
+  };
+  for (const auto &W : Workloads) {
+    uint64_t Edges[4] = {};
+    for (int Engine = 0; Engine < 4; ++Engine) {
+      DiagnosticEngine Diags;
+      auto P = CompiledProgram::fromSource(W.Source, Diags);
+      if (!P) {
+        std::fprintf(stderr, "FAIL %s: workload failed to compile\n",
+                     W.Name);
+        return 1;
+      }
+      AnalysisOptions Opts;
+      Opts.Model = ModelKind::CommonInitialSeq;
+      Opts.Solver = engineOptions(Engine);
+      Analysis A(P->Prog, Opts);
+      A.run();
+      if (!A.solver().runStats().Converged) {
+        std::fprintf(stderr, "FAIL %s/%s: did not converge\n", W.Name,
+                     EngineLabel[Engine]);
+        ++Failures;
+      }
+      Edges[Engine] = A.solver().numEdges();
+    }
+    bool Equal = Edges[0] == Edges[1] && Edges[0] == Edges[2] &&
+                 Edges[0] == Edges[3];
+    if (!Equal) {
+      std::fprintf(stderr,
+                   "FAIL %s: engines disagree on edges "
+                   "(naive %llu, plain %llu, delta %llu, scc %llu)\n",
+                   W.Name, (unsigned long long)Edges[0],
+                   (unsigned long long)Edges[1],
+                   (unsigned long long)Edges[2],
+                   (unsigned long long)Edges[3]);
+      ++Failures;
+    } else {
+      std::printf("ok %s: 4 engines converged, %llu edges each\n", W.Name,
+                  (unsigned long long)Edges[0]);
+    }
+  }
+  return Failures ? 1 : 0;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::string JsonPath = "BENCH_scaling.json";
-  // Peel off our own flag before google-benchmark sees the arguments.
+  bool Smoke = false;
+  // Peel off our own flags before google-benchmark sees the arguments.
   std::vector<char *> Args;
   for (int I = 0; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--stats-json=", 0) == 0)
       JsonPath = Arg.substr(13);
+    else if (Arg == "--smoke")
+      Smoke = true;
     else
       Args.push_back(argv[I]);
   }
+  if (Smoke)
+    return runSmoke();
   int Argc = static_cast<int>(Args.size());
 
   const char *ModelTag[4] = {"CollapseAlways", "CollapseOnCast",
                              "CommonInitSeq", "Offsets"};
-  const char *EngineTag[3] = {"pipeline", "pipeline_worklist",
-                              "pipeline_worklist_delta"};
-  for (int Size : {1, 2, 4, 8}) {
+  const char *EngineTag[4] = {"pipeline", "pipeline_worklist",
+                              "pipeline_worklist_delta",
+                              "pipeline_worklist_scc"};
+  for (int Size : {1, 2, 4, 8, 12}) {
     benchmark::RegisterBenchmark(
         ("parse_normalize/size:" + std::to_string(Size)).c_str(),
         parseOnlyBenchmark)
         ->Args({Size})
         ->Unit(benchmark::kMillisecond);
     for (int M = 0; M < 4; ++M)
-      for (int Engine = 0; Engine < 3; ++Engine)
+      for (int Engine = 0; Engine < 4; ++Engine)
         benchmark::RegisterBenchmark(
             (std::string(EngineTag[Engine]) + "/" + ModelTag[M] +
              "/size:" + std::to_string(Size))

@@ -1,0 +1,139 @@
+//===--- ConstraintGraph.cpp ----------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/ConstraintGraph.h"
+
+#include <algorithm>
+
+using namespace spa;
+
+bool ConstraintGraph::addEdge(NodeId Src, NodeId Dst) {
+  if (Src.index() >= Succ.size())
+    Succ.resize(Src.index() + 1);
+  if (!Succ[Src.index()].insert(Dst))
+    return false;
+  ++NumEdges;
+  ++SinceSweep;
+  MaxNode = std::max(
+      MaxNode, size_t(std::max(Src.index(), Dst.index())) + 1);
+  return true;
+}
+
+void ConstraintGraph::absorb(NodeId Rep, NodeId Merged) {
+  if (Merged.index() >= Succ.size())
+    return;
+  IdSet<NodeTag> &From = Succ[Merged.index()];
+  if (!From.empty()) {
+    if (Rep.index() >= Succ.size())
+      Succ.resize(Rep.index() + 1);
+    // Duplicate edges (both nodes already pointed at the same successor)
+    // collapse here; keep the live-edge count in step.
+    size_t New = Succ[Rep.index()].insertAll(From);
+    NumEdges -= From.size() - New;
+  }
+  From = IdSet<NodeTag>();
+}
+
+size_t ConstraintGraph::bytes() const {
+  size_t Total = Succ.capacity() * sizeof(IdSet<NodeTag>);
+  for (const IdSet<NodeTag> &S : Succ)
+    Total += S.size() * sizeof(NodeId);
+  return Total;
+}
+
+void ConstraintGraph::clear() {
+  Succ = std::vector<IdSet<NodeTag>>();
+  MaxNode = 0;
+  NumEdges = 0;
+  SinceSweep = 0;
+}
+
+ConstraintGraph::SweepResult
+ConstraintGraph::sweep(const UnionFind<NodeTag> &Reps) {
+  SweepResult R;
+  const size_t N = MaxNode;
+  R.TopoRank.assign(N, 0);
+  SinceSweep = 0;
+  if (N == 0)
+    return R;
+
+  // Iterative Tarjan. Indices start at 1 so 0 doubles as "unvisited";
+  // lowlinks live in their own array; CompOf records the component of
+  // every visited node. Components complete in reverse topological order
+  // (all successors of a component are numbered before it), which is what
+  // turns CompOf into a topological rank below.
+  std::vector<uint32_t> Index(N, 0), Low(N, 0), CompOf(N, 0);
+  std::vector<uint8_t> OnStack(N, 0);
+  std::vector<uint32_t> Stack;
+  struct Frame {
+    uint32_t V;
+    uint32_t Pos; // next successor position in Succ[V]
+  };
+  std::vector<Frame> Frames;
+  uint32_t NextIndex = 1;
+  uint32_t NumComp = 0;
+  static const IdSet<NodeTag> NoSucc;
+
+  auto succOf = [this](uint32_t V) -> const IdSet<NodeTag> & {
+    return V < Succ.size() ? Succ[V] : NoSucc;
+  };
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] || Reps.find(NodeId(Root)) != NodeId(Root))
+      continue;
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+    Frames.push_back({Root, 0});
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      uint32_t V = F.V;
+      const IdSet<NodeTag> &Edges = succOf(V);
+      if (F.Pos < Edges.size()) {
+        NodeId Raw = *(Edges.begin() + F.Pos);
+        ++F.Pos;
+        uint32_t W = Reps.find(Raw).index();
+        if (W >= N || W == V)
+          continue; // stale self-edge after a collapse
+        if (!Index[W]) {
+          Index[W] = Low[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = 1;
+          Frames.push_back({W, 0}); // invalidates F; loop re-fetches
+        } else if (OnStack[W]) {
+          Low[V] = std::min(Low[V], Index[W]);
+        }
+        continue;
+      }
+      // V is fully explored.
+      if (Low[V] == Index[V]) {
+        std::vector<NodeId> Members;
+        uint32_t W;
+        do {
+          W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = 0;
+          CompOf[W] = NumComp;
+          Members.push_back(NodeId(W));
+        } while (W != V);
+        if (Members.size() >= 2)
+          R.Cycles.push_back(std::move(Members));
+        ++NumComp;
+      }
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().V] = std::min(Low[Frames.back().V], Low[V]);
+    }
+  }
+
+  R.Components = NumComp;
+  // Reverse-topological component numbers -> topological ranks (0 =
+  // source-most). Unvisited nodes keep rank 0.
+  for (uint32_t I = 0; I < N; ++I)
+    if (Index[I])
+      R.TopoRank[I] = NumComp - 1 - CompOf[I];
+  return R;
+}

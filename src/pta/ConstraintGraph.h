@@ -1,0 +1,97 @@
+//===--- ConstraintGraph.h - Explicit copy-edge graph ----------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The copy-edge constraint graph behind the solver's cycle-elimination
+/// engine. Every join "pts(D) ⊇ pts(S)" the delta engine performs (resolve
+/// pairs of Copy/Load/Store statements, call bindings, varargs pooling) is
+/// recorded once as the edge S → D. Because points-to growth is monotone
+/// and the worklist re-runs a statement whenever one of its sources
+/// changes, each recorded edge is a *permanent* inclusion constraint: it
+/// is re-enforced until fixpoint. A cycle in this graph therefore forces
+/// every set on it to be equal at fixpoint, which is what licenses
+/// collapsing the cycle into one shared set (Solver::collapseCycle).
+///
+/// The graph supports periodic SCC sweeps (iterative Tarjan in the
+/// single-pass Nuutila style: one index array, components emitted in
+/// reverse topological order) that return both the non-trivial SCCs to
+/// collapse and a topological rank per node, which the solver turns into
+/// the priority of its worklist so sources drain before sinks.
+///
+/// Non-copy effects (pointer-arithmetic smears, AddrOfDeref lookup
+/// expansion, direct address-of edges) are *not* represented here — they
+/// add facts, not inclusion constraints between sets — so they can never
+/// cause an unsound collapse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_CONSTRAINTGRAPH_H
+#define SPA_PTA_CONSTRAINTGRAPH_H
+
+#include "pta/NodeStore.h"
+#include "support/UnionFind.h"
+
+namespace spa {
+
+/// Copy edges between canonical nodes, with SCC condensation support.
+class ConstraintGraph {
+public:
+  /// Records the copy edge \p Src → \p Dst ("pts(Dst) ⊇ pts(Src)"). Both
+  /// ids must already be canonical (the solver resolves them through its
+  /// union-find first). Returns true if the edge is new.
+  bool addEdge(NodeId Src, NodeId Dst);
+
+  /// Folds the out-edges of \p Merged (a node just absorbed by a cycle
+  /// collapse) into \p Rep and releases Merged's adjacency.
+  void absorb(NodeId Rep, NodeId Merged);
+
+  /// Distinct copy edges recorded so far (absorbs subtract duplicates
+  /// that become visible at merge time, so this tracks live edges).
+  uint64_t numEdges() const { return NumEdges; }
+
+  /// Edges added since the last sweep() — the solver's growth heuristic.
+  uint64_t edgesSinceSweep() const { return SinceSweep; }
+
+  /// One past the largest node index mentioned by any edge.
+  size_t numNodes() const { return MaxNode; }
+
+  /// Result of one SCC sweep.
+  struct SweepResult {
+    /// SCCs with at least two members (the cycles worth collapsing),
+    /// member ids canonical as of the sweep.
+    std::vector<std::vector<NodeId>> Cycles;
+    /// Topological rank per node index (sized numNodes()): 0 for the
+    /// source-most component, increasing toward sinks. Members of one SCC
+    /// share a rank. Nodes the sweep never reached keep rank 0.
+    std::vector<uint32_t> TopoRank;
+    /// Number of strongly connected components found.
+    uint32_t Components = 0;
+  };
+
+  /// Runs Tarjan/Nuutila over the graph restricted to the representatives
+  /// of \p Reps (edge endpoints are canonicalized on the fly) and resets
+  /// the edges-since-sweep counter.
+  SweepResult sweep(const UnionFind<NodeTag> &Reps);
+
+  /// Rough heap footprint of the adjacency storage, for telemetry.
+  size_t bytes() const;
+
+  /// Releases all storage (the solver drops the graph after fixpoint; a
+  /// re-solve rebuilds it from the statements).
+  void clear();
+
+private:
+  /// Out-edges per source node index; IdSet keeps them sorted-unique so
+  /// repeated joins of the same pair record one edge.
+  std::vector<IdSet<NodeTag>> Succ;
+  size_t MaxNode = 0;
+  uint64_t NumEdges = 0;
+  uint64_t SinceSweep = 0;
+};
+
+} // namespace spa
+
+#endif // SPA_PTA_CONSTRAINTGRAPH_H

@@ -16,14 +16,15 @@ Solver::Solver(NormProgram &Prog, FieldModel &Model, SolverOptions Opts)
     : Prog(Prog), Model(Model), Opts(Opts) {}
 
 Solver::NodeFacts &Solver::factsOf(NodeId Node) {
-  return Facts.grow(Node.index());
+  return Facts.grow(canon(Node).index());
 }
 
 const PtsSet &Solver::pointsTo(NodeId Node) const {
   static const PtsSet Empty;
-  if (Node.index() >= Facts.size())
+  NodeId C = canon(Node);
+  if (C.index() >= Facts.size())
     return Empty;
-  return Facts[Node.index()].Set;
+  return Facts[C.index()].Set;
 }
 
 bool Solver::addEdge(NodeId From, NodeId To) {
@@ -43,22 +44,34 @@ void Solver::noteRead(ObjectId Obj) {
   // dependents list (which was quadratic on statement-heavy programs).
   if (!StmtState[CurrentStmt].Reads.insert(Obj))
     return;
-  if (Obj.index() >= DependentsByObject.size())
-    DependentsByObject.resize(Obj.index() + 1);
-  DependentsByObject[Obj.index()].push_back(CurrentStmt);
+  // Registration lands on the object's dependents class: after a cycle
+  // collapse the merged objects share one list (spliceDependents), so a
+  // change to the shared set re-queues readers of every merged node.
+  ObjectId C = canonObj(Obj);
+  if (C.index() >= DependentsByObject.size())
+    DependentsByObject.resize(C.index() + 1);
+  DependentsByObject[C.index()].push_back(CurrentStmt);
 }
 
 void Solver::queueDependents(ObjectId Obj) {
-  if (!WorklistActive || !Obj.isValid() ||
-      Obj.index() >= DependentsByObject.size())
+  if (!WorklistActive || !Obj.isValid())
     return;
-  for (int32_t StmtIdx : DependentsByObject[Obj.index()]) {
+  ObjectId C = canonObj(Obj);
+  if (C.index() >= DependentsByObject.size())
+    return;
+  for (int32_t StmtIdx : DependentsByObject[C.index()]) {
     if (StmtQueued[StmtIdx])
       continue;
     StmtQueued[StmtIdx] = 1;
-    Worklist.push_back(StmtIdx);
-    if (Worklist.size() > Stats.WorklistHighWater)
-      Stats.WorklistHighWater = Worklist.size();
+    if (SccActive) {
+      PrioWorklist.emplace(StmtRank[StmtIdx], StmtIdx);
+      if (PrioWorklist.size() > Stats.WorklistHighWater)
+        Stats.WorklistHighWater = PrioWorklist.size();
+    } else {
+      Worklist.push_back(StmtIdx);
+      if (Worklist.size() > Stats.WorklistHighWater)
+        Stats.WorklistHighWater = Worklist.size();
+    }
   }
 }
 
@@ -69,12 +82,35 @@ void Solver::noteChanged(NodeId Node) {
 }
 
 uint64_t Solver::numEdges() const {
+  if (NodeReps.identity()) {
+    uint64_t Total = 0;
+    Facts.forEach([&Total](const NodeFacts &F) { Total += F.Set.size(); });
+    return Total;
+  }
+  // With collapsed cycles the shared set is stored once but belongs to
+  // every member node; count per store node so the total matches the
+  // other engines edge for edge.
   uint64_t Total = 0;
-  Facts.forEach([&Total](const NodeFacts &F) { Total += F.Set.size(); });
+  for (uint32_t I = 0, N = static_cast<uint32_t>(Model.nodes().size());
+       I < N; ++I)
+    Total += pointsTo(NodeId(I)).size();
   return Total;
 }
 
 bool Solver::joinPair(NodeId D, NodeId S) {
+  if (SccActive) {
+    D = canon(D);
+    S = canon(S);
+    // A collapsed cycle shares one set: joining it into itself is a
+    // permanent no-op, and recording the self-edge would be noise.
+    if (D == S)
+      return false;
+    if (CopyGraph.addEdge(S, D)) {
+      ++Stats.CopyEdges;
+      if (CurrentStmt >= 0)
+        StmtState[CurrentStmt].CopyDsts.insert(D);
+    }
+  }
   if (deltaActive()) {
     NodeFacts &Src = factsOf(S);
     size_t End = Src.Log.size();
@@ -194,6 +230,11 @@ bool Solver::flowPtrArith(NodeId Dst, const PtsSet &Targets) {
 }
 
 bool Solver::flowPtrArithDelta(NodeId Dst, NodeId Op) {
+  // Canonical ids keep the cursor key stable: a representative's log is
+  // append-only, and a merged node's key simply goes stale (the fresh key
+  // starts at cursor 0 — a sound, idempotent full re-walk).
+  Dst = canon(Dst);
+  Op = canon(Op);
   NodeFacts &Src = factsOf(Op);
   size_t End = Src.Log.size();
   StmtSolveState &St = StmtState[CurrentStmt];
@@ -363,8 +404,11 @@ bool Solver::applyStmtImpl(const NormStmt &S) {
     if (deltaActive()) {
       // lookup() is a pure function of the target, so previously seen
       // targets never need re-examination: walk only the unseen suffix.
+      // Canonical ids keep the cursor valid across cycle collapses: the
+      // rep's log is append-only, a merged pointer's key goes stale and
+      // the fresh key re-walks the shared log from 0 (idempotent).
       StmtSolveState &St = StmtState[CurrentStmt];
-      uint64_t Key = pairKey(Dst, Ptr);
+      uint64_t Key = pairKey(canon(Dst), canon(Ptr));
       auto It = St.Cursor.find(Key);
       if (It != St.Cursor.end())
         Begin = It->second;
@@ -522,12 +566,193 @@ void Solver::solveWorklist() {
   CurrentStmt = -1;
   WorklistActive = false;
   Model.nodes().setOnNewNode(nullptr);
-  StmtState.clear();
-  StmtState.shrink_to_fit();
+  Stats.BytesHighWater = estimateStateBytes();
+  releaseSolveState();
   if (Fixpoint)
     Stats.Converged = true;
   else
     reportNonConvergence("worklist");
+}
+
+void Solver::solveCycleElim() {
+  WorklistActive = true;
+  SccActive = true;
+  size_t N = Prog.Stmts.size();
+  StmtState.assign(N, StmtSolveState());
+  StmtRank.assign(N, 0);
+  DependentsByObject.clear();
+  Model.nodes().setOnNewNode([this](ObjectId Obj) { queueDependents(Obj); });
+  StmtQueued.assign(N, 1);
+  PrioWorklist = {};
+  for (size_t I = 0; I < N; ++I)
+    PrioWorklist.emplace(0, static_cast<int32_t>(I));
+  Stats.WorklistHighWater = PrioWorklist.size();
+
+  uint64_t Budget = uint64_t(Opts.MaxIterations) * (N ? N : 1);
+  bool Fixpoint = true;
+  for (;;) {
+    while (!PrioWorklist.empty()) {
+      if (Stats.StmtsApplied >= Budget) {
+        Fixpoint = false;
+        break;
+      }
+      // Sweeps run between statement applications only, so no statement
+      // holds a reference into facts that a collapse rewrites.
+      maybeSweepSccs();
+      int32_t Idx = PrioWorklist.top().second;
+      PrioWorklist.pop();
+      StmtQueued[Idx] = 0;
+      CurrentStmt = Idx;
+      ++Stats.Pops;
+      ++Stats.PriorityPops;
+      ++Stats.StmtsApplied;
+      applyStmt(Prog.Stmts[Idx]);
+      CurrentStmt = -1;
+    }
+    if (!Fixpoint)
+      break;
+    // Drain-time final sweep: collapse whatever cycles the growth
+    // heuristic left over. A collapse re-queues readers of the merged
+    // nodes (their cursors may be stale), so drain once more; when a
+    // sweep finds nothing to collapse the fixpoint is final.
+    if (!maybeSweepSccs(/*Force=*/true))
+      break;
+  }
+  CurrentStmt = -1;
+  WorklistActive = false;
+  SccActive = false;
+  Model.nodes().setOnNewNode(nullptr);
+  Stats.BytesHighWater = estimateStateBytes();
+  releaseSolveState();
+  if (Fixpoint)
+    Stats.Converged = true;
+  else
+    reportNonConvergence("cycle-elimination");
+}
+
+bool Solver::maybeSweepSccs(bool Force) {
+  uint64_t Since = CopyGraph.edgesSinceSweep();
+  if (Since == 0)
+    return false;
+  if (!Force) {
+    // Growth heuristic: sweep once the graph gained a quarter of its
+    // edges (with a floor so tiny graphs don't sweep on every edge).
+    uint64_t Threshold =
+        std::max<uint64_t>(32, CopyGraph.numEdges() / 4);
+    if (Since < Threshold)
+      return false;
+  }
+  ++Stats.SccSweeps;
+  ConstraintGraph::SweepResult R = CopyGraph.sweep(NodeReps);
+  for (const std::vector<NodeId> &Cycle : R.Cycles)
+    collapseCycle(Cycle);
+  recomputeStmtRanks(R.TopoRank);
+  return !R.Cycles.empty();
+}
+
+void Solver::collapseCycle(const std::vector<NodeId> &Members) {
+  for (size_t I = 1; I < Members.size(); ++I)
+    NodeReps.unite(Members[0], Members[I]);
+  NodeId Rep = NodeReps.find(Members[0]);
+  // Raw Facts slots on purpose: factsOf would resolve every member to the
+  // representative mid-merge.
+  NodeFacts &RF = Facts.grow(Rep.index());
+  ObjectId RepObj = Model.nodes().objectOf(Rep);
+  for (NodeId M : Members) {
+    if (M == Rep)
+      continue;
+    ++Stats.NodesMerged;
+    NodeFacts &MF = Facts.grow(M.index());
+    RF.Set.insertAll(MF.Set, &RF.Log);
+    MF.Set = PtsSet();
+    MF.Log = std::vector<NodeId>();
+    CopyGraph.absorb(Rep, M);
+    spliceDependents(RepObj, Model.nodes().objectOf(M));
+  }
+  ++Stats.SccsCollapsed;
+  // The shared set is (at least) the union of the members' sets: every
+  // statement reading any member must re-run against it. The splices
+  // above put all those readers on the representative object's list.
+  queueDependents(RepObj);
+}
+
+void Solver::spliceDependents(ObjectId A, ObjectId B) {
+  ObjectId CA = canonObj(A), CB = canonObj(B);
+  if (CA == CB)
+    return;
+  DepObjReps.unite(CA, CB);
+  ObjectId Rep = canonObj(CA);
+  ObjectId Other = (Rep == CA) ? CB : CA;
+  if (Other.index() >= DependentsByObject.size())
+    return;
+  if (Rep.index() >= DependentsByObject.size())
+    DependentsByObject.resize(Rep.index() + 1);
+  std::vector<int32_t> &Src = DependentsByObject[Other.index()];
+  std::vector<int32_t> &Dst = DependentsByObject[Rep.index()];
+  Dst.insert(Dst.end(), Src.begin(), Src.end());
+  Src = std::vector<int32_t>();
+}
+
+void Solver::recomputeStmtRanks(const std::vector<uint32_t> &TopoRank) {
+  for (size_t I = 0; I < StmtState.size(); ++I) {
+    uint32_t Rank = UINT32_MAX;
+    for (NodeId D : StmtState[I].CopyDsts) {
+      NodeId C = canon(D);
+      uint32_t R =
+          C.index() < TopoRank.size() ? TopoRank[C.index()] : 0;
+      Rank = std::min(Rank, R);
+    }
+    // Statements with no copy destinations (AddrOf and friends) seed base
+    // facts: they rank as sources.
+    StmtRank[I] = Rank == UINT32_MAX ? 0 : Rank;
+  }
+}
+
+size_t Solver::estimateStateBytes() const {
+  // Estimates, not exact malloc accounting: per entry, unordered_map pays
+  // roughly one heap node (key + value + next pointer) plus its share of
+  // the bucket array.
+  auto MapBytes = [](size_t Entries, size_t Buckets, size_t EntrySize) {
+    return Entries * (EntrySize + sizeof(void *)) +
+           Buckets * sizeof(void *);
+  };
+  size_t Total = 0;
+  for (const StmtSolveState &St : StmtState) {
+    Total += MapBytes(St.Cursor.size(), St.Cursor.bucket_count(),
+                      sizeof(uint64_t) + sizeof(uint32_t));
+    Total += MapBytes(St.Resolve.size(), St.Resolve.bucket_count(),
+                      sizeof(uint64_t) + sizeof(ResolveCache));
+    for (const auto &Entry : St.Resolve)
+      Total += Entry.second.Pairs.capacity() *
+               sizeof(std::pair<NodeId, NodeId>);
+    Total += MapBytes(St.SmearCursor.size(), St.SmearCursor.bucket_count(),
+                      2 * sizeof(uint32_t));
+    Total += St.Reads.size() * sizeof(ObjectId);
+    Total += St.CopyDsts.size() * sizeof(NodeId);
+  }
+  Total += StmtState.capacity() * sizeof(StmtSolveState);
+  for (const std::vector<int32_t> &Deps : DependentsByObject)
+    Total += Deps.capacity() * sizeof(int32_t);
+  Total += DependentsByObject.capacity() * sizeof(std::vector<int32_t>);
+  Total += Worklist.capacity() * sizeof(int32_t);
+  Total += StmtQueued.capacity();
+  Total += StmtRank.capacity() * sizeof(uint32_t);
+  Total += CopyGraph.bytes();
+  return Total;
+}
+
+void Solver::releaseSolveState() {
+  // Shrink-to-fit after solve: the fixpoint state (cursor maps, resolve
+  // caches, dependents index, constraint graph) is dead once the loop
+  // exits — queries only need Facts and NodeReps. Swap-with-empty so the
+  // memory goes back immediately instead of lingering until destruction.
+  StmtState = std::vector<StmtSolveState>();
+  DependentsByObject = std::vector<std::vector<int32_t>>();
+  Worklist = std::vector<int32_t>();
+  StmtQueued = std::vector<uint8_t>();
+  StmtRank = std::vector<uint32_t>();
+  PrioWorklist = {};
+  CopyGraph.clear();
 }
 
 void Solver::solve() {
@@ -535,8 +760,16 @@ void Solver::solve() {
   Events.assign(Prog.DerefSites.size(), SiteEvents());
   Freed = IdSet<ObjectTag>();
   FreedAt.clear();
+  // Cycle elimination is a layer on the delta worklist; normalize the
+  // flags so options echoed in telemetry reflect what actually ran.
+  if (Opts.CycleElimination) {
+    Opts.UseWorklist = true;
+    Opts.DeltaPropagation = true;
+  }
   auto Start = std::chrono::steady_clock::now();
-  if (Opts.UseWorklist)
+  if (Opts.CycleElimination)
+    solveCycleElim();
+  else if (Opts.UseWorklist)
     solveWorklist();
   else
     solveNaive();

@@ -13,7 +13,7 @@
 /// indirect calls use the current points-to set of the function pointer
 /// (an on-the-fly call graph, re-examined every round).
 ///
-/// Three engines compute the same fixpoint:
+/// Four engines compute the same fixpoint:
 ///  * naive rounds (the paper's algorithm, statement for statement);
 ///  * an object-granularity worklist (statements re-run only when an
 ///    object they read changed);
@@ -21,18 +21,27 @@
 ///    configuration): every node keeps an append-only log of its facts in
 ///    insertion order, and each statement remembers, per (dst, src) join
 ///    pair, how much of the source log it has already consumed — a
-///    re-visit joins only the unseen suffix instead of the full set.
+///    re-visit joins only the unseen suffix instead of the full set;
+///  * the delta worklist with online cycle elimination: copy joins are
+///    additionally materialized as an explicit constraint graph
+///    (pta/ConstraintGraph.h), periodic SCC sweeps collapse copy cycles
+///    through a union-find so the whole cycle shares one set and one log,
+///    and the worklist becomes a priority queue in topological order of
+///    the condensed graph (sources drain before sinks).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPA_PTA_SOLVER_H
 #define SPA_PTA_SOLVER_H
 
+#include "pta/ConstraintGraph.h"
 #include "pta/FieldModel.h"
 #include "pta/LibrarySummaries.h"
 #include "support/SegmentedVector.h"
+#include "support/UnionFind.h"
 
 #include <map>
+#include <queue>
 #include <unordered_map>
 
 namespace spa {
@@ -93,6 +102,15 @@ struct SolverOptions {
   /// back to the full set on first visit. Identical fixpoint again; off
   /// only for the legacy-worklist comparison in bench/scaling.
   bool DeltaPropagation = true;
+  /// Online cycle elimination on top of the delta worklist (implies
+  /// UseWorklist and DeltaPropagation; solve() normalizes the flags).
+  /// Copy joins are recorded as an explicit constraint graph; periodic
+  /// SCC sweeps collapse copy cycles so all nodes on a cycle share one
+  /// points-to set, and the worklist becomes a topological-order priority
+  /// queue over the condensed graph. Identical fixpoint once more — the
+  /// equivalence tests assert bit-for-bit equal graphs for all four
+  /// engines.
+  bool CycleElimination = false;
   /// Hard iteration cap (a safety net; real programs converge quickly).
   /// Naive mode: maximum rounds. Worklist mode: the statement-application
   /// budget is MaxIterations * #statements.
@@ -129,6 +147,19 @@ struct SolverRunStats {
   uint64_t RuleChanged[NumSolverRules] = {};
   /// Wall-clock seconds spent inside the fixpoint loop.
   double SolveSeconds = 0;
+  /// \name Cycle-elimination engine counters (zero elsewhere).
+  /// @{
+  uint64_t SccSweeps = 0;     ///< SCC sweeps over the constraint graph
+  uint64_t SccsCollapsed = 0; ///< non-trivial SCCs collapsed into one node
+  uint64_t NodesMerged = 0;   ///< nodes absorbed into a representative
+  uint64_t PriorityPops = 0;  ///< pops from the priority worklist
+  uint64_t CopyEdges = 0;     ///< distinct copy edges recorded
+  /// @}
+  /// Worklist modes: estimated bytes of per-statement solver state
+  /// (cursors, resolve caches, dependents index) at its high water,
+  /// sampled when the fixpoint loop exits and before the state is
+  /// released.
+  size_t BytesHighWater = 0;
 };
 
 /// One analysis run: a model plus the points-to graph it computes.
@@ -234,6 +265,10 @@ private:
     /// Objects this statement is registered on in DependentsByObject
     /// (sorted flat set: O(log n) membership, each pair registered once).
     IdSet<ObjectTag> Reads;
+    /// Cycle-elimination mode: canonical destination nodes of the copy
+    /// edges this statement recorded, the input to its topological
+    /// priority (recomputed after every SCC sweep).
+    IdSet<NodeTag> CopyDsts;
   };
 
   bool applyStmt(const NormStmt &S);
@@ -241,6 +276,7 @@ private:
   bool applyCall(const NormStmt &S);
   void solveNaive();
   void solveWorklist();
+  void solveCycleElim();
   /// Worklist mode: records that the running statement read the points-to
   /// facts of \p Obj, so it must re-run when they change.
   void noteRead(ObjectId Obj);
@@ -271,6 +307,38 @@ private:
   /// node \p Op into \p Dst.
   bool flowPtrArithDelta(NodeId Dst, NodeId Op);
 
+  /// \name Cycle elimination (active only while solveCycleElim runs).
+  /// @{
+  /// Class representative of \p Node (identity until a cycle collapses).
+  NodeId canon(NodeId Node) const {
+    return NodeReps.identity() ? Node : NodeReps.find(Node);
+  }
+  /// Representative object for the dependents index: when nodes of two
+  /// objects land in one collapsed cycle, their dependents lists are
+  /// spliced so changes to the shared set re-queue every reader.
+  ObjectId canonObj(ObjectId Obj) const {
+    return DepObjReps.identity() ? Obj : DepObjReps.find(Obj);
+  }
+  /// Sweeps the constraint graph when it grew enough since the last sweep
+  /// (or always, with \p Force, for the drain-time final sweep). Returns
+  /// true if any cycle was collapsed.
+  bool maybeSweepSccs(bool Force = false);
+  /// Collapses one SCC: unions the members, merges their facts and logs
+  /// into the representative, splices dependents, re-queues readers.
+  void collapseCycle(const std::vector<NodeId> &Members);
+  /// Unions the dependents classes of two objects and splices the
+  /// non-representative's registration list into the representative's.
+  void spliceDependents(ObjectId A, ObjectId B);
+  /// Recomputes every statement's topological priority from \p TopoRank.
+  void recomputeStmtRanks(const std::vector<uint32_t> &TopoRank);
+  /// @}
+
+  /// Estimated bytes of worklist-mode solver state (per-statement maps,
+  /// dependents index, constraint graph), for BytesHighWater.
+  size_t estimateStateBytes() const;
+  /// Releases all worklist-mode state after the fixpoint loop exits.
+  void releaseSolveState();
+
   NodeFacts &factsOf(NodeId Node);
 
   NormProgram &Prog;
@@ -300,6 +368,27 @@ private:
   std::vector<StmtSolveState> StmtState;
   std::vector<uint8_t> StmtQueued;
   std::vector<int32_t> Worklist;
+  /// @}
+
+  /// \name Cycle-elimination state.
+  /// @{
+  /// True while solveCycleElim runs (WorklistActive is also true then).
+  bool SccActive = false;
+  /// Merged copy-cycle classes. Outlives the solve: pointsTo()/factsOf()
+  /// resolve through it so queries on merged nodes reach the shared set.
+  UnionFind<NodeTag> NodeReps;
+  /// Object classes for the dependents index (see canonObj).
+  UnionFind<ObjectTag> DepObjReps;
+  /// The materialized copy-edge graph (released after fixpoint).
+  ConstraintGraph CopyGraph;
+  /// Per-statement topological priority (lower pops first).
+  std::vector<uint32_t> StmtRank;
+  /// Priority worklist: (rank, statement) min-heap; the statement index
+  /// breaks ties so the order is deterministic.
+  std::priority_queue<std::pair<uint32_t, int32_t>,
+                      std::vector<std::pair<uint32_t, int32_t>>,
+                      std::greater<>>
+      PrioWorklist;
   /// @}
 };
 

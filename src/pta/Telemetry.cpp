@@ -50,6 +50,7 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.open("options");
   W.field("use_worklist", T.Options.UseWorklist);
   W.field("delta_propagation", T.Options.DeltaPropagation);
+  W.field("cycle_elimination", T.Options.CycleElimination);
   W.field("use_library_summaries", T.Options.UseLibrarySummaries);
   W.field("handle_ptr_arith", T.Options.HandlePtrArith);
   W.field("stride_arith", T.Options.StrideArith);
@@ -74,6 +75,12 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.field("full_propagations", T.Solver.FullPropagations);
   W.field("delta_propagations", T.Solver.DeltaPropagations);
   W.field("worklist_high_water", uint64_t(T.Solver.WorklistHighWater));
+  W.field("scc_sweeps", T.Solver.SccSweeps);
+  W.field("sccs_collapsed", T.Solver.SccsCollapsed);
+  W.field("nodes_merged", T.Solver.NodesMerged);
+  W.field("priority_pops", T.Solver.PriorityPops);
+  W.field("copy_edges", T.Solver.CopyEdges);
+  W.field("bytes_high_water", uint64_t(T.Solver.BytesHighWater));
   W.field("solve_seconds", T.Solver.SolveSeconds);
   W.open("rule_applied");
   for (unsigned I = 0; I < NumSolverRules; ++I)

@@ -39,11 +39,43 @@ public:
   /// Inserts every element of \p Other; returns the number of new elements.
   size_t insertAll(const IdSet &Other) { return insertAll(Other, nullptr); }
 
+  /// True if every element of \p Other is already present. Linear
+  /// two-pointer scan over both sorted vectors — no allocation.
+  bool containsAll(const IdSet &Other) const {
+    if (&Other == this || Other.empty())
+      return true;
+    if (Other.Items.size() > Items.size())
+      return false;
+    auto A = Items.begin(), AEnd = Items.end();
+    for (value_type V : Other.Items) {
+      A = std::lower_bound(A, AEnd, V);
+      if (A == AEnd || *A != V)
+        return false;
+      ++A;
+    }
+    return true;
+  }
+
   /// Like insertAll, and additionally appends each newly inserted element
   /// to \p NewElems (when non-null) so callers can maintain a change log
   /// of the merge without re-diffing the sets.
   size_t insertAll(const IdSet &Other, std::vector<value_type> *NewElems) {
     if (&Other == this || Other.empty())
+      return 0;
+    // Append fast path: every incoming element sorts after our last one,
+    // so the merge is a plain append (common when a node's facts arrive
+    // in id order, e.g. freshly materialized offset nodes).
+    if (Items.empty() || Items.back() < Other.Items.front()) {
+      Items.insert(Items.end(), Other.Items.begin(), Other.Items.end());
+      if (NewElems)
+        NewElems->insert(NewElems->end(), Other.Items.begin(),
+                         Other.Items.end());
+      return Other.Items.size();
+    }
+    // No-new-elements fast path: re-joins at a fixpoint dominate solver
+    // workloads, and the pre-scan avoids allocating a merged vector for a
+    // join that cannot change anything.
+    if (containsAll(Other))
       return 0;
     size_t Before = Items.size();
     std::vector<value_type> Merged;

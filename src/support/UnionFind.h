@@ -1,0 +1,92 @@
+//===--- UnionFind.h - Disjoint sets over dense ids ------------*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A union-find (disjoint-set) forest over dense \c Id<Tag> values, used by
+/// the solver's cycle-elimination engine to collapse copy cycles: nodes in
+/// one strongly connected component of the constraint graph share a single
+/// points-to set, and every set access resolves through find() to the
+/// class representative. Ids outside the forest are their own class, so the
+/// structure can be grown lazily and a default-constructed instance is the
+/// identity map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_UNIONFIND_H
+#define SPA_SUPPORT_UNIONFIND_H
+
+#include "support/IdTypes.h"
+
+#include <vector>
+
+namespace spa {
+
+/// Disjoint sets of \c Id<Tag> values with union by rank and path halving.
+template <typename Tag> class UnionFind {
+public:
+  using value_type = Id<Tag>;
+
+  /// True while no two ids have ever been united — find() is the identity
+  /// and callers can skip canonicalization entirely (the hot-path guard
+  /// for engines that never merge).
+  bool identity() const { return Merges == 0; }
+
+  /// Number of successful unite() calls (== ids absorbed into another
+  /// class, since each unite reduces the class count by one).
+  size_t merges() const { return Merges; }
+
+  /// Class representative of \p V. Ids never seen by unite() are their own
+  /// representative. Performs path halving (mutates only the internal
+  /// parent cache, so it is semantically const).
+  value_type find(value_type V) const {
+    uint32_t I = V.index();
+    if (I >= Parent.size())
+      return V;
+    while (Parent[I] != I) {
+      Parent[I] = Parent[Parent[I]]; // path halving
+      I = Parent[I];
+    }
+    return value_type(I);
+  }
+
+  /// Unites the classes of \p A and \p B. Returns true if they were
+  /// distinct (a merge happened). The surviving representative is chosen
+  /// by rank; query it with find() afterwards.
+  bool unite(value_type A, value_type B) {
+    uint32_t RA = find(grow(A)).index();
+    uint32_t RB = find(grow(B)).index();
+    if (RA == RB)
+      return false;
+    if (Rank[RA] < Rank[RB])
+      std::swap(RA, RB);
+    Parent[RB] = RA;
+    if (Rank[RA] == Rank[RB])
+      ++Rank[RA];
+    ++Merges;
+    return true;
+  }
+
+private:
+  /// Ensures \p V has a forest slot; returns it unchanged.
+  value_type grow(value_type V) {
+    if (V.index() >= Parent.size()) {
+      size_t Old = Parent.size();
+      Parent.resize(V.index() + 1);
+      Rank.resize(V.index() + 1, 0);
+      for (size_t I = Old; I < Parent.size(); ++I)
+        Parent[I] = static_cast<uint32_t>(I);
+    }
+    return V;
+  }
+
+  mutable std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+  size_t Merges = 0;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_UNIONFIND_H

@@ -115,9 +115,34 @@ private:
     line("");
   }
 
+  /// One copy-ring statement. A rotating counter walks two deterministic
+  /// rings — int-pointer globals and same-type struct globals — so after
+  /// enough statements every ring edge exists and the copies close into
+  /// cycles (the adversarial shape for engines without cycle collapse:
+  /// each ring forces all its sets equal, one slow lap at a time).
+  std::string ringStmt() {
+    unsigned C = RingCounter++;
+    if (C % 2 == 0 && Config.NumPtrVars >= 2) {
+      unsigned N = Config.NumPtrVars;
+      unsigned I = (C / 2) % N;
+      return ptrVar(I) + " = " + ptrVar((I + 1) % N) + ";";
+    }
+    // Struct ring over the variables of struct type 0 (structOfVar picks
+    // type by index modulo NumStructs, so stride by NumStructs).
+    unsigned K = Config.NumStructVars / Config.NumStructs;
+    if (K >= 2) {
+      unsigned I = (C / 2) % K;
+      return structVar(I * Config.NumStructs) + " = " +
+             structVar(((I + 1) % K) * Config.NumStructs) + ";";
+    }
+    return ptrVar(0) + " = " + ptrVar(0) + ";";
+  }
+
   /// One random statement; all references are to globals, so statements
   /// are valid in any function.
   std::string randomStmt() {
+    if (Config.CopyRingPercent && Rand.percent(Config.CopyRingPercent))
+      return ringStmt();
     unsigned S = Rand.below(Config.NumStructVars);
     unsigned SType = structOfVar(S);
     unsigned P = Rand.below(Config.NumPtrVars);
@@ -176,7 +201,31 @@ private:
     }
   }
 
+  /// Mutually recursive call-return loop: cycI stores its parameter into
+  /// pointer global I and recurses with global I+1, and every return value
+  /// flows back around the ring. Context-insensitively the parameters,
+  /// globals, and returns all close into one copy cycle.
+  void emitCallCycle() {
+    unsigned M = Config.NumCallCycleFuncs;
+    if (M < 2 || Config.NumPtrVars == 0)
+      return;
+    for (unsigned F = 0; F < M; ++F)
+      line("int *cyc" + std::to_string(F) + "(int *a, int d);");
+    for (unsigned F = 0; F < M; ++F) {
+      unsigned P = F % Config.NumPtrVars;
+      unsigned PNext = (F + 1) % Config.NumPtrVars;
+      line("int *cyc" + std::to_string(F) + "(int *a, int d) {");
+      line("  " + ptrVar(P) + " = a;");
+      line("  if (d <= 0) return " + ptrVar(P) + ";");
+      line("  return cyc" + std::to_string((F + 1) % M) + "(" +
+           ptrVar(PNext) + ", d - 1);");
+      line("}");
+      line("");
+    }
+  }
+
   void emitHelpers() {
+    emitCallCycle();
     for (unsigned F = 0; F < Config.NumFunctions; ++F) {
       line("int *helper" + std::to_string(F) + "(int *a, struct " +
            structName(F % Config.NumStructs) + " *b) {");
@@ -197,6 +246,8 @@ private:
 
   void emitMain() {
     line("int main(void) {");
+    if (Config.NumCallCycleFuncs >= 2 && Config.NumPtrVars > 0)
+      line("  " + ptrVar(0) + " = cyc0(&" + intVar(0) + ", 8);");
     for (unsigned F = 0; F < Config.NumFunctions; ++F) {
       unsigned X = Rand.below(Config.NumInts);
       unsigned S = Rand.below(Config.NumStructVars);
@@ -216,6 +267,7 @@ private:
   const GeneratorConfig &Config;
   Rng Rand;
   std::string Out;
+  unsigned RingCounter = 0;
 };
 
 } // namespace

@@ -36,6 +36,16 @@ struct GeneratorConfig {
   unsigned CastSharePercent = 25; ///< % of statements using casts
   bool UseHeap = true;
   bool UseFunctionPointers = false;
+  /// % of statements devoted to copy rings: deterministic round-robin
+  /// pointer-to-pointer and whole-struct copies that close into cycles
+  /// (p0 = p1; p1 = p2; ... pN = p0;), the shape online cycle elimination
+  /// collapses. 0 keeps the historical statement mix exactly.
+  unsigned CopyRingPercent = 0;
+  /// Number of mutually recursive helper functions forming a call-return
+  /// loop: each stores its pointer parameter into a global and passes the
+  /// next global on, so parameters and globals close into one copy cycle
+  /// through the (context-insensitive) call bindings. 0 emits none.
+  unsigned NumCallCycleFuncs = 0;
 };
 
 /// Generates the program text. Deterministic in the config (including

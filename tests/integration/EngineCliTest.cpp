@@ -1,0 +1,120 @@
+//===--- EngineCliTest.cpp - End-to-end tests of spa_cli --engine ---------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the real spa_cli binary (SPA_CLI_PATH) to pin the --engine flag
+/// contract: the four engine names, the deprecated --worklist/--no-delta
+/// aliases (still functional, now warning), precedence of --engine over
+/// the aliases, and the cycle-elimination keys in --stats-json output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int Exit = -1;
+  std::string Out;
+};
+
+/// Runs spa_cli with \p Args; stderr is folded into stdout.
+RunResult runCli(const std::string &Args) {
+  RunResult R;
+  std::string Cmd = std::string(SPA_CLI_PATH) + " " + Args + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr) << Cmd;
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Out.append(Buf, N);
+  int Status = pclose(P);
+  R.Exit = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string corpus(const char *Name) {
+  return std::string(SPA_CORPUS_DIR) + "/" + Name;
+}
+
+} // namespace
+
+TEST(EngineCli, EveryEngineNameRunsAndReportsItself) {
+  const struct {
+    const char *Flag;
+    const char *Reported;
+  } Cases[] = {
+      {"naive", "solver engine:       naive rounds"},
+      {"worklist", "solver engine:       worklist\n"},
+      {"delta", "solver engine:       worklist (delta propagation)"},
+      {"scc", "solver engine:       worklist (delta + cycle elimination)"},
+  };
+  for (const auto &C : Cases) {
+    RunResult R = runCli(corpus("bc.c") + " --engine=" + C.Flag);
+    EXPECT_EQ(R.Exit, 0) << C.Flag << "\n" << R.Out;
+    EXPECT_NE(R.Out.find(C.Reported), std::string::npos)
+        << C.Flag << "\n" << R.Out;
+    EXPECT_EQ(R.Out.find("deprecated"), std::string::npos) << R.Out;
+  }
+}
+
+TEST(EngineCli, SccEngineReportsCollapseCounters) {
+  RunResult R = runCli(corpus("bc.c") + " --engine=scc");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("cycle elimination:"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("sccs collapsed"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("state high water:"), std::string::npos) << R.Out;
+}
+
+TEST(EngineCli, UnknownEngineIsAUsageError) {
+  RunResult R = runCli(corpus("bc.c") + " --engine=turbo");
+  EXPECT_EQ(R.Exit, 64) << R.Out;
+  EXPECT_NE(R.Out.find("unknown engine 'turbo'"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("naive|worklist|delta|scc"), std::string::npos)
+      << R.Out;
+}
+
+TEST(EngineCli, DeprecatedAliasesWarnButStillWork) {
+  RunResult R1 = runCli(corpus("li.c") + " --worklist");
+  EXPECT_EQ(R1.Exit, 0) << R1.Out;
+  EXPECT_NE(R1.Out.find("--worklist is deprecated"), std::string::npos)
+      << R1.Out;
+  EXPECT_NE(R1.Out.find("use --engine=delta"), std::string::npos) << R1.Out;
+  EXPECT_NE(R1.Out.find("worklist (delta propagation)"), std::string::npos)
+      << R1.Out;
+
+  RunResult R2 = runCli(corpus("li.c") + " --worklist --no-delta");
+  EXPECT_EQ(R2.Exit, 0) << R2.Out;
+  EXPECT_NE(R2.Out.find("--no-delta is deprecated"), std::string::npos)
+      << R2.Out;
+  EXPECT_NE(R2.Out.find("solver engine:       worklist\n"), std::string::npos)
+      << R2.Out;
+}
+
+TEST(EngineCli, ExplicitEngineWinsOverDeprecatedAliases) {
+  RunResult R = runCli(corpus("li.c") + " --worklist --engine=naive");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("solver engine:       naive rounds"),
+            std::string::npos)
+      << R.Out;
+}
+
+TEST(EngineCli, StatsJsonCarriesCycleEliminationKeys) {
+  RunResult R = runCli(corpus("bc.c") + " --engine=scc --stats-json=-");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  for (const char *Key :
+       {"\"cycle_elimination\":true", "\"use_worklist\":true",
+        "\"delta_propagation\":true", "\"scc_sweeps\":", "\"sccs_collapsed\":",
+        "\"nodes_merged\":", "\"priority_pops\":", "\"copy_edges\":",
+        "\"bytes_high_water\":"})
+    EXPECT_NE(R.Out.find(Key), std::string::npos) << Key << "\n" << R.Out;
+}

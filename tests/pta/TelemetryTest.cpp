@@ -66,6 +66,38 @@ TEST(Telemetry, CountersAreInternallyConsistent) {
   EXPECT_GT(ChangedSum, 0u);
 }
 
+TEST(Telemetry, CycleEliminationCountersFlowThrough) {
+  SolverOptions SOpts;
+  SOpts.CycleElimination = true;
+  auto S = analyzeWith(SOpts);
+  RunTelemetry T = collectTelemetry(*S.A, "scc");
+
+  EXPECT_TRUE(T.Solver.Converged);
+  // solve() normalizes the flags, and the echo reflects what ran.
+  EXPECT_TRUE(T.Options.UseWorklist);
+  EXPECT_TRUE(T.Options.DeltaPropagation);
+  EXPECT_TRUE(T.Options.CycleElimination);
+  // Every pop comes off the priority queue in this engine.
+  EXPECT_EQ(T.Solver.PriorityPops, T.Solver.Pops);
+  EXPECT_EQ(T.Solver.Pops, T.Solver.StmtsApplied);
+  // The drain-time sweep always runs, and state was sampled before release.
+  EXPECT_GT(T.Solver.SccSweeps, 0u);
+  EXPECT_GT(T.Solver.BytesHighWater, 0u);
+
+  std::string Json = telemetryToJson(T);
+  EXPECT_NE(Json.find("\"cycle_elimination\":true"), std::string::npos);
+  EXPECT_NE(Json.find("\"priority_pops\":"), std::string::npos);
+}
+
+TEST(Telemetry, WorklistModeSamplesBytesHighWater) {
+  SolverOptions SOpts;
+  SOpts.UseWorklist = true;
+  auto S = analyzeWith(SOpts);
+  RunTelemetry T = collectTelemetry(*S.A);
+  EXPECT_GT(T.Solver.BytesHighWater, 0u);
+  EXPECT_EQ(T.Solver.PriorityPops, 0u); // priority queue is scc-only
+}
+
 TEST(Telemetry, NaiveModeCountsRoundsNotPops) {
   auto S = analyzeWith(SolverOptions{});
   RunTelemetry T = collectTelemetry(*S.A);
@@ -84,12 +116,15 @@ TEST(Telemetry, JsonCarriesTheDocumentedKeys) {
   for (const char *Key :
        {"\"schema\":\"spa.run.v1\"", "\"program\":\"inline\"", "\"model\":",
         "\"options\":", "\"use_worklist\":true", "\"delta_propagation\":true",
-        "\"program_shape\":", "\"solver\":", "\"converged\":true",
-        "\"rounds\":", "\"pops\":", "\"full_propagations\":",
-        "\"delta_propagations\":", "\"worklist_high_water\":",
-        "\"solve_seconds\":", "\"rule_applied\":", "\"rule_changed\":",
-        "\"addr_of\":", "\"ptr_arith\":", "\"call\":", "\"model_stats\":",
-        "\"lookup_calls\":", "\"deref_metrics\":", "\"avg_set_size\":"})
+        "\"cycle_elimination\":false", "\"program_shape\":", "\"solver\":",
+        "\"converged\":true", "\"rounds\":", "\"pops\":",
+        "\"full_propagations\":", "\"delta_propagations\":",
+        "\"worklist_high_water\":", "\"scc_sweeps\":", "\"sccs_collapsed\":",
+        "\"nodes_merged\":", "\"priority_pops\":", "\"copy_edges\":",
+        "\"bytes_high_water\":", "\"solve_seconds\":", "\"rule_applied\":",
+        "\"rule_changed\":", "\"addr_of\":", "\"ptr_arith\":", "\"call\":",
+        "\"model_stats\":", "\"lookup_calls\":", "\"deref_metrics\":",
+        "\"avg_set_size\":"})
     EXPECT_NE(Json.find(Key), std::string::npos) << Key << "\nin " << Json;
 
   // Structurally sound: balanced braces, single trailing newline.

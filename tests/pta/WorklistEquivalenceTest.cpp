@@ -25,19 +25,21 @@ using namespace spa::test;
 
 namespace {
 
-/// Solves \p Source three ways — naive rounds, plain worklist, worklist
-/// with delta propagation — and compares the full graphs, for all four
-/// models. \p Base carries the option permutation under test.
+/// Solves \p Source four ways — naive rounds, plain worklist, worklist
+/// with delta propagation, delta worklist with cycle elimination — and
+/// compares the full graphs, for all four models. \p Base carries the
+/// option permutation under test.
 void expectEquivalent(const std::string &Source, const std::string &Label,
                       SolverOptions Base = {}) {
   for (ModelKind Kind :
        {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
-    DiagnosticEngine D1, D2, D3;
+    DiagnosticEngine D1, D2, D3, D4;
     auto P1 = CompiledProgram::fromSource(Source, D1);
     auto P2 = CompiledProgram::fromSource(Source, D2);
     auto P3 = CompiledProgram::fromSource(Source, D3);
-    ASSERT_TRUE(P1 && P2 && P3) << Label;
+    auto P4 = CompiledProgram::fromSource(Source, D4);
+    ASSERT_TRUE(P1 && P2 && P3 && P4) << Label;
 
     AnalysisOptions Naive;
     Naive.Model = Kind;
@@ -58,9 +60,15 @@ void expectEquivalent(const std::string &Source, const std::string &Label,
     Analysis A3(P3->Prog, Delta);
     A3.run();
 
+    AnalysisOptions Scc = Naive;
+    Scc.Solver.CycleElimination = true;
+    Analysis A4(P4->Prog, Scc);
+    A4.run();
+
     ASSERT_TRUE(A1.solver().runStats().Converged) << Label;
     ASSERT_TRUE(A2.solver().runStats().Converged) << Label;
     ASSERT_TRUE(A3.solver().runStats().Converged) << Label;
+    ASSERT_TRUE(A4.solver().runStats().Converged) << Label;
 
     ExportOptions All;
     All.IncludeTemps = true;
@@ -69,8 +77,12 @@ void expectEquivalent(const std::string &Source, const std::string &Label,
         << Label << " (plain worklist) under " << modelKindName(Kind);
     EXPECT_EQ(Expected, exportEdgeList(A3.solver(), All))
         << Label << " (delta worklist) under " << modelKindName(Kind);
+    EXPECT_EQ(Expected, exportEdgeList(A4.solver(), All))
+        << Label << " (cycle elimination) under " << modelKindName(Kind);
     EXPECT_EQ(A1.solver().numEdges(), A3.solver().numEdges())
         << Label << " under " << modelKindName(Kind);
+    EXPECT_EQ(A1.solver().numEdges(), A4.solver().numEdges())
+        << Label << " (cycle elimination) under " << modelKindName(Kind);
   }
 }
 
@@ -191,6 +203,56 @@ TEST(GeneratedEquivalence, StatementHeavyWorkloadStaysCheap) {
   Config.UseFunctionPointers = true;
   std::string Source = generateProgram(Config);
   expectEquivalent(Source, "statement-heavy seed 5");
+}
+
+TEST(GeneratedEquivalence, CycleHeavyProgramsMatchAcrossEngines) {
+  // Copy rings and mutually recursive call loops are exactly the shapes
+  // cycle elimination rewrites (shared sets, merged logs, spliced
+  // dependents); the collapsed graphs must still be bit-for-bit equal.
+  for (uint64_t Seed : {2, 17}) {
+    GeneratorConfig Config;
+    Config.Seed = Seed;
+    Config.StmtsPerFunction = 30;
+    Config.CopyRingPercent = 40;
+    Config.NumCallCycleFuncs = 4;
+    Config.UseFunctionPointers = Seed % 2 == 1;
+    expectEquivalent(generateProgram(Config),
+                     "cycle-heavy seed " + std::to_string(Seed));
+  }
+}
+
+TEST(GeneratedEquivalence, CycleEliminationActuallyCollapses) {
+  // Guard against the engine silently degenerating into plain delta: on a
+  // ring-heavy program the sweeps must find and collapse real cycles.
+  GeneratorConfig Config;
+  Config.Seed = 29;
+  Config.NumPtrVars = 12;
+  Config.StmtsPerFunction = 40;
+  Config.CopyRingPercent = 50;
+  Config.NumCallCycleFuncs = 6;
+  std::string Source = generateProgram(Config);
+
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  ASSERT_TRUE(P);
+  AnalysisOptions Scc;
+  Scc.Model = ModelKind::CommonInitialSeq;
+  Scc.Solver.CycleElimination = true;
+  Analysis A(P->Prog, Scc);
+  A.run();
+
+  const SolverRunStats &S = A.solver().runStats();
+  ASSERT_TRUE(S.Converged);
+  EXPECT_GT(S.SccsCollapsed, 0u);
+  EXPECT_GT(S.NodesMerged, 0u);
+  EXPECT_GT(S.SccSweeps, 0u);
+  EXPECT_GT(S.CopyEdges, 0u);
+  EXPECT_GT(S.BytesHighWater, 0u);
+  // Every pop in this engine comes off the priority queue.
+  EXPECT_EQ(S.PriorityPops, S.Pops);
+  // The option normalization made the run a delta worklist underneath.
+  EXPECT_TRUE(A.solver().options().UseWorklist);
+  EXPECT_TRUE(A.solver().options().DeltaPropagation);
 }
 
 TEST(GeneratedEquivalence, WorklistDoesLessWork) {

@@ -9,6 +9,7 @@
 #include "support/SegmentedVector.h"
 #include "support/StringInterner.h"
 #include "support/TablePrinter.h"
+#include "support/UnionFind.h"
 
 #include "gtest/gtest.h"
 
@@ -114,6 +115,100 @@ TEST(IdSet, InsertAllFromSelfIsANoOp) {
   EXPECT_EQ(A.insertAll(A, &New), 0u);
   EXPECT_EQ(A.size(), 2u);
   EXPECT_TRUE(New.empty());
+}
+
+TEST(IdSet, ContainsAll) {
+  TestSet A, Sub, Super, Disjoint, Empty;
+  for (uint32_t I : {1, 3, 5, 7, 9})
+    A.insert(TestId(I));
+  Sub.insert(TestId(3));
+  Sub.insert(TestId(9));
+  Super.insert(TestId(3));
+  Super.insert(TestId(4)); // 4 is missing from A
+  Disjoint.insert(TestId(2));
+  EXPECT_TRUE(A.containsAll(Sub));
+  EXPECT_TRUE(A.containsAll(A));
+  EXPECT_TRUE(A.containsAll(Empty));
+  EXPECT_FALSE(A.containsAll(Super));
+  EXPECT_FALSE(A.containsAll(Disjoint));
+  // A larger set can never be contained in a smaller one.
+  EXPECT_FALSE(Sub.containsAll(A));
+  EXPECT_TRUE(Empty.containsAll(Empty));
+  EXPECT_FALSE(Empty.containsAll(Sub));
+}
+
+TEST(IdSet, InsertAllSubsetFastPathLeavesSetUntouched) {
+  TestSet A, Sub;
+  for (uint32_t I : {2, 4, 6, 8})
+    A.insert(TestId(I));
+  Sub.insert(TestId(4));
+  Sub.insert(TestId(8));
+  std::vector<TestId> New;
+  // The no-new-elements pre-scan must report zero growth, log nothing,
+  // and keep the contents bit-for-bit.
+  TestSet Before = A;
+  EXPECT_EQ(A.insertAll(Sub, &New), 0u);
+  EXPECT_TRUE(New.empty());
+  EXPECT_TRUE(A == Before);
+}
+
+TEST(IdSet, InsertAllAppendFastPath) {
+  TestSet A, Tail;
+  A.insert(TestId(1));
+  A.insert(TestId(5));
+  // Every incoming element sorts after A's last: pure append.
+  Tail.insert(TestId(6));
+  Tail.insert(TestId(7));
+  Tail.insert(TestId(9));
+  std::vector<TestId> New;
+  EXPECT_EQ(A.insertAll(Tail, &New), 3u);
+  EXPECT_EQ(A.size(), 5u);
+  ASSERT_EQ(New.size(), 3u);
+  EXPECT_EQ(New[0], TestId(6));
+  EXPECT_EQ(New[2], TestId(9));
+  uint32_t Prev = 0;
+  for (TestId V : A) {
+    EXPECT_GE(V.index(), Prev);
+    Prev = V.index();
+  }
+  // Into an empty set the append path also applies.
+  TestSet Empty;
+  EXPECT_EQ(Empty.insertAll(Tail), 3u);
+  EXPECT_TRUE(Empty == Tail);
+  // Equal boundary elements (6 == A's max) must NOT take the append path.
+  TestSet Overlap;
+  Overlap.insert(TestId(9));
+  Overlap.insert(TestId(10));
+  EXPECT_EQ(A.insertAll(Overlap), 1u);
+  EXPECT_EQ(A.size(), 6u);
+}
+
+TEST(UnionFind, IdentityUntilFirstMerge) {
+  UnionFind<TestTag> UF;
+  EXPECT_TRUE(UF.identity());
+  EXPECT_EQ(UF.find(TestId(42)), TestId(42)); // never-seen id
+  EXPECT_FALSE(UF.unite(TestId(3), TestId(3)));
+  EXPECT_TRUE(UF.identity()); // self-unite is not a merge
+  EXPECT_TRUE(UF.unite(TestId(1), TestId(2)));
+  EXPECT_FALSE(UF.identity());
+  EXPECT_EQ(UF.merges(), 1u);
+  EXPECT_EQ(UF.find(TestId(1)), UF.find(TestId(2)));
+  EXPECT_FALSE(UF.unite(TestId(1), TestId(2))); // already one class
+}
+
+TEST(UnionFind, TransitiveClassesAndUntouchedIds) {
+  UnionFind<TestTag> UF;
+  UF.unite(TestId(1), TestId(2));
+  UF.unite(TestId(2), TestId(3));
+  UF.unite(TestId(10), TestId(11));
+  EXPECT_EQ(UF.find(TestId(1)), UF.find(TestId(3)));
+  EXPECT_NE(UF.find(TestId(1)), UF.find(TestId(10)));
+  // Ids outside every merge stay their own class, even between merged ids.
+  EXPECT_EQ(UF.find(TestId(5)), TestId(5));
+  EXPECT_EQ(UF.merges(), 3u);
+  // The representative is a member of its class.
+  TestId Rep = UF.find(TestId(1));
+  EXPECT_TRUE(Rep == TestId(1) || Rep == TestId(2) || Rep == TestId(3));
 }
 
 TEST(SegmentedVector, ReferencesSurviveGrowth) {

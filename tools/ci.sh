@@ -20,6 +20,11 @@ ctest --test-dir build --output-on-failure
 echo "== lint (no-op if clang-tidy is absent) =="
 cmake --build build --target lint
 
+echo "== bench smoke: four engines, one fixpoint =="
+# Smallest size class of both bench workloads, all four solver engines;
+# fails on non-convergence or any edge-count disagreement.
+./build/bench/scaling --smoke
+
 if [ "${SKIP_ASAN:-0}" = "1" ]; then
   echo "== asan-ubsan: skipped (SKIP_ASAN=1) =="
   exit 0

@@ -19,8 +19,8 @@
 ///   spa_cli file.c --stmts                  dump normalized statements
 ///   spa_cli file.c --stride                 Wilson/Lam array-stride rule
 ///   spa_cli file.c --unknown                Unknown-tracking mode
-///   spa_cli file.c --worklist               worklist engine (delta default)
-///   spa_cli file.c --no-delta               ... without delta propagation
+///   spa_cli file.c --engine=scc             solver engine
+///                  (naive | worklist | delta | scc)
 ///   spa_cli file.c --stats-json=out.json    run telemetry ("-" = stdout)
 ///   spa_cli file.c --check                  run every client checker
 ///   spa_cli file.c --check=LIST             run a comma-separated subset
@@ -55,6 +55,9 @@ namespace {
 /// Exit code for command-line misuse (sysexits.h EX_USAGE).
 constexpr int ExitUsage = 64;
 
+/// Solver engine selected on the command line.
+enum class EngineKind { Naive, Worklist, Delta, Scc };
+
 struct CliOptions {
   std::string File;
   ModelKind Model = ModelKind::CommonInitialSeq;
@@ -69,12 +72,38 @@ struct CliOptions {
   bool Stmts = false;
   bool Stride = false;
   bool Unknown = false;
-  bool Worklist = false;
-  bool NoDelta = false;
+  /// Set iff --engine= was given; wins over the deprecated aliases.
+  bool EngineSet = false;
+  EngineKind Engine = EngineKind::Naive;
+  bool Worklist = false; ///< deprecated --worklist alias
+  bool NoDelta = false;  ///< deprecated --no-delta alias
   bool ShowHelp = false;
   unsigned MaxIterations = 0; // 0 = keep the SolverOptions default
 
+  /// The engine that actually runs: --engine= if given, else whatever the
+  /// deprecated flags historically selected.
+  EngineKind effectiveEngine() const {
+    if (EngineSet)
+      return Engine;
+    if (!Worklist)
+      return EngineKind::Naive;
+    return NoDelta ? EngineKind::Worklist : EngineKind::Delta;
+  }
 };
+
+const char *engineName(EngineKind E) {
+  switch (E) {
+  case EngineKind::Naive:
+    return "naive rounds";
+  case EngineKind::Worklist:
+    return "worklist";
+  case EngineKind::Delta:
+    return "worklist (delta propagation)";
+  case EngineKind::Scc:
+    return "worklist (delta + cycle elimination)";
+  }
+  return "?";
+}
 
 /// Classic dynamic-programming edit distance, for option suggestions.
 size_t editDistance(std::string_view A, std::string_view B) {
@@ -97,8 +126,8 @@ size_t editDistance(std::string_view A, std::string_view B) {
 const char *const KnownOptions[] = {
     "--help",     "--model",    "--target",         "--print",
     "--edges",    "--dot",      "--stmts",          "--stride",
-    "--unknown",  "--worklist", "--no-delta",       "--max-iterations",
-    "--stats-json", "--check",  "--sarif",
+    "--unknown",  "--engine",   "--worklist",       "--no-delta",
+    "--max-iterations", "--stats-json", "--check",  "--sarif",
 };
 
 /// Best-matching known option for a mistyped one; null if nothing close.
@@ -165,9 +194,30 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Stride = true;
     } else if (Arg == "--unknown") {
       Opts.Unknown = true;
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      std::string E = Arg.substr(9);
+      if (E == "naive")
+        Opts.Engine = EngineKind::Naive;
+      else if (E == "worklist")
+        Opts.Engine = EngineKind::Worklist;
+      else if (E == "delta")
+        Opts.Engine = EngineKind::Delta;
+      else if (E == "scc")
+        Opts.Engine = EngineKind::Scc;
+      else {
+        std::fprintf(stderr,
+                     "unknown engine '%s' (naive|worklist|delta|scc)\n",
+                     E.c_str());
+        return false;
+      }
+      Opts.EngineSet = true;
     } else if (Arg == "--worklist") {
+      std::fprintf(stderr, "warning: --worklist is deprecated; use "
+                           "--engine=delta\n");
       Opts.Worklist = true;
     } else if (Arg == "--no-delta") {
+      std::fprintf(stderr, "warning: --no-delta is deprecated; use "
+                           "--engine=worklist\n");
       Opts.NoDelta = true;
     } else if (Arg.rfind("--max-iterations=", 0) == 0) {
       Opts.MaxIterations =
@@ -249,8 +299,10 @@ void usage(const char *Prog) {
       "  --stmts                  dump the normalized statements\n"
       "  --stride                 enable the array-stride refinement\n"
       "  --unknown                track corrupted pointers as Unknown\n"
-      "  --worklist               use the worklist engine (same fixpoint)\n"
-      "  --no-delta               worklist without difference propagation\n"
+      "  --engine=E               solver engine: naive (default), worklist,\n"
+      "                           delta, scc (all compute the same fixpoint)\n"
+      "  --worklist               deprecated alias for --engine=delta\n"
+      "  --no-delta               deprecated: with --worklist, --engine=worklist\n"
       "  --max-iterations=N       solver iteration budget (exit 3 if exceeded)\n"
       "  --stats-json=FILE        write run telemetry JSON (- for stdout;\n"
       "                           - suppresses all other stdout output)\n"
@@ -302,8 +354,10 @@ int main(int argc, char **argv) {
   AOpts.Target = Opts.Target;
   AOpts.Solver.StrideArith = Opts.Stride;
   AOpts.Solver.TrackUnknown = Opts.Unknown;
-  AOpts.Solver.UseWorklist = Opts.Worklist;
-  AOpts.Solver.DeltaPropagation = !Opts.NoDelta;
+  EngineKind Engine = Opts.effectiveEngine();
+  AOpts.Solver.UseWorklist = Engine != EngineKind::Naive;
+  AOpts.Solver.DeltaPropagation = Engine != EngineKind::Worklist;
+  AOpts.Solver.CycleElimination = Engine == EngineKind::Scc;
   AOpts.Solver.Diags = &Diags;
   if (Opts.MaxIterations)
     AOpts.Solver.MaxIterations = Opts.MaxIterations;
@@ -389,18 +443,24 @@ int main(int argc, char **argv) {
   std::printf("objects:             %zu\n", Program->Prog.Objects.size());
   std::printf("nodes:               %zu\n", RS.Nodes);
   std::printf("points-to edges:     %llu\n", (unsigned long long)RS.Edges);
-  if (Opts.Worklist) {
-    std::printf("solver engine:       worklist%s\n",
-                Opts.NoDelta ? "" : " (delta propagation)");
+  std::printf("solver engine:       %s\n", engineName(Engine));
+  if (Engine != EngineKind::Naive) {
     std::printf("worklist pops:       %llu (high water %zu)\n",
                 (unsigned long long)RS.Pops, RS.WorklistHighWater);
     std::printf("propagations:        %llu full, %llu delta\n",
                 (unsigned long long)RS.FullPropagations,
                 (unsigned long long)RS.DeltaPropagations);
+    std::printf("state high water:    %zu bytes\n", RS.BytesHighWater);
   } else {
-    std::printf("solver engine:       naive rounds\n");
     std::printf("solver rounds:       %u\n", RS.Rounds);
   }
+  if (Engine == EngineKind::Scc)
+    std::printf("cycle elimination:   %llu sweeps, %llu sccs collapsed, "
+                "%llu nodes merged, %llu copy edges\n",
+                (unsigned long long)RS.SccSweeps,
+                (unsigned long long)RS.SccsCollapsed,
+                (unsigned long long)RS.NodesMerged,
+                (unsigned long long)RS.CopyEdges);
   std::printf("converged:           %s\n", RS.Converged ? "yes" : "NO");
   std::printf("solve time:          %.3f ms\n", RS.SolveSeconds * 1e3);
   std::printf("deref sites:         %zu\n", M.Sites);

@@ -29,6 +29,7 @@
 #include "BenchUtil.h"
 
 #include "pta/Telemetry.h"
+#include "verify/Certifier.h"
 #include "workload/Generator.h"
 
 #include <benchmark/benchmark.h>
@@ -216,8 +217,9 @@ void writeHeadToHead(const std::string &Path) {
 }
 
 /// `--smoke`: the CI guard. Solves the smallest size class of both
-/// workloads with all four engines; fails (exit 1) on non-convergence or
-/// any edge-count disagreement between engines.
+/// workloads with all four engines; fails (exit 1) on non-convergence,
+/// any edge-count disagreement between engines, a failed certification,
+/// or certifier overhead of 3x the solve time or more.
 int runSmoke() {
   int Failures = 0;
   const struct {
@@ -229,6 +231,8 @@ int runSmoke() {
   };
   for (const auto &W : Workloads) {
     uint64_t Edges[4] = {};
+    uint64_t Obligations[4] = {};
+    double SolveSeconds = 0, CertifySeconds = 0;
     for (int Engine = 0; Engine < 4; ++Engine) {
       DiagnosticEngine Diags;
       auto P = CompiledProgram::fromSource(W.Source, Diags);
@@ -248,6 +252,19 @@ int runSmoke() {
         ++Failures;
       }
       Edges[Engine] = A.solver().numEdges();
+      CertifyResult CR = certifySolution(A.solver());
+      if (!CR.ok()) {
+        std::fprintf(stderr,
+                     "FAIL %s/%s: certification failed (%llu violations, "
+                     "%llu unjustified facts)\n",
+                     W.Name, EngineLabel[Engine],
+                     (unsigned long long)CR.Violations,
+                     (unsigned long long)CR.FactsUnjustified);
+        ++Failures;
+      }
+      Obligations[Engine] = CR.Obligations;
+      SolveSeconds += A.solver().runStats().SolveSeconds;
+      CertifySeconds += CR.Seconds;
     }
     bool Equal = Edges[0] == Edges[1] && Edges[0] == Edges[2] &&
                  Edges[0] == Edges[3];
@@ -260,9 +277,36 @@ int runSmoke() {
                    (unsigned long long)Edges[2],
                    (unsigned long long)Edges[3]);
       ++Failures;
+    }
+    if (Obligations[0] != Obligations[1] || Obligations[0] != Obligations[2] ||
+        Obligations[0] != Obligations[3]) {
+      std::fprintf(stderr,
+                   "FAIL %s: engines disagree on certify obligations "
+                   "(naive %llu, plain %llu, delta %llu, scc %llu)\n",
+                   W.Name, (unsigned long long)Obligations[0],
+                   (unsigned long long)Obligations[1],
+                   (unsigned long long)Obligations[2],
+                   (unsigned long long)Obligations[3]);
+      ++Failures;
+    } else if (Equal && !Failures) {
+      std::printf("ok %s: 4 engines converged and certified, %llu edges, "
+                  "%llu obligations each\n",
+                  W.Name, (unsigned long long)Edges[0],
+                  (unsigned long long)Obligations[0]);
+    }
+    // The certifier is one pass over the statements; it must stay well
+    // under the fixpoint's cost (summed across the four engine runs, so
+    // one slow engine cannot mask a slow certifier).
+    if (SolveSeconds > 0 && CertifySeconds >= 3 * SolveSeconds) {
+      std::fprintf(stderr,
+                   "FAIL %s: certifier overhead %.2fx solve time "
+                   "(certify %.3f ms vs solve %.3f ms)\n",
+                   W.Name, CertifySeconds / SolveSeconds,
+                   CertifySeconds * 1e3, SolveSeconds * 1e3);
+      ++Failures;
     } else {
-      std::printf("ok %s: 4 engines converged, %llu edges each\n", W.Name,
-                  (unsigned long long)Edges[0]);
+      std::printf("ok %s: certifier overhead %.2fx solve time\n", W.Name,
+                  SolveSeconds > 0 ? CertifySeconds / SolveSeconds : 0.0);
     }
   }
   return Failures ? 1 : 0;

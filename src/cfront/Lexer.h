@@ -36,7 +36,9 @@ private:
   char advance();
   bool match(char Expected);
   void skipTrivia();
-  SourceLoc here() const { return {Line, Column}; }
+  SourceLoc here() const {
+    return {Line, Column, static_cast<uint32_t>(Pos)};
+  }
 
   Token lexIdentifierOrKeyword();
   Token lexNumber();

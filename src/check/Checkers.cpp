@@ -151,7 +151,7 @@ public:
       Ctx.Diags.report(DiagKind::Warning, Site.Loc,
                        Worst == ViewClass::Mismatch ? "cast-safety"
                                                     : "cast-truncation",
-                       std::move(Msg));
+                       std::move(Msg), id());
       if (I < Events.size() && Events[I].Mismatch)
         Ctx.Diags.note(Site.Loc, "the field model recorded a type-mismatched "
                                  "lookup at this site during the solve");
@@ -227,7 +227,8 @@ public:
         continue;
       Ctx.Diags.report(DiagKind::Warning, Site.Loc, "null-deref",
                        (Site.IsCall ? "call through '" : "dereference of '") +
-                           Prog.objectName(Site.Ptr) + "' " + Variant);
+                           Prog.objectName(Site.Ptr) + "' " + Variant,
+                       id());
     }
   }
 };
@@ -258,7 +259,8 @@ public:
             (Site.IsCall ? "call through '" : "dereference of '") +
                 Prog.objectName(Site.Ptr) + "' may use '" +
                 Prog.objectName(Obj) + "' after it was freed at " +
-                toString(S.freedAt(Obj)));
+                toString(S.freedAt(Obj)),
+            id());
         break; // one finding per site
       }
     }
@@ -292,7 +294,8 @@ public:
       Ctx.Diags.report(DiagKind::Warning, St.Loc, "unknown-external",
                        "call to external function '" + std::string(Name) +
                            "' has no summary; its pointer effects are "
-                           "ignored");
+                           "ignored",
+                       id());
     }
   }
 };

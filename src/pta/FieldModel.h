@@ -131,6 +131,15 @@ public:
   const NodeStore &nodes() const { return Store; }
   const ModelStats &stats() const { return Stats; }
 
+  /// \name Certifier support (src/verify/).
+  /// The certifier re-runs normalize/lookup/resolve over the finished
+  /// solution; snapshotting and restoring the Figure-3 counters keeps the
+  /// statistics the run already reported unperturbed.
+  /// @{
+  ModelStats snapshotStats() const { return Stats; }
+  void restoreStats(const ModelStats &Snapshot) { Stats = Snapshot; }
+  /// @}
+
   /// Object type helper: declared type of an object, unqualified.
   TypeId objectType(ObjectId Obj) const {
     return Types.unqualified(Prog.object(Obj).Ty);

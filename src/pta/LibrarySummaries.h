@@ -73,6 +73,14 @@ public:
   /// Names of called externals with no summary (for diagnostics).
   const std::set<std::string> &unknownCallees() const { return Unknown; }
 
+  /// Effect list of \p Name's summary; null if none is registered.
+  /// Read-only access for the solution certifier and the IR verifier
+  /// (src/verify/), which re-derive apply()'s obligations independently.
+  const std::vector<Effect> *summaryOf(std::string_view Name) const {
+    auto It = Summaries.find(std::string(Name));
+    return It == Summaries.end() ? nullptr : &It->second;
+  }
+
 private:
   std::map<std::string, std::vector<Effect>> Summaries;
   std::set<std::string> Unknown;

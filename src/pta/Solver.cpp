@@ -8,6 +8,7 @@
 
 #include "support/Diagnostics.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace spa;
@@ -154,6 +155,19 @@ void Solver::markFreed(ObjectId Obj, SourceLoc FreeLoc) {
     return;
   if (Freed.insert(Obj))
     FreedAt.emplace(Obj, FreeLoc);
+}
+
+bool Solver::removeEdgeForMutation(NodeId From, NodeId To) {
+  NodeId C = canon(From);
+  if (C.index() >= Facts.size())
+    return false;
+  NodeFacts &F = Facts[C.index()];
+  if (!F.Set.erase(To))
+    return false;
+  auto It = std::find(F.Log.begin(), F.Log.end(), To);
+  if (It != F.Log.end())
+    F.Log.erase(It);
+  return true;
 }
 
 SourceLoc Solver::freedAt(ObjectId Obj) const {

@@ -227,6 +227,21 @@ public:
   SourceLoc freedAt(ObjectId Obj) const;
   /// @}
 
+  /// \name Verification support (see src/verify/).
+  /// @{
+  /// The shared external-storage blob if one was materialized during the
+  /// solve; invalid otherwise. Unlike externObject(), never creates it —
+  /// the certifier must observe the solution without changing it.
+  ObjectId externObjectId() const { return ExternObj; }
+  /// The Unknown pseudo-object if materialized; invalid otherwise.
+  ObjectId unknownObjectId() const { return UnknownObj; }
+  /// Removes the fact "From points to To" if present. Exists ONLY for the
+  /// mutation self-test harness (tests/verify/), which seeds fact
+  /// deletions and asserts the certifier reports the solution unsound.
+  /// Returns true if the fact was present.
+  bool removeEdgeForMutation(NodeId From, NodeId To);
+  /// @}
+
   NormProgram &program() { return Prog; }
   const NormProgram &program() const { return Prog; }
   FieldModel &model() { return Model; }

@@ -101,6 +101,25 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.field("resolve_mismatch", T.Model_.ResolveMismatch);
   W.close();
 
+  if (T.Verify.CertifyRan || T.Verify.IrVerifyRan) {
+    W.open("verify");
+    W.field("certify_ran", T.Verify.CertifyRan);
+    if (T.Verify.CertifyRan) {
+      W.field("obligations", T.Verify.Obligations);
+      W.field("violations", T.Verify.Violations);
+      W.field("facts_total", T.Verify.FactsTotal);
+      W.field("facts_unjustified", T.Verify.FactsUnjustified);
+      W.field("freed_unjustified", T.Verify.FreedUnjustified);
+      W.field("certify_seconds", T.Verify.CertifySeconds);
+    }
+    W.field("ir_verify_ran", T.Verify.IrVerifyRan);
+    if (T.Verify.IrVerifyRan) {
+      W.field("ir_checks", T.Verify.IrChecks);
+      W.field("ir_violations", T.Verify.IrViolations);
+    }
+    W.close();
+  }
+
   W.open("deref_metrics");
   W.field("sites", uint64_t(T.Deref.Sites));
   W.field("non_empty_sites", uint64_t(T.Deref.NonEmptySites));

@@ -25,6 +25,23 @@
 
 namespace spa {
 
+/// Counters of the optional verification passes (src/verify/). The layer
+/// above (the CLI, bench drivers) copies them in after running the passes;
+/// the JSON omits the "verify" object entirely when neither pass ran, so
+/// existing consumers see an unchanged record.
+struct VerifyTelemetry {
+  bool CertifyRan = false;
+  uint64_t Obligations = 0;
+  uint64_t Violations = 0;
+  uint64_t FactsTotal = 0;
+  uint64_t FactsUnjustified = 0;
+  uint64_t FreedUnjustified = 0;
+  double CertifySeconds = 0;
+  bool IrVerifyRan = false;
+  uint64_t IrChecks = 0;
+  uint64_t IrViolations = 0;
+};
+
 /// Snapshot of one solved Analysis, ready for JSON export.
 struct RunTelemetry {
   /// Schema identifier emitted as "schema"; bump on breaking change.
@@ -46,6 +63,7 @@ struct RunTelemetry {
   SolverRunStats Solver;
   ModelStats Model_;
   DerefMetrics Deref;
+  VerifyTelemetry Verify;
 };
 
 /// Snapshots \p A (which must have been run) into a RunTelemetry.

@@ -43,7 +43,8 @@ std::string DiagnosticEngine::formatAll() const {
 
 void DiagnosticEngine::sortAndDedupe() {
   auto KeyOf = [](const Diagnostic &D) {
-    return std::make_tuple(D.Loc.Line, D.Loc.Column, std::cref(D.Code),
+    return std::make_tuple(D.Loc.Line, D.Loc.Column, D.Loc.Offset,
+                           std::cref(D.Code), std::cref(D.Origin),
                            static_cast<int>(D.Kind), std::cref(D.Message));
   };
   std::stable_sort(Diags.begin(), Diags.end(),

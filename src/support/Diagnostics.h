@@ -33,6 +33,10 @@ struct Diagnostic {
   /// Empty for plain front-end diagnostics; the checker layer always sets
   /// it (it doubles as the SARIF rule id).
   std::string Code;
+  /// Id of the checker that emitted the finding. Distinct from Code when
+  /// one checker owns several codes (cast-safety also emits
+  /// cast-truncation). Empty for front-end diagnostics.
+  std::string Origin;
 };
 
 /// Accumulates diagnostics for one front-end run.
@@ -40,32 +44,38 @@ class DiagnosticEngine {
 public:
   /// Records an error at \p Loc.
   void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Error, Loc, std::move(Message), {}});
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message), {}, {}});
     ++ErrorCount;
   }
 
   /// Records a warning at \p Loc.
   void warning(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Warning, Loc, std::move(Message), {}});
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message), {}, {}});
   }
 
   /// Records an informational note at \p Loc.
   void note(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Note, Loc, std::move(Message), {}});
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message), {}, {}});
   }
 
   /// Records a diagnostic with a stable category code (checker findings).
+  /// \p Origin names the emitting checker; it participates only in the
+  /// sortAndDedupe tie-break, never in rendered output.
   void report(DiagKind Kind, SourceLoc Loc, std::string Code,
-              std::string Message) {
-    Diags.push_back({Kind, Loc, std::move(Message), std::move(Code)});
+              std::string Message, std::string Origin = {}) {
+    Diags.push_back(
+        {Kind, Loc, std::move(Message), std::move(Code), std::move(Origin)});
     if (Kind == DiagKind::Error)
       ++ErrorCount;
   }
 
   /// Makes the collected list golden-testable: stable-sorts by source
-  /// location, then code, then severity, then message, and removes exact
-  /// duplicates (the flow-insensitive solver can surface one finding from
-  /// several statements of the same site).
+  /// location (line, column, then byte offset), then code, then emitting
+  /// checker, then severity, then message, and removes exact duplicates
+  /// (the flow-insensitive solver can surface one finding from several
+  /// statements of the same site). The full key makes the order a pure
+  /// function of the finding set, independent of checker execution order
+  /// or the field model that produced the solution.
   void sortAndDedupe();
 
   bool hasErrors() const { return ErrorCount != 0; }

@@ -104,6 +104,15 @@ public:
     return Items.size() - Before;
   }
 
+  /// Removes \p V; returns true if it was present.
+  bool erase(value_type V) {
+    auto It = std::lower_bound(Items.begin(), Items.end(), V);
+    if (It == Items.end() || *It != V)
+      return false;
+    Items.erase(It);
+    return true;
+  }
+
   bool contains(value_type V) const {
     return std::binary_search(Items.begin(), Items.end(), V);
   }

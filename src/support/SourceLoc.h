@@ -24,6 +24,11 @@ namespace spa {
 struct SourceLoc {
   uint32_t Line = 0;
   uint32_t Column = 0;
+  /// Byte offset into the source buffer. Carried only as a diagnostic
+  /// sort tie-break for positions that render to the same line:column
+  /// (e.g. synthesized locations); not part of equality, so two
+  /// diagnostics at the same printed position still dedupe.
+  uint32_t Offset = 0;
 
   bool isValid() const { return Line != 0; }
 

@@ -1,0 +1,404 @@
+//===--- Certifier.cpp ----------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Certifier.h"
+
+#include "pta/Solver.h"
+
+#include <chrono>
+#include <unordered_set>
+
+using namespace spa;
+
+namespace {
+
+/// Hard cap on human-readable reports; counters stay exact beyond it.
+constexpr size_t MaxMessages = 25;
+
+/// One certification pass. Re-derives every rule obligation from the final
+/// solution with the model's normalize/lookup/resolve, checks each against
+/// the solution, and marks the facts the rules justify; facts left unmarked
+/// afterwards are unjustified (see Certifier.h).
+class Certifier {
+public:
+  explicit Certifier(Solver &S)
+      : S(S), Prog(S.program()), Model(S.model()), Opts(S.options()) {}
+
+  CertifyResult run() {
+    auto Start = std::chrono::steady_clock::now();
+    // The model counts every lookup/resolve (the paper's Figure-3 data);
+    // re-deriving obligations must not perturb what the run reported.
+    ModelStats Saved = Model.snapshotStats();
+
+    for (const NormStmt &Stmt : Prog.Stmts)
+      deriveStmt(Stmt);
+    auditFacts();
+    auditFreed();
+
+    Model.restoreStats(Saved);
+    R.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    return std::move(R);
+  }
+
+private:
+  Solver &S;
+  NormProgram &Prog;
+  FieldModel &Model;
+  const SolverOptions &Opts;
+  CertifyResult R;
+
+  /// Per store node: the facts some rule application justifies. Indexed by
+  /// raw node id — never canonicalized, so a collapsed cycle's members are
+  /// each justified through their own incoming copy edges.
+  std::vector<PtsSet> Justified;
+  /// Containment obligations already checked, keyed (dst << 32) | src.
+  /// resolve pairs recur across statements (every Load target, every call
+  /// site); one containment check per distinct pair keeps the pass linear.
+  std::unordered_set<uint64_t> CopyMemo;
+  /// Pointer-arithmetic smears already derived, keyed (dst << 32) | target.
+  std::unordered_set<uint64_t> SmearMemo;
+  /// Freed objects justified by some Dealloc effect.
+  IdSet<ObjectTag> FreedJustified;
+
+  static uint64_t pairKey(NodeId A, NodeId B) {
+    return (uint64_t(A.index()) << 32) | B.index();
+  }
+
+  std::string nodeName(NodeId Node) {
+    ObjectId Obj = Model.nodes().objectOf(Node);
+    return Prog.objectName(Obj) + Model.nodeSuffix(Node);
+  }
+
+  void report(std::string Msg) {
+    if (R.Messages.size() < MaxMessages)
+      R.Messages.push_back(std::move(Msg));
+  }
+
+  void justify(NodeId Dst, NodeId Target) {
+    if (Dst.index() >= Justified.size())
+      Justified.resize(Dst.index() + 1);
+    Justified[Dst.index()].insert(Target);
+  }
+
+  /// Membership obligation: some rule requires Target in pts(Dst).
+  void requireMember(NodeId Dst, NodeId Target, const char *Rule) {
+    ++R.Obligations;
+    justify(Dst, Target);
+    if (S.pointsTo(Dst).contains(Target))
+      return;
+    ++R.Violations;
+    report(std::string("missing fact [") + Rule + "]: " + nodeName(Dst) +
+           " -> " + nodeName(Target));
+  }
+
+  /// Containment obligation: some rule requires pts(Dst) >= pts(Src).
+  /// Self-pairs are skipped exactly as the solver's joinPair skips them —
+  /// a set trivially contains itself, and using the pair to justify its
+  /// own facts would be circular.
+  void requireContains(NodeId Dst, NodeId Src, const char *Rule) {
+    if (Dst == Src)
+      return;
+    if (!CopyMemo.insert(pairKey(Dst, Src)).second)
+      return;
+    ++R.Obligations;
+    const PtsSet &DstSet = S.pointsTo(Dst);
+    for (NodeId Fact : S.pointsTo(Src)) {
+      justify(Dst, Fact);
+      if (DstSet.contains(Fact))
+        continue;
+      ++R.Violations;
+      report(std::string("missing fact [") + Rule + "]: " + nodeName(Dst) +
+             " -> " + nodeName(Fact) + " (copied from " + nodeName(Src) +
+             ")");
+    }
+  }
+
+  /// Resolve-mediated containments: one per (d, s) pair of
+  /// resolve(Dst, Src, Tau). Mirrors Solver::flowResolve without the
+  /// delta-mode caches (pure re-derivation needs none).
+  void requireResolve(NodeId Dst, NodeId Src, TypeId Tau, const char *Rule) {
+    std::vector<std::pair<NodeId, NodeId>> Pairs;
+    Model.resolve(Dst, Src, Tau, Pairs);
+    for (const auto &[D, Source] : Pairs)
+      requireContains(D, Source, Rule);
+  }
+
+  /// Pointer-arithmetic smear obligations of \p Targets into \p Dst.
+  /// Mirrors Solver::flowPtrArith, including the Section-4.2.1 Unknown
+  /// alternative and the skip of already-Unknown targets.
+  void requireSmear(NodeId Dst, const PtsSet &Targets, const char *Rule) {
+    if (Opts.TrackUnknown) {
+      if (!Targets.empty())
+        requireUnknown(Dst, Rule);
+      return;
+    }
+    std::vector<NodeId> All;
+    for (NodeId Target : Targets) {
+      if (S.isUnknownNode(Target))
+        continue;
+      if (!SmearMemo.insert(pairKey(Dst, Target)).second)
+        continue;
+      All.clear();
+      Model.arithNodes(Target, Opts.StrideArith, All);
+      for (NodeId Node : All)
+        requireMember(Dst, Node, Rule);
+    }
+  }
+
+  /// TrackUnknown mode: the Unknown location must be in pts(Dst). The
+  /// solver materializes $unknown on the first such derivation, so on any
+  /// solved run that reaches here the object exists; a missing object
+  /// means the fact (and the location itself) was never recorded.
+  void requireUnknown(NodeId Dst, const char *Rule) {
+    ObjectId UnknownObj = S.unknownObjectId();
+    if (!UnknownObj.isValid()) {
+      ++R.Obligations;
+      ++R.Violations;
+      report(std::string("missing fact [") + Rule + "]: " + nodeName(Dst) +
+             " -> $unknown (location never materialized)");
+      return;
+    }
+    requireMember(Dst, Model.normalizeLoc(UnknownObj, {}), Rule);
+  }
+
+  NodeId normalizeObj(ObjectId Obj) { return Model.normalizeLoc(Obj, {}); }
+
+  void deriveStmt(const NormStmt &Stmt) {
+    switch (Stmt.Op) {
+    case NormOp::AddrOf:
+      // Rule 1: normalize(t.beta) in pts(normalize(s)).
+      requireMember(normalizeObj(Stmt.Dst),
+                    Model.normalizeLoc(Stmt.Src, Stmt.Path), "addr-of");
+      return;
+    case NormOp::AddrOfDeref: {
+      // Rule 2: each lookup(tau_p, alpha, t) node is in pts(normalize(s)).
+      NodeId Dst = normalizeObj(Stmt.Dst);
+      std::vector<NodeId> Fields;
+      for (NodeId Target : S.pointsTo(normalizeObj(Stmt.Src))) {
+        Fields.clear();
+        Model.lookup(Stmt.DeclPointeeTy, Stmt.Path, Target, Fields);
+        for (NodeId Field : Fields)
+          requireMember(Dst, Field, "addr-of-deref");
+      }
+      return;
+    }
+    case NormOp::Copy:
+      // Rule 3: resolve(normalize(s), normalize(t.beta), tau_s).
+      requireResolve(normalizeObj(Stmt.Dst),
+                     Model.normalizeLoc(Stmt.Src, Stmt.Path), Stmt.LhsTy,
+                     "copy");
+      return;
+    case NormOp::Load: {
+      // Rule 4: resolve(normalize(s), t, tau_s) for each t in pts(q).
+      NodeId Dst = normalizeObj(Stmt.Dst);
+      for (NodeId Target : S.pointsTo(normalizeObj(Stmt.Src)))
+        requireResolve(Dst, Target, Stmt.LhsTy, "load");
+      return;
+    }
+    case NormOp::Store: {
+      // Rule 5: resolve(s, normalize(t), tau_p-pointee) for each s in
+      // pts(p).
+      NodeId Src = normalizeObj(Stmt.Src);
+      for (NodeId Target : S.pointsTo(normalizeObj(Stmt.Dst)))
+        requireResolve(Target, Src, Stmt.LhsTy, "store");
+      return;
+    }
+    case NormOp::PtrArith: {
+      // Assumption 1 (or its TrackUnknown/stride variants).
+      if (!Opts.HandlePtrArith)
+        return;
+      NodeId Dst = normalizeObj(Stmt.Dst);
+      for (ObjectId Operand : Stmt.ArithSrcs)
+        requireSmear(Dst, S.pointsTo(normalizeObj(Operand)), "ptr-arith");
+      return;
+    }
+    case NormOp::Call:
+      deriveCall(Stmt);
+      return;
+    }
+  }
+
+  void deriveCall(const NormStmt &Call) {
+    for (FuncId Callee : S.calleesOf(Call)) {
+      const NormFunction &Fn = Prog.func(Callee);
+      if (!Fn.IsDefined) {
+        if (Opts.UseLibrarySummaries)
+          deriveSummary(Call, Fn);
+        continue;
+      }
+      // Context-insensitive binding, mirroring Solver::bindCall.
+      size_t NumParams = Fn.Params.size();
+      for (size_t I = 0; I < Call.Args.size(); ++I) {
+        if (Prog.object(Call.Args[I]).Kind == ObjectKind::Constant)
+          continue;
+        if (I < NumParams) {
+          ObjectId Param = Fn.Params[I];
+          requireResolve(normalizeObj(Param), normalizeObj(Call.Args[I]),
+                         Prog.object(Param).Ty, "call-arg");
+        } else if (Fn.VarargsObj.isValid()) {
+          // Extra arguments pool into "..." via a plain untyped join over
+          // every node of the argument object.
+          NodeId Va = normalizeObj(Fn.VarargsObj);
+          for (NodeId ArgNode : Model.nodes().nodesOfObject(Call.Args[I]))
+            requireContains(Va, ArgNode, "call-vararg");
+        }
+      }
+      if (Call.RetDst.isValid() && Fn.RetObj.isValid())
+        requireResolve(normalizeObj(Call.RetDst), normalizeObj(Fn.RetObj),
+                       Prog.object(Call.RetDst).Ty, "call-ret");
+    }
+  }
+
+  /// Re-derives the obligations of LibrarySummaries::apply for one call to
+  /// an undefined function. Unknown externals have no summary and thus no
+  /// obligations (the solver conservatively treats them as effect-free).
+  void deriveSummary(const NormStmt &Call, const NormFunction &Fn) {
+    using Effect = LibrarySummaries::Effect;
+    const std::vector<Effect> *Effects =
+        S.summaries().summaryOf(Prog.Strings.text(Fn.Name));
+    if (!Effects)
+      return;
+
+    auto ArgNode = [&](int I) -> NodeId {
+      if (I < 0)
+        return Call.RetDst.isValid() ? normalizeObj(Call.RetDst) : NodeId();
+      if (static_cast<size_t>(I) >= Call.Args.size())
+        return NodeId();
+      return normalizeObj(Call.Args[I]);
+    };
+
+    for (const Effect &E : *Effects) {
+      switch (E.K) {
+      case Effect::RetAliasArg: {
+        if (!Call.RetDst.isValid())
+          break;
+        NodeId Arg = ArgNode(E.A);
+        if (!Arg.isValid())
+          break;
+        requireResolve(normalizeObj(Call.RetDst), Arg,
+                       Prog.object(Call.RetDst).Ty, "lib-ret-alias");
+        break;
+      }
+      case Effect::RetIntoArg: {
+        if (!Call.RetDst.isValid())
+          break;
+        NodeId Arg = ArgNode(E.A);
+        if (!Arg.isValid())
+          break;
+        requireSmear(normalizeObj(Call.RetDst), S.pointsTo(Arg),
+                     "lib-ret-into");
+        break;
+      }
+      case Effect::CopyPointees: {
+        NodeId DstArg = ArgNode(E.A);
+        NodeId SrcArg = ArgNode(E.B);
+        if (!DstArg.isValid() || !SrcArg.isValid())
+          break;
+        for (NodeId D : S.pointsTo(DstArg))
+          for (NodeId Source : S.pointsTo(SrcArg)) {
+            ObjectId SrcObj = Model.nodes().objectOf(Source);
+            requireResolve(D, Source, Prog.object(SrcObj).Ty, "lib-copy");
+          }
+        break;
+      }
+      case Effect::RetExtern: {
+        if (!Call.RetDst.isValid())
+          break;
+        ObjectId Ext = S.externObjectId();
+        if (!Ext.isValid()) {
+          // The solver creates $extern when it first applies a RetExtern
+          // effect, so a solved run that derives this obligation has it.
+          ++R.Obligations;
+          ++R.Violations;
+          report("missing fact [lib-ret-extern]: " +
+                 nodeName(normalizeObj(Call.RetDst)) +
+                 " -> $extern (object never materialized)");
+          break;
+        }
+        requireMember(normalizeObj(Call.RetDst), normalizeObj(Ext),
+                      "lib-ret-extern");
+        break;
+      }
+      case Effect::Callback: {
+        NodeId Cb = ArgNode(E.A);
+        NodeId Data = ArgNode(E.B);
+        if (!Cb.isValid() || !Data.isValid())
+          break;
+        const PtsSet &DataTargets = S.pointsTo(Data);
+        for (NodeId Target : S.pointsTo(Cb)) {
+          ObjectId Obj = Model.nodes().objectOf(Target);
+          const NormObject &Info = Prog.object(Obj);
+          if (Info.Kind != ObjectKind::Function ||
+              !Info.AsFunction.isValid())
+            continue;
+          for (ObjectId Param : Prog.func(Info.AsFunction).Params)
+            requireSmear(normalizeObj(Param), DataTargets, "lib-callback");
+        }
+        break;
+      }
+      case Effect::Dealloc: {
+        NodeId Arg = ArgNode(E.A);
+        if (!Arg.isValid())
+          break;
+        for (NodeId T : S.pointsTo(Arg)) {
+          ObjectId Obj = Model.nodes().objectOf(T);
+          // Mirror Solver::markFreed's filter: only real heap allocation
+          // sites are recorded, never the shared $extern blob.
+          if (!Obj.isValid() || Obj == S.externObjectId() ||
+              Prog.object(Obj).Kind != ObjectKind::Heap)
+            continue;
+          FreedJustified.insert(Obj);
+          ++R.Obligations;
+          if (S.isFreed(Obj))
+            continue;
+          ++R.Violations;
+          report("missing freed mark [lib-dealloc]: " +
+                 Prog.objectName(Obj));
+        }
+        break;
+      }
+      }
+    }
+  }
+
+  /// Precision audit: every fact the solution holds must have been marked
+  /// justified by some obligation above. Counted per store node, exactly
+  /// like SolverRunStats::Edges, so the totals match the engines'.
+  void auditFacts() {
+    size_t NumNodes = Model.nodes().size();
+    for (uint32_t I = 0; I < NumNodes; ++I) {
+      NodeId Node(I);
+      const PtsSet &Set = S.pointsTo(Node);
+      R.FactsTotal += Set.size();
+      const PtsSet *Marks =
+          I < Justified.size() ? &Justified[I] : nullptr;
+      for (NodeId Fact : Set) {
+        if (Marks && Marks->contains(Fact))
+          continue;
+        ++R.FactsUnjustified;
+        report("unjustified fact: " + nodeName(Node) + " -> " +
+               nodeName(Fact));
+      }
+    }
+  }
+
+  /// Freed-set audit: every freed object must be justified by a Dealloc
+  /// effect derived over the final solution.
+  void auditFreed() {
+    for (ObjectId Obj : S.freedObjects()) {
+      if (FreedJustified.contains(Obj))
+        continue;
+      ++R.FreedUnjustified;
+      report("unjustified freed mark: " + Prog.objectName(Obj));
+    }
+  }
+};
+
+} // namespace
+
+CertifyResult spa::certifySolution(Solver &S) { return Certifier(S).run(); }

@@ -1,0 +1,88 @@
+//===--- Certifier.h - Independent solution certificate checker -*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An engine-independent certificate checker for a solved points-to run.
+/// The paper's framework defines a valid solution as one closed under the
+/// inference rules of Figure 2: the solver's job is to *find* the least
+/// such solution, but *checking* that a given solution is closed needs no
+/// worklist, no delta cursors, and no constraint graph — one pass over the
+/// normalized statements, re-deriving every obligation directly with the
+/// model's normalize/lookup/resolve, suffices.
+///
+/// The certifier checks two directions:
+///
+///  * Soundness: every obligation an inference rule derives from the final
+///    solution must already be satisfied by it. A missing fact means the
+///    engine under test lost a propagation (a real solver bug), and is
+///    reported as a violation.
+///
+///  * Precision audit: every fact in the solution should be justified by
+///    at least one rule application over the final solution. On a
+///    converged least-fixpoint run this holds exactly (each fact's first
+///    derivation has premises that persist to the end), so any unjustified
+///    fact indicates over-approximation injected outside the rules — e.g.
+///    a seeded mutation, or an engine writing facts it cannot explain.
+///
+/// Because all four engines must compute bit-identical fixpoints, the
+/// obligation and fact counts reported here are engine-independent: they
+/// are a pure function of (program, model, options, solution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_VERIFY_CERTIFIER_H
+#define SPA_VERIFY_CERTIFIER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spa {
+
+class Solver;
+
+/// Outcome of one certification pass.
+struct CertifyResult {
+  /// Distinct obligations re-derived and checked: memberships (rules 1, 2,
+  /// pointer arithmetic, extern/unknown returns), per-(dst, src) set
+  /// containments (rules 3-5, call bindings, summary copies), and freed-set
+  /// requirements (Dealloc effects).
+  uint64_t Obligations = 0;
+  /// Obligations the solution does not satisfy (missing facts: UNSOUND).
+  uint64_t Violations = 0;
+  /// Points-to facts in the solution, counted per store node exactly like
+  /// SolverRunStats::Edges.
+  uint64_t FactsTotal = 0;
+  /// Facts no rule application over the final solution justifies.
+  uint64_t FactsUnjustified = 0;
+  /// Freed-set entries no Dealloc effect over the final solution justifies.
+  uint64_t FreedUnjustified = 0;
+  /// Wall-clock seconds spent certifying.
+  double Seconds = 0;
+  /// Human-readable reports for the first violations/unjustified facts
+  /// (capped; see MaxMessages in Certifier.cpp).
+  std::vector<std::string> Messages;
+
+  /// A solution certifies iff it is both closed under the rules and fully
+  /// justified by them.
+  bool ok() const {
+    return Violations == 0 && FactsUnjustified == 0 && FreedUnjustified == 0;
+  }
+};
+
+/// Certifies \p S's solved points-to graph against the inference rules,
+/// using only the solver's model for normalize/lookup/resolve and its
+/// read-only queries. Does not mutate the solution, the per-site events,
+/// or the model's Figure-3 statistics (they are snapshotted and restored).
+///
+/// Meaningful on converged runs: an unconverged solution is expected to
+/// fail (facts are missing by definition), and the CLI skips certification
+/// in that case.
+CertifyResult certifySolution(Solver &S);
+
+} // namespace spa
+
+#endif // SPA_VERIFY_CERTIFIER_H

@@ -1,0 +1,332 @@
+//===--- IrVerifier.cpp ---------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/IrVerifier.h"
+
+#include "ctypes/Flatten.h"
+#include "norm/NormIR.h"
+#include "pta/LibrarySummaries.h"
+
+#include <map>
+#include <optional>
+
+using namespace spa;
+
+namespace {
+
+constexpr size_t MaxMessages = 25;
+
+constexpr uint8_t MaxNormOp = static_cast<uint8_t>(NormOp::Call);
+constexpr uint8_t MaxObjectKind = static_cast<uint8_t>(ObjectKind::Unknown);
+
+class IrVerifier {
+public:
+  IrVerifier(const NormProgram &Prog, const LayoutEngine &Layout,
+             const LibrarySummaries &Lib)
+      : Prog(Prog), Types(Prog.Types), Layout(Layout), Lib(Lib) {}
+
+  IrVerifyResult run() {
+    for (size_t I = 0; I < Prog.Objects.size(); ++I)
+      verifyObject(I);
+    for (size_t I = 0; I < Prog.Funcs.size(); ++I)
+      verifyFunc(I);
+    for (size_t I = 0; I < Prog.DerefSites.size(); ++I)
+      verifySite(I);
+    for (size_t I = 0; I < Prog.Stmts.size(); ++I)
+      verifyStmt(I);
+    return std::move(R);
+  }
+
+private:
+  const NormProgram &Prog;
+  const TypeTable &Types;
+  const LayoutEngine &Layout;
+  const LibrarySummaries &Lib;
+  IrVerifyResult R;
+  /// Flattened views by root type, shared across statements.
+  std::map<TypeId, FlattenedType> Flats;
+
+  /// Evaluates one invariant; false records a violation.
+  bool check(bool Ok, const std::string &What) {
+    ++R.ChecksRun;
+    if (Ok)
+      return true;
+    ++R.Violations;
+    if (R.Messages.size() < MaxMessages)
+      R.Messages.push_back(What);
+    return false;
+  }
+
+  bool validObj(ObjectId Obj) const {
+    return Obj.isValid() && Obj.index() < Prog.Objects.size();
+  }
+  bool validFunc(FuncId Fn) const {
+    return Fn.isValid() && Fn.index() < Prog.Funcs.size();
+  }
+  bool validType(TypeId Ty) const {
+    return Ty.isValid() && Ty.index() < Types.numTypes();
+  }
+
+  /// Walks \p Path from \p Root through complete records (looking through
+  /// arrays, as every path consumer does); nullopt if any step is out of
+  /// bounds or not a record member access.
+  std::optional<TypeId> walkPath(TypeId Root, const FieldPath &Path) const {
+    TypeId Ty = Types.unqualified(Root);
+    for (uint32_t Idx : Path) {
+      while (Types.isArray(Ty))
+        Ty = Types.unqualified(Types.element(Ty));
+      if (!Types.isRecord(Ty))
+        return std::nullopt;
+      const RecordDecl &Rec = Types.record(Types.node(Ty).Record);
+      if (!Rec.IsComplete || Idx >= Rec.Fields.size())
+        return std::nullopt;
+      Ty = Types.unqualified(Rec.Fields[Idx].Ty);
+    }
+    return Ty;
+  }
+
+  /// True if the flattened layout of \p Root can land the access \p Path
+  /// on a real location: some leaf lies at or below the path (the path
+  /// names a leaf or an interior record), or the path descends into a
+  /// collapsed leaf (a union blob's members share its one leaf). Only
+  /// called on structurally valid paths.
+  bool pathHasLeaf(TypeId Root, const FieldPath &Path) {
+    TypeId Key = Types.unqualified(Root);
+    auto It = Flats.find(Key);
+    if (It == Flats.end())
+      It = Flats.try_emplace(Key, FlattenedType(Types, Layout, Key)).first;
+    for (const LeafField &Leaf : It->second.leaves()) {
+      size_t Common = std::min(Leaf.Path.size(), Path.size());
+      if (std::equal(Path.begin(), Path.begin() + Common, Leaf.Path.begin()))
+        return true;
+    }
+    return false;
+  }
+
+  void verifyObject(size_t I) {
+    const NormObject &Obj = Prog.Objects[I];
+    std::string Tag = "object #" + std::to_string(I);
+    check(static_cast<uint8_t>(Obj.Kind) <= MaxObjectKind,
+          Tag + ": kind out of range");
+    check(validType(Obj.Ty), Tag + ": invalid declared type");
+    if (Obj.Owner.isValid())
+      check(validFunc(Obj.Owner), Tag + ": owner function out of range");
+    if (Obj.Kind == ObjectKind::Function)
+      check(validFunc(Obj.AsFunction),
+            Tag + ": function object without a target function");
+  }
+
+  void verifyFunc(size_t I) {
+    const NormFunction &Fn = Prog.Funcs[I];
+    std::string Tag = "function #" + std::to_string(I);
+    check(validType(Fn.Ty), Tag + ": invalid function type");
+    for (size_t P = 0; P < Fn.Params.size(); ++P) {
+      if (!check(validObj(Fn.Params[P]),
+                 Tag + ": parameter " + std::to_string(P) +
+                     " is not a real object"))
+        continue;
+      check(Prog.object(Fn.Params[P]).Kind == ObjectKind::Param,
+            Tag + ": parameter " + std::to_string(P) +
+                " is not a Param-kind object");
+    }
+    if (Fn.RetObj.isValid())
+      check(validObj(Fn.RetObj), Tag + ": return object out of range");
+    if (Fn.VarargsObj.isValid()) {
+      check(validObj(Fn.VarargsObj), Tag + ": varargs object out of range");
+      check(Fn.IsVariadic, Tag + ": varargs object on a fixed-arity function");
+    }
+    if (Fn.FnObj.isValid() &&
+        check(validObj(Fn.FnObj), Tag + ": function object out of range")) {
+      const NormObject &Obj = Prog.object(Fn.FnObj);
+      check(Obj.Kind == ObjectKind::Function &&
+                Obj.AsFunction == FuncId(static_cast<uint32_t>(I)),
+            Tag + ": function object does not refer back to it");
+    }
+  }
+
+  void verifySite(size_t I) {
+    const DerefSite &Site = Prog.DerefSites[I];
+    std::string Tag = "deref site #" + std::to_string(I);
+    check(validObj(Site.Ptr), Tag + ": dereferenced pointer out of range");
+    check(validType(Site.DeclPointeeTy),
+          Tag + ": invalid declared pointee type");
+  }
+
+  /// The statement's dereferenced-pointer operand, for checking its deref
+  /// site's linkage; invalid id when the form has none.
+  static ObjectId derefPtrOf(const NormStmt &Stmt) {
+    switch (Stmt.Op) {
+    case NormOp::AddrOfDeref:
+    case NormOp::Load:
+      return Stmt.Src;
+    case NormOp::Store:
+      return Stmt.Dst;
+    case NormOp::Call:
+      return Stmt.IndirectCallee;
+    default:
+      return ObjectId();
+    }
+  }
+
+  void verifyStmt(size_t I) {
+    const NormStmt &Stmt = Prog.Stmts[I];
+    std::string Tag = "stmt #" + std::to_string(I);
+    if (!check(static_cast<uint8_t>(Stmt.Op) <= MaxNormOp,
+               Tag + ": operation out of range"))
+      return; // nothing else about the statement is interpretable
+    if (Stmt.Owner.isValid())
+      check(validFunc(Stmt.Owner), Tag + ": owner function out of range");
+
+    switch (Stmt.Op) {
+    case NormOp::AddrOf:
+    case NormOp::Copy:
+      check(validObj(Stmt.Dst), Tag + ": invalid destination object");
+      check(validType(Stmt.LhsTy), Tag + ": invalid left-hand-side type");
+      if (check(validObj(Stmt.Src), Tag + ": invalid source object"))
+        verifyPath(Tag, Prog.object(Stmt.Src).Ty, Stmt.Path);
+      break;
+    case NormOp::AddrOfDeref:
+      check(validObj(Stmt.Dst), Tag + ": invalid destination object");
+      check(validObj(Stmt.Src), Tag + ": invalid pointer operand");
+      check(validType(Stmt.LhsTy), Tag + ": invalid left-hand-side type");
+      if (check(validType(Stmt.DeclPointeeTy),
+                Tag + ": invalid declared pointee type"))
+        verifyPath(Tag, Stmt.DeclPointeeTy, Stmt.Path);
+      break;
+    case NormOp::Load:
+    case NormOp::Store:
+      check(validObj(Stmt.Dst), Tag + ": invalid destination object");
+      check(validObj(Stmt.Src), Tag + ": invalid source object");
+      check(validType(Stmt.LhsTy), Tag + ": invalid left-hand-side type");
+      check(Stmt.Path.empty(),
+            Tag + ": member path on a form whose operands are top-level");
+      break;
+    case NormOp::PtrArith:
+      check(validObj(Stmt.Dst), Tag + ": invalid destination object");
+      check(!Stmt.ArithSrcs.empty(),
+            Tag + ": pointer arithmetic without operands");
+      for (size_t A = 0; A < Stmt.ArithSrcs.size(); ++A)
+        check(validObj(Stmt.ArithSrcs[A]),
+              Tag + ": invalid arithmetic operand " + std::to_string(A));
+      break;
+    case NormOp::Call:
+      verifyCall(I, Stmt, Tag);
+      break;
+    }
+
+    verifySiteLink(Stmt, Tag);
+  }
+
+  /// A member path must name a real (transitively complete) member chain,
+  /// and the flattened layout must hold a leaf at or below it — exactly
+  /// the locations normalize and lookup resolve accesses to.
+  void verifyPath(const std::string &Tag, TypeId Root, const FieldPath &Path) {
+    if (Path.empty()) {
+      ++R.ChecksRun; // the empty path is trivially well-formed
+      return;
+    }
+    if (!check(walkPath(Root, Path).has_value(),
+               Tag + ": member path walks outside the base type"))
+      return;
+    check(pathHasLeaf(Root, Path),
+          Tag + ": member path has no leaf in the flattened layout");
+  }
+
+  void verifyCall(size_t I, const NormStmt &Stmt, const std::string &Tag) {
+    bool Direct = Stmt.DirectCallee.isValid();
+    bool Indirect = Stmt.IndirectCallee.isValid();
+    check(Direct != Indirect,
+          Tag + ": call must have exactly one callee form");
+    if (Direct)
+      check(validFunc(Stmt.DirectCallee), Tag + ": direct callee out of range");
+    if (Indirect)
+      check(validObj(Stmt.IndirectCallee),
+            Tag + ": indirect callee out of range");
+    for (size_t A = 0; A < Stmt.Args.size(); ++A)
+      check(validObj(Stmt.Args[A]),
+            Tag + ": invalid argument " + std::to_string(A));
+    if (Stmt.RetDst.isValid())
+      check(validObj(Stmt.RetDst), Tag + ": return destination out of range");
+    (void)I;
+
+    if (Direct && validFunc(Stmt.DirectCallee))
+      verifySummaryUse(Stmt, Tag);
+  }
+
+  /// Library-summary effects of an undefined callee must reference
+  /// arguments the call actually passes (an out-of-range index means the
+  /// solver would silently drop the effect).
+  void verifySummaryUse(const NormStmt &Stmt, const std::string &Tag) {
+    using Effect = LibrarySummaries::Effect;
+    const NormFunction &Fn = Prog.func(Stmt.DirectCallee);
+    if (Fn.IsDefined)
+      return;
+    const std::vector<Effect> *Effects =
+        Lib.summaryOf(Prog.Strings.text(Fn.Name));
+    if (!Effects)
+      return;
+    auto ArgOk = [&](int Idx) {
+      // -1 names the call's return slot (realloc); apply() skips it when
+      // absent, so only non-negative indices must name passed arguments.
+      return Idx < 0 || static_cast<size_t>(Idx) < Stmt.Args.size();
+    };
+    for (size_t E = 0; E < Effects->size(); ++E) {
+      const Effect &Eff = (*Effects)[E];
+      std::string EffTag =
+          Tag + ": summary effect " + std::to_string(E) + " of " +
+          std::string(Prog.Strings.text(Fn.Name));
+      switch (Eff.K) {
+      case Effect::RetAliasArg:
+      case Effect::RetIntoArg:
+        // Without a return slot the effect is inert; with one, the aliased
+        // argument must exist.
+        if (Stmt.RetDst.isValid())
+          check(ArgOk(Eff.A), EffTag + " references a missing argument");
+        break;
+      case Effect::CopyPointees:
+      case Effect::Callback:
+        check(ArgOk(Eff.A) && ArgOk(Eff.B),
+              EffTag + " references a missing argument");
+        break;
+      case Effect::Dealloc:
+        check(ArgOk(Eff.A), EffTag + " references a missing argument");
+        break;
+      case Effect::RetExtern:
+        break;
+      }
+    }
+  }
+
+  void verifySiteLink(const NormStmt &Stmt, const std::string &Tag) {
+    if (Stmt.DerefSite < 0) {
+      // Data dereferences and indirect calls must carry a site (the
+      // checker layer keys its findings on them).
+      ObjectId Ptr = derefPtrOf(Stmt);
+      check(!Ptr.isValid(), Tag + ": dereference without a deref site");
+      return;
+    }
+    if (!check(static_cast<size_t>(Stmt.DerefSite) < Prog.DerefSites.size(),
+               Tag + ": deref site index out of range"))
+      return;
+    const DerefSite &Site = Prog.DerefSites[Stmt.DerefSite];
+    ObjectId Ptr = derefPtrOf(Stmt);
+    if (!check(Ptr.isValid(),
+               Tag + ": deref site on a form that dereferences nothing"))
+      return;
+    check(Site.Ptr == Ptr,
+          Tag + ": deref site records a different pointer");
+    check(Site.IsCall == (Stmt.Op == NormOp::Call),
+          Tag + ": deref site call flag disagrees with the statement");
+  }
+};
+
+} // namespace
+
+IrVerifyResult spa::verifyNormIR(const NormProgram &Prog,
+                                 const LayoutEngine &Layout,
+                                 const LibrarySummaries &Lib) {
+  return IrVerifier(Prog, Layout, Lib).run();
+}

@@ -1,0 +1,54 @@
+//===--- IrVerifier.h - NormIR well-formedness lint ------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A well-formedness verifier for the normalized program representation.
+/// The solver and the certifier both assume the invariants the normalizer
+/// establishes — every statement is in one of the five normalized forms
+/// (plus PtrArith/Call), every operand names a real object, member paths
+/// walk real fields of complete records, and library-summary effects only
+/// reference arguments the call actually passes. This pass checks those
+/// invariants explicitly, so a broken producer (or a corrupted IR in the
+/// mutation self-tests) is caught before the analysis silently mis-solves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_VERIFY_IRVERIFIER_H
+#define SPA_VERIFY_IRVERIFIER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spa {
+
+class LayoutEngine;
+class LibrarySummaries;
+class NormProgram;
+
+/// Outcome of one IR verification pass.
+struct IrVerifyResult {
+  /// Individual invariant checks evaluated.
+  uint64_t ChecksRun = 0;
+  /// Checks that failed.
+  uint64_t Violations = 0;
+  /// Human-readable reports for the first violations (capped).
+  std::vector<std::string> Messages;
+
+  bool ok() const { return Violations == 0; }
+};
+
+/// Verifies \p Prog's objects, functions, statements, and dereference
+/// sites. \p Layout supplies the flattened-leaf view used to check that
+/// member paths land on locations lookup can actually resolve; \p Lib is
+/// consulted for the argument indices its effect summaries reference.
+IrVerifyResult verifyNormIR(const NormProgram &Prog,
+                            const LayoutEngine &Layout,
+                            const LibrarySummaries &Lib);
+
+} // namespace spa
+
+#endif // SPA_VERIFY_IRVERIFIER_H

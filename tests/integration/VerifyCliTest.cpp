@@ -1,0 +1,132 @@
+//===--- VerifyCliTest.cpp - End-to-end tests of the verify flags ---------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the real spa_cli binary (SPA_CLI_PATH) to pin the verification
+/// contract: --certify and --verify-ir run on every engine and exit 0 on a
+/// clean corpus program, their telemetry lands under the "verify" object
+/// in --stats-json, certification is skipped (with a warning) on
+/// unconverged runs whose exit 3 outranks the would-be 4, and the shared
+/// did-you-mean table covers both the new flags and --engine values.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int Exit = -1;
+  std::string Out;
+};
+
+/// Runs spa_cli with \p Args; stderr is folded into stdout.
+RunResult runCli(const std::string &Args) {
+  RunResult R;
+  std::string Cmd = std::string(SPA_CLI_PATH) + " " + Args + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr) << Cmd;
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Out.append(Buf, N);
+  int Status = pclose(P);
+  R.Exit = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string corpus(const char *Name) {
+  return std::string(SPA_CORPUS_DIR) + "/" + Name;
+}
+
+} // namespace
+
+TEST(VerifyCli, CertifyPassesOnEveryEngine) {
+  for (const char *Engine : {"naive", "worklist", "delta", "scc"}) {
+    RunResult R = runCli(corpus("li.c") + " --certify --engine=" + Engine);
+    EXPECT_EQ(R.Exit, 0) << Engine << "\n" << R.Out;
+    EXPECT_NE(R.Out.find("certified:           yes"), std::string::npos)
+        << Engine << "\n" << R.Out;
+  }
+}
+
+TEST(VerifyCli, CertifyPassesOnEveryModel) {
+  for (const char *Model : {"ca", "coc", "cis", "off"}) {
+    RunResult R = runCli(corpus("ft.c") + " --certify --model=" + Model);
+    EXPECT_EQ(R.Exit, 0) << Model << "\n" << R.Out;
+    EXPECT_NE(R.Out.find("certified:           yes"), std::string::npos)
+        << Model << "\n" << R.Out;
+  }
+}
+
+TEST(VerifyCli, VerifyIrPassesAndReportsChecks) {
+  RunResult R = runCli(corpus("compress.c") + " --verify-ir");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("ir well-formed:      yes"), std::string::npos)
+      << R.Out;
+}
+
+TEST(VerifyCli, StatsJsonCarriesVerifyKeys) {
+  RunResult R =
+      runCli(corpus("ft.c") + " --certify --verify-ir --stats-json=-");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  for (const char *Key :
+       {"\"verify\":", "\"certify_ran\":true", "\"obligations\":",
+        "\"violations\":0", "\"facts_total\":", "\"facts_unjustified\":0",
+        "\"freed_unjustified\":0", "\"certify_seconds\":",
+        "\"ir_verify_ran\":true", "\"ir_checks\":", "\"ir_violations\":0"})
+    EXPECT_NE(R.Out.find(Key), std::string::npos) << Key << "\n" << R.Out;
+}
+
+TEST(VerifyCli, StatsJsonOmitsVerifyObjectWhenNoPassRan) {
+  RunResult R = runCli(corpus("ft.c") + " --stats-json=-");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_EQ(R.Out.find("\"verify\":"), std::string::npos) << R.Out;
+}
+
+TEST(VerifyCli, UnconvergedRunSkipsCertifyAndExits3) {
+  RunResult R = runCli(corpus("bc.c") + " --certify --max-iterations=1");
+  EXPECT_EQ(R.Exit, 3) << R.Out;
+  EXPECT_NE(R.Out.find("--certify skipped"), std::string::npos) << R.Out;
+}
+
+TEST(VerifyCli, MisspelledVerifyFlagsGetSuggestions) {
+  RunResult R1 = runCli(corpus("ft.c") + " --certfy");
+  EXPECT_EQ(R1.Exit, 64) << R1.Out;
+  EXPECT_NE(R1.Out.find("did you mean '--certify'?"), std::string::npos)
+      << R1.Out;
+
+  RunResult R2 = runCli(corpus("ft.c") + " --verify-it");
+  EXPECT_EQ(R2.Exit, 64) << R2.Out;
+  EXPECT_NE(R2.Out.find("did you mean '--verify-ir'?"), std::string::npos)
+      << R2.Out;
+}
+
+TEST(VerifyCli, MisspelledEngineValueGetsSuggestion) {
+  RunResult R = runCli(corpus("ft.c") + " --engine=sccs");
+  EXPECT_EQ(R.Exit, 64) << R.Out;
+  EXPECT_NE(R.Out.find("unknown engine 'sccs'"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("did you mean 'scc'?"), std::string::npos) << R.Out;
+}
+
+TEST(VerifyCli, MisspelledModelValueGetsSuggestion) {
+  RunResult R = runCli(corpus("ft.c") + " --model=cof");
+  EXPECT_EQ(R.Exit, 64) << R.Out;
+  EXPECT_NE(R.Out.find("did you mean"), std::string::npos) << R.Out;
+}
+
+TEST(VerifyCli, UsageDocumentsExitCode4) {
+  RunResult R = runCli("--help");
+  EXPECT_NE(R.Out.find("--certify"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("--verify-ir"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("4"), std::string::npos) << R.Out;
+}

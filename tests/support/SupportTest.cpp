@@ -298,6 +298,47 @@ TEST(Diagnostics, SortAndDedupeOrdersByLocationThenCode) {
   EXPECT_EQ(Diags.all()[2].Code, "b-code");
 }
 
+TEST(Diagnostics, SortAndDedupeTieBreaksOnOffsetAndOrigin) {
+  // Two findings render at the same line:column with the same code; the
+  // byte offset and the emitting-checker id decide the order, so the
+  // final list no longer depends on checker execution order. Run both
+  // insertion orders and require identical results.
+  auto Fill = [](DiagnosticEngine &Diags, bool Swap) {
+    SourceLoc Early{4, 2, 30};
+    SourceLoc Late{4, 2, 55}; // same rendered position, later in buffer
+    if (Swap) {
+      Diags.report(DiagKind::Warning, Late, "code", "from beta", "beta");
+      Diags.report(DiagKind::Warning, Early, "code", "from alpha", "alpha");
+    } else {
+      Diags.report(DiagKind::Warning, Early, "code", "from alpha", "alpha");
+      Diags.report(DiagKind::Warning, Late, "code", "from beta", "beta");
+    }
+    Diags.sortAndDedupe();
+  };
+  DiagnosticEngine A, B;
+  Fill(A, false);
+  Fill(B, true);
+  ASSERT_EQ(A.all().size(), 2u);
+  ASSERT_EQ(B.all().size(), 2u);
+  for (size_t I = 0; I < 2; ++I) {
+    EXPECT_EQ(A.all()[I].Origin, B.all()[I].Origin);
+    EXPECT_EQ(A.all()[I].Message, B.all()[I].Message);
+  }
+  EXPECT_EQ(A.all()[0].Origin, "alpha"); // smaller byte offset first
+  EXPECT_EQ(A.all()[1].Origin, "beta");
+}
+
+TEST(Diagnostics, OffsetDoesNotAffectDedupe) {
+  // Offset is a tie-break, not part of identity: the same finding
+  // surfaced from two statements of one site still collapses even if
+  // synthesized locations carry different offsets.
+  DiagnosticEngine Diags;
+  Diags.report(DiagKind::Warning, {3, 1, 10}, "code", "same", "origin");
+  Diags.report(DiagKind::Warning, {3, 1, 90}, "code", "same", "origin");
+  Diags.sortAndDedupe();
+  EXPECT_EQ(Diags.all().size(), 1u);
+}
+
 TEST(Diagnostics, SortAndDedupeRecountsErrors) {
   DiagnosticEngine Diags;
   Diags.report(DiagKind::Error, {1, 1}, "e", "same");

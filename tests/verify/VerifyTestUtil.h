@@ -1,0 +1,95 @@
+//===--- VerifyTestUtil.h - Shared helpers for the verify tests -*- C++ -*-===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_TESTS_VERIFY_VERIFYTESTUTIL_H
+#define SPA_TESTS_VERIFY_VERIFYTESTUTIL_H
+
+#include "TestUtil.h"
+#include "verify/Certifier.h"
+#include "verify/IrVerifier.h"
+
+namespace spa::test {
+
+/// The four engine configurations that must compute (and certify) the
+/// identical fixpoint.
+struct EngineConfig {
+  const char *Name;
+  SolverOptions Opts;
+};
+
+inline std::vector<EngineConfig> allEngines() {
+  SolverOptions Naive;
+  Naive.UseWorklist = false;
+  Naive.DeltaPropagation = false;
+  SolverOptions Worklist;
+  Worklist.UseWorklist = true;
+  Worklist.DeltaPropagation = false;
+  SolverOptions Delta;
+  Delta.UseWorklist = true;
+  Delta.DeltaPropagation = true;
+  SolverOptions Scc;
+  Scc.CycleElimination = true;
+  return {{"naive", Naive},
+          {"worklist", Worklist},
+          {"delta", Delta},
+          {"scc", Scc}};
+}
+
+inline std::vector<ModelKind> allModels() {
+  return {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+          ModelKind::CommonInitialSeq, ModelKind::Offsets};
+}
+
+/// Like analyze(), but with explicit solver options.
+inline Solved analyzeWith(std::string_view Source, ModelKind Kind,
+                          SolverOptions SOpts,
+                          TargetInfo Target = TargetInfo::ilp32()) {
+  Solved S;
+  S.Program = compile(Source, Target);
+  if (!S.Program)
+    return S;
+  AnalysisOptions Opts;
+  Opts.Model = Kind;
+  Opts.Target = std::move(Target);
+  Opts.Solver = SOpts;
+  S.A = std::make_unique<Analysis>(S.Program->Prog, Opts);
+  S.A->run();
+  return S;
+}
+
+/// Compiles a corpus file and solves it, failing the test on errors.
+inline Solved analyzeCorpusFile(const char *Name, ModelKind Kind,
+                                SolverOptions SOpts) {
+  Solved S;
+  DiagnosticEngine Diags;
+  S.Program = CompiledProgram::fromFile(
+      std::string(SPA_CORPUS_DIR) + "/" + Name, Diags);
+  EXPECT_TRUE(S.Program != nullptr) << Name << "\n" << Diags.formatAll();
+  if (!S.Program)
+    return S;
+  AnalysisOptions Opts;
+  Opts.Model = Kind;
+  Opts.Solver = SOpts;
+  S.A = std::make_unique<Analysis>(S.Program->Prog, Opts);
+  S.A->run();
+  return S;
+}
+
+/// Renders a failed CertifyResult for test diagnostics.
+inline std::string describe(const CertifyResult &R) {
+  std::string Out = "obligations=" + std::to_string(R.Obligations) +
+                    " violations=" + std::to_string(R.Violations) +
+                    " facts=" + std::to_string(R.FactsTotal) +
+                    " unjustified=" + std::to_string(R.FactsUnjustified) +
+                    " freed_unjustified=" + std::to_string(R.FreedUnjustified);
+  for (const std::string &M : R.Messages)
+    Out += "\n  " + M;
+  return Out;
+}
+
+} // namespace spa::test
+
+#endif // SPA_TESTS_VERIFY_VERIFYTESTUTIL_H

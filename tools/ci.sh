@@ -25,6 +25,28 @@ echo "== bench smoke: four engines, one fixpoint =="
 # fails on non-convergence or any edge-count disagreement.
 ./build/bench/scaling --smoke
 
+echo "== certify: corpus x engines x models =="
+# Every engine's fixpoint on every corpus program must certify (closed
+# under the inference rules, every fact justified) under every model, and
+# the IR must lint clean. Exit 4 from any run fails CI here.
+for f in corpus/*.c; do
+  for engine in naive worklist delta scc; do
+    for model in ca coc cis off; do
+      ./build/tools/spa_cli "$f" --certify --verify-ir \
+        --engine="$engine" --model="$model" >/dev/null || {
+        echo "certify failed: $f --engine=$engine --model=$model" >&2
+        exit 1
+      }
+    done
+  done
+done
+
+echo "== mutation smoke: seeded faults must be caught =="
+# The certifier's detection power: hundreds of seeded fact deletions and
+# insertions, all of which must be flagged with zero clean-run false
+# alarms (tests/verify/MutationTest.cpp).
+./build/tests/verify_mutation_test --gtest_brief=1
+
 if [ "${SKIP_ASAN:-0}" = "1" ]; then
   echo "== asan-ubsan: skipped (SKIP_ASAN=1) =="
   exit 0

@@ -26,13 +26,18 @@
 ///   spa_cli file.c --check=LIST             run a comma-separated subset
 ///   spa_cli file.c --sarif=out.json         findings as SARIF 2.1.0
 ///                                           ("-" = stdout; implies --check)
+///   spa_cli file.c --certify                re-derive and check every rule
+///                                           obligation of the solution
+///   spa_cli file.c --verify-ir              lint the normalized IR
 ///
 /// Exit codes:
 ///   0   success, no findings
 ///   1   compile or I/O error
 ///   2   checkers reported at least one finding
 ///   3   solver did not converge within its iteration budget (results are
-///       incomplete; takes precedence over 2)
+///       incomplete; takes precedence over 2 and 4)
+///   4   --certify or --verify-ir failed (the solution is not a valid
+///       certificate, or the IR is ill-formed; takes precedence over 2)
 ///   64  usage error (unknown option, bad value, missing input)
 ///
 //===----------------------------------------------------------------------===//
@@ -42,6 +47,8 @@
 #include "pta/Frontend.h"
 #include "pta/GraphExport.h"
 #include "pta/Telemetry.h"
+#include "verify/Certifier.h"
+#include "verify/IrVerifier.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -55,6 +62,9 @@ namespace {
 /// Exit code for command-line misuse (sysexits.h EX_USAGE).
 constexpr int ExitUsage = 64;
 
+/// Exit code for a failed --certify / --verify-ir pass.
+constexpr int ExitVerifyFailed = 4;
+
 /// Solver engine selected on the command line.
 enum class EngineKind { Naive, Worklist, Delta, Scc };
 
@@ -67,6 +77,8 @@ struct CliOptions {
   std::string Sarif;
   std::vector<std::string> Checkers; ///< empty with Check set = all
   bool Check = false;
+  bool Certify = false;
+  bool VerifyIr = false;
   bool Edges = false;
   bool Dot = false;
   bool Stmts = false;
@@ -123,26 +135,87 @@ size_t editDistance(std::string_view A, std::string_view B) {
   return Row[B.size()];
 }
 
-const char *const KnownOptions[] = {
-    "--help",     "--model",    "--target",         "--print",
-    "--edges",    "--dot",      "--stmts",          "--stride",
-    "--unknown",  "--engine",   "--worklist",       "--no-delta",
-    "--max-iterations", "--stats-json", "--check",  "--sarif",
+/// Valid values of the enumerated options (null-terminated).
+const char *const ModelValues[] = {"ca", "coc", "cis", "off", nullptr};
+const char *const TargetValues[] = {"ilp32", "lp64", "padded32", nullptr};
+const char *const EngineValues[] = {"naive", "worklist", "delta", "scc",
+                                    nullptr};
+
+/// The one table every suggestion comes from: each option's spelling plus
+/// (for enumerated options) its value list, so both a mistyped flag and a
+/// mistyped value get a did-you-mean from the same source of truth.
+struct OptionSpec {
+  const char *Name;          ///< "--engine"
+  const char *const *Values; ///< valid values, or null for free-form/none
 };
+
+const OptionSpec KnownOptions[] = {
+    {"--help", nullptr},         {"--model", ModelValues},
+    {"--target", TargetValues},  {"--print", nullptr},
+    {"--edges", nullptr},        {"--dot", nullptr},
+    {"--stmts", nullptr},        {"--stride", nullptr},
+    {"--unknown", nullptr},      {"--engine", EngineValues},
+    {"--worklist", nullptr},     {"--no-delta", nullptr},
+    {"--max-iterations", nullptr}, {"--stats-json", nullptr},
+    {"--check", nullptr},        {"--sarif", nullptr},
+    {"--certify", nullptr},      {"--verify-ir", nullptr},
+};
+
+/// Closest candidate to \p Given within plausible-typo distance; null if
+/// nothing is close enough.
+const char *closestMatch(std::string_view Given,
+                         const char *const *Candidates) {
+  const char *Best = nullptr;
+  size_t BestDist = 4; // anything further away is not a plausible typo
+  for (; *Candidates; ++Candidates) {
+    size_t D = editDistance(Given, *Candidates);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = *Candidates;
+    }
+  }
+  return Best;
+}
 
 /// Best-matching known option for a mistyped one; null if nothing close.
 const char *suggestOption(const std::string &Arg) {
   std::string Stem = Arg.substr(0, Arg.find('='));
   const char *Best = nullptr;
-  size_t BestDist = 4; // anything further away is not a plausible typo
-  for (const char *Known : KnownOptions) {
-    size_t D = editDistance(Stem, Known);
+  size_t BestDist = 4;
+  for (const OptionSpec &Spec : KnownOptions) {
+    size_t D = editDistance(Stem, Spec.Name);
     if (D < BestDist) {
       BestDist = D;
-      Best = Known;
+      Best = Spec.Name;
     }
   }
   return Best;
+}
+
+/// Best-matching valid value of \p Option for mistyped \p Given; null if
+/// the option is not enumerated or nothing is close.
+const char *suggestValue(std::string_view Option, const std::string &Given) {
+  for (const OptionSpec &Spec : KnownOptions)
+    if (Option == Spec.Name && Spec.Values)
+      return closestMatch(Given, Spec.Values);
+  return nullptr;
+}
+
+/// Prints "unknown <what> '<given>' (a|b|c)" plus a did-you-mean when a
+/// value of \p Option is close, all on stderr.
+void badValue(const char *Option, const char *What,
+              const std::string &Given) {
+  std::fprintf(stderr, "unknown %s '%s' (", What, Given.c_str());
+  for (const OptionSpec &Spec : KnownOptions) {
+    if (std::string_view(Option) != Spec.Name || !Spec.Values)
+      continue;
+    for (const char *const *V = Spec.Values; *V; ++V)
+      std::fprintf(stderr, "%s%s", V == Spec.Values ? "" : "|", *V);
+  }
+  std::fprintf(stderr, ")");
+  if (const char *Hint = suggestValue(Option, Given))
+    std::fprintf(stderr, "; did you mean '%s'?", Hint);
+  std::fprintf(stderr, "\n");
 }
 
 bool parseArgs(int argc, char **argv, CliOptions &Opts) {
@@ -161,7 +234,7 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       else if (M == "off")
         Opts.Model = ModelKind::Offsets;
       else {
-        std::fprintf(stderr, "unknown model '%s'\n", M.c_str());
+        badValue("--model", "model", M);
         return false;
       }
     } else if (Arg.rfind("--target=", 0) == 0) {
@@ -173,7 +246,7 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       else if (T == "padded32")
         Opts.Target = TargetInfo::padded32();
       else {
-        std::fprintf(stderr, "unknown target '%s'\n", T.c_str());
+        badValue("--target", "target", T);
         return false;
       }
     } else if (Arg.rfind("--print=", 0) == 0) {
@@ -205,9 +278,7 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       else if (E == "scc")
         Opts.Engine = EngineKind::Scc;
       else {
-        std::fprintf(stderr,
-                     "unknown engine '%s' (naive|worklist|delta|scc)\n",
-                     E.c_str());
+        badValue("--engine", "engine", E);
         return false;
       }
       Opts.EngineSet = true;
@@ -226,6 +297,10 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
         std::fprintf(stderr, "--max-iterations needs a positive count\n");
         return false;
       }
+    } else if (Arg == "--certify") {
+      Opts.Certify = true;
+    } else if (Arg == "--verify-ir") {
+      Opts.VerifyIr = true;
     } else if (Arg == "--check") {
       Opts.Check = true;
     } else if (Arg.rfind("--check=", 0) == 0) {
@@ -310,13 +385,20 @@ void usage(const char *Prog) {
       "  --check=LIST             run a comma-separated checker subset\n"
       "  --sarif=FILE             write findings as SARIF 2.1.0 (- for\n"
       "                           stdout); implies --check\n"
+      "  --certify                re-derive every inference-rule obligation\n"
+      "                           from the solution and check it (exit 4 on\n"
+      "                           failure); skipped on unconverged runs\n"
+      "  --verify-ir              check the normalized IR is well-formed\n"
+      "                           (exit 4 on failure)\n"
       "checkers:",
       Prog);
   for (const std::string &Id : CheckerRegistry::allIds())
     std::printf(" %s", Id.c_str());
   std::printf("\n"
               "exit codes: 0 no findings, 1 compile/IO error, 2 findings,\n"
-              "            3 non-convergence, 64 usage error\n");
+              "            3 non-convergence, 4 certification/IR-verification"
+              " failure,\n"
+              "            64 usage error\n");
 }
 
 } // namespace
@@ -373,6 +455,58 @@ int main(int argc, char **argv) {
   const SolverRunStats &RS = A.solver().runStats();
   int ExitCode = RS.Converged ? 0 : 3;
 
+  // Verification passes (src/verify/). The IR lint needs no solution;
+  // certification re-derives every rule obligation from the fixpoint, so
+  // it is skipped (with a warning) when the solver did not converge — an
+  // unconverged solution is missing facts by definition. A failed pass
+  // exits 4: outranked by non-convergence (3), outranking findings (2).
+  VerifyTelemetry VT;
+  bool VerifyFailed = false;
+  if (Opts.VerifyIr) {
+    IrVerifyResult IR =
+        verifyNormIR(Program->Prog, A.layout(), A.solver().summaries());
+    VT.IrVerifyRan = true;
+    VT.IrChecks = IR.ChecksRun;
+    VT.IrViolations = IR.Violations;
+    if (!IR.ok()) {
+      VerifyFailed = true;
+      for (const std::string &Msg : IR.Messages)
+        std::fprintf(stderr, "verify-ir: %s\n", Msg.c_str());
+      std::fprintf(stderr, "verify-ir: %llu of %llu checks failed\n",
+                   (unsigned long long)IR.Violations,
+                   (unsigned long long)IR.ChecksRun);
+    }
+  }
+  if (Opts.Certify) {
+    if (!RS.Converged) {
+      std::fprintf(
+          stderr,
+          "warning: --certify skipped: the solver did not converge\n");
+    } else {
+      CertifyResult CR = certifySolution(A.solver());
+      VT.CertifyRan = true;
+      VT.Obligations = CR.Obligations;
+      VT.Violations = CR.Violations;
+      VT.FactsTotal = CR.FactsTotal;
+      VT.FactsUnjustified = CR.FactsUnjustified;
+      VT.FreedUnjustified = CR.FreedUnjustified;
+      VT.CertifySeconds = CR.Seconds;
+      if (!CR.ok()) {
+        VerifyFailed = true;
+        for (const std::string &Msg : CR.Messages)
+          std::fprintf(stderr, "certify: %s\n", Msg.c_str());
+        std::fprintf(stderr,
+                     "certify: FAILED (%llu violations, %llu unjustified "
+                     "facts, %llu unjustified freed marks)\n",
+                     (unsigned long long)CR.Violations,
+                     (unsigned long long)CR.FactsUnjustified,
+                     (unsigned long long)CR.FreedUnjustified);
+      }
+    }
+  }
+  if (VerifyFailed && ExitCode == 0)
+    ExitCode = ExitVerifyFailed;
+
   // Checkers run on the finished fixpoint into their own engine so
   // front-end warnings never leak into the SARIF log. Non-convergence
   // (exit 3) outranks findings (exit 2): an unconverged graph may be
@@ -397,7 +531,9 @@ int main(int argc, char **argv) {
   }
 
   if (!Opts.StatsJson.empty()) {
-    if (!writeTelemetryJson(collectTelemetry(A, Opts.File), Opts.StatsJson)) {
+    RunTelemetry T = collectTelemetry(A, Opts.File);
+    T.Verify = VT;
+    if (!writeTelemetryJson(T, Opts.StatsJson)) {
       std::fprintf(stderr, "cannot write '%s'\n", Opts.StatsJson.c_str());
       return 1;
     }
@@ -463,6 +599,19 @@ int main(int argc, char **argv) {
                 (unsigned long long)RS.CopyEdges);
   std::printf("converged:           %s\n", RS.Converged ? "yes" : "NO");
   std::printf("solve time:          %.3f ms\n", RS.SolveSeconds * 1e3);
+  if (VT.CertifyRan)
+    std::printf("certified:           %s (%llu obligations, %llu facts, "
+                "%.3f ms)\n",
+                VT.Violations == 0 && VT.FactsUnjustified == 0 &&
+                        VT.FreedUnjustified == 0
+                    ? "yes"
+                    : "NO",
+                (unsigned long long)VT.Obligations,
+                (unsigned long long)VT.FactsTotal, VT.CertifySeconds * 1e3);
+  if (VT.IrVerifyRan)
+    std::printf("ir well-formed:      %s (%llu checks)\n",
+                VT.IrViolations == 0 ? "yes" : "NO",
+                (unsigned long long)VT.IrChecks);
   std::printf("deref sites:         %zu\n", M.Sites);
   std::printf("avg deref set size:  %.2f\n", M.AvgSetSize);
   std::printf("max deref set size:  %llu\n",

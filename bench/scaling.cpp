@@ -17,12 +17,20 @@
 /// plain vs delta worklist on the largest plain workload, and delta vs
 /// cycle elimination on a cycle-heavy workload (copy rings + mutually
 /// recursive call loops), so the bench output records convergence and
-/// propagation/collapse counts next to the timings.
+/// propagation/collapse counts next to the timings. The same document
+/// carries the points-to representation matrix ("pts_matrix"): solve
+/// time x memory for every --pts= representation under the delta and scc
+/// engines at size classes 24/32/48, the data behind the representation
+/// guidance in docs/INTERNALS.md.
 ///
 /// `--smoke` skips google-benchmark entirely: it solves the smallest size
 /// class of both workloads with all four engines and exits non-zero
 /// unless every run converges and all engines agree edge-for-edge — the
-/// CI guard (tools/ci.sh) that the engines stay interchangeable.
+/// CI guard (tools/ci.sh) that the engines stay interchangeable. It also
+/// sweeps the compressed points-to representations against the sorted
+/// baseline on a mid-size seed workload and fails if any representation
+/// changes the solution, fails certification, regresses solve time more
+/// than 1.5x, or uses more points-to storage than the sorted baseline.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,6 +81,27 @@ std::string cycleHeavySource(int SizeClass) {
   return generateProgram(Config);
 }
 
+/// A struct-dense workload for the points-to representation gates: wide
+/// structs and a large share of field-fan statements mean points-to sets
+/// hold many field nodes of the same object — the shape where the
+/// compressed representations must earn their keep on memory (a
+/// scalar-heavy workload, where every target is its own object, is the
+/// documented worst case for the per-object encoding).
+std::string structHeavySource(int SizeClass) {
+  GeneratorConfig Config;
+  Config.Seed = 7;
+  Config.NumStructs = 4;
+  Config.FieldsPerStruct = 8;
+  Config.NumStructVars = 6 * SizeClass;
+  Config.NumInts = 2 * SizeClass;
+  Config.NumPtrVars = 4 * SizeClass;
+  Config.NumFunctions = 2 * SizeClass;
+  Config.StmtsPerFunction = 40;
+  Config.FieldFanPercent = 50;
+  Config.UseHeap = true;
+  return generateProgram(Config);
+}
+
 /// Engine index -> options: 0 naive, 1 plain worklist, 2 delta worklist,
 /// 3 delta worklist with cycle elimination.
 SolverOptions engineOptions(int Engine) {
@@ -85,6 +114,9 @@ SolverOptions engineOptions(int Engine) {
 
 const char *const EngineLabel[4] = {"naive", "worklist-plain",
                                     "worklist-delta", "worklist-scc"};
+
+constexpr PtsRepr AllReprs[4] = {PtsRepr::Sorted, PtsRepr::Small,
+                                 PtsRepr::Bitmap, PtsRepr::Offsets};
 
 void pipelineBenchmark(benchmark::State &State) {
   std::string Source = generatedSource(static_cast<int>(State.range(0)));
@@ -121,10 +153,12 @@ void parseOnlyBenchmark(benchmark::State &State) {
   }
 }
 
-/// Solves \p Source with \p Engine, best-of-\p Reps on solve time, and
-/// returns the telemetry of the best run (labelled \p Label).
+/// Solves \p Source with \p Engine and points-to representation \p Repr,
+/// best-of-\p Reps on solve time, and returns the telemetry of the best
+/// run (labelled \p Label).
 RunTelemetry headToHeadRun(const std::string &Source,
-                           const std::string &Label, int Engine, int Reps) {
+                           const std::string &Label, int Engine, int Reps,
+                           PtsRepr Repr = PtsRepr::Sorted) {
   RunTelemetry Best;
   for (int R = 0; R < Reps; ++R) {
     DiagnosticEngine Diags;
@@ -136,6 +170,7 @@ RunTelemetry headToHeadRun(const std::string &Source,
     AnalysisOptions Opts;
     Opts.Model = ModelKind::CommonInitialSeq;
     Opts.Solver = engineOptions(Engine);
+    Opts.Solver.PointsTo = Repr;
     Analysis A(P->Prog, Opts);
     A.run();
     RunTelemetry T =
@@ -144,6 +179,66 @@ RunTelemetry headToHeadRun(const std::string &Source,
       Best = T;
   }
   return Best;
+}
+
+/// The points-to representation matrix: every --pts= representation under
+/// the delta and scc engines at size classes 24/32/48, one JSON object
+/// per cell. Appended to the scaling document as "pts_matrix" and
+/// summarized on stdout; the memory comparison at the largest size is the
+/// acceptance point for the compressed representations.
+std::string runPtsMatrix() {
+  std::string Json = "\"pts_matrix\":[";
+  bool First = true;
+  std::printf("\npoints-to representation matrix (best of 3, "
+              "CommonInitSeq):\n");
+  for (int Size : {24, 32, 48}) {
+    std::string Source = generatedSource(Size);
+    // Per-repr pts storage at fixpoint under the delta engine, reported
+    // at each size for the stdout summary.
+    size_t SortedBytes = 0;
+    for (int Engine : {2, 3}) {
+      for (PtsRepr Repr : AllReprs) {
+        RunTelemetry T =
+            headToHeadRun(Source, "pts/size:" + std::to_string(Size),
+                          Engine, 3, Repr);
+        const SolverRunStats &RS = T.Solver;
+        size_t PtsBytes =
+            RS.PtsSetBytes + RS.PtsLogBytes + RS.PtsLookupBytes;
+        if (!First)
+          Json += ",";
+        First = false;
+        char Buf[512];
+        std::snprintf(
+            Buf, sizeof(Buf),
+            "{\"size\":%d,\"engine\":\"%s\",\"repr\":\"%s\","
+            "\"solve_seconds\":%.6f,\"edges\":%llu,"
+            "\"bytes_high_water\":%zu,\"pts_bytes\":%zu,"
+            "\"pts_set_bytes\":%zu,\"pts_log_bytes\":%zu,"
+            "\"pts_lookup_bytes\":%zu,\"pts_size_p50\":%zu,"
+            "\"pts_size_p90\":%zu,\"pts_size_max\":%zu,"
+            "\"converged\":%s}",
+            Size, EngineLabel[Engine], ptsReprName(Repr),
+            RS.SolveSeconds, (unsigned long long)RS.Edges,
+            RS.BytesHighWater, PtsBytes, RS.PtsSetBytes, RS.PtsLogBytes,
+            RS.PtsLookupBytes, RS.PtsSizeP50, RS.PtsSizeP90,
+            RS.PtsSizeMax, RS.Converged ? "true" : "false");
+        Json += Buf;
+        if (Engine == 2) {
+          if (Repr == PtsRepr::Sorted)
+            SortedBytes = PtsBytes;
+          std::printf("  size %2d  %-8s solve %8.3f ms  pts %8zu B  "
+                      "high water %9zu B%s\n",
+                      Size, ptsReprName(Repr), RS.SolveSeconds * 1e3,
+                      PtsBytes, RS.BytesHighWater,
+                      Repr != PtsRepr::Sorted && PtsBytes < SortedBytes
+                          ? "  (beats sorted)"
+                          : "");
+        }
+      }
+    }
+  }
+  Json += "]";
+  return Json;
 }
 
 /// Emits both head-to-head comparisons as one JSON document: the four
@@ -192,7 +287,9 @@ void writeHeadToHead(const std::string &Path) {
   Json += stripNewline(telemetryToJson(CycDelta));
   Json += ",";
   Json += stripNewline(telemetryToJson(CycScc));
-  Json += "]}\n";
+  Json += "],";
+  Json += runPtsMatrix();
+  Json += "}\n";
 
   std::ofstream Out(Path);
   if (!Out) {
@@ -216,10 +313,13 @@ void writeHeadToHead(const std::string &Path) {
               (unsigned long long)CycScc.Solver.NodesMerged, Path.c_str());
 }
 
+int runReprSmoke();
+
 /// `--smoke`: the CI guard. Solves the smallest size class of both
 /// workloads with all four engines; fails (exit 1) on non-convergence,
 /// any edge-count disagreement between engines, a failed certification,
-/// or certifier overhead of 3x the solve time or more.
+/// or certifier overhead of 3x the solve time or more. Then runs the
+/// points-to representation gates (runReprSmoke).
 int runSmoke() {
   int Failures = 0;
   const struct {
@@ -309,7 +409,100 @@ int runSmoke() {
                   SolveSeconds > 0 ? CertifySeconds / SolveSeconds : 0.0);
     }
   }
+  Failures += runReprSmoke();
   return Failures ? 1 : 0;
+}
+
+/// `--smoke`, part two: the points-to representation gates. Each
+/// compressed representation runs the delta engine under the
+/// distinct-offsets field model — the most precise and most
+/// memory-hungry configuration, where per-field nodes multiply set sizes
+/// and compression has something to compress (on toy programs the shared
+/// intern table alone outweighs a handful of 4-byte ids, which is
+/// exactly the trade-off docs/INTERNALS.md documents) — and must match
+/// the sorted baseline's solution, certify, stay within 1.5x of its
+/// solve time, and not exceed its points-to storage bytes.
+int runReprSmoke() {
+  constexpr int ReprSmokeSize = 12;
+  constexpr double TimeGate = 1.5;
+  int Failures = 0;
+  std::string Source = structHeavySource(ReprSmokeSize);
+  struct ReprResult {
+    uint64_t Edges = 0;
+    bool Certified = false;
+    double SolveSeconds = 0;
+    size_t PtsBytes = 0;
+  } Res[4];
+  for (int R = 0; R < 4; ++R) {
+    // Best of 3 on time so the 1.5x gate measures the representation,
+    // not scheduler noise; bytes are identical across repetitions.
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      DiagnosticEngine Diags;
+      auto P = CompiledProgram::fromSource(Source, Diags);
+      if (!P) {
+        std::fprintf(stderr, "FAIL pts-smoke: workload failed to compile\n");
+        return 1;
+      }
+      AnalysisOptions Opts;
+      Opts.Model = ModelKind::Offsets;
+      Opts.Solver = engineOptions(2);
+      Opts.Solver.PointsTo = AllReprs[R];
+      Analysis A(P->Prog, Opts);
+      A.run();
+      const SolverRunStats &RS = A.solver().runStats();
+      if (Rep == 0 || RS.SolveSeconds < Res[R].SolveSeconds) {
+        Res[R].SolveSeconds = RS.SolveSeconds;
+        Res[R].Edges = RS.Edges;
+        Res[R].PtsBytes =
+            RS.PtsSetBytes + RS.PtsLogBytes + RS.PtsLookupBytes;
+        Res[R].Certified =
+            RS.Converged && certifySolution(A.solver()).ok();
+      }
+    }
+  }
+  for (int R = 0; R < 4; ++R) {
+    const char *Name = ptsReprName(AllReprs[R]);
+    if (!Res[R].Certified) {
+      std::fprintf(stderr, "FAIL pts-smoke/%s: did not certify\n", Name);
+      ++Failures;
+      continue;
+    }
+    if (Res[R].Edges != Res[0].Edges) {
+      std::fprintf(stderr,
+                   "FAIL pts-smoke/%s: %llu edges, sorted found %llu\n",
+                   Name, (unsigned long long)Res[R].Edges,
+                   (unsigned long long)Res[0].Edges);
+      ++Failures;
+      continue;
+    }
+    if (R == 0)
+      continue;
+    double Ratio = Res[0].SolveSeconds > 0
+                       ? Res[R].SolveSeconds / Res[0].SolveSeconds
+                       : 0;
+    if (Ratio > TimeGate) {
+      std::fprintf(stderr,
+                   "FAIL pts-smoke/%s: solve time %.2fx sorted "
+                   "(%.3f ms vs %.3f ms, gate %.1fx)\n",
+                   Name, Ratio, Res[R].SolveSeconds * 1e3,
+                   Res[0].SolveSeconds * 1e3, TimeGate);
+      ++Failures;
+      continue;
+    }
+    if (Res[R].PtsBytes > Res[0].PtsBytes) {
+      std::fprintf(stderr,
+                   "FAIL pts-smoke/%s: %zu pts bytes, above the sorted "
+                   "baseline's %zu\n",
+                   Name, Res[R].PtsBytes, Res[0].PtsBytes);
+      ++Failures;
+      continue;
+    }
+    std::printf("ok pts-smoke/%s: certified, %llu edges, %.2fx sorted "
+                "solve time, %zu pts bytes (sorted %zu)\n",
+                Name, (unsigned long long)Res[R].Edges, Ratio,
+                Res[R].PtsBytes, Res[0].PtsBytes);
+  }
+  return Failures;
 }
 
 } // namespace

@@ -18,6 +18,7 @@
 
 #include "norm/NormIR.h"
 #include "support/IdSet.h"
+#include "support/InternTable.h"
 
 #include <functional>
 #include <map>
@@ -30,9 +31,6 @@ struct NodeTag {};
 /// Identifier of a canonical abstract location.
 using NodeId = Id<NodeTag>;
 
-/// A points-to set: the targets of one node.
-using PtsSet = IdSet<NodeTag>;
-
 /// Lazily materializes and indexes nodes.
 class NodeStore {
 public:
@@ -40,11 +38,11 @@ public:
   NodeId getNode(ObjectId Obj, uint64_t Key) {
     auto [It, Inserted] = Index.try_emplace({Obj, Key});
     if (Inserted) {
-
-      Infos.push_back({Obj, Key});
-      It->second = NodeId(static_cast<uint32_t>(Infos.size() - 1));
       if (Obj.index() >= ByObject.size())
         ByObject.resize(Obj.index() + 1);
+      Infos.push_back(
+          {Obj, Key, static_cast<uint32_t>(ByObject[Obj.index()].size())});
+      It->second = NodeId(static_cast<uint32_t>(Infos.size() - 1));
       ByObject[Obj.index()].push_back(It->second);
       if (OnNewNode)
         OnNewNode(Obj);
@@ -74,6 +72,18 @@ public:
   /// The model-specific key of a node.
   uint64_t keyOf(NodeId Node) const { return Infos[Node.index()].Key; }
 
+  /// The node's position within its object's creation-order node list:
+  /// nodesOfObject(objectOf(N))[ordinalOf(N)] == N. Stable (the per-object
+  /// lists are append-only); the separate-offsets points-to representation
+  /// keys its per-object offset sets by it.
+  uint32_t ordinalOf(NodeId Node) const { return Infos[Node.index()].Ordinal; }
+
+  /// Shared intern table for the bitmap points-to representation: maps the
+  /// NodeIds that appear in points-to sets to a dense first-seen index.
+  /// Mutable through a const store — interning is a cache, not a change to
+  /// the node universe.
+  InternTable<NodeTag> &ptsInterner() const { return Interner; }
+
   /// All materialized nodes of \p Obj, in creation order.
   const std::vector<NodeId> &nodesOfObject(ObjectId Obj) const {
     static const std::vector<NodeId> Empty;
@@ -88,11 +98,13 @@ private:
   struct NodeInfo {
     ObjectId Obj;
     uint64_t Key;
+    uint32_t Ordinal;
   };
   std::vector<NodeInfo> Infos;
   std::map<std::pair<ObjectId, uint64_t>, NodeId> Index;
   std::vector<std::vector<NodeId>> ByObject;
   std::function<void(ObjectId)> OnNewNode;
+  mutable InternTable<NodeTag> Interner;
 };
 
 } // namespace spa

@@ -1,0 +1,636 @@
+//===--- PtsSet.cpp - Pluggable points-to set representations -------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/PtsSet.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spa {
+
+const char *ptsReprName(PtsRepr R) {
+  switch (R) {
+  case PtsRepr::Sorted:
+    return "sorted";
+  case PtsRepr::Small:
+    return "small";
+  case PtsRepr::Bitmap:
+    return "bitmap";
+  case PtsRepr::Offsets:
+    return "offsets";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// Representation adoption and shared views
+//===----------------------------------------------------------------------===//
+
+void PtsSet::adoptRepr(PtsRepr R, const NodeStore *NS) {
+  if (Kind == R) {
+    if (!Store && NS)
+      Store = NS;
+    return;
+  }
+  // Representation change: decode, reset every storage arm, re-insert.
+  std::vector<value_type> Elems(begin(), end());
+  const NodeStore *Keep = NS ? NS : Store;
+  Vec = IdSet<NodeTag>();
+  Chunks.clear();
+  Chunks.shrink_to_fit();
+  Objects.clear();
+  Objects.shrink_to_fit();
+  HighOrds.clear();
+  HighOrds.shrink_to_fit();
+  Cache.clear();
+  Cache.shrink_to_fit();
+  CacheValid = false;
+  Count = 0;
+  SmallCount = 0;
+  Kind = R;
+  Store = Keep;
+  for (value_type V : Elems)
+    insert(V);
+}
+
+size_t PtsSet::size() const {
+  switch (Kind) {
+  case PtsRepr::Sorted:
+    return Vec.size();
+  case PtsRepr::Small:
+    return spilled() ? Vec.size() : SmallCount;
+  case PtsRepr::Bitmap:
+  case PtsRepr::Offsets:
+    return Count;
+  }
+  return 0;
+}
+
+PtsSet::const_iterator PtsSet::begin() const {
+  switch (Kind) {
+  case PtsRepr::Sorted:
+    return Vec.data();
+  case PtsRepr::Small:
+    return spilled() ? Vec.data() : Inline;
+  case PtsRepr::Bitmap:
+  case PtsRepr::Offsets:
+    return decoded().data();
+  }
+  return nullptr;
+}
+
+void PtsSet::decodeInto(std::vector<value_type> &Out) const {
+  switch (Kind) {
+  case PtsRepr::Sorted:
+    Out.assign(Vec.begin(), Vec.end());
+    return;
+  case PtsRepr::Small:
+    if (spilled())
+      Out.assign(Vec.begin(), Vec.end());
+    else
+      Out.assign(Inline, Inline + SmallCount);
+    return;
+  case PtsRepr::Bitmap: {
+    if (!Store)
+      return;
+    const InternTable<NodeTag> &IT = Store->ptsInterner();
+    WordCursor C{Chunks};
+    while (!C.done()) {
+      uint32_t Base = C.word() * 64;
+      for (uint64_t T = C.bits(); T; T &= T - 1)
+        Out.push_back(IT.valueOf(Base + __builtin_ctzll(T)));
+      C.next();
+    }
+    // Intern order is first-use, not id order: restore the id ordering
+    // every caller of begin() relies on.
+    std::sort(Out.begin(), Out.end());
+    return;
+  }
+  case PtsRepr::Offsets: {
+    if (!Store)
+      return;
+    for (const ObjEntry &E : Objects) {
+      const std::vector<value_type> &Nodes = Store->nodesOfObject(E.Obj);
+      for (uint32_t T = E.Low; T; T &= T - 1)
+        Out.push_back(Nodes[__builtin_ctz(T)]);
+    }
+    for (const auto &P : HighOrds)
+      Out.push_back(Store->nodesOfObject(ObjectId(P.first))[P.second]);
+    std::sort(Out.begin(), Out.end());
+    return;
+  }
+  }
+}
+
+const std::vector<PtsSet::value_type> &PtsSet::decoded() const {
+  if (!CacheValid) {
+    Cache.clear();
+    decodeInto(Cache);
+    CacheValid = true;
+  }
+  return Cache;
+}
+
+size_t PtsSet::heapBytes() const {
+  return Vec.heapBytes() + Chunks.capacity() * sizeof(BitChunk) +
+         Objects.capacity() * sizeof(ObjEntry) +
+         HighOrds.capacity() * sizeof(std::pair<uint32_t, uint32_t>);
+}
+
+bool operator==(const PtsSet &A, const PtsSet &B) {
+  if (A.size() != B.size())
+    return false;
+  return std::equal(A.begin(), A.end(), B.begin());
+}
+
+//===----------------------------------------------------------------------===//
+// Element operations
+//===----------------------------------------------------------------------===//
+
+bool PtsSet::insert(value_type V) {
+  switch (Kind) {
+  case PtsRepr::Sorted:
+    return Vec.insert(V);
+  case PtsRepr::Small:
+    return insertSmall(V);
+  case PtsRepr::Bitmap: {
+    assert(Store && "bitmap set used without a bound NodeStore");
+    bool Changed = insertBit(Store->ptsInterner().intern(V));
+    return Changed;
+  }
+  case PtsRepr::Offsets: {
+    assert(Store && "offsets set used without a bound NodeStore");
+    ObjectId Obj = Store->objectOf(V);
+    uint32_t Ord = Store->ordinalOf(V);
+    if (Ord < 32) {
+      uint32_t M = uint32_t(1) << Ord;
+      ObjEntry &E = Objects[entryFor(Obj, /*Create=*/true)];
+      if (E.Low & M)
+        return false;
+      E.Low |= M;
+    } else {
+      std::pair<uint32_t, uint32_t> P{Obj.rawValue(), Ord};
+      auto It = std::lower_bound(HighOrds.begin(), HighOrds.end(), P);
+      if (It != HighOrds.end() && *It == P)
+        return false;
+      HighOrds.insert(It, P);
+    }
+    ++Count;
+    invalidate();
+    return true;
+  }
+  }
+  return false;
+}
+
+bool PtsSet::contains(value_type V) const {
+  switch (Kind) {
+  case PtsRepr::Sorted:
+    return Vec.contains(V);
+  case PtsRepr::Small:
+    if (spilled())
+      return Vec.contains(V);
+    return std::binary_search(Inline, Inline + SmallCount, V);
+  case PtsRepr::Bitmap: {
+    if (!Store || Count == 0)
+      return false;
+    // find(), not intern(): membership tests must not grow the shared
+    // intern table.
+    uint32_t Bit = Store->ptsInterner().find(V);
+    return Bit != InternTable<NodeTag>::None && containsBit(Bit);
+  }
+  case PtsRepr::Offsets: {
+    if (!Store || Count == 0)
+      return false;
+    uint32_t Ord = Store->ordinalOf(V);
+    if (Ord < 32) {
+      size_t I = findEntry(Store->objectOf(V));
+      return I != SIZE_MAX && ((Objects[I].Low >> Ord) & 1);
+    }
+    return std::binary_search(
+        HighOrds.begin(), HighOrds.end(),
+        std::pair<uint32_t, uint32_t>{Store->objectOf(V).rawValue(), Ord});
+  }
+  }
+  return false;
+}
+
+bool PtsSet::erase(value_type V) {
+  switch (Kind) {
+  case PtsRepr::Sorted:
+    return Vec.erase(V);
+  case PtsRepr::Small: {
+    if (spilled())
+      return Vec.erase(V);
+    value_type *End = Inline + SmallCount;
+    value_type *It = std::lower_bound(Inline, End, V);
+    if (It == End || !(*It == V))
+      return false;
+    std::move(It + 1, End, It);
+    --SmallCount;
+    return true;
+  }
+  case PtsRepr::Bitmap: {
+    if (!Store || Count == 0)
+      return false;
+    uint32_t Bit = Store->ptsInterner().find(V);
+    return Bit != InternTable<NodeTag>::None && eraseBit(Bit);
+  }
+  case PtsRepr::Offsets: {
+    if (!Store || Count == 0)
+      return false;
+    uint32_t Ord = Store->ordinalOf(V);
+    if (Ord < 32) {
+      size_t I = findEntry(Store->objectOf(V));
+      if (I == SIZE_MAX)
+        return false;
+      uint32_t M = uint32_t(1) << Ord;
+      if (!(Objects[I].Low & M))
+        return false;
+      Objects[I].Low &= ~M;
+      if (Objects[I].Low == 0)
+        Objects.erase(Objects.begin() + static_cast<ptrdiff_t>(I));
+    } else {
+      std::pair<uint32_t, uint32_t> P{Store->objectOf(V).rawValue(), Ord};
+      auto It = std::lower_bound(HighOrds.begin(), HighOrds.end(), P);
+      if (It == HighOrds.end() || *It != P)
+        return false;
+      HighOrds.erase(It);
+    }
+    --Count;
+    invalidate();
+    return true;
+  }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Bulk operations
+//===----------------------------------------------------------------------===//
+
+size_t PtsSet::insertAll(const PtsSet &Other,
+                         std::vector<value_type> *NewElems) {
+  if (&Other == this || Other.empty())
+    return 0;
+  if (Kind == Other.Kind) {
+    switch (Kind) {
+    case PtsRepr::Sorted:
+      return Vec.insertAll(Other.Vec, NewElems);
+    case PtsRepr::Small:
+      // A spilled source can exceed the inline capacity: spill first so
+      // the merge is one IdSet merge instead of element-wise shifting.
+      if (!spilled() && Other.spilled() &&
+          SmallCount + Other.Vec.size() > SmallCap)
+        spill();
+      if (spilled() && Other.spilled())
+        return Vec.insertAll(Other.Vec, NewElems);
+      break; // inline on either side: element-wise is the fast path
+    case PtsRepr::Bitmap:
+      if (Store == Other.Store)
+        return insertAllBitmap(Other, NewElems);
+      break;
+    case PtsRepr::Offsets:
+      if (Store == Other.Store)
+        return insertAllOffsets(Other, NewElems);
+      break;
+    }
+  }
+  return insertAllGeneric(Other, NewElems);
+}
+
+size_t PtsSet::insertAllGeneric(const PtsSet &Other,
+                                std::vector<value_type> *NewElems) {
+  // Other's iteration is ascending by id, so logging as we go preserves
+  // the cross-representation log order contract.
+  size_t New = 0;
+  for (value_type V : Other) {
+    if (!insert(V))
+      continue;
+    ++New;
+    if (NewElems)
+      NewElems->push_back(V);
+  }
+  return New;
+}
+
+bool PtsSet::containsAll(const PtsSet &Other) const {
+  if (&Other == this || Other.empty())
+    return true;
+  if (Other.size() > size())
+    return false;
+  if (Kind == Other.Kind) {
+    switch (Kind) {
+    case PtsRepr::Sorted:
+      return Vec.containsAll(Other.Vec);
+    case PtsRepr::Small:
+      if (spilled() && Other.spilled())
+        return Vec.containsAll(Other.Vec);
+      break;
+    case PtsRepr::Bitmap:
+      if (Store == Other.Store)
+        return containsAllBitmap(Other);
+      break;
+    case PtsRepr::Offsets:
+      if (Store == Other.Store)
+        return containsAllOffsets(Other);
+      break;
+    }
+  }
+  for (value_type V : Other)
+    if (!contains(V))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Small representation
+//===----------------------------------------------------------------------===//
+
+bool PtsSet::insertSmall(value_type V) {
+  if (spilled())
+    return Vec.insert(V);
+  value_type *End = Inline + SmallCount;
+  value_type *It = std::lower_bound(Inline, End, V);
+  if (It != End && *It == V)
+    return false;
+  if (SmallCount == SmallCap) {
+    spill();
+    return Vec.insert(V);
+  }
+  std::move_backward(It, End, End + 1);
+  *It = V;
+  ++SmallCount;
+  return true;
+}
+
+void PtsSet::spill() {
+  // Inline ids are sorted, so each insert hits IdSet's append fast path.
+  for (unsigned I = 0; I < SmallCount; ++I)
+    Vec.insert(Inline[I]);
+  SmallCount = SmallCap + 1; // spilled marker
+}
+
+//===----------------------------------------------------------------------===//
+// Bitmap representation
+//===----------------------------------------------------------------------===//
+
+size_t PtsSet::chunkCovering(uint32_t W) const {
+  auto It = std::upper_bound(
+      Chunks.begin(), Chunks.end(), W,
+      [](uint32_t Word, const BitChunk &C) { return Word < C.Word; });
+  if (It == Chunks.begin())
+    return SIZE_MAX;
+  --It;
+  uint32_t Span = It->Run ? It->Run : 1;
+  if (W < It->Word + Span)
+    return static_cast<size_t>(It - Chunks.begin());
+  return SIZE_MAX;
+}
+
+void PtsSet::promoteToRun(size_t I) {
+  Chunks[I].Run = 1;
+  Chunks[I].Bits = 0;
+  if (I + 1 < Chunks.size() && Chunks[I + 1].Run &&
+      Chunks[I].Word + 1 == Chunks[I + 1].Word) {
+    Chunks[I].Run += Chunks[I + 1].Run;
+    Chunks.erase(Chunks.begin() + static_cast<ptrdiff_t>(I) + 1);
+  }
+  if (I > 0 && Chunks[I - 1].Run &&
+      Chunks[I - 1].Word + Chunks[I - 1].Run == Chunks[I].Word) {
+    Chunks[I - 1].Run += Chunks[I].Run;
+    Chunks.erase(Chunks.begin() + static_cast<ptrdiff_t>(I));
+  }
+}
+
+bool PtsSet::insertBit(uint32_t Bit) {
+  uint32_t W = Bit >> 6;
+  uint64_t M = uint64_t(1) << (Bit & 63);
+  size_t I = chunkCovering(W);
+  if (I != SIZE_MAX) {
+    BitChunk &C = Chunks[I];
+    if (C.Run || (C.Bits & M))
+      return false;
+    C.Bits |= M;
+    if (C.Bits == ~uint64_t(0))
+      promoteToRun(I);
+  } else {
+    auto It = std::upper_bound(
+        Chunks.begin(), Chunks.end(), W,
+        [](uint32_t Word, const BitChunk &C) { return Word < C.Word; });
+    Chunks.insert(It, {W, 0, M});
+  }
+  ++Count;
+  invalidate();
+  return true;
+}
+
+bool PtsSet::containsBit(uint32_t Bit) const {
+  size_t I = chunkCovering(Bit >> 6);
+  if (I == SIZE_MAX)
+    return false;
+  const BitChunk &C = Chunks[I];
+  return C.Run || ((C.Bits >> (Bit & 63)) & 1);
+}
+
+bool PtsSet::eraseBit(uint32_t Bit) {
+  uint32_t W = Bit >> 6;
+  uint64_t M = uint64_t(1) << (Bit & 63);
+  size_t I = chunkCovering(W);
+  if (I == SIZE_MAX)
+    return false;
+  BitChunk C = Chunks[I];
+  if (C.Run == 0) {
+    if (!(C.Bits & M))
+      return false;
+    Chunks[I].Bits &= ~M;
+    if (Chunks[I].Bits == 0)
+      Chunks.erase(Chunks.begin() + static_cast<ptrdiff_t>(I));
+  } else {
+    // Split the run around the cleared bit: run-before, 63-bit partial
+    // word, run-after (either side may be empty).
+    BitChunk Repl[3];
+    size_t N = 0;
+    if (W > C.Word)
+      Repl[N++] = {C.Word, W - C.Word, 0};
+    Repl[N++] = {W, 0, ~M};
+    if (C.Word + C.Run > W + 1)
+      Repl[N++] = {W + 1, C.Word + C.Run - (W + 1), 0};
+    Chunks.erase(Chunks.begin() + static_cast<ptrdiff_t>(I));
+    Chunks.insert(Chunks.begin() + static_cast<ptrdiff_t>(I), Repl, Repl + N);
+  }
+  --Count;
+  invalidate();
+  return true;
+}
+
+size_t PtsSet::insertAllBitmap(const PtsSet &Other,
+                               std::vector<value_type> *NewElems) {
+  // Alloc-free pre-pass: at a fixpoint most joins add nothing, and the
+  // subset scan below never allocates.
+  if (containsAllBitmap(Other))
+    return 0;
+  std::vector<BitChunk> Out;
+  Out.reserve(Chunks.size() + Other.Chunks.size());
+  std::vector<uint32_t> NewBits;
+  auto append = [&Out](uint32_t W, uint64_t Bits) {
+    if (Bits == ~uint64_t(0)) {
+      if (!Out.empty() && Out.back().Run &&
+          Out.back().Word + Out.back().Run == W) {
+        ++Out.back().Run;
+        return;
+      }
+      Out.push_back({W, 1, 0});
+    } else if (Bits) {
+      Out.push_back({W, 0, Bits});
+    }
+  };
+  WordCursor A{Chunks}, B{Other.Chunks};
+  while (!A.done() || !B.done()) {
+    if (B.done() || (!A.done() && A.word() < B.word())) {
+      append(A.word(), A.bits());
+      A.next();
+    } else if (A.done() || B.word() < A.word()) {
+      uint32_t Base = B.word() * 64;
+      for (uint64_t T = B.bits(); T; T &= T - 1)
+        NewBits.push_back(Base + __builtin_ctzll(T));
+      append(B.word(), B.bits());
+      B.next();
+    } else {
+      uint64_t Ab = A.bits(), Bb = B.bits();
+      uint32_t Base = A.word() * 64;
+      for (uint64_t T = Bb & ~Ab; T; T &= T - 1)
+        NewBits.push_back(Base + __builtin_ctzll(T));
+      append(A.word(), Ab | Bb);
+      A.next();
+      B.next();
+    }
+  }
+  Chunks = std::move(Out);
+  Count += static_cast<uint32_t>(NewBits.size());
+  invalidate();
+  if (NewElems) {
+    const InternTable<NodeTag> &IT = Store->ptsInterner();
+    size_t Base = NewElems->size();
+    for (uint32_t Bit : NewBits)
+      NewElems->push_back(IT.valueOf(Bit));
+    // Intern order is not id order; the log contract is ascending ids.
+    std::sort(NewElems->begin() + static_cast<ptrdiff_t>(Base),
+              NewElems->end());
+  }
+  return NewBits.size();
+}
+
+bool PtsSet::containsAllBitmap(const PtsSet &Other) const {
+  WordCursor A{Chunks}, B{Other.Chunks};
+  while (!B.done()) {
+    if (A.done())
+      return false;
+    if (A.word() < B.word()) {
+      A.next();
+      continue;
+    }
+    if (B.word() < A.word())
+      return false;
+    if (B.bits() & ~A.bits())
+      return false;
+    A.next();
+    B.next();
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Offsets representation
+//===----------------------------------------------------------------------===//
+
+size_t PtsSet::findEntry(ObjectId Obj) const {
+  auto It = std::lower_bound(
+      Objects.begin(), Objects.end(), Obj,
+      [](const ObjEntry &E, ObjectId O) { return E.Obj < O; });
+  if (It != Objects.end() && It->Obj == Obj)
+    return static_cast<size_t>(It - Objects.begin());
+  return SIZE_MAX;
+}
+
+size_t PtsSet::entryFor(ObjectId Obj, bool Create) {
+  auto It = std::lower_bound(
+      Objects.begin(), Objects.end(), Obj,
+      [](const ObjEntry &E, ObjectId O) { return E.Obj < O; });
+  if (It != Objects.end() && It->Obj == Obj)
+    return static_cast<size_t>(It - Objects.begin());
+  if (!Create)
+    return SIZE_MAX;
+  // Position before the insert: the insert may reallocate, and the two
+  // operands of `insert(...) - begin()` have no evaluation order.
+  size_t Pos = static_cast<size_t>(It - Objects.begin());
+  Objects.insert(It, ObjEntry{Obj, 0});
+  return Pos;
+}
+
+size_t PtsSet::insertAllOffsets(const PtsSet &Other,
+                                std::vector<value_type> *NewElems) {
+  size_t New = 0;
+  size_t Base = NewElems ? NewElems->size() : 0;
+  for (const ObjEntry &BE : Other.Objects) {
+    // Per-object fast path: one 64-bit mask OR covers every field of the
+    // object at once (an entry always has Low != 0, so entryFor never
+    // leaves behind an empty entry here).
+    ObjEntry &AE = Objects[entryFor(BE.Obj, /*Create=*/true)];
+    uint32_t NewLow = BE.Low & ~AE.Low;
+    if (!NewLow)
+      continue;
+    AE.Low |= NewLow;
+    const std::vector<value_type> &Nodes = Store->nodesOfObject(BE.Obj);
+    for (uint32_t T = NewLow; T; T &= T - 1) {
+      ++New;
+      if (NewElems)
+        NewElems->push_back(Nodes[__builtin_ctz(T)]);
+    }
+  }
+  for (const auto &P : Other.HighOrds) {
+    auto It = std::lower_bound(HighOrds.begin(), HighOrds.end(), P);
+    if (It != HighOrds.end() && *It == P)
+      continue;
+    HighOrds.insert(It, P);
+    ++New;
+    if (NewElems)
+      NewElems->push_back(
+          Store->nodesOfObject(ObjectId(P.first))[P.second]);
+  }
+  if (New) {
+    Count += static_cast<uint32_t>(New);
+    invalidate();
+    if (NewElems)
+      // Per-object discovery order is not global id order.
+      std::sort(NewElems->begin() + static_cast<ptrdiff_t>(Base),
+                NewElems->end());
+  }
+  return New;
+}
+
+bool PtsSet::containsAllOffsets(const PtsSet &Other) const {
+  auto A = Objects.begin();
+  for (const ObjEntry &BE : Other.Objects) {
+    while (A != Objects.end() && A->Obj < BE.Obj)
+      ++A;
+    if (A == Objects.end() || !(A->Obj == BE.Obj))
+      return false;
+    if (BE.Low & ~A->Low)
+      return false;
+    ++A;
+  }
+  auto H = HighOrds.begin();
+  for (const auto &P : Other.HighOrds) {
+    H = std::lower_bound(H, HighOrds.end(), P);
+    if (H == HighOrds.end() || *H != P)
+      return false;
+    ++H;
+  }
+  return true;
+}
+
+} // namespace spa

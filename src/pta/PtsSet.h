@@ -1,0 +1,239 @@
+//===--- PtsSet.h - Pluggable points-to set representations ----*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The points-to set as a runtime-pluggable storage policy. Every solver
+/// engine manipulates node facts exclusively through this type, so the
+/// representation — how a set of NodeIds is laid out in memory — is a
+/// tunable orthogonal to the engine and the field model. Four policies:
+///
+///  * Sorted (`--pts=sorted`, the default): one sorted vector of ids.
+///    The historical representation; best for tiny, rarely-joined sets.
+///  * Small (`--pts=small`): up to PtsSet::SmallCap ids stored inline in
+///    the set object itself, spilling to a sorted heap vector only on
+///    overflow. Most dereference sites average ~5 targets, so most sets
+///    never allocate at all.
+///  * Bitmap (`--pts=bitmap`): members are interned through the store's
+///    shared lookup table (NodeStore::ptsInterner) into a dense
+///    first-seen index space, and the set stores 64-bit word bitmaps over
+///    that space with interval run compression — consecutive all-ones
+///    words collapse to one (start, length) run chunk. Sets that share
+///    members (the common case after propagation) become a handful of
+///    runs regardless of cardinality.
+///  * Offsets (`--pts=offsets`): splits each member's (object, field)
+///    identity — the set stores one 8-byte entry per target *object*,
+///    shared by every field node of that object: the object id plus a
+///    32-bit mask over the object's node ordinals (the rare ordinals
+///    >= 32 overflow into a shared side table). Struct-heavy workloads
+///    where many fields of the same object are targeted pay one entry
+///    instead of N ids.
+///
+/// All four satisfy the same contract the solver relies on:
+///  * deterministic iteration in ascending NodeId order (begin()/end()
+///    iterate a decoded, sorted view; contiguous representations iterate
+///    their storage directly);
+///  * insertAll(Other, &Log) appends exactly the newly inserted elements
+///    to the change log, in ascending id order, bit-identically across
+///    representations (the delta-propagation cursor machinery and the
+///    cross-representation oracle tests depend on this);
+///  * insertAll/containsAll have merge fast paths for every same-
+///    representation pair (word-ORs for bitmaps, per-object merges for
+///    offsets, two-pointer merges for the vector forms); mixed pairs fall
+///    back to an element-wise path that preserves the log contract.
+///
+/// A set adopts its representation while empty (Solver::factsOf binds
+/// every facts set to SolverOptions::PointsTo) and keeps it for life; the
+/// compressed representations additionally bind the NodeStore whose
+/// interner/ordinals give ids their structure. Default-constructed sets
+/// are Sorted, so code outside the solver (certifier scratch sets, tests)
+/// is unaffected unless it opts in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_PTSSET_H
+#define SPA_PTA_PTSSET_H
+
+#include "pta/NodeStore.h"
+#include "support/IdSet.h"
+
+#include <vector>
+
+namespace spa {
+
+/// Which storage policy a points-to set uses.
+enum class PtsRepr : uint8_t {
+  Sorted,  ///< sorted vector of ids (the baseline)
+  Small,   ///< inline array, heap spill on overflow
+  Bitmap,  ///< interned-id word bitmap with run compression
+  Offsets, ///< per-object entries with shared offset sets
+};
+
+/// CLI/telemetry name of \p R ("sorted", "small", "bitmap", "offsets").
+const char *ptsReprName(PtsRepr R);
+
+/// A points-to set: the targets of one node, stored per PtsRepr.
+class PtsSet {
+public:
+  using value_type = NodeId;
+  /// Iteration is over a contiguous ascending-by-id view: the storage
+  /// itself for Sorted/Small, a lazily decoded snapshot for the
+  /// compressed representations (rebuilt after mutation on next begin()).
+  using const_iterator = const NodeId *;
+
+  /// Ids stored inline by the Small representation before spilling.
+  static constexpr unsigned SmallCap = 6;
+
+  PtsSet() = default;
+  explicit PtsSet(PtsRepr R, const NodeStore *NS = nullptr) {
+    adoptRepr(R, NS);
+  }
+
+  /// Binds the representation (and, for Bitmap/Offsets, the store whose
+  /// interner/ordinals structure the ids). Cheap no-op when already bound
+  /// to \p R; a non-empty set switching representations is converted
+  /// element-wise (rare — only configuration errors hit it).
+  void adoptRepr(PtsRepr R, const NodeStore *NS = nullptr);
+
+  PtsRepr repr() const { return Kind; }
+
+  /// Inserts \p V; returns true if it was not already present.
+  bool insert(value_type V);
+
+  /// Inserts every element of \p Other; returns the number of new
+  /// elements.
+  size_t insertAll(const PtsSet &Other) { return insertAll(Other, nullptr); }
+
+  /// Like insertAll, and additionally appends each newly inserted element
+  /// to \p NewElems (when non-null) in ascending id order — identical
+  /// across representations, so delta logs are representation-independent.
+  size_t insertAll(const PtsSet &Other, std::vector<value_type> *NewElems);
+
+  /// True if every element of \p Other is already present.
+  bool containsAll(const PtsSet &Other) const;
+
+  bool contains(value_type V) const;
+
+  /// Removes \p V; returns true if it was present. (Exists for the
+  /// mutation self-test harness; never called on the solve hot path.)
+  bool erase(value_type V);
+
+  bool empty() const { return size() == 0; }
+  size_t size() const;
+
+  const_iterator begin() const;
+  const_iterator end() const { return begin() + size(); }
+
+  /// Owned heap bytes of the intrinsic storage (capacities, not sizes).
+  /// Excludes the transient iteration cache the compressed
+  /// representations keep (a query-time convenience, dropped from the
+  /// telemetry byte counters on purpose) and the store's shared interner
+  /// (reported separately as pts_lookup_bytes).
+  size_t heapBytes() const;
+
+  /// Semantic equality: same members, any representations.
+  friend bool operator==(const PtsSet &A, const PtsSet &B);
+
+private:
+  /// One bitmap chunk. Run == 0: a single, not-all-ones word of bits at
+  /// word index Word. Run >= 1: Run consecutive all-ones words starting
+  /// at Word (Bits unused). Chunks are sorted by Word, never overlap, and
+  /// adjacent runs are coalesced, so a full word is always part of a run.
+  struct BitChunk {
+    uint32_t Word;
+    uint32_t Run;
+    uint64_t Bits;
+  };
+
+  /// Streams the (word index, 64-bit word) pairs of a chunk list in
+  /// ascending word order, expanding runs one word at a time.
+  struct WordCursor {
+    const std::vector<BitChunk> &Cs;
+    size_t I = 0;
+    uint32_t Off = 0;
+    bool done() const { return I >= Cs.size(); }
+    uint32_t word() const { return Cs[I].Word + Off; }
+    uint64_t bits() const { return Cs[I].Run ? ~uint64_t(0) : Cs[I].Bits; }
+    void next() {
+      if (Cs[I].Run > Off + 1)
+        ++Off;
+      else {
+        ++I;
+        Off = 0;
+      }
+    }
+  };
+
+  /// One offsets entry: the member nodes of Obj with NodeStore ordinal
+  /// < 32, as bit i of Low for ordinal i. Entries are sorted by Obj and
+  /// exist only while Low != 0; the rare ordinals >= 32 (objects with
+  /// more than 32 materialized nodes) live in the shared HighOrds side
+  /// table so every entry stays at 8 bytes.
+  struct ObjEntry {
+    ObjectId Obj;
+    uint32_t Low;
+  };
+
+  // --- Small ---
+  bool insertSmall(value_type V);
+  bool spilled() const { return SmallCount > SmallCap; }
+  void spill();
+
+  // --- Bitmap ---
+  bool insertBit(uint32_t Bit);
+  bool containsBit(uint32_t Bit) const;
+  bool eraseBit(uint32_t Bit);
+  /// Index of the chunk covering word \p W, or SIZE_MAX.
+  size_t chunkCovering(uint32_t W) const;
+  /// Turns the now-all-ones chunk at \p I into a run and coalesces it
+  /// with adjacent runs.
+  void promoteToRun(size_t I);
+  size_t insertAllBitmap(const PtsSet &Other,
+                         std::vector<value_type> *NewElems);
+  bool containsAllBitmap(const PtsSet &Other) const;
+
+  // --- Offsets ---
+  /// Entry index for \p Obj (creating it when \p Create), or SIZE_MAX.
+  size_t entryFor(ObjectId Obj, bool Create);
+  /// Entry index for \p Obj, or SIZE_MAX. Never creates.
+  size_t findEntry(ObjectId Obj) const;
+  size_t insertAllOffsets(const PtsSet &Other,
+                          std::vector<value_type> *NewElems);
+  bool containsAllOffsets(const PtsSet &Other) const;
+
+  // --- shared ---
+  void decodeInto(std::vector<value_type> &Out) const;
+  const std::vector<value_type> &decoded() const;
+  size_t insertAllGeneric(const PtsSet &Other,
+                          std::vector<value_type> *NewElems);
+  void invalidate() { CacheValid = false; }
+
+  PtsRepr Kind = PtsRepr::Sorted;
+  /// Bound for Bitmap (interner) and Offsets (object/ordinal structure).
+  const NodeStore *Store = nullptr;
+  /// Element count for Bitmap/Offsets (the vector forms know their own).
+  uint32_t Count = 0;
+  /// Small: number of inline ids, or SmallCap + 1 once spilled.
+  uint32_t SmallCount = 0;
+  /// Sorted storage, and the Small representation's spill target.
+  IdSet<NodeTag> Vec;
+  /// Small inline storage (sorted, first SmallCount entries).
+  value_type Inline[SmallCap];
+  /// Bitmap storage.
+  std::vector<BitChunk> Chunks;
+  /// Offsets storage.
+  std::vector<ObjEntry> Objects;
+  /// Offsets overflow: (object raw id, ordinal) pairs for ordinals >= 32,
+  /// sorted. Nearly always empty.
+  std::vector<std::pair<uint32_t, uint32_t>> HighOrds;
+  /// Decoded ascending-id view for Bitmap/Offsets iteration. Only a
+  /// cache: flag-invalidated on mutation, rebuilt on next begin().
+  mutable std::vector<value_type> Cache;
+  mutable bool CacheValid = false;
+};
+
+} // namespace spa
+
+#endif // SPA_PTA_PTSSET_H

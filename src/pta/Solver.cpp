@@ -17,7 +17,12 @@ Solver::Solver(NormProgram &Prog, FieldModel &Model, SolverOptions Opts)
     : Prog(Prog), Model(Model), Opts(Opts) {}
 
 Solver::NodeFacts &Solver::factsOf(NodeId Node) {
-  return Facts.grow(canon(Node).index());
+  NodeFacts &F = Facts.grow(canon(Node).index());
+  // Freshly grown slots are default (sorted) sets; bind them to the run's
+  // representation policy before any fact lands. No-op once adopted.
+  if (F.Set.repr() != Opts.PointsTo)
+    F.Set.adoptRepr(Opts.PointsTo, &Model.nodes());
+  return F;
 }
 
 const PtsSet &Solver::pointsTo(NodeId Node) const {
@@ -671,6 +676,8 @@ void Solver::collapseCycle(const std::vector<NodeId> &Members) {
   // Raw Facts slots on purpose: factsOf would resolve every member to the
   // representative mid-merge.
   NodeFacts &RF = Facts.grow(Rep.index());
+  if (RF.Set.repr() != Opts.PointsTo)
+    RF.Set.adoptRepr(Opts.PointsTo, &Model.nodes());
   ObjectId RepObj = Model.nodes().objectOf(Rep);
   for (NodeId M : Members) {
     if (M == Rep)
@@ -796,4 +803,41 @@ void Solver::solve() {
   // step: record it once the fixpoint is reached.
   for (size_t I = 0; I < Prog.DerefSites.size(); ++I)
     Events[I].EmptyDeref = derefTargets(Prog.DerefSites[I]).empty();
+  collectPtsStats();
+}
+
+void Solver::collectPtsStats() {
+  Stats.ReprUsed = Opts.PointsTo;
+  Stats.PtsSets = Facts.size();
+  std::vector<size_t> Sizes;
+  Sizes.reserve(Facts.size());
+  for (size_t I = 0; I < Facts.size(); ++I) {
+    const NodeFacts &F = Facts[I];
+    Stats.PtsSetBytes += sizeof(PtsSet) + F.Set.heapBytes();
+    Stats.PtsLogBytes += F.Log.capacity() * sizeof(NodeId);
+    // Merged (cycle-collapsed) nodes have empty cleared sets; skip them
+    // for the size distribution like any other empty set.
+    if (!F.Set.empty())
+      Sizes.push_back(F.Set.size());
+  }
+  if (Opts.PointsTo == PtsRepr::Bitmap)
+    Stats.PtsLookupBytes = Model.nodes().ptsInterner().heapBytes();
+  // Fold the fact storage into the end-to-end footprint so the bench
+  // matrix compares representations on total resident bytes.
+  Stats.BytesHighWater +=
+      Stats.PtsSetBytes + Stats.PtsLogBytes + Stats.PtsLookupBytes;
+  if (Sizes.empty())
+    return;
+  std::sort(Sizes.begin(), Sizes.end());
+  for (size_t S : Sizes)
+    if (S == 1)
+      ++Stats.PtsSingletons;
+  // Nearest-rank percentiles: index ceil(p * N) over the sorted sizes.
+  auto Rank = [&Sizes](size_t Pct) {
+    size_t R = (Sizes.size() * Pct + 99) / 100;
+    return Sizes[R == 0 ? 0 : R - 1];
+  };
+  Stats.PtsSizeP50 = Rank(50);
+  Stats.PtsSizeP90 = Rank(90);
+  Stats.PtsSizeMax = Sizes.back();
 }

@@ -37,6 +37,7 @@
 #include "pta/ConstraintGraph.h"
 #include "pta/FieldModel.h"
 #include "pta/LibrarySummaries.h"
+#include "pta/PtsSet.h"
 #include "support/SegmentedVector.h"
 #include "support/UnionFind.h"
 
@@ -111,6 +112,12 @@ struct SolverOptions {
   /// equivalence tests assert bit-for-bit equal graphs for all four
   /// engines.
   bool CycleElimination = false;
+  /// Storage policy for every points-to set of this run (pta/PtsSet.h).
+  /// Orthogonal to the engine flags: any representation under any engine
+  /// computes the bit-identical fixpoint. Sorted is the baseline; the
+  /// compressed representations trade per-element encoding work for
+  /// smaller resident sets on larger programs.
+  PtsRepr PointsTo = PtsRepr::Sorted;
   /// Hard iteration cap (a safety net; real programs converge quickly).
   /// Naive mode: maximum rounds. Worklist mode: the statement-application
   /// budget is MaxIterations * #statements.
@@ -158,8 +165,22 @@ struct SolverRunStats {
   /// Worklist modes: estimated bytes of per-statement solver state
   /// (cursors, resolve caches, dependents index) at its high water,
   /// sampled when the fixpoint loop exits and before the state is
-  /// released.
+  /// released. Includes the points-to fact storage (PtsSetBytes +
+  /// PtsLogBytes + PtsLookupBytes below), so representations are
+  /// comparable end to end.
   size_t BytesHighWater = 0;
+  /// \name Points-to set storage telemetry, sampled at fixpoint.
+  /// @{
+  PtsRepr ReprUsed = PtsRepr::Sorted; ///< representation of this run
+  size_t PtsSets = 0;       ///< facts slots materialized (nodes with a set)
+  size_t PtsSingletons = 0; ///< sets of exactly one element
+  size_t PtsSizeP50 = 0;    ///< median set size over non-empty sets
+  size_t PtsSizeP90 = 0;    ///< 90th-percentile set size (nearest-rank)
+  size_t PtsSizeMax = 0;    ///< largest set
+  size_t PtsSetBytes = 0;   ///< set storage: sizeof(PtsSet) + owned heap
+  size_t PtsLogBytes = 0;   ///< append-only insertion logs (delta engines)
+  size_t PtsLookupBytes = 0; ///< shared intern table (bitmap repr only)
+  /// @}
 };
 
 /// One analysis run: a model plus the points-to graph it computes.
@@ -351,6 +372,9 @@ private:
   /// Estimated bytes of worklist-mode solver state (per-statement maps,
   /// dependents index, constraint graph), for BytesHighWater.
   size_t estimateStateBytes() const;
+  /// Fills the points-to storage telemetry (size histogram, byte
+  /// counters) from the final Facts; called once at the end of solve().
+  void collectPtsStats();
   /// Releases all worklist-mode state after the fixpoint loop exits.
   void releaseSolveState();
 

@@ -55,6 +55,7 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.field("handle_ptr_arith", T.Options.HandlePtrArith);
   W.field("stride_arith", T.Options.StrideArith);
   W.field("track_unknown", T.Options.TrackUnknown);
+  W.field("pts_repr", std::string(ptsReprName(T.Options.PointsTo)));
   W.field("max_iterations", uint64_t(T.Options.MaxIterations));
   W.close();
 
@@ -82,6 +83,17 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.field("copy_edges", T.Solver.CopyEdges);
   W.field("bytes_high_water", uint64_t(T.Solver.BytesHighWater));
   W.field("solve_seconds", T.Solver.SolveSeconds);
+  W.open("pts_sets");
+  W.field("repr", std::string(ptsReprName(T.Solver.ReprUsed)));
+  W.field("count", uint64_t(T.Solver.PtsSets));
+  W.field("singletons", uint64_t(T.Solver.PtsSingletons));
+  W.field("size_p50", uint64_t(T.Solver.PtsSizeP50));
+  W.field("size_p90", uint64_t(T.Solver.PtsSizeP90));
+  W.field("size_max", uint64_t(T.Solver.PtsSizeMax));
+  W.field("set_bytes", uint64_t(T.Solver.PtsSetBytes));
+  W.field("log_bytes", uint64_t(T.Solver.PtsLogBytes));
+  W.field("lookup_bytes", uint64_t(T.Solver.PtsLookupBytes));
+  W.close();
   W.open("rule_applied");
   for (unsigned I = 0; I < NumSolverRules; ++I)
     W.field(RuleNames[I], T.Solver.RuleApplied[I]);

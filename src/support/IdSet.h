@@ -17,6 +17,7 @@
 #include "support/IdTypes.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <vector>
 
 namespace spa {
@@ -59,6 +60,14 @@ public:
   /// Like insertAll, and additionally appends each newly inserted element
   /// to \p NewElems (when non-null) so callers can maintain a change log
   /// of the merge without re-diffing the sets.
+  ///
+  /// Single-pass two-pointer merge: one forward scan discovers the new
+  /// elements (appending them to \p NewElems in ascending order, exactly
+  /// the order the old merge-into-a-copy produced), then — only when
+  /// anything is new — one resize grows the vector and a backward
+  /// in-place merge slots everything home. At most one allocation, no
+  /// mid-vector shifting, and a no-growth re-join (the dominant case at a
+  /// fixpoint) allocates nothing at all.
   size_t insertAll(const IdSet &Other, std::vector<value_type> *NewElems) {
     if (&Other == this || Other.empty())
       return 0;
@@ -72,36 +81,44 @@ public:
                          Other.Items.end());
       return Other.Items.size();
     }
-    // No-new-elements fast path: re-joins at a fixpoint dominate solver
-    // workloads, and the pre-scan avoids allocating a merged vector for a
-    // join that cannot change anything.
-    if (containsAll(Other))
-      return 0;
-    size_t Before = Items.size();
-    std::vector<value_type> Merged;
-    Merged.reserve(Items.size() + Other.Items.size());
-    auto A = Items.begin(), AEnd = Items.end();
-    auto B = Other.Items.begin(), BEnd = Other.Items.end();
-    while (A != AEnd && B != BEnd) {
-      if (*A < *B) {
-        Merged.push_back(*A++);
-      } else if (*B < *A) {
+    // Pass 1 (forward): count the elements of Other missing from Items,
+    // logging each. Galloping lower_bound keeps re-joins of a large set
+    // against a large superset cheap.
+    size_t New = 0;
+    {
+      auto A = Items.begin(), AEnd = Items.end();
+      for (value_type V : Other.Items) {
+        A = std::lower_bound(A, AEnd, V);
+        if (A != AEnd && *A == V) {
+          ++A;
+          continue;
+        }
+        ++New;
         if (NewElems)
-          NewElems->push_back(*B);
-        Merged.push_back(*B++);
-      } else {
-        Merged.push_back(*A++);
-        ++B;
+          NewElems->push_back(V);
       }
     }
-    Merged.insert(Merged.end(), A, AEnd);
-    for (; B != BEnd; ++B) {
-      if (NewElems)
-        NewElems->push_back(*B);
-      Merged.push_back(*B);
+    if (New == 0)
+      return 0;
+    // Pass 2 (backward): grow once, then merge from the back so every
+    // element moves at most once and old elements never shift twice.
+    size_t OldSize = Items.size();
+    Items.resize(OldSize + New);
+    auto Out = Items.end();
+    auto A = Items.begin() + static_cast<ptrdiff_t>(OldSize);
+    auto ABegin = Items.begin();
+    auto B = Other.Items.end(), BBegin = Other.Items.begin();
+    while (B != BBegin) {
+      if (A != ABegin && *(B - 1) < *(A - 1)) {
+        *--Out = *--A;
+      } else if (A != ABegin && !(*(A - 1) < *(B - 1))) {
+        *--Out = *--A; // equal: keep ours, drop theirs
+        --B;
+      } else {
+        *--Out = *--B;
+      }
     }
-    Items = std::move(Merged);
-    return Items.size() - Before;
+    return New;
   }
 
   /// Removes \p V; returns true if it was present.
@@ -121,6 +138,10 @@ public:
   size_t size() const { return Items.size(); }
   const_iterator begin() const { return Items.begin(); }
   const_iterator end() const { return Items.end(); }
+  /// Contiguous storage (valid for size() elements; may be null if empty).
+  const value_type *data() const { return Items.data(); }
+  /// Owned heap bytes (capacity, not size — slack is real memory).
+  size_t heapBytes() const { return Items.capacity() * sizeof(value_type); }
 
   friend bool operator==(const IdSet &A, const IdSet &B) {
     return A.Items == B.Items;

@@ -1,0 +1,74 @@
+//===--- InternTable.h - Dense interning of sparse ids ---------*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lookup table mapping sparse \c Id<Tag> values to a dense intern index
+/// assigned in first-seen order, with the reverse mapping kept as a plain
+/// vector. The bitmap points-to representation stores its members as bits
+/// over this intern space: only ids that actually appear in some set are
+/// ever interned, so the bit universe stays small and — because ids are
+/// interned in first-use order — sets that share members produce dense,
+/// highly compressible bit patterns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_INTERNTABLE_H
+#define SPA_SUPPORT_INTERNTABLE_H
+
+#include "support/IdTypes.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace spa {
+
+/// Bijection between \c Id<Tag> values and dense intern indices.
+/// Append-only: an assigned index is never reused or remapped, so sets
+/// holding intern indices stay valid for the table's whole lifetime.
+template <typename Tag> class InternTable {
+public:
+  using value_type = Id<Tag>;
+
+  /// Returned by find() for a value that was never interned.
+  static constexpr uint32_t None = UINT32_MAX;
+
+  /// Intern index of \p V, assigned on first use.
+  uint32_t intern(value_type V) {
+    auto [It, Inserted] =
+        Index.try_emplace(V.rawValue(), static_cast<uint32_t>(Values.size()));
+    if (Inserted)
+      Values.push_back(V);
+    return It->second;
+  }
+
+  /// Intern index of \p V, or None when \p V was never interned (a pure
+  /// query: never assigns — membership tests must not grow the table).
+  uint32_t find(value_type V) const {
+    auto It = Index.find(V.rawValue());
+    return It == Index.end() ? None : It->second;
+  }
+
+  /// The value interned at index \p I (must be < size()).
+  value_type valueOf(uint32_t I) const { return Values[I]; }
+
+  size_t size() const { return Values.size(); }
+
+  /// Estimated owned heap bytes (vector storage plus one hash node and a
+  /// bucket-array share per entry).
+  size_t heapBytes() const {
+    return Values.capacity() * sizeof(value_type) +
+           Index.size() * (2 * sizeof(uint32_t) + sizeof(void *)) +
+           Index.bucket_count() * sizeof(void *);
+  }
+
+private:
+  std::vector<value_type> Values;
+  std::unordered_map<uint32_t, uint32_t> Index;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_INTERNTABLE_H

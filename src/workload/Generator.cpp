@@ -138,11 +138,30 @@ private:
     return ptrVar(0) + " = " + ptrVar(0) + ";";
   }
 
+  /// One field-fan statement. The field index advances fastest, so a run
+  /// of fan statements packs the addresses of every field of one struct
+  /// global into one pointer global's points-to set; the struct/pointer
+  /// pair rotates once per full fan so different sets fan over different
+  /// objects (and the plain pointer copies of the normal mix mingle
+  /// them).
+  std::string fanStmt() {
+    unsigned C = FanCounter++;
+    unsigned F = C % Config.FieldsPerStruct;
+    unsigned Lap = C / Config.FieldsPerStruct;
+    unsigned S = Lap % Config.NumStructVars;
+    unsigned P = Lap % Config.NumPtrVars;
+    return ptrVar(P) + " = (int *)&" + structVar(S) + ".f" +
+           std::to_string(F) + ";";
+  }
+
   /// One random statement; all references are to globals, so statements
   /// are valid in any function.
   std::string randomStmt() {
     if (Config.CopyRingPercent && Rand.percent(Config.CopyRingPercent))
       return ringStmt();
+    if (Config.FieldFanPercent && Config.NumStructVars && Config.NumPtrVars &&
+        Rand.percent(Config.FieldFanPercent))
+      return fanStmt();
     unsigned S = Rand.below(Config.NumStructVars);
     unsigned SType = structOfVar(S);
     unsigned P = Rand.below(Config.NumPtrVars);
@@ -268,6 +287,7 @@ private:
   Rng Rand;
   std::string Out;
   unsigned RingCounter = 0;
+  unsigned FanCounter = 0;
 };
 
 } // namespace

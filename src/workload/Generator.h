@@ -46,6 +46,14 @@ struct GeneratorConfig {
   /// next global on, so parameters and globals close into one copy cycle
   /// through the (context-insensitive) call bindings. 0 emits none.
   unsigned NumCallCycleFuncs = 0;
+  /// % of statements devoted to field fans: the addresses of successive
+  /// fields of a rotating struct global flow (through an int-pointer
+  /// cast) into a rotating pointer global, so points-to sets accumulate
+  /// many field nodes of the *same* object — the struct-dense shape the
+  /// per-object compressed set representation stores as one entry
+  /// instead of one id per field. 0 keeps the historical statement mix
+  /// exactly.
+  unsigned FieldFanPercent = 0;
 };
 
 /// Generates the program text. Deterministic in the config (including

@@ -118,3 +118,57 @@ TEST(EngineCli, StatsJsonCarriesCycleEliminationKeys) {
         "\"bytes_high_water\":"})
     EXPECT_NE(R.Out.find(Key), std::string::npos) << Key << "\n" << R.Out;
 }
+
+TEST(EngineCli, EveryPtsReprRunsAndReportsItself) {
+  for (const char *Name : {"sorted", "small", "bitmap", "offsets"}) {
+    RunResult R = runCli(corpus("li.c") + " --pts=" + Name);
+    EXPECT_EQ(R.Exit, 0) << Name << "\n" << R.Out;
+    EXPECT_NE(R.Out.find(std::string("pts representation:  ") + Name),
+              std::string::npos)
+        << Name << "\n" << R.Out;
+  }
+}
+
+TEST(EngineCli, PtsReprRejectsUnknownValue) {
+  RunResult R = runCli(corpus("li.c") + " --pts=roaring");
+  EXPECT_NE(R.Exit, 0);
+  EXPECT_NE(R.Out.find("unknown points-to representation 'roaring'"),
+            std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("sorted|small|bitmap|offsets"), std::string::npos)
+      << R.Out;
+}
+
+TEST(EngineCli, PtsReprsAgreeOnEdgesAndCertify) {
+  // The compressed representations must print the byte-identical edge
+  // list the sorted baseline prints, and the independent certifier must
+  // accept their fixpoints (exit 0; certify failures exit 4).
+  RunResult Sorted =
+      runCli(corpus("allroots.c") + " --engine=scc --model=off --edges");
+  EXPECT_EQ(Sorted.Exit, 0) << Sorted.Out;
+  for (const char *Name : {"small", "bitmap", "offsets"}) {
+    RunResult R = runCli(corpus("allroots.c") + " --engine=scc --model=off "
+                                                "--edges --pts=" +
+                         Name);
+    EXPECT_EQ(R.Exit, 0) << Name << "\n" << R.Out;
+    EXPECT_EQ(Sorted.Out, R.Out) << Name;
+    RunResult C = runCli(corpus("allroots.c") + " --engine=scc --model=off "
+                                                "--certify --pts=" +
+                         Name);
+    EXPECT_EQ(C.Exit, 0) << Name << "\n" << C.Out;
+  }
+}
+
+TEST(EngineCli, StatsJsonCarriesPtsSetKeys) {
+  RunResult R = runCli(corpus("bc.c") + " --engine=delta --pts=bitmap "
+                                        "--stats-json=-");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  for (const char *Key :
+       {"\"pts_repr\":\"bitmap\"", "\"pts_sets\":", "\"singletons\":",
+        "\"size_p50\":", "\"size_p90\":", "\"size_max\":", "\"set_bytes\":",
+        "\"log_bytes\":", "\"lookup_bytes\":"})
+    EXPECT_NE(R.Out.find(Key), std::string::npos) << Key << "\n" << R.Out;
+  // The bitmap representation is the only one paying the shared intern
+  // table; its bytes must be visible (nonzero) in the report.
+  EXPECT_EQ(R.Out.find("\"lookup_bytes\":0}"), std::string::npos) << R.Out;
+}

@@ -1,0 +1,154 @@
+//===--- PtsReprEquivalenceTest.cpp - Representations don't change facts --===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference.)
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The points-to set representation is pure storage policy: every solver
+/// engine must reach the bit-identical fixpoint (via the stable
+/// edge-list export) under every representation, and the independent
+/// certifier must accept each one. Sweeps the corpus under the
+/// distinct-offsets model (per-object ordinals and the intern table get
+/// their hardest workout) and generated programs — including the
+/// struct-dense field-fan shape the compressed representations exist
+/// for — under all four models.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "pta/GraphExport.h"
+#include "verify/Certifier.h"
+#include "workload/Corpus.h"
+#include "workload/Generator.h"
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+constexpr PtsRepr AllReprs[4] = {PtsRepr::Sorted, PtsRepr::Small,
+                                 PtsRepr::Bitmap, PtsRepr::Offsets};
+
+/// Solves \p Source once per representation with \p Solver options under
+/// \p Kind and expects every graph to equal the Sorted baseline's; when
+/// \p Certify is set, each fixpoint must also pass the certifier.
+void expectReprsAgree(const std::string &Source, const std::string &Label,
+                      ModelKind Kind, const SolverOptions &Solver,
+                      bool Certify) {
+  std::string Expected;
+  for (PtsRepr R : AllReprs) {
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(Source, Diags);
+    ASSERT_TRUE(P) << Label << "\n" << Diags.formatAll();
+    AnalysisOptions Opts;
+    Opts.Model = Kind;
+    Opts.Solver = Solver;
+    Opts.Solver.PointsTo = R;
+    Analysis A(P->Prog, Opts);
+    A.run();
+    ASSERT_TRUE(A.solver().runStats().Converged)
+        << Label << " --pts=" << ptsReprName(R);
+    ASSERT_EQ(A.solver().runStats().ReprUsed, R) << Label;
+
+    ExportOptions All;
+    All.IncludeTemps = true;
+    std::string Edges = exportEdgeList(A.solver(), All);
+    if (R == PtsRepr::Sorted)
+      Expected = Edges;
+    else
+      EXPECT_EQ(Expected, Edges)
+          << Label << " --pts=" << ptsReprName(R) << " under "
+          << modelKindName(Kind);
+    if (Certify)
+      EXPECT_TRUE(certifySolution(A.solver()).ok())
+          << Label << " --pts=" << ptsReprName(R);
+  }
+}
+
+/// The delta worklist (the production default) and the cycle-eliminating
+/// engine: the two engines whose change-log and merge machinery lean
+/// hardest on the representation contract.
+const SolverOptions DeltaEngine = [] {
+  SolverOptions O;
+  O.UseWorklist = true;
+  O.DeltaPropagation = true;
+  return O;
+}();
+
+const SolverOptions SccEngine = [] {
+  SolverOptions O = DeltaEngine;
+  O.CycleElimination = true;
+  return O;
+}();
+
+} // namespace
+
+TEST(PtsReprEquivalence, CorpusUnderOffsetsModel) {
+  for (const CorpusEntry &Entry : corpusManifest()) {
+    std::string Source;
+    ASSERT_TRUE(loadCorpusSource(Entry, Source)) << Entry.FileName;
+    expectReprsAgree(Source, Entry.FileName, ModelKind::Offsets,
+                     DeltaEngine, /*Certify=*/false);
+    expectReprsAgree(Source, Entry.FileName, ModelKind::Offsets, SccEngine,
+                     /*Certify=*/false);
+  }
+}
+
+TEST(PtsReprEquivalence, CorpusSampleCertifiesEveryRepr) {
+  // Certification is quadratic-ish in solution size, so the full
+  // corpus x repr matrix lives in tools/ci.sh; here a slice keeps the
+  // tier-1 suite honest.
+  unsigned Sampled = 0;
+  for (const CorpusEntry &Entry : corpusManifest()) {
+    if (Sampled++ % 5 != 0)
+      continue;
+    std::string Source;
+    ASSERT_TRUE(loadCorpusSource(Entry, Source)) << Entry.FileName;
+    expectReprsAgree(Source, Entry.FileName, ModelKind::CommonInitialSeq,
+                     DeltaEngine, /*Certify=*/true);
+  }
+}
+
+TEST(PtsReprEquivalence, GeneratedProgramsUnderAllModels) {
+  GeneratorConfig Config;
+  Config.Seed = 21;
+  Config.NumStructs = 5;
+  Config.FieldsPerStruct = 8;
+  Config.NumStructVars = 10;
+  Config.NumInts = 8;
+  Config.NumPtrVars = 8;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 30;
+  Config.FieldFanPercent = 40;
+  Config.UseHeap = true;
+  for (ModelKind Kind :
+       {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+        ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    for (uint64_t Seed : {21ull, 84ull}) {
+      Config.Seed = Seed;
+      std::string Source = generateProgram(Config);
+      expectReprsAgree(Source, "field-fan seed " + std::to_string(Seed),
+                       Kind, SccEngine, /*Certify=*/true);
+    }
+  }
+}
+
+TEST(PtsReprEquivalence, CallCycleWorkloadCollapsesIdentically) {
+  // SCC collapse merges facts sets mid-solve (collapseCycle re-binds the
+  // representative's set); the copy-ring + call-cycle workload makes
+  // that path hot for every representation.
+  GeneratorConfig Config;
+  Config.Seed = 55;
+  Config.NumStructVars = 8;
+  Config.NumInts = 12;
+  Config.NumPtrVars = 8;
+  Config.NumFunctions = 3;
+  Config.StmtsPerFunction = 40;
+  Config.CopyRingPercent = 50;
+  Config.NumCallCycleFuncs = 6;
+  std::string Source = generateProgram(Config);
+  expectReprsAgree(Source, "call cycles", ModelKind::CommonInitialSeq,
+                   SccEngine, /*Certify=*/true);
+}

@@ -1,0 +1,289 @@
+//===--- PtsReprPropertyTest.cpp - Set representations vs oracle ----------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference.)
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded randomized property tests of the four points-to set
+/// representations against a std::set oracle: every representation must
+/// agree with the oracle on each insert/erase/contains return value, on
+/// ascending-id iteration, on insertAll's new-element count, and — the
+/// contract the delta-propagation machinery leans on — on the exact
+/// change-log suffix insertAll appends, bit-identically across
+/// representations. Plus directed edge cases: the Small spill boundary,
+/// bitmap run splits, and offsets ordinals past the 32-bit entry mask.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pta/PtsSet.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace spa;
+
+namespace {
+
+constexpr PtsRepr AllReprs[4] = {PtsRepr::Sorted, PtsRepr::Small,
+                                 PtsRepr::Bitmap, PtsRepr::Offsets};
+
+/// The workload generator's xorshift64*, so sequences are stable across
+/// platforms and reruns.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  unsigned below(unsigned Bound) {
+    return Bound == 0 ? 0 : static_cast<unsigned>(next() % Bound);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// A node universe with the shapes each representation must handle:
+/// object 0 materializes 40 nodes (ordinals past the offsets entry's
+/// 32-bit mask, forcing the HighOrds overflow path), the others a
+/// handful each (the common case).
+struct Universe {
+  NodeStore Store;
+  std::vector<NodeId> Nodes;
+
+  Universe() {
+    for (unsigned Obj = 0; Obj < 8; ++Obj) {
+      unsigned N = Obj == 0 ? 40 : 1 + Obj;
+      for (unsigned K = 0; K < N; ++K)
+        Nodes.push_back(Store.getNode(ObjectId(Obj), K));
+    }
+  }
+};
+
+void expectMatchesOracle(const PtsSet &S, const std::set<NodeId> &Oracle,
+                         const char *Label) {
+  ASSERT_EQ(S.size(), Oracle.size()) << Label;
+  EXPECT_EQ(S.empty(), Oracle.empty()) << Label;
+  auto It = Oracle.begin();
+  for (NodeId V : S)
+    EXPECT_EQ(V, *It++) << Label;
+}
+
+/// A random set over \p U with roughly \p Target members, mirrored into
+/// \p Oracle.
+PtsSet randomSet(PtsRepr R, Universe &U, Rng &Rand, unsigned Target,
+                 std::set<NodeId> &Oracle) {
+  PtsSet S(R, &U.Store);
+  for (unsigned I = 0; I < Target; ++I) {
+    NodeId V = U.Nodes[Rand.below(static_cast<unsigned>(U.Nodes.size()))];
+    S.insert(V);
+    Oracle.insert(V);
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(PtsReprProperty, RandomOpsMatchOracle) {
+  for (uint64_t Seed : {1ull, 7ull, 99ull, 424242ull}) {
+    Universe U;
+    for (PtsRepr R : AllReprs) {
+      const char *Label = ptsReprName(R);
+      Rng Rand(Seed);
+      PtsSet S(R, &U.Store);
+      ASSERT_EQ(S.repr(), R);
+      std::set<NodeId> Oracle;
+      for (int Op = 0; Op < 3000; ++Op) {
+        NodeId V =
+            U.Nodes[Rand.below(static_cast<unsigned>(U.Nodes.size()))];
+        switch (Rand.below(4)) {
+        case 0:
+        case 1:
+          EXPECT_EQ(S.insert(V), Oracle.insert(V).second) << Label;
+          break;
+        case 2:
+          EXPECT_EQ(S.contains(V), Oracle.count(V) == 1) << Label;
+          break;
+        default:
+          EXPECT_EQ(S.erase(V), Oracle.erase(V) == 1) << Label;
+          break;
+        }
+        if (Op % 97 == 0)
+          expectMatchesOracle(S, Oracle, Label);
+      }
+      expectMatchesOracle(S, Oracle, Label);
+    }
+  }
+}
+
+TEST(PtsReprProperty, InsertAllLogIsReprIndependent) {
+  // For every (destination repr, source repr) pair — the solver produces
+  // same-repr pairs, the fast paths; mixed pairs pin the generic
+  // fallback — insertAll must report the same new-element count and
+  // append the same ascending-id log suffix as the Sorted/Sorted
+  // baseline, and land on the same set.
+  for (uint64_t Seed : {3ull, 11ull, 2026ull}) {
+    for (PtsRepr RA : AllReprs) {
+      for (PtsRepr RB : AllReprs) {
+        Universe U;
+        Rng Rand(Seed);
+        std::set<NodeId> OA, OB;
+        PtsSet A = randomSet(RA, U, Rand, 60, OA);
+        PtsSet B = randomSet(RB, U, Rand, 60, OB);
+        PtsSet RefA(PtsRepr::Sorted, &U.Store);
+        PtsSet RefB(PtsRepr::Sorted, &U.Store);
+        for (NodeId V : OA)
+          RefA.insert(V);
+        for (NodeId V : OB)
+          RefB.insert(V);
+
+        std::vector<NodeId> Log{NodeId(0)}, RefLog{NodeId(0)};
+        size_t New = A.insertAll(B, &Log);
+        size_t RefNew = RefA.insertAll(RefB, &RefLog);
+        std::string Label = std::string(ptsReprName(RA)) + " <- " +
+                            ptsReprName(RB);
+        EXPECT_EQ(New, RefNew) << Label;
+        EXPECT_EQ(Log, RefLog) << Label;
+        EXPECT_TRUE(A == RefA) << Label;
+        EXPECT_TRUE(A.containsAll(B)) << Label;
+        EXPECT_TRUE(A.containsAll(RefB)) << Label;
+        // Idempotent re-join: nothing new, nothing logged.
+        EXPECT_EQ(A.insertAll(B, &Log), 0u) << Label;
+        EXPECT_EQ(Log, RefLog) << Label;
+      }
+    }
+  }
+}
+
+TEST(PtsReprProperty, ContainsAllMatchesOracle) {
+  for (uint64_t Seed : {5ull, 17ull}) {
+    for (PtsRepr RA : AllReprs) {
+      for (PtsRepr RB : AllReprs) {
+        Universe U;
+        Rng Rand(Seed);
+        std::set<NodeId> OA, OB;
+        PtsSet A = randomSet(RA, U, Rand, 80, OA);
+        PtsSet B = randomSet(RB, U, Rand, 20, OB);
+        bool Expected = true;
+        for (NodeId V : OB)
+          Expected = Expected && OA.count(V) == 1;
+        std::string Label = std::string(ptsReprName(RA)) + " ? " +
+                            ptsReprName(RB);
+        EXPECT_EQ(A.containsAll(B), Expected) << Label;
+        // Supersets always hold; empty sets are subsets of anything.
+        A.insertAll(B);
+        EXPECT_TRUE(A.containsAll(B)) << Label;
+        PtsSet Empty(RB, &U.Store);
+        EXPECT_TRUE(A.containsAll(Empty)) << Label;
+      }
+    }
+  }
+}
+
+TEST(PtsReprProperty, SmallSpillBoundary) {
+  Universe U;
+  PtsSet S(PtsRepr::Small, &U.Store);
+  // Walk insertion counts across the inline capacity: the spill must be
+  // invisible to every query.
+  std::set<NodeId> Oracle;
+  for (unsigned I = 0; I < PtsSet::SmallCap + 4; ++I) {
+    // Descending insertion order, so inline storage shifts on every
+    // insert.
+    NodeId V = U.Nodes[U.Nodes.size() - 1 - 2 * I];
+    EXPECT_TRUE(S.insert(V));
+    EXPECT_FALSE(S.insert(V));
+    Oracle.insert(V);
+    expectMatchesOracle(S, Oracle, "small spill");
+  }
+  for (NodeId V : std::vector<NodeId>(Oracle.begin(), Oracle.end())) {
+    EXPECT_TRUE(S.erase(V));
+    Oracle.erase(V);
+    expectMatchesOracle(S, Oracle, "small after spill");
+  }
+}
+
+TEST(PtsReprProperty, BitmapRunFormationAndSplit) {
+  Universe U;
+  PtsSet S(PtsRepr::Bitmap, &U.Store);
+  // Inserting the whole universe in creation order makes the intern
+  // index space dense, so the bitmap collapses into all-ones runs.
+  std::set<NodeId> Oracle;
+  for (NodeId V : U.Nodes) {
+    S.insert(V);
+    Oracle.insert(V);
+  }
+  expectMatchesOracle(S, Oracle, "bitmap dense");
+  // Erasing interior members splits runs back into partial words.
+  for (unsigned I = 1; I < U.Nodes.size(); I += 7) {
+    EXPECT_TRUE(S.erase(U.Nodes[I]));
+    Oracle.erase(U.Nodes[I]);
+  }
+  expectMatchesOracle(S, Oracle, "bitmap split");
+  for (unsigned I = 0; I < U.Nodes.size(); ++I)
+    EXPECT_EQ(S.contains(U.Nodes[I]), Oracle.count(U.Nodes[I]) == 1);
+  // Membership queries on ids never interned must not grow the shared
+  // table (contains uses find(), not intern()).
+  NodeStore Fresh;
+  PtsSet T(PtsRepr::Bitmap, &Fresh);
+  size_t Before = Fresh.ptsInterner().size();
+  EXPECT_FALSE(T.contains(U.Nodes[0]));
+  EXPECT_EQ(Fresh.ptsInterner().size(), Before);
+}
+
+TEST(PtsReprProperty, OffsetsHighOrdinalOverflow) {
+  Universe U;
+  // Object 0 has 40 nodes; ordinals 32..39 live in the HighOrds side
+  // table, 0..31 in the entry mask. Mix both, plus other objects.
+  PtsSet S(PtsRepr::Offsets, &U.Store);
+  std::set<NodeId> Oracle;
+  const std::vector<NodeId> &Wide = U.Store.nodesOfObject(ObjectId(0));
+  ASSERT_EQ(Wide.size(), 40u);
+  for (unsigned I = 0; I < Wide.size(); I += 3) {
+    EXPECT_TRUE(S.insert(Wide[I]));
+    Oracle.insert(Wide[I]);
+  }
+  for (unsigned Obj = 1; Obj < 8; ++Obj) {
+    NodeId V = U.Store.nodesOfObject(ObjectId(Obj)).front();
+    S.insert(V);
+    Oracle.insert(V);
+  }
+  expectMatchesOracle(S, Oracle, "offsets high ordinals");
+  EXPECT_TRUE(S.contains(Wide[36]));
+  EXPECT_FALSE(S.contains(Wide[37]));
+  EXPECT_TRUE(S.erase(Wide[36]));
+  EXPECT_FALSE(S.erase(Wide[36]));
+  Oracle.erase(Wide[36]);
+  expectMatchesOracle(S, Oracle, "offsets high erase");
+  // Merge a second set that only differs in high ordinals (34 and 38
+  // are not multiples of 3, so S does not hold them yet).
+  PtsSet B(PtsRepr::Offsets, &U.Store);
+  B.insert(Wide[34]);
+  B.insert(Wide[38]);
+  std::vector<NodeId> Log;
+  EXPECT_EQ(S.insertAll(B, &Log), 2u);
+  EXPECT_EQ(Log, (std::vector<NodeId>{Wide[34], Wide[38]}));
+  EXPECT_TRUE(S.containsAll(B));
+}
+
+TEST(PtsReprProperty, AdoptReprConvertsExistingMembers) {
+  // factsOf adopts while sets are empty, but adoption of a populated set
+  // must still preserve membership (the documented element-wise path).
+  Universe U;
+  for (PtsRepr From : AllReprs) {
+    for (PtsRepr To : AllReprs) {
+      Rng Rand(13);
+      std::set<NodeId> Oracle;
+      PtsSet S = randomSet(From, U, Rand, 30, Oracle);
+      S.adoptRepr(To, &U.Store);
+      EXPECT_EQ(S.repr(), To);
+      expectMatchesOracle(S, Oracle, "adopt");
+    }
+  }
+}

@@ -41,6 +41,24 @@ for f in corpus/*.c; do
   done
 done
 
+echo "== certify: corpus x engines x compressed pts representations =="
+# The compressed points-to set representations must reach the same
+# certified fixpoint as the sorted baseline (covered by the sweep above)
+# on every corpus program and engine. The distinct-offsets model gives
+# field nodes their own per-object ordinals — the shape that exercises
+# every representation's encoding hardest.
+for f in corpus/*.c; do
+  for engine in naive worklist delta scc; do
+    for repr in small bitmap offsets; do
+      ./build/tools/spa_cli "$f" --certify --engine="$engine" \
+        --model=off --pts="$repr" >/dev/null || {
+        echo "pts certify failed: $f --engine=$engine --pts=$repr" >&2
+        exit 1
+      }
+    done
+  done
+done
+
 echo "== mutation smoke: seeded faults must be caught =="
 # The certifier's detection power: hundreds of seeded fact deletions and
 # insertions, all of which must be flagged with zero clean-run false

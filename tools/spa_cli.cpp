@@ -87,6 +87,7 @@ struct CliOptions {
   /// Set iff --engine= was given; wins over the deprecated aliases.
   bool EngineSet = false;
   EngineKind Engine = EngineKind::Naive;
+  PtsRepr PointsTo = PtsRepr::Sorted;
   bool Worklist = false; ///< deprecated --worklist alias
   bool NoDelta = false;  ///< deprecated --no-delta alias
   bool ShowHelp = false;
@@ -140,6 +141,8 @@ const char *const ModelValues[] = {"ca", "coc", "cis", "off", nullptr};
 const char *const TargetValues[] = {"ilp32", "lp64", "padded32", nullptr};
 const char *const EngineValues[] = {"naive", "worklist", "delta", "scc",
                                     nullptr};
+const char *const PtsValues[] = {"sorted", "small", "bitmap", "offsets",
+                                 nullptr};
 
 /// The one table every suggestion comes from: each option's spelling plus
 /// (for enumerated options) its value list, so both a mistyped flag and a
@@ -155,7 +158,8 @@ const OptionSpec KnownOptions[] = {
     {"--edges", nullptr},        {"--dot", nullptr},
     {"--stmts", nullptr},        {"--stride", nullptr},
     {"--unknown", nullptr},      {"--engine", EngineValues},
-    {"--worklist", nullptr},     {"--no-delta", nullptr},
+    {"--pts", PtsValues},        {"--worklist", nullptr},
+    {"--no-delta", nullptr},
     {"--max-iterations", nullptr}, {"--stats-json", nullptr},
     {"--check", nullptr},        {"--sarif", nullptr},
     {"--certify", nullptr},      {"--verify-ir", nullptr},
@@ -282,6 +286,20 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
         return false;
       }
       Opts.EngineSet = true;
+    } else if (Arg.rfind("--pts=", 0) == 0) {
+      std::string R = Arg.substr(6);
+      if (R == "sorted")
+        Opts.PointsTo = PtsRepr::Sorted;
+      else if (R == "small")
+        Opts.PointsTo = PtsRepr::Small;
+      else if (R == "bitmap")
+        Opts.PointsTo = PtsRepr::Bitmap;
+      else if (R == "offsets")
+        Opts.PointsTo = PtsRepr::Offsets;
+      else {
+        badValue("--pts", "points-to representation", R);
+        return false;
+      }
     } else if (Arg == "--worklist") {
       std::fprintf(stderr, "warning: --worklist is deprecated; use "
                            "--engine=delta\n");
@@ -376,6 +394,9 @@ void usage(const char *Prog) {
       "  --unknown                track corrupted pointers as Unknown\n"
       "  --engine=E               solver engine: naive (default), worklist,\n"
       "                           delta, scc (all compute the same fixpoint)\n"
+      "  --pts=R                  points-to set storage: sorted (default),\n"
+      "                           small, bitmap, offsets (same fixpoint;\n"
+      "                           time/memory trade-off, see docs/INTERNALS.md)\n"
       "  --worklist               deprecated alias for --engine=delta\n"
       "  --no-delta               deprecated: with --worklist, --engine=worklist\n"
       "  --max-iterations=N       solver iteration budget (exit 3 if exceeded)\n"
@@ -440,6 +461,7 @@ int main(int argc, char **argv) {
   AOpts.Solver.UseWorklist = Engine != EngineKind::Naive;
   AOpts.Solver.DeltaPropagation = Engine != EngineKind::Worklist;
   AOpts.Solver.CycleElimination = Engine == EngineKind::Scc;
+  AOpts.Solver.PointsTo = Opts.PointsTo;
   AOpts.Solver.Diags = &Diags;
   if (Opts.MaxIterations)
     AOpts.Solver.MaxIterations = Opts.MaxIterations;
@@ -580,6 +602,7 @@ int main(int argc, char **argv) {
   std::printf("nodes:               %zu\n", RS.Nodes);
   std::printf("points-to edges:     %llu\n", (unsigned long long)RS.Edges);
   std::printf("solver engine:       %s\n", engineName(Engine));
+  std::printf("pts representation:  %s\n", ptsReprName(Opts.PointsTo));
   if (Engine != EngineKind::Naive) {
     std::printf("worklist pops:       %llu (high water %zu)\n",
                 (unsigned long long)RS.Pops, RS.WorklistHighWater);

@@ -21,7 +21,10 @@
 /// carries the points-to representation matrix ("pts_matrix"): solve
 /// time x memory for every --pts= representation under the delta and scc
 /// engines at size classes 24/32/48, the data behind the representation
-/// guidance in docs/INTERNALS.md.
+/// guidance in docs/INTERNALS.md. A second matrix ("hvn_matrix") compares
+/// --preprocess=none vs hvn on the cycle-heavy workload under the delta
+/// and scc engines, recording offline merge counts and pass time next to
+/// the solve time.
 ///
 /// `--smoke` skips google-benchmark entirely: it solves the smallest size
 /// class of both workloads with all four engines and exits non-zero
@@ -31,6 +34,9 @@
 /// baseline on a mid-size seed workload and fails if any representation
 /// changes the solution, fails certification, regresses solve time more
 /// than 1.5x, or uses more points-to storage than the sorted baseline.
+/// Finally it gates --preprocess=hvn on the cycle-heavy workload: the
+/// pass must merge nodes, preserve the certified solution, and not slow
+/// the solve down.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -158,7 +164,8 @@ void parseOnlyBenchmark(benchmark::State &State) {
 /// run (labelled \p Label).
 RunTelemetry headToHeadRun(const std::string &Source,
                            const std::string &Label, int Engine, int Reps,
-                           PtsRepr Repr = PtsRepr::Sorted) {
+                           PtsRepr Repr = PtsRepr::Sorted,
+                           PreprocessKind Preprocess = PreprocessKind::None) {
   RunTelemetry Best;
   for (int R = 0; R < Reps; ++R) {
     DiagnosticEngine Diags;
@@ -171,6 +178,7 @@ RunTelemetry headToHeadRun(const std::string &Source,
     Opts.Model = ModelKind::CommonInitialSeq;
     Opts.Solver = engineOptions(Engine);
     Opts.Solver.PointsTo = Repr;
+    Opts.Solver.Preprocess = Preprocess;
     Analysis A(P->Prog, Opts);
     A.run();
     RunTelemetry T =
@@ -179,6 +187,52 @@ RunTelemetry headToHeadRun(const std::string &Source,
       Best = T;
   }
   return Best;
+}
+
+/// The offline-preprocessing matrix: --preprocess=none vs hvn under the
+/// delta and scc engines on the cycle-heavy workload (the shape the pass
+/// targets: copy rings are offline-visible cycles). One JSON object per
+/// cell, appended to the scaling document as "hvn_matrix".
+std::string runHvnMatrix() {
+  std::string Json = "\"hvn_matrix\":[";
+  bool First = true;
+  std::printf("\noffline hvn matrix (cycle-heavy, best of 3, "
+              "CommonInitSeq):\n");
+  for (int Size : {8, 16}) {
+    std::string Source = cycleHeavySource(Size);
+    for (int Engine : {2, 3}) {
+      for (PreprocessKind Pre : {PreprocessKind::None, PreprocessKind::Hvn}) {
+        const char *PreName = Pre == PreprocessKind::Hvn ? "hvn" : "none";
+        RunTelemetry T =
+            headToHeadRun(Source, "hvn/size:" + std::to_string(Size),
+                          Engine, 3, PtsRepr::Sorted, Pre);
+        const SolverRunStats &RS = T.Solver;
+        if (!First)
+          Json += ",";
+        First = false;
+        char Buf[320];
+        std::snprintf(
+            Buf, sizeof(Buf),
+            "{\"size\":%d,\"engine\":\"%s\",\"preprocess\":\"%s\","
+            "\"solve_seconds\":%.6f,\"offline_ms\":%.3f,"
+            "\"nodes_merged_offline\":%llu,\"nodes_merged_online\":%llu,"
+            "\"edges\":%llu,\"converged\":%s}",
+            Size, EngineLabel[Engine], PreName, RS.SolveSeconds,
+            RS.OfflineSeconds * 1e3,
+            (unsigned long long)RS.NodesMergedOffline,
+            (unsigned long long)RS.NodesMergedOnline,
+            (unsigned long long)RS.Edges, RS.Converged ? "true" : "false");
+        Json += Buf;
+        std::printf("  size %2d  %-14s %-4s solve %8.3f ms  offline "
+                    "%6.3f ms  merged %llu\n",
+                    Size, EngineLabel[Engine], PreName,
+                    RS.SolveSeconds * 1e3, RS.OfflineSeconds * 1e3,
+                    (unsigned long long)RS.NodesMergedOffline);
+      }
+    }
+  }
+  Json += "]";
+  return Json;
 }
 
 /// The points-to representation matrix: every --pts= representation under
@@ -289,6 +343,8 @@ void writeHeadToHead(const std::string &Path) {
   Json += stripNewline(telemetryToJson(CycScc));
   Json += "],";
   Json += runPtsMatrix();
+  Json += ",";
+  Json += runHvnMatrix();
   Json += "}\n";
 
   std::ofstream Out(Path);
@@ -310,16 +366,19 @@ void writeHeadToHead(const std::string &Path) {
               CycScc.Solver.SolveSeconds * 1e3, SpeedupScc,
               (unsigned long long)CycScc.Solver.SccSweeps,
               (unsigned long long)CycScc.Solver.SccsCollapsed,
-              (unsigned long long)CycScc.Solver.NodesMerged, Path.c_str());
+              (unsigned long long)CycScc.Solver.NodesMergedOnline,
+              Path.c_str());
 }
 
 int runReprSmoke();
+int runHvnSmoke();
 
 /// `--smoke`: the CI guard. Solves the smallest size class of both
 /// workloads with all four engines; fails (exit 1) on non-convergence,
 /// any edge-count disagreement between engines, a failed certification,
 /// or certifier overhead of 3x the solve time or more. Then runs the
-/// points-to representation gates (runReprSmoke).
+/// points-to representation gates (runReprSmoke) and the offline
+/// preprocessing gates (runHvnSmoke).
 int runSmoke() {
   int Failures = 0;
   const struct {
@@ -410,7 +469,88 @@ int runSmoke() {
     }
   }
   Failures += runReprSmoke();
+  Failures += runHvnSmoke();
   return Failures ? 1 : 0;
+}
+
+/// `--smoke`, part three: the offline preprocessing gates. On the
+/// cycle-heavy workload (copy rings are exactly the offline-visible
+/// cycles hvn collapses) the pass must merge nodes, reach the identical
+/// certified fixpoint, and not make the solve slower than the
+/// unpreprocessed baseline (best of 5 each, so the comparison measures
+/// the smaller graph, not scheduler noise).
+int runHvnSmoke() {
+  constexpr int HvnSmokeSize = 12;
+  int Failures = 0;
+  std::string Source = cycleHeavySource(HvnSmokeSize);
+  struct PreResult {
+    uint64_t Edges = 0;
+    uint64_t MergedOffline = 0;
+    bool Certified = false;
+    double SolveSeconds = 0;
+    double OfflineSeconds = 0;
+  } Res[2];
+  for (int Pre = 0; Pre < 2; ++Pre) {
+    for (int Rep = 0; Rep < 5; ++Rep) {
+      DiagnosticEngine Diags;
+      auto P = CompiledProgram::fromSource(Source, Diags);
+      if (!P) {
+        std::fprintf(stderr, "FAIL hvn-smoke: workload failed to compile\n");
+        return 1;
+      }
+      AnalysisOptions Opts;
+      Opts.Model = ModelKind::CommonInitialSeq;
+      Opts.Solver = engineOptions(2);
+      Opts.Solver.Preprocess =
+          Pre ? PreprocessKind::Hvn : PreprocessKind::None;
+      Analysis A(P->Prog, Opts);
+      A.run();
+      const SolverRunStats &RS = A.solver().runStats();
+      if (Rep == 0 || RS.SolveSeconds < Res[Pre].SolveSeconds) {
+        Res[Pre].SolveSeconds = RS.SolveSeconds;
+        Res[Pre].OfflineSeconds = RS.OfflineSeconds;
+        Res[Pre].Edges = A.solver().numEdges();
+        Res[Pre].MergedOffline = RS.NodesMergedOffline;
+        Res[Pre].Certified =
+            RS.Converged && certifySolution(A.solver()).ok();
+      }
+    }
+  }
+  for (int Pre = 0; Pre < 2; ++Pre)
+    if (!Res[Pre].Certified) {
+      std::fprintf(stderr, "FAIL hvn-smoke/%s: did not certify\n",
+                   Pre ? "hvn" : "none");
+      ++Failures;
+    }
+  if (Res[1].Edges != Res[0].Edges) {
+    std::fprintf(stderr,
+                 "FAIL hvn-smoke: hvn changed the solution "
+                 "(%llu edges vs %llu without preprocessing)\n",
+                 (unsigned long long)Res[1].Edges,
+                 (unsigned long long)Res[0].Edges);
+    ++Failures;
+  }
+  if (Res[1].MergedOffline == 0) {
+    std::fprintf(stderr, "FAIL hvn-smoke: no nodes merged on the "
+                         "cycle-heavy workload\n");
+    ++Failures;
+  }
+  if (Res[1].SolveSeconds > Res[0].SolveSeconds) {
+    std::fprintf(stderr,
+                 "FAIL hvn-smoke: hvn solve slower than baseline "
+                 "(%.3f ms vs %.3f ms)\n",
+                 Res[1].SolveSeconds * 1e3, Res[0].SolveSeconds * 1e3);
+    ++Failures;
+  }
+  if (!Failures)
+    std::printf("ok hvn-smoke: certified, %llu edges, %llu nodes merged "
+                "offline, solve %.3f ms vs %.3f ms baseline "
+                "(offline %.3f ms)\n",
+                (unsigned long long)Res[1].Edges,
+                (unsigned long long)Res[1].MergedOffline,
+                Res[1].SolveSeconds * 1e3, Res[0].SolveSeconds * 1e3,
+                Res[1].OfflineSeconds * 1e3);
+  return Failures;
 }
 
 /// `--smoke`, part two: the points-to representation gates. Each

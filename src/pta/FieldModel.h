@@ -112,6 +112,15 @@ public:
     return false;
   }
 
+  /// True when resolve's pair list depends on the store's materialized
+  /// nodes (the Offsets instance enumerates the source object's
+  /// materialized offsets): the list grows monotonically as nodes appear,
+  /// so a consumer that needs the *complete* list — the offline HVN
+  /// pass's value numbering — must treat destinations fed from objects
+  /// that can still grow conservatively. The pure instances (pair lists
+  /// are functions of the types alone) return false.
+  virtual bool resolveDependsOnMaterialization() const { return false; }
+
   /// For reporting: how many concrete fields one node of \p Obj stands
   /// for (used to expand Collapse Always sets when comparing set sizes,
   /// exactly as the paper does for its Figure 4).

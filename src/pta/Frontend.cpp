@@ -8,6 +8,7 @@
 
 #include "cfront/Parser.h"
 #include "norm/Normalizer.h"
+#include "pta/Offline.h"
 
 #include <fstream>
 #include <sstream>
@@ -45,4 +46,13 @@ CompiledProgram::fromFile(const std::string &Path, DiagnosticEngine &Diags,
 Analysis::Analysis(NormProgram &Prog, AnalysisOptions Options)
     : Opts(std::move(Options)), Layout(Prog.Types, Opts.Target),
       Model(makeFieldModel(Opts.Model, Prog, Layout)),
-      TheSolver(Prog, *Model, Opts.Solver) {}
+      TheSolver(Prog, *Model, Opts.Solver), Prog(Prog) {}
+
+void Analysis::run() {
+  if (Opts.Solver.Preprocess == PreprocessKind::Hvn && !Preprocessed) {
+    OfflineResult R = runOfflineHvn(Prog, *Model, Opts.Solver);
+    TheSolver.seedOfflineMerges(std::move(R.NodeMap), R.Seconds);
+    Preprocessed = true;
+  }
+  TheSolver.solve();
+}

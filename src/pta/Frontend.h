@@ -73,8 +73,9 @@ class Analysis {
 public:
   Analysis(NormProgram &Prog, AnalysisOptions Opts = {});
 
-  /// Runs the solver to fixpoint.
-  void run() { TheSolver.solve(); }
+  /// Runs the solver to fixpoint. With --preprocess=hvn the offline pass
+  /// runs first (once per Analysis; re-running reuses the seeded merges).
+  void run();
 
   Solver &solver() { return TheSolver; }
   FieldModel &model() { return *Model; }
@@ -91,6 +92,8 @@ private:
   LayoutEngine Layout;
   std::unique_ptr<FieldModel> Model;
   Solver TheSolver;
+  NormProgram &Prog;
+  bool Preprocessed = false;
 };
 
 } // namespace spa

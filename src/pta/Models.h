@@ -142,6 +142,7 @@ public:
   void allNodesOfObject(ObjectId Obj, std::vector<NodeId> &Out) override;
   std::string nodeSuffix(NodeId Node) const override;
   bool targetInsideArray(NodeId Target) const override;
+  bool resolveDependsOnMaterialization() const override { return true; }
 
 private:
   mutable FlattenCache Flats;

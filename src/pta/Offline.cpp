@@ -1,0 +1,411 @@
+//===--- Offline.cpp ------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Offline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+using namespace spa;
+
+namespace {
+
+/// Iterative Tarjan frame (the corpus has copy chains deep enough to
+/// overflow a recursive formulation).
+struct DfsFrame {
+  uint32_t Node;
+  uint32_t Edge; ///< next successor index to visit (into the CSR list)
+};
+
+/// One offline pass over a normalized program. The statement scan mirrors
+/// the solver's unconditional first-visit work exactly — same normalize
+/// and resolve calls, same gating — so the pass materializes precisely the
+/// nodes the solver would on its first sweep and the fixpoint node
+/// universe of a preprocessed run matches its unpreprocessed twin.
+class HvnPass {
+public:
+  HvnPass(const NormProgram &Prog, FieldModel &Model,
+          const SolverOptions &Opts)
+      : Prog(Prog), Model(Model), Opts(Opts) {}
+
+  OfflineResult run() {
+    auto Start = std::chrono::steady_clock::now();
+    // The scan calls the model's own normalize/resolve, which count toward
+    // the Figure-3 statistics; snapshot/restore keeps the run's reported
+    // counters those of the solve alone (same pattern as the certifier).
+    ModelStats Saved = Model.snapshotStats();
+    IndirectObj.assign(Prog.Objects.size(), 0);
+    Exposed.assign(Prog.Objects.size(), 0);
+    // Iterate to the static materialization closure: a resolve can
+    // materialize nodes that enlarge the pair lists of statements already
+    // scanned (Offsets cascades), so rescan until the node universe stops
+    // growing — the edge set of the final pass is then what every solve's
+    // first full sweep is guaranteed to join. Pure models stabilize after
+    // one repeat.
+    for (;;) {
+      size_t Before = Model.nodes().size();
+      Edges.clear();
+      Labels.clear();
+      ObjPairs.clear();
+      scanStatements();
+      if (Model.nodes().size() == Before)
+        break;
+    }
+    finishIndirectMarking();
+    const size_t N = Model.nodes().size();
+    buildAdjacency(N);
+    tarjan(N);
+    valueNumber();
+    Model.restoreStats(Saved);
+    Result.NodesMerged = Result.NodeMap.merges();
+    Result.NodesConsidered = N;
+    Result.Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    return std::move(Result);
+  }
+
+private:
+  NodeId top(ObjectId Obj) { return Model.normalizeLoc(Obj, {}); }
+
+  void markIndirect(ObjectId Obj) {
+    if (Obj.isValid() && Obj.index() < IndirectObj.size())
+      IndirectObj[Obj.index()] = 1;
+  }
+
+  /// Records the joins the solver is guaranteed to perform for a copy of
+  /// declared type \p Tau from \p Src into \p Dst: the model's resolve
+  /// pair lists only ever grow (the delta engine's memoization depends on
+  /// that), so every pair returned now is joined on every solve.
+  void copyEdges(NodeId Dst, NodeId Src, TypeId Tau) {
+    Pairs.clear();
+    Model.resolve(Dst, Src, Tau, Pairs);
+    for (const auto &[D, S] : Pairs)
+      Edges.emplace_back(S.index(), D.index());
+    ObjPairs.emplace_back(Model.nodes().objectOf(Src).index(),
+                          Model.nodes().objectOf(Dst).index());
+  }
+
+  /// A function whose address escapes into the points-to world can be
+  /// invoked through any pointer (indirect calls, the summaries' Callback
+  /// effect), binding arguments the offline graph cannot see.
+  void markFunctionEscape(FuncId F) {
+    if (!F.isValid())
+      return;
+    const NormFunction &Fn = Prog.func(F);
+    for (ObjectId Param : Fn.Params)
+      markIndirect(Param);
+    markIndirect(Fn.VarargsObj);
+  }
+
+  void scanStatements() {
+    for (const NormStmt &S : Prog.Stmts) {
+      switch (S.Op) {
+      case NormOp::AddrOf: {
+        NodeId Dst = top(S.Dst);
+        NodeId Target = Model.normalizeLoc(S.Src, S.Path);
+        Labels.emplace_back(Dst.index(), Target.index());
+        if (S.Src.isValid()) {
+          Exposed[S.Src.index()] = 1;
+          const NormObject &Info = Prog.object(S.Src);
+          if (Info.Kind == ObjectKind::Function)
+            markFunctionEscape(Info.AsFunction);
+        }
+        break;
+      }
+      case NormOp::AddrOfDeref:
+        top(S.Dst);
+        top(S.Src);
+        markIndirect(S.Dst); // receives lookup results of *Src
+        break;
+      case NormOp::Copy:
+        copyEdges(top(S.Dst), Model.normalizeLoc(S.Src, S.Path), S.LhsTy);
+        break;
+      case NormOp::Load:
+        top(S.Dst);
+        top(S.Src);
+        markIndirect(S.Dst); // receives resolve pairs of *Src's targets
+        break;
+      case NormOp::Store:
+        top(S.Src);
+        top(S.Dst);
+        // The written locations are pointees of Dst — address-exposed
+        // objects, all of whose nodes are marked indirect below.
+        break;
+      case NormOp::PtrArith:
+        if (!Opts.HandlePtrArith)
+          break;
+        top(S.Dst);
+        for (ObjectId Operand : S.ArithSrcs)
+          top(Operand);
+        markIndirect(S.Dst); // receives smears (or the Unknown node)
+        break;
+      case NormOp::Call:
+        scanCall(S);
+        break;
+      }
+    }
+  }
+
+  void scanCall(const NormStmt &S) {
+    FuncId Callee = S.DirectCallee;
+    if (!Callee.isValid()) {
+      // Indirect call: the callee set is a fixpoint property. Params of
+      // every address-taken function are already indirect; the caller-side
+      // destinations bound per discovered callee are marked here.
+      if (S.IndirectCallee.isValid())
+        top(S.IndirectCallee);
+      markIndirect(S.RetDst);
+      for (ObjectId Arg : S.Args)
+        markIndirect(Arg); // a summarized callee may mutate arg facts
+      return;
+    }
+    const NormFunction &Fn = Prog.func(Callee);
+    if (!Fn.IsDefined) {
+      // Library summaries write into RetDst, argument pointees (exposed
+      // objects), params of callback targets (escaped functions), and
+      // pseudo-objects created during the solve — everything offline
+      // merging must avoid value-numbering.
+      markIndirect(S.RetDst);
+      for (ObjectId Arg : S.Args)
+        markIndirect(Arg);
+      return;
+    }
+    size_t NumParams = Fn.Params.size();
+    for (size_t I = 0; I < S.Args.size(); ++I) {
+      if (Prog.object(S.Args[I]).Kind == ObjectKind::Constant)
+        continue;
+      if (I < NumParams) {
+        ObjectId Param = Fn.Params[I];
+        copyEdges(top(Param), top(S.Args[I]), Prog.object(Param).Ty);
+      } else if (Fn.VarargsObj.isValid()) {
+        NodeId Va = top(Fn.VarargsObj);
+        // The varargs pool joins every node of the argument object; nodes
+        // materialized later also flow, so the pool stays indirect and
+        // these edges are merely the guaranteed subset.
+        for (NodeId ArgNode : Model.nodes().nodesOfObject(S.Args[I]))
+          Edges.emplace_back(ArgNode.index(), Va.index());
+        markIndirect(Fn.VarargsObj);
+      }
+    }
+    if (S.RetDst.isValid() && Fn.RetObj.isValid())
+      copyEdges(top(S.RetDst), top(Fn.RetObj), Prog.object(S.RetDst).Ty);
+  }
+
+  void finishIndirectMarking() {
+    // Address-exposed objects can be written through pointers (stores,
+    // summary effects), so every node of theirs has defs the offline graph
+    // does not record. Heap, function, and string-literal objects are
+    // exposed by construction — they only ever appear as pointees.
+    for (uint32_t I = 0; I < Prog.Objects.size(); ++I) {
+      ObjectKind K = Prog.Objects[I].Kind;
+      if (K == ObjectKind::Heap || K == ObjectKind::Function ||
+          K == ObjectKind::StringLit || K == ObjectKind::Unknown ||
+          K == ObjectKind::Varargs)
+        Exposed[I] = 1;
+      if (Exposed[I])
+        IndirectObj[I] = 1;
+    }
+    if (!Model.resolveDependsOnMaterialization())
+      return;
+    // Stateful resolve (Offsets): a source object that gains nodes during
+    // the solve — exposed objects via lookups/smears/summaries, plus
+    // anything transitively fed from one (resolve materializes matching
+    // destination offsets) — enlarges its copies' pair lists beyond what
+    // the scan recorded, so those destinations have unrecorded defs.
+    std::vector<uint8_t> Growable = Exposed;
+    for (uint32_t I = 0; I < Prog.Objects.size(); ++I)
+      if (IndirectObj[I])
+        Growable[I] = 1;
+    for (bool Changed = true; Changed;) {
+      Changed = false;
+      for (const auto &[S, D] : ObjPairs)
+        if (Growable[S] && !Growable[D]) {
+          Growable[D] = 1;
+          Changed = true;
+        }
+    }
+    for (const auto &[S, D] : ObjPairs)
+      if (Growable[S])
+        IndirectObj[D] = 1;
+  }
+
+  /// CSR successor/predecessor lists over the copy edges plus per-node
+  /// address-of label lists, built once the node universe is final.
+  void buildAdjacency(size_t N) {
+    auto Csr = [N](const std::vector<std::pair<uint32_t, uint32_t>> &Src,
+                   bool Forward, std::vector<uint32_t> &Start,
+                   std::vector<uint32_t> &List) {
+      Start.assign(N + 1, 0);
+      for (const auto &[A, B] : Src)
+        ++Start[(Forward ? A : B) + 1];
+      for (size_t I = 1; I <= N; ++I)
+        Start[I] += Start[I - 1];
+      List.resize(Src.size());
+      std::vector<uint32_t> Fill(Start.begin(), Start.end() - 1);
+      for (const auto &[A, B] : Src)
+        List[Fill[Forward ? A : B]++] = Forward ? B : A;
+    };
+    Csr(Edges, /*Forward=*/true, SuccStart, SuccList);
+    Csr(Edges, /*Forward=*/false, PredStart, PredList);
+    Csr(Labels, /*Forward=*/true, LabStart, LabList);
+  }
+
+  void tarjan(size_t N) {
+    std::vector<uint32_t> Idx(N, 0), Low(N, 0);
+    std::vector<uint8_t> OnStack(N, 0);
+    std::vector<uint32_t> Stk;
+    std::vector<DfsFrame> Dfs;
+    Comp.assign(N, UINT32_MAX);
+    uint32_t NextIdx = 1; // 0 == unvisited
+    for (uint32_t Root = 0; Root < N; ++Root) {
+      if (Idx[Root])
+        continue;
+      Idx[Root] = Low[Root] = NextIdx++;
+      Stk.push_back(Root);
+      OnStack[Root] = 1;
+      Dfs.push_back({Root, SuccStart[Root]});
+      while (!Dfs.empty()) {
+        DfsFrame &F = Dfs.back();
+        if (F.Edge < SuccStart[F.Node + 1]) {
+          uint32_t W = SuccList[F.Edge++];
+          if (!Idx[W]) {
+            Idx[W] = Low[W] = NextIdx++;
+            Stk.push_back(W);
+            OnStack[W] = 1;
+            Dfs.push_back({W, SuccStart[W]}); // invalidates F; loop re-reads
+          } else if (OnStack[W]) {
+            Low[F.Node] = std::min(Low[F.Node], Idx[W]);
+          }
+          continue;
+        }
+        uint32_t V = F.Node;
+        Dfs.pop_back();
+        if (!Dfs.empty())
+          Low[Dfs.back().Node] = std::min(Low[Dfs.back().Node], Low[V]);
+        if (Low[V] != Idx[V])
+          continue;
+        // One SCC completed; Sccs ends up in reverse topological order of
+        // the condensation (destinations complete before their sources).
+        Sccs.emplace_back();
+        for (;;) {
+          uint32_t W = Stk.back();
+          Stk.pop_back();
+          OnStack[W] = 0;
+          Comp[W] = static_cast<uint32_t>(Sccs.size() - 1);
+          Sccs.back().push_back(W);
+          if (W == V)
+            break;
+        }
+      }
+    }
+  }
+
+  /// HVN value numbering over the condensation, sources first. Two classes
+  /// merge when they provably compute the same set at the least fixpoint:
+  ///  * an SCC's members always merge (mutual inclusion through permanent
+  ///    copy constraints forces set equality — no completeness needed);
+  ///  * a *direct* class (every definition recorded offline) whose only
+  ///    token is one source class adopts that class outright (copy chain);
+  ///  * direct classes with identical token sets — address-of labels plus
+  ///    source value numbers — merge, which also folds duplicate
+  ///    address-of sources and the shared provably-empty class.
+  void valueNumber() {
+    UnionFind<NodeTag> &U = Result.NodeMap;
+    uint64_t NextVN = 1;
+    constexpr uint64_t AddrBit = 1ull << 63;
+    std::vector<uint64_t> CompVN(Sccs.size(), 0);
+    std::map<std::vector<uint64_t>, std::pair<uint64_t, uint32_t>> KeyMap;
+    std::unordered_map<uint64_t, uint32_t> VNRep;
+    std::vector<uint64_t> Tokens;
+    for (size_t SI = Sccs.size(); SI-- > 0;) { // topological: sources first
+      const std::vector<uint32_t> &Members = Sccs[SI];
+      uint32_t CompId = static_cast<uint32_t>(SI);
+      if (Members.size() > 1) {
+        ++Result.SccsCollapsed;
+        for (size_t K = 1; K < Members.size(); ++K)
+          U.unite(NodeId(Members[0]), NodeId(Members[K]));
+      }
+      bool Indirect = false;
+      for (uint32_t V : Members) {
+        uint32_t Obj = Model.nodes().objectOf(NodeId(V)).index();
+        if (Obj < IndirectObj.size() && IndirectObj[Obj]) {
+          Indirect = true;
+          break;
+        }
+      }
+      uint32_t Rep = U.find(NodeId(Members[0])).index();
+      if (Indirect) {
+        CompVN[CompId] = NextVN;
+        VNRep.emplace(NextVN++, Rep);
+        continue;
+      }
+      Tokens.clear();
+      for (uint32_t V : Members) {
+        for (uint32_t L = LabStart[V]; L < LabStart[V + 1]; ++L)
+          Tokens.push_back(AddrBit | LabList[L]); // raw label node id
+        for (uint32_t P = PredStart[V]; P < PredStart[V + 1]; ++P)
+          if (Comp[PredList[P]] != CompId)
+            Tokens.push_back(CompVN[Comp[PredList[P]]]);
+      }
+      std::sort(Tokens.begin(), Tokens.end());
+      Tokens.erase(std::unique(Tokens.begin(), Tokens.end()), Tokens.end());
+      if (Tokens.size() == 1 && !(Tokens[0] & AddrBit)) {
+        // Copy chain: the class's only definition is one source class, so
+        // it holds exactly the source's set — adopt its value number.
+        uint64_t VN = Tokens[0];
+        CompVN[CompId] = VN;
+        U.unite(NodeId(VNRep[VN]), NodeId(Rep));
+        continue;
+      }
+      auto [It, Inserted] =
+          KeyMap.try_emplace(Tokens, std::pair<uint64_t, uint32_t>(0, 0));
+      if (Inserted) {
+        It->second = {NextVN, Rep};
+        CompVN[CompId] = NextVN;
+        VNRep.emplace(NextVN++, Rep);
+      } else {
+        CompVN[CompId] = It->second.first;
+        U.unite(NodeId(It->second.second), NodeId(Rep));
+      }
+    }
+  }
+
+  const NormProgram &Prog;
+  FieldModel &Model;
+  const SolverOptions &Opts;
+  OfflineResult Result;
+
+  /// Guaranteed copy joins as (source node, destination node).
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  /// Address-of facts as (destination node, target node).
+  std::vector<std::pair<uint32_t, uint32_t>> Labels;
+  /// Object-level (source, destination) pairs of the recorded resolve
+  /// calls, for the stateful-resolve growth propagation.
+  std::vector<std::pair<uint32_t, uint32_t>> ObjPairs;
+  /// Objects any of whose nodes can receive facts the offline graph does
+  /// not record (indexed by ObjectId; sized before the scan — objects
+  /// created during the solve are never offline-merged).
+  std::vector<uint8_t> IndirectObj;
+  /// Objects whose address escapes into points-to sets.
+  std::vector<uint8_t> Exposed;
+  std::vector<std::pair<NodeId, NodeId>> Pairs; ///< resolve scratch
+
+  std::vector<uint32_t> SuccStart, SuccList;
+  std::vector<uint32_t> PredStart, PredList;
+  std::vector<uint32_t> LabStart, LabList;
+  std::vector<uint32_t> Comp;              ///< node -> SCC id
+  std::vector<std::vector<uint32_t>> Sccs; ///< completion order
+};
+
+} // namespace
+
+OfflineResult spa::runOfflineHvn(const NormProgram &Prog, FieldModel &Model,
+                                 const SolverOptions &Opts) {
+  return HvnPass(Prog, Model, Opts).run();
+}

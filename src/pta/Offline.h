@@ -1,0 +1,73 @@
+//===--- Offline.h - Offline constraint-graph preprocessing ----*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline HVN-style preprocessing pass (`--preprocess=hvn`): before
+/// the first propagation, detect sets of nodes that provably hold the same
+/// points-to set at the least fixpoint and merge them, so every engine
+/// solves a smaller graph. Three classic merge sources:
+///
+///  * offline copy-edge cycles — nodes on a cycle of guaranteed copy
+///    constraints mutually include each other, so their sets are equal;
+///  * single-source copy chains — a node whose only definition is one copy
+///    edge equals its source;
+///  * duplicate address-of sources — nodes defined by the identical set of
+///    address-of targets (and copy sources) are equal, including the
+///    shared "never written" class of nodes that provably stay empty.
+///
+/// The offline copy graph is built from NormIR with the *model's own*
+/// resolve pairs, so every edge is a join the solver is guaranteed to
+/// perform (resolve pair lists only ever grow, never shrink — the solver's
+/// memoization already depends on that). Nodes whose facts can arrive from
+/// sources the offline graph cannot see — loads, stores through pointers,
+/// pointer arithmetic, indirect or summarized calls, any node of an
+/// address-exposed object — are marked *indirect*: they still merge inside
+/// a cycle (mutual inclusion needs no completeness), but never by value
+/// numbering (which requires knowing every definition).
+///
+/// The result is a node-class union-find handed to
+/// Solver::seedOfflineMerges, which every engine composes with its own
+/// online canonicalization (the scc engine keeps collapsing on top of it).
+/// The pairing validator is the existing verify layer: a preprocessed run
+/// must export the byte-identical edge list and certify against the same
+/// obligations as its unpreprocessed twin (tests/pta/OfflineTest.cpp and
+/// the tools/ci.sh sweeps enforce this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_PTA_OFFLINE_H
+#define SPA_PTA_OFFLINE_H
+
+#include "pta/Solver.h"
+
+namespace spa {
+
+/// Outcome of one offline preprocessing run.
+struct OfflineResult {
+  /// Node equivalence classes (identity when nothing merged). Every class
+  /// member provably has the representative's points-to set at fixpoint.
+  UnionFind<NodeTag> NodeMap;
+  /// Nodes absorbed into another representative (== NodeMap.merges()).
+  uint64_t NodesMerged = 0;
+  /// Offline copy-edge cycles of two or more nodes collapsed.
+  uint64_t SccsCollapsed = 0;
+  /// Nodes materialized and examined by the pass.
+  uint64_t NodesConsidered = 0;
+  /// Wall-clock seconds spent in the pass.
+  double Seconds = 0;
+};
+
+/// Runs the offline HVN pass over \p Prog with \p Model's normalize and
+/// resolve. Materializes exactly the nodes the solver's first visit of
+/// each statement would (so the fixpoint node universe is unchanged) and
+/// leaves the model's Figure-3 counters untouched. \p Opts gates the
+/// statement forms the solver itself gates (e.g. HandlePtrArith).
+OfflineResult runOfflineHvn(const NormProgram &Prog, FieldModel &Model,
+                            const SolverOptions &Opts);
+
+} // namespace spa
+
+#endif // SPA_PTA_OFFLINE_H

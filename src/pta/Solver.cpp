@@ -137,7 +137,9 @@ bool Solver::joinPair(NodeId D, NodeId S) {
     St.Cursor[Key] = static_cast<uint32_t>(End);
     return Changed;
   }
-  if (D == S)
+  // Offline preprocessing pre-merges nodes under every engine, so the
+  // self-join test must compare classes, not raw ids.
+  if (canon(D) == canon(S))
     return false; // joining a set into itself cannot change it
   ++Stats.FullPropagations;
   NodeFacts &Dst = factsOf(D);
@@ -167,17 +169,67 @@ bool Solver::removeEdgeForMutation(NodeId From, NodeId To) {
   if (C.index() >= Facts.size())
     return false;
   NodeFacts &F = Facts[C.index()];
-  if (!F.Set.erase(To))
-    return false;
-  auto It = std::find(F.Log.begin(), F.Log.end(), To);
+  // The stored member may be any node of To's class: facts are inserted
+  // with raw ids, and a collapse (offline or online) after insertion does
+  // not rewrite them. Try the raw id first, then scan for a
+  // canon-equivalent member.
+  NodeId Stored = To;
+  if (!F.Set.erase(Stored)) {
+    if (NodeReps.identity())
+      return false;
+    NodeId CT = canon(To);
+    Stored = NodeId();
+    for (NodeId M : F.Set)
+      if (canon(M) == CT) {
+        Stored = M;
+        break;
+      }
+    if (!Stored.isValid() || !F.Set.erase(Stored))
+      return false;
+  }
+  auto It = std::find(F.Log.begin(), F.Log.end(), Stored);
   if (It != F.Log.end())
     F.Log.erase(It);
+  // Erasing from the log shifts later entries under every delta cursor
+  // into it, and memoized resolve pair lists may still name the fact's
+  // statement pair: drop all incremental per-statement state so a resumed
+  // solve recomputes from scratch instead of replaying stale positions.
+  // Post-convergence (the harness's normal use) the state is already
+  // released and this is a no-op.
+  for (StmtSolveState &St : StmtState) {
+    St.Cursor.clear();
+    St.Resolve.clear();
+    St.SmearCursor.clear();
+  }
   return true;
 }
 
 SourceLoc Solver::freedAt(ObjectId Obj) const {
   auto It = FreedAt.find(Obj);
   return It == FreedAt.end() ? SourceLoc() : It->second;
+}
+
+void Solver::seedOfflineMerges(UnionFind<NodeTag> Map, double Seconds) {
+  NodeReps = std::move(Map);
+  OfflineMergedNodes = NodeReps.merges();
+  OfflineSecondsSpent = Seconds;
+  if (NodeReps.identity())
+    return;
+  // Route each merged node's object through one dependents class, exactly
+  // as an online collapse would splice them: a statement reading any
+  // member node's object must re-queue when the shared set changes. The
+  // dependents lists themselves are still empty here (the solve has not
+  // started), so uniting the classes is the whole job.
+  for (uint32_t I = 0, N = static_cast<uint32_t>(Model.nodes().size());
+       I < N; ++I) {
+    NodeId Rep = NodeReps.find(NodeId(I));
+    if (Rep.index() == I)
+      continue;
+    ObjectId A = Model.nodes().objectOf(NodeId(I));
+    ObjectId B = Model.nodes().objectOf(Rep);
+    if (A != B)
+      DepObjReps.unite(canonObj(A), canonObj(B));
+  }
 }
 
 bool Solver::flowResolve(NodeId Dst, NodeId Src, TypeId Tau) {
@@ -682,7 +734,7 @@ void Solver::collapseCycle(const std::vector<NodeId> &Members) {
   for (NodeId M : Members) {
     if (M == Rep)
       continue;
-    ++Stats.NodesMerged;
+    ++Stats.NodesMergedOnline;
     NodeFacts &MF = Facts.grow(M.index());
     RF.Set.insertAll(MF.Set, &RF.Log);
     MF.Set = PtsSet();
@@ -778,6 +830,8 @@ void Solver::releaseSolveState() {
 
 void Solver::solve() {
   Stats = SolverRunStats();
+  Stats.NodesMergedOffline = OfflineMergedNodes;
+  Stats.OfflineSeconds = OfflineSecondsSpent;
   Events.assign(Prog.DerefSites.size(), SiteEvents());
   Freed = IdSet<ObjectTag>();
   FreedAt.clear();

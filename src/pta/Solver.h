@@ -68,6 +68,14 @@ struct SiteEvents {
   bool EmptyDeref = false;
 };
 
+/// Which offline preprocessing pass runs between normalization and the
+/// solve (src/pta/Offline.h). Orthogonal to the engine flags: every
+/// engine accepts the pre-merged node classes through Solver::canon.
+enum class PreprocessKind : uint8_t {
+  None, ///< solve the raw constraint graph
+  Hvn,  ///< offline HVN-style merging of provably-equivalent nodes
+};
+
 /// Tuning knobs for one solver run.
 struct SolverOptions {
   /// Apply LibrarySummaries to calls of undefined functions.
@@ -118,6 +126,13 @@ struct SolverOptions {
   /// compressed representations trade per-element encoding work for
   /// smaller resident sets on larger programs.
   PtsRepr PointsTo = PtsRepr::Sorted;
+  /// Offline preprocessing before the first propagation. Applied by
+  /// Analysis::run() (the pass needs the model before the solve);
+  /// constructing a bare Solver ignores it unless seedOfflineMerges is
+  /// called explicitly. Any value under any engine/model/representation
+  /// computes the bit-identical fixpoint — enforced by the equivalence
+  /// sweeps in tests and tools/ci.sh.
+  PreprocessKind Preprocess = PreprocessKind::None;
   /// Hard iteration cap (a safety net; real programs converge quickly).
   /// Naive mode: maximum rounds. Worklist mode: the statement-application
   /// budget is MaxIterations * #statements.
@@ -158,9 +173,14 @@ struct SolverRunStats {
   /// @{
   uint64_t SccSweeps = 0;     ///< SCC sweeps over the constraint graph
   uint64_t SccsCollapsed = 0; ///< non-trivial SCCs collapsed into one node
-  uint64_t NodesMerged = 0;   ///< nodes absorbed into a representative
+  uint64_t NodesMergedOnline = 0; ///< nodes absorbed by online collapses
   uint64_t PriorityPops = 0;  ///< pops from the priority worklist
   uint64_t CopyEdges = 0;     ///< distinct copy edges recorded
+  /// @}
+  /// \name Offline preprocessing counters (zero with --preprocess=none).
+  /// @{
+  uint64_t NodesMergedOffline = 0; ///< nodes pre-merged before the solve
+  double OfflineSeconds = 0;       ///< wall-clock seconds of the pass
   /// @}
   /// Worklist modes: estimated bytes of per-statement solver state
   /// (cursors, resolve caches, dependents index) at its high water,
@@ -259,8 +279,30 @@ public:
   /// Removes the fact "From points to To" if present. Exists ONLY for the
   /// mutation self-test harness (tests/verify/), which seeds fact
   /// deletions and asserts the certifier reports the solution unsound.
-  /// Returns true if the fact was present.
+  /// Both endpoints are canonicalized: after any (offline or online)
+  /// collapse the stored member may be any node of To's class. Every
+  /// incremental per-statement structure (delta cursors, resolve caches,
+  /// smear cursors) is invalidated on a successful removal, so a resumed
+  /// solve cannot replay the deleted fact from stale state. Returns true
+  /// if the fact was present.
   bool removeEdgeForMutation(NodeId From, NodeId To);
+  /// @}
+
+  /// \name Offline preprocessing support (src/pta/Offline.h).
+  /// @{
+  /// Installs the offline pass's node equivalence classes. Every engine's
+  /// canon() then resolves through them, and the scc engine's online
+  /// collapses compose on top (same union-find). Also pre-unites the
+  /// dependents classes of the merged nodes' objects so worklist
+  /// registration and re-queuing route through the shared class, exactly
+  /// as an online collapse would splice them. Call before the first
+  /// solve(); \p Seconds is the pass's wall-clock time, reported as
+  /// SolverRunStats::OfflineSeconds.
+  void seedOfflineMerges(UnionFind<NodeTag> Map, double Seconds);
+  /// Class representative of \p Node under the composed offline + online
+  /// merges (identity when nothing merged). Exposed for tests and tools
+  /// that must reason about which nodes share a points-to set.
+  NodeId canonicalNode(NodeId Node) const { return canon(Node); }
   /// @}
 
   NormProgram &program() { return Prog; }
@@ -398,6 +440,11 @@ private:
   /// Heap objects deallocated by a Dealloc library-summary effect.
   IdSet<ObjectTag> Freed;
   std::map<ObjectId, SourceLoc> FreedAt;
+
+  /// Offline preprocessing results (seedOfflineMerges); solve() resets
+  /// Stats, so the counters live here and are copied in afterwards.
+  uint64_t OfflineMergedNodes = 0;
+  double OfflineSecondsSpent = 0;
 
   /// \name Worklist state (active only while solveWorklist runs).
   /// @{

@@ -56,6 +56,10 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.field("stride_arith", T.Options.StrideArith);
   W.field("track_unknown", T.Options.TrackUnknown);
   W.field("pts_repr", std::string(ptsReprName(T.Options.PointsTo)));
+  W.field("preprocess", std::string(T.Options.Preprocess ==
+                                            PreprocessKind::Hvn
+                                        ? "hvn"
+                                        : "none"));
   W.field("max_iterations", uint64_t(T.Options.MaxIterations));
   W.close();
 
@@ -78,7 +82,9 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.field("worklist_high_water", uint64_t(T.Solver.WorklistHighWater));
   W.field("scc_sweeps", T.Solver.SccSweeps);
   W.field("sccs_collapsed", T.Solver.SccsCollapsed);
-  W.field("nodes_merged", T.Solver.NodesMerged);
+  W.field("nodes_merged_online", T.Solver.NodesMergedOnline);
+  W.field("nodes_merged_offline", T.Solver.NodesMergedOffline);
+  W.field("offline_ms", T.Solver.OfflineSeconds * 1000.0);
   W.field("priority_pops", T.Solver.PriorityPops);
   W.field("copy_edges", T.Solver.CopyEdges);
   W.field("bytes_high_water", uint64_t(T.Solver.BytesHighWater));

@@ -114,7 +114,8 @@ TEST(EngineCli, StatsJsonCarriesCycleEliminationKeys) {
   for (const char *Key :
        {"\"cycle_elimination\":true", "\"use_worklist\":true",
         "\"delta_propagation\":true", "\"scc_sweeps\":", "\"sccs_collapsed\":",
-        "\"nodes_merged\":", "\"priority_pops\":", "\"copy_edges\":",
+        "\"nodes_merged_online\":", "\"nodes_merged_offline\":",
+        "\"offline_ms\":", "\"priority_pops\":", "\"copy_edges\":",
         "\"bytes_high_water\":"})
     EXPECT_NE(R.Out.find(Key), std::string::npos) << Key << "\n" << R.Out;
 }
@@ -137,6 +138,42 @@ TEST(EngineCli, PtsReprRejectsUnknownValue) {
       << R.Out;
   EXPECT_NE(R.Out.find("sorted|small|bitmap|offsets"), std::string::npos)
       << R.Out;
+}
+
+TEST(EngineCli, PreprocessRejectsUnknownValueWithSuggestion) {
+  RunResult R = runCli(corpus("li.c") + " --preprocess=hvm");
+  EXPECT_NE(R.Exit, 0);
+  EXPECT_NE(R.Out.find("unknown preprocessing pass 'hvm'"),
+            std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("none|hvn"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("did you mean 'hvn'?"), std::string::npos) << R.Out;
+}
+
+TEST(EngineCli, PreprocessHvnAgreesOnEdgesAndReportsItself) {
+  // The preprocessed run must print the byte-identical edge list and, in
+  // the summary, the offline merge counters; the telemetry JSON must echo
+  // the option and carry the offline keys.
+  RunResult Plain = runCli(corpus("ft.c") + " --engine=delta --edges");
+  EXPECT_EQ(Plain.Exit, 0) << Plain.Out;
+  RunResult Hvn =
+      runCli(corpus("ft.c") + " --engine=delta --edges --preprocess=hvn");
+  EXPECT_EQ(Hvn.Exit, 0) << Hvn.Out;
+  EXPECT_EQ(Plain.Out, Hvn.Out);
+
+  RunResult Summary = runCli(corpus("ft.c") + " --preprocess=hvn");
+  EXPECT_EQ(Summary.Exit, 0) << Summary.Out;
+  EXPECT_NE(Summary.Out.find("offline hvn:"), std::string::npos)
+      << Summary.Out;
+
+  RunResult Json =
+      runCli(corpus("ft.c") + " --preprocess=hvn --stats-json=-");
+  EXPECT_EQ(Json.Exit, 0) << Json.Out;
+  for (const char *Key :
+       {"\"preprocess\":\"hvn\"", "\"nodes_merged_offline\":",
+        "\"offline_ms\":"})
+    EXPECT_NE(Json.Out.find(Key), std::string::npos) << Key << "\n"
+                                                     << Json.Out;
 }
 
 TEST(EngineCli, PtsReprsAgreeOnEdgesAndCertify) {

@@ -1,0 +1,137 @@
+//===--- MutationRemovalTest.cpp - removeEdgeForMutation vs merged nodes --===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference.)
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression tests for Solver::removeEdgeForMutation on runs whose nodes
+/// were merged — by the scc engine's online cycle collapse and by the
+/// offline HVN pass. The original implementation canonicalized the source
+/// but not the target: after a collapse the stored set member can be any
+/// node of the target's class, so a removal that named a different member
+/// silently failed and the mutation harness reported a vacuous "caught".
+/// Each removal must (a) report true, (b) make the certifier flag the
+/// hole, and (c) leave a re-solved run byte-identical to the original.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/VerifyTestUtil.h"
+
+#include "pta/GraphExport.h"
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+/// A three-node copy cycle (a -> b -> c -> a) holding &x, observed
+/// through a double pointer: under the scc engine the cycle collapses,
+/// so pts(p)'s stored member for "a" may be any of the cycle's nodes.
+const char *CycleSource = R"(
+int x;
+int *a, *b, *c;
+int **p;
+int main() {
+  a = &x;
+  a = b; b = c; c = a;
+  p = &a;
+  return 0;
+}
+)";
+
+/// Node of the (whole) object named \p Name, or invalid if absent.
+NodeId nodeOf(Solved &S, const char *Name) {
+  Solver &Solv = S.A->solver();
+  const NormProgram &Prog = S.Program->Prog;
+  for (size_t I = 0; I < Solv.model().nodes().size(); ++I) {
+    NodeId Node(static_cast<uint32_t>(I));
+    ObjectId Obj = Solv.model().nodes().objectOf(Node);
+    if (Prog.objectName(Obj) == Name)
+      return Node;
+  }
+  return NodeId();
+}
+
+void runRemovalRoundTrip(PtsRepr Repr, PreprocessKind Preprocess) {
+  SolverOptions SOpts;
+  SOpts.CycleElimination = true;
+  SOpts.PointsTo = Repr;
+  SOpts.Preprocess = Preprocess;
+  auto S = analyzeWith(CycleSource, ModelKind::CommonInitialSeq, SOpts);
+  ASSERT_TRUE(S.A);
+  Solver &Solv = S.A->solver();
+  ASSERT_TRUE(Solv.runStats().Converged);
+
+  NodeId P = nodeOf(S, "p");
+  NodeId A = nodeOf(S, "a");
+  NodeId B = nodeOf(S, "b");
+  ASSERT_TRUE(P.isValid() && A.isValid() && B.isValid());
+  // The cycle must actually have merged, or the regression is vacuous.
+  ASSERT_EQ(Solv.canonicalNode(A), Solv.canonicalNode(B));
+
+  ExportOptions All;
+  All.IncludeTemps = true;
+  std::string Baseline = exportEdgeList(Solv, All);
+  ASSERT_TRUE(certifySolution(Solv).ok());
+
+  // Remove "p -> a" by naming b: class-equivalent to a, but (depending on
+  // which member the collapse kept) possibly not the stored id. The old
+  // code returned false here whenever the raw id missed.
+  ASSERT_TRUE(Solv.pointsTo(P).contains(A));
+  ASSERT_TRUE(Solv.removeEdgeForMutation(P, B));
+  EXPECT_FALSE(Solv.pointsTo(P).contains(A));
+  CertifyResult Broken = certifySolution(Solv);
+  EXPECT_FALSE(Broken.ok());
+  EXPECT_GT(Broken.Violations, 0u);
+
+  // Removing the same fact again must fail: the first call consumed it.
+  EXPECT_FALSE(Solv.removeEdgeForMutation(P, B));
+  EXPECT_FALSE(Solv.removeEdgeForMutation(P, A));
+
+  // Also punch a hole inside the merged class itself (b -> x lives in the
+  // class's shared set).
+  NodeId X = nodeOf(S, "x");
+  ASSERT_TRUE(X.isValid());
+  ASSERT_TRUE(Solv.removeEdgeForMutation(B, X));
+  EXPECT_FALSE(certifySolution(Solv).ok());
+
+  // Re-solving re-derives both facts from the statements; the repaired
+  // run is byte-identical to the baseline and certifies again.
+  S.A->run();
+  ASSERT_TRUE(Solv.runStats().Converged);
+  EXPECT_EQ(Baseline, exportEdgeList(Solv, All));
+  CertifyResult Repaired = certifySolution(Solv);
+  EXPECT_TRUE(Repaired.ok())
+      << Repaired.Violations << " violations, " << Repaired.FactsUnjustified
+      << " unjustified facts";
+}
+
+TEST(MutationRemoval, CanonEquivalentTargetUnderSccEveryRepr) {
+  for (PtsRepr Repr :
+       {PtsRepr::Sorted, PtsRepr::Small, PtsRepr::Bitmap, PtsRepr::Offsets})
+    runRemovalRoundTrip(Repr, PreprocessKind::None);
+}
+
+TEST(MutationRemoval, CanonEquivalentTargetUnderSccWithHvn) {
+  for (PtsRepr Repr :
+       {PtsRepr::Sorted, PtsRepr::Small, PtsRepr::Bitmap, PtsRepr::Offsets})
+    runRemovalRoundTrip(Repr, PreprocessKind::Hvn);
+}
+
+TEST(MutationRemoval, MissingFactStillReturnsFalse) {
+  SolverOptions SOpts;
+  SOpts.UseWorklist = true;
+  auto S = analyzeWith(CycleSource, ModelKind::CommonInitialSeq, SOpts);
+  ASSERT_TRUE(S.A);
+  Solver &Solv = S.A->solver();
+  NodeId P = nodeOf(S, "p");
+  NodeId X = nodeOf(S, "x");
+  ASSERT_TRUE(P.isValid() && X.isValid());
+  // p points to a, never to x: removal of an absent fact reports false
+  // and leaves the certified solution intact.
+  EXPECT_FALSE(Solv.removeEdgeForMutation(P, X));
+  EXPECT_TRUE(certifySolution(Solv).ok());
+}
+
+} // namespace

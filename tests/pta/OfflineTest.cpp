@@ -1,0 +1,251 @@
+//===--- OfflineTest.cpp - Offline HVN preprocessing is solution-neutral --===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference.)
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline HVN pass (`--preprocess=hvn`) is a pure optimization: a
+/// preprocessed run must export the byte-identical edge list and certify
+/// against the same obligations as its unpreprocessed twin, under every
+/// engine, model, and points-to representation. This is the validator
+/// gate the pass ships with; tools/ci.sh runs the same comparison over
+/// the whole corpus from the CLI. The cycle-heavy generator shape also
+/// pins the pass's effectiveness: copy rings are offline-visible cycles,
+/// so a healthy pass merges a large fraction of the nodes there.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "pta/GraphExport.h"
+#include "pta/Offline.h"
+#include "verify/Certifier.h"
+#include "workload/Corpus.h"
+#include "workload/Generator.h"
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+/// Engine index -> options (same numbering as the bench harness).
+SolverOptions engineOptions(int Engine) {
+  SolverOptions Opts;
+  Opts.UseWorklist = Engine != 0;
+  Opts.DeltaPropagation = Engine >= 2;
+  Opts.CycleElimination = Engine == 3;
+  return Opts;
+}
+
+const char *const EngineLabel[4] = {"naive", "worklist", "delta", "scc"};
+
+/// Solves \p Source twice — without and with the offline pass — and
+/// asserts identical exported graphs, identical edge counts, and a clean
+/// certification of the preprocessed run. Note Stats.Nodes is NOT
+/// compared: under lazily-materializing engines the preprocessed run may
+/// materialize nodes in a different order, which is invisible in the
+/// name-sorted export.
+void expectHvnNeutral(const std::string &Source, const std::string &Label,
+                      ModelKind Kind, int Engine,
+                      PtsRepr Repr = PtsRepr::Sorted) {
+  DiagnosticEngine D1, D2;
+  auto P1 = CompiledProgram::fromSource(Source, D1);
+  auto P2 = CompiledProgram::fromSource(Source, D2);
+  ASSERT_TRUE(P1 && P2) << Label;
+
+  AnalysisOptions Base;
+  Base.Model = Kind;
+  Base.Solver = engineOptions(Engine);
+  Base.Solver.PointsTo = Repr;
+  Analysis Plain(P1->Prog, Base);
+  Plain.run();
+
+  AnalysisOptions Pre = Base;
+  Pre.Solver.Preprocess = PreprocessKind::Hvn;
+  Analysis Hvn(P2->Prog, Pre);
+  Hvn.run();
+
+  ASSERT_TRUE(Plain.solver().runStats().Converged) << Label;
+  ASSERT_TRUE(Hvn.solver().runStats().Converged) << Label;
+
+  ExportOptions All;
+  All.IncludeTemps = true;
+  EXPECT_EQ(exportEdgeList(Plain.solver(), All),
+            exportEdgeList(Hvn.solver(), All))
+      << Label << " under " << modelKindName(Kind) << "/"
+      << EngineLabel[Engine];
+  EXPECT_EQ(Plain.solver().numEdges(), Hvn.solver().numEdges())
+      << Label << " under " << modelKindName(Kind) << "/"
+      << EngineLabel[Engine];
+
+  CertifyResult CR = certifySolution(Hvn.solver());
+  EXPECT_TRUE(CR.ok()) << Label << " under " << modelKindName(Kind) << "/"
+                       << EngineLabel[Engine] << ": " << CR.Violations
+                       << " violations, " << CR.FactsUnjustified
+                       << " unjustified facts";
+}
+
+/// A small source exercising every merge family: a three-node copy ring,
+/// a copy chain hanging off it, two pointers with the identical
+/// address-of set, struct copies (so resolve emits field pairs), and a
+/// function pointer call keeping escape marking honest.
+const char *MergeShapes = R"(
+struct S { int *p; int *q; };
+int x, y;
+int *a, *b, *c, *chain1, *chain2;
+int *dup1, *dup2;
+struct S s1, s2;
+int *ident(int *v) { return v; }
+int *(*fp)(int *);
+void loop() { loop(); }
+int main() {
+  a = &x; a = c; b = a; c = b;
+  chain1 = a; chain2 = chain1;
+  dup1 = &x; dup1 = &y; dup2 = &x; dup2 = &y;
+  s1.p = &x; s1.q = &y; s2 = s1;
+  fp = ident;
+  b = fp(&y);
+  loop();
+  return 0;
+}
+)";
+
+TEST(OfflineHvn, NeutralOnMergeShapesEveryEngineAndModel) {
+  for (ModelKind Kind : {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq, ModelKind::Offsets})
+    for (int Engine = 0; Engine < 4; ++Engine)
+      expectHvnNeutral(MergeShapes, "merge-shapes", Kind, Engine);
+}
+
+TEST(OfflineHvn, NeutralOnEveryPtsRepr) {
+  for (PtsRepr Repr :
+       {PtsRepr::Sorted, PtsRepr::Small, PtsRepr::Bitmap, PtsRepr::Offsets})
+    for (ModelKind Kind : {ModelKind::CommonInitialSeq, ModelKind::Offsets})
+      expectHvnNeutral(MergeShapes, "merge-shapes", Kind, 2, Repr);
+}
+
+TEST(OfflineHvn, NeutralOnWholeCorpusEveryEngineAndModel) {
+  for (const CorpusEntry &Entry : corpusManifest()) {
+    std::string Source;
+    ASSERT_TRUE(loadCorpusSource(Entry, Source)) << Entry.FileName;
+    for (ModelKind Kind :
+         {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+          ModelKind::CommonInitialSeq, ModelKind::Offsets})
+      for (int Engine = 0; Engine < 4; ++Engine)
+        expectHvnNeutral(Source, Entry.FileName, Kind, Engine);
+  }
+}
+
+TEST(OfflineHvn, NeutralOnGeneratedCycleHeavyPrograms) {
+  for (unsigned Seed : {99u, 7u}) {
+    GeneratorConfig Config;
+    Config.Seed = Seed;
+    Config.NumStructVars = 12;
+    Config.NumInts = 24;
+    Config.NumPtrVars = 12;
+    Config.NumFunctions = 4;
+    Config.StmtsPerFunction = 40;
+    Config.CopyRingPercent = 60;
+    Config.NumCallCycleFuncs = 4;
+    Config.UseHeap = true;
+    std::string Source = generateProgram(Config);
+    for (ModelKind Kind : {ModelKind::CommonInitialSeq, ModelKind::Offsets})
+      for (int Engine : {2, 3})
+        expectHvnNeutral(Source, "gen-seed-" + std::to_string(Seed), Kind,
+                         Engine);
+  }
+}
+
+/// The acceptance floor: on the cycle-heavy generator shape (dense copy
+/// rings plus mutually recursive call loops) the pass merges at least 30%
+/// of the nodes, for every model.
+TEST(OfflineHvn, MergesThirtyPercentOnCycleHeavyShape) {
+  GeneratorConfig Config;
+  Config.Seed = 99;
+  Config.NumStructs = 4;
+  Config.NumStructVars = 32;
+  Config.NumInts = 64;
+  Config.NumPtrVars = 32;
+  Config.NumFunctions = 8;
+  Config.StmtsPerFunction = 60;
+  Config.CopyRingPercent = 60;
+  Config.NumCallCycleFuncs = 16;
+  Config.UseHeap = true;
+  std::string Source = generateProgram(Config);
+  for (ModelKind Kind : {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+                         ModelKind::CommonInitialSeq, ModelKind::Offsets}) {
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(Source, Diags);
+    ASSERT_TRUE(P);
+    AnalysisOptions Opts;
+    Opts.Model = Kind;
+    Opts.Solver = engineOptions(2);
+    Opts.Solver.Preprocess = PreprocessKind::Hvn;
+    Analysis A(P->Prog, Opts);
+    A.run();
+    const SolverRunStats &RS = A.solver().runStats();
+    ASSERT_TRUE(RS.Converged) << modelKindName(Kind);
+    ASSERT_GT(RS.Nodes, 0u) << modelKindName(Kind);
+    EXPECT_GE(RS.NodesMergedOffline * 10, RS.Nodes * 3)
+        << modelKindName(Kind) << ": merged " << RS.NodesMergedOffline
+        << " of " << RS.Nodes << " nodes";
+  }
+}
+
+/// Counter plumbing: the offline counters survive solve()'s stats reset,
+/// a re-run reuses the seeded merges (Analysis runs the pass once), and
+/// an unpreprocessed run reports zeros.
+TEST(OfflineHvn, StatsReportOfflineCounters) {
+  auto P = compile(MergeShapes);
+  ASSERT_TRUE(P);
+  AnalysisOptions Opts;
+  Opts.Model = ModelKind::CommonInitialSeq;
+  Opts.Solver = engineOptions(2);
+  Opts.Solver.Preprocess = PreprocessKind::Hvn;
+  Analysis A(P->Prog, Opts);
+  A.run();
+  const SolverRunStats &RS = A.solver().runStats();
+  EXPECT_GT(RS.NodesMergedOffline, 0u);
+  EXPECT_GE(RS.OfflineSeconds, 0.0);
+  uint64_t FirstMerged = RS.NodesMergedOffline;
+  A.run(); // second solve: the pass must not run (or merge) twice
+  EXPECT_EQ(A.solver().runStats().NodesMergedOffline, FirstMerged);
+
+  auto P2 = compile(MergeShapes);
+  ASSERT_TRUE(P2);
+  AnalysisOptions None = Opts;
+  None.Solver.Preprocess = PreprocessKind::None;
+  Analysis B(P2->Prog, None);
+  B.run();
+  EXPECT_EQ(B.solver().runStats().NodesMergedOffline, 0u);
+  EXPECT_EQ(B.solver().runStats().OfflineSeconds, 0.0);
+}
+
+/// Direct result contract of the pass: identity-free map, merge counts
+/// consistent, and the model's Figure-3 counters untouched.
+TEST(OfflineHvn, RunOfflineHvnResultContract) {
+  auto P = compile(MergeShapes);
+  ASSERT_TRUE(P);
+  LayoutEngine Layout(P->Prog.Types, TargetInfo::ilp32());
+  auto Model =
+      makeFieldModel(ModelKind::CommonInitialSeq, P->Prog, Layout);
+  ModelStats Before = Model->stats();
+  SolverOptions Opts;
+  OfflineResult R = runOfflineHvn(P->Prog, *Model, Opts);
+  EXPECT_EQ(R.NodesMerged, R.NodeMap.merges());
+  EXPECT_GT(R.NodesMerged, 0u);
+  EXPECT_GT(R.SccsCollapsed, 0u); // the three-node copy ring
+  EXPECT_GE(R.NodesConsidered, R.NodesMerged);
+  EXPECT_GE(R.Seconds, 0.0);
+  // Figure-3 counters unperturbed by the pass's resolve calls.
+  EXPECT_EQ(Model->stats().ResolveCalls, Before.ResolveCalls);
+  EXPECT_EQ(Model->stats().LookupCalls, Before.LookupCalls);
+  // Every class representative is a member of its own class.
+  for (uint32_t I = 0; I < R.NodesConsidered; ++I) {
+    NodeId Rep = R.NodeMap.find(NodeId(I));
+    EXPECT_EQ(R.NodeMap.find(Rep), Rep);
+  }
+}
+
+} // namespace

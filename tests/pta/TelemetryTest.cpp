@@ -120,7 +120,9 @@ TEST(Telemetry, JsonCarriesTheDocumentedKeys) {
         "\"converged\":true", "\"rounds\":", "\"pops\":",
         "\"full_propagations\":", "\"delta_propagations\":",
         "\"worklist_high_water\":", "\"scc_sweeps\":", "\"sccs_collapsed\":",
-        "\"nodes_merged\":", "\"priority_pops\":", "\"copy_edges\":",
+        "\"nodes_merged_online\":", "\"nodes_merged_offline\":",
+        "\"offline_ms\":", "\"preprocess\":", "\"priority_pops\":",
+        "\"copy_edges\":",
         "\"bytes_high_water\":", "\"solve_seconds\":", "\"rule_applied\":",
         "\"rule_changed\":", "\"addr_of\":", "\"ptr_arith\":", "\"call\":",
         "\"model_stats\":", "\"lookup_calls\":", "\"deref_metrics\":",

@@ -244,7 +244,7 @@ TEST(GeneratedEquivalence, CycleEliminationActuallyCollapses) {
   const SolverRunStats &S = A.solver().runStats();
   ASSERT_TRUE(S.Converged);
   EXPECT_GT(S.SccsCollapsed, 0u);
-  EXPECT_GT(S.NodesMerged, 0u);
+  EXPECT_GT(S.NodesMergedOnline, 0u);
   EXPECT_GT(S.SccSweeps, 0u);
   EXPECT_GT(S.CopyEdges, 0u);
   EXPECT_GT(S.BytesHighWater, 0u);

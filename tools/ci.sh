@@ -10,36 +10,51 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+jobs_n="$(nproc 2>/dev/null || echo 2)"
+
 echo "== tier-1: configure + build =="
 cmake -B build -S .
-cmake --build build -j "$(nproc 2>/dev/null || echo 2)"
+cmake --build build -j "$jobs_n"
 
 echo "== tier-1: ctest =="
-ctest --test-dir build --output-on-failure
+ctest --test-dir build --output-on-failure -j "$jobs_n"
 
 echo "== lint (no-op if clang-tidy is absent) =="
 cmake --build build --target lint
 
 echo "== bench smoke: four engines, one fixpoint =="
 # Smallest size class of both bench workloads, all four solver engines;
-# fails on non-convergence or any edge-count disagreement.
+# fails on non-convergence or any edge-count disagreement. Also gates the
+# compressed points-to representations and --preprocess=hvn (merges on
+# the cycle-heavy shape, identical certified solution, no slowdown).
 ./build/bench/scaling --smoke
 
-echo "== certify: corpus x engines x models =="
+# Runs one spa_cli certify sweep, its argument combinations fed one per
+# line on stdin, $jobs_n at a time. xargs exit 255 stops the batch on the
+# first failure.
+certify_sweep() {
+  xargs -P "$jobs_n" -I{} sh -c '
+    ./build/tools/spa_cli {} >/dev/null || {
+      echo "certify failed: {}" >&2
+      exit 255
+    }'
+}
+
+echo "== certify: corpus x engines x models (plus --preprocess=hvn) =="
 # Every engine's fixpoint on every corpus program must certify (closed
 # under the inference rules, every fact justified) under every model, and
-# the IR must lint clean. Exit 4 from any run fails CI here.
+# the IR must lint clean. The offline-preprocessed twin of every cell
+# must reach the same certified fixpoint — the hvn validator gate. Exit 4
+# from any run fails CI here.
 for f in corpus/*.c; do
   for engine in naive worklist delta scc; do
     for model in ca coc cis off; do
-      ./build/tools/spa_cli "$f" --certify --verify-ir \
-        --engine="$engine" --model="$model" >/dev/null || {
-        echo "certify failed: $f --engine=$engine --model=$model" >&2
-        exit 1
-      }
+      for pre in none hvn; do
+        echo "$f --certify --verify-ir --engine=$engine --model=$model --preprocess=$pre"
+      done
     done
   done
-done
+done | certify_sweep
 
 echo "== certify: corpus x engines x compressed pts representations =="
 # The compressed points-to set representations must reach the same
@@ -50,19 +65,16 @@ echo "== certify: corpus x engines x compressed pts representations =="
 for f in corpus/*.c; do
   for engine in naive worklist delta scc; do
     for repr in small bitmap offsets; do
-      ./build/tools/spa_cli "$f" --certify --engine="$engine" \
-        --model=off --pts="$repr" >/dev/null || {
-        echo "pts certify failed: $f --engine=$engine --pts=$repr" >&2
-        exit 1
-      }
+      echo "$f --certify --engine=$engine --model=off --pts=$repr"
     done
   done
-done
+done | certify_sweep
 
 echo "== mutation smoke: seeded faults must be caught =="
 # The certifier's detection power: hundreds of seeded fact deletions and
 # insertions, all of which must be flagged with zero clean-run false
-# alarms (tests/verify/MutationTest.cpp).
+# alarms (tests/verify/MutationTest.cpp), on plain and hvn-preprocessed
+# runs alike.
 ./build/tests/verify_mutation_test --gtest_brief=1
 
 if [ "${SKIP_ASAN:-0}" = "1" ]; then
@@ -72,7 +84,7 @@ fi
 
 echo "== asan-ubsan preset =="
 cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc 2>/dev/null || echo 2)"
-ctest --preset asan-ubsan --output-on-failure
+cmake --build --preset asan-ubsan -j "$jobs_n"
+ctest --preset asan-ubsan --output-on-failure -j "$jobs_n"
 
 echo "== ci.sh: all green =="

@@ -88,6 +88,7 @@ struct CliOptions {
   bool EngineSet = false;
   EngineKind Engine = EngineKind::Naive;
   PtsRepr PointsTo = PtsRepr::Sorted;
+  PreprocessKind Preprocess = PreprocessKind::None;
   bool Worklist = false; ///< deprecated --worklist alias
   bool NoDelta = false;  ///< deprecated --no-delta alias
   bool ShowHelp = false;
@@ -143,6 +144,7 @@ const char *const EngineValues[] = {"naive", "worklist", "delta", "scc",
                                     nullptr};
 const char *const PtsValues[] = {"sorted", "small", "bitmap", "offsets",
                                  nullptr};
+const char *const PreprocessValues[] = {"none", "hvn", nullptr};
 
 /// The one table every suggestion comes from: each option's spelling plus
 /// (for enumerated options) its value list, so both a mistyped flag and a
@@ -159,6 +161,7 @@ const OptionSpec KnownOptions[] = {
     {"--stmts", nullptr},        {"--stride", nullptr},
     {"--unknown", nullptr},      {"--engine", EngineValues},
     {"--pts", PtsValues},        {"--worklist", nullptr},
+    {"--preprocess", PreprocessValues},
     {"--no-delta", nullptr},
     {"--max-iterations", nullptr}, {"--stats-json", nullptr},
     {"--check", nullptr},        {"--sarif", nullptr},
@@ -300,6 +303,16 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
         badValue("--pts", "points-to representation", R);
         return false;
       }
+    } else if (Arg.rfind("--preprocess=", 0) == 0) {
+      std::string P = Arg.substr(13);
+      if (P == "none")
+        Opts.Preprocess = PreprocessKind::None;
+      else if (P == "hvn")
+        Opts.Preprocess = PreprocessKind::Hvn;
+      else {
+        badValue("--preprocess", "preprocessing pass", P);
+        return false;
+      }
     } else if (Arg == "--worklist") {
       std::fprintf(stderr, "warning: --worklist is deprecated; use "
                            "--engine=delta\n");
@@ -397,6 +410,9 @@ void usage(const char *Prog) {
       "  --pts=R                  points-to set storage: sorted (default),\n"
       "                           small, bitmap, offsets (same fixpoint;\n"
       "                           time/memory trade-off, see docs/INTERNALS.md)\n"
+      "  --preprocess=P           offline preprocessing: none (default) or\n"
+      "                           hvn (merge provably-equal nodes before the\n"
+      "                           solve; same fixpoint, smaller graph)\n"
       "  --worklist               deprecated alias for --engine=delta\n"
       "  --no-delta               deprecated: with --worklist, --engine=worklist\n"
       "  --max-iterations=N       solver iteration budget (exit 3 if exceeded)\n"
@@ -462,6 +478,7 @@ int main(int argc, char **argv) {
   AOpts.Solver.DeltaPropagation = Engine != EngineKind::Worklist;
   AOpts.Solver.CycleElimination = Engine == EngineKind::Scc;
   AOpts.Solver.PointsTo = Opts.PointsTo;
+  AOpts.Solver.Preprocess = Opts.Preprocess;
   AOpts.Solver.Diags = &Diags;
   if (Opts.MaxIterations)
     AOpts.Solver.MaxIterations = Opts.MaxIterations;
@@ -613,12 +630,16 @@ int main(int argc, char **argv) {
   } else {
     std::printf("solver rounds:       %u\n", RS.Rounds);
   }
+  if (Opts.Preprocess == PreprocessKind::Hvn)
+    std::printf("offline hvn:         %llu nodes merged, %.3f ms\n",
+                (unsigned long long)RS.NodesMergedOffline,
+                RS.OfflineSeconds * 1e3);
   if (Engine == EngineKind::Scc)
     std::printf("cycle elimination:   %llu sweeps, %llu sccs collapsed, "
                 "%llu nodes merged, %llu copy edges\n",
                 (unsigned long long)RS.SccSweeps,
                 (unsigned long long)RS.SccsCollapsed,
-                (unsigned long long)RS.NodesMerged,
+                (unsigned long long)RS.NodesMergedOnline,
                 (unsigned long long)RS.CopyEdges);
   std::printf("converged:           %s\n", RS.Converged ? "yes" : "NO");
   std::printf("solve time:          %.3f ms\n", RS.SolveSeconds * 1e3);

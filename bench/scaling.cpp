@@ -42,6 +42,8 @@
 
 #include "BenchUtil.h"
 
+#include "check/Checkers.h"
+#include "flow/FlowPass.h"
 #include "pta/Telemetry.h"
 #include "verify/Certifier.h"
 #include "workload/Generator.h"
@@ -372,6 +374,7 @@ void writeHeadToHead(const std::string &Path) {
 
 int runReprSmoke();
 int runHvnSmoke();
+int runFlowSmoke();
 
 /// `--smoke`: the CI guard. Solves the smallest size class of both
 /// workloads with all four engines; fails (exit 1) on non-convergence,
@@ -470,7 +473,138 @@ int runSmoke() {
   }
   Failures += runReprSmoke();
   Failures += runHvnSmoke();
+  Failures += runFlowSmoke();
   return Failures ? 1 : 0;
+}
+
+/// A deallocation-heavy workload for the flow-pass gates: a third of the
+/// statements are malloc/load pairs over the struct-pointer globals, plus
+/// realloc chains, and main frees every struct pointer at the end and
+/// dereferences one afterwards. Every body use precedes the frees in
+/// statement order, so the flow-insensitive use-after-free reports are
+/// almost all false positives — except the one post-free dereference.
+std::string uafHeavySource(int SizeClass) {
+  GeneratorConfig Config;
+  Config.Seed = 13;
+  Config.NumStructs = 4;
+  Config.NumStructVars = 4 * SizeClass;
+  Config.NumInts = 4 * SizeClass;
+  Config.NumPtrVars = 4 * SizeClass;
+  Config.NumFunctions = 2 * SizeClass;
+  Config.StmtsPerFunction = 40;
+  Config.FreePercent = 35;
+  Config.ReallocPercent = 10;
+  Config.UseHeap = true;
+  return generateProgram(Config);
+}
+
+/// `--smoke`, part four: the invalidation-aware flow pass gates
+/// (src/flow/). On the deallocation-heavy workload, under every engine:
+/// the refinement must suppress at least one flow-insensitive
+/// use-after-free report, keep at least one (the post-free dereference),
+/// add none (every refined finding is a baseline finding — also audited
+/// independently), cost under 20% of the solve time, and produce
+/// bit-identical findings across all four engines.
+int runFlowSmoke() {
+  int Failures = 0;
+  std::string Source = uafHeavySource(6);
+  std::string FindingsByEngine[4];
+  for (int Engine = 0; Engine < 4; ++Engine) {
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(Source, Diags);
+    if (!P) {
+      std::fprintf(stderr, "FAIL flow-smoke: workload failed to compile\n");
+      return Failures + 1;
+    }
+    AnalysisOptions Opts;
+    Opts.Model = ModelKind::CommonInitialSeq;
+    Opts.Solver = engineOptions(Engine);
+    Analysis A(P->Prog, Opts);
+    A.run();
+    if (!A.solver().runStats().Converged) {
+      std::fprintf(stderr, "FAIL flow-smoke/%s: did not converge\n",
+                   EngineLabel[Engine]);
+      ++Failures;
+      continue;
+    }
+    DiagnosticEngine BaseDiags;
+    CheckReport Base = runCheckers(A, {"use-after-free"}, BaseDiags);
+    FlowResult FR = runInvalidationPass(A.solver());
+    FlowAuditResult AR = auditFlowRefinement(A.solver());
+    DiagnosticEngine RefDiags;
+    CheckReport Refined = runCheckers(A, {"use-after-free"}, RefDiags);
+    if (!AR.ok()) {
+      std::fprintf(stderr, "FAIL flow-smoke/%s: audit found %llu violations\n",
+                   EngineLabel[Engine], (unsigned long long)AR.Violations);
+      ++Failures;
+    }
+    if (Base.Findings == 0 || FR.ReportsSuppressed == 0 ||
+        Refined.Findings >= Base.Findings) {
+      std::fprintf(stderr,
+                   "FAIL flow-smoke/%s: no false-positive reduction "
+                   "(baseline %u, refined %u, suppressed %llu)\n",
+                   EngineLabel[Engine], Base.Findings, Refined.Findings,
+                   (unsigned long long)FR.ReportsSuppressed);
+      ++Failures;
+    }
+    if (Refined.Findings == 0) {
+      std::fprintf(stderr,
+                   "FAIL flow-smoke/%s: the post-free dereference (the one "
+                   "true positive) was suppressed\n",
+                   EngineLabel[Engine]);
+      ++Failures;
+    }
+    // Zero new findings: every refined report line must appear verbatim in
+    // the baseline report (the audit checks the per-site invariant; this
+    // checks the user-visible output end to end).
+    std::string BaseText = BaseDiags.formatAll();
+    std::string RefText = RefDiags.formatAll();
+    size_t Pos = 0;
+    while (Pos < RefText.size()) {
+      size_t Eol = RefText.find('\n', Pos);
+      if (Eol == std::string::npos)
+        Eol = RefText.size();
+      std::string Line = RefText.substr(Pos, Eol - Pos);
+      if (!Line.empty() && BaseText.find(Line) == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL flow-smoke/%s: refined run added a finding the "
+                     "baseline never produced: %s\n",
+                     EngineLabel[Engine], Line.c_str());
+        ++Failures;
+        break;
+      }
+      Pos = Eol + 1;
+    }
+    double SolveSeconds = A.solver().runStats().SolveSeconds;
+    if (FR.Seconds >= 0.2 * SolveSeconds && FR.Seconds > 0.0005) {
+      std::fprintf(stderr,
+                   "FAIL flow-smoke/%s: flow pass overhead %.2fx solve time "
+                   "(flow %.3f ms vs solve %.3f ms)\n",
+                   EngineLabel[Engine],
+                   SolveSeconds > 0 ? FR.Seconds / SolveSeconds : 0.0,
+                   FR.Seconds * 1e3, SolveSeconds * 1e3);
+      ++Failures;
+    }
+    FindingsByEngine[Engine] = RefText;
+    if (Engine == 0 && !Failures)
+      std::printf("ok flow-smoke: baseline %u findings, refined %u, "
+                  "%llu suppressed, flow %.3f ms (solve %.3f ms)\n",
+                  Base.Findings, Refined.Findings,
+                  (unsigned long long)FR.ReportsSuppressed, FR.Seconds * 1e3,
+                  SolveSeconds * 1e3);
+  }
+  for (int Engine = 1; Engine < 4; ++Engine)
+    if (FindingsByEngine[Engine] != FindingsByEngine[0]) {
+      std::fprintf(stderr,
+                   "FAIL flow-smoke: refined findings differ between %s "
+                   "and %s\n",
+                   EngineLabel[0], EngineLabel[Engine]);
+      ++Failures;
+    }
+  if (!Failures)
+    std::printf("ok flow-smoke: refined findings bit-identical across 4 "
+                "engines\n");
+  return Failures;
 }
 
 /// `--smoke`, part three: the offline preprocessing gates. On the

@@ -163,6 +163,47 @@ public:
 // null-deref
 //===----------------------------------------------------------------------===//
 
+/// A function is "referenced" if it is main, directly called, or used as a
+/// value anywhere. In an unreferenced function the parameters are never
+/// bound, so facts derived from them describe dead code — empty points-to
+/// sets are not null dereferences, and freed marks reached only through an
+/// unbound parameter are not uses after free. Both the null-deref and the
+/// use-after-free checkers suppress such sites with the same predicate
+/// (see shouldSuppressDeadParam).
+std::vector<char> referencedFunctions(const NormProgram &Prog) {
+  std::vector<char> Referenced(Prog.Funcs.size(), 0);
+  FuncId Main = Prog.findFunc(Prog.Strings.intern("main"));
+  if (Main.isValid())
+    Referenced[Main.index()] = 1;
+  auto MarkObj = [&](ObjectId Obj) {
+    if (!Obj.isValid())
+      return;
+    const NormObject &Info = Prog.object(Obj);
+    if (Info.Kind == ObjectKind::Function && Info.AsFunction.isValid())
+      Referenced[Info.AsFunction.index()] = 1;
+  };
+  for (const NormStmt &St : Prog.Stmts) {
+    if (St.Op == NormOp::Call && St.DirectCallee.isValid())
+      Referenced[St.DirectCallee.index()] = 1;
+    MarkObj(St.Src);
+    for (ObjectId Obj : St.ArithSrcs)
+      MarkObj(Obj);
+    for (ObjectId Obj : St.Args)
+      MarkObj(Obj);
+  }
+  return Referenced;
+}
+
+/// True if the site's pointer lives in an unreferenced function that takes
+/// parameters — nothing ever bound them, so the site cannot execute.
+bool shouldSuppressDeadParam(const NormProgram &Prog,
+                             const std::vector<char> &Referenced,
+                             const DerefSite &Site) {
+  const NormObject &P = Prog.object(Site.Ptr);
+  return P.Owner.isValid() && !Referenced[P.Owner.index()] &&
+         !Prog.func(P.Owner).Params.empty();
+}
+
 class NullDerefChecker : public Checker {
 public:
   const char *id() const override { return "null-deref"; }
@@ -175,31 +216,7 @@ public:
     NormProgram &Prog = Ctx.program();
     Solver &S = Ctx.solver();
     const std::vector<SiteEvents> &Events = S.siteEvents();
-
-    // A function is "referenced" if it is main, directly called, or used
-    // as a value anywhere. In an unreferenced function the parameters are
-    // never bound, so empty sets derived from them are artifacts of dead
-    // code, not null dereferences — such sites are suppressed below.
-    std::vector<char> Referenced(Prog.Funcs.size(), 0);
-    FuncId Main = Prog.findFunc(Prog.Strings.intern("main"));
-    if (Main.isValid())
-      Referenced[Main.index()] = 1;
-    auto MarkObj = [&](ObjectId Obj) {
-      if (!Obj.isValid())
-        return;
-      const NormObject &Info = Prog.object(Obj);
-      if (Info.Kind == ObjectKind::Function && Info.AsFunction.isValid())
-        Referenced[Info.AsFunction.index()] = 1;
-    };
-    for (const NormStmt &St : Prog.Stmts) {
-      if (St.Op == NormOp::Call && St.DirectCallee.isValid())
-        Referenced[St.DirectCallee.index()] = 1;
-      MarkObj(St.Src);
-      for (ObjectId Obj : St.ArithSrcs)
-        MarkObj(Obj);
-      for (ObjectId Obj : St.Args)
-        MarkObj(Obj);
-    }
+    std::vector<char> Referenced = referencedFunctions(Prog);
 
     for (size_t I = 0; I < Prog.DerefSites.size() && I < Events.size(); ++I) {
       const DerefSite &Site = Prog.DerefSites[I];
@@ -221,9 +238,7 @@ public:
           continue;
         Variant = "may only hold an unknown (possibly corrupted) pointer";
       }
-      const NormObject &P = Prog.object(Site.Ptr);
-      if (P.Owner.isValid() && !Referenced[P.Owner.index()] &&
-          !Prog.func(P.Owner).Params.empty())
+      if (shouldSuppressDeadParam(Prog, Referenced, Site))
         continue;
       Ctx.Diags.report(DiagKind::Warning, Site.Loc, "null-deref",
                        (Site.IsCall ? "call through '" : "dereference of '") +
@@ -249,10 +264,20 @@ public:
     Solver &S = Ctx.solver();
     if (S.freedObjects().empty())
       return;
-    for (const DerefSite &Site : Prog.DerefSites) {
+    const std::vector<SiteEvents> &Events = S.siteEvents();
+    std::vector<char> Referenced = referencedFunctions(Prog);
+    for (size_t I = 0; I < Prog.DerefSites.size(); ++I) {
+      const DerefSite &Site = Prog.DerefSites[I];
+      if (shouldSuppressDeadParam(Prog, Referenced, Site))
+        continue;
+      // With a flow verdict (src/flow/), only objects that may already be
+      // deallocated *when control reaches this site* count; otherwise
+      // every freed alias counts, order ignored (the paper's baseline).
+      const SiteEvents *E =
+          I < Events.size() && Events[I].FlowRefined ? &Events[I] : nullptr;
       for (NodeId Target : S.derefTargets(Site)) {
         ObjectId Obj = S.model().nodes().objectOf(Target);
-        if (!S.isFreed(Obj))
+        if (E ? !E->InvalidatedBefore.contains(Obj) : !S.isFreed(Obj))
           continue;
         Ctx.Diags.report(
             DiagKind::Warning, Site.Loc, "use-after-free",

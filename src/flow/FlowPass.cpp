@@ -1,0 +1,515 @@
+//===--- FlowPass.cpp -----------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/FlowPass.h"
+
+#include "pta/GraphExport.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace spa;
+
+namespace {
+
+using Effect = LibrarySummaries::Effect;
+
+/// One run of the pass. Every step iterates ids in ascending order and
+/// unions into sorted IdSets, so the verdicts are a pure function of the
+/// fixpoint — bit-identical across engines, representations, and
+/// preprocessing, exactly like the solution they refine.
+class InvalidationPass {
+public:
+  explicit InvalidationPass(Solver &S)
+      : S(S), Prog(S.program()), Order(Prog.stmtOrder()) {}
+
+  FlowResult run() {
+    auto Start = std::chrono::steady_clock::now();
+    FlowResult Result;
+    if (S.freedObjects().empty()) {
+      // Nothing is ever deallocated: every site's verdict is the empty
+      // set, which the checker treats exactly like the (empty) baseline.
+      IdSet<ObjectTag> Empty;
+      for (size_t I = 0; I < Prog.DerefSites.size(); ++I)
+        S.setSiteFlowVerdict(I, Empty);
+      Result.Seconds = secondsSince(Start);
+      return Result;
+    }
+
+    computeEscapes();
+    computeStmtFrees();
+    computeMayFree();
+    seedEntries();
+    propagateEntries();
+    recordVerdicts();
+    collectCounters(Result);
+    Result.Seconds = secondsSince(Start);
+    return Result;
+  }
+
+private:
+  static double
+  secondsSince(std::chrono::steady_clock::time_point Start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  ObjectId objectOf(NodeId Node) {
+    return S.model().nodes().objectOf(Node);
+  }
+
+  bool isDefined(FuncId F) const { return Prog.func(F).IsDefined; }
+
+  /// Objects whose address may be held by code outside the program, and
+  /// defined functions such code may invoke. Data objects escape only
+  /// through calls that may reach a *truly unknown* external — one with
+  /// no library summary (it can do anything, including stashing the
+  /// pointer). Summary-bearing externals (free, realloc, memcpy, ...)
+  /// have modelled effects and do not retain their arguments, so they
+  /// must not block allocation-site revival. Function-valued arguments
+  /// escape for *any* undefined callee: even a summarised external can
+  /// stash a callback for later (signal, atexit, qsort). Seeds close
+  /// transitively with the shared $extern blob: unknown code can follow
+  /// any pointer stored in memory it reaches.
+  void computeEscapes() {
+    EscapedFunc.assign(Prog.Funcs.size(), 0);
+    std::vector<ObjectId> Pending;
+    auto Reach = [&](ObjectId Obj, bool DataToo) {
+      const NormObject &Info = Prog.object(Obj);
+      if (Info.Kind == ObjectKind::Function) {
+        if (Info.AsFunction.isValid() && isDefined(Info.AsFunction))
+          EscapedFunc[Info.AsFunction.index()] = 1;
+        return;
+      }
+      if (DataToo && Escaped.insert(Obj))
+        Pending.push_back(Obj);
+    };
+    for (const NormStmt &St : Prog.Stmts) {
+      if (St.Op != NormOp::Call)
+        continue;
+      std::vector<FuncId> Callees = S.calleesOf(St);
+      bool AnyUndefined =
+          St.IndirectCallee.isValid() && Callees.empty(); // unresolvable
+      bool AnyUnknown = AnyUndefined;
+      for (FuncId Callee : Callees) {
+        if (isDefined(Callee))
+          continue;
+        AnyUndefined = true;
+        if (!S.summaries().hasSummary(
+                Prog.Strings.text(Prog.func(Callee).Name)))
+          AnyUnknown = true;
+      }
+      if (!AnyUndefined)
+        continue;
+      for (ObjectId Arg : St.Args)
+        for (NodeId T : S.pointsTo(S.normalizeObj(Arg)))
+          Reach(objectOf(T), AnyUnknown);
+    }
+    if (S.externObjectId().isValid())
+      Reach(S.externObjectId(), true);
+    while (!Pending.empty()) {
+      ObjectId Obj = Pending.back();
+      Pending.pop_back();
+      for (NodeId N : S.model().nodes().nodesOfObject(Obj))
+        for (NodeId T : S.pointsTo(N))
+          Reach(objectOf(T), true);
+    }
+  }
+
+  /// Per call statement: the deallocations applied directly by library
+  /// summaries of undefined callees (mirroring LibrarySummaries' Dealloc
+  /// effect — heap objects in pts of the named argument), and the defined
+  /// callees whose may-free summaries the statement inherits. Restricting
+  /// to objects the solve marked freed makes "verdict is a subset of the
+  /// freed mark" hold by construction.
+  void computeStmtFrees() {
+    StmtFrees.resize(Prog.Stmts.size());
+    StmtDefinedCallees.resize(Prog.Stmts.size());
+    for (uint32_t I = 0; I < Prog.Stmts.size(); ++I) {
+      const NormStmt &St = Prog.Stmts[I];
+      if (St.Op != NormOp::Call)
+        continue;
+      for (FuncId Callee : S.calleesOf(St)) {
+        if (isDefined(Callee)) {
+          StmtDefinedCallees[I].push_back(Callee);
+          continue;
+        }
+        const std::vector<Effect> *Sum = S.summaries().summaryOf(
+            Prog.Strings.text(Prog.func(Callee).Name));
+        if (!Sum)
+          continue;
+        for (const Effect &E : *Sum) {
+          if (E.K != Effect::Dealloc || E.A < 0 ||
+              static_cast<size_t>(E.A) >= St.Args.size())
+            continue;
+          for (NodeId T : S.pointsTo(S.normalizeObj(St.Args[E.A]))) {
+            ObjectId Obj = objectOf(T);
+            if (S.isFreed(Obj))
+              StmtFrees[I].insert(Obj);
+          }
+        }
+      }
+      std::vector<FuncId> &Defs = StmtDefinedCallees[I];
+      std::sort(Defs.begin(), Defs.end(),
+                [](FuncId A, FuncId B) { return A.index() < B.index(); });
+      Defs.erase(std::unique(Defs.begin(), Defs.end()), Defs.end());
+    }
+  }
+
+  /// Bottom-up may-free summaries over the defined-function call graph:
+  /// MayFree(F) = F's own summary-applied deallocations, plus everything
+  /// any (transitive) defined callee may free. Computed with one
+  /// iterative Tarjan pass — an SCC is emitted only after every callee
+  /// outside it is finished, so out-of-SCC summaries are final when read,
+  /// and all members of a cycle share one summary.
+  void computeMayFree() {
+    size_t N = Prog.Funcs.size();
+    MayFree.assign(N, {});
+    Adj.assign(N, {});
+    std::vector<IdSet<ObjectTag>> Direct(N);
+    for (uint32_t F = 0; F < N; ++F) {
+      if (!isDefined(FuncId(F)))
+        continue;
+      for (uint32_t I : Order.ByFunc[F]) {
+        Direct[F].insertAll(StmtFrees[I]);
+        for (FuncId C : StmtDefinedCallees[I])
+          Adj[F].push_back(C.index());
+      }
+      std::sort(Adj[F].begin(), Adj[F].end());
+      Adj[F].erase(std::unique(Adj[F].begin(), Adj[F].end()), Adj[F].end());
+    }
+
+    std::vector<int32_t> Index(N, -1), Low(N, 0), SccOf(N, -1);
+    std::vector<char> OnStack(N, 0);
+    std::vector<uint32_t> Stack;
+    struct Frame {
+      uint32_t Node;
+      size_t Edge;
+    };
+    std::vector<Frame> Dfs;
+    int32_t Next = 0, SccCount = 0;
+    for (uint32_t Root = 0; Root < N; ++Root) {
+      if (!isDefined(FuncId(Root)) || Index[Root] >= 0)
+        continue;
+      Index[Root] = Low[Root] = Next++;
+      Stack.push_back(Root);
+      OnStack[Root] = 1;
+      Dfs.push_back({Root, 0});
+      while (!Dfs.empty()) {
+        Frame &Top = Dfs.back();
+        if (Top.Edge < Adj[Top.Node].size()) {
+          uint32_t C = Adj[Top.Node][Top.Edge++];
+          if (Index[C] < 0) {
+            Index[C] = Low[C] = Next++;
+            Stack.push_back(C);
+            OnStack[C] = 1;
+            Dfs.push_back({C, 0});
+          } else if (OnStack[C]) {
+            Low[Top.Node] = std::min(Low[Top.Node], Index[C]);
+          }
+          continue;
+        }
+        uint32_t Node = Top.Node;
+        Dfs.pop_back();
+        if (!Dfs.empty())
+          Low[Dfs.back().Node] = std::min(Low[Dfs.back().Node], Low[Node]);
+        if (Low[Node] != Index[Node])
+          continue;
+        std::vector<uint32_t> Members;
+        for (;;) {
+          uint32_t M = Stack.back();
+          Stack.pop_back();
+          OnStack[M] = 0;
+          SccOf[M] = SccCount;
+          Members.push_back(M);
+          if (M == Node)
+            break;
+        }
+        ++SccCount;
+        IdSet<ObjectTag> Sum;
+        for (uint32_t M : Members)
+          Sum.insertAll(Direct[M]);
+        for (uint32_t M : Members)
+          for (uint32_t C : Adj[M])
+            if (SccOf[C] != SccOf[Node])
+              Sum.insertAll(MayFree[C]);
+        for (uint32_t M : Members)
+          MayFree[M] = Sum;
+      }
+    }
+
+    // Fold the summaries into the per-statement deallocation sets: from
+    // here on, StmtFrees[I] is everything call statement I may free.
+    for (uint32_t I = 0; I < Prog.Stmts.size(); ++I)
+      for (FuncId C : StmtDefinedCallees[I])
+        StmtFrees[I].insertAll(MayFree[C.index()]);
+  }
+
+  /// Entry states. main starts with the global-initializer walk's result;
+  /// functions whose invocation order the pass cannot see — no main at
+  /// all, unreachable from main through the defined-call graph, or
+  /// escaped to an external as a callback — start with every freed object
+  /// invalid, so their sites refine to exactly the baseline answer.
+  void seedEntries() {
+    size_t N = Prog.Funcs.size();
+    Entry.assign(N, {});
+    GlobalsEntry = IdSet<ObjectTag>();
+    for (uint32_t I : Order.Globals)
+      applyStmt(I, GlobalsEntry, nullptr, false);
+
+    FuncId Main = Prog.findFunc(Prog.Strings.intern("main"));
+    bool HaveMain = Main.isValid() && isDefined(Main);
+    std::vector<char> Reachable(N, 0);
+    if (HaveMain) {
+      Entry[Main.index()] = GlobalsEntry;
+      std::vector<uint32_t> Work{Main.index()};
+      Reachable[Main.index()] = 1;
+      while (!Work.empty()) {
+        uint32_t F = Work.back();
+        Work.pop_back();
+        for (uint32_t I : Order.ByFunc[F])
+          for (FuncId C : StmtDefinedCallees[I])
+            if (!Reachable[C.index()]) {
+              Reachable[C.index()] = 1;
+              Work.push_back(C.index());
+            }
+      }
+    }
+    for (uint32_t F = 0; F < N; ++F)
+      if (isDefined(FuncId(F)) &&
+          (!HaveMain || !Reachable[F] || EscapedFunc[F]))
+        Entry[F].insertAll(S.freedObjects());
+  }
+
+  /// Top-down entry propagation to a fixpoint: at every call, the
+  /// caller's invalidation state flows into each defined callee's entry.
+  /// Entries only grow and are bounded by the freed set, so this
+  /// terminates; functions are walked in id order for determinism.
+  void propagateEntries() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (uint32_t F = 0; F < Prog.Funcs.size(); ++F) {
+        if (!isDefined(FuncId(F)))
+          continue;
+        IdSet<ObjectTag> Inval = Entry[F];
+        for (uint32_t I : Order.ByFunc[F])
+          applyStmt(I, Inval, &Changed, false);
+      }
+    }
+  }
+
+  /// Some dereference sites have no statement: the normalizer drops
+  /// assignments that move no pointer facts (e.g. "*d = 1") but still
+  /// records the site for the Figure-4 metric and the checkers. Each such
+  /// site is anchored to the function of the nearest preceding statement
+  /// in byte order (the site's pointer gives the function directly when it
+  /// is a local), and its verdict is recorded between the statements its
+  /// offset falls between. Sites before any statement stay unrefined —
+  /// the checker then falls back to the flow-insensitive mark.
+  void assignUnattachedSites() {
+    PendingByFunc.assign(Prog.Funcs.size(), {});
+    std::vector<char> Attached(Prog.DerefSites.size(), 0);
+    for (const NormStmt &St : Prog.Stmts)
+      if (St.DerefSite >= 0 &&
+          static_cast<size_t>(St.DerefSite) < Attached.size())
+        Attached[St.DerefSite] = 1;
+
+    std::vector<std::pair<uint64_t, uint32_t>> ByOffset; // (offset, stmt)
+    for (uint32_t I = 0; I < Prog.Stmts.size(); ++I)
+      ByOffset.emplace_back(Prog.Stmts[I].Loc.Offset, I);
+    std::sort(ByOffset.begin(), ByOffset.end());
+
+    for (uint32_t I = 0; I < Prog.DerefSites.size(); ++I) {
+      if (Attached[I])
+        continue;
+      const DerefSite &Site = Prog.DerefSites[I];
+      FuncId Owner = Prog.object(Site.Ptr).Owner;
+      if (!Owner.isValid()) {
+        // A global pointer names no function; the last statement at or
+        // before the site does.
+        auto It = std::upper_bound(
+            ByOffset.begin(), ByOffset.end(),
+            std::make_pair(static_cast<uint64_t>(Site.Loc.Offset),
+                           UINT32_MAX));
+        if (It == ByOffset.begin())
+          continue; // before every statement: leave the baseline verdict
+        Owner = Prog.Stmts[std::prev(It)->second].Owner;
+      }
+      if (Owner.isValid() && isDefined(Owner))
+        PendingByFunc[Owner.index()].push_back(I);
+    }
+    for (std::vector<uint32_t> &Pending : PendingByFunc)
+      std::sort(Pending.begin(), Pending.end(),
+                [&](uint32_t A, uint32_t B) {
+                  return std::make_pair(Prog.DerefSites[A].Loc.Offset, A) <
+                         std::make_pair(Prog.DerefSites[B].Loc.Offset, B);
+                });
+  }
+
+  /// Records the verdict of one site against the running invalidated set.
+  void recordSite(uint32_t SiteIdx, const IdSet<ObjectTag> &Inval) {
+    IdSet<ObjectTag> Verdict;
+    for (NodeId T : S.derefTargets(Prog.DerefSites[SiteIdx])) {
+      ObjectId Obj = objectOf(T);
+      if (Inval.contains(Obj))
+        Verdict.insert(Obj);
+    }
+    S.setSiteFlowVerdict(SiteIdx, Verdict);
+  }
+
+  /// The final walk: re-run every function from its converged entry state
+  /// and record a verdict at each dereference site, interleaving the
+  /// statement-less sites at their byte-order position.
+  void recordVerdicts() {
+    assignUnattachedSites();
+    IdSet<ObjectTag> G;
+    for (uint32_t I : Order.Globals)
+      applyStmt(I, G, nullptr, true);
+    for (uint32_t F = 0; F < Prog.Funcs.size(); ++F) {
+      if (!isDefined(FuncId(F)))
+        continue;
+      IdSet<ObjectTag> Inval = Entry[F];
+      const std::vector<uint32_t> &Pending = PendingByFunc[F];
+      size_t Next = 0;
+      for (uint32_t I : Order.ByFunc[F]) {
+        while (Next < Pending.size() &&
+               Prog.DerefSites[Pending[Next]].Loc.Offset <=
+                   Prog.Stmts[I].Loc.Offset)
+          recordSite(Pending[Next++], Inval);
+        applyStmt(I, Inval, nullptr, true);
+      }
+      while (Next < Pending.size())
+        recordSite(Pending[Next++], Inval);
+    }
+  }
+
+  /// Interprets one statement against the running invalidated set. The
+  /// site verdict is recorded *before* the statement's own effects: a
+  /// call dereferences its function pointer before the callee can free
+  /// anything. Only two operations change the set — an AddrOf of a heap
+  /// pseudo-variable re-executes the allocation site (revival, unless the
+  /// address escapes), and a call applies its deallocation set.
+  void applyStmt(uint32_t Idx, IdSet<ObjectTag> &Inval, bool *EntriesChanged,
+                 bool Record) {
+    const NormStmt &St = Prog.Stmts[Idx];
+    if (Record && St.DerefSite >= 0)
+      recordSite(static_cast<uint32_t>(St.DerefSite), Inval);
+    switch (St.Op) {
+    case NormOp::AddrOf:
+      if (St.Src.isValid() &&
+          Prog.object(St.Src).Kind == ObjectKind::Heap &&
+          !Escaped.contains(St.Src))
+        Inval.erase(St.Src);
+      break;
+    case NormOp::Call:
+      if (EntriesChanged)
+        for (FuncId C : StmtDefinedCallees[Idx])
+          if (Entry[C.index()].insertAll(Inval))
+            *EntriesChanged = true;
+      Inval.insertAll(StmtFrees[Idx]);
+      break;
+    default:
+      break;
+    }
+  }
+
+  void collectCounters(FlowResult &Result) {
+    // Everything a walk's running set can ever contain comes from an
+    // entry state or a call's deallocation set.
+    IdSet<ObjectTag> Ever = GlobalsEntry;
+    for (uint32_t F = 0; F < Prog.Funcs.size(); ++F) {
+      if (!isDefined(FuncId(F)))
+        continue;
+      Ever.insertAll(Entry[F]);
+      for (uint32_t I : Order.ByFunc[F])
+        Ever.insertAll(StmtFrees[I]);
+    }
+    for (uint32_t I : Order.Globals)
+      Ever.insertAll(StmtFrees[I]);
+    Result.ObjectsInvalidated = Ever.size();
+
+    const std::vector<SiteEvents> &Events = S.siteEvents();
+    for (size_t I = 0; I < Prog.DerefSites.size() && I < Events.size();
+         ++I) {
+      bool BaselineHit = false, MissingSome = false;
+      for (NodeId T : S.derefTargets(Prog.DerefSites[I])) {
+        ObjectId Obj = objectOf(T);
+        if (!S.isFreed(Obj))
+          continue;
+        BaselineHit = true;
+        if (Events[I].FlowRefined &&
+            !Events[I].InvalidatedBefore.contains(Obj))
+          MissingSome = true;
+      }
+      bool RefinedHit = Events[I].FlowRefined
+                            ? !Events[I].InvalidatedBefore.empty()
+                            : BaselineHit;
+      if (MissingSome)
+        ++Result.SitesRefined;
+      if (BaselineHit && !RefinedHit)
+        ++Result.ReportsSuppressed;
+    }
+  }
+
+  Solver &S;
+  NormProgram &Prog;
+  NormProgram::StmtOrder Order;
+  /// Objects reachable by unknown external code (never revived).
+  IdSet<ObjectTag> Escaped;
+  /// Defined functions an external may invoke (callback entries).
+  std::vector<char> EscapedFunc;
+  /// Per statement: the objects a call statement may free. Built from
+  /// undefined-callee summaries, then widened by defined-callee may-free
+  /// summaries (empty for non-calls).
+  std::vector<IdSet<ObjectTag>> StmtFrees;
+  std::vector<std::vector<FuncId>> StmtDefinedCallees;
+  /// Defined-call adjacency (function index -> callee indices).
+  std::vector<std::vector<uint32_t>> Adj;
+  std::vector<IdSet<ObjectTag>> MayFree;
+  std::vector<IdSet<ObjectTag>> Entry;
+  IdSet<ObjectTag> GlobalsEntry;
+  /// Statement-less deref sites per function, in byte order (see
+  /// assignUnattachedSites).
+  std::vector<std::vector<uint32_t>> PendingByFunc;
+};
+
+} // namespace
+
+FlowResult spa::runInvalidationPass(Solver &S) {
+  return InvalidationPass(S).run();
+}
+
+FlowAuditResult spa::auditFlowRefinement(Solver &S) {
+  FlowAuditResult R;
+  NormProgram &Prog = S.program();
+  const std::vector<SiteEvents> &Events = S.siteEvents();
+  for (size_t I = 0; I < Events.size() && I < Prog.DerefSites.size(); ++I) {
+    if (!Events[I].FlowRefined)
+      continue;
+    ++R.SitesChecked;
+    IdSet<ObjectTag> TargetObjs;
+    for (NodeId T : S.derefTargets(Prog.DerefSites[I]))
+      TargetObjs.insert(S.model().nodes().objectOf(T));
+    for (ObjectId Obj : Events[I].InvalidatedBefore) {
+      if (!S.isFreed(Obj)) {
+        ++R.Violations;
+        R.Messages.push_back(
+            "site at " + toString(Prog.DerefSites[I].Loc) +
+            ": refined verdict invalidates '" + Prog.objectName(Obj) +
+            "', which the flow-insensitive solve never marked freed");
+      } else if (!TargetObjs.contains(Obj)) {
+        ++R.Violations;
+        R.Messages.push_back(
+            "site at " + toString(Prog.DerefSites[I].Loc) +
+            ": refined verdict invalidates '" + Prog.objectName(Obj) +
+            "', which is not among the site's dereference targets");
+      }
+    }
+  }
+  return R;
+}

@@ -1,0 +1,100 @@
+//===--- FlowPass.h - Invalidation-aware flow refinement -------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An ordering-aware invalidation analysis layered over the unchanged
+/// flow-insensitive fixpoint (the shape of dg's PointsToWithInvalidate /
+/// InvalidatedAnalysis). The paper's analysis has no notion of statement
+/// order, so the use-after-free checker treats every free as poisoning
+/// all aliases of an object forever — a dereference *before* the free is
+/// reported just the same. This pass walks each function's normalized
+/// statements in emission order after the solve, tracking the set of
+/// objects that may already be deallocated when control reaches each
+/// dereference site:
+///
+///  * free(p) invalidates exactly the heap objects in pts(p) that the
+///    solve marked freed (the same Dealloc library-summary semantics);
+///  * realloc kills the old block and revives the new one (the
+///    normalizer's AddrOf of the fresh heap pseudo-variable precedes the
+///    residual deallocating call, so this falls out of the walk);
+///  * calls to defined functions propagate invalidation both ways:
+///    a bottom-up SCC pass over the fixpoint call graph computes a
+///    may-free summary per function, and a top-down pass seeds each
+///    callee's entry state with the caller's state at the call;
+///  * re-executing an allocation site (an AddrOf of a heap
+///    pseudo-variable) revives that object — unless its address escapes
+///    to unknown external code, in which case it conservatively stays
+///    invalidated;
+///  * functions reachable only from outside the program (no main,
+///    unreachable from main, or passed as a callback to an external)
+///    start maximally invalidated, so the refinement degrades to the
+///    flow-insensitive answer exactly where ordering is unknown.
+///
+/// The result is recorded per dereference site into the solver's
+/// SiteEvents (Solver::setSiteFlowVerdict); the use-after-free checker
+/// consults the verdict instead of the global freedObjects() mark. The
+/// points-to fixpoint itself is never changed — every engine, model,
+/// points-to representation, and --certify result is untouched — and the
+/// verdicts only ever *suppress* reports the flow-insensitive mark also
+/// produced, never invent new ones. auditFlowRefinement re-checks that
+/// invariant independently (--flow-audit).
+///
+/// The walk is a single linear pass per function: branches and loop
+/// back-edges are not modeled, so within one function the pass sees the
+/// emission order as *the* order. That direction is safe (a free earlier
+/// in the walk can only add invalidations), and docs/CHECKERS.md spells
+/// out the accepted imprecision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_FLOW_FLOWPASS_H
+#define SPA_FLOW_FLOWPASS_H
+
+#include "pta/Solver.h"
+
+#include <string>
+#include <vector>
+
+namespace spa {
+
+/// Counters of one invalidation-pass run (telemetry "flow.*" keys).
+struct FlowResult {
+  /// Distinct objects that were invalid at some point of some walk.
+  uint64_t ObjectsInvalidated = 0;
+  /// Dereference sites whose verdict excludes at least one freed target —
+  /// the sites where the refinement is strictly more precise than the
+  /// flow-insensitive mark.
+  uint64_t SitesRefined = 0;
+  /// Sites where the flow-insensitive mark produces a use-after-free
+  /// report and the refined verdict produces none.
+  uint64_t ReportsSuppressed = 0;
+  /// Wall-clock seconds of the pass.
+  double Seconds = 0;
+};
+
+/// Runs the invalidation pass over \p S, which must have been solved to a
+/// converged fixpoint. Verdicts are recorded into the solver's site
+/// events; re-running solve() clears them.
+FlowResult runInvalidationPass(Solver &S);
+
+/// Result of one auditFlowRefinement call.
+struct FlowAuditResult {
+  uint64_t SitesChecked = 0;
+  uint64_t Violations = 0;
+  std::vector<std::string> Messages;
+  bool ok() const { return Violations == 0; }
+};
+
+/// Independently re-checks the refinement invariant over the recorded
+/// verdicts: every object a verdict invalidates must carry the solve's
+/// flow-insensitive freed mark and be among the site's dereference
+/// targets — so a refined verdict can only suppress reports the baseline
+/// also produced, never add one.
+FlowAuditResult auditFlowRefinement(Solver &S);
+
+} // namespace spa
+
+#endif // SPA_FLOW_FLOWPASS_H

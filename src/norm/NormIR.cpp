@@ -8,6 +8,19 @@
 
 using namespace spa;
 
+NormProgram::StmtOrder NormProgram::stmtOrder() const {
+  StmtOrder Order;
+  Order.ByFunc.resize(Funcs.size());
+  for (uint32_t I = 0; I < Stmts.size(); ++I) {
+    const NormStmt &S = Stmts[I];
+    if (S.Owner.isValid())
+      Order.ByFunc[S.Owner.index()].push_back(I);
+    else
+      Order.Globals.push_back(I);
+  }
+  return Order;
+}
+
 std::string NormProgram::objectName(ObjectId Id) const {
   const NormObject &Obj = object(Id);
   std::string Name = Obj.Name.isValid() ? std::string(Strings.text(Obj.Name))

@@ -183,6 +183,19 @@ public:
     return N;
   }
 
+  /// Statement indices of NormProgram::Stmts grouped by owning function,
+  /// with the emission (source) order preserved inside each list. The
+  /// normalizer emits statements in the order the source executes them
+  /// within one straight-line region, which is what the flow passes
+  /// (src/flow/) walk.
+  struct StmtOrder {
+    /// Per-function statement indices, indexed by FuncId.
+    std::vector<std::vector<uint32_t>> ByFunc;
+    /// Global-initializer statements (invalid Owner), program order.
+    std::vector<uint32_t> Globals;
+  };
+  StmtOrder stmtOrder() const;
+
   /// Renders an object's display name ("f::x" for locals).
   std::string objectName(ObjectId Id) const;
 

@@ -87,3 +87,21 @@ std::string spa::exportEdgeList(const Solver &S, const ExportOptions &Opts) {
   }
   return Out;
 }
+
+std::vector<std::vector<FuncId>> spa::buildCallGraph(Solver &S) {
+  const NormProgram &Prog = S.program();
+  std::vector<std::vector<FuncId>> Graph(Prog.Funcs.size());
+  for (const NormStmt &St : Prog.Stmts) {
+    if (St.Op != NormOp::Call || !St.Owner.isValid())
+      continue;
+    std::vector<FuncId> &Out = Graph[St.Owner.index()];
+    for (FuncId Callee : S.calleesOf(St))
+      Out.push_back(Callee);
+  }
+  for (std::vector<FuncId> &Out : Graph) {
+    std::sort(Out.begin(), Out.end(),
+              [](FuncId A, FuncId B) { return A.index() < B.index(); });
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+  return Graph;
+}

@@ -16,6 +16,7 @@
 #include "pta/Solver.h"
 
 #include <string>
+#include <vector>
 
 namespace spa {
 
@@ -33,6 +34,16 @@ std::string exportDot(const Solver &S, const ExportOptions &Opts = {});
 
 /// Renders the graph as sorted "source -> target" lines, one per edge.
 std::string exportEdgeList(const Solver &S, const ExportOptions &Opts = {});
+
+/// The call graph at fixpoint: for each function (indexed by FuncId), the
+/// functions its call statements may invoke — direct callees plus every
+/// fixpoint target of each indirect call (Solver::calleesOf), defined and
+/// undefined alike, sorted and deduplicated. \p S is non-const because
+/// indirect-call resolution reads points-to sets, which may lazily
+/// materialize nodes; the solution itself is not changed. Callers wanting
+/// only the defined-function subgraph (e.g. the src/flow summary pass)
+/// filter by NormFunction::IsDefined.
+std::vector<std::vector<FuncId>> buildCallGraph(Solver &S);
 
 } // namespace spa
 

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <tuple>
 
 using namespace spa;
 
@@ -160,8 +161,27 @@ void Solver::markFreed(ObjectId Obj, SourceLoc FreeLoc) {
   if (!Obj.isValid() || Obj == ExternObj ||
       Prog.object(Obj).Kind != ObjectKind::Heap)
     return;
-  if (Freed.insert(Obj))
+  if (Freed.insert(Obj)) {
     FreedAt.emplace(Obj, FreeLoc);
+    return;
+  }
+  // Freed again at another site: keep the earliest site in the file. The
+  // engines visit statements in different orders, so "first marked" would
+  // be engine-dependent; the byte offset is a total order over the one
+  // translation unit (line/column alone tie on synthesized locations).
+  SourceLoc &Kept = FreedAt[Obj];
+  if (std::tie(FreeLoc.Offset, FreeLoc.Line, FreeLoc.Column) <
+      std::tie(Kept.Offset, Kept.Line, Kept.Column))
+    Kept = FreeLoc;
+}
+
+void Solver::setSiteFlowVerdict(size_t SiteIdx,
+                                const IdSet<ObjectTag> &InvalidatedBefore) {
+  if (SiteIdx >= Events.size())
+    return;
+  SiteEvents &E = Events[SiteIdx];
+  E.FlowRefined = true;
+  E.InvalidatedBefore.insertAll(InvalidatedBefore);
 }
 
 bool Solver::removeEdgeForMutation(NodeId From, NodeId To) {

@@ -66,6 +66,16 @@ struct SiteEvents {
   /// The site's pointer had an empty points-to set at fixpoint (set after
   /// the engines finish).
   bool EmptyDeref = false;
+  /// The invalidation-aware flow pass (src/flow/) recorded a verdict for
+  /// this site after the solve. When set, the use-after-free checker
+  /// consults InvalidatedBefore instead of the global freedObjects() mark.
+  bool FlowRefined = false;
+  /// Objects among this site's dereference targets that may already be
+  /// deallocated when control reaches the site, per the flow pass's
+  /// statement-order walk. Always a subset of freedObjects() — the pass
+  /// refines the flow-insensitive mark, it never extends it (the
+  /// --flow-audit mode re-checks this).
+  IdSet<ObjectTag> InvalidatedBefore;
 };
 
 /// Which offline preprocessing pass runs between normalization and the
@@ -254,17 +264,27 @@ public:
   /// Per-site resolution events of the last solve(), indexed like
   /// NormProgram::DerefSites. Empty before the first solve.
   const std::vector<SiteEvents> &siteEvents() const { return Events; }
+  /// Records the flow pass's verdict for deref site \p SiteIdx: the
+  /// objects that may already be deallocated when control reaches the
+  /// site. Repeated calls union (a site visited from several walks keeps
+  /// the conservative join). No-op for out-of-range indices or before the
+  /// first solve; a re-solve clears all verdicts along with the events.
+  void setSiteFlowVerdict(size_t SiteIdx,
+                          const IdSet<ObjectTag> &InvalidatedBefore);
   /// Marks \p Obj deallocated (LibrarySummaries' Dealloc effect). Only
   /// heap allocation sites are recorded: freeing a stack/global object is
   /// a different bug, and the shared $extern blob aggregates every
   /// external allocation, so killing it would poison unrelated findings.
-  /// The first free location per object is kept for diagnostics.
+  /// The earliest free site per object (by byte offset) is kept for
+  /// diagnostics, so the reported location is independent of the engine's
+  /// statement visit order.
   void markFreed(ObjectId Obj, SourceLoc FreeLoc);
   /// True if \p Obj was marked freed during the solve.
   bool isFreed(ObjectId Obj) const { return Freed.contains(Obj); }
   /// All objects marked freed (deterministic order).
   const IdSet<ObjectTag> &freedObjects() const { return Freed; }
-  /// Location of the first deallocation of \p Obj (invalid if not freed).
+  /// Location of the earliest deallocation of \p Obj by (line, column,
+  /// byte offset); invalid if not freed.
   SourceLoc freedAt(ObjectId Obj) const;
   /// @}
 

@@ -138,6 +138,18 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
     W.close();
   }
 
+  if (T.Flow.FlowRan) {
+    W.open("flow");
+    W.field("objects_invalidated", T.Flow.ObjectsInvalidated);
+    W.field("sites_refined", T.Flow.SitesRefined);
+    W.field("reports_suppressed", T.Flow.ReportsSuppressed);
+    W.field("flow_ms", T.Flow.FlowSeconds * 1000.0);
+    W.field("audit_ran", T.Flow.AuditRan);
+    if (T.Flow.AuditRan)
+      W.field("audit_violations", T.Flow.AuditViolations);
+    W.close();
+  }
+
   W.open("deref_metrics");
   W.field("sites", uint64_t(T.Deref.Sites));
   W.field("non_empty_sites", uint64_t(T.Deref.NonEmptySites));

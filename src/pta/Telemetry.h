@@ -42,6 +42,19 @@ struct VerifyTelemetry {
   uint64_t IrViolations = 0;
 };
 
+/// Counters of the invalidation-aware flow pass (src/flow/). Filled by the
+/// layer above after runInvalidationPass / auditFlowRefinement; the JSON
+/// omits the "flow" object entirely when the pass did not run.
+struct FlowTelemetry {
+  bool FlowRan = false;
+  uint64_t ObjectsInvalidated = 0;
+  uint64_t SitesRefined = 0;
+  uint64_t ReportsSuppressed = 0;
+  double FlowSeconds = 0;
+  bool AuditRan = false;
+  uint64_t AuditViolations = 0;
+};
+
 /// Snapshot of one solved Analysis, ready for JSON export.
 struct RunTelemetry {
   /// Schema identifier emitted as "schema"; bump on breaking change.
@@ -64,6 +77,7 @@ struct RunTelemetry {
   ModelStats Model_;
   DerefMetrics Deref;
   VerifyTelemetry Verify;
+  FlowTelemetry Flow;
 };
 
 /// Snapshots \p A (which must have been run) into a RunTelemetry.

@@ -154,6 +154,31 @@ private:
            std::to_string(F) + ";";
   }
 
+  /// One deallocation-mix statement. The counter alternates heap
+  /// allocations into a rotating struct-pointer global with loads through
+  /// it, so every use precedes the end-of-main frees in emission order —
+  /// the shape whose flow-insensitive use-after-free reports an
+  /// invalidation-aware pass suppresses wholesale.
+  std::string freeStmt() {
+    unsigned C = FreeCounter++;
+    unsigned Q = C % Config.NumStructs;
+    if (C % 2 == 0)
+      return structPtrVar(Q) + " = (struct " + structName(Q) +
+             " *)malloc(64);";
+    return ptrVar((C / 2) % Config.NumPtrVars) + " = " + structPtrVar(Q) +
+           "->f0;";
+  }
+
+  /// One realloc-chain statement: the old block of the rotating
+  /// struct-pointer global dies, the result block is fresh (the
+  /// free-then-revive shape of the invalidation pass).
+  std::string reallocStmt() {
+    unsigned C = ReallocCounter++;
+    unsigned Q = C % Config.NumStructs;
+    return structPtrVar(Q) + " = (struct " + structName(Q) + " *)realloc(" +
+           structPtrVar(Q) + ", 128);";
+  }
+
   /// One random statement; all references are to globals, so statements
   /// are valid in any function.
   std::string randomStmt() {
@@ -162,6 +187,11 @@ private:
     if (Config.FieldFanPercent && Config.NumStructVars && Config.NumPtrVars &&
         Rand.percent(Config.FieldFanPercent))
       return fanStmt();
+    if (Config.FreePercent && Config.NumPtrVars &&
+        Rand.percent(Config.FreePercent))
+      return freeStmt();
+    if (Config.ReallocPercent && Rand.percent(Config.ReallocPercent))
+      return reallocStmt();
     unsigned S = Rand.below(Config.NumStructVars);
     unsigned SType = structOfVar(S);
     unsigned P = Rand.below(Config.NumPtrVars);
@@ -279,6 +309,16 @@ private:
     }
     for (unsigned I = 0; I < Config.StmtsPerFunction; ++I)
       line("  " + randomStmt());
+    // Deallocation epilogue: every struct pointer is freed after the whole
+    // body, then one is dereferenced — the single hand-pinned true
+    // use-after-free of the shape. Everything the body did with the heap
+    // happens before these frees, so an ordering-aware pass keeps exactly
+    // this report and suppresses the body's.
+    if (Config.FreePercent && Config.NumPtrVars) {
+      for (unsigned Q = 0; Q < Config.NumStructs; ++Q)
+        line("  free(" + structPtrVar(Q) + ");");
+      line("  " + ptrVar(0) + " = " + structPtrVar(0) + "->f0;");
+    }
     line("  return 0;");
     line("}");
   }
@@ -288,6 +328,8 @@ private:
   std::string Out;
   unsigned RingCounter = 0;
   unsigned FanCounter = 0;
+  unsigned FreeCounter = 0;
+  unsigned ReallocCounter = 0;
 };
 
 } // namespace

@@ -54,6 +54,18 @@ struct GeneratorConfig {
   /// instead of one id per field. 0 keeps the historical statement mix
   /// exactly.
   unsigned FieldFanPercent = 0;
+  /// % of statements devoted to deallocation: a deterministic counter
+  /// alternates free(q)-after-use shapes over the struct-pointer globals
+  /// (the use precedes the free in emission order, so an invalidation-
+  /// aware pass suppresses the flow-insensitive use-after-free report).
+  /// emitMain additionally frees every struct pointer at the end of main
+  /// and derefs one afterwards — the one hand-pinned true positive. 0
+  /// keeps the historical statement mix exactly.
+  unsigned FreePercent = 0;
+  /// % of statements devoted to realloc chains: q = realloc(q, n) over a
+  /// rotating struct-pointer global, the free-then-revive shape (the old
+  /// block dies, the result block is fresh). 0 emits none.
+  unsigned ReallocPercent = 0;
 };
 
 /// Generates the program text. Deterministic in the config (including

@@ -1,0 +1,225 @@
+//===--- FlowGoldenTest.cpp - Pinned corpus results for the flow pass -----===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The golden corpus under tests/inputs/flow/ pins a baseline and a
+/// refined use-after-free count per program (the counts are also written
+/// in each file's header comment — keep both in sync). On top of the
+/// per-file table this asserts the ISSUE's aggregate acceptance bar
+/// (>= 30% of flow-insensitive reports suppressed with every hand-pinned
+/// true positive kept), cross-dimension parity (engines x models x
+/// points-to representations x preprocessing produce byte-identical
+/// refined findings), a clean --flow-audit everywhere, and the mutation
+/// self-test: moving the free above the deref flips the verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#include "check/Checkers.h"
+#include "flow/FlowPass.h"
+#include "pta/Frontend.h"
+
+#include "gtest/gtest.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace spa;
+
+namespace {
+
+struct GoldenEntry {
+  const char *File;
+  unsigned Baseline; ///< use-after-free findings, flow-insensitive
+  unsigned Refined;  ///< findings after --flow=invalidate
+};
+
+// One row per corpus program; the comments name the suppressed site.
+const GoldenEntry Corpus[] = {
+    {"deref_before_free.c", 2, 0}, // both sites precede the free
+    {"true_uaf.c", 2, 1},          // post-free load is the true positive
+    {"interproc_free.c", 2, 1},    // may-free summary carries the kill
+    {"realloc_chain.c", 2, 1},     // realloc revives new, kills old
+    {"revive.c", 2, 1},            // re-executed malloc revives the block
+    {"escape_noclean.c", 2, 2},    // escape blocks the revival
+    {"fnptr_free.c", 2, 1},        // free through a function pointer
+};
+
+std::string readCorpusFile(const std::string &Name) {
+  std::ifstream In(std::string(SPA_FLOW_DIR) + "/" + Name);
+  EXPECT_TRUE(In.good()) << Name;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+struct RefinedRun {
+  unsigned Baseline = 0;
+  unsigned Refined = 0;
+  std::string RefinedText; ///< formatted refined findings, for parity
+  bool AuditOk = false;
+};
+
+/// Solves \p Source under \p Opts, runs the use-after-free checker before
+/// and after the invalidation pass, and audits the refinement.
+RefinedRun runRefined(const std::string &Source, AnalysisOptions Opts) {
+  RefinedRun R;
+  DiagnosticEngine CompileDiags;
+  auto P = CompiledProgram::fromSource(Source, CompileDiags);
+  EXPECT_TRUE(P != nullptr) << CompileDiags.formatAll();
+  if (!P)
+    return R;
+  Analysis A(P->Prog, std::move(Opts));
+  A.run();
+  DiagnosticEngine Base;
+  R.Baseline = runCheckers(A, {"use-after-free"}, Base).Findings;
+  runInvalidationPass(A.solver());
+  R.AuditOk = auditFlowRefinement(A.solver()).ok();
+  DiagnosticEngine Ref;
+  R.Refined = runCheckers(A, {"use-after-free"}, Ref).Findings;
+  R.RefinedText = Ref.formatAll();
+  return R;
+}
+
+AnalysisOptions defaults() {
+  AnalysisOptions Opts;
+  Opts.Model = ModelKind::CommonInitialSeq;
+  return Opts;
+}
+
+void applyEngine(AnalysisOptions &Opts, int Engine) {
+  Opts.Solver.UseWorklist = Engine >= 1;
+  Opts.Solver.DeltaPropagation = Engine >= 2;
+  Opts.Solver.CycleElimination = Engine == 3;
+}
+
+} // namespace
+
+TEST(FlowGolden, PerFileCountsMatchThePinnedTable) {
+  for (const GoldenEntry &E : Corpus) {
+    RefinedRun R = runRefined(readCorpusFile(E.File), defaults());
+    EXPECT_EQ(R.Baseline, E.Baseline) << E.File;
+    EXPECT_EQ(R.Refined, E.Refined) << E.File << "\n" << R.RefinedText;
+    EXPECT_TRUE(R.AuditOk) << E.File;
+  }
+}
+
+TEST(FlowGolden, AggregateSuppressionMeetsTheAcceptanceBar) {
+  unsigned Baseline = 0, Refined = 0;
+  for (const GoldenEntry &E : Corpus) {
+    RefinedRun R = runRefined(readCorpusFile(E.File), defaults());
+    Baseline += R.Baseline;
+    Refined += R.Refined;
+    // Every row's pinned true positives survive: the refined count never
+    // drops below the table's value.
+    EXPECT_GE(R.Refined, E.Refined) << E.File;
+  }
+  ASSERT_GT(Baseline, 0u);
+  unsigned Suppressed = Baseline - Refined;
+  EXPECT_GE(Suppressed * 100, Baseline * 30)
+      << "suppressed " << Suppressed << " of " << Baseline;
+}
+
+TEST(FlowGolden, RefinedFindingsAreIdenticalAcrossEngines) {
+  for (const GoldenEntry &E : Corpus) {
+    std::string Source = readCorpusFile(E.File);
+    std::string First;
+    for (int Engine = 0; Engine < 4; ++Engine) {
+      AnalysisOptions Opts = defaults();
+      applyEngine(Opts, Engine);
+      RefinedRun R = runRefined(Source, Opts);
+      EXPECT_TRUE(R.AuditOk) << E.File << " engine " << Engine;
+      EXPECT_EQ(R.Refined, E.Refined) << E.File << " engine " << Engine;
+      if (Engine == 0)
+        First = R.RefinedText;
+      else
+        EXPECT_EQ(R.RefinedText, First) << E.File << " engine " << Engine;
+    }
+  }
+}
+
+TEST(FlowGolden, RefinedFindingsAreIdenticalAcrossModels) {
+  const ModelKind Kinds[] = {ModelKind::CollapseAlways,
+                             ModelKind::CollapseOnCast,
+                             ModelKind::CommonInitialSeq, ModelKind::Offsets};
+  for (const GoldenEntry &E : Corpus) {
+    std::string Source = readCorpusFile(E.File);
+    std::string First;
+    bool HaveFirst = false;
+    for (ModelKind Kind : Kinds) {
+      AnalysisOptions Opts = defaults();
+      Opts.Model = Kind;
+      RefinedRun R = runRefined(Source, Opts);
+      EXPECT_TRUE(R.AuditOk) << E.File << " " << modelKindName(Kind);
+      EXPECT_EQ(R.Refined, E.Refined) << E.File << " " << modelKindName(Kind);
+      if (!HaveFirst) {
+        First = R.RefinedText;
+        HaveFirst = true;
+      } else {
+        EXPECT_EQ(R.RefinedText, First)
+            << E.File << " " << modelKindName(Kind);
+      }
+    }
+  }
+}
+
+TEST(FlowGolden, RefinedFindingsAreIdenticalAcrossPtsReprsAndPreprocess) {
+  const PtsRepr Reprs[] = {PtsRepr::Sorted, PtsRepr::Small, PtsRepr::Bitmap,
+                           PtsRepr::Offsets};
+  for (const GoldenEntry &E : Corpus) {
+    std::string Source = readCorpusFile(E.File);
+    std::string First;
+    bool HaveFirst = false;
+    for (PtsRepr Repr : Reprs) {
+      for (int Pre = 0; Pre < 2; ++Pre) {
+        AnalysisOptions Opts = defaults();
+        Opts.Solver.PointsTo = Repr;
+        Opts.Solver.Preprocess =
+            Pre ? PreprocessKind::Hvn : PreprocessKind::None;
+        RefinedRun R = runRefined(Source, Opts);
+        EXPECT_TRUE(R.AuditOk) << E.File << " " << ptsReprName(Repr);
+        EXPECT_EQ(R.Refined, E.Refined)
+            << E.File << " " << ptsReprName(Repr) << " pre=" << Pre;
+        if (!HaveFirst) {
+          First = R.RefinedText;
+          HaveFirst = true;
+        } else {
+          EXPECT_EQ(R.RefinedText, First)
+              << E.File << " " << ptsReprName(Repr) << " pre=" << Pre;
+        }
+      }
+    }
+  }
+}
+
+TEST(FlowGolden, MutationMovingTheFreeAboveTheDerefFlipsTheVerdict) {
+  // The self-test the ISSUE asks for: the same program with the free
+  // hoisted above the dereferences must lose its suppressions. Built by
+  // line surgery on deref_before_free.c so the two variants stay in
+  // lockstep with the corpus file.
+  std::string Source = readCorpusFile("deref_before_free.c");
+  std::string FreeLine = "  free(d);\n";
+  std::string AnchorLine = "  *d = 1;\n";
+  size_t FreeAt = Source.find(FreeLine);
+  size_t AnchorAt = Source.find(AnchorLine);
+  ASSERT_NE(FreeAt, std::string::npos);
+  ASSERT_NE(AnchorAt, std::string::npos);
+  ASSERT_LT(AnchorAt, FreeAt);
+  std::string Mutated = Source;
+  Mutated.erase(FreeAt, FreeLine.size());
+  Mutated.insert(AnchorAt, FreeLine);
+
+  RefinedRun Original = runRefined(Source, defaults());
+  EXPECT_EQ(Original.Baseline, 2u);
+  EXPECT_EQ(Original.Refined, 0u);
+
+  RefinedRun Flipped = runRefined(Mutated, defaults());
+  EXPECT_TRUE(Flipped.AuditOk);
+  EXPECT_EQ(Flipped.Baseline, 2u);
+  EXPECT_EQ(Flipped.Refined, 2u)
+      << "hoisting the free must keep both reports\n" << Flipped.RefinedText;
+}

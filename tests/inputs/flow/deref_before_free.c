@@ -1,0 +1,18 @@
+/* Flow-pass golden example: every use of the block precedes the free.
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 2 (the *d store and the *d load both alias
+ *                                 a block that is freed somewhere)
+ *   --flow=invalidate:         0 (both sites run before the free)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+
+int main(void) {
+  int *d;
+  int v;
+  d = (int *)malloc(sizeof(int));
+  *d = 1;
+  v = *d;
+  free(d);
+  return v;
+}

@@ -1,0 +1,30 @@
+/* Flow-pass golden example: an escaped block is never revived. The same
+ * shape as revive.c, but the pointer is passed to an unknown external
+ * before the free — external code may hold the old block, so re-executing
+ * the allocation site must NOT clear the invalidation.
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 2 (the *g store in refill and the *g load
+ *                                 in main)
+ *   --flow=invalidate:         2 (no suppression: the escape blocks the
+ *                                 revival, so refill's store keeps its
+ *                                 report, and main's load stays as in
+ *                                 revive.c)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+void stash(int *p);
+
+int *g;
+
+void refill(void) {
+  g = (int *)malloc(4);
+  *g = 1;
+}
+
+int main(void) {
+  refill();
+  stash(g);
+  free(g);
+  refill();
+  return *g;
+}

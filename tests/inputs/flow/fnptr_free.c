@@ -1,0 +1,23 @@
+/* Flow-pass golden example: the free happens through a function pointer,
+ * so the deallocation set of the indirect call comes from the fixpoint
+ * call graph (pts of the callee pointer), not from a direct callee name.
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 2 (the *d store and the *d load)
+ *   --flow=invalidate:         1 (the store before the indirect free is
+ *                                 suppressed; the load after it stays)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+
+int *d;
+void (*op)(void *p);
+
+int main(void) {
+  int v;
+  d = (int *)malloc(4);
+  *d = 1;
+  op = free;
+  op(d);
+  v = *d;
+  return v;
+}

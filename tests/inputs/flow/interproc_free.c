@@ -1,0 +1,22 @@
+/* Flow-pass golden example: the free happens inside a callee, so the
+ * bottom-up may-free summary must carry it to the call site in main.
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 2 (both *gp sites alias the freed block)
+ *   --flow=invalidate:         1 (the store before release() is
+ *                                 suppressed; the load after it stays)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+
+int *gp;
+
+void release(void) { free(gp); }
+
+int main(void) {
+  int v;
+  gp = (int *)malloc(4);
+  *gp = 1;
+  release();
+  v = *gp;
+  return v;
+}

@@ -1,0 +1,22 @@
+/* Flow-pass golden example: realloc kills the old block and revives the
+ * new one (the normalizer emits the fresh allocation before the residual
+ * deallocating call, so the walk sees revive-then-kill in the right
+ * order).
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 2 (both *d sites alias the dead old block)
+ *   --flow=invalidate:         1 (the store before the realloc is
+ *                                 suppressed; the load after it still
+ *                                 aliases the stale old block and stays)
+ */
+void *malloc(unsigned n);
+void *realloc(void *p, unsigned n);
+
+int main(void) {
+  int *d;
+  int v;
+  d = (int *)malloc(4);
+  *d = 1;
+  d = (int *)realloc(d, 8);
+  v = *d;
+  return v;
+}

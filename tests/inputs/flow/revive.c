@@ -1,0 +1,29 @@
+/* Flow-pass golden example: re-executing an allocation site revives the
+ * object. refill() is called both before and after the free, so its entry
+ * state contains the freed block — but the malloc right above the store
+ * re-executes the allocation site, so the store cannot see a dead block.
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 2 (the *g store in refill and the *g load
+ *                                 in main both alias the freed block)
+ *   --flow=invalidate:         1 (refill's store is suppressed by the
+ *                                 revival; main's load after free(g) is
+ *                                 conservatively kept — the pass tracks no
+ *                                 callee exit states, so the second
+ *                                 refill() does not clean main's state)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+
+int *g;
+
+void refill(void) {
+  g = (int *)malloc(4);
+  *g = 1;
+}
+
+int main(void) {
+  refill();
+  free(g);
+  refill();
+  return *g;
+}

@@ -1,0 +1,16 @@
+/* Flow-pass golden example: a genuine use after free.
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 2 (the pre-free store and the post-free load)
+ *   --flow=invalidate:         1 (the post-free load stays — the
+ *                                 hand-pinned true positive)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+
+int main(void) {
+  int *d;
+  d = (int *)malloc(sizeof(int));
+  *d = 1;
+  free(d);
+  return *d;
+}

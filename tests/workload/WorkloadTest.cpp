@@ -106,3 +106,33 @@ TEST(Generator, WideSweepAllCompile) {
         << "seed " << Seed << ":\n" << Diags.formatAll();
   }
 }
+
+TEST(Generator, ZeroFreePercentEmitsNoDeallocations) {
+  GeneratorConfig Config;
+  Config.Seed = 11;
+  Config.UseHeap = true;
+  EXPECT_EQ(Config.FreePercent, 0u);
+  EXPECT_EQ(Config.ReallocPercent, 0u);
+  std::string Source = generateProgram(Config);
+  EXPECT_EQ(Source.find("free("), std::string::npos);
+  EXPECT_EQ(Source.find("realloc("), std::string::npos);
+}
+
+TEST(Generator, UafHeavyShapeCompilesAndMarksFreedObjects) {
+  GeneratorConfig Config;
+  Config.Seed = 13;
+  Config.UseHeap = true;
+  Config.FreePercent = 35;
+  Config.ReallocPercent = 10;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 30;
+  std::string Source = generateProgram(Config);
+  EXPECT_NE(Source.find("free("), std::string::npos);
+  EXPECT_NE(Source.find("realloc("), std::string::npos);
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.formatAll();
+  Analysis A(P->Prog);
+  A.run();
+  EXPECT_GT(A.solver().freedObjects().size(), 0u);
+}

@@ -70,6 +70,29 @@ for f in corpus/*.c; do
   done
 done | certify_sweep
 
+echo "== flow: golden corpus x engines x models, audited and certified =="
+# The invalidation-aware flow pass must refine without inventing: on every
+# flow-corpus program, every engine, and every model, the refined run must
+# still certify and --flow-audit must prove each refined verdict is a
+# subset of the flow-insensitive freed mark (exit 4 on any violation).
+# Findings are expected on some programs, so exit 2 is accepted.
+flow_sweep() {
+  xargs -P "$jobs_n" -I{} sh -c '
+    ./build/tools/spa_cli {} >/dev/null
+    rc=$?
+    if [ "$rc" != 0 ] && [ "$rc" != 2 ]; then
+      echo "flow sweep failed (exit $rc): {}" >&2
+      exit 255
+    fi'
+}
+for f in tests/inputs/flow/*.c; do
+  for engine in naive worklist delta scc; do
+    for model in ca coc cis off; do
+      echo "$f --flow=invalidate --flow-audit --certify --check=use-after-free --engine=$engine --model=$model"
+    done
+  done
+done | flow_sweep
+
 echo "== mutation smoke: seeded faults must be caught =="
 # The certifier's detection power: hundreds of seeded fact deletions and
 # insertions, all of which must be flagged with zero clean-run false

@@ -29,6 +29,11 @@
 ///   spa_cli file.c --certify                re-derive and check every rule
 ///                                           obligation of the solution
 ///   spa_cli file.c --verify-ir              lint the normalized IR
+///   spa_cli file.c --flow=invalidate        statement-order invalidation
+///                                           pass refining use-after-free
+///   spa_cli file.c --flow-audit             check the refinement only ever
+///                                           suppresses baseline reports
+///                                           (implies --flow=invalidate)
 ///
 /// Exit codes:
 ///   0   success, no findings
@@ -44,6 +49,7 @@
 
 #include "check/Checkers.h"
 #include "check/Sarif.h"
+#include "flow/FlowPass.h"
 #include "pta/Frontend.h"
 #include "pta/GraphExport.h"
 #include "pta/Telemetry.h"
@@ -79,6 +85,8 @@ struct CliOptions {
   bool Check = false;
   bool Certify = false;
   bool VerifyIr = false;
+  bool Flow = false;      ///< --flow=invalidate
+  bool FlowAudit = false; ///< --flow-audit (implies Flow)
   bool Edges = false;
   bool Dot = false;
   bool Stmts = false;
@@ -145,6 +153,7 @@ const char *const EngineValues[] = {"naive", "worklist", "delta", "scc",
 const char *const PtsValues[] = {"sorted", "small", "bitmap", "offsets",
                                  nullptr};
 const char *const PreprocessValues[] = {"none", "hvn", nullptr};
+const char *const FlowValues[] = {"none", "invalidate", nullptr};
 
 /// The one table every suggestion comes from: each option's spelling plus
 /// (for enumerated options) its value list, so both a mistyped flag and a
@@ -166,6 +175,7 @@ const OptionSpec KnownOptions[] = {
     {"--max-iterations", nullptr}, {"--stats-json", nullptr},
     {"--check", nullptr},        {"--sarif", nullptr},
     {"--certify", nullptr},      {"--verify-ir", nullptr},
+    {"--flow", FlowValues},      {"--flow-audit", nullptr},
 };
 
 /// Closest candidate to \p Given within plausible-typo distance; null if
@@ -332,6 +342,19 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Certify = true;
     } else if (Arg == "--verify-ir") {
       Opts.VerifyIr = true;
+    } else if (Arg.rfind("--flow=", 0) == 0) {
+      std::string F = Arg.substr(7);
+      if (F == "none")
+        Opts.Flow = false;
+      else if (F == "invalidate")
+        Opts.Flow = true;
+      else {
+        badValue("--flow", "flow pass", F);
+        return false;
+      }
+    } else if (Arg == "--flow-audit") {
+      Opts.FlowAudit = true;
+      Opts.Flow = true;
     } else if (Arg == "--check") {
       Opts.Check = true;
     } else if (Arg.rfind("--check=", 0) == 0) {
@@ -427,6 +450,13 @@ void usage(const char *Prog) {
       "                           failure); skipped on unconverged runs\n"
       "  --verify-ir              check the normalized IR is well-formed\n"
       "                           (exit 4 on failure)\n"
+      "  --flow=none|invalidate   statement-order invalidation pass after the\n"
+      "                           solve: the use-after-free checker only\n"
+      "                           reports objects that may already be freed\n"
+      "                           when control reaches the site\n"
+      "  --flow-audit             re-check that the refinement only ever\n"
+      "                           suppresses baseline reports (exit 4 on\n"
+      "                           violation); implies --flow=invalidate\n"
       "checkers:",
       Prog);
   for (const std::string &Id : CheckerRegistry::allIds())
@@ -543,6 +573,40 @@ int main(int argc, char **argv) {
       }
     }
   }
+  // The invalidation-aware flow pass (src/flow/) refines the use-after-free
+  // verdicts in place, so it must run before the checkers. Like --certify
+  // it needs a converged fixpoint; a failed audit exits 4.
+  FlowTelemetry FT;
+  uint64_t AuditSitesChecked = 0;
+  if (Opts.Flow || Opts.FlowAudit) {
+    if (!RS.Converged) {
+      std::fprintf(stderr,
+                   "warning: --flow skipped: the solver did not converge\n");
+    } else {
+      FlowResult FR = runInvalidationPass(A.solver());
+      FT.FlowRan = true;
+      FT.ObjectsInvalidated = FR.ObjectsInvalidated;
+      FT.SitesRefined = FR.SitesRefined;
+      FT.ReportsSuppressed = FR.ReportsSuppressed;
+      FT.FlowSeconds = FR.Seconds;
+      if (Opts.FlowAudit) {
+        FlowAuditResult AR = auditFlowRefinement(A.solver());
+        FT.AuditRan = true;
+        FT.AuditViolations = AR.Violations;
+        AuditSitesChecked = AR.SitesChecked;
+        if (!AR.ok()) {
+          VerifyFailed = true;
+          for (const std::string &Msg : AR.Messages)
+            std::fprintf(stderr, "flow-audit: %s\n", Msg.c_str());
+          std::fprintf(stderr,
+                       "flow-audit: FAILED (%llu violations over %llu "
+                       "refined sites)\n",
+                       (unsigned long long)AR.Violations,
+                       (unsigned long long)AR.SitesChecked);
+        }
+      }
+    }
+  }
   if (VerifyFailed && ExitCode == 0)
     ExitCode = ExitVerifyFailed;
 
@@ -572,6 +636,7 @@ int main(int argc, char **argv) {
   if (!Opts.StatsJson.empty()) {
     RunTelemetry T = collectTelemetry(A, Opts.File);
     T.Verify = VT;
+    T.Flow = FT;
     if (!writeTelemetryJson(T, Opts.StatsJson)) {
       std::fprintf(stderr, "cannot write '%s'\n", Opts.StatsJson.c_str());
       return 1;
@@ -656,6 +721,17 @@ int main(int argc, char **argv) {
     std::printf("ir well-formed:      %s (%llu checks)\n",
                 VT.IrViolations == 0 ? "yes" : "NO",
                 (unsigned long long)VT.IrChecks);
+  if (FT.FlowRan)
+    std::printf("flow refinement:     %llu objects invalidated, %llu sites "
+                "refined, %llu reports suppressed, %.3f ms\n",
+                (unsigned long long)FT.ObjectsInvalidated,
+                (unsigned long long)FT.SitesRefined,
+                (unsigned long long)FT.ReportsSuppressed,
+                FT.FlowSeconds * 1e3);
+  if (FT.AuditRan)
+    std::printf("flow audit:          %s (%llu refined sites checked)\n",
+                FT.AuditViolations == 0 ? "ok" : "FAILED",
+                (unsigned long long)AuditSitesChecked);
   std::printf("deref sites:         %zu\n", M.Sites);
   std::printf("avg deref set size:  %.2f\n", M.AvgSetSize);
   std::printf("max deref set size:  %llu\n",

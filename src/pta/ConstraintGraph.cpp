@@ -52,7 +52,7 @@ void ConstraintGraph::clear() {
 }
 
 ConstraintGraph::SweepResult
-ConstraintGraph::sweep(const UnionFind<NodeTag> &Reps) {
+ConstraintGraph::sweep(const UnionFind<NodeTag> &Reps, bool ComputeLevels) {
   SweepResult R;
   const size_t N = MaxNode;
   R.TopoRank.assign(N, 0);
@@ -135,5 +135,38 @@ ConstraintGraph::sweep(const UnionFind<NodeTag> &Reps) {
   for (uint32_t I = 0; I < N; ++I)
     if (Index[I])
       R.TopoRank[I] = NumComp - 1 - CompOf[I];
+
+  if (ComputeLevels && NumComp) {
+    // Level partition of the condensation: longest-path depth per
+    // component. Visit nodes in ascending TopoRank — a cross-component
+    // edge u → v always goes rank(u) < rank(v), so every node of a
+    // predecessor component is relaxed before any node of its successors
+    // and one pass over the edges suffices.
+    std::vector<uint32_t> Order;
+    Order.reserve(N);
+    for (uint32_t I = 0; I < N; ++I)
+      if (Index[I] && Reps.find(NodeId(I)) == NodeId(I))
+        Order.push_back(I);
+    std::sort(Order.begin(), Order.end(), [&R](uint32_t A, uint32_t B) {
+      return R.TopoRank[A] != R.TopoRank[B] ? R.TopoRank[A] < R.TopoRank[B]
+                                            : A < B;
+    });
+    std::vector<uint32_t> CompLevel(NumComp, 0);
+    for (uint32_t V : Order) {
+      uint32_t LV = CompLevel[CompOf[V]];
+      for (NodeId Raw : succOf(V)) {
+        uint32_t W = Reps.find(Raw).index();
+        if (W >= N || CompOf[W] == CompOf[V] || !Index[W])
+          continue;
+        CompLevel[CompOf[W]] = std::max(CompLevel[CompOf[W]], LV + 1);
+      }
+    }
+    R.Level.assign(N, 0);
+    for (uint32_t I = 0; I < N; ++I)
+      if (Index[I]) {
+        R.Level[I] = CompLevel[CompOf[I]];
+        R.NumLevels = std::max(R.NumLevels, R.Level[I] + 1);
+      }
+  }
   return R;
 }

@@ -48,6 +48,13 @@ public:
   /// collapse) into \p Rep and releases Merged's adjacency.
   void absorb(NodeId Rep, NodeId Merged);
 
+  /// True if the copy edge \p Src → \p Dst is recorded (raw, un-canonical
+  /// adjacency — callers canonicalize first, like addEdge). A pure query:
+  /// the parallel engine's gather phase probes it from worker threads.
+  bool hasEdge(NodeId Src, NodeId Dst) const {
+    return Src.index() < Succ.size() && Succ[Src.index()].contains(Dst);
+  }
+
   /// Distinct copy edges recorded so far (absorbs subtract duplicates
   /// that become visible at merge time, so this tracks live edges).
   uint64_t numEdges() const { return NumEdges; }
@@ -69,12 +76,28 @@ public:
     std::vector<uint32_t> TopoRank;
     /// Number of strongly connected components found.
     uint32_t Components = 0;
+    /// Topological level per node (only filled when sweep() is asked for
+    /// levels): the longest-path depth of the node's component in the
+    /// condensed DAG. Level 0 components have no incoming cross-component
+    /// edge; every edge goes from a lower level to a strictly higher one,
+    /// so all components of one level are mutually independent — the
+    /// parallel engine solves each level's statements concurrently and
+    /// barriers between levels. Coarser than TopoRank (many components
+    /// share a level), which is exactly what makes the batches wide.
+    /// Unreached nodes keep level 0, mirroring TopoRank.
+    std::vector<uint32_t> Level;
+    /// One past the largest level assigned (0 when levels were not
+    /// computed or the graph is empty).
+    uint32_t NumLevels = 0;
   };
 
   /// Runs Tarjan/Nuutila over the graph restricted to the representatives
   /// of \p Reps (edge endpoints are canonicalized on the fly) and resets
-  /// the edges-since-sweep counter.
-  SweepResult sweep(const UnionFind<NodeTag> &Reps);
+  /// the edges-since-sweep counter. With \p ComputeLevels the result also
+  /// carries the condensation's level partition (an extra pass over the
+  /// edges; the sequential engines skip it).
+  SweepResult sweep(const UnionFind<NodeTag> &Reps,
+                    bool ComputeLevels = false);
 
   /// Rough heap footprint of the adjacency storage, for telemetry.
   size_t bytes() const;

@@ -83,9 +83,22 @@ private:
   /// pair lists only ever grow (the delta engine's memoization depends on
   /// that), so every pair returned now is joined on every solve.
   void copyEdges(NodeId Dst, NodeId Src, TypeId Tau) {
-    Pairs.clear();
-    Model.resolve(Dst, Src, Tau, Pairs);
-    for (const auto &[D, S] : Pairs)
+    // Memoized across scan passes: a pair list is a function of the
+    // source object's node set (the solver's delta memo relies on the
+    // same invariant), so the closure's later passes — which mostly see
+    // an unchanged node universe — reuse the first pass's resolve work.
+    ResolveMemo &M =
+        Memo[(uint64_t(Dst.index()) << 32) | uint64_t(Src.index())];
+    uint32_t SrcCount = static_cast<uint32_t>(
+        Model.nodes().nodesOfObject(Model.nodes().objectOf(Src)).size());
+    if (M.SrcNodes != SrcCount || M.Tau != Tau) {
+      M.Pairs.clear();
+      Model.resolve(Dst, Src, Tau, M.Pairs);
+      M.SrcNodes = static_cast<uint32_t>(
+          Model.nodes().nodesOfObject(Model.nodes().objectOf(Src)).size());
+      M.Tau = Tau;
+    }
+    for (const auto &[D, S] : M.Pairs)
       Edges.emplace_back(S.index(), D.index());
     ObjPairs.emplace_back(Model.nodes().objectOf(Src).index(),
                           Model.nodes().objectOf(Dst).index());
@@ -394,7 +407,13 @@ private:
   std::vector<uint8_t> IndirectObj;
   /// Objects whose address escapes into points-to sets.
   std::vector<uint8_t> Exposed;
-  std::vector<std::pair<NodeId, NodeId>> Pairs; ///< resolve scratch
+  /// Cross-pass resolve memo, keyed by (dst node, src node).
+  struct ResolveMemo {
+    uint32_t SrcNodes = UINT32_MAX;
+    TypeId Tau;
+    std::vector<std::pair<NodeId, NodeId>> Pairs;
+  };
+  std::unordered_map<uint64_t, ResolveMemo> Memo;
 
   std::vector<uint32_t> SuccStart, SuccList;
   std::vector<uint32_t> PredStart, PredList;

@@ -51,6 +51,17 @@
 /// are Sorted, so code outside the solver (certifier scratch sets, tests)
 /// is unaffected unless it opts in.
 ///
+/// Concurrency contract (the parallel engine's gather phase relies on
+/// this): every set has a single writer — the solver's main thread, which
+/// owns all insert/insertAll calls. While no writer is active, concurrent
+/// readers may call contains(): it is a pure probe for every
+/// representation (the bitmap policy resolves members through
+/// InternTable::find, which never grows the shared table). begin()/end()
+/// and decoded views are NOT concurrent-reader-safe — the compressed
+/// representations materialize a mutable decode cache on first iteration —
+/// so worker threads must walk the solver's append-only change logs
+/// instead of iterating sets.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPA_PTA_PTSSET_H
@@ -114,6 +125,9 @@ public:
   /// True if every element of \p Other is already present.
   bool containsAll(const PtsSet &Other) const;
 
+  /// Membership probe. Pure for every representation — no decode cache,
+  /// no interning — so it is safe to call from concurrent reader threads
+  /// while no writer is active (see the concurrency contract above).
   bool contains(value_type V) const;
 
   /// Removes \p V; returns true if it was present. (Exists for the

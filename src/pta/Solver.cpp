@@ -7,9 +7,12 @@
 #include "pta/Solver.h"
 
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
+#include <thread>
 #include <tuple>
 
 using namespace spa;
@@ -60,7 +63,7 @@ void Solver::noteRead(ObjectId Obj) {
   DependentsByObject[C.index()].push_back(CurrentStmt);
 }
 
-void Solver::queueDependents(ObjectId Obj) {
+void Solver::queueDependents(ObjectId Obj, bool IncludeDead) {
   if (!WorklistActive || !Obj.isValid())
     return;
   ObjectId C = canonObj(Obj);
@@ -68,6 +71,8 @@ void Solver::queueDependents(ObjectId Obj) {
     return;
   for (int32_t StmtIdx : DependentsByObject[C.index()]) {
     if (StmtQueued[StmtIdx])
+      continue;
+    if (!IncludeDead && StmtDead[StmtIdx])
       continue;
     StmtQueued[StmtIdx] = 1;
     if (SccActive) {
@@ -250,6 +255,47 @@ void Solver::seedOfflineMerges(UnionFind<NodeTag> Map, double Seconds) {
     if (A != B)
       DepObjReps.unite(canonObj(A), canonObj(B));
   }
+}
+
+bool Solver::allPairsSelf(NodeId Dst, NodeId Src) const {
+  const StmtSolveState &St = StmtState[CurrentStmt];
+  auto It = St.Resolve.find(pairKey(Dst, Src));
+  if (It == St.Resolve.end())
+    return false;
+  for (const auto &[D, S] : It->second.Pairs)
+    if (canonNC(D) != canonNC(S))
+      return false;
+  return true;
+}
+
+void Solver::markDeadIfSelfCopy(NodeId Dst, NodeId Src) {
+  if (!deltaActive())
+    return;
+  StmtDead[CurrentStmt] = allPairsSelf(Dst, Src);
+}
+
+void Solver::markDeadIfSelfCall(const NormStmt &S) {
+  if (!deltaActive() || S.IndirectCallee.isValid() ||
+      !S.DirectCallee.isValid())
+    return;
+  const NormFunction &Fn = Prog.func(S.DirectCallee);
+  if (!Fn.IsDefined)
+    return;
+  size_t NumParams = Fn.Params.size();
+  bool Dead = true;
+  for (size_t I = 0; I < S.Args.size() && Dead; ++I) {
+    if (Prog.object(S.Args[I]).Kind == ObjectKind::Constant)
+      continue;
+    if (I < NumParams) {
+      ObjectId Param = Fn.Params[I];
+      Dead = allPairsSelf(normalizeObj(Param), normalizeObj(S.Args[I]));
+    } else if (Fn.VarargsObj.isValid()) {
+      Dead = false;
+    }
+  }
+  if (Dead && S.RetDst.isValid() && Fn.RetObj.isValid())
+    Dead = allPairsSelf(normalizeObj(S.RetDst), normalizeObj(Fn.RetObj));
+  StmtDead[CurrentStmt] = Dead;
 }
 
 bool Solver::flowResolve(NodeId Dst, NodeId Src, TypeId Tau) {
@@ -458,6 +504,7 @@ bool Solver::applyCall(const NormStmt &S) {
   for (FuncId Callee : calleesOf(S))
     if (bindCall(S, Callee))
       Changed = true;
+  markDeadIfSelfCall(S);
   return Changed;
 }
 
@@ -524,10 +571,14 @@ bool Solver::applyStmtImpl(const NormStmt &S) {
     }
     return Changed;
   }
-  case NormOp::Copy:
+  case NormOp::Copy: {
     // Rule 3: resolve(normalize(s), normalize(t.beta), tau_s).
-    return flowResolve(normalizeObj(S.Dst), Model.normalizeLoc(S.Src, S.Path),
-                       S.LhsTy);
+    NodeId Dst = normalizeObj(S.Dst);
+    NodeId Src = Model.normalizeLoc(S.Src, S.Path);
+    bool Changed = flowResolve(Dst, Src, S.LhsTy);
+    markDeadIfSelfCopy(Dst, Src);
+    return Changed;
+  }
   case NormOp::Load: {
     // Rule 4: for each pointsTo(q, t-hat):
     //   resolve(normalize(s), t-hat, tau_s).
@@ -631,8 +682,10 @@ void Solver::solveWorklist() {
   DependentsByObject.clear();
   // Materializing a node in an object invalidates any statement that
   // enumerated that object's nodes (Offsets artificial offsets).
-  Model.nodes().setOnNewNode([this](ObjectId Obj) { queueDependents(Obj); });
+  Model.nodes().setOnNewNode(
+      [this](ObjectId Obj) { queueDependents(Obj, /*IncludeDead=*/true); });
   StmtQueued.assign(N, 1);
+  StmtDead.assign(N, 0);
   Worklist.clear();
   // Push in reverse so the first pop processes statement 0.
   for (size_t I = N; I-- > 0;)
@@ -668,12 +721,15 @@ void Solver::solveWorklist() {
 void Solver::solveCycleElim() {
   WorklistActive = true;
   SccActive = true;
+  SweepBackoff = 1;
   size_t N = Prog.Stmts.size();
   StmtState.assign(N, StmtSolveState());
   StmtRank.assign(N, 0);
   DependentsByObject.clear();
-  Model.nodes().setOnNewNode([this](ObjectId Obj) { queueDependents(Obj); });
+  Model.nodes().setOnNewNode(
+      [this](ObjectId Obj) { queueDependents(Obj, /*IncludeDead=*/true); });
   StmtQueued.assign(N, 1);
+  StmtDead.assign(N, 0);
   PrioWorklist = {};
   for (size_t I = 0; I < N; ++I)
     PrioWorklist.emplace(0, static_cast<int32_t>(I));
@@ -721,23 +777,350 @@ void Solver::solveCycleElim() {
     reportNonConvergence("cycle-elimination");
 }
 
+void Solver::captureStmtNodes(const NormStmt &S, int32_t Idx) {
+  // Called right after the statement's first sequential application in
+  // solvePar: every node it names was just materialized, so these calls
+  // are pure lookups. Ops whose node set the gather phase cannot reason
+  // about (AddrOf runs once; Call re-resolves callees) stay uncaptured
+  // and are deferred forever — they are rare on the hot path.
+  StmtNodes &NC = StmtNodeCache[Idx];
+  switch (S.Op) {
+  case NormOp::Copy:
+    NC.Dst = normalizeObj(S.Dst);
+    NC.Src = Model.normalizeLoc(S.Src, S.Path);
+    NC.Valid = true;
+    break;
+  case NormOp::Load:
+  case NormOp::Store:
+  case NormOp::AddrOfDeref:
+    NC.Dst = normalizeObj(S.Dst);
+    NC.Src = normalizeObj(S.Src);
+    NC.Valid = true;
+    break;
+  case NormOp::PtrArith:
+    if (!Opts.HandlePtrArith)
+      break; // the statement never ran; capturing would materialize nodes
+    NC.Dst = normalizeObj(S.Dst);
+    NC.Ops.clear();
+    for (ObjectId Operand : S.ArithSrcs)
+      NC.Ops.push_back(normalizeObj(Operand));
+    NC.Valid = true;
+    break;
+  case NormOp::AddrOf:
+  case NormOp::Call:
+    break;
+  }
+}
+
+bool Solver::gatherJoin(const StmtSolveState &St, NodeId D, NodeId S,
+                        GatherResult &G) const {
+  D = canonNC(D);
+  S = canonNC(S);
+  if (D == S)
+    return true; // shared set: a permanent no-op, exactly like joinPair
+  // The copy edge must already be recorded: after a collapse the pair's
+  // canonical endpoints change and the first re-join records the fresh
+  // edge (plus the statement's CopyDsts entry) — a mutation, so defer.
+  if (!CopyGraph.hasEdge(S, D))
+    return false;
+  const NodeFacts *SF = S.index() < Facts.size() ? &Facts[S.index()] : nullptr;
+  size_t End = SF ? SF->Log.size() : 0;
+  uint64_t Key = pairKey(D, S);
+  auto It = St.Cursor.find(Key);
+  size_t Cur = It == St.Cursor.end() ? 0 : It->second;
+  if (Cur >= End)
+    return true; // nothing unseen; the sequential path would no-op too
+  G.Cursors.push_back({Key, static_cast<uint32_t>(End), Cur == 0});
+  G.Work += End - Cur;
+  const NodeFacts *DF = D.index() < Facts.size() ? &Facts[D.index()] : nullptr;
+  for (size_t I = Cur; I < End; ++I) {
+    NodeId T = SF->Log[I];
+    // contains() is a pure probe for every representation (the bitmap
+    // repr queries the shared intern table with find(), never intern()).
+    if (!DF || !DF->Set.contains(T))
+      G.NewFacts.emplace_back(D, T);
+  }
+  return true;
+}
+
+bool Solver::gatherResolve(const StmtSolveState &St, NodeId Dst, NodeId Src,
+                           GatherResult &G) const {
+  // Only the memoized pair list is usable read-only: recomputing it calls
+  // Model.resolve, which may materialize nodes. A missing or stale cache
+  // (the source object's node set grew) defers the whole statement. Cache
+  // presence also guarantees noteRead already registered the source
+  // object — flowResolve registers before it memoizes.
+  auto It = St.Resolve.find(pairKey(Dst, Src));
+  if (It == St.Resolve.end())
+    return false;
+  const ResolveCache &C = It->second;
+  ObjectId SrcObj = Model.nodes().objectOf(Src);
+  if (C.SrcNodes != Model.nodes().nodesOfObject(SrcObj).size())
+    return false;
+  for (const auto &[D, S] : C.Pairs)
+    if (!gatherJoin(St, D, S, G))
+      return false;
+  return true;
+}
+
+bool Solver::gatherStmt(const NormStmt &S, int32_t Idx,
+                        GatherResult &G) const {
+  const StmtNodes &NC = StmtNodeCache[Idx];
+  if (!NC.Valid)
+    return false; // first visit: run sequentially, then capture
+  const StmtSolveState &St = StmtState[Idx];
+  auto logOf = [this](NodeId N) -> const std::vector<NodeId> * {
+    NodeId C = canonNC(N);
+    return C.index() < Facts.size() ? &Facts[C.index()].Log : nullptr;
+  };
+  switch (S.Op) {
+  case NormOp::Copy:
+    return gatherResolve(St, NC.Dst, NC.Src, G);
+  case NormOp::Load: {
+    if (!St.Reads.contains(S.Src))
+      return false;
+    const std::vector<NodeId> *Log = logOf(NC.Src);
+    size_t End = Log ? Log->size() : 0;
+    G.Work += End;
+    for (size_t I = 0; I < End; ++I)
+      if (!gatherResolve(St, NC.Dst, (*Log)[I], G))
+        return false;
+    return true;
+  }
+  case NormOp::Store: {
+    if (!St.Reads.contains(S.Dst))
+      return false;
+    const std::vector<NodeId> *Log = logOf(NC.Dst);
+    size_t End = Log ? Log->size() : 0;
+    G.Work += End;
+    for (size_t I = 0; I < End; ++I)
+      if (!gatherResolve(St, (*Log)[I], NC.Src, G))
+        return false;
+    return true;
+  }
+  case NormOp::AddrOfDeref: {
+    // lookup() may materialize field nodes, so only the clean re-visit —
+    // no unseen pointer targets — is gatherable, as a detected no-op.
+    if (!St.Reads.contains(S.Src))
+      return false;
+    const std::vector<NodeId> *Log = logOf(NC.Src);
+    size_t End = Log ? Log->size() : 0;
+    auto It = St.Cursor.find(pairKey(canonNC(NC.Dst), canonNC(NC.Src)));
+    size_t Cur = It == St.Cursor.end() ? 0 : It->second;
+    ++G.Work;
+    return Cur >= End;
+  }
+  case NormOp::PtrArith: {
+    // Same shape: the smear materializes nodes, so gather only proves the
+    // re-visit is a no-op (no smeared object grew, no unseen operand
+    // targets) and defers anything that would change state.
+    for (const auto &Entry : St.SmearCursor)
+      if (Model.nodes().nodesOfObject(ObjectId(Entry.first)).size() !=
+          Entry.second)
+        return false;
+    for (size_t I = 0; I < NC.Ops.size(); ++I) {
+      if (!St.Reads.contains(S.ArithSrcs[I]))
+        return false;
+      NodeId Op = canonNC(NC.Ops[I]);
+      const NodeFacts *OF =
+          Op.index() < Facts.size() ? &Facts[Op.index()] : nullptr;
+      size_t End = OF ? OF->Log.size() : 0;
+      auto It = St.Cursor.find(pairKey(canonNC(NC.Dst), Op));
+      size_t Cur = It == St.Cursor.end() ? 0 : It->second;
+      ++G.Work;
+      if (Cur < End)
+        return false;
+    }
+    return true;
+  }
+  case NormOp::AddrOf:
+  case NormOp::Call:
+    return false;
+  }
+  return false;
+}
+
+void Solver::commitGather(int32_t Idx, GatherResult &G) {
+  const NormStmt &S = Prog.Stmts[Idx];
+  ActiveStmt = &S;
+  bool Changed = false;
+  // Proposals were filtered against the frozen sets; an earlier statement
+  // of the same barrier may have inserted one already, which addEdge
+  // absorbs. Insertion order is batch order — independent of the thread
+  // count, so logs and cursors evolve identically at any N.
+  for (const auto &[D, T] : G.NewFacts)
+    if (addEdge(D, T))
+      Changed = true;
+  StmtSolveState &St = StmtState[Idx];
+  for (const GatherResult::CursorCommit &C : G.Cursors) {
+    // The End captured at gather time, NOT the current log length: facts
+    // appended by earlier commits of this barrier stay past the cursor
+    // and are consumed on the statement's next visit (it is registered on
+    // the source object, so the growth re-queued it).
+    St.Cursor[C.Key] = C.End;
+    (C.Full ? ++Stats.FullPropagations : ++Stats.DeltaPropagations);
+  }
+  ActiveStmt = nullptr;
+  unsigned Rule = static_cast<unsigned>(S.Op);
+  if (Rule < NumSolverRules) {
+    ++Stats.RuleApplied[Rule];
+    if (Changed)
+      ++Stats.RuleChanged[Rule];
+  }
+}
+
+void Solver::solvePar() {
+  WorklistActive = true;
+  SccActive = true;
+  ParActive = true;
+  SweepBackoff = 1;
+  unsigned Workers = Opts.Threads
+                         ? Opts.Threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  Stats.ThreadsUsed = Workers;
+  ThreadPool Pool(Workers);
+  size_t N = Prog.Stmts.size();
+  StmtState.assign(N, StmtSolveState());
+  StmtNodeCache.assign(N, StmtNodes());
+  StmtRank.assign(N, 0);
+  DependentsByObject.clear();
+  Model.nodes().setOnNewNode(
+      [this](ObjectId Obj) { queueDependents(Obj, /*IncludeDead=*/true); });
+  StmtQueued.assign(N, 1);
+  StmtDead.assign(N, 0);
+  PrioWorklist = {};
+  for (size_t I = 0; I < N; ++I)
+    PrioWorklist.emplace(0, static_cast<int32_t>(I));
+  Stats.WorklistHighWater = PrioWorklist.size();
+
+  std::vector<int32_t> Batch;
+  std::vector<GatherResult> Gathers;
+  std::vector<uint64_t> WorkPerWorker(Workers, 0);
+  double CriticalWork = 0, IdealWork = 0;
+
+  uint64_t Budget = uint64_t(Opts.MaxIterations) * (N ? N : 1);
+  bool Fixpoint = true;
+  for (;;) {
+    while (!PrioWorklist.empty()) {
+      if (Stats.StmtsApplied >= Budget) {
+        Fixpoint = false;
+        break;
+      }
+      // Sweeps (and the collapses they trigger) run between supersteps
+      // only: the gather phase needs canon() frozen, and no statement
+      // holds references into facts a collapse rewrites.
+      maybeSweepSccs();
+      // One superstep: every queued statement of the minimum level. The
+      // (level, index) heap pops them in ascending statement order — the
+      // canonical commit order of the barrier.
+      uint32_t Level = PrioWorklist.top().first;
+      Batch.clear();
+      while (!PrioWorklist.empty() && PrioWorklist.top().first == Level) {
+        int32_t Idx = PrioWorklist.top().second;
+        PrioWorklist.pop();
+        StmtQueued[Idx] = 0;
+        Batch.push_back(Idx);
+      }
+      Gathers.assign(Batch.size(), GatherResult());
+      if (Batch.size() > 1) {
+        // Parallel read-only gather. Workers see a frozen solver: facts
+        // logs, cursor/resolve maps, the union-find (via the
+        // non-compressing walk), and the copy graph are read, nothing is
+        // written. Whether a batch gathers depends only on its size —
+        // never on the worker count — so the commit trace is identical
+        // at any N.
+        ++Stats.BarrierMerges;
+        std::fill(WorkPerWorker.begin(), WorkPerWorker.end(), 0);
+        Pool.run(Batch.size(), [&](size_t I, unsigned W) {
+          GatherResult &G = Gathers[I];
+          if (gatherStmt(Prog.Stmts[Batch[I]], Batch[I], G))
+            G.Deferred = false;
+          WorkPerWorker[W] += G.Work + 1;
+        });
+        uint64_t Max =
+            *std::max_element(WorkPerWorker.begin(), WorkPerWorker.end());
+        uint64_t Sum = std::accumulate(WorkPerWorker.begin(),
+                                       WorkPerWorker.end(), uint64_t(0));
+        CriticalWork += double(Max);
+        IdealWork += double(Sum) / Workers;
+      }
+      // Barrier commit, in canonical statement order: gathered proposals
+      // first-class through addEdge, deferred statements through the full
+      // sequential path (which may record edges, rebuild caches,
+      // materialize nodes — all main-thread effects).
+      for (size_t I = 0; I < Batch.size(); ++I) {
+        if (Stats.StmtsApplied >= Budget) {
+          Fixpoint = false;
+          break;
+        }
+        int32_t Idx = Batch[I];
+        CurrentStmt = Idx;
+        ++Stats.Pops;
+        ++Stats.PriorityPops;
+        ++Stats.StmtsApplied;
+        if (Gathers[I].Deferred) {
+          ++Stats.ParDeferred;
+          applyStmt(Prog.Stmts[Idx]);
+          if (!StmtNodeCache[Idx].Valid)
+            captureStmtNodes(Prog.Stmts[Idx], Idx);
+        } else {
+          ++Stats.ParGathered;
+          commitGather(Idx, Gathers[I]);
+        }
+        CurrentStmt = -1;
+      }
+      if (!Fixpoint)
+        break;
+    }
+    if (!Fixpoint)
+      break;
+    // Drain-time final sweep, exactly like the sequential scc engine.
+    if (!maybeSweepSccs(/*Force=*/true))
+      break;
+  }
+  CurrentStmt = -1;
+  WorklistActive = false;
+  SccActive = false;
+  ParActive = false;
+  Model.nodes().setOnNewNode(nullptr);
+  if (IdealWork > 0)
+    Stats.ParImbalancePct = 100.0 * (CriticalWork - IdealWork) / IdealWork;
+  Stats.BytesHighWater = estimateStateBytes();
+  releaseSolveState();
+  if (Fixpoint)
+    Stats.Converged = true;
+  else
+    reportNonConvergence("parallel");
+}
+
 bool Solver::maybeSweepSccs(bool Force) {
   uint64_t Since = CopyGraph.edgesSinceSweep();
   if (Since == 0)
     return false;
   if (!Force) {
     // Growth heuristic: sweep once the graph gained a quarter of its
-    // edges (with a floor so tiny graphs don't sweep on every edge).
+    // edges (with a floor so tiny graphs don't sweep on every edge). The
+    // back-off multiplier rises while sweeps come back empty — after the
+    // offline HVN pass pre-collapsed the cycles, re-scanning the (now
+    // mostly acyclic) graph at the base cadence was pure overhead, slow
+    // enough to erase hvn's win on the bench matrix.
     uint64_t Threshold =
-        std::max<uint64_t>(32, CopyGraph.numEdges() / 4);
+        std::max<uint64_t>(32, CopyGraph.numEdges() / 4) * SweepBackoff;
     if (Since < Threshold)
       return false;
   }
   ++Stats.SccSweeps;
-  ConstraintGraph::SweepResult R = CopyGraph.sweep(NodeReps);
+  ConstraintGraph::SweepResult R =
+      CopyGraph.sweep(NodeReps, /*ComputeLevels=*/ParActive);
   for (const std::vector<NodeId> &Cycle : R.Cycles)
     collapseCycle(Cycle);
-  recomputeStmtRanks(R.TopoRank);
+  recomputeStmtRanks(ParActive ? R.Level : R.TopoRank);
+  if (ParActive)
+    Stats.Levels = R.NumLevels;
+  if (R.Cycles.empty())
+    SweepBackoff = std::min<uint64_t>(SweepBackoff * 2, 2);
+  else
+    SweepBackoff = 1;
   return !R.Cycles.empty();
 }
 
@@ -829,7 +1212,11 @@ size_t Solver::estimateStateBytes() const {
   Total += DependentsByObject.capacity() * sizeof(std::vector<int32_t>);
   Total += Worklist.capacity() * sizeof(int32_t);
   Total += StmtQueued.capacity();
+  Total += StmtDead.capacity();
   Total += StmtRank.capacity() * sizeof(uint32_t);
+  Total += StmtNodeCache.capacity() * sizeof(StmtNodes);
+  for (const StmtNodes &NC : StmtNodeCache)
+    Total += NC.Ops.capacity() * sizeof(NodeId);
   Total += CopyGraph.bytes();
   return Total;
 }
@@ -843,7 +1230,9 @@ void Solver::releaseSolveState() {
   DependentsByObject = std::vector<std::vector<int32_t>>();
   Worklist = std::vector<int32_t>();
   StmtQueued = std::vector<uint8_t>();
+  StmtDead = std::vector<uint8_t>();
   StmtRank = std::vector<uint32_t>();
+  StmtNodeCache = std::vector<StmtNodes>();
   PrioWorklist = {};
   CopyGraph.clear();
 }
@@ -855,14 +1244,23 @@ void Solver::solve() {
   Events.assign(Prog.DerefSites.size(), SiteEvents());
   Freed = IdSet<ObjectTag>();
   FreedAt.clear();
-  // Cycle elimination is a layer on the delta worklist; normalize the
-  // flags so options echoed in telemetry reflect what actually ran.
+  // Cycle elimination is a layer on the delta worklist, and the parallel
+  // engine a layer on cycle elimination; normalize the flags so options
+  // echoed in telemetry reflect what actually ran. Resolve Threads here
+  // too so the echo shows the effective worker count.
+  if (Opts.ParallelSolve) {
+    Opts.CycleElimination = true;
+    if (Opts.Threads == 0)
+      Opts.Threads = std::max(1u, std::thread::hardware_concurrency());
+  }
   if (Opts.CycleElimination) {
     Opts.UseWorklist = true;
     Opts.DeltaPropagation = true;
   }
   auto Start = std::chrono::steady_clock::now();
-  if (Opts.CycleElimination)
+  if (Opts.ParallelSolve)
+    solvePar();
+  else if (Opts.CycleElimination)
     solveCycleElim();
   else if (Opts.UseWorklist)
     solveWorklist();

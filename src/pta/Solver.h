@@ -130,6 +130,22 @@ struct SolverOptions {
   /// equivalence tests assert bit-for-bit equal graphs for all four
   /// engines.
   bool CycleElimination = false;
+  /// Level-scheduled parallel solve on top of the cycle-elimination
+  /// engine (implies CycleElimination; solve() normalizes the flags).
+  /// The condensed copy-edge DAG is partitioned into topological levels;
+  /// all queued statements of one level are evaluated concurrently on a
+  /// fixed-size thread pool in a read-only "gather" phase, and their
+  /// effects are committed at the level barrier in canonical statement
+  /// order. The commit order — and therefore every mutation of shared
+  /// state — is a pure function of the program, independent of Threads
+  /// and of scheduling, so the fixpoint (and the whole execution trace)
+  /// is bit-identical to itself at any thread count and byte-identical
+  /// to the other engines' fixpoint.
+  bool ParallelSolve = false;
+  /// Worker count for ParallelSolve: 0 = hardware concurrency (resolved
+  /// when the solve starts), 1 = the same superstep engine inline with no
+  /// threads at all.
+  unsigned Threads = 0;
   /// Storage policy for every points-to set of this run (pta/PtsSet.h).
   /// Orthogonal to the engine flags: any representation under any engine
   /// computes the bit-identical fixpoint. Sorted is the baseline; the
@@ -191,6 +207,19 @@ struct SolverRunStats {
   /// @{
   uint64_t NodesMergedOffline = 0; ///< nodes pre-merged before the solve
   double OfflineSeconds = 0;       ///< wall-clock seconds of the pass
+  /// @}
+  /// \name Parallel engine counters (zero elsewhere).
+  /// @{
+  unsigned ThreadsUsed = 0;   ///< pool workers (caller included)
+  uint32_t Levels = 0;        ///< condensation levels at the last sweep
+  uint64_t BarrierMerges = 0; ///< supersteps committed at a level barrier
+  uint64_t ParGathered = 0;   ///< statements evaluated read-only in workers
+  uint64_t ParDeferred = 0;   ///< statements run sequentially at the barrier
+  /// Load imbalance of the gather phases: 100 * (critical path - ideal) /
+  /// ideal, where the critical path sums each superstep's busiest worker
+  /// and ideal is perfect division of the same work. Deterministic (the
+  /// static task striping is scheduling-independent); 0 with one thread.
+  double ParImbalancePct = 0;
   /// @}
   /// Worklist modes: estimated bytes of per-statement solver state
   /// (cursors, resolve caches, dependents index) at its high water,
@@ -370,18 +399,39 @@ private:
   };
 
   bool applyStmt(const NormStmt &S);
+  /// True when the memoized resolve pair list for (Dst, Src) exists and
+  /// every pair joins a node with itself (the endpoints were merged
+  /// offline or by a cycle collapse). Such a join can only be revived by
+  /// source-object node growth, which re-queues through the OnNewNode
+  /// hook even for dead statements.
+  bool allPairsSelf(NodeId Dst, NodeId Src) const;
+  /// Re-evaluates the running Copy statement's liveness: once every
+  /// memoized resolve pair joins a node with itself, the statement is a
+  /// permanent no-op — merges are never undone — so fact changes stop
+  /// re-queueing it. Materialization re-queues it anyway and this runs
+  /// again.
+  void markDeadIfSelfCopy(NodeId Dst, NodeId Src);
+  /// Same liveness rule for a direct call of a defined function: dead
+  /// once every argument, and the return value, binds a merged class to
+  /// itself. Indirect calls (growing callee sets), summaries (arbitrary
+  /// effects), and varargs bindings (raw node joins) never qualify.
+  void markDeadIfSelfCall(const NormStmt &S);
   bool applyStmtImpl(const NormStmt &S);
   bool applyCall(const NormStmt &S);
   void solveNaive();
   void solveWorklist();
   void solveCycleElim();
+  void solvePar();
   /// Worklist mode: records that the running statement read the points-to
   /// facts of \p Obj, so it must re-run when they change.
   void noteRead(ObjectId Obj);
   /// Worklist mode: marks \p Node's object dirty after a points-to change.
   void noteChanged(NodeId Node);
-  /// Queues every statement registered as depending on \p Obj.
-  void queueDependents(ObjectId Obj);
+  /// Queues every statement registered as depending on \p Obj. Dead
+  /// statements (see StmtDead) are skipped unless \p IncludeDead —
+  /// node materialization passes true, because a grown node set is the
+  /// one event that can change a dead copy's resolve pair list.
+  void queueDependents(ObjectId Obj, bool IncludeDead = false);
   /// Records budget exhaustion: clears Converged and warns via Opts.Diags.
   void reportNonConvergence(const char *Engine);
   /// Marks the running statement's deref site as type-mismatched (no-op
@@ -404,6 +454,60 @@ private:
   /// Delta-mode pointer-arithmetic smear of the unseen targets of operand
   /// node \p Op into \p Dst.
   bool flowPtrArithDelta(NodeId Dst, NodeId Op);
+
+  /// \name Parallel engine (active only while solvePar runs).
+  /// @{
+  /// Statement node ids captured after the statement's first sequential
+  /// application, when every node it names is already materialized. The
+  /// gather phase reads only these — workers must never call into the
+  /// model or the node store's creation path (lazy materialization and
+  /// the OnNewNode hook are main-thread-only effects).
+  struct StmtNodes {
+    bool Valid = false;
+    NodeId Dst; ///< destination node (all ops)
+    NodeId Src; ///< source/pointer node (Copy/Load/Store/AddrOfDeref)
+    std::vector<NodeId> Ops; ///< PtrArith operand nodes
+  };
+  /// One statement's read-only evaluation, produced by a worker against
+  /// the superstep's frozen state and committed at the barrier.
+  struct GatherResult {
+    /// The statement needs the sequential path (missing/stale caches, an
+    /// unregistered read, possible node materialization). Proposals of a
+    /// deferred result are discarded — the statement runs whole.
+    bool Deferred = true;
+    /// Proposed new facts (dst, target), already filtered through a
+    /// contains() probe of the frozen sets.
+    std::vector<std::pair<NodeId, NodeId>> NewFacts;
+    struct CursorCommit {
+      uint64_t Key;  ///< delta-cursor key (canonical pair)
+      uint32_t End;  ///< source log length consumed at gather time
+      bool Full;     ///< first consumption of the pair (stats)
+    };
+    std::vector<CursorCommit> Cursors;
+    uint64_t Work = 0; ///< log entries scanned (imbalance accounting)
+  };
+  /// Read-only statement evaluation for the gather phase. Returns false
+  /// when the statement must be deferred; \p G is garbage then. Runs on
+  /// worker threads: must not mutate any solver, model, or store state.
+  bool gatherStmt(const NormStmt &S, int32_t Idx, GatherResult &G) const;
+  /// Read-only mirror of the delta joinPair for one (D, S) pair.
+  bool gatherJoin(const StmtSolveState &St, NodeId D, NodeId S,
+                  GatherResult &G) const;
+  /// Read-only mirror of the delta flowResolve via the memoized pair list.
+  bool gatherResolve(const StmtSolveState &St, NodeId Dst, NodeId Src,
+                     GatherResult &G) const;
+  /// Applies a gathered statement's proposals and cursor commits on the
+  /// main thread, charging the same statistics the sequential path would.
+  void commitGather(int32_t Idx, GatherResult &G);
+  /// Captures a statement's node ids after its first sequential run.
+  void captureStmtNodes(const NormStmt &S, int32_t Idx);
+  /// Worker-thread canon: same classes as canon(), but resolved without
+  /// path compression (find() halves paths through a mutable array — a
+  /// data race under concurrent readers).
+  NodeId canonNC(NodeId Node) const {
+    return NodeReps.identity() ? Node : NodeReps.findNoCompress(Node);
+  }
+  /// @}
 
   /// \name Cycle elimination (active only while solveCycleElim runs).
   /// @{
@@ -473,6 +577,9 @@ private:
   std::vector<std::vector<int32_t>> DependentsByObject;
   std::vector<StmtSolveState> StmtState;
   std::vector<uint8_t> StmtQueued;
+  /// Statements whose application is provably a no-op for the rest of the
+  /// solve (self-copies after merging); queueDependents skips them.
+  std::vector<uint8_t> StmtDead;
   std::vector<int32_t> Worklist;
   /// @}
 
@@ -480,6 +587,17 @@ private:
   /// @{
   /// True while solveCycleElim runs (WorklistActive is also true then).
   bool SccActive = false;
+  /// True while solvePar runs (SccActive is also true then): sweeps
+  /// compute the condensation's level partition and statement ranks come
+  /// from levels instead of topological ranks.
+  bool ParActive = false;
+  /// Sweep back-off multiplier: doubles (capped) every time a sweep
+  /// collapses nothing and resets on a collapse, so graphs the offline
+  /// HVN pass already left acyclic stop paying for fruitless re-scans
+  /// (the PR 7 hvn_matrix regression).
+  uint64_t SweepBackoff = 1;
+  /// Captured per-statement node ids for the parallel gather phase.
+  std::vector<StmtNodes> StmtNodeCache;
   /// Merged copy-cycle classes. Outlives the solve: pointsTo()/factsOf()
   /// resolve through it so queries on merged nodes reach the shared set.
   UnionFind<NodeTag> NodeReps;

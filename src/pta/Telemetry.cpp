@@ -51,6 +51,8 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.field("use_worklist", T.Options.UseWorklist);
   W.field("delta_propagation", T.Options.DeltaPropagation);
   W.field("cycle_elimination", T.Options.CycleElimination);
+  W.field("parallel_solve", T.Options.ParallelSolve);
+  W.field("threads", uint64_t(T.Options.Threads));
   W.field("use_library_summaries", T.Options.UseLibrarySummaries);
   W.field("handle_ptr_arith", T.Options.HandlePtrArith);
   W.field("stride_arith", T.Options.StrideArith);
@@ -87,6 +89,12 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.field("offline_ms", T.Solver.OfflineSeconds * 1000.0);
   W.field("priority_pops", T.Solver.PriorityPops);
   W.field("copy_edges", T.Solver.CopyEdges);
+  W.field("threads", uint64_t(T.Solver.ThreadsUsed));
+  W.field("levels", uint64_t(T.Solver.Levels));
+  W.field("barrier_merges", T.Solver.BarrierMerges);
+  W.field("par_gathered", T.Solver.ParGathered);
+  W.field("par_deferred", T.Solver.ParDeferred);
+  W.field("par_imbalance_pct", T.Solver.ParImbalancePct);
   W.field("bytes_high_water", uint64_t(T.Solver.BytesHighWater));
   W.field("solve_seconds", T.Solver.SolveSeconds);
   W.open("pts_sets");

@@ -1,0 +1,138 @@
+//===--- ThreadPool.h - Fixed-size pool with barrier semantics -*- C++ -*-===//
+//
+// Part of the spa project (see IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool for the solver's parallel engine. One pool
+/// serves a whole solve: the worker threads are started once and parked on
+/// a condition variable between supersteps, so releasing a level costs a
+/// notify, not a thread spawn.
+///
+/// run(NumTasks, Fn) executes Fn(TaskIndex, WorkerOrdinal) for every task
+/// index in [0, NumTasks) and returns only when all of them finished — the
+/// level barrier. Tasks are assigned *statically*, round-robin by worker
+/// ordinal (worker w takes tasks w, w + W, w + 2W, ...): which worker runs
+/// which task is a pure function of (NumTasks, W), never of scheduling, so
+/// per-worker work accounting (the par_imbalance_pct telemetry) is
+/// deterministic and reproducible. The caller participates as worker 0, so
+/// a pool of W workers owns W - 1 threads and a 1-worker pool runs
+/// everything inline with no threads at all — the --threads=1 engine is
+/// the same code path minus the concurrency.
+///
+/// The pool makes no fairness or work-stealing promises; the solver's
+/// gather tasks are read-only and uniform enough that static striping is
+/// the right trade (see docs/INTERNALS.md §9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_THREADPOOL_H
+#define SPA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spa {
+
+/// Fixed worker count, barrier-style parallel-for with static striping.
+class ThreadPool {
+public:
+  /// A pool of \p Workers total workers (the calling thread counts as
+  /// worker 0, so Workers - 1 threads are spawned). 0 is clamped to 1.
+  explicit ThreadPool(unsigned Workers)
+      : NumWorkers(Workers == 0 ? 1 : Workers) {
+    for (unsigned W = 1; W < NumWorkers; ++W)
+      Threads.emplace_back([this, W] { workerLoop(W); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stop = true;
+    }
+    WakeCV.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  unsigned workers() const { return NumWorkers; }
+
+  /// Runs Fn(TaskIndex, WorkerOrdinal) for each index in [0, NumTasks),
+  /// worker w taking the stride {w, w + W, ...}; blocks until every task
+  /// completed. Fn must not touch shared mutable state (the solver's
+  /// gather contract); the pool itself adds no synchronization beyond the
+  /// entry/exit barrier.
+  void run(size_t NumTasks,
+           const std::function<void(size_t, unsigned)> &Fn) {
+    if (NumWorkers == 1 || NumTasks <= 1) {
+      for (size_t I = 0; I < NumTasks; ++I)
+        Fn(I, 0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> L(M);
+      Job = &Fn;
+      Tasks = NumTasks;
+      Pending = NumWorkers - 1;
+      ++Generation;
+    }
+    WakeCV.notify_all();
+    runStripe(0, NumTasks, Fn);
+    std::unique_lock<std::mutex> L(M);
+    DoneCV.wait(L, [this] { return Pending == 0; });
+    Job = nullptr;
+  }
+
+private:
+  void runStripe(unsigned W, size_t NumTasks,
+                 const std::function<void(size_t, unsigned)> &Fn) {
+    for (size_t I = W; I < NumTasks; I += NumWorkers)
+      Fn(I, W);
+  }
+
+  void workerLoop(unsigned W) {
+    uint64_t SeenGen = 0;
+    for (;;) {
+      const std::function<void(size_t, unsigned)> *Fn;
+      size_t NumTasks;
+      {
+        std::unique_lock<std::mutex> L(M);
+        WakeCV.wait(L, [&] { return Stop || Generation != SeenGen; });
+        if (Stop)
+          return;
+        SeenGen = Generation;
+        Fn = Job;
+        NumTasks = Tasks;
+      }
+      runStripe(W, NumTasks, *Fn);
+      {
+        std::lock_guard<std::mutex> L(M);
+        if (--Pending == 0)
+          DoneCV.notify_one();
+      }
+    }
+  }
+
+  const unsigned NumWorkers;
+  std::vector<std::thread> Threads;
+  std::mutex M;
+  std::condition_variable WakeCV, DoneCV;
+  const std::function<void(size_t, unsigned)> *Job = nullptr;
+  size_t Tasks = 0;
+  unsigned Pending = 0;
+  uint64_t Generation = 0;
+  bool Stop = false;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_THREADPOOL_H

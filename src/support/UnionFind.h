@@ -52,6 +52,20 @@ public:
     return value_type(I);
   }
 
+  /// find() without path compression: the same representative, but a pure
+  /// read of the parent array. find()'s path halving writes through the
+  /// mutable cache, which is a data race under concurrent callers — the
+  /// parallel solver's worker threads resolve through this instead (no
+  /// unite() or find() runs while they do; see Solver::canonNC).
+  value_type findNoCompress(value_type V) const {
+    uint32_t I = V.index();
+    if (I >= Parent.size())
+      return V;
+    while (Parent[I] != I)
+      I = Parent[I];
+    return value_type(I);
+  }
+
   /// Unites the classes of \p A and \p B. Returns true if they were
   /// distinct (a merge happened). The surviving representative is chosen
   /// by rank; query it with find() afterwards.

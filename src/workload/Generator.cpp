@@ -154,6 +154,26 @@ private:
            std::to_string(F) + ";";
   }
 
+  /// One wide-fan statement. The int-pointer globals are carved into
+  /// disjoint chains of three; the counter interleaves one step of every
+  /// chain before advancing to the next step, so the emitted copies form
+  /// many independent root -> middle -> tip chains. Their condensation is
+  /// a three-level DAG with one component per chain per level — maximal
+  /// width for the parallel engine's level batches, no cycles for the
+  /// sweep to collapse.
+  std::string wideStmt() {
+    unsigned Chains = Config.NumPtrVars / 3;
+    if (Chains == 0)
+      return ptrVar(0) + " = &" + intVar(WideCounter++ % Config.NumInts) + ";";
+    unsigned C = WideCounter++;
+    unsigned Chain = C % Chains;
+    unsigned Step = (C / Chains) % 3;
+    unsigned Base = Chain * 3;
+    if (Step == 0)
+      return ptrVar(Base) + " = &" + intVar(Chain % Config.NumInts) + ";";
+    return ptrVar(Base + Step) + " = " + ptrVar(Base + Step - 1) + ";";
+  }
+
   /// One deallocation-mix statement. The counter alternates heap
   /// allocations into a rotating struct-pointer global with loads through
   /// it, so every use precedes the end-of-main frees in emission order —
@@ -187,6 +207,9 @@ private:
     if (Config.FieldFanPercent && Config.NumStructVars && Config.NumPtrVars &&
         Rand.percent(Config.FieldFanPercent))
       return fanStmt();
+    if (Config.WideFanPercent && Config.NumInts &&
+        Rand.percent(Config.WideFanPercent))
+      return wideStmt();
     if (Config.FreePercent && Config.NumPtrVars &&
         Rand.percent(Config.FreePercent))
       return freeStmt();
@@ -328,6 +351,7 @@ private:
   std::string Out;
   unsigned RingCounter = 0;
   unsigned FanCounter = 0;
+  unsigned WideCounter = 0;
   unsigned FreeCounter = 0;
   unsigned ReallocCounter = 0;
 };

@@ -54,6 +54,13 @@ struct GeneratorConfig {
   /// instead of one id per field. 0 keeps the historical statement mix
   /// exactly.
   unsigned FieldFanPercent = 0;
+  /// % of statements devoted to wide fans: the int-pointer globals are
+  /// split into disjoint chains of three (p3k = &int; p3k+1 = p3k;
+  /// p3k+2 = p3k+1;), so the copy-edge condensation is wide and shallow —
+  /// many mutually independent components per topological level, the
+  /// shape the parallel engine's level scheduler turns into large
+  /// same-level batches. 0 keeps the historical statement mix exactly.
+  unsigned WideFanPercent = 0;
   /// % of statements devoted to deallocation: a deterministic counter
   /// alternates free(q)-after-use shapes over the struct-pointer globals
   /// (the use precedes the free in emission order, so an invalidation-

@@ -57,6 +57,8 @@ TEST(EngineCli, EveryEngineNameRunsAndReportsItself) {
       {"worklist", "solver engine:       worklist\n"},
       {"delta", "solver engine:       worklist (delta propagation)"},
       {"scc", "solver engine:       worklist (delta + cycle elimination)"},
+      {"par",
+       "solver engine:       worklist (delta + cycle elimination, parallel)"},
   };
   for (const auto &C : Cases) {
     RunResult R = runCli(corpus("bc.c") + " --engine=" + C.Flag);
@@ -79,7 +81,7 @@ TEST(EngineCli, UnknownEngineIsAUsageError) {
   RunResult R = runCli(corpus("bc.c") + " --engine=turbo");
   EXPECT_EQ(R.Exit, 64) << R.Out;
   EXPECT_NE(R.Out.find("unknown engine 'turbo'"), std::string::npos) << R.Out;
-  EXPECT_NE(R.Out.find("naive|worklist|delta|scc"), std::string::npos)
+  EXPECT_NE(R.Out.find("naive|worklist|delta|scc|par"), std::string::npos)
       << R.Out;
 }
 
@@ -118,6 +120,24 @@ TEST(EngineCli, StatsJsonCarriesCycleEliminationKeys) {
         "\"offline_ms\":", "\"priority_pops\":", "\"copy_edges\":",
         "\"bytes_high_water\":"})
     EXPECT_NE(R.Out.find(Key), std::string::npos) << Key << "\n" << R.Out;
+}
+
+TEST(EngineCli, StatsJsonCarriesParallelKeys) {
+  RunResult R =
+      runCli(corpus("bc.c") + " --engine=par --threads=3 --stats-json=-");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  for (const char *Key :
+       {"\"parallel_solve\":true", "\"threads\":3", "\"levels\":",
+        "\"barrier_merges\":", "\"par_gathered\":", "\"par_deferred\":",
+        "\"par_imbalance_pct\":"})
+    EXPECT_NE(R.Out.find(Key), std::string::npos) << Key << "\n" << R.Out;
+}
+
+TEST(EngineCli, ParSummaryReportsSchedulingCounters) {
+  RunResult R = runCli(corpus("bc.c") + " --engine=par --threads=2");
+  EXPECT_EQ(R.Exit, 0) << R.Out;
+  EXPECT_NE(R.Out.find("parallel solve:"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("2 threads"), std::string::npos) << R.Out;
 }
 
 TEST(EngineCli, EveryPtsReprRunsAndReportsItself) {

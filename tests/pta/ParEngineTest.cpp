@@ -1,0 +1,281 @@
+//===--- ParEngineTest.cpp - Parallel engine == scc, bit for bit ----------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference.)
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel engine's defining property: for every thread count —
+/// including one, and including counts above the machine's core count —
+/// the certified fixpoint is byte-identical to the sequential scc
+/// engine's, the sticky SiteEvents match field for field, and the
+/// invalidation-aware flow pass refines to the same findings. The
+/// scheduling-stress sweep runs thread counts 1/2/4/7 over the corpus and
+/// over a models x representations cross product on adversarial
+/// programs, and pins the scheduling-determinism claim directly: every
+/// solver statistic except the thread count itself is independent of N.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "check/Checkers.h"
+#include "flow/FlowPass.h"
+#include "pta/GraphExport.h"
+#include "workload/Corpus.h"
+#include "workload/Generator.h"
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+const unsigned ThreadCounts[] = {1, 2, 4, 7};
+
+/// One solved run; the compiled program must outlive the analysis that
+/// references its NormProgram.
+struct SolvedRun {
+  std::unique_ptr<CompiledProgram> Program;
+  std::unique_ptr<Analysis> A;
+  explicit operator bool() const { return A != nullptr; }
+  Solver &solver() { return A->solver(); }
+};
+
+/// Runs one analysis to fixpoint and requires convergence.
+SolvedRun solveOne(const std::string &Source, const AnalysisOptions &Opts,
+                   const std::string &Label) {
+  SolvedRun R;
+  DiagnosticEngine Diags;
+  R.Program = CompiledProgram::fromSource(Source, Diags);
+  EXPECT_TRUE(R.Program != nullptr) << Label << "\n" << Diags.formatAll();
+  if (!R.Program)
+    return R;
+  R.A = std::make_unique<Analysis>(R.Program->Prog, Opts);
+  R.A->run();
+  EXPECT_TRUE(R.solver().runStats().Converged) << Label;
+  return R;
+}
+
+AnalysisOptions sccOptions(ModelKind Kind) {
+  AnalysisOptions Opts;
+  Opts.Model = Kind;
+  Opts.Solver.CycleElimination = true;
+  return Opts;
+}
+
+AnalysisOptions parOptions(ModelKind Kind, unsigned Threads) {
+  AnalysisOptions Opts;
+  Opts.Model = Kind;
+  Opts.Solver.ParallelSolve = true;
+  Opts.Solver.Threads = Threads;
+  return Opts;
+}
+
+/// The sticky per-site events must match field for field — the checker
+/// layer reads nothing else, so this is the checker-parity contract.
+void expectSameSiteEvents(const Solver &Scc, const Solver &Par,
+                          const std::string &Label) {
+  const std::vector<SiteEvents> &A = Scc.siteEvents();
+  const std::vector<SiteEvents> &B = Par.siteEvents();
+  ASSERT_EQ(A.size(), B.size()) << Label;
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Mismatch, B[I].Mismatch) << Label << " site " << I;
+    EXPECT_EQ(A[I].Truncated, B[I].Truncated) << Label << " site " << I;
+    EXPECT_EQ(A[I].EmptyDeref, B[I].EmptyDeref) << Label << " site " << I;
+    EXPECT_EQ(A[I].FlowRefined, B[I].FlowRefined) << Label << " site " << I;
+    EXPECT_TRUE(A[I].InvalidatedBefore == B[I].InvalidatedBefore)
+        << Label << " site " << I;
+  }
+}
+
+/// Solves \p Source with scc and with par at every stress thread count
+/// and asserts byte-identical exports plus matching site events.
+void expectParMatchesScc(const std::string &Source, const std::string &Label,
+                         ModelKind Kind = ModelKind::CommonInitialSeq,
+                         PtsRepr Repr = PtsRepr::Sorted) {
+  AnalysisOptions SccOpts = sccOptions(Kind);
+  SccOpts.Solver.PointsTo = Repr;
+  SolvedRun Scc = solveOne(Source, SccOpts, Label + " (scc)");
+  ASSERT_TRUE(Scc.A != nullptr) << Label;
+
+  ExportOptions All;
+  All.IncludeTemps = true;
+  std::string Expected = exportEdgeList(Scc.solver(), All);
+
+  for (unsigned Threads : ThreadCounts) {
+    AnalysisOptions ParOpts = parOptions(Kind, Threads);
+    ParOpts.Solver.PointsTo = Repr;
+    std::string ParLabel =
+        Label + " (par t=" + std::to_string(Threads) + ")";
+    SolvedRun Par = solveOne(Source, ParOpts, ParLabel);
+    ASSERT_TRUE(Par.A != nullptr) << ParLabel;
+    EXPECT_EQ(Par.solver().runStats().ThreadsUsed, Threads) << ParLabel;
+    EXPECT_EQ(Expected, exportEdgeList(Par.solver(), All))
+        << ParLabel << " under " << modelKindName(Kind);
+    expectSameSiteEvents(Scc.solver(), Par.solver(), ParLabel);
+  }
+}
+
+/// A generated shape with wide shallow condensation levels — the one the
+/// level scheduler turns into genuinely multi-statement batches.
+std::string wideFanSource() {
+  GeneratorConfig Config;
+  Config.Seed = 41;
+  Config.NumInts = 12;
+  Config.NumPtrVars = 36;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 40;
+  Config.WideFanPercent = 60;
+  return generateProgram(Config);
+}
+
+class CorpusParParity : public ::testing::TestWithParam<CorpusEntry> {};
+
+} // namespace
+
+TEST_P(CorpusParParity, FixpointMatchesSccAtEveryThreadCount) {
+  std::string Source;
+  ASSERT_TRUE(loadCorpusSource(GetParam(), Source));
+  expectParMatchesScc(Source, GetParam().Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, CorpusParParity, ::testing::ValuesIn(corpusManifest()),
+    [](const ::testing::TestParamInfo<CorpusEntry> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(ParEngine, ModelsAndReprsCrossProductOnAdversarialPrograms) {
+  // The deep sweep: every field model x every compressed representation,
+  // on the shapes that stress batching hardest — a wide-fan generated
+  // program (large same-level batches) and a function-pointer-heavy
+  // corpus program (call statements, which always defer to the barrier).
+  std::vector<std::pair<std::string, std::string>> Programs;
+  Programs.emplace_back(wideFanSource(), "wide-fan seed 41");
+  for (const CorpusEntry &E : corpusManifest())
+    if (std::string(E.FileName) == "bc.c") {
+      std::string Source;
+      ASSERT_TRUE(loadCorpusSource(E, Source));
+      Programs.emplace_back(std::move(Source), E.Name);
+    }
+  ASSERT_EQ(Programs.size(), 2u);
+
+  for (const auto &[Source, Name] : Programs)
+    for (ModelKind Kind :
+         {ModelKind::CollapseAlways, ModelKind::CollapseOnCast,
+          ModelKind::CommonInitialSeq, ModelKind::Offsets})
+      for (PtsRepr Repr : {PtsRepr::Sorted, PtsRepr::Small, PtsRepr::Bitmap,
+                           PtsRepr::Offsets})
+        expectParMatchesScc(Source,
+                            Name + " " + modelKindName(Kind) + " " +
+                                ptsReprName(Repr),
+                            Kind, Repr);
+}
+
+TEST(ParEngine, SchedulingStatsAreIndependentOfThreadCount) {
+  // The determinism argument made checkable: whether a statement gathers
+  // or defers depends only on the batch content and the frozen state at
+  // the barrier, never on which worker ran it — so every counter except
+  // the thread count itself must be identical across N.
+  std::string Source = wideFanSource();
+  const SolverRunStats *First = nullptr;
+  std::vector<SolvedRun> Keep;
+  for (unsigned Threads : ThreadCounts) {
+    SolvedRun A =
+        solveOne(Source, parOptions(ModelKind::CommonInitialSeq, Threads),
+                 "wide-fan t=" + std::to_string(Threads));
+    ASSERT_TRUE(A.A != nullptr);
+    const SolverRunStats &S = A.solver().runStats();
+    EXPECT_EQ(S.ThreadsUsed, Threads);
+    if (!First) {
+      // The wide-fan shape must actually engage the batching machinery.
+      EXPECT_GT(S.BarrierMerges, 0u);
+      EXPECT_GT(S.ParGathered, 0u);
+      EXPECT_GT(S.Levels, 1u);
+      First = &S;
+      Keep.push_back(std::move(A));
+      continue;
+    }
+    EXPECT_EQ(S.Pops, First->Pops) << Threads;
+    EXPECT_EQ(S.StmtsApplied, First->StmtsApplied) << Threads;
+    EXPECT_EQ(S.BarrierMerges, First->BarrierMerges) << Threads;
+    EXPECT_EQ(S.ParGathered, First->ParGathered) << Threads;
+    EXPECT_EQ(S.ParDeferred, First->ParDeferred) << Threads;
+    EXPECT_EQ(S.Levels, First->Levels) << Threads;
+    EXPECT_EQ(S.SccsCollapsed, First->SccsCollapsed) << Threads;
+    EXPECT_EQ(S.CopyEdges, First->CopyEdges) << Threads;
+  }
+}
+
+TEST(ParEngine, FlowFindingsMatchSccAtEveryThreadCount) {
+  // The downstream contract: the invalidation pass and the use-after-free
+  // checker run unchanged on a parallel fixpoint and land on the same
+  // refined findings, byte for byte, with a clean audit.
+  GeneratorConfig Config;
+  Config.Seed = 47;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 40;
+  Config.FreePercent = 20;
+  Config.ReallocPercent = 10;
+  Config.WideFanPercent = 30;
+  Config.NumPtrVars = 18;
+  Config.NumInts = 9;
+  std::string Source = generateProgram(Config);
+
+  auto runFlow = [&](const AnalysisOptions &Opts, const std::string &Label,
+                     std::string &OutText, bool &OutAudit) {
+    SolvedRun R = solveOne(Source, Opts, Label);
+    ASSERT_TRUE(R.A != nullptr) << Label;
+    runInvalidationPass(R.solver());
+    OutAudit = auditFlowRefinement(R.solver()).ok();
+    DiagnosticEngine Diags;
+    runCheckers(*R.A, {"use-after-free"}, Diags);
+    OutText = Diags.formatAll();
+  };
+
+  std::string Expected;
+  bool SccAudit = false;
+  runFlow(sccOptions(ModelKind::CommonInitialSeq), "flow scc", Expected,
+          SccAudit);
+  EXPECT_TRUE(SccAudit);
+
+  for (unsigned Threads : ThreadCounts) {
+    std::string Text;
+    bool Audit = false;
+    std::string Label = "flow par t=" + std::to_string(Threads);
+    runFlow(parOptions(ModelKind::CommonInitialSeq, Threads), Label, Text,
+            Audit);
+    EXPECT_TRUE(Audit) << Label;
+    EXPECT_EQ(Text, Expected) << Label;
+  }
+}
+
+TEST(ParEngine, OptionNormalizationAndEngineInvariants) {
+  std::string Source = wideFanSource();
+  SolvedRun A = solveOne(Source, parOptions(ModelKind::CommonInitialSeq, 2),
+                   "normalization");
+  ASSERT_TRUE(A.A != nullptr);
+  // The parallel engine is the scc engine underneath: option
+  // normalization must have switched on the whole stack.
+  EXPECT_TRUE(A.solver().options().UseWorklist);
+  EXPECT_TRUE(A.solver().options().DeltaPropagation);
+  EXPECT_TRUE(A.solver().options().CycleElimination);
+  EXPECT_TRUE(A.solver().options().ParallelSolve);
+  const SolverRunStats &S = A.solver().runStats();
+  // Every pop comes off the level-ordered priority queue.
+  EXPECT_EQ(S.PriorityPops, S.Pops);
+  EXPECT_GT(S.BytesHighWater, 0u);
+}
+
+TEST(ParEngine, ThreadsZeroPicksHardwareConcurrency) {
+  std::string Source = wideFanSource();
+  AnalysisOptions Opts = parOptions(ModelKind::CommonInitialSeq, 0);
+  SolvedRun A = solveOne(Source, Opts, "threads=0");
+  ASSERT_TRUE(A.A != nullptr);
+  EXPECT_GE(A.solver().runStats().ThreadsUsed, 1u);
+  EXPECT_EQ(A.solver().options().Threads, A.solver().runStats().ThreadsUsed);
+}

@@ -2,7 +2,8 @@
 # CI entry point: tier-1 build + tests, lint, then the sanitizer preset.
 #
 #   tools/ci.sh            # everything
-#   SKIP_ASAN=1 tools/ci.sh  # tier-1 only (fast local loop)
+#   SKIP_ASAN=1 tools/ci.sh  # skip the asan-ubsan preset (fast local loop)
+#   SKIP_TSAN=1 tools/ci.sh  # skip the tsan preset + parallel-engine smoke
 #
 # Exits nonzero on the first failure.
 
@@ -47,7 +48,7 @@ echo "== certify: corpus x engines x models (plus --preprocess=hvn) =="
 # must reach the same certified fixpoint — the hvn validator gate. Exit 4
 # from any run fails CI here.
 for f in corpus/*.c; do
-  for engine in naive worklist delta scc; do
+  for engine in naive worklist delta scc par; do
     for model in ca coc cis off; do
       for pre in none hvn; do
         echo "$f --certify --verify-ir --engine=$engine --model=$model --preprocess=$pre"
@@ -63,12 +64,32 @@ echo "== certify: corpus x engines x compressed pts representations =="
 # field nodes their own per-object ordinals — the shape that exercises
 # every representation's encoding hardest.
 for f in corpus/*.c; do
-  for engine in naive worklist delta scc; do
+  for engine in naive worklist delta scc par; do
     for repr in small bitmap offsets; do
       echo "$f --certify --engine=$engine --model=off --pts=$repr"
     done
   done
 done | certify_sweep
+
+echo "== par determinism: corpus x thread counts, byte-equal to scc =="
+# The parallel engine's defining property: the exported fixpoint is
+# bit-identical to the sequential scc engine at every thread count
+# (including a count above the machine's core count). diff compares the
+# full stable-order edge list byte for byte.
+par_edges_dir="$(mktemp -d)"
+trap 'rm -rf "$par_edges_dir"' EXIT
+for f in corpus/*.c; do
+  base="$par_edges_dir/$(basename "$f" .c).scc"
+  ./build/tools/spa_cli "$f" --engine=scc --edges > "$base"
+  for threads in 1 2 4 7; do
+    ./build/tools/spa_cli "$f" --engine=par --threads="$threads" --edges \
+      > "$par_edges_dir/par.out"
+    diff -q "$base" "$par_edges_dir/par.out" >/dev/null || {
+      echo "par fixpoint differs from scc: $f --threads=$threads" >&2
+      exit 1
+    }
+  done
+done
 
 echo "== flow: golden corpus x engines x models, audited and certified =="
 # The invalidation-aware flow pass must refine without inventing: on every
@@ -86,7 +107,7 @@ flow_sweep() {
     fi'
 }
 for f in tests/inputs/flow/*.c; do
-  for engine in naive worklist delta scc; do
+  for engine in naive worklist delta scc par; do
     for model in ca coc cis off; do
       echo "$f --flow=invalidate --flow-audit --certify --check=use-after-free --engine=$engine --model=$model"
     done
@@ -99,6 +120,22 @@ echo "== mutation smoke: seeded faults must be caught =="
 # alarms (tests/verify/MutationTest.cpp), on plain and hvn-preprocessed
 # runs alike.
 ./build/tests/verify_mutation_test --gtest_brief=1
+
+if [ "${SKIP_TSAN:-0}" = "1" ]; then
+  echo "== tsan: skipped (SKIP_TSAN=1) =="
+else
+  echo "== tsan: parallel-engine smoke =="
+  # ThreadSanitizer over the parallel engine's gather phase: a certify run
+  # per model at an oversubscribed thread count on a cycle-heavy corpus
+  # program. Any gather-phase write to shared solver state shows up as a
+  # tsan race report (halt_on_error makes it exit nonzero).
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs_n" --target spa_cli
+  for model in ca coc cis off; do
+    TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/spa_cli corpus/compress.c \
+      --engine=par --threads=4 --model="$model" --certify >/dev/null
+  done
+fi
 
 if [ "${SKIP_ASAN:-0}" = "1" ]; then
   echo "== asan-ubsan: skipped (SKIP_ASAN=1) =="

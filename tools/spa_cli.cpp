@@ -20,7 +20,9 @@
 ///   spa_cli file.c --stride                 Wilson/Lam array-stride rule
 ///   spa_cli file.c --unknown                Unknown-tracking mode
 ///   spa_cli file.c --engine=scc             solver engine
-///                  (naive | worklist | delta | scc)
+///                  (naive | worklist | delta | scc | par)
+///   spa_cli file.c --threads=4              worker threads for --engine=par
+///                  (default: hardware concurrency)
 ///   spa_cli file.c --stats-json=out.json    run telemetry ("-" = stdout)
 ///   spa_cli file.c --check                  run every client checker
 ///   spa_cli file.c --check=LIST             run a comma-separated subset
@@ -72,7 +74,7 @@ constexpr int ExitUsage = 64;
 constexpr int ExitVerifyFailed = 4;
 
 /// Solver engine selected on the command line.
-enum class EngineKind { Naive, Worklist, Delta, Scc };
+enum class EngineKind { Naive, Worklist, Delta, Scc, Par };
 
 struct CliOptions {
   std::string File;
@@ -101,6 +103,7 @@ struct CliOptions {
   bool NoDelta = false;  ///< deprecated --no-delta alias
   bool ShowHelp = false;
   unsigned MaxIterations = 0; // 0 = keep the SolverOptions default
+  unsigned Threads = 0;       // 0 = hardware concurrency (par engine only)
 
   /// The engine that actually runs: --engine= if given, else whatever the
   /// deprecated flags historically selected.
@@ -123,6 +126,8 @@ const char *engineName(EngineKind E) {
     return "worklist (delta propagation)";
   case EngineKind::Scc:
     return "worklist (delta + cycle elimination)";
+  case EngineKind::Par:
+    return "worklist (delta + cycle elimination, parallel)";
   }
   return "?";
 }
@@ -149,7 +154,7 @@ size_t editDistance(std::string_view A, std::string_view B) {
 const char *const ModelValues[] = {"ca", "coc", "cis", "off", nullptr};
 const char *const TargetValues[] = {"ilp32", "lp64", "padded32", nullptr};
 const char *const EngineValues[] = {"naive", "worklist", "delta", "scc",
-                                    nullptr};
+                                    "par", nullptr};
 const char *const PtsValues[] = {"sorted", "small", "bitmap", "offsets",
                                  nullptr};
 const char *const PreprocessValues[] = {"none", "hvn", nullptr};
@@ -171,7 +176,7 @@ const OptionSpec KnownOptions[] = {
     {"--unknown", nullptr},      {"--engine", EngineValues},
     {"--pts", PtsValues},        {"--worklist", nullptr},
     {"--preprocess", PreprocessValues},
-    {"--no-delta", nullptr},
+    {"--no-delta", nullptr},     {"--threads", nullptr},
     {"--max-iterations", nullptr}, {"--stats-json", nullptr},
     {"--check", nullptr},        {"--sarif", nullptr},
     {"--certify", nullptr},      {"--verify-ir", nullptr},
@@ -294,6 +299,8 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
         Opts.Engine = EngineKind::Delta;
       else if (E == "scc")
         Opts.Engine = EngineKind::Scc;
+      else if (E == "par")
+        Opts.Engine = EngineKind::Par;
       else {
         badValue("--engine", "engine", E);
         return false;
@@ -331,6 +338,13 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       std::fprintf(stderr, "warning: --no-delta is deprecated; use "
                            "--engine=worklist\n");
       Opts.NoDelta = true;
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Opts.Threads =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 10, nullptr, 10));
+      if (Opts.Threads == 0) {
+        std::fprintf(stderr, "--threads needs a positive count\n");
+        return false;
+      }
     } else if (Arg.rfind("--max-iterations=", 0) == 0) {
       Opts.MaxIterations =
           static_cast<unsigned>(std::strtoul(Arg.c_str() + 17, nullptr, 10));
@@ -429,7 +443,11 @@ void usage(const char *Prog) {
       "  --stride                 enable the array-stride refinement\n"
       "  --unknown                track corrupted pointers as Unknown\n"
       "  --engine=E               solver engine: naive (default), worklist,\n"
-      "                           delta, scc (all compute the same fixpoint)\n"
+      "                           delta, scc, par (all compute the same\n"
+      "                           fixpoint; par is scc on a thread pool with\n"
+      "                           bit-identical results at any thread count)\n"
+      "  --threads=N              worker threads for --engine=par (default:\n"
+      "                           hardware concurrency; 1 = sequential)\n"
       "  --pts=R                  points-to set storage: sorted (default),\n"
       "                           small, bitmap, offsets (same fixpoint;\n"
       "                           time/memory trade-off, see docs/INTERNALS.md)\n"
@@ -506,7 +524,10 @@ int main(int argc, char **argv) {
   EngineKind Engine = Opts.effectiveEngine();
   AOpts.Solver.UseWorklist = Engine != EngineKind::Naive;
   AOpts.Solver.DeltaPropagation = Engine != EngineKind::Worklist;
-  AOpts.Solver.CycleElimination = Engine == EngineKind::Scc;
+  AOpts.Solver.CycleElimination =
+      Engine == EngineKind::Scc || Engine == EngineKind::Par;
+  AOpts.Solver.ParallelSolve = Engine == EngineKind::Par;
+  AOpts.Solver.Threads = Opts.Threads;
   AOpts.Solver.PointsTo = Opts.PointsTo;
   AOpts.Solver.Preprocess = Opts.Preprocess;
   AOpts.Solver.Diags = &Diags;
@@ -699,13 +720,20 @@ int main(int argc, char **argv) {
     std::printf("offline hvn:         %llu nodes merged, %.3f ms\n",
                 (unsigned long long)RS.NodesMergedOffline,
                 RS.OfflineSeconds * 1e3);
-  if (Engine == EngineKind::Scc)
+  if (Engine == EngineKind::Scc || Engine == EngineKind::Par)
     std::printf("cycle elimination:   %llu sweeps, %llu sccs collapsed, "
                 "%llu nodes merged, %llu copy edges\n",
                 (unsigned long long)RS.SccSweeps,
                 (unsigned long long)RS.SccsCollapsed,
                 (unsigned long long)RS.NodesMergedOnline,
                 (unsigned long long)RS.CopyEdges);
+  if (Engine == EngineKind::Par)
+    std::printf("parallel solve:      %u threads, %u levels, %llu barrier "
+                "merges, %llu gathered, %llu deferred, %.1f%% imbalance\n",
+                RS.ThreadsUsed, RS.Levels,
+                (unsigned long long)RS.BarrierMerges,
+                (unsigned long long)RS.ParGathered,
+                (unsigned long long)RS.ParDeferred, RS.ParImbalancePct);
   std::printf("converged:           %s\n", RS.Converged ? "yes" : "NO");
   std::printf("solve time:          %.3f ms\n", RS.SolveSeconds * 1e3);
   if (VT.CertifyRan)

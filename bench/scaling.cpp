@@ -50,6 +50,7 @@
 
 #include "BenchUtil.h"
 
+#include "cfg/CfgVerifier.h"
 #include "check/Checkers.h"
 #include "flow/FlowPass.h"
 #include "pta/GraphExport.h"
@@ -505,6 +506,7 @@ void writeHeadToHead(const std::string &Path) {
 int runReprSmoke();
 int runHvnSmoke();
 int runFlowSmoke();
+int runCfgFlowSmoke();
 int runParSmoke();
 
 /// `--smoke`: the CI guard. Solves the smallest size class of both
@@ -610,6 +612,7 @@ int runSmoke() {
   Failures += runReprSmoke();
   Failures += runHvnSmoke();
   Failures += runFlowSmoke();
+  Failures += runCfgFlowSmoke();
   Failures += runParSmoke();
   return Failures ? 1 : 0;
 }
@@ -740,6 +743,122 @@ int runFlowSmoke() {
     }
   if (!Failures)
     std::printf("ok flow-smoke: refined findings bit-identical across 5 "
+                "engines\n");
+  return Failures;
+}
+
+/// A branch- and loop-heavy workload for the CFG flow gates: the branch
+/// shapes free on one if-arm and load on the other, the loop shapes free
+/// on the back edge, plus the plain deallocation mix — the program the
+/// CFG dataflow refines beyond the linear walk.
+std::string branchHeavySource(int SizeClass) {
+  GeneratorConfig Config;
+  Config.Seed = 17;
+  Config.NumStructs = 4;
+  Config.NumStructVars = 4 * SizeClass;
+  Config.NumInts = 4 * SizeClass;
+  Config.NumPtrVars = 4 * SizeClass;
+  Config.NumFunctions = 2 * SizeClass;
+  Config.StmtsPerFunction = 40;
+  Config.FreePercent = 20;
+  Config.BranchPercent = 25;
+  Config.LoopFreePercent = 10;
+  Config.UseHeap = true;
+  return generateProgram(Config);
+}
+
+/// `--smoke`, part four-b: the CFG dataflow gates (--flow=cfg). On the
+/// branch-heavy workload, under every engine: the graph must verify
+/// well-formed, the pass must audit clean, refine at least as many
+/// reports away as the linear walk (strict improvement is asserted by
+/// the golden corpus; the generated workload's margin may be zero), cost
+/// under 25% of the solve time, and produce bit-identical findings
+/// across all five engines.
+int runCfgFlowSmoke() {
+  int Failures = 0;
+  std::string Source = branchHeavySource(6);
+  std::string FindingsByEngine[5];
+  for (int Engine = 0; Engine < 5; ++Engine) {
+    DiagnosticEngine Diags;
+    auto P = CompiledProgram::fromSource(Source, Diags);
+    if (!P) {
+      std::fprintf(stderr, "FAIL cfg-flow-smoke: workload failed to compile\n");
+      return Failures + 1;
+    }
+    AnalysisOptions Opts;
+    Opts.Model = ModelKind::CommonInitialSeq;
+    Opts.Solver = engineOptions(Engine);
+    Analysis A(P->Prog, Opts);
+    A.run();
+    if (!A.solver().runStats().Converged) {
+      std::fprintf(stderr, "FAIL cfg-flow-smoke/%s: did not converge\n",
+                   EngineLabel[Engine]);
+      ++Failures;
+      continue;
+    }
+    NormProgram &Prog = P->Prog;
+    std::vector<char> Defined(Prog.Funcs.size(), 0);
+    for (size_t F = 0; F < Prog.Funcs.size(); ++F)
+      Defined[F] = Prog.Funcs[F].IsDefined ? 1 : 0;
+    CfgVerifyResult CG = verifyCfg(Prog.Cfg, Prog.stmtOrder().ByFunc, Defined,
+                                   Prog.Stmts.size());
+    if (!CG.ok()) {
+      std::fprintf(stderr,
+                   "FAIL cfg-flow-smoke/%s: CFG verifier found %llu "
+                   "violations\n",
+                   EngineLabel[Engine], (unsigned long long)CG.Violations);
+      ++Failures;
+    }
+    FlowResult FR = runCfgFlowPass(A.solver());
+    FlowAuditResult AR = auditFlowRefinement(A.solver());
+    DiagnosticEngine RefDiags;
+    CheckReport Refined = runCheckers(A, {"use-after-free"}, RefDiags);
+    if (!AR.ok()) {
+      std::fprintf(stderr,
+                   "FAIL cfg-flow-smoke/%s: audit found %llu violations\n",
+                   EngineLabel[Engine], (unsigned long long)AR.Violations);
+      ++Failures;
+    }
+    if (FR.CfgBlocks == 0 || FR.CfgEdges == 0 || FR.JoinMerges == 0 ||
+        FR.ExitSummaries == 0) {
+      std::fprintf(stderr,
+                   "FAIL cfg-flow-smoke/%s: degenerate CFG counters "
+                   "(%llu blocks, %llu edges, %llu joins, %llu summaries)\n",
+                   EngineLabel[Engine], (unsigned long long)FR.CfgBlocks,
+                   (unsigned long long)FR.CfgEdges,
+                   (unsigned long long)FR.JoinMerges,
+                   (unsigned long long)FR.ExitSummaries);
+      ++Failures;
+    }
+    double SolveSeconds = A.solver().runStats().SolveSeconds;
+    if (FR.Seconds >= 0.25 * SolveSeconds && FR.Seconds > 0.0005) {
+      std::fprintf(stderr,
+                   "FAIL cfg-flow-smoke/%s: cfg pass overhead %.2fx solve "
+                   "time (flow %.3f ms vs solve %.3f ms)\n",
+                   EngineLabel[Engine],
+                   SolveSeconds > 0 ? FR.Seconds / SolveSeconds : 0.0,
+                   FR.Seconds * 1e3, SolveSeconds * 1e3);
+      ++Failures;
+    }
+    FindingsByEngine[Engine] = RefDiags.formatAll();
+    if (Engine == 0 && !Failures)
+      std::printf("ok cfg-flow-smoke: %llu blocks, %llu edges, refined %u "
+                  "findings, %llu suppressed, flow %.3f ms (solve %.3f ms)\n",
+                  (unsigned long long)FR.CfgBlocks,
+                  (unsigned long long)FR.CfgEdges, Refined.Findings,
+                  (unsigned long long)FR.ReportsSuppressed, FR.Seconds * 1e3,
+                  SolveSeconds * 1e3);
+  }
+  for (int Engine = 1; Engine < 5; ++Engine)
+    if (FindingsByEngine[Engine] != FindingsByEngine[0]) {
+      std::fprintf(stderr,
+                   "FAIL cfg-flow-smoke: refined findings differ between %s "
+                   "and %s\n",
+                   EngineLabel[0], EngineLabel[Engine]);
+      ++Failures;
+    }
+  if (!Failures)
+    std::printf("ok cfg-flow-smoke: refined findings bit-identical across 5 "
                 "engines\n");
   return Failures;
 }

@@ -1,0 +1,384 @@
+//===--- Cfg.cpp ----------------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+using namespace spa;
+
+const char *spa::cfgEdgeKindName(CfgEdgeKind Kind) {
+  switch (Kind) {
+  case CfgEdgeKind::Fall:
+    return "fall";
+  case CfgEdgeKind::BranchTrue:
+    return "true";
+  case CfgEdgeKind::BranchFalse:
+    return "false";
+  case CfgEdgeKind::LoopBack:
+    return "back";
+  case CfgEdgeKind::SwitchCase:
+    return "case";
+  case CfgEdgeKind::Jump:
+    return "jump";
+  }
+  return "?";
+}
+
+uint32_t CfgBuilder::newBlock(SourceLoc Begin) {
+  CfgBlock B;
+  B.Begin = Begin;
+  Cur.Blocks.push_back(std::move(B));
+  return static_cast<uint32_t>(Cur.Blocks.size() - 1);
+}
+
+void CfgBuilder::edge(uint32_t From, uint32_t To, CfgEdgeKind Kind) {
+  CfgEdge E{To, Kind};
+  // The same structural edge can be announced twice (e.g. an empty then
+  // and else both falling into the join from the condition block); keep
+  // the successor list duplicate-free so the verifier can be strict.
+  std::vector<CfgEdge> &Succs = Cur.Blocks[From].Succs;
+  if (std::find(Succs.begin(), Succs.end(), E) != Succs.end())
+    return;
+  Succs.push_back(E);
+  Cur.Blocks[To].Preds.push_back(From);
+}
+
+void CfgBuilder::jumpTo(uint32_t Target) {
+  edge(CurBlock, Target, CfgEdgeKind::Jump);
+  CurBlock = newBlock();
+}
+
+void CfgBuilder::beginFunction(uint32_t FuncIdx, SourceLoc BodyBegin) {
+  assert(!InFunction && "nested function bodies are not a thing in C");
+  Cur = FuncCfg();
+  Cur.FuncIdx = FuncIdx;
+  Cur.Entry = newBlock(BodyBegin);
+  Cur.Exit = newBlock();
+  CurBlock = Cur.Entry;
+  Labels.clear();
+  PendingLabels.clear();
+  InFunction = true;
+}
+
+void CfgBuilder::endFunction(SourceLoc BodyEnd) {
+  assert(InFunction);
+  assert(Ifs.empty() && Loops.empty() && Switches.empty() &&
+         "unbalanced construct frames at function end");
+  edge(CurBlock, Cur.Exit, CfgEdgeKind::Fall);
+  // A goto to a label the function never defines (the parser reports it,
+  // but lowering continues): route the orphaned label block to the exit
+  // so it is not a second successor-less block.
+  for (const auto &[Name, Block] : PendingLabels)
+    edge(Block, Cur.Exit, CfgEdgeKind::Jump);
+  PendingLabels.clear();
+  Cur.Blocks[Cur.Exit].Begin = BodyEnd;
+  Cur.Blocks[Cur.Exit].End = BodyEnd;
+  for (CfgBlock &B : Cur.Blocks)
+    if (!B.End.isValid())
+      B.End = BodyEnd;
+  computeRpo(Cur);
+  Out.Funcs.push_back(std::move(Cur));
+  InFunction = false;
+}
+
+void CfgBuilder::finish(size_t TotalStmts, size_t TotalFuncs) {
+  BlockOfStmt.resize(TotalStmts, -1);
+  Out.BlockOfStmt = std::move(BlockOfStmt);
+  BlockOfStmt.clear();
+  Out.CfgOfFunc.assign(TotalFuncs, -1);
+  for (size_t I = 0; I < Out.Funcs.size(); ++I) {
+    uint32_t F = Out.Funcs[I].FuncIdx;
+    if (F < TotalFuncs)
+      Out.CfgOfFunc[F] = static_cast<int32_t>(I);
+  }
+}
+
+void CfgBuilder::noteStmt(uint32_t StmtIdx, SourceLoc Loc) {
+  if (BlockOfStmt.size() <= StmtIdx)
+    BlockOfStmt.resize(StmtIdx + 1, -1);
+  if (!InFunction)
+    return; // global initializer: no CFG
+  BlockOfStmt[StmtIdx] = static_cast<int32_t>(CurBlock);
+  CfgBlock &B = Cur.Blocks[CurBlock];
+  B.Stmts.push_back(StmtIdx);
+  if (!B.Begin.isValid())
+    B.Begin = Loc;
+  B.End = Loc;
+}
+
+//===----------------------------------------------------------------------===//
+// Structured constructs
+//===----------------------------------------------------------------------===//
+
+void CfgBuilder::beginIf(bool HasElse) {
+  if (!InFunction)
+    return;
+  IfFrame F;
+  F.HasElse = HasElse;
+  uint32_t Then = newBlock();
+  F.Else = HasElse ? newBlock() : 0;
+  F.Join = newBlock();
+  edge(CurBlock, Then, CfgEdgeKind::BranchTrue);
+  edge(CurBlock, HasElse ? F.Else : F.Join, CfgEdgeKind::BranchFalse);
+  Ifs.push_back(F);
+  CurBlock = Then;
+}
+
+void CfgBuilder::beginElse() {
+  if (!InFunction || Ifs.empty())
+    return;
+  IfFrame &F = Ifs.back();
+  edge(CurBlock, F.Join, CfgEdgeKind::Fall);
+  CurBlock = F.Else;
+}
+
+void CfgBuilder::endIf() {
+  if (!InFunction || Ifs.empty())
+    return;
+  IfFrame F = Ifs.back();
+  Ifs.pop_back();
+  edge(CurBlock, F.Join, CfgEdgeKind::Fall);
+  CurBlock = F.Join;
+}
+
+void CfgBuilder::beginWhileHeader() {
+  if (!InFunction)
+    return;
+  LoopFrame F;
+  F.Incoming = CurBlock;
+  F.Header = newBlock();
+  edge(F.Incoming, F.Header, CfgEdgeKind::Fall);
+  Loops.push_back(F);
+  CurBlock = F.Header;
+}
+
+void CfgBuilder::beginWhileBody() {
+  if (!InFunction || Loops.empty())
+    return;
+  LoopFrame &F = Loops.back();
+  uint32_t Body = newBlock();
+  F.Exit = newBlock();
+  edge(F.Header, Body, CfgEdgeKind::BranchTrue);
+  edge(F.Header, F.Exit, CfgEdgeKind::BranchFalse);
+  BreakTargets.push_back(F.Exit);
+  ContinueTargets.push_back(F.Header);
+  CurBlock = Body;
+}
+
+void CfgBuilder::endWhile() {
+  if (!InFunction || Loops.empty())
+    return;
+  LoopFrame F = Loops.back();
+  Loops.pop_back();
+  edge(CurBlock, F.Header, CfgEdgeKind::LoopBack);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+  CurBlock = F.Exit;
+}
+
+void CfgBuilder::beginDoWhileLatch() {
+  if (!InFunction)
+    return;
+  LoopFrame F;
+  F.Incoming = CurBlock;
+  F.Header = newBlock(); // the latch: holds the condition statements
+  Loops.push_back(F);
+  CurBlock = F.Header;
+}
+
+void CfgBuilder::beginDoWhileBody() {
+  if (!InFunction || Loops.empty())
+    return;
+  LoopFrame &F = Loops.back();
+  uint32_t Body = newBlock();
+  F.Exit = newBlock();
+  edge(F.Incoming, Body, CfgEdgeKind::Fall);
+  edge(F.Header, Body, CfgEdgeKind::LoopBack);
+  edge(F.Header, F.Exit, CfgEdgeKind::BranchFalse);
+  BreakTargets.push_back(F.Exit);
+  ContinueTargets.push_back(F.Header);
+  CurBlock = Body;
+}
+
+void CfgBuilder::endDoWhile() {
+  if (!InFunction || Loops.empty())
+    return;
+  LoopFrame F = Loops.back();
+  Loops.pop_back();
+  edge(CurBlock, F.Header, CfgEdgeKind::Fall);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+  CurBlock = F.Exit;
+}
+
+void CfgBuilder::beginForHeader() { beginWhileHeader(); }
+
+void CfgBuilder::beginForStep() {
+  if (!InFunction || Loops.empty())
+    return;
+  LoopFrame &F = Loops.back();
+  F.Step = newBlock();
+  CurBlock = F.Step;
+}
+
+void CfgBuilder::beginForBody() {
+  if (!InFunction || Loops.empty())
+    return;
+  LoopFrame &F = Loops.back();
+  uint32_t Body = newBlock();
+  F.Exit = newBlock();
+  edge(F.Header, Body, CfgEdgeKind::BranchTrue);
+  edge(F.Header, F.Exit, CfgEdgeKind::BranchFalse);
+  edge(F.Step, F.Header, CfgEdgeKind::LoopBack);
+  BreakTargets.push_back(F.Exit);
+  ContinueTargets.push_back(F.Step);
+  CurBlock = Body;
+}
+
+void CfgBuilder::endFor() {
+  if (!InFunction || Loops.empty())
+    return;
+  LoopFrame F = Loops.back();
+  Loops.pop_back();
+  edge(CurBlock, F.Step, CfgEdgeKind::Fall);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+  CurBlock = F.Exit;
+}
+
+void CfgBuilder::beginSwitch() {
+  if (!InFunction)
+    return;
+  SwitchFrame F;
+  F.Head = CurBlock;
+  F.Exit = newBlock();
+  Switches.push_back(F);
+  BreakTargets.push_back(F.Exit);
+  // Statements between the controlling expression and the first label are
+  // unreachable; give them a block of their own.
+  CurBlock = newBlock();
+}
+
+void CfgBuilder::caseLabel(bool IsDefault) {
+  if (!InFunction || Switches.empty())
+    return;
+  SwitchFrame &F = Switches.back();
+  if (IsDefault)
+    F.SawDefault = true;
+  uint32_t Label = newBlock();
+  edge(F.Head, Label, CfgEdgeKind::SwitchCase);
+  edge(CurBlock, Label, CfgEdgeKind::Fall); // fallthrough from above
+  CurBlock = Label;
+}
+
+void CfgBuilder::endSwitch() {
+  if (!InFunction || Switches.empty())
+    return;
+  SwitchFrame F = Switches.back();
+  Switches.pop_back();
+  BreakTargets.pop_back();
+  edge(CurBlock, F.Exit, CfgEdgeKind::Fall);
+  if (!F.SawDefault)
+    edge(F.Head, F.Exit, CfgEdgeKind::BranchFalse); // no label matched
+  CurBlock = F.Exit;
+}
+
+//===----------------------------------------------------------------------===//
+// Unstructured transfers
+//===----------------------------------------------------------------------===//
+
+void CfgBuilder::breakStmt() {
+  if (!InFunction || BreakTargets.empty())
+    return;
+  jumpTo(BreakTargets.back());
+}
+
+void CfgBuilder::continueStmt() {
+  if (!InFunction || ContinueTargets.empty())
+    return;
+  jumpTo(ContinueTargets.back());
+}
+
+void CfgBuilder::returnStmt() {
+  if (!InFunction)
+    return;
+  jumpTo(Cur.Exit);
+}
+
+uint32_t CfgBuilder::labelBlock(Symbol Label) {
+  for (const auto &[Name, Block] : Labels)
+    if (Name == Label)
+      return Block;
+  for (const auto &[Name, Block] : PendingLabels)
+    if (Name == Label)
+      return Block;
+  uint32_t Block = newBlock();
+  PendingLabels.emplace_back(Label, Block);
+  return Block;
+}
+
+void CfgBuilder::gotoStmt(Symbol Label) {
+  if (!InFunction || !Label.isValid())
+    return;
+  jumpTo(labelBlock(Label));
+}
+
+void CfgBuilder::labelStmt(Symbol Label) {
+  if (!InFunction || !Label.isValid())
+    return;
+  uint32_t Block = labelBlock(Label);
+  for (size_t I = 0; I < PendingLabels.size(); ++I)
+    if (PendingLabels[I].first == Label) {
+      Labels.push_back(PendingLabels[I]);
+      PendingLabels.erase(PendingLabels.begin() +
+                          static_cast<ptrdiff_t>(I));
+      break;
+    }
+  if (std::none_of(Labels.begin(), Labels.end(),
+                   [&](const auto &P) { return P.first == Label; }))
+    Labels.emplace_back(Label, Block);
+  edge(CurBlock, Block, CfgEdgeKind::Fall);
+  CurBlock = Block;
+}
+
+//===----------------------------------------------------------------------===//
+// Reverse postorder
+//===----------------------------------------------------------------------===//
+
+void CfgBuilder::computeRpo(FuncCfg &F) {
+  size_t N = F.Blocks.size();
+  F.RpoIndex.assign(N, -1);
+  F.Rpo.clear();
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done
+  struct Frame {
+    uint32_t Block;
+    size_t Edge;
+  };
+  std::vector<Frame> Stack{{F.Entry, 0}};
+  State[F.Entry] = 1;
+  std::vector<uint32_t> Post;
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const std::vector<CfgEdge> &Succs = F.Blocks[Top.Block].Succs;
+    if (Top.Edge < Succs.size()) {
+      uint32_t Next = Succs[Top.Edge++].To;
+      if (State[Next] == 0) {
+        State[Next] = 1;
+        Stack.push_back({Next, 0});
+      }
+      continue;
+    }
+    Post.push_back(Top.Block);
+    State[Top.Block] = 2;
+    Stack.pop_back();
+  }
+  F.Rpo.assign(Post.rbegin(), Post.rend());
+  for (size_t I = 0; I < F.Rpo.size(); ++I)
+    F.RpoIndex[F.Rpo[I]] = static_cast<int32_t>(I);
+}

@@ -1,0 +1,265 @@
+//===--- Cfg.h - Intraprocedural control-flow graph ------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An intraprocedural control-flow graph over the normalized statement
+/// stream. The points-to solve itself is flow-insensitive (the paper closes
+/// over a bag of assignments), so the CFG exists purely for the post-solve
+/// flow passes (src/flow/): basic blocks partition each defined function's
+/// statements, edges follow the source's branch/loop/switch structure, and
+/// a reverse-postorder index gives the dataflow a good visit order.
+///
+/// The graph is built by the normalizer as it lowers the AST — blocks hold
+/// indices into NormProgram::Stmts, so no statement is ever duplicated or
+/// reordered. Statement emission order is unchanged from the straight-line
+/// lowering (e.g. a for statement still emits init, cond, step, body in
+/// that order); the CFG records which *block* each statement belongs to and
+/// lets the edges express the execution order instead.
+///
+/// This header deliberately depends only on src/support: the norm library
+/// embeds a ProgramCfg in every NormProgram, so depending back on norm
+/// types would be circular. Functions and statements are referred to by
+/// their dense indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CFG_CFG_H
+#define SPA_CFG_CFG_H
+
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spa {
+
+/// Why an edge exists; purely descriptive (the dataflow treats all kinds
+/// alike) but pinned by the verifier and shown in the --cfg dump.
+enum class CfgEdgeKind : uint8_t {
+  Fall,        ///< sequential fallthrough into the next block
+  BranchTrue,  ///< condition held (if-then, loop entry)
+  BranchFalse, ///< condition failed (else / loop or switch exit)
+  LoopBack,    ///< back edge to a loop header or latch
+  SwitchCase,  ///< switch head to one case/default label
+  Jump,        ///< break, continue, goto, or return
+};
+
+/// Renders an edge kind for dumps and verifier messages.
+const char *cfgEdgeKindName(CfgEdgeKind Kind);
+
+/// One outgoing edge.
+struct CfgEdge {
+  uint32_t To = 0;
+  CfgEdgeKind Kind = CfgEdgeKind::Fall;
+
+  friend bool operator==(CfgEdge A, CfgEdge B) {
+    return A.To == B.To && A.Kind == B.Kind;
+  }
+};
+
+/// One basic block: a run of consecutively emitted statements with no
+/// internal control transfer.
+struct CfgBlock {
+  /// Indices into NormProgram::Stmts, strictly ascending. The entry and
+  /// exit blocks (and blocks synthesized after a jump) may be empty.
+  std::vector<uint32_t> Stmts;
+  std::vector<CfgEdge> Succs;
+  std::vector<uint32_t> Preds;
+  /// Source range the block covers; End comes from the front end's
+  /// Stmt::EndLoc (closing brace / terminating token) when available.
+  SourceLoc Begin;
+  SourceLoc End;
+};
+
+/// The CFG of one defined function.
+struct FuncCfg {
+  /// Index of the function in NormProgram::Funcs.
+  uint32_t FuncIdx = UINT32_MAX;
+  /// The unique entry block (no predecessors).
+  uint32_t Entry = 0;
+  /// The unique exit block (no statements, no successors). Every return
+  /// statement edges here, as does the fall off the end of the body.
+  uint32_t Exit = 0;
+  std::vector<CfgBlock> Blocks;
+  /// Reverse postorder over the blocks reachable from Entry (Entry first).
+  std::vector<uint32_t> Rpo;
+  /// Position of each block in Rpo; -1 for blocks unreachable from Entry
+  /// (dead code after a jump; the dataflow treats them as never executed).
+  std::vector<int32_t> RpoIndex;
+
+  size_t edgeCount() const {
+    size_t N = 0;
+    for (const CfgBlock &B : Blocks)
+      N += B.Succs.size();
+    return N;
+  }
+};
+
+/// CFGs for a whole program, one per defined function.
+struct ProgramCfg {
+  std::vector<FuncCfg> Funcs;
+  /// Function index -> index into Funcs; -1 for undefined functions.
+  std::vector<int32_t> CfgOfFunc;
+  /// Statement index -> block id inside its function's FuncCfg; -1 for
+  /// global-initializer statements (which have no CFG).
+  std::vector<int32_t> BlockOfStmt;
+
+  bool empty() const { return Funcs.empty(); }
+
+  /// CFG of function \p FuncIdx, or null if it has none.
+  const FuncCfg *cfgFor(uint32_t FuncIdx) const {
+    if (FuncIdx >= CfgOfFunc.size() || CfgOfFunc[FuncIdx] < 0)
+      return nullptr;
+    return &Funcs[static_cast<size_t>(CfgOfFunc[FuncIdx])];
+  }
+
+  size_t totalBlocks() const {
+    size_t N = 0;
+    for (const FuncCfg &F : Funcs)
+      N += F.Blocks.size();
+    return N;
+  }
+  size_t totalEdges() const {
+    size_t N = 0;
+    for (const FuncCfg &F : Funcs)
+      N += F.edgeCount();
+    return N;
+  }
+};
+
+/// Incremental CFG constructor driven by the normalizer's AST walk. The
+/// builder mirrors the source's block structure: the normalizer announces
+/// each construct (beginIf .. endIf, beginWhileHeader .. endWhile, ...)
+/// around the statement emission it already performs, and the builder
+/// assigns every emitted statement to the current block and wires the
+/// edges. Break/continue targets, the enclosing switch, and goto labels
+/// are tracked on internal stacks so the normalizer stays a plain
+/// recursive walk.
+class CfgBuilder {
+public:
+  explicit CfgBuilder(ProgramCfg &Out) : Out(Out) {}
+
+  /// \name Function boundaries.
+  /// @{
+  void beginFunction(uint32_t FuncIdx, SourceLoc BodyBegin);
+  /// Finishes the current function: falls through to the exit block,
+  /// resolves forward gotos, and computes the reverse postorder.
+  /// \p BodyEnd is the body's closing location (Stmt::EndLoc).
+  void endFunction(SourceLoc BodyEnd);
+  /// Called once after all functions, with the final statement and
+  /// function counts, to size the program-level maps.
+  void finish(size_t TotalStmts, size_t TotalFuncs);
+  /// @}
+
+  /// Assigns statement \p StmtIdx (just appended to NormProgram::Stmts)
+  /// to the current block. Outside a function (global initializers) the
+  /// statement is recorded as CFG-less.
+  void noteStmt(uint32_t StmtIdx, SourceLoc Loc);
+
+  /// \name Structured control flow. Call order follows the normalizer's
+  /// emission order for each construct.
+  /// @{
+  /// After the condition's statements: opens the then block.
+  void beginIf(bool HasElse);
+  /// After the then arm: closes it into the join, opens the else block.
+  void beginElse();
+  /// Closes the construct; the current block becomes the join.
+  void endIf();
+
+  /// Before the condition: opens the loop header (condition lives there).
+  void beginWhileHeader();
+  /// After the condition: opens the body; header branches body/exit.
+  void beginWhileBody();
+  /// After the body: back edge to the header; current becomes the exit.
+  void endWhile();
+
+  /// Before the condition: opens the latch (do-while conditions are
+  /// emitted before the body by the normalizer, but execute after it).
+  void beginDoWhileLatch();
+  /// After the condition: opens the body; entry falls into the body, the
+  /// latch loops back to it or exits.
+  void beginDoWhileBody();
+  /// After the body: falls into the latch; current becomes the exit.
+  void endDoWhile();
+
+  /// After init, before the condition: opens the for header.
+  void beginForHeader();
+  /// After the condition: opens the step block (emitted before the body).
+  void beginForStep();
+  /// After the step: opens the body; continue targets the step block.
+  void beginForBody();
+  /// After the body: falls into the step; current becomes the exit.
+  void endFor();
+
+  /// After the controlling expression: the current block becomes the
+  /// switch head; statements before the first case label are unreachable.
+  void beginSwitch();
+  /// A case or default label: new block, dispatch edge from the head,
+  /// fallthrough edge from the preceding statement run. No-op outside a
+  /// switch (the parser tolerates stray labels; so does the builder).
+  void caseLabel(bool IsDefault);
+  /// Closes the switch; without a default the head may skip to the exit.
+  void endSwitch();
+  /// @}
+
+  /// \name Unstructured transfers.
+  /// @{
+  void breakStmt();
+  void continueStmt();
+  void returnStmt();
+  void gotoStmt(Symbol Label);
+  void labelStmt(Symbol Label);
+  /// @}
+
+private:
+  uint32_t newBlock(SourceLoc Begin = SourceLoc());
+  void edge(uint32_t From, uint32_t To, CfgEdgeKind Kind);
+  /// Ends the current block with a jump to \p Target and opens a fresh
+  /// (unreachable until labeled) block for any trailing statements.
+  void jumpTo(uint32_t Target);
+  /// Block a goto/label name refers to, created on first mention.
+  uint32_t labelBlock(Symbol Label);
+  void computeRpo(FuncCfg &F);
+
+  struct IfFrame {
+    uint32_t Join = 0;
+    uint32_t Else = 0;
+    bool HasElse = false;
+  };
+  struct LoopFrame {
+    uint32_t Incoming = 0; ///< block before the construct
+    uint32_t Header = 0;   ///< condition block (latch for do-while)
+    uint32_t Step = 0;     ///< for-step block; 0 when unused
+    uint32_t Exit = 0;
+  };
+  struct SwitchFrame {
+    uint32_t Head = 0;
+    uint32_t Exit = 0;
+    bool SawDefault = false;
+  };
+
+  ProgramCfg &Out;
+  FuncCfg Cur;
+  bool InFunction = false;
+  uint32_t CurBlock = 0;
+  std::vector<IfFrame> Ifs;
+  std::vector<LoopFrame> Loops;
+  std::vector<SwitchFrame> Switches;
+  std::vector<uint32_t> BreakTargets;
+  std::vector<uint32_t> ContinueTargets;
+  /// Goto labels of the current function: name -> block id.
+  std::vector<std::pair<Symbol, uint32_t>> Labels;
+  /// Labels mentioned by a goto but not (yet) defined.
+  std::vector<std::pair<Symbol, uint32_t>> PendingLabels;
+  /// Statement -> block id within its function (or -1 for globals), keyed
+  /// by global statement index; moved into Out by finish().
+  std::vector<int32_t> BlockOfStmt;
+};
+
+} // namespace spa
+
+#endif // SPA_CFG_CFG_H

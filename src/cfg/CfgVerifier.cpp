@@ -1,0 +1,224 @@
+//===--- CfgVerifier.cpp --------------------------------------------------===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgVerifier.h"
+
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+
+using namespace spa;
+
+namespace {
+
+constexpr size_t MessageCap = 32;
+
+class Verifier {
+public:
+  Verifier(const ProgramCfg &Cfg,
+           const std::vector<std::vector<uint32_t>> &StmtsByFunc,
+           const std::vector<char> &DefinedFunc, size_t TotalStmts)
+      : Cfg(Cfg), StmtsByFunc(StmtsByFunc), DefinedFunc(DefinedFunc),
+        TotalStmts(TotalStmts) {}
+
+  CfgVerifyResult run() {
+    checkProgramMaps();
+    for (const FuncCfg &F : Cfg.Funcs)
+      checkFunction(F);
+    return std::move(R);
+  }
+
+private:
+  void check(bool Ok, const std::string &Message) {
+    ++R.ChecksRun;
+    if (Ok)
+      return;
+    ++R.Violations;
+    if (R.Messages.size() < MessageCap)
+      R.Messages.push_back(Message);
+  }
+
+  static std::string funcTag(const FuncCfg &F) {
+    return "function #" + std::to_string(F.FuncIdx);
+  }
+
+  void checkProgramMaps() {
+    check(Cfg.BlockOfStmt.size() == TotalStmts,
+          "BlockOfStmt covers " + std::to_string(Cfg.BlockOfStmt.size()) +
+              " statements, program has " + std::to_string(TotalStmts));
+    check(Cfg.CfgOfFunc.size() == StmtsByFunc.size(),
+          "CfgOfFunc covers " + std::to_string(Cfg.CfgOfFunc.size()) +
+              " functions, program has " +
+              std::to_string(StmtsByFunc.size()));
+    for (size_t F = 0; F < Cfg.CfgOfFunc.size(); ++F) {
+      int32_t Idx = Cfg.CfgOfFunc[F];
+      bool Defined = F < DefinedFunc.size() && DefinedFunc[F];
+      check(Idx < 0 ? !Defined : Defined,
+            "function #" + std::to_string(F) +
+                (Defined ? " is defined but has no CFG"
+                         : " is undefined but has a CFG"));
+      if (Idx < 0)
+        continue;
+      bool InRange = static_cast<size_t>(Idx) < Cfg.Funcs.size();
+      check(InRange, "CfgOfFunc[" + std::to_string(F) +
+                         "] is out of range: " + std::to_string(Idx));
+      if (InRange)
+        check(Cfg.Funcs[static_cast<size_t>(Idx)].FuncIdx == F,
+              "CfgOfFunc[" + std::to_string(F) +
+                  "] names a CFG built for function #" +
+                  std::to_string(Cfg.Funcs[static_cast<size_t>(Idx)].FuncIdx));
+    }
+  }
+
+  void checkFunction(const FuncCfg &F) {
+    size_t N = F.Blocks.size();
+    check(F.Entry < N, funcTag(F) + ": entry block out of range");
+    check(F.Exit < N, funcTag(F) + ": exit block out of range");
+    if (F.Entry >= N || F.Exit >= N)
+      return;
+    check(F.Entry != F.Exit, funcTag(F) + ": entry and exit coincide");
+    check(F.Blocks[F.Entry].Preds.empty(),
+          funcTag(F) + ": entry block has predecessors");
+    check(F.Blocks[F.Exit].Succs.empty(),
+          funcTag(F) + ": exit block has successors");
+    check(F.Blocks[F.Exit].Stmts.empty(),
+          funcTag(F) + ": exit block holds statements");
+
+    // Edge sanity and the pred/succ mirror.
+    for (uint32_t B = 0; B < N; ++B) {
+      const CfgBlock &Block = F.Blocks[B];
+      for (const CfgEdge &E : Block.Succs) {
+        check(E.To < N, funcTag(F) + ": block " + std::to_string(B) +
+                            " has an edge to out-of-range block " +
+                            std::to_string(E.To));
+        if (E.To >= N)
+          continue;
+        const std::vector<uint32_t> &Preds = F.Blocks[E.To].Preds;
+        check(std::count(Preds.begin(), Preds.end(), B) == 1,
+              funcTag(F) + ": edge " + std::to_string(B) + " -> " +
+                  std::to_string(E.To) +
+                  " is not mirrored exactly once in the target's preds");
+      }
+      std::vector<CfgEdge> Sorted = Block.Succs;
+      std::sort(Sorted.begin(), Sorted.end(), [](CfgEdge A, CfgEdge B2) {
+        return std::make_pair(A.To, static_cast<int>(A.Kind)) <
+               std::make_pair(B2.To, static_cast<int>(B2.Kind));
+      });
+      check(std::adjacent_find(Sorted.begin(), Sorted.end()) == Sorted.end(),
+            funcTag(F) + ": block " + std::to_string(B) +
+                " repeats a successor edge");
+      if (B != F.Exit)
+        check(!Block.Succs.empty(),
+              funcTag(F) + ": non-exit block " + std::to_string(B) +
+                  " has no successors");
+      for (uint32_t P : Block.Preds) {
+        bool Mirrored =
+            P < N && std::any_of(F.Blocks[P].Succs.begin(),
+                                 F.Blocks[P].Succs.end(),
+                                 [&](CfgEdge E) { return E.To == B; });
+        check(Mirrored, funcTag(F) + ": block " + std::to_string(B) +
+                            " lists predecessor " + std::to_string(P) +
+                            " without a matching successor edge");
+      }
+    }
+
+    checkStmtPartition(F);
+    checkRpo(F);
+  }
+
+  /// Every statement the function owns appears in exactly one block, in
+  /// emission order within the block, and the program-level BlockOfStmt
+  /// map agrees.
+  void checkStmtPartition(const FuncCfg &F) {
+    std::vector<uint32_t> InBlocks;
+    for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+      const std::vector<uint32_t> &Stmts = F.Blocks[B].Stmts;
+      check(std::is_sorted(Stmts.begin(), Stmts.end()) &&
+                std::adjacent_find(Stmts.begin(), Stmts.end()) ==
+                    Stmts.end(),
+            funcTag(F) + ": block " + std::to_string(B) +
+                " statements are not strictly ascending");
+      for (uint32_t S : Stmts) {
+        InBlocks.push_back(S);
+        check(S < Cfg.BlockOfStmt.size() &&
+                  Cfg.BlockOfStmt[S] == static_cast<int32_t>(B),
+              funcTag(F) + ": statement " + std::to_string(S) +
+                  " in block " + std::to_string(B) +
+                  " disagrees with BlockOfStmt");
+      }
+    }
+    std::sort(InBlocks.begin(), InBlocks.end());
+    std::vector<uint32_t> Owned;
+    if (F.FuncIdx < StmtsByFunc.size())
+      Owned = StmtsByFunc[F.FuncIdx];
+    std::sort(Owned.begin(), Owned.end());
+    check(InBlocks == Owned,
+          funcTag(F) + ": blocks hold " + std::to_string(InBlocks.size()) +
+              " statements, the function owns " +
+              std::to_string(Owned.size()) +
+              " (every statement must be in exactly one block)");
+  }
+
+  /// The reverse postorder lists exactly the blocks reachable from the
+  /// entry, entry first, and RpoIndex is its inverse.
+  void checkRpo(const FuncCfg &F) {
+    size_t N = F.Blocks.size();
+    std::vector<char> Reach(N, 0);
+    std::vector<uint32_t> Work{F.Entry};
+    Reach[F.Entry] = 1;
+    while (!Work.empty()) {
+      uint32_t B = Work.back();
+      Work.pop_back();
+      for (const CfgEdge &E : F.Blocks[B].Succs)
+        if (E.To < N && !Reach[E.To]) {
+          Reach[E.To] = 1;
+          Work.push_back(E.To);
+        }
+    }
+    size_t ReachCount =
+        static_cast<size_t>(std::count(Reach.begin(), Reach.end(), 1));
+    check(F.Rpo.size() == ReachCount,
+          funcTag(F) + ": RPO lists " + std::to_string(F.Rpo.size()) +
+              " blocks, " + std::to_string(ReachCount) + " are reachable");
+    check(!F.Rpo.empty() && F.Rpo.front() == F.Entry,
+          funcTag(F) + ": RPO does not start at the entry block");
+    check(F.RpoIndex.size() == N,
+          funcTag(F) + ": RpoIndex size disagrees with the block count");
+    std::vector<char> Seen(N, 0);
+    for (size_t I = 0; I < F.Rpo.size(); ++I) {
+      uint32_t B = F.Rpo[I];
+      bool Ok = B < N && !Seen[B] && Reach[B] &&
+                F.RpoIndex.size() == N &&
+                F.RpoIndex[B] == static_cast<int32_t>(I);
+      if (B < N)
+        Seen[B] = 1;
+      check(Ok, funcTag(F) + ": RPO entry " + std::to_string(I) +
+                    " (block " + std::to_string(B) +
+                    ") is duplicated, unreachable, or out of sync with "
+                    "RpoIndex");
+    }
+    for (uint32_t B = 0; B < N; ++B)
+      if (!Reach[B] && B < F.RpoIndex.size())
+        check(F.RpoIndex[B] == -1,
+              funcTag(F) + ": unreachable block " + std::to_string(B) +
+                  " carries an RPO index");
+  }
+
+  const ProgramCfg &Cfg;
+  const std::vector<std::vector<uint32_t>> &StmtsByFunc;
+  const std::vector<char> &DefinedFunc;
+  size_t TotalStmts;
+  CfgVerifyResult R;
+};
+
+} // namespace
+
+CfgVerifyResult
+spa::verifyCfg(const ProgramCfg &Cfg,
+               const std::vector<std::vector<uint32_t>> &StmtsByFunc,
+               const std::vector<char> &DefinedFunc, size_t TotalStmts) {
+  return Verifier(Cfg, StmtsByFunc, DefinedFunc, TotalStmts).run();
+}

@@ -1,0 +1,55 @@
+//===--- CfgVerifier.h - CFG well-formedness lint --------------*- C++ -*-===//
+//
+// Part of the spa project (see support/IdTypes.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A well-formedness verifier for the intraprocedural CFG, in the
+/// --verify-ir style: the dataflow passes assume the invariants the
+/// builder establishes — every statement of a defined function sits in
+/// exactly one block, predecessor and successor lists mirror each other,
+/// the function has a single entry and a single exit, and the reverse
+/// postorder covers exactly the reachable blocks. This pass re-checks
+/// those invariants explicitly, so a broken producer (or a corrupted
+/// graph in the mutation self-tests) is caught before the flow pass
+/// silently mis-refines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CFG_CFGVERIFIER_H
+#define SPA_CFG_CFGVERIFIER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spa {
+
+struct ProgramCfg;
+
+/// Outcome of one CFG verification pass.
+struct CfgVerifyResult {
+  /// Individual invariant checks evaluated.
+  uint64_t ChecksRun = 0;
+  /// Checks that failed.
+  uint64_t Violations = 0;
+  /// Human-readable reports for the first violations (capped).
+  std::vector<std::string> Messages;
+
+  bool ok() const { return Violations == 0; }
+};
+
+/// Verifies \p Cfg against the program shape it was built for.
+/// \p StmtsByFunc lists, per function index, the statement indices that
+/// function owns in emission order (NormProgram::stmtOrder's ByFunc);
+/// \p DefinedFunc marks which functions are defined (and must therefore
+/// have a CFG); \p TotalStmts is NormProgram::Stmts.size().
+CfgVerifyResult
+verifyCfg(const ProgramCfg &Cfg,
+          const std::vector<std::vector<uint32_t>> &StmtsByFunc,
+          const std::vector<char> &DefinedFunc, size_t TotalStmts);
+
+} // namespace spa
+
+#endif // SPA_CFG_CFGVERIFIER_H

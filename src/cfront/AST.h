@@ -109,6 +109,12 @@ enum class StmtKind : uint8_t {
 struct Stmt {
   StmtKind Kind = StmtKind::Null;
   SourceLoc Loc;
+  /// Where the statement's textual extent ends: the closing brace of a
+  /// compound, or the last token of a control construct's body. Set by
+  /// the parser for block-structured statements so downstream consumers
+  /// (the CFG builder's block source ranges) can report the region a
+  /// block covers; invalid for simple statements.
+  SourceLoc EndLoc;
 
   ExprPtr Cond;  ///< If/While/DoWhile/For/Switch condition; Return value;
                  ///< ExprStmt expression

@@ -758,8 +758,15 @@ StmtPtr Parser::parseCompound() {
       S->Body.push_back(parseStatement());
   }
   popScope();
+  S->EndLoc = Cur.Loc; // the closing brace (or EOF on malformed input)
   expect(TokKind::RBrace, "compound statement");
   return S;
+}
+
+/// End of a statement's textual extent, for block source ranges: a
+/// compound's closing brace when known, otherwise the statement's start.
+static SourceLoc stmtEnd(const Stmt &S) {
+  return S.EndLoc.isValid() ? S.EndLoc : S.Loc;
 }
 
 StmtPtr Parser::parseStatement() {
@@ -782,6 +789,7 @@ StmtPtr Parser::parseStatement() {
     S->Then = parseStatement();
     if (accept(TokKind::KwElse))
       S->Else = parseStatement();
+    S->EndLoc = stmtEnd(S->Else ? *S->Else : *S->Then);
     return S;
   }
   case TokKind::KwWhile: {
@@ -791,6 +799,7 @@ StmtPtr Parser::parseStatement() {
     S->Cond = parseExpr();
     expect(TokKind::RParen, "while statement");
     S->Then = parseStatement();
+    S->EndLoc = stmtEnd(*S->Then);
     return S;
   }
   case TokKind::KwDo: {
@@ -801,6 +810,7 @@ StmtPtr Parser::parseStatement() {
     expect(TokKind::LParen, "do statement");
     S->Cond = parseExpr();
     expect(TokKind::RParen, "do statement");
+    S->EndLoc = Cur.Loc; // the terminating semicolon
     expect(TokKind::Semi, "do statement");
     return S;
   }
@@ -823,6 +833,7 @@ StmtPtr Parser::parseStatement() {
       S->Step = parseExpr();
     expect(TokKind::RParen, "for statement");
     S->Then = parseStatement();
+    S->EndLoc = stmtEnd(*S->Then);
     return S;
   }
   case TokKind::KwSwitch: {
@@ -832,6 +843,7 @@ StmtPtr Parser::parseStatement() {
     S->Cond = parseExpr();
     expect(TokKind::RParen, "switch statement");
     S->Then = parseStatement();
+    S->EndLoc = stmtEnd(*S->Then);
     return S;
   }
   case TokKind::KwCase: {

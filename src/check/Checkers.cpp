@@ -9,6 +9,7 @@
 #include "ctypes/Compat.h"
 
 #include <algorithm>
+#include <tuple>
 
 using namespace spa;
 
@@ -275,19 +276,35 @@ public:
       // every freed alias counts, order ignored (the paper's baseline).
       const SiteEvents *E =
           I < Events.size() && Events[I].FlowRefined ? &Events[I] : nullptr;
+      // One finding per site, attributed deterministically: among the
+      // freed targets, pick the one freed at the earliest source point
+      // (line, column, byte offset), object id breaking exact ties — the
+      // choice must not depend on points-to node enumeration order.
+      bool HaveBest = false;
+      ObjectId Best;
+      SourceLoc BestAt;
       for (NodeId Target : S.derefTargets(Site)) {
         ObjectId Obj = S.model().nodes().objectOf(Target);
         if (E ? !E->InvalidatedBefore.contains(Obj) : !S.isFreed(Obj))
           continue;
+        SourceLoc At = S.freedAt(Obj);
+        auto key = [](const SourceLoc &L, ObjectId O) {
+          return std::make_tuple(L.Line, L.Column, L.Offset, O.index());
+        };
+        if (!HaveBest || key(At, Obj) < key(BestAt, Best)) {
+          HaveBest = true;
+          Best = Obj;
+          BestAt = At;
+        }
+      }
+      if (HaveBest)
         Ctx.Diags.report(
             DiagKind::Warning, Site.Loc, "use-after-free",
             (Site.IsCall ? "call through '" : "dereference of '") +
                 Prog.objectName(Site.Ptr) + "' may use '" +
-                Prog.objectName(Obj) + "' after it was freed at " +
-                toString(S.freedAt(Obj)),
+                Prog.objectName(Best) + "' after it was freed at " +
+                toString(BestAt),
             id());
-        break; // one finding per site
-      }
     }
   }
 };

@@ -6,10 +6,13 @@
 
 #include "flow/FlowPass.h"
 
+#include "cfg/Cfg.h"
+#include "cfg/CfgVerifier.h"
 #include "pta/GraphExport.h"
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 using namespace spa;
 
@@ -19,16 +22,20 @@ using Effect = LibrarySummaries::Effect;
 
 /// One run of the pass. Every step iterates ids in ascending order and
 /// unions into sorted IdSets, so the verdicts are a pure function of the
-/// fixpoint — bit-identical across engines, representations, and
+/// fixpoint — bit-identical across engines, representations, threads, and
 /// preprocessing, exactly like the solution they refine.
 class InvalidationPass {
 public:
-  explicit InvalidationPass(Solver &S)
-      : S(S), Prog(S.program()), Order(Prog.stmtOrder()) {}
+  InvalidationPass(Solver &S, FlowMode Mode)
+      : S(S), Mode(Mode), Prog(S.program()), Order(Prog.stmtOrder()) {}
 
   FlowResult run() {
     auto Start = std::chrono::steady_clock::now();
     FlowResult Result;
+    if (Mode == FlowMode::Cfg) {
+      Result.CfgBlocks = Prog.Cfg.totalBlocks();
+      Result.CfgEdges = Prog.Cfg.totalEdges();
+    }
     if (S.freedObjects().empty()) {
       // Nothing is ever deallocated: every site's verdict is the empty
       // set, which the checker treats exactly like the (empty) baseline.
@@ -42,10 +49,16 @@ public:
     computeEscapes();
     computeStmtFrees();
     computeMayFree();
+    if (Mode == FlowMode::Cfg)
+      computeExitSummaries();
     seedEntries();
     propagateEntries();
     recordVerdicts();
     collectCounters(Result);
+    if (Mode == FlowMode::Cfg) {
+      Result.JoinMerges = JoinMerges;
+      Result.ExitSummaries = ExactSummaries;
+    }
     Result.Seconds = secondsSince(Start);
     return Result;
   }
@@ -123,21 +136,26 @@ private:
   /// Per call statement: the deallocations applied directly by library
   /// summaries of undefined callees (mirroring LibrarySummaries' Dealloc
   /// effect — heap objects in pts of the named argument), and the defined
-  /// callees whose may-free summaries the statement inherits. Restricting
-  /// to objects the solve marked freed makes "verdict is a subset of the
+  /// callees whose summaries the statement inherits. Restricting to
+  /// objects the solve marked freed makes "verdict is a subset of the
   /// freed mark" hold by construction.
   void computeStmtFrees() {
     StmtFrees.resize(Prog.Stmts.size());
     StmtDefinedCallees.resize(Prog.Stmts.size());
+    StmtHasUndefinedCallee.assign(Prog.Stmts.size(), 0);
     for (uint32_t I = 0; I < Prog.Stmts.size(); ++I) {
       const NormStmt &St = Prog.Stmts[I];
       if (St.Op != NormOp::Call)
         continue;
-      for (FuncId Callee : S.calleesOf(St)) {
+      std::vector<FuncId> Callees = S.calleesOf(St);
+      if (St.IndirectCallee.isValid() && Callees.empty())
+        StmtHasUndefinedCallee[I] = 1; // unresolvable indirect call
+      for (FuncId Callee : Callees) {
         if (isDefined(Callee)) {
           StmtDefinedCallees[I].push_back(Callee);
           continue;
         }
+        StmtHasUndefinedCallee[I] = 1;
         const std::vector<Effect> *Sum = S.summaries().summaryOf(
             Prog.Strings.text(Prog.func(Callee).Name));
         if (!Sum)
@@ -165,7 +183,9 @@ private:
   /// any (transitive) defined callee may free. Computed with one
   /// iterative Tarjan pass — an SCC is emitted only after every callee
   /// outside it is finished, so out-of-SCC summaries are final when read,
-  /// and all members of a cycle share one summary.
+  /// and all members of a cycle share one summary. In Cfg mode the SCC
+  /// emission order doubles as the bottom-up schedule for the exit
+  /// summaries, so it is captured along the way.
   void computeMayFree() {
     size_t N = Prog.Funcs.size();
     MayFree.assign(N, {});
@@ -239,14 +259,226 @@ private:
               Sum.insertAll(MayFree[C]);
         for (uint32_t M : Members)
           MayFree[M] = Sum;
+        if (Mode == FlowMode::Cfg) {
+          bool SelfLoop = false;
+          for (uint32_t M : Members)
+            for (uint32_t C : Adj[M])
+              if (SccOf[C] == SccOf[Node])
+                SelfLoop = true;
+          SccNontrivial.push_back(Members.size() > 1 || SelfLoop);
+          SccOrder.push_back(std::move(Members));
+        }
       }
     }
 
-    // Fold the summaries into the per-statement deallocation sets: from
-    // here on, StmtFrees[I] is everything call statement I may free.
-    for (uint32_t I = 0; I < Prog.Stmts.size(); ++I)
-      for (FuncId C : StmtDefinedCallees[I])
-        StmtFrees[I].insertAll(MayFree[C.index()]);
+    // Invalidate mode folds the summaries into the per-statement
+    // deallocation sets: from here on, StmtFrees[I] is everything call
+    // statement I may free. Cfg mode keeps them separate — the callee
+    // contribution comes from the exit summaries instead.
+    if (Mode == FlowMode::Invalidate)
+      for (uint32_t I = 0; I < Prog.Stmts.size(); ++I)
+        for (FuncId C : StmtDefinedCallees[I])
+          StmtFrees[I].insertAll(MayFree[C.index()]);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cfg mode: intraprocedural dataflow and exit summaries
+  //===--------------------------------------------------------------------===//
+
+  /// Forward may-freed dataflow over one function's CFG, seeded with
+  /// \p Seed at the entry block. On return In[b] holds the converged
+  /// block-entry state; blocks unreachable from the entry keep the bottom
+  /// (empty) state — code that can never execute contributes nothing at
+  /// joins. Round-robin sweeps in reverse postorder; the transfers are
+  /// monotone over a finite lattice so the fixpoint is reached within the
+  /// sweep cap, which exists purely as a safety valve (on overrun every
+  /// reachable state is widened to the full freed set — still sound).
+  void intraMayFixpoint(const FuncCfg &F, const IdSet<ObjectTag> &Seed,
+                        std::vector<IdSet<ObjectTag>> &In) {
+    size_t N = F.Blocks.size();
+    In.assign(N, {});
+    std::vector<IdSet<ObjectTag>> Out(N);
+    size_t Sweeps = 0;
+    const size_t MaxSweeps = 4 * F.Rpo.size() + 8;
+    bool Changed = true;
+    while (Changed) {
+      if (++Sweeps > MaxSweeps) {
+        for (uint32_t B : F.Rpo)
+          In[B].insertAll(S.freedObjects());
+        return;
+      }
+      Changed = false;
+      for (uint32_t B : F.Rpo) {
+        IdSet<ObjectTag> NewIn;
+        if (B == F.Entry)
+          NewIn = Seed;
+        const CfgBlock &Blk = F.Blocks[B];
+        for (uint32_t P : Blk.Preds)
+          NewIn.insertAll(Out[P]);
+        if (Blk.Preds.size() >= 2)
+          ++JoinMerges;
+        IdSet<ObjectTag> NewOut = NewIn;
+        for (uint32_t SI : Blk.Stmts)
+          applyStmt(SI, NewOut, nullptr, false);
+        In[B] = std::move(NewIn);
+        if (!(NewOut == Out[B])) {
+          Out[B] = std::move(NewOut);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  /// Forward must-revive dataflow over one function's CFG: at block exit
+  /// the set holds the objects whose last event on *every* entry path was
+  /// an allocation-site re-execution (or a callee that must-revives
+  /// them). Joins intersect; blocks not yet reached carry top and are
+  /// skipped. Returns false if the sweep cap was hit (the caller then
+  /// claims no revival, which is always sound).
+  bool intraMustReviveFixpoint(const FuncCfg &F, IdSet<ObjectTag> &AtExit) {
+    size_t N = F.Blocks.size();
+    std::vector<IdSet<ObjectTag>> In(N), Out(N);
+    std::vector<char> HaveIn(N, 0), HaveOut(N, 0);
+    size_t Sweeps = 0;
+    const size_t MaxSweeps = 4 * F.Rpo.size() + 8;
+    bool Changed = true;
+    while (Changed) {
+      if (++Sweeps > MaxSweeps)
+        return false;
+      Changed = false;
+      for (uint32_t B : F.Rpo) {
+        IdSet<ObjectTag> NewIn;
+        bool Known = false;
+        if (B == F.Entry) {
+          Known = true; // nothing is revived at function entry
+        } else {
+          const CfgBlock &Blk = F.Blocks[B];
+          for (uint32_t P : Blk.Preds) {
+            if (!HaveOut[P])
+              continue; // top: no constraint yet
+            if (!Known) {
+              NewIn = Out[P];
+              Known = true;
+              continue;
+            }
+            IdSet<ObjectTag> Keep;
+            for (ObjectId Obj : NewIn)
+              if (Out[P].contains(Obj))
+                Keep.insert(Obj);
+            NewIn = std::move(Keep);
+          }
+          if (Blk.Preds.size() >= 2)
+            ++JoinMerges;
+        }
+        if (!Known)
+          continue;
+        IdSet<ObjectTag> NewOut = NewIn;
+        for (uint32_t SI : F.Blocks[B].Stmts)
+          transferMustRevive(SI, NewOut);
+        In[B] = std::move(NewIn);
+        HaveIn[B] = 1;
+        if (!HaveOut[B] || !(NewOut == Out[B])) {
+          Out[B] = std::move(NewOut);
+          HaveOut[B] = 1;
+          Changed = true;
+        }
+      }
+    }
+    AtExit = HaveIn[F.Exit] ? In[F.Exit] : IdSet<ObjectTag>();
+    return true;
+  }
+
+  /// Must-revive transfer of one statement: an allocation-site
+  /// re-execution definitely revives its block (unless escaped); a call
+  /// un-revives everything it may free and adds what it must-revive.
+  void transferMustRevive(uint32_t Idx, IdSet<ObjectTag> &Set) {
+    const NormStmt &St = Prog.Stmts[Idx];
+    switch (St.Op) {
+    case NormOp::AddrOf:
+      if (St.Src.isValid() &&
+          Prog.object(St.Src).Kind == ObjectKind::Heap &&
+          !Escaped.contains(St.Src) && S.isFreed(St.Src))
+        Set.insert(St.Src);
+      break;
+    case NormOp::Call:
+      for (ObjectId Obj : CallMayFree[Idx])
+        Set.erase(Obj);
+      Set.insertAll(CallMustRevive[Idx]);
+      break;
+    default:
+      break;
+    }
+  }
+
+  /// Folds the callees' exit summaries into one transfer per call
+  /// statement: everything the call may leave freed, and everything it is
+  /// guaranteed to revive. A call possibly reaching any undefined or
+  /// unresolvable callee revives nothing.
+  void computeCallTransfer(uint32_t I) {
+    if (Prog.Stmts[I].Op != NormOp::Call)
+      return;
+    CallMayFree[I] = StmtFrees[I];
+    const std::vector<FuncId> &Defs = StmtDefinedCallees[I];
+    for (FuncId C : Defs)
+      CallMayFree[I].insertAll(ExitMayFree[C.index()]);
+    if (Defs.empty() || StmtHasUndefinedCallee[I])
+      return;
+    IdSet<ObjectTag> Must = ExitMustRevive[Defs[0].index()];
+    for (size_t J = 1; J < Defs.size() && !Must.empty(); ++J) {
+      const IdSet<ObjectTag> &Other = ExitMustRevive[Defs[J].index()];
+      IdSet<ObjectTag> Keep;
+      for (ObjectId Obj : Must)
+        if (Other.contains(Obj))
+          Keep.insert(Obj);
+      Must = std::move(Keep);
+    }
+    CallMustRevive[I] = std::move(Must);
+  }
+
+  /// Exit summaries per defined function, bottom-up in the Tarjan SCC
+  /// completion order captured by computeMayFree. For a function outside
+  /// any call-graph cycle the summaries are exact: with gen set G (the
+  /// objects some entry->exit path leaves freed, its exit may-state from
+  /// an empty entry) and must-revive set K, the callee maps a caller
+  /// state E to (E \ K) ∪ G. Cycle members fall back to the conservative
+  /// may-free summary with no revival.
+  void computeExitSummaries() {
+    size_t N = Prog.Funcs.size();
+    ExitMayFree.assign(N, {});
+    ExitMustRevive.assign(N, {});
+    CallMayFree.assign(Prog.Stmts.size(), {});
+    CallMustRevive.assign(Prog.Stmts.size(), {});
+    std::vector<IdSet<ObjectTag>> In;
+    for (size_t SccI = 0; SccI < SccOrder.size(); ++SccI) {
+      const std::vector<uint32_t> &Members = SccOrder[SccI];
+      if (SccNontrivial[SccI])
+        for (uint32_t M : Members)
+          ExitMayFree[M] = MayFree[M]; // ExitMustRevive stays empty
+      // Call transfers for member statements: callee summaries are final
+      // here — outside the SCC by bottom-up order, inside it by the
+      // fallback just installed.
+      for (uint32_t M : Members)
+        for (uint32_t I : Order.ByFunc[M])
+          computeCallTransfer(I);
+      if (SccNontrivial[SccI])
+        continue;
+      uint32_t F = Members[0];
+      const FuncCfg *C = Prog.Cfg.cfgFor(F);
+      if (!C) {
+        ExitMayFree[F] = MayFree[F];
+        continue;
+      }
+      intraMayFixpoint(*C, {}, In);
+      ExitMayFree[F] = In[C->Exit];
+      IdSet<ObjectTag> Must;
+      if (intraMustReviveFixpoint(*C, Must))
+        ExitMustRevive[F] = std::move(Must);
+      ++ExactSummaries;
+    }
+    // Global-initializer calls sit in no function; their callees' exit
+    // summaries are all final by now.
+    for (uint32_t I : Order.Globals)
+      computeCallTransfer(I);
   }
 
   /// Entry states. main starts with the global-initializer walk's result;
@@ -288,17 +520,31 @@ private:
   /// Top-down entry propagation to a fixpoint: at every call, the
   /// caller's invalidation state flows into each defined callee's entry.
   /// Entries only grow and are bounded by the freed set, so this
-  /// terminates; functions are walked in id order for determinism.
+  /// terminates; functions are walked in id order for determinism. In Cfg
+  /// mode the caller's state at a call comes from the converged
+  /// intraprocedural dataflow rather than the linear walk.
   void propagateEntries() {
+    std::vector<IdSet<ObjectTag>> In;
     bool Changed = true;
     while (Changed) {
       Changed = false;
       for (uint32_t F = 0; F < Prog.Funcs.size(); ++F) {
         if (!isDefined(FuncId(F)))
           continue;
-        IdSet<ObjectTag> Inval = Entry[F];
-        for (uint32_t I : Order.ByFunc[F])
-          applyStmt(I, Inval, &Changed, false);
+        const FuncCfg *C =
+            Mode == FlowMode::Cfg ? Prog.Cfg.cfgFor(F) : nullptr;
+        if (!C) {
+          IdSet<ObjectTag> Inval = Entry[F];
+          for (uint32_t I : Order.ByFunc[F])
+            applyStmt(I, Inval, &Changed, false);
+          continue;
+        }
+        intraMayFixpoint(*C, Entry[F], In);
+        for (uint32_t B = 0; B < C->Blocks.size(); ++B) {
+          IdSet<ObjectTag> State = In[B];
+          for (uint32_t SI : C->Blocks[B].Stmts)
+            applyStmt(SI, State, &Changed, false);
+        }
       }
     }
   }
@@ -364,27 +610,62 @@ private:
 
   /// The final walk: re-run every function from its converged entry state
   /// and record a verdict at each dereference site, interleaving the
-  /// statement-less sites at their byte-order position.
+  /// statement-less sites at their byte-order position. In Cfg mode each
+  /// block is replayed once, in block-id order, from its converged entry
+  /// state; a pending site anchors to the first emitted statement at or
+  /// after its byte offset (or to the function exit when none follows),
+  /// so every site gets exactly one verdict.
   void recordVerdicts() {
     assignUnattachedSites();
     IdSet<ObjectTag> G;
     for (uint32_t I : Order.Globals)
       applyStmt(I, G, nullptr, true);
+    std::vector<IdSet<ObjectTag>> In;
     for (uint32_t F = 0; F < Prog.Funcs.size(); ++F) {
       if (!isDefined(FuncId(F)))
         continue;
-      IdSet<ObjectTag> Inval = Entry[F];
       const std::vector<uint32_t> &Pending = PendingByFunc[F];
-      size_t Next = 0;
-      for (uint32_t I : Order.ByFunc[F]) {
-        while (Next < Pending.size() &&
-               Prog.DerefSites[Pending[Next]].Loc.Offset <=
-                   Prog.Stmts[I].Loc.Offset)
+      const FuncCfg *C =
+          Mode == FlowMode::Cfg ? Prog.Cfg.cfgFor(F) : nullptr;
+      if (!C) {
+        IdSet<ObjectTag> Inval = Entry[F];
+        size_t Next = 0;
+        for (uint32_t I : Order.ByFunc[F]) {
+          while (Next < Pending.size() &&
+                 Prog.DerefSites[Pending[Next]].Loc.Offset <=
+                     Prog.Stmts[I].Loc.Offset)
+            recordSite(Pending[Next++], Inval);
+          applyStmt(I, Inval, nullptr, true);
+        }
+        while (Next < Pending.size())
           recordSite(Pending[Next++], Inval);
-        applyStmt(I, Inval, nullptr, true);
+        continue;
       }
-      while (Next < Pending.size())
-        recordSite(Pending[Next++], Inval);
+      std::unordered_map<uint32_t, std::vector<uint32_t>> AtStmt;
+      std::vector<uint32_t> AtExit;
+      {
+        size_t Next = 0;
+        for (uint32_t I : Order.ByFunc[F])
+          while (Next < Pending.size() &&
+                 Prog.DerefSites[Pending[Next]].Loc.Offset <=
+                     Prog.Stmts[I].Loc.Offset)
+            AtStmt[I].push_back(Pending[Next++]);
+        while (Next < Pending.size())
+          AtExit.push_back(Pending[Next++]);
+      }
+      intraMayFixpoint(*C, Entry[F], In);
+      for (uint32_t B = 0; B < C->Blocks.size(); ++B) {
+        IdSet<ObjectTag> State = In[B];
+        for (uint32_t SI : C->Blocks[B].Stmts) {
+          auto It = AtStmt.find(SI);
+          if (It != AtStmt.end())
+            for (uint32_t Site : It->second)
+              recordSite(Site, State);
+          applyStmt(SI, State, nullptr, true);
+        }
+      }
+      for (uint32_t Site : AtExit)
+        recordSite(Site, In[C->Exit]);
     }
   }
 
@@ -393,7 +674,9 @@ private:
   /// call dereferences its function pointer before the callee can free
   /// anything. Only two operations change the set — an AddrOf of a heap
   /// pseudo-variable re-executes the allocation site (revival, unless the
-  /// address escapes), and a call applies its deallocation set.
+  /// address escapes), and a call applies its deallocation transfer
+  /// (Invalidate: the folded may-free set; Cfg: the exit summaries'
+  /// must-revive erase followed by the may-free union).
   void applyStmt(uint32_t Idx, IdSet<ObjectTag> &Inval, bool *EntriesChanged,
                  bool Record) {
     const NormStmt &St = Prog.Stmts[Idx];
@@ -411,26 +694,38 @@ private:
         for (FuncId C : StmtDefinedCallees[Idx])
           if (Entry[C.index()].insertAll(Inval))
             *EntriesChanged = true;
-      Inval.insertAll(StmtFrees[Idx]);
+      if (Mode == FlowMode::Cfg) {
+        for (ObjectId Obj : CallMustRevive[Idx])
+          Inval.erase(Obj);
+        Inval.insertAll(CallMayFree[Idx]);
+      } else {
+        Inval.insertAll(StmtFrees[Idx]);
+      }
       break;
     default:
       break;
     }
   }
 
+  /// Everything call statement \p Idx may leave freed, in the current
+  /// mode's semantics.
+  const IdSet<ObjectTag> &freesOf(uint32_t Idx) const {
+    return Mode == FlowMode::Cfg ? CallMayFree[Idx] : StmtFrees[Idx];
+  }
+
   void collectCounters(FlowResult &Result) {
     // Everything a walk's running set can ever contain comes from an
-    // entry state or a call's deallocation set.
+    // entry state or a call's deallocation transfer.
     IdSet<ObjectTag> Ever = GlobalsEntry;
     for (uint32_t F = 0; F < Prog.Funcs.size(); ++F) {
       if (!isDefined(FuncId(F)))
         continue;
       Ever.insertAll(Entry[F]);
       for (uint32_t I : Order.ByFunc[F])
-        Ever.insertAll(StmtFrees[I]);
+        Ever.insertAll(freesOf(I));
     }
     for (uint32_t I : Order.Globals)
-      Ever.insertAll(StmtFrees[I]);
+      Ever.insertAll(freesOf(I));
     Result.ObjectsInvalidated = Ever.size();
 
     const std::vector<SiteEvents> &Events = S.siteEvents();
@@ -457,6 +752,7 @@ private:
   }
 
   Solver &S;
+  FlowMode Mode;
   NormProgram &Prog;
   NormProgram::StmtOrder Order;
   /// Objects reachable by unknown external code (never revived).
@@ -464,10 +760,13 @@ private:
   /// Defined functions an external may invoke (callback entries).
   std::vector<char> EscapedFunc;
   /// Per statement: the objects a call statement may free. Built from
-  /// undefined-callee summaries, then widened by defined-callee may-free
-  /// summaries (empty for non-calls).
+  /// undefined-callee summaries; Invalidate mode widens it in place by
+  /// the defined-callee may-free summaries (empty for non-calls).
   std::vector<IdSet<ObjectTag>> StmtFrees;
   std::vector<std::vector<FuncId>> StmtDefinedCallees;
+  /// Per statement: whether the call may reach an undefined or
+  /// unresolvable callee (blocks the must-revive transfer).
+  std::vector<char> StmtHasUndefinedCallee;
   /// Defined-call adjacency (function index -> callee indices).
   std::vector<std::vector<uint32_t>> Adj;
   std::vector<IdSet<ObjectTag>> MayFree;
@@ -476,12 +775,36 @@ private:
   /// Statement-less deref sites per function, in byte order (see
   /// assignUnattachedSites).
   std::vector<std::vector<uint32_t>> PendingByFunc;
+
+  /// \name Cfg-mode state.
+  /// @{
+  /// Tarjan SCC members in completion (bottom-up) order, and whether each
+  /// SCC has more than one member or a self edge.
+  std::vector<std::vector<uint32_t>> SccOrder;
+  std::vector<char> SccNontrivial;
+  /// Per function: exit summaries (see computeExitSummaries).
+  std::vector<IdSet<ObjectTag>> ExitMayFree;
+  std::vector<IdSet<ObjectTag>> ExitMustRevive;
+  /// Per call statement: the folded callee transfer.
+  std::vector<IdSet<ObjectTag>> CallMayFree;
+  std::vector<IdSet<ObjectTag>> CallMustRevive;
+  uint64_t JoinMerges = 0;
+  uint64_t ExactSummaries = 0;
+  /// @}
 };
 
 } // namespace
 
 FlowResult spa::runInvalidationPass(Solver &S) {
-  return InvalidationPass(S).run();
+  return InvalidationPass(S, FlowMode::Invalidate).run();
+}
+
+FlowResult spa::runCfgFlowPass(Solver &S) {
+  return InvalidationPass(S, FlowMode::Cfg).run();
+}
+
+FlowResult spa::runFlowPass(Solver &S, FlowMode Mode) {
+  return InvalidationPass(S, Mode).run();
 }
 
 FlowAuditResult spa::auditFlowRefinement(Solver &S) {
@@ -510,6 +833,20 @@ FlowAuditResult spa::auditFlowRefinement(Solver &S) {
             "', which is not among the site's dereference targets");
       }
     }
+  }
+  // The dataflow flavour trusts the CFG's invariants; re-check them here
+  // so a corrupt graph surfaces as an audit failure, not a silent
+  // mis-refinement.
+  if (!Prog.Cfg.empty()) {
+    std::vector<char> Defined(Prog.Funcs.size(), 0);
+    for (size_t F = 0; F < Prog.Funcs.size(); ++F)
+      Defined[F] = Prog.Funcs[F].IsDefined ? 1 : 0;
+    NormProgram::StmtOrder Order = Prog.stmtOrder();
+    CfgVerifyResult CR =
+        verifyCfg(Prog.Cfg, Order.ByFunc, Defined, Prog.Stmts.size());
+    R.Violations += CR.Violations;
+    for (std::string &Msg : CR.Messages)
+      R.Messages.push_back("cfg: " + std::move(Msg));
   }
   return R;
 }

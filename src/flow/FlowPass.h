@@ -10,10 +10,9 @@
 /// InvalidatedAnalysis). The paper's analysis has no notion of statement
 /// order, so the use-after-free checker treats every free as poisoning
 /// all aliases of an object forever — a dereference *before* the free is
-/// reported just the same. This pass walks each function's normalized
-/// statements in emission order after the solve, tracking the set of
-/// objects that may already be deallocated when control reaches each
-/// dereference site:
+/// reported just the same. This pass runs after the solve and tracks the
+/// set of objects that may already be deallocated when control reaches
+/// each dereference site:
 ///
 ///  * free(p) invalidates exactly the heap objects in pts(p) that the
 ///    solve marked freed (the same Dealloc library-summary semantics);
@@ -21,9 +20,9 @@
 ///    normalizer's AddrOf of the fresh heap pseudo-variable precedes the
 ///    residual deallocating call, so this falls out of the walk);
 ///  * calls to defined functions propagate invalidation both ways:
-///    a bottom-up SCC pass over the fixpoint call graph computes a
-///    may-free summary per function, and a top-down pass seeds each
-///    callee's entry state with the caller's state at the call;
+///    summaries per function flow bottom-up over the fixpoint call graph,
+///    and a top-down pass seeds each callee's entry state with the
+///    caller's state at the call;
 ///  * re-executing an allocation site (an AddrOf of a heap
 ///    pseudo-variable) revives that object — unless its address escapes
 ///    to unknown external code, in which case it conservatively stays
@@ -33,20 +32,40 @@
 ///    start maximally invalidated, so the refinement degrades to the
 ///    flow-insensitive answer exactly where ordering is unknown.
 ///
-/// The result is recorded per dereference site into the solver's
-/// SiteEvents (Solver::setSiteFlowVerdict); the use-after-free checker
-/// consults the verdict instead of the global freedObjects() mark. The
-/// points-to fixpoint itself is never changed — every engine, model,
-/// points-to representation, and --certify result is untouched — and the
-/// verdicts only ever *suppress* reports the flow-insensitive mark also
-/// produced, never invent new ones. auditFlowRefinement re-checks that
-/// invariant independently (--flow-audit).
+/// The pass comes in two flavours (FlowMode):
 ///
-/// The walk is a single linear pass per function: branches and loop
-/// back-edges are not modeled, so within one function the pass sees the
-/// emission order as *the* order. That direction is safe (a free earlier
-/// in the walk can only add invalidations), and docs/CHECKERS.md spells
-/// out the accepted imprecision.
+///  * Invalidate — a single linear walk per function in statement
+///    emission order. Branches and loop back-edges are not modeled; the
+///    emission order is *the* order. Callee effects are a single
+///    may-free set (everything the callee may transitively free).
+///
+///  * Cfg — a forward worklist dataflow over the intraprocedural CFG
+///    the normalizer builds (src/cfg/). The may-freed state joins by
+///    union at block entries, blocks unreachable from the function entry
+///    contribute nothing (dead code never executes), and loop bodies
+///    iterate to a bounded fixpoint — so a free on one branch arm no
+///    longer poisons the other arm, and a free inside a loop correctly
+///    reaches uses on the next iteration. Callee effects are *exit
+///    summaries*: per defined function, the objects that may still be
+///    freed when it returns (ExitMayFree) and the objects it revives on
+///    every path to the return (ExitMustRevive — a must-dataflow), so a
+///    callee that re-executes an allocation site cleans the caller's
+///    view of that block. Functions in a call-graph cycle fall back to
+///    the Invalidate-style may-free summary with no revival.
+///
+/// Both flavours record their result per dereference site into the
+/// solver's SiteEvents (Solver::setSiteFlowVerdict); the use-after-free
+/// checker consults the verdict instead of the global freedObjects()
+/// mark. The points-to fixpoint itself is never changed — every engine,
+/// model, points-to representation, and --certify result is untouched —
+/// and the verdicts only ever *suppress* reports the flow-insensitive
+/// mark also produced, never invent new ones, with one deliberate
+/// exception: the Cfg flavour's loop modeling can *restore* a report the
+/// linear walk wrongly suppressed (a free on the back edge reaching the
+/// next iteration's use), which is a strict precision win over
+/// Invalidate, not over the baseline. auditFlowRefinement re-checks the
+/// suppress-only invariant (and the CFG's well-formedness) independently
+/// (--flow-audit).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +79,12 @@
 
 namespace spa {
 
+/// Which flavour of the invalidation pass runs (--flow=...).
+enum class FlowMode : uint8_t {
+  Invalidate, ///< linear statement-order walk per function
+  Cfg,        ///< branch-sensitive dataflow over the intraprocedural CFG
+};
+
 /// Counters of one invalidation-pass run (telemetry "flow.*" keys).
 struct FlowResult {
   /// Distinct objects that were invalid at some point of some walk.
@@ -71,14 +96,32 @@ struct FlowResult {
   /// Sites where the flow-insensitive mark produces a use-after-free
   /// report and the refined verdict produces none.
   uint64_t ReportsSuppressed = 0;
+  /// Cfg mode: basic blocks / edges of the program's CFGs.
+  uint64_t CfgBlocks = 0;
+  uint64_t CfgEdges = 0;
+  /// Cfg mode: block-entry joins evaluated at blocks with two or more
+  /// predecessors, summed over every dataflow sweep the pass ran.
+  uint64_t JoinMerges = 0;
+  /// Cfg mode: defined functions whose exit summary was computed exactly
+  /// by the intraprocedural dataflow (functions in a call-graph cycle
+  /// fall back to the may-free summary and are not counted).
+  uint64_t ExitSummaries = 0;
   /// Wall-clock seconds of the pass.
   double Seconds = 0;
 };
 
-/// Runs the invalidation pass over \p S, which must have been solved to a
-/// converged fixpoint. Verdicts are recorded into the solver's site
-/// events; re-running solve() clears them.
+/// Runs the linear invalidation pass over \p S, which must have been
+/// solved to a converged fixpoint. Verdicts are recorded into the
+/// solver's site events; re-running solve() clears them.
 FlowResult runInvalidationPass(Solver &S);
+
+/// Runs the CFG-dataflow flavour (--flow=cfg). Same contract as
+/// runInvalidationPass; requires the normalizer-built CFG carried by the
+/// solver's NormProgram.
+FlowResult runCfgFlowPass(Solver &S);
+
+/// Runs the flavour selected by \p Mode.
+FlowResult runFlowPass(Solver &S, FlowMode Mode);
 
 /// Result of one auditFlowRefinement call.
 struct FlowAuditResult {
@@ -92,7 +135,9 @@ struct FlowAuditResult {
 /// verdicts: every object a verdict invalidates must carry the solve's
 /// flow-insensitive freed mark and be among the site's dereference
 /// targets — so a refined verdict can only suppress reports the baseline
-/// also produced, never add one.
+/// also produced, never add one. Also re-verifies the normalizer-built
+/// CFG's well-formedness (src/cfg/CfgVerifier.h) when the program has
+/// one, folding any violations into the result.
 FlowAuditResult auditFlowRefinement(Solver &S);
 
 } // namespace spa

@@ -29,6 +29,7 @@
 #ifndef SPA_NORM_NORMIR_H
 #define SPA_NORM_NORMIR_H
 
+#include "cfg/Cfg.h"
 #include "ctypes/TypeTable.h"
 #include "support/SourceLoc.h"
 
@@ -149,6 +150,11 @@ public:
   std::vector<NormFunction> Funcs;
   std::vector<NormStmt> Stmts;
   std::vector<DerefSite> DerefSites;
+  /// Intraprocedural CFGs, one per defined function, built alongside the
+  /// statement stream (blocks index into Stmts). The flow-insensitive
+  /// solve ignores this entirely; the CFG flow pass (--flow=cfg) and the
+  /// CFG verifier consume it.
+  ProgramCfg Cfg;
 
   /// Creates an object and returns its id.
   ObjectId makeObject(ObjectKind Kind, Symbol Name, TypeId Ty, SourceLoc Loc,

@@ -69,6 +69,7 @@ NormStmt &Normalizer::emit(NormOp Op, SourceLoc Loc) {
   Stmt.Loc = Loc;
   Stmt.Owner = CurFunc;
   Prog.Stmts.push_back(std::move(Stmt));
+  Cfg.noteStmt(static_cast<uint32_t>(Prog.Stmts.size() - 1), Loc);
   return Prog.Stmts.back();
 }
 
@@ -669,11 +670,15 @@ void Normalizer::run() {
   for (const auto &FnPtr : TU.Functions)
     if (FnPtr->isDefined())
       normalizeFunction(*FnPtr);
+
+  Cfg.finish(Prog.Stmts.size(), Prog.Funcs.size());
 }
 
 void Normalizer::normalizeFunction(const FunctionDecl &Fn) {
   CurFunc = funcIdFor(&Fn);
+  Cfg.beginFunction(CurFunc.index(), Fn.Body->Loc);
   normalizeStmt(*Fn.Body);
+  Cfg.endFunction(Fn.Body->EndLoc.isValid() ? Fn.Body->EndLoc : Fn.Body->Loc);
   CurFunc = FuncId();
 }
 
@@ -799,47 +804,84 @@ void Normalizer::normalizeStmt(const Stmt &S) {
     return;
   case StmtKind::If:
     genDiscard(*S.Cond);
+    Cfg.beginIf(S.Else != nullptr);
     normalizeStmt(*S.Then);
-    if (S.Else)
+    if (S.Else) {
+      Cfg.beginElse();
       normalizeStmt(*S.Else);
+    }
+    Cfg.endIf();
     return;
   case StmtKind::While:
+    Cfg.beginWhileHeader();
+    genDiscard(*S.Cond);
+    Cfg.beginWhileBody();
+    normalizeStmt(*S.Then);
+    Cfg.endWhile();
+    return;
   case StmtKind::DoWhile:
+    // The condition is emitted before the body (statement order is the
+    // source order of the tokens the normalizer visits); the CFG's edges
+    // record that the latch executes after each iteration.
+    Cfg.beginDoWhileLatch();
+    genDiscard(*S.Cond);
+    Cfg.beginDoWhileBody();
+    normalizeStmt(*S.Then);
+    Cfg.endDoWhile();
+    return;
   case StmtKind::Switch:
     genDiscard(*S.Cond);
+    Cfg.beginSwitch();
     normalizeStmt(*S.Then);
+    Cfg.endSwitch();
     return;
   case StmtKind::For:
     if (S.InitDecl)
       normalizeStmt(*S.InitDecl);
     if (S.Init)
       genDiscard(*S.Init);
+    Cfg.beginForHeader();
     if (S.Cond)
       genDiscard(*S.Cond);
+    Cfg.beginForStep();
     if (S.Step)
       genDiscard(*S.Step);
+    Cfg.beginForBody();
     normalizeStmt(*S.Then);
+    Cfg.endFor();
     return;
   case StmtKind::Case:
   case StmtKind::Default:
+    Cfg.caseLabel(S.Kind == StmtKind::Default);
+    if (S.Then)
+      normalizeStmt(*S.Then);
+    return;
   case StmtKind::Label:
+    Cfg.labelStmt(S.LabelName);
     if (S.Then)
       normalizeStmt(*S.Then);
     return;
   case StmtKind::Break:
+    Cfg.breakStmt();
+    return;
   case StmtKind::Continue:
+    Cfg.continueStmt();
+    return;
   case StmtKind::Null:
+    return;
   case StmtKind::Goto:
+    Cfg.gotoStmt(S.LabelName);
     return;
   case StmtKind::Return: {
-    if (!S.Cond)
-      return;
-    const NormFunction &Fn = Prog.func(CurFunc);
-    ObjectId V = genRValue(*S.Cond,
-                           Fn.RetObj.isValid() ? Prog.object(Fn.RetObj).Ty
-                                               : TypeId());
-    if (Fn.RetObj.isValid() && V.isValid() && V != ConstObj)
-      emitCopy(Fn.RetObj, V, {}, Prog.object(Fn.RetObj).Ty, S.Loc);
+    if (S.Cond) {
+      const NormFunction &Fn = Prog.func(CurFunc);
+      ObjectId V = genRValue(*S.Cond,
+                             Fn.RetObj.isValid() ? Prog.object(Fn.RetObj).Ty
+                                                 : TypeId());
+      if (Fn.RetObj.isValid() && V.isValid() && V != ConstObj)
+        emitCopy(Fn.RetObj, V, {}, Prog.object(Fn.RetObj).Ty, S.Loc);
+    }
+    Cfg.returnStmt();
     return;
   }
   case StmtKind::DeclStmt:

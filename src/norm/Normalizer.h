@@ -132,6 +132,9 @@ private:
   FuncId CurFunc;
   ObjectId ConstObj; ///< shared pointer-free object for literals
   unsigned TempCounter = 0;
+  /// Builds the intraprocedural CFG (NormProgram::Cfg) alongside the
+  /// statement stream; normalizeStmt announces each control construct.
+  CfgBuilder Cfg{Prog.Cfg};
 };
 
 } // namespace spa

@@ -127,7 +127,7 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
   W.field("resolve_mismatch", T.Model_.ResolveMismatch);
   W.close();
 
-  if (T.Verify.CertifyRan || T.Verify.IrVerifyRan) {
+  if (T.Verify.CertifyRan || T.Verify.IrVerifyRan || T.Verify.CfgVerifyRan) {
     W.open("verify");
     W.field("certify_ran", T.Verify.CertifyRan);
     if (T.Verify.CertifyRan) {
@@ -143,6 +143,11 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
       W.field("ir_checks", T.Verify.IrChecks);
       W.field("ir_violations", T.Verify.IrViolations);
     }
+    W.field("cfg_verify_ran", T.Verify.CfgVerifyRan);
+    if (T.Verify.CfgVerifyRan) {
+      W.field("cfg_checks", T.Verify.CfgChecks);
+      W.field("cfg_violations", T.Verify.CfgViolations);
+    }
     W.close();
   }
 
@@ -151,6 +156,12 @@ std::string spa::telemetryToJson(const RunTelemetry &T) {
     W.field("objects_invalidated", T.Flow.ObjectsInvalidated);
     W.field("sites_refined", T.Flow.SitesRefined);
     W.field("reports_suppressed", T.Flow.ReportsSuppressed);
+    if (T.Flow.CfgMode) {
+      W.field("cfg_blocks", T.Flow.CfgBlocks);
+      W.field("cfg_edges", T.Flow.CfgEdges);
+      W.field("join_merges", T.Flow.JoinMerges);
+      W.field("exit_summaries", T.Flow.ExitSummaries);
+    }
     W.field("flow_ms", T.Flow.FlowSeconds * 1000.0);
     W.field("audit_ran", T.Flow.AuditRan);
     if (T.Flow.AuditRan)

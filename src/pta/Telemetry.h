@@ -40,6 +40,9 @@ struct VerifyTelemetry {
   bool IrVerifyRan = false;
   uint64_t IrChecks = 0;
   uint64_t IrViolations = 0;
+  bool CfgVerifyRan = false;
+  uint64_t CfgChecks = 0;
+  uint64_t CfgViolations = 0;
 };
 
 /// Counters of the invalidation-aware flow pass (src/flow/). Filled by the
@@ -53,6 +56,13 @@ struct FlowTelemetry {
   double FlowSeconds = 0;
   bool AuditRan = false;
   uint64_t AuditViolations = 0;
+  /// --flow=cfg: the dataflow flavour's shape counters (emitted as
+  /// flow.cfg_blocks / cfg_edges / join_merges / exit_summaries).
+  bool CfgMode = false;
+  uint64_t CfgBlocks = 0;
+  uint64_t CfgEdges = 0;
+  uint64_t JoinMerges = 0;
+  uint64_t ExitSummaries = 0;
 };
 
 /// Snapshot of one solved Analysis, ready for JSON export.

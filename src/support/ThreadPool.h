@@ -23,7 +23,7 @@
 ///
 /// The pool makes no fairness or work-stealing promises; the solver's
 /// gather tasks are read-only and uniform enough that static striping is
-/// the right trade (see docs/INTERNALS.md §9).
+/// the right trade (see docs/INTERNALS.md §10).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -199,6 +199,34 @@ private:
            structPtrVar(Q) + ", 128);";
   }
 
+  /// One branch-shape statement: an if/else that frees a rotating
+  /// struct-pointer global on one arm and loads through it on the other.
+  /// The two arms are exclusive at run time, so the load is clean — but
+  /// the free precedes the load in statement emission order, so only the
+  /// CFG flow pass's branch join (not the linear walk) can see that.
+  std::string branchStmt() {
+    unsigned C = BranchCounter++;
+    unsigned Q = C % Config.NumStructs;
+    unsigned X = C % Config.NumInts;
+    unsigned P = C % Config.NumPtrVars;
+    return "if (" + intVar(X) + ") { free(" + structPtrVar(Q) + "); } else { " +
+           ptrVar(P) + " = " + structPtrVar(Q) + "->f0; }";
+  }
+
+  /// One loop-carried-free statement: the body loads through a rotating
+  /// struct-pointer global and then frees it, so the free reaches the
+  /// load on the next iteration via the back edge — invisible to the
+  /// linear walk, restored by the CFG dataflow.
+  std::string loopFreeStmt() {
+    unsigned C = LoopFreeCounter++;
+    unsigned Q = C % Config.NumStructs;
+    unsigned X = C % Config.NumInts;
+    unsigned P = C % Config.NumPtrVars;
+    return "while (" + intVar(X) + ") { " + ptrVar(P) + " = " +
+           structPtrVar(Q) + "->f0; free(" + structPtrVar(Q) + "); " +
+           intVar(X) + " = 0; }";
+  }
+
   /// One random statement; all references are to globals, so statements
   /// are valid in any function.
   std::string randomStmt() {
@@ -215,6 +243,12 @@ private:
       return freeStmt();
     if (Config.ReallocPercent && Rand.percent(Config.ReallocPercent))
       return reallocStmt();
+    if (Config.BranchPercent && Config.NumPtrVars && Config.NumInts &&
+        Rand.percent(Config.BranchPercent))
+      return branchStmt();
+    if (Config.LoopFreePercent && Config.NumPtrVars && Config.NumInts &&
+        Rand.percent(Config.LoopFreePercent))
+      return loopFreeStmt();
     unsigned S = Rand.below(Config.NumStructVars);
     unsigned SType = structOfVar(S);
     unsigned P = Rand.below(Config.NumPtrVars);
@@ -354,6 +388,8 @@ private:
   unsigned WideCounter = 0;
   unsigned FreeCounter = 0;
   unsigned ReallocCounter = 0;
+  unsigned BranchCounter = 0;
+  unsigned LoopFreeCounter = 0;
 };
 
 } // namespace

@@ -73,6 +73,18 @@ struct GeneratorConfig {
   /// rotating struct-pointer global, the free-then-revive shape (the old
   /// block dies, the result block is fresh). 0 emits none.
   unsigned ReallocPercent = 0;
+  /// % of statements devoted to branch shapes: an if/else whose one arm
+  /// frees a rotating struct-pointer global and whose other arm loads
+  /// through it — the join-sensitive pattern the CFG flow pass
+  /// (--flow=cfg) refines and the linear walk cannot (the free precedes
+  /// the load in emission order). 0 keeps the statement mix exactly.
+  unsigned BranchPercent = 0;
+  /// % of statements devoted to loop-carried frees: a while loop that
+  /// loads through a rotating struct-pointer global and then frees it,
+  /// so the free reaches the load via the back edge on the next
+  /// iteration — the shape whose report the linear walk wrongly drops
+  /// and the CFG dataflow restores. 0 emits none.
+  unsigned LoopFreePercent = 0;
 };
 
 /// Generates the program text. Deterministic in the config (including

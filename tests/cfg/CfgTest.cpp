@@ -1,0 +1,340 @@
+//===--- CfgTest.cpp - CFG builder and verifier unit tests ----------------===//
+//
+// Part of the spa project (see src/support/IdTypes.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intraprocedural CFG the normalizer builds (src/cfg/): block and
+/// edge structure per source construct, statement partition and the
+/// program-level maps, reverse postorder over reachable blocks — and the
+/// mutation self-test for the verifier: every seeded corruption kind
+/// (dropped or duplicated statement, out-of-range edge, broken pred/succ
+/// mirror, exit successor, successor-less block, swapped RPO entries,
+/// stale BlockOfStmt entry) must be caught, with zero false alarms on
+/// the unmutated graph.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgVerifier.h"
+#include "pta/Frontend.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace spa;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compileOrDie(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.formatAll();
+  return P;
+}
+
+/// CFG of the function named \p Name; fails the test when absent.
+const FuncCfg *cfgOf(NormProgram &Prog, const char *Name) {
+  FuncId F = Prog.findFunc(Prog.Strings.intern(Name));
+  EXPECT_TRUE(F.isValid()) << Name;
+  if (!F.isValid())
+    return nullptr;
+  const FuncCfg *C = Prog.Cfg.cfgFor(F.index());
+  EXPECT_TRUE(C != nullptr) << Name;
+  return C;
+}
+
+/// Counts edges of \p Kind anywhere in \p F.
+unsigned countEdges(const FuncCfg &F, CfgEdgeKind Kind) {
+  unsigned N = 0;
+  for (const CfgBlock &B : F.Blocks)
+    for (const CfgEdge &E : B.Succs)
+      if (E.Kind == Kind)
+        ++N;
+  return N;
+}
+
+/// True if \p F has an edge From -> To.
+bool hasEdge(const FuncCfg &F, uint32_t From, uint32_t To) {
+  for (const CfgEdge &E : F.Blocks[From].Succs)
+    if (E.To == To)
+      return true;
+  return false;
+}
+
+/// Runs the verifier over the program's CFG.
+CfgVerifyResult verify(NormProgram &Prog) {
+  std::vector<char> Defined(Prog.Funcs.size(), 0);
+  for (size_t F = 0; F < Prog.Funcs.size(); ++F)
+    Defined[F] = Prog.Funcs[F].IsDefined ? 1 : 0;
+  return verifyCfg(Prog.Cfg, Prog.stmtOrder().ByFunc, Defined,
+                   Prog.Stmts.size());
+}
+
+} // namespace
+
+TEST(Cfg, StraightLineFunctionIsEntryPlusExit) {
+  auto P = compileOrDie("int x; int *p;"
+                        "void f(void) { p = &x; p = p; }");
+  const FuncCfg *C = cfgOf(P->Prog, "f");
+  ASSERT_TRUE(C);
+  // Entry holds the statements; exit is empty with no successors.
+  EXPECT_EQ(C->Blocks.size(), 2u);
+  EXPECT_FALSE(C->Blocks[C->Entry].Stmts.empty());
+  EXPECT_TRUE(C->Blocks[C->Exit].Stmts.empty());
+  EXPECT_TRUE(C->Blocks[C->Exit].Succs.empty());
+  EXPECT_TRUE(hasEdge(*C, C->Entry, C->Exit));
+  ASSERT_FALSE(C->Rpo.empty());
+  EXPECT_EQ(C->Rpo.front(), C->Entry);
+}
+
+TEST(Cfg, IfElseFormsADiamond) {
+  auto P = compileOrDie("int c; int x; int *p;"
+                        "void f(void) {"
+                        "  if (c) { p = &x; } else { p = p; }"
+                        "  p = p;"
+                        "}");
+  const FuncCfg *C = cfgOf(P->Prog, "f");
+  ASSERT_TRUE(C);
+  // entry(cond), then, else, join, exit.
+  EXPECT_EQ(C->Blocks.size(), 5u);
+  EXPECT_EQ(countEdges(*C, CfgEdgeKind::BranchTrue), 1u);
+  EXPECT_EQ(countEdges(*C, CfgEdgeKind::BranchFalse), 1u);
+  // The join block has both arms as predecessors.
+  bool FoundJoin = false;
+  for (const CfgBlock &B : C->Blocks)
+    FoundJoin = FoundJoin || B.Preds.size() == 2;
+  EXPECT_TRUE(FoundJoin);
+}
+
+TEST(Cfg, WhileLoopHasABackEdge) {
+  auto P = compileOrDie("int c; int x; int *p;"
+                        "void f(void) { while (c) { p = &x; } p = p; }");
+  const FuncCfg *C = cfgOf(P->Prog, "f");
+  ASSERT_TRUE(C);
+  EXPECT_EQ(countEdges(*C, CfgEdgeKind::LoopBack), 1u);
+  EXPECT_EQ(countEdges(*C, CfgEdgeKind::BranchTrue), 1u);
+  EXPECT_EQ(countEdges(*C, CfgEdgeKind::BranchFalse), 1u);
+}
+
+TEST(Cfg, ForLoopRoutesContinueToTheStepBlock) {
+  auto P = compileOrDie("int x; int *p;"
+                        "void f(void) {"
+                        "  for (int i = 0; i < 4; i = i + 1) {"
+                        "    if (i) continue;"
+                        "    p = &x;"
+                        "  }"
+                        "}");
+  const FuncCfg *C = cfgOf(P->Prog, "f");
+  ASSERT_TRUE(C);
+  EXPECT_GE(countEdges(*C, CfgEdgeKind::LoopBack), 1u);
+  EXPECT_GE(countEdges(*C, CfgEdgeKind::Jump), 1u);
+  EXPECT_TRUE(verify(P->Prog).ok());
+}
+
+TEST(Cfg, EarlyReturnLeavesTheTrailingCodeUnreachable) {
+  auto P = compileOrDie("int c; int x; int *p;"
+                        "void f(void) {"
+                        "  if (c) { return; }"
+                        "  p = &x;"
+                        "}");
+  const FuncCfg *C = cfgOf(P->Prog, "f");
+  ASSERT_TRUE(C);
+  EXPECT_GE(countEdges(*C, CfgEdgeKind::Jump), 1u);
+  // The block synthesized after the return is unreachable: RPO covers
+  // fewer blocks than exist and its index slot is -1.
+  EXPECT_LT(C->Rpo.size(), C->Blocks.size());
+  bool SawDead = false;
+  for (int32_t I : C->RpoIndex)
+    SawDead = SawDead || I < 0;
+  EXPECT_TRUE(SawDead);
+}
+
+TEST(Cfg, SwitchDispatchesFromTheHead) {
+  auto P = compileOrDie("int c; int x; int *p;"
+                        "void f(void) {"
+                        "  switch (c) {"
+                        "  case 0: p = &x; break;"
+                        "  case 1: p = p;"
+                        "  default: p = &x;"
+                        "  }"
+                        "}");
+  const FuncCfg *C = cfgOf(P->Prog, "f");
+  ASSERT_TRUE(C);
+  EXPECT_EQ(countEdges(*C, CfgEdgeKind::SwitchCase), 3u);
+  EXPECT_GE(countEdges(*C, CfgEdgeKind::Jump), 1u); // the break
+  EXPECT_TRUE(verify(P->Prog).ok());
+}
+
+TEST(Cfg, GotoResolvesForwardAndBackwardLabels) {
+  auto P = compileOrDie("int c; int x; int *p;"
+                        "void f(void) {"
+                        "  top: p = &x;"
+                        "  if (c) goto done;"
+                        "  goto top;"
+                        "  done: p = p;"
+                        "}");
+  const FuncCfg *C = cfgOf(P->Prog, "f");
+  ASSERT_TRUE(C);
+  EXPECT_GE(countEdges(*C, CfgEdgeKind::Jump), 2u);
+  EXPECT_TRUE(verify(P->Prog).ok());
+}
+
+TEST(Cfg, GlobalInitializersHaveNoBlock) {
+  auto P = compileOrDie("int x; int *p = &x;"
+                        "void f(void) { p = p; }");
+  NormProgram &Prog = P->Prog;
+  NormProgram::StmtOrder Order = Prog.stmtOrder();
+  ASSERT_FALSE(Order.Globals.empty());
+  for (uint32_t S : Order.Globals)
+    EXPECT_EQ(Prog.Cfg.BlockOfStmt[S], -1) << "global stmt " << S;
+}
+
+TEST(Cfg, UndefinedFunctionsHaveNoCfg) {
+  auto P = compileOrDie("void ext(void); int *p;"
+                        "void f(void) { ext(); p = p; }");
+  NormProgram &Prog = P->Prog;
+  FuncId Ext = Prog.findFunc(Prog.Strings.intern("ext"));
+  ASSERT_TRUE(Ext.isValid());
+  EXPECT_EQ(Prog.Cfg.cfgFor(Ext.index()), nullptr);
+  EXPECT_NE(Prog.Cfg.cfgFor(
+                Prog.findFunc(Prog.Strings.intern("f")).index()),
+            nullptr);
+}
+
+TEST(Cfg, CorpusProgramsVerifyCleanly) {
+  const char *Sources[] = {
+      // nested loops + branches
+      "int c; int x; int *p;"
+      "void f(void) {"
+      "  for (int i = 0; i < 9; i = i + 1) {"
+      "    while (c) { if (i) break; p = &x; }"
+      "    do { p = p; } while (c);"
+      "  }"
+      "}"
+      "int main(void) { f(); return 0; }",
+      // switch fallthrough without default
+      "int c; int x; int *p;"
+      "void g(void) { switch (c) { case 0: p = &x; case 1: p = p; } }",
+      // empty function bodies and early returns
+      "void e(void) {}"
+      "int h(int a) { if (a) return 1; return 0; }",
+  };
+  for (const char *Source : Sources) {
+    auto P = compileOrDie(Source);
+    CfgVerifyResult R = verify(P->Prog);
+    EXPECT_TRUE(R.ok()) << Source << "\n"
+                        << (R.Messages.empty() ? "" : R.Messages.front());
+    EXPECT_GT(R.ChecksRun, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier mutation self-test
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One seeded corruption applied to a copy of the program's CFG. Returns
+/// false when the graph has no site for this corruption kind.
+bool corrupt(ProgramCfg &Cfg, int Kind) {
+  for (FuncCfg &F : Cfg.Funcs) {
+    switch (Kind) {
+    case 0: // drop a statement from its block
+      for (CfgBlock &B : F.Blocks)
+        if (!B.Stmts.empty()) {
+          B.Stmts.pop_back();
+          return true;
+        }
+      return false;
+    case 1: // duplicate a statement into a second block
+      for (CfgBlock &B : F.Blocks)
+        if (!B.Stmts.empty()) {
+          F.Blocks[F.Exit].Stmts.push_back(B.Stmts.front());
+          return true;
+        }
+      return false;
+    case 2: // successor edge to an out-of-range block
+      F.Blocks[F.Entry].Succs.push_back(
+          {static_cast<uint32_t>(F.Blocks.size()), CfgEdgeKind::Fall});
+      return true;
+    case 3: // break the pred/succ mirror
+      for (CfgBlock &B : F.Blocks)
+        if (!B.Preds.empty()) {
+          B.Preds.pop_back();
+          return true;
+        }
+      return false;
+    case 4: // exit block grows a successor
+      F.Blocks[F.Exit].Succs.push_back({F.Entry, CfgEdgeKind::Fall});
+      return true;
+    case 5: // a reachable non-exit block loses its successors
+      for (uint32_t B : F.Rpo)
+        if (B != F.Exit && !F.Blocks[B].Succs.empty()) {
+          F.Blocks[B].Succs.clear();
+          return true;
+        }
+      return false;
+    case 6: // swap two RPO entries
+      if (F.Rpo.size() >= 2) {
+        std::swap(F.Rpo[0], F.Rpo[1]);
+        return true;
+      }
+      return false;
+    default: // stale BlockOfStmt entry
+      for (CfgBlock &B : F.Blocks)
+        for (uint32_t S : B.Stmts) {
+          Cfg.BlockOfStmt[S] = Cfg.BlockOfStmt[S] + 1;
+          return true;
+        }
+      return false;
+    }
+  }
+  return false;
+}
+
+const char *corruptionName(int Kind) {
+  static const char *Names[] = {
+      "dropped statement",     "duplicated statement", "out-of-range edge",
+      "broken pred mirror",    "exit successor",       "successor-less block",
+      "swapped RPO entries",   "stale BlockOfStmt"};
+  return Names[Kind];
+}
+
+} // namespace
+
+TEST(Cfg, EverySeededCorruptionIsCaught) {
+  auto P = compileOrDie("int c; int x; int *p;"
+                        "void f(void) {"
+                        "  if (c) { p = &x; } else { p = p; }"
+                        "  while (c) { p = &x; }"
+                        "  p = p;"
+                        "}"
+                        "int main(void) { f(); return 0; }");
+  NormProgram &Prog = P->Prog;
+  std::vector<char> Defined(Prog.Funcs.size(), 0);
+  for (size_t F = 0; F < Prog.Funcs.size(); ++F)
+    Defined[F] = Prog.Funcs[F].IsDefined ? 1 : 0;
+  NormProgram::StmtOrder Order = Prog.stmtOrder();
+
+  // Zero false alarms on the unmutated graph.
+  ASSERT_TRUE(
+      verifyCfg(Prog.Cfg, Order.ByFunc, Defined, Prog.Stmts.size()).ok());
+
+  int Applied = 0, Caught = 0;
+  for (int Kind = 0; Kind < 8; ++Kind) {
+    ProgramCfg Mutated = Prog.Cfg; // deep copy
+    if (!corrupt(Mutated, Kind))
+      continue;
+    ++Applied;
+    CfgVerifyResult R =
+        verifyCfg(Mutated, Order.ByFunc, Defined, Prog.Stmts.size());
+    if (!R.ok())
+      ++Caught;
+    EXPECT_FALSE(R.ok()) << corruptionName(Kind) << " went undetected";
+  }
+  // The acceptance bar: every corruption kind applies and is caught.
+  EXPECT_EQ(Applied, 8);
+  EXPECT_EQ(Caught, Applied);
+}

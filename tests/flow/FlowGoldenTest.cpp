@@ -6,14 +6,18 @@
 ///
 /// \file
 /// The golden corpus under tests/inputs/flow/ pins a baseline and a
-/// refined use-after-free count per program (the counts are also written
-/// in each file's header comment — keep both in sync). On top of the
-/// per-file table this asserts the ISSUE's aggregate acceptance bar
-/// (>= 30% of flow-insensitive reports suppressed with every hand-pinned
-/// true positive kept), cross-dimension parity (engines x models x
-/// points-to representations x preprocessing produce byte-identical
-/// refined findings), a clean --flow-audit everywhere, and the mutation
-/// self-test: moving the free above the deref flips the verdict.
+/// refined use-after-free count per program and per flow flavour
+/// (--flow=invalidate and --flow=cfg; the counts are also written in
+/// each file's header comment — keep all three in sync). On top of the
+/// per-file table this asserts the ISSUE's aggregate acceptance bars
+/// (>= 30% of flow-insensitive reports suppressed by the linear walk
+/// with every hand-pinned true positive kept; the CFG flavour strictly
+/// more precise than the linear walk on the branch corpus with zero
+/// true positives lost), cross-dimension parity (engines x models x
+/// points-to representations x preprocessing x parallel thread counts
+/// produce byte-identical refined findings in both flavours), a clean
+/// --flow-audit everywhere, and the mutation self-test: moving the free
+/// above the deref flips the verdict.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,17 +40,25 @@ struct GoldenEntry {
   const char *File;
   unsigned Baseline; ///< use-after-free findings, flow-insensitive
   unsigned Refined;  ///< findings after --flow=invalidate
+  unsigned Cfg;      ///< findings after --flow=cfg
 };
 
-// One row per corpus program; the comments name the suppressed site.
+// One row per corpus program; the comments name the decisive site. The
+// single row where Cfg > Refined is branch_loop_free.c — the documented
+// loop-carried restore (a false negative of the linear walk), never a
+// report the flow-insensitive baseline lacks.
 const GoldenEntry Corpus[] = {
-    {"deref_before_free.c", 2, 0}, // both sites precede the free
-    {"true_uaf.c", 2, 1},          // post-free load is the true positive
-    {"interproc_free.c", 2, 1},    // may-free summary carries the kill
-    {"realloc_chain.c", 2, 1},     // realloc revives new, kills old
-    {"revive.c", 2, 1},            // re-executed malloc revives the block
-    {"escape_noclean.c", 2, 2},    // escape blocks the revival
-    {"fnptr_free.c", 2, 1},        // free through a function pointer
+    {"deref_before_free.c", 2, 0, 0}, // both sites precede the free
+    {"true_uaf.c", 2, 1, 1},          // post-free load is the true positive
+    {"interproc_free.c", 2, 1, 1},    // may-free summary carries the kill
+    {"realloc_chain.c", 2, 1, 1},     // realloc revives new, kills old
+    {"revive.c", 3, 2, 1},            // callee exit summary cleans the caller
+    {"escape_noclean.c", 2, 2, 2},    // escape blocks the revival
+    {"fnptr_free.c", 2, 1, 1},        // free through a function pointer
+    {"branch_arm_free.c", 2, 2, 1},   // freeing arm returns early
+    {"branch_revive.c", 3, 3, 2},     // revive on one arm, join keeps may
+    {"branch_loop_free.c", 1, 0, 1},  // back edge restores the report
+    {"branch_callee_exit.c", 2, 2, 0}, // hand-rolled realloc in the callee
 };
 
 std::string readCorpusFile(const std::string &Name) {
@@ -65,8 +77,9 @@ struct RefinedRun {
 };
 
 /// Solves \p Source under \p Opts, runs the use-after-free checker before
-/// and after the invalidation pass, and audits the refinement.
-RefinedRun runRefined(const std::string &Source, AnalysisOptions Opts) {
+/// and after the flow pass flavour \p Mode, and audits the refinement.
+RefinedRun runRefined(const std::string &Source, AnalysisOptions Opts,
+                      FlowMode Mode = FlowMode::Invalidate) {
   RefinedRun R;
   DiagnosticEngine CompileDiags;
   auto P = CompiledProgram::fromSource(Source, CompileDiags);
@@ -77,7 +90,7 @@ RefinedRun runRefined(const std::string &Source, AnalysisOptions Opts) {
   A.run();
   DiagnosticEngine Base;
   R.Baseline = runCheckers(A, {"use-after-free"}, Base).Findings;
-  runInvalidationPass(A.solver());
+  runFlowPass(A.solver(), Mode);
   R.AuditOk = auditFlowRefinement(A.solver()).ok();
   DiagnosticEngine Ref;
   R.Refined = runCheckers(A, {"use-after-free"}, Ref).Findings;
@@ -97,14 +110,28 @@ void applyEngine(AnalysisOptions &Opts, int Engine) {
   Opts.Solver.CycleElimination = Engine == 3;
 }
 
+unsigned pinned(const GoldenEntry &E, FlowMode Mode) {
+  return Mode == FlowMode::Cfg ? E.Cfg : E.Refined;
+}
+
+const FlowMode BothModes[] = {FlowMode::Invalidate, FlowMode::Cfg};
+
+const char *modeName(FlowMode Mode) {
+  return Mode == FlowMode::Cfg ? "cfg" : "invalidate";
+}
+
 } // namespace
 
 TEST(FlowGolden, PerFileCountsMatchThePinnedTable) {
   for (const GoldenEntry &E : Corpus) {
-    RefinedRun R = runRefined(readCorpusFile(E.File), defaults());
-    EXPECT_EQ(R.Baseline, E.Baseline) << E.File;
-    EXPECT_EQ(R.Refined, E.Refined) << E.File << "\n" << R.RefinedText;
-    EXPECT_TRUE(R.AuditOk) << E.File;
+    std::string Source = readCorpusFile(E.File);
+    for (FlowMode Mode : BothModes) {
+      RefinedRun R = runRefined(Source, defaults(), Mode);
+      EXPECT_EQ(R.Baseline, E.Baseline) << E.File;
+      EXPECT_EQ(R.Refined, pinned(E, Mode))
+          << E.File << " " << modeName(Mode) << "\n" << R.RefinedText;
+      EXPECT_TRUE(R.AuditOk) << E.File << " " << modeName(Mode);
+    }
   }
 }
 
@@ -124,20 +151,76 @@ TEST(FlowGolden, AggregateSuppressionMeetsTheAcceptanceBar) {
       << "suppressed " << Suppressed << " of " << Baseline;
 }
 
+TEST(FlowGolden, CfgIsStrictlyMorePreciseThanInvalidateOnBranchCorpus) {
+  // The ISSUE's bar for the CFG flavour: on the branch corpus it
+  // suppresses strictly more false positives than the linear walk, loses
+  // no true positive (per-file floors are the pinned Cfg counts), and
+  // restores the loop-carried report the linear walk drops.
+  unsigned InvalidateTotal = 0, CfgTotal = 0;
+  for (const GoldenEntry &E : Corpus) {
+    std::string Source = readCorpusFile(E.File);
+    RefinedRun Inv = runRefined(Source, defaults(), FlowMode::Invalidate);
+    RefinedRun Cfg = runRefined(Source, defaults(), FlowMode::Cfg);
+    EXPECT_TRUE(Cfg.AuditOk) << E.File;
+    // cfg never reports a site the baseline does not.
+    EXPECT_LE(Cfg.Refined, Inv.Baseline) << E.File;
+    InvalidateTotal += Inv.Refined;
+    CfgTotal += Cfg.Refined;
+  }
+  EXPECT_LT(CfgTotal, InvalidateTotal)
+      << "cfg must be strictly more precise in aggregate";
+}
+
 TEST(FlowGolden, RefinedFindingsAreIdenticalAcrossEngines) {
   for (const GoldenEntry &E : Corpus) {
     std::string Source = readCorpusFile(E.File);
-    std::string First;
-    for (int Engine = 0; Engine < 4; ++Engine) {
-      AnalysisOptions Opts = defaults();
-      applyEngine(Opts, Engine);
-      RefinedRun R = runRefined(Source, Opts);
-      EXPECT_TRUE(R.AuditOk) << E.File << " engine " << Engine;
-      EXPECT_EQ(R.Refined, E.Refined) << E.File << " engine " << Engine;
-      if (Engine == 0)
-        First = R.RefinedText;
-      else
-        EXPECT_EQ(R.RefinedText, First) << E.File << " engine " << Engine;
+    for (FlowMode Mode : BothModes) {
+      std::string First;
+      for (int Engine = 0; Engine < 4; ++Engine) {
+        AnalysisOptions Opts = defaults();
+        applyEngine(Opts, Engine);
+        RefinedRun R = runRefined(Source, Opts, Mode);
+        EXPECT_TRUE(R.AuditOk)
+            << E.File << " " << modeName(Mode) << " engine " << Engine;
+        EXPECT_EQ(R.Refined, pinned(E, Mode))
+            << E.File << " " << modeName(Mode) << " engine " << Engine;
+        if (Engine == 0)
+          First = R.RefinedText;
+        else
+          EXPECT_EQ(R.RefinedText, First)
+              << E.File << " " << modeName(Mode) << " engine " << Engine;
+      }
+    }
+  }
+}
+
+TEST(FlowGolden, RefinedFindingsAreIdenticalAcrossParallelThreadCounts) {
+  // The determinism bar for --engine=par: the refined findings of both
+  // flavours are byte-identical at every worker count (and match the
+  // sequential engines via the pinned table).
+  const unsigned ThreadCounts[] = {1, 2, 4, 7};
+  for (const GoldenEntry &E : Corpus) {
+    std::string Source = readCorpusFile(E.File);
+    for (FlowMode Mode : BothModes) {
+      std::string First;
+      bool HaveFirst = false;
+      for (unsigned Threads : ThreadCounts) {
+        AnalysisOptions Opts = defaults();
+        Opts.Solver.ParallelSolve = true;
+        Opts.Solver.Threads = Threads;
+        RefinedRun R = runRefined(Source, Opts, Mode);
+        EXPECT_TRUE(R.AuditOk)
+            << E.File << " " << modeName(Mode) << " threads " << Threads;
+        EXPECT_EQ(R.Refined, pinned(E, Mode))
+            << E.File << " " << modeName(Mode) << " threads " << Threads;
+        if (!HaveFirst) {
+          First = R.RefinedText;
+          HaveFirst = true;
+        } else {
+          EXPECT_EQ(R.RefinedText, First)
+              << E.File << " " << modeName(Mode) << " threads " << Threads;
+        }
+      }
     }
   }
 }
@@ -148,20 +231,24 @@ TEST(FlowGolden, RefinedFindingsAreIdenticalAcrossModels) {
                              ModelKind::CommonInitialSeq, ModelKind::Offsets};
   for (const GoldenEntry &E : Corpus) {
     std::string Source = readCorpusFile(E.File);
-    std::string First;
-    bool HaveFirst = false;
-    for (ModelKind Kind : Kinds) {
-      AnalysisOptions Opts = defaults();
-      Opts.Model = Kind;
-      RefinedRun R = runRefined(Source, Opts);
-      EXPECT_TRUE(R.AuditOk) << E.File << " " << modelKindName(Kind);
-      EXPECT_EQ(R.Refined, E.Refined) << E.File << " " << modelKindName(Kind);
-      if (!HaveFirst) {
-        First = R.RefinedText;
-        HaveFirst = true;
-      } else {
-        EXPECT_EQ(R.RefinedText, First)
-            << E.File << " " << modelKindName(Kind);
+    for (FlowMode Mode : BothModes) {
+      std::string First;
+      bool HaveFirst = false;
+      for (ModelKind Kind : Kinds) {
+        AnalysisOptions Opts = defaults();
+        Opts.Model = Kind;
+        RefinedRun R = runRefined(Source, Opts, Mode);
+        EXPECT_TRUE(R.AuditOk)
+            << E.File << " " << modeName(Mode) << " " << modelKindName(Kind);
+        EXPECT_EQ(R.Refined, pinned(E, Mode))
+            << E.File << " " << modeName(Mode) << " " << modelKindName(Kind);
+        if (!HaveFirst) {
+          First = R.RefinedText;
+          HaveFirst = true;
+        } else {
+          EXPECT_EQ(R.RefinedText, First)
+              << E.File << " " << modeName(Mode) << " " << modelKindName(Kind);
+        }
       }
     }
   }
@@ -172,24 +259,29 @@ TEST(FlowGolden, RefinedFindingsAreIdenticalAcrossPtsReprsAndPreprocess) {
                            PtsRepr::Offsets};
   for (const GoldenEntry &E : Corpus) {
     std::string Source = readCorpusFile(E.File);
-    std::string First;
-    bool HaveFirst = false;
-    for (PtsRepr Repr : Reprs) {
-      for (int Pre = 0; Pre < 2; ++Pre) {
-        AnalysisOptions Opts = defaults();
-        Opts.Solver.PointsTo = Repr;
-        Opts.Solver.Preprocess =
-            Pre ? PreprocessKind::Hvn : PreprocessKind::None;
-        RefinedRun R = runRefined(Source, Opts);
-        EXPECT_TRUE(R.AuditOk) << E.File << " " << ptsReprName(Repr);
-        EXPECT_EQ(R.Refined, E.Refined)
-            << E.File << " " << ptsReprName(Repr) << " pre=" << Pre;
-        if (!HaveFirst) {
-          First = R.RefinedText;
-          HaveFirst = true;
-        } else {
-          EXPECT_EQ(R.RefinedText, First)
-              << E.File << " " << ptsReprName(Repr) << " pre=" << Pre;
+    for (FlowMode Mode : BothModes) {
+      std::string First;
+      bool HaveFirst = false;
+      for (PtsRepr Repr : Reprs) {
+        for (int Pre = 0; Pre < 2; ++Pre) {
+          AnalysisOptions Opts = defaults();
+          Opts.Solver.PointsTo = Repr;
+          Opts.Solver.Preprocess =
+              Pre ? PreprocessKind::Hvn : PreprocessKind::None;
+          RefinedRun R = runRefined(Source, Opts, Mode);
+          EXPECT_TRUE(R.AuditOk)
+              << E.File << " " << modeName(Mode) << " " << ptsReprName(Repr);
+          EXPECT_EQ(R.Refined, pinned(E, Mode))
+              << E.File << " " << modeName(Mode) << " " << ptsReprName(Repr)
+              << " pre=" << Pre;
+          if (!HaveFirst) {
+            First = R.RefinedText;
+            HaveFirst = true;
+          } else {
+            EXPECT_EQ(R.RefinedText, First)
+                << E.File << " " << modeName(Mode) << " " << ptsReprName(Repr)
+                << " pre=" << Pre;
+          }
         }
       }
     }
@@ -213,13 +305,16 @@ TEST(FlowGolden, MutationMovingTheFreeAboveTheDerefFlipsTheVerdict) {
   Mutated.erase(FreeAt, FreeLine.size());
   Mutated.insert(AnchorAt, FreeLine);
 
-  RefinedRun Original = runRefined(Source, defaults());
-  EXPECT_EQ(Original.Baseline, 2u);
-  EXPECT_EQ(Original.Refined, 0u);
+  for (FlowMode Mode : BothModes) {
+    RefinedRun Original = runRefined(Source, defaults(), Mode);
+    EXPECT_EQ(Original.Baseline, 2u) << modeName(Mode);
+    EXPECT_EQ(Original.Refined, 0u) << modeName(Mode);
 
-  RefinedRun Flipped = runRefined(Mutated, defaults());
-  EXPECT_TRUE(Flipped.AuditOk);
-  EXPECT_EQ(Flipped.Baseline, 2u);
-  EXPECT_EQ(Flipped.Refined, 2u)
-      << "hoisting the free must keep both reports\n" << Flipped.RefinedText;
+    RefinedRun Flipped = runRefined(Mutated, defaults(), Mode);
+    EXPECT_TRUE(Flipped.AuditOk) << modeName(Mode);
+    EXPECT_EQ(Flipped.Baseline, 2u) << modeName(Mode);
+    EXPECT_EQ(Flipped.Refined, 2u)
+        << modeName(Mode) << ": hoisting the free must keep both reports\n"
+        << Flipped.RefinedText;
+  }
 }

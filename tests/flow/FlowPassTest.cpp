@@ -27,9 +27,9 @@ using namespace spa::test;
 namespace {
 
 /// Lines of use-after-free findings after an optional flow refinement.
-std::set<unsigned> uafLines(Solved &S, bool Refine) {
+std::set<unsigned> uafLinesMode(Solved &S, bool Refine, FlowMode Mode) {
   if (Refine) {
-    runInvalidationPass(S.A->solver());
+    runFlowPass(S.A->solver(), Mode);
     FlowAuditResult Audit = auditFlowRefinement(S.A->solver());
     EXPECT_TRUE(Audit.ok()) << (Audit.Messages.empty()
                                     ? std::string("no message")
@@ -42,6 +42,10 @@ std::set<unsigned> uafLines(Solved &S, bool Refine) {
     if (D.Kind != DiagKind::Note && D.Code == "use-after-free")
       Lines.insert(D.Loc.Line);
   return Lines;
+}
+
+std::set<unsigned> uafLines(Solved &S, bool Refine) {
+  return uafLinesMode(S, Refine, FlowMode::Invalidate);
 }
 
 std::set<unsigned> lines(std::initializer_list<unsigned> L) {
@@ -272,8 +276,156 @@ TEST(FlowPass, RerunAfterResolveIsStable) {
 }
 
 //===----------------------------------------------------------------------===//
+// CFG dataflow flavour (--flow=cfg)
+//===----------------------------------------------------------------------===//
+
+TEST(FlowPass, CfgSuppressesTheFreeOnTheReturningArm) {
+  // free on one arm followed by return: the fall-through load is clean
+  // under the CFG join, but the linear walk (free precedes the load in
+  // emission order) keeps the report.
+  const char *Src = "void *malloc(unsigned n);\n"
+                    "void free(void *p);\n"
+                    "int check(int c) {\n"
+                    "  int *d;\n"
+                    "  d = (int *)malloc(4);\n"
+                    "  if (c) { free(d); return 0; }\n"
+                    "  return *d;\n" // line 7: clean fall-through path
+                    "}\n"
+                    "int main(void) { return check(1); }\n";
+  auto S1 = analyze(Src, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(uafLinesMode(S1, true, FlowMode::Invalidate), lines({7}));
+  auto S2 = analyze(Src, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(uafLinesMode(S2, true, FlowMode::Cfg), lines({}));
+}
+
+TEST(FlowPass, CfgRestoresTheLoopCarriedFree) {
+  // The free at the loop bottom reaches the top-of-body deref via the
+  // back edge; the linear walk wrongly suppresses it.
+  const char *Src = "void *malloc(unsigned n);\n"
+                    "void free(void *p);\n"
+                    "int main(int argc, char **argv) {\n"
+                    "  int *d;\n"
+                    "  int i; i = 0;\n"
+                    "  d = (int *)malloc(4);\n"
+                    "  while (i < argc) {\n"
+                    "    *d = i;\n" // line 8: freed on the previous trip
+                    "    free(d);\n"
+                    "    i = i + 1;\n"
+                    "  }\n"
+                    "  return 0;\n"
+                    "}\n";
+  auto S1 = analyze(Src, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(uafLinesMode(S1, true, FlowMode::Invalidate), lines({}));
+  auto S2 = analyze(Src, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(uafLinesMode(S2, true, FlowMode::Cfg), lines({8}));
+}
+
+TEST(FlowPass, CfgCalleeExitSummaryCleansTheCaller) {
+  // renew() frees the old block and re-executes its allocation site; its
+  // must-revive exit summary wipes the block from the caller's state at
+  // every call, which the linear may-free fold cannot express.
+  const char *Src = "void *malloc(unsigned n);\n"
+                    "void free(void *p);\n"
+                    "int *g;\n"
+                    "void renew(void) {\n"
+                    "  free(g);\n"
+                    "  g = (int *)malloc(4);\n"
+                    "}\n"
+                    "int main(void) {\n"
+                    "  renew();\n"
+                    "  *g = 1;\n"    // line 10
+                    "  renew();\n"
+                    "  return *g;\n" // line 12
+                    "}\n";
+  auto S1 = analyze(Src, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(uafLinesMode(S1, true, FlowMode::Invalidate), lines({10, 12}));
+  auto S2 = analyze(Src, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(uafLinesMode(S2, true, FlowMode::Cfg), lines({}));
+}
+
+TEST(FlowPass, CfgRecursiveCalleeFallsBackToMayFree) {
+  // A self-recursive renew sits in a nontrivial callee SCC: its exit
+  // summary degrades to the may-free set with no revival, so the caller
+  // conservatively keeps the report (soundness over precision in cycles).
+  const char *Src = "void *malloc(unsigned n);\n"
+                    "void free(void *p);\n"
+                    "int *g;\n"
+                    "void renew(int d) {\n"
+                    "  free(g);\n"
+                    "  g = (int *)malloc(4);\n"
+                    "  if (d) renew(d - 1);\n"
+                    "}\n"
+                    "int main(void) {\n"
+                    "  renew(1);\n"
+                    "  return *g;\n" // line 11: kept — cycle fallback
+                    "}\n";
+  auto S = analyze(Src, ModelKind::CommonInitialSeq);
+  EXPECT_EQ(uafLinesMode(S, true, FlowMode::Cfg), lines({11}));
+}
+
+TEST(FlowPass, CfgCountersReportTheGraphShape) {
+  const char *Src = "void *malloc(unsigned n);\n"
+                    "void free(void *p);\n"
+                    "int main(int argc, char **argv) {\n"
+                    "  int *d;\n"
+                    "  d = (int *)malloc(4);\n"
+                    "  if (argc) { free(d); } else { *d = 1; }\n"
+                    "  return 0;\n"
+                    "}\n";
+  auto S = analyze(Src, ModelKind::CommonInitialSeq);
+  FlowResult R = runCfgFlowPass(S.A->solver());
+  EXPECT_GT(R.CfgBlocks, 0u);
+  EXPECT_GT(R.CfgEdges, 0u);
+  EXPECT_GT(R.JoinMerges, 0u); // the if/else join has two predecessors
+  EXPECT_EQ(R.ExitSummaries, 1u); // main
+  FlowResult L = runInvalidationPass(S.A->solver());
+  EXPECT_EQ(L.CfgBlocks, 0u); // the linear flavour reports no CFG shape
+  EXPECT_EQ(L.ExitSummaries, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Satellite: deterministic freedAt site
 //===----------------------------------------------------------------------===//
+
+TEST(FlowPass, SiteWithTwoFreedTargetsCitesTheEarliestFree) {
+  // *c aliases two freed blocks; the finding must cite the block with
+  // the earliest free site in (line, column, offset) order — not the one
+  // with the smallest object id (b's block is allocated second but freed
+  // first).
+  const char *Src = "void *malloc(unsigned n);\n"
+                    "void free(void *p);\n"
+                    "int *a; int *b; int *c;\n"
+                    "int main(void) {\n"
+                    "  a = (int *)malloc(4);\n"
+                    "  b = (int *)malloc(4);\n"
+                    "  c = a;\n"
+                    "  c = b;\n"
+                    "  free(b);\n" // line 9: the earliest free
+                    "  free(a);\n" // line 10
+                    "  return *c;\n"
+                    "}\n";
+  std::string First;
+  for (int Engine = 0; Engine < 4; ++Engine) {
+    AnalysisOptions Opts;
+    Opts.Model = ModelKind::CommonInitialSeq;
+    Opts.Solver.UseWorklist = Engine >= 1;
+    Opts.Solver.DeltaPropagation = Engine >= 2;
+    Opts.Solver.CycleElimination = Engine == 3;
+    auto P = compile(Src);
+    ASSERT_TRUE(P != nullptr);
+    Analysis A(P->Prog, Opts);
+    A.run();
+    DiagnosticEngine Diags;
+    runCheckers(A, {"use-after-free"}, Diags);
+    std::string Text = Diags.formatAll();
+    EXPECT_NE(Text.find("freed at 9:"), std::string::npos) << Text;
+    EXPECT_EQ(Text.find("freed at 10:"), std::string::npos) << Text;
+    if (First.empty())
+      First = Text;
+    else
+      EXPECT_EQ(Text, First) << "engine " << Engine;
+  }
+}
 
 TEST(FlowPass, FreedAtPicksTheEarliestSiteUnderEveryEngine) {
   // Two frees of the same abstract object; the report must cite the

@@ -1,0 +1,28 @@
+/* Branch golden example: a free on one arm followed by an early return
+ * must not poison the fall-through path. The linear --flow=invalidate
+ * walk sees free(p) before *p in statement emission order and keeps the
+ * report; the CFG dataflow sees that the freeing arm exits the function,
+ * so the join before the load only receives the clean path.
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 2 (*p and *q both alias freed blocks)
+ *   --flow=invalidate:         2 (emission order puts free(p) first)
+ *   --flow=cfg:                1 (*p suppressed; *q is a true
+ *                                 use-after-free on every path)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+
+int check(int c) {
+  int *p = (int *)malloc(4);
+  int *q = (int *)malloc(4);
+  if (c) {
+    free(p);
+    return 0;
+  }
+  int a = *p; /* safe: the freeing arm returned */
+  free(q);
+  int b = *q; /* true use-after-free */
+  return a + b;
+}
+
+int main(void) { return check(1); }

@@ -1,0 +1,29 @@
+/* Branch golden example: a hand-rolled realloc in a callee. renew()
+ * frees the old block and re-executes its own allocation site, so its
+ * exit summary is "may free nothing, must revive the block" — the caller
+ * transfer at each renew() call wipes the block from the caller's state.
+ * The linear --flow=invalidate walk only has the may-free half (renew may
+ * free the block) and so poisons the caller at every call.
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 2
+ *   --flow=invalidate:         2 (calls fold the callee may-free set;
+ *                                 no exit revival is tracked)
+ *   --flow=cfg:                0 (both uses follow a renew() whose
+ *                                 must-revive summary cleans the state)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+
+int *p;
+
+void renew(void) {
+  free(p);
+  p = (int *)malloc(4);
+}
+
+int main(void) {
+  renew();
+  *p = 1; /* safe: renew() left a fresh block */
+  renew();
+  return *p; /* safe for the same reason */
+}

@@ -1,0 +1,25 @@
+/* Branch golden example: a loop-carried free. The free at the bottom of
+ * the body reaches the dereference at the top on the next iteration via
+ * the back edge. The linear --flow=invalidate walk sees the dereference
+ * before the free in statement order and wrongly suppresses the report —
+ * the pinned false negative the CFG dataflow restores (the documented
+ * exception to "cfg only ever suppresses relative to invalidate").
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 1
+ *   --flow=invalidate:         0 (false negative: no back-edge modeling)
+ *   --flow=cfg:                1 (the back edge carries the freed state
+ *                                 into the loop header's join)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+
+int main(int argc, char **argv) {
+  int *p = (int *)malloc(4);
+  int i = 0;
+  while (i < argc) {
+    *p = i; /* true use-after-free on the second iteration */
+    free(p);
+    i = i + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+/* Branch golden example: revival on one arm, nothing on the other. The
+ * then-arm re-executes the allocation site through renew(), whose
+ * must-revive exit summary cleans that arm's state; the else-arm really
+ * does use a dead block; and the join after the if unions the two arm
+ * states, so the final load stays may-freed (the else path reaches it).
+ * Expected use-after-free findings:
+ *   flow-insensitive baseline: 3 (every *p aliases the freed block)
+ *   --flow=invalidate:         3 (the linear walk tracks no callee exit
+ *                                 states, so renew() cleans nothing)
+ *   --flow=cfg:                2 (the then-arm load is suppressed; the
+ *                                 else-arm load and the post-join load
+ *                                 are kept)
+ */
+void *malloc(unsigned n);
+void free(void *p);
+
+int *p;
+
+void renew(void) { p = (int *)malloc(4); }
+
+int main(int argc, char **argv) {
+  renew();
+  free(p);
+  if (argc > 1) {
+    renew();
+    argc = *p; /* safe: revived on this arm */
+  } else {
+    argc = *p; /* true use-after-free */
+  }
+  return *p + argc; /* may-freed: the else arm did not renew */
+}

@@ -1,15 +1,23 @@
 /* Flow-pass golden example: re-executing an allocation site revives the
- * object. refill() is called both before and after the free, so its entry
+ * object, and callee *exit summaries* carry the revival back to the
+ * caller. refill() is called both before and after the free, so its entry
  * state contains the freed block — but the malloc right above the store
  * re-executes the allocation site, so the store cannot see a dead block.
+ * The load of *g between the free and the second refill() is a true
+ * use-after-free; the load after the second refill() is not.
  * Expected use-after-free findings:
- *   flow-insensitive baseline: 2 (the *g store in refill and the *g load
- *                                 in main both alias the freed block)
- *   --flow=invalidate:         1 (refill's store is suppressed by the
- *                                 revival; main's load after free(g) is
- *                                 conservatively kept — the pass tracks no
- *                                 callee exit states, so the second
- *                                 refill() does not clean main's state)
+ *   flow-insensitive baseline: 3 (the *g store in refill and both *g
+ *                                 loads in main alias the freed block)
+ *   --flow=invalidate:         2 (refill's store is suppressed by the
+ *                                 revival; both loads in main are kept —
+ *                                 the linear pass tracks no callee exit
+ *                                 states, so the second refill() does not
+ *                                 clean main's state: the post-refill
+ *                                 load is a pinned false positive)
+ *   --flow=cfg:                1 (only the true use-after-free between
+ *                                 free(g) and the second refill();
+ *                                 refill's must-revive exit summary
+ *                                 cleans main's state at the call)
  */
 void *malloc(unsigned n);
 void free(void *p);
@@ -24,6 +32,7 @@ void refill(void) {
 int main(void) {
   refill();
   free(g);
+  int stale = *g;
   refill();
-  return *g;
+  return *g + stale;
 }

@@ -7,6 +7,7 @@
 #include "workload/Corpus.h"
 #include "workload/Generator.h"
 
+#include "flow/FlowPass.h"
 #include "pta/Frontend.h"
 
 #include "gtest/gtest.h"
@@ -135,4 +136,40 @@ TEST(Generator, UafHeavyShapeCompilesAndMarksFreedObjects) {
   Analysis A(P->Prog);
   A.run();
   EXPECT_GT(A.solver().freedObjects().size(), 0u);
+}
+
+TEST(Generator, BranchAndLoopShapesCompileAndCfgAuditHolds) {
+  // The CFG-exercising shapes: if/else frees on one arm, loop-carried
+  // frees on the other knob. The generated program must compile, carry a
+  // well-formed CFG, and pass the flow audit under --flow=cfg.
+  GeneratorConfig Config;
+  Config.Seed = 17;
+  Config.UseHeap = true;
+  Config.BranchPercent = 30;
+  Config.LoopFreePercent = 20;
+  Config.NumFunctions = 3;
+  Config.StmtsPerFunction = 24;
+  std::string Source = generateProgram(Config);
+  EXPECT_NE(Source.find("if ("), std::string::npos);
+  EXPECT_NE(Source.find("while ("), std::string::npos);
+  EXPECT_NE(Source.find("free("), std::string::npos);
+  DiagnosticEngine Diags;
+  auto P = CompiledProgram::fromSource(Source, Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.formatAll();
+  Analysis A(P->Prog);
+  A.run();
+  FlowResult R = runCfgFlowPass(A.solver());
+  EXPECT_GT(R.CfgBlocks, 0u);
+  EXPECT_GT(R.JoinMerges, 0u);
+  EXPECT_TRUE(auditFlowRefinement(A.solver()).ok());
+}
+
+TEST(Generator, ZeroBranchPercentEmitsNoBranchShapes) {
+  GeneratorConfig Config;
+  Config.Seed = 19;
+  EXPECT_EQ(Config.BranchPercent, 0u);
+  EXPECT_EQ(Config.LoopFreePercent, 0u);
+  std::string Source = generateProgram(Config);
+  EXPECT_EQ(Source.find("if ("), std::string::npos);
+  EXPECT_EQ(Source.find("while ("), std::string::npos);
 }

@@ -114,6 +114,25 @@ for f in tests/inputs/flow/*.c; do
   done
 done | flow_sweep
 
+echo "== flow cfg: golden corpus x engines x models, audited and certified =="
+# Same contract for the CFG dataflow flavour: every flow-corpus program,
+# engine, and model must certify, pass --flow-audit (which also re-checks
+# the CFG's well-formedness), and verify the CFG explicitly.
+for f in tests/inputs/flow/*.c; do
+  for engine in naive worklist delta scc par; do
+    for model in ca coc cis off; do
+      echo "$f --flow=cfg --flow-audit --verify-cfg --certify --check=use-after-free --engine=$engine --model=$model"
+    done
+  done
+done | flow_sweep
+
+echo "== verify-cfg: every corpus program's CFG is well-formed =="
+# The normalizer-built CFG must pass the well-formedness verifier on every
+# real corpus program (exit 4 on any violation).
+for f in corpus/*.c; do
+  echo "$f --verify-cfg"
+done | certify_sweep
+
 echo "== mutation smoke: seeded faults must be caught =="
 # The certifier's detection power: hundreds of seeded fact deletions and
 # insertions, all of which must be flagged with zero clean-run false

@@ -31,8 +31,13 @@
 ///   spa_cli file.c --certify                re-derive and check every rule
 ///                                           obligation of the solution
 ///   spa_cli file.c --verify-ir              lint the normalized IR
+///   spa_cli file.c --verify-cfg             lint the intraprocedural CFG
 ///   spa_cli file.c --flow=invalidate        statement-order invalidation
 ///                                           pass refining use-after-free
+///   spa_cli file.c --flow=cfg               branch-sensitive dataflow over
+///                                           the CFG with callee exit
+///                                           summaries (strictly more
+///                                           precise than invalidate)
 ///   spa_cli file.c --flow-audit             check the refinement only ever
 ///                                           suppresses baseline reports
 ///                                           (implies --flow=invalidate)
@@ -49,6 +54,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cfg/CfgVerifier.h"
 #include "check/Checkers.h"
 #include "check/Sarif.h"
 #include "flow/FlowPass.h"
@@ -87,7 +93,9 @@ struct CliOptions {
   bool Check = false;
   bool Certify = false;
   bool VerifyIr = false;
-  bool Flow = false;      ///< --flow=invalidate
+  bool VerifyCfg = false;
+  bool Flow = false;      ///< --flow=invalidate or --flow=cfg
+  FlowMode FlowKind = FlowMode::Invalidate;
   bool FlowAudit = false; ///< --flow-audit (implies Flow)
   bool Edges = false;
   bool Dot = false;
@@ -158,7 +166,7 @@ const char *const EngineValues[] = {"naive", "worklist", "delta", "scc",
 const char *const PtsValues[] = {"sorted", "small", "bitmap", "offsets",
                                  nullptr};
 const char *const PreprocessValues[] = {"none", "hvn", nullptr};
-const char *const FlowValues[] = {"none", "invalidate", nullptr};
+const char *const FlowValues[] = {"none", "invalidate", "cfg", nullptr};
 
 /// The one table every suggestion comes from: each option's spelling plus
 /// (for enumerated options) its value list, so both a mistyped flag and a
@@ -180,6 +188,7 @@ const OptionSpec KnownOptions[] = {
     {"--max-iterations", nullptr}, {"--stats-json", nullptr},
     {"--check", nullptr},        {"--sarif", nullptr},
     {"--certify", nullptr},      {"--verify-ir", nullptr},
+    {"--verify-cfg", nullptr},
     {"--flow", FlowValues},      {"--flow-audit", nullptr},
 };
 
@@ -356,13 +365,19 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Certify = true;
     } else if (Arg == "--verify-ir") {
       Opts.VerifyIr = true;
+    } else if (Arg == "--verify-cfg") {
+      Opts.VerifyCfg = true;
     } else if (Arg.rfind("--flow=", 0) == 0) {
       std::string F = Arg.substr(7);
-      if (F == "none")
+      if (F == "none") {
         Opts.Flow = false;
-      else if (F == "invalidate")
+      } else if (F == "invalidate") {
         Opts.Flow = true;
-      else {
+        Opts.FlowKind = FlowMode::Invalidate;
+      } else if (F == "cfg") {
+        Opts.Flow = true;
+        Opts.FlowKind = FlowMode::Cfg;
+      } else {
         badValue("--flow", "flow pass", F);
         return false;
       }
@@ -468,13 +483,20 @@ void usage(const char *Prog) {
       "                           failure); skipped on unconverged runs\n"
       "  --verify-ir              check the normalized IR is well-formed\n"
       "                           (exit 4 on failure)\n"
-      "  --flow=none|invalidate   statement-order invalidation pass after the\n"
-      "                           solve: the use-after-free checker only\n"
-      "                           reports objects that may already be freed\n"
-      "                           when control reaches the site\n"
+      "  --verify-cfg             check the intraprocedural CFG is\n"
+      "                           well-formed (exit 4 on failure)\n"
+      "  --flow=none|invalidate|cfg\n"
+      "                           invalidation pass after the solve: the\n"
+      "                           use-after-free checker only reports objects\n"
+      "                           that may already be freed when control\n"
+      "                           reaches the site. invalidate walks each\n"
+      "                           function's statements in order; cfg runs a\n"
+      "                           branch-sensitive dataflow over the CFG with\n"
+      "                           callee exit summaries\n"
       "  --flow-audit             re-check that the refinement only ever\n"
-      "                           suppresses baseline reports (exit 4 on\n"
-      "                           violation); implies --flow=invalidate\n"
+      "                           suppresses baseline reports and the CFG is\n"
+      "                           well-formed (exit 4 on violation); implies\n"
+      "                           --flow=invalidate\n"
       "checkers:",
       Prog);
   for (const std::string &Id : CheckerRegistry::allIds())
@@ -567,6 +589,25 @@ int main(int argc, char **argv) {
                    (unsigned long long)IR.ChecksRun);
     }
   }
+  if (Opts.VerifyCfg) {
+    NormProgram &Prog = Program->Prog;
+    std::vector<char> Defined(Prog.Funcs.size(), 0);
+    for (size_t F = 0; F < Prog.Funcs.size(); ++F)
+      Defined[F] = Prog.Funcs[F].IsDefined ? 1 : 0;
+    CfgVerifyResult CG = verifyCfg(Prog.Cfg, Prog.stmtOrder().ByFunc,
+                                   Defined, Prog.Stmts.size());
+    VT.CfgVerifyRan = true;
+    VT.CfgChecks = CG.ChecksRun;
+    VT.CfgViolations = CG.Violations;
+    if (!CG.ok()) {
+      VerifyFailed = true;
+      for (const std::string &Msg : CG.Messages)
+        std::fprintf(stderr, "verify-cfg: %s\n", Msg.c_str());
+      std::fprintf(stderr, "verify-cfg: %llu of %llu checks failed\n",
+                   (unsigned long long)CG.Violations,
+                   (unsigned long long)CG.ChecksRun);
+    }
+  }
   if (Opts.Certify) {
     if (!RS.Converged) {
       std::fprintf(
@@ -604,12 +645,19 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "warning: --flow skipped: the solver did not converge\n");
     } else {
-      FlowResult FR = runInvalidationPass(A.solver());
+      FlowResult FR = runFlowPass(A.solver(), Opts.FlowKind);
       FT.FlowRan = true;
       FT.ObjectsInvalidated = FR.ObjectsInvalidated;
       FT.SitesRefined = FR.SitesRefined;
       FT.ReportsSuppressed = FR.ReportsSuppressed;
       FT.FlowSeconds = FR.Seconds;
+      if (Opts.FlowKind == FlowMode::Cfg) {
+        FT.CfgMode = true;
+        FT.CfgBlocks = FR.CfgBlocks;
+        FT.CfgEdges = FR.CfgEdges;
+        FT.JoinMerges = FR.JoinMerges;
+        FT.ExitSummaries = FR.ExitSummaries;
+      }
       if (Opts.FlowAudit) {
         FlowAuditResult AR = auditFlowRefinement(A.solver());
         FT.AuditRan = true;
@@ -749,6 +797,10 @@ int main(int argc, char **argv) {
     std::printf("ir well-formed:      %s (%llu checks)\n",
                 VT.IrViolations == 0 ? "yes" : "NO",
                 (unsigned long long)VT.IrChecks);
+  if (VT.CfgVerifyRan)
+    std::printf("cfg well-formed:     %s (%llu checks)\n",
+                VT.CfgViolations == 0 ? "yes" : "NO",
+                (unsigned long long)VT.CfgChecks);
   if (FT.FlowRan)
     std::printf("flow refinement:     %llu objects invalidated, %llu sites "
                 "refined, %llu reports suppressed, %.3f ms\n",
@@ -756,6 +808,13 @@ int main(int argc, char **argv) {
                 (unsigned long long)FT.SitesRefined,
                 (unsigned long long)FT.ReportsSuppressed,
                 FT.FlowSeconds * 1e3);
+  if (FT.CfgMode)
+    std::printf("flow cfg:            %llu blocks, %llu edges, %llu join "
+                "merges, %llu exit summaries\n",
+                (unsigned long long)FT.CfgBlocks,
+                (unsigned long long)FT.CfgEdges,
+                (unsigned long long)FT.JoinMerges,
+                (unsigned long long)FT.ExitSummaries);
   if (FT.AuditRan)
     std::printf("flow audit:          %s (%llu refined sites checked)\n",
                 FT.AuditViolations == 0 ? "ok" : "FAILED",
